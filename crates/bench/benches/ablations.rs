@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices documented in DESIGN.md:
+//!
+//! 1. **Symmetrised operator** — the adjoint shares the forward
+//!    factorisation (1 factor + 2 solves) instead of factoring twice.
+//! 2. **Abbe source count** — 5-point partially-coherent quadrature vs a
+//!    single coherent kernel.
+//! 3. **Litho corner caching** — kernels precomputed at model build vs
+//!    rebuilt per image.
+
+use boson_fdfd::grid::SimGrid;
+use boson_fdfd::operator::assemble_banded;
+use boson_fdfd::pml::SFactors;
+use boson_litho::{LithoConfig, LithoCorner, LithoModel};
+use boson_num::{Array2, Complex64};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_shared_factorisation(c: &mut Criterion) {
+    let grid = SimGrid::new(50, 50, 0.05, 10);
+    let omega = 2.0 * std::f64::consts::PI / 1.55;
+    let s = SFactors::new(&grid, omega);
+    let eps = Array2::from_fn(50, 50, |iy, _| if iy.abs_diff(25) < 4 { 12.11 } else { 1.0 });
+    let rhs: Vec<Complex64> = (0..grid.n())
+        .map(|k| Complex64::new((k as f64 * 0.02).sin(), 0.1))
+        .collect();
+
+    let mut group = c.benchmark_group("adjoint_strategy");
+    group.sample_size(10);
+    // BOSON-1's way: factor once, solve forward + adjoint.
+    group.bench_function("symmetric_shared_factor", |b| {
+        b.iter(|| {
+            let lu = assemble_banded(&grid, &s, &eps, omega).factor().unwrap();
+            let fwd = lu.solve_vec(&rhs);
+            let adj = lu.solve_vec(&rhs);
+            black_box((fwd, adj))
+        })
+    });
+    // The naive alternative: factor the operator twice.
+    group.bench_function("naive_two_factorisations", |b| {
+        b.iter(|| {
+            let lu1 = assemble_banded(&grid, &s, &eps, omega).factor().unwrap();
+            let fwd = lu1.solve_vec(&rhs);
+            let lu2 = assemble_banded(&grid, &s, &eps, omega).factor().unwrap();
+            let adj = lu2.solve_vec(&rhs);
+            black_box((fwd, adj))
+        })
+    });
+    group.finish();
+}
+
+fn bench_source_quadrature(c: &mut Criterion) {
+    let n = 36;
+    let mask = Array2::from_fn(n, n, |r, _| if r.abs_diff(n / 2) < 5 { 1.0 } else { 0.0 });
+    let mut group = c.benchmark_group("abbe_source_points");
+    group.sample_size(10);
+    // σ = 0 degenerates all five source points to the pupil centre —
+    // effectively coherent imaging at the same quadrature cost, so we
+    // compare against the partially-coherent default.
+    let coherent = LithoModel::new(n, n, 0.05, LithoConfig { sigma: 0.0, ..LithoConfig::default() });
+    let partial = LithoModel::new(n, n, 0.05, LithoConfig::default());
+    group.bench_function("coherent_sigma0", |b| {
+        b.iter(|| black_box(coherent.aerial_image(&mask, LithoCorner::Nominal)))
+    });
+    group.bench_function("partially_coherent_5pt", |b| {
+        b.iter(|| black_box(partial.aerial_image(&mask, LithoCorner::Nominal)))
+    });
+    group.finish();
+}
+
+fn bench_kernel_caching(c: &mut Criterion) {
+    let n = 36;
+    let mask = Array2::from_fn(n, n, |r, _| if r.abs_diff(n / 2) < 5 { 1.0 } else { 0.0 });
+    let mut group = c.benchmark_group("litho_kernel_caching");
+    group.sample_size(10);
+    let cached = LithoModel::new(n, n, 0.05, LithoConfig::default());
+    group.bench_function("cached_kernels", |b| {
+        b.iter(|| black_box(cached.aerial_image(&mask, LithoCorner::Nominal)))
+    });
+    group.bench_function("rebuild_model_every_image", |b| {
+        b.iter(|| {
+            let model = LithoModel::new(n, n, 0.05, LithoConfig::default());
+            black_box(model.aerial_image(&mask, LithoCorner::Nominal))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_factorisation, bench_source_quadrature, bench_kernel_caching);
+criterion_main!(benches);

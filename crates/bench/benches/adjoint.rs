@@ -1,0 +1,75 @@
+//! End-to-end gradient benchmarks: one full forward+adjoint evaluation of
+//! the bending benchmark, and the complete fabrication-chain vjp.
+
+use boson_core::baselines::standard_chain;
+use boson_core::compiled::CompiledProblem;
+use boson_core::fabchain::grad_eps_to_rho;
+use boson_core::problem::bending;
+use boson_fab::VariationCorner;
+use boson_num::Array2;
+use boson_param::{LevelSetConfig, LevelSetParam, Parameterization};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_adjoint_evaluation(c: &mut Criterion) {
+    let compiled = CompiledProblem::compile(bending()).unwrap();
+    let p = compiled.problem().clone();
+    let ls = LevelSetParam::new(
+        p.design_shape.0,
+        p.design_shape.1,
+        p.grid.dx,
+        LevelSetConfig::default(),
+    );
+    let theta = ls.theta_from_geometry(&p.seed);
+    let rho = ls.forward(&theta);
+    let eps = compiled.eps_for(&rho, 300.0);
+
+    c.bench_function("bending_forward_only", |b| {
+        b.iter(|| black_box(compiled.evaluate_eps(&eps, false).unwrap()))
+    });
+    c.bench_function("bending_forward_plus_adjoint", |b| {
+        b.iter(|| black_box(compiled.evaluate_eps(&eps, true).unwrap()))
+    });
+}
+
+fn bench_chain_vjp(c: &mut Criterion) {
+    let compiled = CompiledProblem::compile(bending()).unwrap();
+    let p = compiled.problem().clone();
+    let chain = standard_chain(&p);
+    let ls = LevelSetParam::new(
+        p.design_shape.0,
+        p.design_shape.1,
+        p.grid.dx,
+        LevelSetConfig::default(),
+    );
+    let theta = ls.theta_from_geometry(&p.seed);
+    let rho = ls.forward(&theta);
+    let corner = VariationCorner::nominal();
+    let fwd = chain.forward(&rho, &corner, false);
+    let eps = compiled.eps_for(&fwd.rho_fab, corner.temperature);
+    let ev = compiled.evaluate_eps(&eps, true).unwrap();
+    let v_rho = grad_eps_to_rho(
+        ev.grad_eps.as_ref().unwrap(),
+        p.design_origin,
+        p.design_shape,
+        corner.temperature,
+    );
+
+    c.bench_function("fab_chain_forward", |b| {
+        b.iter(|| black_box(chain.forward(&rho, &corner, false)))
+    });
+    c.bench_function("fab_chain_vjp_mask", |b| {
+        b.iter(|| black_box(chain.vjp_mask(&fwd, &v_rho)))
+    });
+    c.bench_function("levelset_vjp", |b| {
+        let v: Array2<f64> = v_rho.clone();
+        b.iter(|| black_box(ls.vjp(&theta, &v)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_adjoint_evaluation, bench_chain_vjp
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Corner-cost scaling (the paper's Fig. 3 motivation and §III-E):
+//! simulations per optimisation iteration for each sampling strategy.
+//! Exhaustive corner sweeping is `O(3^N)`; the adaptive axial+worst set is
+//! linear. This bench measures one *real* robust-gradient iteration of the
+//! bending benchmark under each strategy.
+
+use boson_core::baselines::{run_method, BaseRunConfig, MethodSpec};
+use boson_core::compiled::CompiledProblem;
+use boson_core::problem::bending;
+use boson_fab::SamplingStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_corner_scaling(c: &mut Criterion) {
+    let compiled = CompiledProblem::compile(bending()).unwrap();
+    let base = BaseRunConfig {
+        iterations: 1,
+        lr: 0.03,
+        seed: 7,
+        threads: 2,
+    };
+    let strategies: Vec<(&str, SamplingStrategy)> = vec![
+        ("nominal_only_1sim", SamplingStrategy::NominalOnly),
+        ("axial_single_4sims", SamplingStrategy::AxialSingleSided),
+        ("axial_double_7sims", SamplingStrategy::AxialDoubleSided),
+        ("axial_worst_8sims", SamplingStrategy::AxialPlusWorst),
+        ("corner_sweep_27sims", SamplingStrategy::CornerSweep),
+    ];
+    let mut group = c.benchmark_group("one_robust_iteration");
+    group.sample_size(10);
+    for (label, sampling) in strategies {
+        let spec = MethodSpec {
+            name: label.into(),
+            sampling,
+            relax_epochs: 0, // isolate the corner cost (no free-term solve)
+            ..MethodSpec::boson1(1)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| black_box(run_method(&compiled, spec, &base)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corner_scaling);
+criterion_main!(benches);

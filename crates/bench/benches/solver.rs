@@ -1,0 +1,95 @@
+//! Benchmarks of the FDFD linear-algebra core: operator assembly, banded
+//! LU factorisation, triangular solves, and the BiCGSTAB comparison.
+
+use boson_fdfd::grid::SimGrid;
+use boson_fdfd::operator::{assemble_banded, assemble_csr};
+use boson_fdfd::pml::SFactors;
+use boson_num::{Array2, Complex64};
+use boson_sparse::{bicgstab, BicgstabOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (SimGrid, SFactors, Array2<f64>, f64) {
+    let grid = SimGrid::new(n, n, 0.05, 10);
+    let omega = 2.0 * std::f64::consts::PI / 1.55;
+    let s = SFactors::new(&grid, omega);
+    let eps = Array2::from_fn(n, n, |iy, _| {
+        if iy.abs_diff(n / 2) < 5 {
+            12.11
+        } else {
+            1.0
+        }
+    });
+    (grid, s, eps, omega)
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let (grid, s, eps, omega) = setup(64);
+    c.bench_function("assemble_banded_64x64", |b| {
+        b.iter(|| black_box(assemble_banded(&grid, &s, &eps, omega)))
+    });
+}
+
+fn bench_factor_and_solve(c: &mut Criterion) {
+    let (grid, s, eps, omega) = setup(64);
+    c.bench_function("banded_lu_factor_64x64", |b| {
+        b.iter(|| {
+            let a = assemble_banded(&grid, &s, &eps, omega);
+            black_box(a.factor().unwrap())
+        })
+    });
+    let lu = assemble_banded(&grid, &s, &eps, omega).factor().unwrap();
+    let rhs: Vec<Complex64> = (0..grid.n())
+        .map(|k| Complex64::new((k as f64 * 0.01).sin(), 0.0))
+        .collect();
+    c.bench_function("banded_lu_solve_64x64", |b| {
+        b.iter(|| black_box(lu.solve_vec(&rhs)))
+    });
+    c.bench_function("banded_lu_solve_transpose_64x64", |b| {
+        b.iter(|| black_box(lu.solve_transpose_vec(&rhs)))
+    });
+}
+
+fn bench_bicgstab(c: &mut Criterion) {
+    // Iterative comparison on a small, well-conditioned system: a lossy
+    // variant of the operator (adds imaginary diagonal so the Krylov
+    // method converges quickly).
+    let (grid, s, eps, omega) = setup(32);
+    let a = assemble_csr(&grid, &s, &eps.map(|&e| e), omega);
+    let n = grid.n();
+    let mut coo = boson_sparse::CooMatrix::new(n, n);
+    for i in 0..n {
+        for j in i.saturating_sub(1)..(i + 2).min(n) {
+            let v = a.get(i, j);
+            if v != Complex64::ZERO {
+                coo.push(i, j, v);
+            }
+        }
+        coo.push(i, i, Complex64::new(0.0, 50.0));
+    }
+    let lossy = coo.to_csr();
+    let rhs = vec![Complex64::ONE; n];
+    c.bench_function("bicgstab_lossy_32x32", |b| {
+        b.iter(|| {
+            black_box(
+                bicgstab(
+                    &lossy,
+                    &rhs,
+                    &BicgstabOptions {
+                        tol: 1e-8,
+                        max_iter: 2000,
+                        jacobi_precondition: true,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_assembly, bench_factor_and_solve, bench_bicgstab
+}
+criterion_main!(benches);

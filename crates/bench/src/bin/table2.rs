@@ -1,0 +1,107 @@
+//! Table II — ablation study of BOSON-1 on the optical isolator.
+//!
+//! Each row removes exactly one technique:
+//! * `- loss landscape reshaping` — drop the dense auxiliary objectives;
+//! * `- subspace relax`           — no high-dimensional tunnel (`p ≡ 1`);
+//! * `exhaustive sample`          — 3³ corner sweep instead of adaptive;
+//! * `random init`                — random instead of light-concentrated.
+//!
+//! ```sh
+//! cargo run -p boson-bench --release --bin table2
+//! ```
+
+use boson_bench::{fom_fmt, pair, ExpConfig, Table};
+use boson_core::baselines::{run_method, standard_chain, BaseRunConfig, MethodSpec};
+use boson_core::compiled::CompiledProblem;
+use boson_core::eval::evaluate_post_fab;
+use boson_core::problem::isolator;
+use boson_core::runner::InitKind;
+use boson_fab::{SamplingStrategy, VariationSpace};
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExpConfig::from_env(50, 12);
+    println!(
+        "== Table II: ablation study (isolator, iters={}, MC={}) ==\n",
+        cfg.iterations, cfg.mc_samples
+    );
+    let base = BaseRunConfig {
+        iterations: cfg.iterations,
+        lr: 0.03,
+        seed: cfg.seed,
+        threads: cfg.threads,
+    };
+    let compiled = CompiledProblem::compile(isolator()).expect("compile failed");
+    let chain = standard_chain(compiled.problem());
+    let space = VariationSpace::default();
+
+    let full = MethodSpec::boson1(cfg.iterations);
+    let variants: Vec<(String, MethodSpec)> = vec![
+        ("BOSON-1".into(), full.clone()),
+        (
+            "- loss landscape reshaping".into(),
+            MethodSpec {
+                name: "-reshape".into(),
+                dense_objectives: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "- subspace relax".into(),
+            MethodSpec {
+                name: "-relax".into(),
+                relax_epochs: 0,
+                ..full.clone()
+            },
+        ),
+        (
+            "exhaustive sample".into(),
+            MethodSpec {
+                name: "exhaustive".into(),
+                sampling: SamplingStrategy::CornerSweep,
+                ..full.clone()
+            },
+        ),
+        (
+            "random init".into(),
+            MethodSpec {
+                name: "random-init".into(),
+                init: InitKind::Random { amplitude: 0.2 },
+                ..full.clone()
+            },
+        ),
+    ];
+
+    let mut table = Table::new(["model", "[fwd, bwd]", "contrast↓", "degradation", "sims"]);
+    let mut baseline_contrast = None;
+    for (label, spec) in variants {
+        let t0 = Instant::now();
+        let run = run_method(&compiled, &spec, &base);
+        let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, cfg.mc_samples, cfg.seed + 500);
+        let fwd = post.readings_mean["fwd/trans3"];
+        let bwd = post.readings_mean["bwd/leak0"] + post.readings_mean["bwd/leak2"];
+        let contrast = post.fom.mean;
+        eprintln!("  {label} done in {:.1}s", t0.elapsed().as_secs_f64());
+        let degradation = match baseline_contrast {
+            None => {
+                baseline_contrast = Some(contrast);
+                "N/A".to_string()
+            }
+            Some(b) => {
+                // Paper's convention: how much of the achieved contrast
+                // quality is lost, as a fraction of the ablated value.
+                let d = if contrast > b { (contrast - b) / contrast } else { 0.0 };
+                format!("{:.0}%", d * 100.0)
+            }
+        };
+        table.row([
+            label,
+            pair(fwd, bwd),
+            fom_fmt(contrast),
+            degradation,
+            run.factorizations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("\n(post-fab Monte-Carlo means; contrast = Σbwd/fwd, lower is better)");
+}

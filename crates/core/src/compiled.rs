@@ -1,0 +1,455 @@
+//! Compiled benchmark: precomputed modes, sources, monitors and power
+//! normalisation, plus the forward + adjoint evaluation of a permittivity
+//! map.
+//!
+//! Compilation solves the port eigenmode problems once (mode shapes live
+//! on the access waveguides, outside the design region, so they do not
+//! change during optimisation) and calibrates the launched power of every
+//! excitation with a straight-waveguide reference run. Evaluation then
+//! costs one factorisation plus `2·(number of excitations)` triangular
+//! solves when gradients are requested.
+
+use crate::fabchain::assemble_eps;
+use crate::objective::Readings;
+use crate::problem::{DeviceProblem, MonitorKind};
+use boson_fdfd::monitor::ModalMonitor;
+use boson_fdfd::sim::Simulation;
+use boson_fdfd::source::ModalSource;
+use boson_num::banded::SingularMatrixError;
+use boson_num::{Array2, Complex64};
+use std::collections::HashMap;
+
+/// A monitor bound to concrete grid weights.
+#[derive(Debug, Clone)]
+enum BoundMonitor {
+    Modal(ModalMonitor),
+    Residual(Vec<String>),
+}
+
+/// The result of evaluating one permittivity map.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Normalised monitor readings per excitation.
+    pub readings: Readings,
+    /// Scalar objective (maximise).
+    pub objective: f64,
+    /// Reported figure of merit.
+    pub fom: f64,
+    /// `∂objective/∂ε` over the full grid (present when requested).
+    pub grad_eps: Option<Array2<f64>>,
+    /// Number of linear-system factorisations performed.
+    pub factorizations: usize,
+}
+
+/// A benchmark compiled against its background geometry.
+pub struct CompiledProblem {
+    problem: DeviceProblem,
+    sources: Vec<ModalSource>,
+    monitors: Vec<Vec<(String, BoundMonitor)>>,
+    /// Launched power per excitation (straight-waveguide calibration).
+    norm_power: Vec<f64>,
+}
+
+impl std::fmt::Debug for CompiledProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompiledProblem({}, {} excitations)",
+            self.problem.name,
+            self.sources.len()
+        )
+    }
+}
+
+impl CompiledProblem {
+    /// Compiles `problem`: solves port modes, builds sources/monitors and
+    /// runs the normalisation references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a reference solve fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port supports fewer guided modes than the problem
+    /// requests.
+    pub fn compile(problem: DeviceProblem) -> Result<Self, SingularMatrixError> {
+        let grid = problem.grid;
+        let om = problem.omega;
+        // Nominal background permittivity (design region = seed-less void
+        // is fine for mode solving: ports sit on access waveguides).
+        let eps_bg = assemble_eps(
+            &problem.background_solid,
+            problem.design_origin,
+            &Array2::zeros(problem.design_shape.0, problem.design_shape.1),
+            300.0,
+        );
+        // Solve modes at every port.
+        let port_modes: Vec<_> = problem
+            .ports
+            .iter()
+            .map(|p| p.solve_modes(&grid, &eps_bg, om, problem.mode_count))
+            .collect();
+
+        let mut sources = Vec::new();
+        let mut monitors = Vec::new();
+        for exc in &problem.excitations {
+            let src_modes = &port_modes[exc.source_port];
+            assert!(
+                exc.source_mode < src_modes.len(),
+                "{}: port {} supports {} modes, excitation needs mode {}",
+                problem.name,
+                problem.ports[exc.source_port].name,
+                src_modes.len(),
+                exc.source_mode
+            );
+            sources.push(ModalSource::new(
+                problem.ports[exc.source_port].clone(),
+                src_modes[exc.source_mode].clone(),
+                exc.source_direction,
+            ));
+            let mut bound = Vec::new();
+            for spec in &exc.monitors {
+                let bm = match &spec.kind {
+                    MonitorKind::Modal { port, mode, direction } => {
+                        let modes = &port_modes[*port];
+                        assert!(
+                            *mode < modes.len(),
+                            "{}: monitor {} wants mode {} of port {} ({} available)",
+                            problem.name,
+                            spec.name,
+                            mode,
+                            problem.ports[*port].name,
+                            modes.len()
+                        );
+                        BoundMonitor::Modal(ModalMonitor::new(
+                            &grid,
+                            &problem.ports[*port],
+                            &modes[*mode],
+                            *direction,
+                        ))
+                    }
+                    MonitorKind::Residual { subtract } => BoundMonitor::Residual(subtract.clone()),
+                };
+                bound.push((spec.name.clone(), bm));
+            }
+            monitors.push(bound);
+        }
+
+        // Normalisation: straight-waveguide reference per excitation.
+        let mut norm_power = Vec::new();
+        for (ei, exc) in problem.excitations.iter().enumerate() {
+            let port = &problem.ports[exc.source_port];
+            // Replicate the transverse ε line at the source plane along the
+            // propagation axis.
+            let eps_ref = match port.axis {
+                boson_fdfd::grid::Axis::X => {
+                    let line: Vec<f64> = (0..grid.ny).map(|iy| eps_bg[(iy, port.plane)]).collect();
+                    Array2::from_fn(grid.ny, grid.nx, |iy, _| line[iy])
+                }
+                boson_fdfd::grid::Axis::Y => {
+                    let line: Vec<f64> = (0..grid.nx).map(|ix| eps_bg[(port.plane, ix)]).collect();
+                    Array2::from_fn(grid.ny, grid.nx, |_, ix| line[ix])
+                }
+            };
+            let sim = Simulation::new(grid, om, eps_ref)?;
+            let field = sim.solve_current(&sources[ei].current(&grid));
+            // Measure the launched mode 12 cells downstream.
+            let shift: isize = match exc.source_direction {
+                boson_fdfd::grid::Sign::Plus => 12,
+                boson_fdfd::grid::Sign::Minus => -12,
+            };
+            let mut ref_port = port.clone();
+            ref_port.plane = (port.plane as isize + shift) as usize;
+            let mon = ModalMonitor::new(
+                &grid,
+                &ref_port,
+                &port_modes[exc.source_port][exc.source_mode],
+                exc.source_direction,
+            );
+            let p0 = mon.power(&field.ez);
+            assert!(p0 > 1e-12, "{}: zero launched power", problem.name);
+            norm_power.push(p0);
+        }
+
+        Ok(Self {
+            problem,
+            sources,
+            monitors,
+            norm_power,
+        })
+    }
+
+    /// The underlying problem definition.
+    pub fn problem(&self) -> &DeviceProblem {
+        &self.problem
+    }
+
+    /// Launched-power calibration per excitation.
+    pub fn norm_power(&self) -> &[f64] {
+        &self.norm_power
+    }
+
+    /// Assembles the permittivity for a design-region density at
+    /// temperature `t`.
+    pub fn eps_for(&self, rho: &Array2<f64>, temperature: f64) -> Array2<f64> {
+        assemble_eps(
+            &self.problem.background_solid,
+            self.problem.design_origin,
+            rho,
+            temperature,
+        )
+    }
+
+    /// Evaluates a permittivity map: runs every excitation, reads the
+    /// monitors and (optionally) produces `∂objective/∂ε` by the adjoint
+    /// method, using the problem's own objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the operator factorisation
+    /// fails.
+    pub fn evaluate_eps(
+        &self,
+        eps: &Array2<f64>,
+        with_grad: bool,
+    ) -> Result<Evaluation, SingularMatrixError> {
+        let spec = self.problem.objective.clone();
+        self.evaluate_eps_with(eps, with_grad, &spec)
+    }
+
+    /// Like [`CompiledProblem::evaluate_eps`] but with a caller-supplied
+    /// objective (used by the sparse-objective ablation, which strips the
+    /// auxiliary constraints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the operator factorisation
+    /// fails.
+    pub fn evaluate_eps_with(
+        &self,
+        eps: &Array2<f64>,
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+    ) -> Result<Evaluation, SingularMatrixError> {
+        let grid = self.problem.grid;
+        let sim = Simulation::new(grid, self.problem.omega, eps.clone())?;
+        let mut fields = Vec::with_capacity(self.sources.len());
+        let mut readings: Readings = Vec::with_capacity(self.sources.len());
+        for (ei, src) in self.sources.iter().enumerate() {
+            let field = sim.solve_current(&src.current(&grid));
+            let mut map = HashMap::new();
+            // Modal monitors first, residuals second.
+            for (name, mon) in &self.monitors[ei] {
+                if let BoundMonitor::Modal(m) = mon {
+                    map.insert(name.clone(), m.power(&field.ez) / self.norm_power[ei]);
+                }
+            }
+            for (name, mon) in &self.monitors[ei] {
+                if let BoundMonitor::Residual(subtract) = mon {
+                    let total: f64 = subtract.iter().map(|s| map[s]).sum();
+                    map.insert(name.clone(), 1.0 - total);
+                }
+            }
+            readings.push(map);
+            fields.push(field);
+        }
+        let objective = spec.objective(&readings);
+        let fom = spec.fom(&readings);
+
+        let grad_eps = if with_grad {
+            // ∂obj/∂reading, with residual gradients folded back into the
+            // modal readings they subtract.
+            let mut dr: Vec<HashMap<String, f64>> = vec![HashMap::new(); readings.len()];
+            for (e, m, g) in spec.objective_grad(&readings) {
+                *dr[e].entry(m).or_default() += g;
+            }
+            for (ei, mons) in self.monitors.iter().enumerate() {
+                let mut updates: Vec<(String, f64)> = Vec::new();
+                for (name, mon) in mons {
+                    if let BoundMonitor::Residual(subtract) = mon {
+                        if let Some(&gres) = dr[ei].get(name) {
+                            for s in subtract {
+                                updates.push((s.clone(), -gres));
+                            }
+                        }
+                    }
+                }
+                for (name, g) in updates {
+                    *dr[ei].entry(name).or_default() += g;
+                }
+            }
+            // Adjoint per excitation.
+            let mut total = Array2::zeros(grid.ny, grid.nx);
+            for (ei, field) in fields.iter().enumerate() {
+                let mut g_field = vec![Complex64::ZERO; grid.n()];
+                let mut any = false;
+                for (name, mon) in &self.monitors[ei] {
+                    if let BoundMonitor::Modal(m) = mon {
+                        if let Some(&g) = dr[ei].get(name) {
+                            if g != 0.0 {
+                                m.accumulate_power_grad(
+                                    &field.ez,
+                                    g / self.norm_power[ei],
+                                    &mut g_field,
+                                );
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                if any {
+                    let lambda = sim.solve_adjoint(&g_field);
+                    total += &sim.grad_eps(field, &lambda);
+                }
+            }
+            Some(total)
+        } else {
+            None
+        };
+
+        Ok(Evaluation {
+            readings,
+            objective,
+            fom,
+            grad_eps,
+            factorizations: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{bending, crossing, isolator};
+    use boson_fab::TemperatureModel;
+    use boson_param::sdf::Geometry;
+    use boson_param::{LevelSetConfig, LevelSetParam, Parameterization};
+
+    fn seed_rho(p: &DeviceProblem, geo: &Geometry) -> Array2<f64> {
+        let ls = LevelSetParam::new(
+            p.design_shape.0,
+            p.design_shape.1,
+            p.grid.dx,
+            LevelSetConfig {
+                control_rows: 14,
+                control_cols: 14,
+                smoothing: 0.05,
+            },
+        );
+        let theta = ls.theta_from_geometry(geo);
+        ls.forward(&theta)
+    }
+
+    use crate::problem::DeviceProblem;
+
+    #[test]
+    fn bending_seed_transmits() {
+        let p = bending();
+        let c = CompiledProblem::compile(p).unwrap();
+        let rho = seed_rho(c.problem(), &c.problem().seed.clone());
+        let eps = c.eps_for(&rho, 300.0);
+        let ev = c.evaluate_eps(&eps, false).unwrap();
+        let trans = ev.readings[0]["trans"];
+        let refl = ev.readings[0]["refl"];
+        // The naive L-bend is lossy but must carry *some* light and not be
+        // dominated by reflection.
+        assert!(trans > 0.3, "seed bend transmission {trans}");
+        assert!(refl < 0.6, "seed bend reflection {refl}");
+        assert!(trans <= 1.1, "transmission should be ≲1: {trans}");
+    }
+
+    #[test]
+    fn crossing_seed_transmits_straight_through() {
+        let c = CompiledProblem::compile(crossing()).unwrap();
+        let rho = seed_rho(c.problem(), &c.problem().seed.clone());
+        let eps = c.eps_for(&rho, 300.0);
+        let ev = c.evaluate_eps(&eps, false).unwrap();
+        let trans = ev.readings[0]["trans"];
+        assert!(trans > 0.4, "crossing seed transmission {trans}");
+        // Symmetric crossing: crosstalk splits evenly and is modest.
+        let xt = ev.readings[0]["xtalk_top"];
+        let xb = ev.readings[0]["xtalk_bottom"];
+        assert!((xt - xb).abs() < 0.05, "crosstalk asymmetry {xt} vs {xb}");
+        assert!(xt < 0.3);
+    }
+
+    #[test]
+    fn isolator_compiles_and_runs_both_directions() {
+        let c = CompiledProblem::compile(isolator()).unwrap();
+        let rho = seed_rho(c.problem(), &c.problem().seed.clone());
+        let eps = c.eps_for(&rho, 300.0);
+        let ev = c.evaluate_eps(&eps, false).unwrap();
+        assert_eq!(ev.readings.len(), 2);
+        for key in ["trans3", "trans1", "refl", "rad"] {
+            assert!(ev.readings[0].contains_key(key), "missing fwd reading {key}");
+        }
+        for key in ["leak0", "leak2", "reflb", "radb"] {
+            assert!(ev.readings[1].contains_key(key), "missing bwd reading {key}");
+        }
+        // Readings are physical: powers within [0, ~1].
+        for map in &ev.readings {
+            for (k, v) in map {
+                assert!(*v > -0.2 && *v < 1.2, "{k} = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_accounting_roughly_conserved() {
+        // trans + refl + rad = 1 by construction; the *physical* check is
+        // that the residual (radiation) is not badly negative.
+        let c = CompiledProblem::compile(bending()).unwrap();
+        let rho = seed_rho(c.problem(), &c.problem().seed.clone());
+        let eps = c.eps_for(&rho, 300.0);
+        let ev = c.evaluate_eps(&eps, false).unwrap();
+        let rad = ev.readings[0]["rad"];
+        assert!(rad > -0.1, "radiation residual {rad} badly negative");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_through_full_pipeline() {
+        let c = CompiledProblem::compile(bending()).unwrap();
+        let p = c.problem().clone();
+        let rho = seed_rho(&p, &p.seed.clone());
+        let eps = c.eps_for(&rho, 300.0);
+        let ev = c.evaluate_eps(&eps, true).unwrap();
+        let grad = ev.grad_eps.as_ref().unwrap();
+        let h = 1e-5;
+        // Probe cells inside the design region.
+        let (oy, ox) = p.design_origin;
+        for &(dy, dx_) in &[(14usize, 14usize), (10, 18), (18, 10)] {
+            let (iy, ix) = (oy + dy, ox + dx_);
+            let mut ep = eps.clone();
+            ep[(iy, ix)] += h;
+            let op = c.evaluate_eps(&ep, false).unwrap().objective;
+            ep[(iy, ix)] -= 2.0 * h;
+            let om_ = c.evaluate_eps(&ep, false).unwrap().objective;
+            let fd = (op - om_) / (2.0 * h);
+            let ad = grad[(iy, ix)];
+            assert!(
+                (fd - ad).abs() < 1e-5 + 5e-3 * fd.abs().max(ad.abs()),
+                "objective grad at ({iy},{ix}): fd={fd} ad={ad}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalisation_power_is_positive_and_stable() {
+        let c = CompiledProblem::compile(crossing()).unwrap();
+        for &p0 in c.norm_power() {
+            assert!(p0 > 1e-9);
+        }
+    }
+
+    #[test]
+    fn temperature_shifts_eps_map() {
+        let c = CompiledProblem::compile(bending()).unwrap();
+        let rho = Array2::filled(28, 28, 1.0);
+        let cold = c.eps_for(&rho, 250.0);
+        let hot = c.eps_for(&rho, 350.0);
+        let (oy, ox) = c.problem().design_origin;
+        assert!(hot[(oy + 5, ox + 5)] > cold[(oy + 5, ox + 5)]);
+        let _ = TemperatureModel::eps_si(300.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Objective and auxiliary-constraint specification (paper Eq. 2).
+//!
+//! The conventional inverse-design objective is a single *sparse* reading
+//! (power at one output monitor), which the paper shows yields a hostile
+//! loss landscape with vanishing gradients. BOSON-1 adds *dense* auxiliary
+//! objectives — hinge penalties on extra monitors (reflection, radiation,
+//! crosstalk) — that vanish once satisfied, leaving the main objective in
+//! charge near convergence.
+//!
+//! Objectives are always *maximised* here; "minimise contrast" is encoded
+//! as maximising its negation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Numerical floor added to denominators in ratio objectives.
+pub const RATIO_FLOOR: f64 = 1e-6;
+
+/// Direction of an auxiliary constraint bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Reading must be at least this value (e.g. transmission ≥ 0.8).
+    AtLeast(f64),
+    /// Reading must be at most this value (e.g. reflection ≤ 0.1).
+    AtMost(f64),
+}
+
+/// One auxiliary penalty term `w·[F_i − C_i]₊`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Excitation index the monitored reading belongs to.
+    pub excitation: usize,
+    /// Monitor name within that excitation.
+    pub monitor: String,
+    /// Bound direction and value.
+    pub bound: Bound,
+    /// Penalty weight `w_i`.
+    pub weight: f64,
+}
+
+/// The main (reported) figure of merit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MainObjective {
+    /// Maximise one monitor power (bending / crossing transmission).
+    MaximizePower {
+        /// Excitation index.
+        excitation: usize,
+        /// Monitor name.
+        monitor: String,
+    },
+    /// Minimise the isolation contrast `Σ bwd / (fwd + δ)`.
+    MinimizeContrast {
+        /// Forward-transmission reading `(excitation, monitor)`.
+        fwd: (usize, String),
+        /// Backward-leak readings, summed.
+        bwd: Vec<(usize, String)>,
+    },
+}
+
+/// Full objective: main FoM plus dense auxiliary penalties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpec {
+    /// The main objective.
+    pub main: MainObjective,
+    /// Auxiliary hinge constraints (may be emptied to model the sparse
+    /// baseline objective).
+    pub constraints: Vec<Constraint>,
+}
+
+/// Monitor readings for all excitations: `readings[excitation][monitor]`.
+pub type Readings = Vec<HashMap<String, f64>>;
+
+impl ObjectiveSpec {
+    /// Copy of this spec with all auxiliary constraints removed — the
+    /// conventional sparse objective used by the ablation/baselines.
+    pub fn sparse(&self) -> ObjectiveSpec {
+        ObjectiveSpec {
+            main: self.main.clone(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The *reported* figure of merit (higher-is-better for power
+    /// objectives, the contrast itself for contrast objectives — callers
+    /// know which way is up via [`ObjectiveSpec::fom_higher_is_better`]).
+    pub fn fom(&self, readings: &Readings) -> f64 {
+        match &self.main {
+            MainObjective::MaximizePower { excitation, monitor } => {
+                read(readings, *excitation, monitor)
+            }
+            MainObjective::MinimizeContrast { fwd, bwd } => {
+                let f = read(readings, fwd.0, &fwd.1);
+                let b: f64 = bwd.iter().map(|(e, m)| read(readings, *e, m)).sum();
+                b / (f + RATIO_FLOOR)
+            }
+        }
+    }
+
+    /// `true` when larger FoM values are better.
+    pub fn fom_higher_is_better(&self) -> bool {
+        matches!(self.main, MainObjective::MaximizePower { .. })
+    }
+
+    /// The scalar objective value that the optimiser maximises:
+    /// main term minus penalty terms.
+    pub fn objective(&self, readings: &Readings) -> f64 {
+        let main = match &self.main {
+            MainObjective::MaximizePower { .. } => self.fom(readings),
+            MainObjective::MinimizeContrast { .. } => -self.fom(readings),
+        };
+        main - self.penalty(readings)
+    }
+
+    /// Total hinge penalty `Σ w_i·[violation]₊`.
+    pub fn penalty(&self, readings: &Readings) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| {
+                let v = read(readings, c.excitation, &c.monitor);
+                let violation = match c.bound {
+                    Bound::AtLeast(t) => (t - v).max(0.0),
+                    Bound::AtMost(t) => (v - t).max(0.0),
+                };
+                c.weight * violation
+            })
+            .sum()
+    }
+
+    /// Partial derivatives `∂objective/∂reading` for every reading that
+    /// matters, as `(excitation, monitor, ∂obj/∂P)` triples.
+    pub fn objective_grad(&self, readings: &Readings) -> Vec<(usize, String, f64)> {
+        let mut grads: HashMap<(usize, String), f64> = HashMap::new();
+        match &self.main {
+            MainObjective::MaximizePower { excitation, monitor } => {
+                *grads.entry((*excitation, monitor.clone())).or_default() += 1.0;
+            }
+            MainObjective::MinimizeContrast { fwd, bwd } => {
+                let f = read(readings, fwd.0, &fwd.1);
+                let b: f64 = bwd.iter().map(|(e, m)| read(readings, *e, m)).sum();
+                // obj_main = -b/(f+δ):  ∂/∂b_i = -1/(f+δ), ∂/∂f = b/(f+δ)².
+                let denom = f + RATIO_FLOOR;
+                for (e, m) in bwd {
+                    *grads.entry((*e, m.clone())).or_default() += -1.0 / denom;
+                }
+                *grads.entry((fwd.0, fwd.1.clone())).or_default() += b / (denom * denom);
+            }
+        }
+        for c in &self.constraints {
+            let v = read(readings, c.excitation, &c.monitor);
+            let g = match c.bound {
+                // penalty = w(t−v)₊ ⇒ ∂obj/∂v = +w while violated.
+                Bound::AtLeast(t) => {
+                    if v < t {
+                        c.weight
+                    } else {
+                        0.0
+                    }
+                }
+                // penalty = w(v−t)₊ ⇒ ∂obj/∂v = −w while violated.
+                Bound::AtMost(t) => {
+                    if v > t {
+                        -c.weight
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if g != 0.0 {
+                *grads.entry((c.excitation, c.monitor.clone())).or_default() += g;
+            }
+        }
+        grads
+            .into_iter()
+            .map(|((e, m), g)| (e, m, g))
+            .collect()
+    }
+}
+
+fn read(readings: &Readings, excitation: usize, monitor: &str) -> f64 {
+    *readings
+        .get(excitation)
+        .and_then(|m| m.get(monitor))
+        .unwrap_or_else(|| panic!("missing reading: excitation {excitation} monitor {monitor}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn readings(pairs: &[(usize, &str, f64)]) -> Readings {
+        let n = pairs.iter().map(|p| p.0).max().unwrap_or(0) + 1;
+        let mut out: Readings = vec![HashMap::new(); n];
+        for (e, m, v) in pairs {
+            out[*e].insert((*m).to_owned(), *v);
+        }
+        out
+    }
+
+    fn power_spec() -> ObjectiveSpec {
+        ObjectiveSpec {
+            main: MainObjective::MaximizePower {
+                excitation: 0,
+                monitor: "trans".into(),
+            },
+            constraints: vec![
+                Constraint {
+                    excitation: 0,
+                    monitor: "refl".into(),
+                    bound: Bound::AtMost(0.1),
+                    weight: 0.5,
+                },
+                Constraint {
+                    excitation: 0,
+                    monitor: "trans".into(),
+                    bound: Bound::AtLeast(0.8),
+                    weight: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn objective_without_violations_is_main() {
+        let spec = power_spec();
+        let r = readings(&[(0, "trans", 0.9), (0, "refl", 0.05)]);
+        assert!((spec.objective(&r) - 0.9).abs() < 1e-12);
+        assert_eq!(spec.penalty(&r), 0.0);
+        assert_eq!(spec.fom(&r), 0.9);
+        assert!(spec.fom_higher_is_better());
+    }
+
+    #[test]
+    fn penalties_subtract_when_violated() {
+        let spec = power_spec();
+        let r = readings(&[(0, "trans", 0.5), (0, "refl", 0.3)]);
+        // penalty = 0.5·(0.3−0.1) + 1.0·(0.8−0.5) = 0.1 + 0.3
+        assert!((spec.penalty(&r) - 0.4).abs() < 1e-12);
+        assert!((spec.objective(&r) - (0.5 - 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_signs() {
+        let spec = power_spec();
+        let r = readings(&[(0, "trans", 0.5), (0, "refl", 0.3)]);
+        let grads = spec.objective_grad(&r);
+        let g = |name: &str| -> f64 {
+            grads
+                .iter()
+                .find(|(_, m, _)| m == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0.0)
+        };
+        // trans: main +1, violated AtLeast adds +1.
+        assert!((g("trans") - 2.0).abs() < 1e-12);
+        // refl: violated AtMost pushes down.
+        assert!((g("refl") + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contrast_objective_and_grad() {
+        let spec = ObjectiveSpec {
+            main: MainObjective::MinimizeContrast {
+                fwd: (0, "trans3".into()),
+                bwd: vec![(1, "leak0".into()), (1, "leak2".into())],
+            },
+            constraints: vec![],
+        };
+        let r = readings(&[(0, "trans3", 0.8), (1, "leak0", 0.02), (1, "leak2", 0.02)]);
+        let c = spec.fom(&r);
+        assert!((c - 0.04 / (0.8 + RATIO_FLOOR)).abs() < 1e-9);
+        assert!(!spec.fom_higher_is_better());
+        assert!((spec.objective(&r) + c).abs() < 1e-12);
+        let grads = spec.objective_grad(&r);
+        // Raising fwd power raises the objective; raising leaks lowers it.
+        for (e, m, g) in &grads {
+            if m == "trans3" {
+                assert!(*g > 0.0, "({e},{m})");
+            } else {
+                assert!(*g < 0.0, "({e},{m})");
+            }
+        }
+        // FD check on the objective gradient.
+        let h = 1e-7;
+        for (e, m, g) in grads {
+            let mut rp = r.clone();
+            *rp[e].get_mut(&m).unwrap() += h;
+            let fd = (spec.objective(&rp) - spec.objective(&r)) / h;
+            assert!((fd - g).abs() < 1e-5 * (1.0 + fd.abs()), "({e},{m}): {fd} vs {g}");
+        }
+    }
+
+    #[test]
+    fn sparse_strips_constraints() {
+        let spec = power_spec();
+        let sparse = spec.sparse();
+        assert!(sparse.constraints.is_empty());
+        let r = readings(&[(0, "trans", 0.2), (0, "refl", 0.9)]);
+        assert_eq!(sparse.objective(&r), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing reading")]
+    fn missing_reading_panics() {
+        let spec = power_spec();
+        let r = readings(&[(0, "trans", 0.5)]);
+        let _ = spec.objective(&r);
+    }
+}

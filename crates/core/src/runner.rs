@@ -1,0 +1,415 @@
+//! The BOSON-1 optimisation loop.
+//!
+//! One iteration of the full method:
+//!
+//! 1. materialise the density `ρ = P(θ)`;
+//! 2. draw the variation corners (axial set; plus a worst-case corner
+//!    from one gradient-ascent step on `(T, ξ)` at the nominal corner);
+//! 3. for every corner, run the fabrication model and the FDFD forward +
+//!    adjoint simulations *in parallel* (one thread per corner), chaining
+//!    the field gradient back through etch → litho → `ρ`;
+//! 4. blend the fab-aware gradient with the unrestricted "tunnel"
+//!    gradient according to the relaxation schedule `p`;
+//! 5. back-propagate through the parameterisation and take an Adam step.
+//!
+//! Baselines reuse the same loop with features disabled (`fab_aware =
+//! false`, sparse objective, nominal-only sampling, random init …), which
+//! is exactly how the paper's ablation table is generated.
+
+use crate::compiled::CompiledProblem;
+use crate::fabchain::{assemble_eps, grad_eps_to_rho, grad_temperature, FabChain};
+use crate::objective::{ObjectiveSpec, Readings};
+use crate::optimizer::{Adam, AdamConfig};
+use crate::schedule::{BetaSchedule, RelaxationSchedule};
+use boson_fab::{EtchProjection, SamplingStrategy, VariationCorner, VariationSpace};
+use boson_num::Array2;
+use boson_param::Parameterization;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How to initialise the latent variables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InitKind {
+    /// Light-concentrated seed from the problem's geometry (§III-D3).
+    Seeded,
+    /// Uniform random in `[-amplitude, amplitude]` — the ablation's
+    /// "random init".
+    Random {
+        /// Half-width of the uniform distribution.
+        amplitude: f64,
+    },
+}
+
+/// Full runner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Optimisation iterations.
+    pub iterations: usize,
+    /// Adam hyper-parameters.
+    pub adam: AdamConfig,
+    /// Variation sampling strategy.
+    pub sampling: SamplingStrategy,
+    /// Conditional subspace relaxation schedule.
+    pub relaxation: RelaxationSchedule,
+    /// Etch-projection sharpening (start, end β).
+    pub beta_start: f64,
+    /// Final β of the sharpening schedule.
+    pub beta_end: f64,
+    /// Keep the dense auxiliary objectives? (`false` = sparse baseline.)
+    pub dense_objectives: bool,
+    /// Optimise through the fabrication model? (`false` = free-space
+    /// baseline à la Density/LS.)
+    pub fab_aware: bool,
+    /// Initialisation.
+    pub init: InitKind,
+    /// RNG seed (corner draws, random init).
+    pub seed: u64,
+    /// Worker threads for corner evaluation.
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 40,
+            adam: AdamConfig::default(),
+            sampling: SamplingStrategy::AxialPlusWorst,
+            relaxation: RelaxationSchedule::over(20),
+            beta_start: 10.0,
+            beta_end: 40.0,
+            dense_objectives: true,
+            fab_aware: true,
+            init: InitKind::Seeded,
+            seed: 7,
+            threads: 8,
+        }
+    }
+}
+
+/// One trajectory sample (Fig. 5 data).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration index.
+    pub iter: usize,
+    /// Combined (robust) objective value.
+    pub objective: f64,
+    /// Nominal-corner figure of merit.
+    pub fom_nominal: f64,
+    /// Nominal-corner readings (fab-aware when available, otherwise the
+    /// unrestricted model's own view).
+    pub readings_nominal: Readings,
+    /// Relaxation weight `p` used this iteration.
+    pub p: f64,
+}
+
+/// Result of an optimisation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final latent variables.
+    pub theta: Vec<f64>,
+    /// Final mask `ρ = P(θ)` (continuous, pre-binarisation).
+    pub mask: Array2<f64>,
+    /// Per-iteration trace.
+    pub trajectory: Vec<IterationRecord>,
+    /// Total linear-system factorisations (simulation cost proxy).
+    pub factorizations: usize,
+}
+
+/// Per-corner evaluation output.
+struct CornerOutcome {
+    objective: f64,
+    fom: f64,
+    readings: Readings,
+    v_mask: Array2<f64>,
+    /// `(d obj/dT, d obj/dξ)` — only filled for the nominal corner.
+    variation_grads: Option<(f64, Vec<f64>)>,
+}
+
+/// The optimisation driver.
+pub struct InverseDesigner<'a, P: Parameterization + Sync> {
+    compiled: &'a CompiledProblem,
+    param: &'a P,
+    chain: FabChain,
+    space: VariationSpace,
+    config: RunnerConfig,
+    objective: ObjectiveSpec,
+}
+
+impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
+    /// Creates a designer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameterisation shape disagrees with the problem's
+    /// design region.
+    pub fn new(
+        compiled: &'a CompiledProblem,
+        param: &'a P,
+        chain: FabChain,
+        space: VariationSpace,
+        config: RunnerConfig,
+    ) -> Self {
+        assert_eq!(
+            param.design_shape(),
+            compiled.problem().design_shape,
+            "parameterisation/design-region shape mismatch"
+        );
+        let objective = if config.dense_objectives {
+            compiled.problem().objective.clone()
+        } else {
+            compiled.problem().objective.sparse()
+        };
+        Self {
+            compiled,
+            param,
+            chain,
+            space,
+            config,
+            objective,
+        }
+    }
+
+    /// The initial latent vector per the configuration.
+    pub fn initial_theta(&self, rng: &mut StdRng) -> Vec<f64>
+    where
+        P: SeedableParam,
+    {
+        match self.config.init {
+            InitKind::Seeded => self.param.theta_from_geometry(&self.compiled.problem().seed),
+            InitKind::Random { amplitude } => (0..self.param.num_params())
+                .map(|_| rng.gen_range(-amplitude..amplitude))
+                .collect(),
+        }
+    }
+
+    /// Evaluates one corner: fabrication forward, EM forward + adjoint,
+    /// chain backward. `want_variation_grads` additionally produces
+    /// `(dT, dξ)` for the worst-case search.
+    fn eval_corner(
+        &self,
+        rho: &Array2<f64>,
+        corner: &VariationCorner,
+        want_variation_grads: bool,
+    ) -> CornerOutcome {
+        let problem = self.compiled.problem();
+        let fwd = self.chain.forward(rho, corner, false);
+        let eps = assemble_eps(
+            &problem.background_solid,
+            problem.design_origin,
+            &fwd.rho_fab,
+            corner.temperature,
+        );
+        let ev = self
+            .compiled
+            .evaluate_eps_with(&eps, true, &self.objective)
+            .expect("corner simulation failed");
+        let grad_eps = ev.grad_eps.as_ref().expect("gradient requested");
+        let v_rho = grad_eps_to_rho(
+            grad_eps,
+            problem.design_origin,
+            problem.design_shape,
+            corner.temperature,
+        );
+        let v_mask = self.chain.vjp_mask(&fwd, &v_rho);
+        let variation_grads = if want_variation_grads {
+            let dt = grad_temperature(
+                grad_eps,
+                &problem.background_solid,
+                problem.design_origin,
+                &fwd.rho_fab,
+                corner.temperature,
+            );
+            let dxi = self.chain.vjp_xi(&fwd, &v_rho);
+            Some((dt, dxi))
+        } else {
+            None
+        };
+        CornerOutcome {
+            objective: ev.objective,
+            fom: ev.fom,
+            readings: ev.readings,
+            v_mask,
+            variation_grads,
+        }
+    }
+
+    /// Evaluates the unrestricted ("ideal") term: the raw density drives
+    /// the permittivity directly, bypassing litho and etch.
+    fn eval_free(&self, rho: &Array2<f64>) -> (f64, f64, Readings, Array2<f64>) {
+        let problem = self.compiled.problem();
+        let eps = assemble_eps(
+            &problem.background_solid,
+            problem.design_origin,
+            rho,
+            boson_fab::temperature::T_NOMINAL,
+        );
+        let ev = self
+            .compiled
+            .evaluate_eps_with(&eps, true, &self.objective)
+            .expect("free simulation failed");
+        let v_rho = grad_eps_to_rho(
+            ev.grad_eps.as_ref().expect("gradient requested"),
+            problem.design_origin,
+            problem.design_shape,
+            boson_fab::temperature::T_NOMINAL,
+        );
+        (ev.objective, ev.fom, ev.readings, v_rho)
+    }
+
+    /// Runs the optimisation from `theta0`.
+    pub fn run(&mut self, theta0: Vec<f64>) -> RunResult {
+        let mut theta = theta0;
+        assert_eq!(theta.len(), self.param.num_params(), "theta length mismatch");
+        let mut adam = Adam::new(theta.len(), self.config.adam);
+        let beta_sched = BetaSchedule::new(
+            self.config.beta_start,
+            self.config.beta_end,
+            self.config.iterations.max(1),
+        );
+        let mut trajectory = Vec::with_capacity(self.config.iterations);
+        let mut factorizations = 0usize;
+        let (dr, dc) = self.param.design_shape();
+
+        for iter in 0..self.config.iterations {
+            self.chain.set_etch(EtchProjection::new(beta_sched.beta(iter)));
+            let rho = self.param.forward(&theta);
+            let p = if self.config.fab_aware {
+                self.config.relaxation.p(iter)
+            } else {
+                0.0
+            };
+
+            let mut v_mask_total = Array2::<f64>::zeros(dr, dc);
+            let mut objective = 0.0;
+            let mut nominal_readings: Option<(Readings, f64)> = None;
+
+            if self.config.fab_aware {
+                let mut rng = StdRng::seed_from_u64(self.config.seed ^ (iter as u64).wrapping_mul(0x9E37));
+                let mut corners = self.space.corners(self.config.sampling, &mut rng);
+                // Identify the nominal corner for worst-case gradients and
+                // trajectory recording.
+                let nominal_idx = corners.iter().position(|c| !c.is_varied());
+                let outcomes = self.eval_corners_parallel(&rho, &corners, nominal_idx);
+                factorizations += corners.len();
+
+                // Worst-case corner from the nominal gradients.
+                let mut all_outcomes = outcomes;
+                if self.config.sampling.needs_worst_case() {
+                    if let Some(ni) = nominal_idx {
+                        if let Some((dt, dxi)) = &all_outcomes[ni].variation_grads {
+                            let worst = self.space.worst_case_corner(*dt, dxi);
+                            let o = self.eval_corner(&rho, &worst, false);
+                            factorizations += 1;
+                            corners.push(worst);
+                            all_outcomes.push(o);
+                        }
+                    }
+                }
+                let w = 1.0 / all_outcomes.len() as f64;
+                let mut obj_fab = 0.0;
+                let mut v_fab = Array2::<f64>::zeros(dr, dc);
+                for (ci, o) in all_outcomes.iter().enumerate() {
+                    obj_fab += w * o.objective;
+                    for (dst, src) in v_fab.as_mut_slice().iter_mut().zip(o.v_mask.as_slice()) {
+                        *dst += w * src;
+                    }
+                    if Some(ci) == nominal_idx {
+                        nominal_readings = Some((o.readings.clone(), o.fom));
+                    }
+                }
+                objective += p * obj_fab;
+                for (dst, src) in v_mask_total.as_mut_slice().iter_mut().zip(v_fab.as_slice()) {
+                    *dst += p * src;
+                }
+            }
+
+            if p < 1.0 {
+                let (obj_free, fom_free, readings_free, v_free) = self.eval_free(&rho);
+                factorizations += 1;
+                objective += (1.0 - p) * obj_free;
+                for (dst, src) in v_mask_total.as_mut_slice().iter_mut().zip(v_free.as_slice()) {
+                    *dst += (1.0 - p) * src;
+                }
+                if nominal_readings.is_none() {
+                    nominal_readings = Some((readings_free, fom_free));
+                }
+            }
+
+            let grad_theta = self.param.vjp(&theta, &v_mask_total);
+            adam.step(&mut theta, &grad_theta);
+
+            let (readings_nominal, fom_nominal) =
+                nominal_readings.expect("at least one term evaluated");
+            trajectory.push(IterationRecord {
+                iter,
+                objective,
+                fom_nominal,
+                readings_nominal,
+                p,
+            });
+        }
+
+        let mask = self.param.forward(&theta);
+        RunResult {
+            theta,
+            mask,
+            trajectory,
+            factorizations,
+        }
+    }
+
+    /// Evaluates a corner set in parallel with scoped threads.
+    fn eval_corners_parallel(
+        &self,
+        rho: &Array2<f64>,
+        corners: &[VariationCorner],
+        nominal_idx: Option<usize>,
+    ) -> Vec<CornerOutcome> {
+        let threads = self.config.threads.max(1).min(corners.len().max(1));
+        if threads <= 1 || corners.len() <= 1 {
+            return corners
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| self.eval_corner(rho, c, Some(ci) == nominal_idx))
+                .collect();
+        }
+        let mut slots: Vec<Option<CornerOutcome>> = Vec::new();
+        slots.resize_with(corners.len(), || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mutex = parking_lot::Mutex::new(&mut slots);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let ci = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if ci >= corners.len() {
+                        break;
+                    }
+                    let out = self.eval_corner(rho, &corners[ci], Some(ci) == nominal_idx);
+                    slots_mutex.lock()[ci] = Some(out);
+                });
+            }
+        })
+        .expect("corner evaluation thread panicked");
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    }
+}
+
+/// Parameterisations that can be seeded from geometry (both built-in
+/// parameterisations implement this).
+pub trait SeedableParam: Parameterization {
+    /// Latent variables reproducing (approximately) the given geometry.
+    fn theta_from_geometry(&self, geometry: &boson_param::sdf::Geometry) -> Vec<f64>;
+}
+
+impl SeedableParam for boson_param::LevelSetParam {
+    fn theta_from_geometry(&self, geometry: &boson_param::sdf::Geometry) -> Vec<f64> {
+        boson_param::LevelSetParam::theta_from_geometry(self, geometry)
+    }
+}
+
+impl SeedableParam for boson_param::DensityParam {
+    fn theta_from_geometry(&self, geometry: &boson_param::sdf::Geometry) -> Vec<f64> {
+        boson_param::DensityParam::theta_from_geometry(self, geometry)
+    }
+}

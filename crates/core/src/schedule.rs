@@ -1,0 +1,125 @@
+//! Optimisation schedules: conditional subspace relaxation and etch
+//! projection sharpening.
+//!
+//! *Subspace relaxation* (paper Eq. 3 / §III-D2): the objective is
+//! `p·E[fab-aware] + (1−p)·ideal`. Early on `p` is small, so gradients
+//! flow through the *unrestricted* pattern — a high-dimensional tunnel out
+//! of the fabricable subspace that lets the optimiser escape local optima
+//! the lithography low-pass filter would otherwise trap it in. `p` ramps
+//! to 1 to guarantee the final design is optimised where it will actually
+//! live.
+//!
+//! *Projection sharpening*: the tanh etch projection's β grows over the
+//! run so the design binarises gradually (standard topology-optimisation
+//! continuation).
+
+use serde::{Deserialize, Serialize};
+
+/// Linear ramp of the fab-aware weight `p` from 0 to 1 over
+/// `relax_epochs` iterations (0 epochs ⇒ always 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelaxationSchedule {
+    /// Iterations over which `p` ramps from 0 to 1.
+    pub relax_epochs: usize,
+}
+
+impl RelaxationSchedule {
+    /// No relaxation: fully fab-aware from the first iteration.
+    pub fn none() -> Self {
+        Self { relax_epochs: 0 }
+    }
+
+    /// Ramp over `epochs` iterations.
+    pub fn over(epochs: usize) -> Self {
+        Self { relax_epochs: epochs }
+    }
+
+    /// The fab-aware weight `p ∈ [0, 1]` at `iter`.
+    pub fn p(&self, iter: usize) -> f64 {
+        if self.relax_epochs == 0 {
+            1.0
+        } else {
+            ((iter as f64 + 1.0) / self.relax_epochs as f64).min(1.0)
+        }
+    }
+}
+
+/// Geometric ramp of the etch-projection sharpness β.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaSchedule {
+    /// β at iteration 0.
+    pub start: f64,
+    /// β at the final iteration.
+    pub end: f64,
+    /// Total iterations.
+    pub total_iters: usize,
+}
+
+impl BetaSchedule {
+    /// Creates a schedule from `start` to `end` over `total_iters`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is non-positive.
+    pub fn new(start: f64, end: f64, total_iters: usize) -> Self {
+        assert!(start > 0.0 && end > 0.0, "β must stay positive");
+        Self { start, end, total_iters }
+    }
+
+    /// β at iteration `iter` (geometric interpolation).
+    pub fn beta(&self, iter: usize) -> f64 {
+        if self.total_iters <= 1 {
+            return self.end;
+        }
+        let t = (iter as f64 / (self.total_iters as f64 - 1.0)).clamp(0.0, 1.0);
+        self.start * (self.end / self.start).powf(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxation_ramps_to_one() {
+        let s = RelaxationSchedule::over(10);
+        assert!(s.p(0) > 0.0 && s.p(0) <= 0.2);
+        assert!(s.p(4) < s.p(8));
+        assert_eq!(s.p(9), 1.0);
+        assert_eq!(s.p(100), 1.0);
+    }
+
+    #[test]
+    fn no_relaxation_is_always_one() {
+        let s = RelaxationSchedule::none();
+        for i in 0..5 {
+            assert_eq!(s.p(i), 1.0);
+        }
+    }
+
+    #[test]
+    fn beta_geometric_growth() {
+        let s = BetaSchedule::new(8.0, 64.0, 31);
+        assert!((s.beta(0) - 8.0).abs() < 1e-12);
+        assert!((s.beta(30) - 64.0).abs() < 1e-9);
+        // Geometric: midpoint is the geometric mean.
+        let mid = s.beta(15);
+        assert!((mid - (8.0f64 * 64.0).sqrt()).abs() < 0.5, "mid = {mid}");
+        // Monotone.
+        for i in 1..31 {
+            assert!(s.beta(i) >= s.beta(i - 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_schedule() {
+        let s = BetaSchedule::new(10.0, 50.0, 1);
+        assert_eq!(s.beta(0), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_beta_panics() {
+        let _ = BetaSchedule::new(0.0, 10.0, 5);
+    }
+}

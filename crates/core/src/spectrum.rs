@@ -1,0 +1,141 @@
+//! Wavelength-sweep evaluation of finished designs.
+//!
+//! The paper optimises at a single centre wavelength λ_c but frames
+//! operation variation broadly; a natural robustness axis for a deployed
+//! device is its spectral bandwidth. This module re-compiles a benchmark
+//! at shifted wavelengths and evaluates a fabricated mask across the
+//! sweep — the "extension/future-work" analysis BOSON-1 enables once the
+//! fabrication model is differentiable and cheap to re-target.
+
+use crate::compiled::CompiledProblem;
+use crate::eval::binarize_mask;
+use crate::fabchain::{assemble_eps, FabChain};
+use boson_fab::VariationCorner;
+use boson_num::Array2;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a wavelength sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectrumPoint {
+    /// Wavelength (µm).
+    pub lambda: f64,
+    /// Figure of merit at this wavelength (nominal fabrication corner,
+    /// hard etch).
+    pub fom: f64,
+}
+
+/// Evaluates `mask` across `count` wavelengths spanning
+/// `lambda_c ± half_span` at the nominal fabrication corner.
+///
+/// Each wavelength requires recompiling the benchmark (modes and
+/// calibration are wavelength-dependent), so the cost is
+/// `count × (compile + evaluate)`.
+///
+/// # Panics
+///
+/// Panics if `count < 2` or the sweep leaves the guided regime of a port
+/// (a port losing all guided modes).
+pub fn wavelength_sweep(
+    compiled: &CompiledProblem,
+    chain: &FabChain,
+    mask: &Array2<f64>,
+    half_span: f64,
+    count: usize,
+) -> Vec<SpectrumPoint> {
+    assert!(count >= 2, "need at least two sweep points");
+    let base = compiled.problem().clone();
+    let lambda_c = 2.0 * std::f64::consts::PI / base.omega;
+    let corner = VariationCorner::nominal();
+    let fwd = chain.forward(&binarize_mask(mask), &corner, true);
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count {
+        let lambda = lambda_c - half_span + 2.0 * half_span * k as f64 / (count as f64 - 1.0);
+        let mut problem = base.clone();
+        problem.omega = 2.0 * std::f64::consts::PI / lambda;
+        let c = CompiledProblem::compile(problem).expect("sweep recompile failed");
+        let eps = assemble_eps(
+            &c.problem().background_solid,
+            c.problem().design_origin,
+            &fwd.rho_fab,
+            corner.temperature,
+        );
+        let ev = c.evaluate_eps(&eps, false).expect("sweep evaluation failed");
+        out.push(SpectrumPoint { lambda, fom: ev.fom });
+    }
+    out
+}
+
+/// Bandwidth summary: the contiguous wavelength span around the centre
+/// where the FoM stays within `tolerance` of the centre value (for
+/// higher-is-better FoMs) or below `tolerance × centre` (contrast).
+pub fn bandwidth_within(points: &[SpectrumPoint], centre_fom: f64, tolerance: f64) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let threshold = centre_fom * (1.0 - tolerance);
+    let centre_idx = points.len() / 2;
+    let mut lo = centre_idx;
+    let mut hi = centre_idx;
+    while lo > 0 && points[lo - 1].fom >= threshold {
+        lo -= 1;
+    }
+    while hi + 1 < points.len() && points[hi + 1].fom >= threshold {
+        hi += 1;
+    }
+    points[hi].lambda - points[lo].lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::standard_chain;
+    use crate::problem::bending;
+    use boson_param::{LevelSetConfig, LevelSetParam, Parameterization};
+
+    #[test]
+    fn sweep_produces_monotone_wavelengths() {
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let p = compiled.problem().clone();
+        let chain = standard_chain(&p);
+        let ls = LevelSetParam::new(
+            p.design_shape.0,
+            p.design_shape.1,
+            p.grid.dx,
+            LevelSetConfig::default(),
+        );
+        let mask = ls.forward(&ls.theta_from_geometry(&p.seed));
+        let sweep = wavelength_sweep(&compiled, &chain, &mask, 0.02, 3);
+        assert_eq!(sweep.len(), 3);
+        assert!(sweep[0].lambda < sweep[1].lambda && sweep[1].lambda < sweep[2].lambda);
+        // Centre point is the design wavelength.
+        assert!((sweep[1].lambda - 1.55).abs() < 1e-9);
+        for pt in &sweep {
+            assert!(pt.fom.is_finite() && pt.fom >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_helper_counts_contiguous_span() {
+        let pts: Vec<SpectrumPoint> = [0.2, 0.8, 0.9, 1.0, 0.95, 0.5, 0.1]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| SpectrumPoint { lambda: 1.5 + i as f64 * 0.01, fom: f })
+            .collect();
+        // Tolerance 20 % of centre (1.0): threshold 0.8 keeps indices 1..=4.
+        let bw = bandwidth_within(&pts, 1.0, 0.2);
+        assert!((bw - 0.03).abs() < 1e-12, "bandwidth {bw}");
+        // Zero tolerance keeps only the centre.
+        let bw0 = bandwidth_within(&pts, 1.0, 0.0);
+        assert!(bw0 <= 0.011, "bandwidth {bw0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_sweep_panics() {
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let p = compiled.problem().clone();
+        let chain = standard_chain(&p);
+        let mask = boson_num::Array2::zeros(p.design_shape.0, p.design_shape.1);
+        let _ = wavelength_sweep(&compiled, &chain, &mask, 0.01, 1);
+    }
+}

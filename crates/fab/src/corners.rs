@@ -1,0 +1,363 @@
+//! Variation-corner algebra and the adaptive sampling strategies.
+//!
+//! The variation space has three axes (paper §III-E): lithography corner
+//! `L`, operating temperature `T`, and global etch threshold `η`, plus the
+//! high-dimensional EOLE field weights `ξ` for spatial etch variation.
+//! Exhaustive corner sweeping costs `3^N` simulations per iteration; the
+//! paper's *axial* sampling visits only the `2N` single-axis excursions
+//! plus the nominal point (linear cost), and appends one *worst-case*
+//! corner found by a single gradient-ascent step on `(T, ξ)`.
+//!
+//! All strategies from Fig. 6(a) are implemented so the comparison can be
+//! regenerated.
+
+use crate::eole::EoleParams;
+use crate::temperature::{TemperatureModel, T_NOMINAL};
+use boson_litho::LithoCorner;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One fully-specified fabrication/operation condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationCorner {
+    /// Lithography corner.
+    pub litho: LithoCorner,
+    /// Operating temperature (K).
+    pub temperature: f64,
+    /// Global etch-threshold shift added to the EOLE mean.
+    pub eta_shift: f64,
+    /// EOLE spatial-field weights (empty = flat field).
+    pub xi: Vec<f64>,
+    /// Weight of this corner in the robust objective.
+    pub weight: f64,
+    /// Human-readable label for traces and reports.
+    pub label: String,
+}
+
+impl VariationCorner {
+    /// The nominal (no-variation) corner.
+    pub fn nominal() -> Self {
+        Self {
+            litho: LithoCorner::Nominal,
+            temperature: T_NOMINAL,
+            eta_shift: 0.0,
+            xi: Vec::new(),
+            weight: 1.0,
+            label: "nominal".to_owned(),
+        }
+    }
+
+    /// `true` if this corner deviates from nominal in any axis.
+    pub fn is_varied(&self) -> bool {
+        self.litho != LithoCorner::Nominal
+            || self.temperature != T_NOMINAL
+            || self.eta_shift != 0.0
+            || self.xi.iter().any(|&x| x != 0.0)
+    }
+}
+
+/// Corner-sampling strategy (Fig. 6(a) of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Nominal corner only — no variation awareness.
+    NominalOnly,
+    /// Exhaustive 3×3×3 sweep — `O(3^N)`, the paper's scalability strawman.
+    CornerSweep,
+    /// Nominal + one-sided excursion per axis — `O(N)`, asymmetric.
+    AxialSingleSided,
+    /// Nominal + both excursions per axis — `O(2N)`, the paper's axial set.
+    AxialDoubleSided,
+    /// Axial set + `count` random corners (cost-matched control).
+    AxialPlusRandom {
+        /// Number of random corners to append.
+        count: usize,
+    },
+    /// Axial set + one worst-case corner from a gradient-ascent step —
+    /// the full BOSON-1 strategy.
+    AxialPlusWorst,
+}
+
+impl SamplingStrategy {
+    /// Whether the optimiser must compute and append a worst-case corner.
+    pub fn needs_worst_case(self) -> bool {
+        matches!(self, SamplingStrategy::AxialPlusWorst)
+    }
+
+    /// Deterministic corner count (excluding any appended worst-case
+    /// corner and random draws).
+    pub fn base_corner_count(self) -> usize {
+        match self {
+            SamplingStrategy::NominalOnly => 1,
+            SamplingStrategy::CornerSweep => 27,
+            SamplingStrategy::AxialSingleSided => 4,
+            SamplingStrategy::AxialDoubleSided
+            | SamplingStrategy::AxialPlusRandom { .. }
+            | SamplingStrategy::AxialPlusWorst => 7,
+        }
+    }
+}
+
+/// The variation space: axis excursions and the spatial-field model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationSpace {
+    /// Temperature model (excursion ±Δ).
+    pub temperature: TemperatureModel,
+    /// Global threshold excursion ±Δη for the η axis.
+    pub eta_delta: f64,
+    /// EOLE parameters for spatially-varying etching.
+    pub eole: EoleParams,
+}
+
+impl Default for VariationSpace {
+    fn default() -> Self {
+        Self {
+            temperature: TemperatureModel::default(),
+            eta_delta: 0.05,
+            eole: EoleParams::default(),
+        }
+    }
+}
+
+impl VariationSpace {
+    /// Generates the deterministic corner set for `strategy`.
+    ///
+    /// Random corners (for [`SamplingStrategy::AxialPlusRandom`]) are drawn
+    /// from `rng`; the worst-case corner of
+    /// [`SamplingStrategy::AxialPlusWorst`] is *not* included — the
+    /// optimiser computes it from gradients and appends it.
+    pub fn corners<R: Rng>(&self, strategy: SamplingStrategy, rng: &mut R) -> Vec<VariationCorner> {
+        let (t_lo, t_hi) = self.temperature.range();
+        let mut out: Vec<VariationCorner> = Vec::new();
+        let nominal = VariationCorner::nominal();
+        match strategy {
+            SamplingStrategy::NominalOnly => out.push(nominal),
+            SamplingStrategy::CornerSweep => {
+                for litho in LithoCorner::ALL {
+                    for &t in &self.temperature.corners() {
+                        for &de in &[-self.eta_delta, 0.0, self.eta_delta] {
+                            out.push(VariationCorner {
+                                litho,
+                                temperature: t,
+                                eta_shift: de,
+                                xi: Vec::new(),
+                                weight: 1.0,
+                                label: format!("sweep:{litho:?}/T={t}/dη={de:+.2}"),
+                            });
+                        }
+                    }
+                }
+            }
+            SamplingStrategy::AxialSingleSided => {
+                out.push(nominal);
+                out.push(self.litho_corner(LithoCorner::Max));
+                out.push(self.temp_corner(t_hi));
+                out.push(self.eta_corner(self.eta_delta));
+            }
+            SamplingStrategy::AxialDoubleSided
+            | SamplingStrategy::AxialPlusRandom { .. }
+            | SamplingStrategy::AxialPlusWorst => {
+                out.push(nominal);
+                out.push(self.litho_corner(LithoCorner::Min));
+                out.push(self.litho_corner(LithoCorner::Max));
+                out.push(self.temp_corner(t_lo));
+                out.push(self.temp_corner(t_hi));
+                out.push(self.eta_corner(-self.eta_delta));
+                out.push(self.eta_corner(self.eta_delta));
+                if let SamplingStrategy::AxialPlusRandom { count } = strategy {
+                    for k in 0..count {
+                        let mut c = self.sample_random(rng);
+                        c.label = format!("random-{k}");
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        let w = 1.0 / out.len() as f64;
+        for c in &mut out {
+            c.weight = w;
+        }
+        out
+    }
+
+    fn litho_corner(&self, litho: LithoCorner) -> VariationCorner {
+        VariationCorner {
+            litho,
+            label: format!("litho:{litho:?}"),
+            ..VariationCorner::nominal()
+        }
+    }
+
+    fn temp_corner(&self, t: f64) -> VariationCorner {
+        VariationCorner {
+            temperature: t,
+            label: format!("T={t}"),
+            ..VariationCorner::nominal()
+        }
+    }
+
+    fn eta_corner(&self, de: f64) -> VariationCorner {
+        VariationCorner {
+            eta_shift: de,
+            label: format!("dη={de:+.2}"),
+            ..VariationCorner::nominal()
+        }
+    }
+
+    /// Draws one random corner for Monte-Carlo evaluation: uniform litho
+    /// corner, uniform temperature in range, standard-normal EOLE weights.
+    pub fn sample_random<R: Rng>(&self, rng: &mut R) -> VariationCorner {
+        let litho = LithoCorner::ALL[rng.gen_range(0..3)];
+        let (t_lo, t_hi) = self.temperature.range();
+        let temperature = rng.gen_range(t_lo..=t_hi);
+        let xi: Vec<f64> = (0..self.eole.terms)
+            .map(|_| {
+                // Box–Muller standard normal.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        VariationCorner {
+            litho,
+            temperature,
+            eta_shift: 0.0,
+            xi,
+            weight: 1.0,
+            label: "mc".to_owned(),
+        }
+    }
+
+    /// Builds the worst-case corner from objective gradients: one
+    /// projected gradient-*descent* step on the FoM (= ascent on the loss)
+    /// over `(T, ξ)`, clipped to the operating range / ±3σ.
+    ///
+    /// `d_fom_dt` and `d_fom_dxi` are the derivatives of the figure of
+    /// merit being *maximised*; the worst corner moves against them.
+    pub fn worst_case_corner(&self, d_fom_dt: f64, d_fom_dxi: &[f64]) -> VariationCorner {
+        let (t_lo, t_hi) = self.temperature.range();
+        // Temperature: move to whichever bound degrades the FoM.
+        let temperature = if d_fom_dt > 0.0 { t_lo } else { t_hi };
+        // ξ: one normalised step of length √K against the gradient,
+        // clipped to ±3.
+        let k = d_fom_dxi.len();
+        let norm = d_fom_dxi.iter().map(|g| g * g).sum::<f64>().sqrt();
+        let xi: Vec<f64> = if norm > 0.0 {
+            let step = (k as f64).sqrt();
+            d_fom_dxi
+                .iter()
+                .map(|g| (-g / norm * step).clamp(-3.0, 3.0))
+                .collect()
+        } else {
+            vec![0.0; k]
+        };
+        VariationCorner {
+            litho: LithoCorner::Nominal,
+            temperature,
+            eta_shift: 0.0,
+            xi,
+            weight: 1.0,
+            label: "worst-case".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> VariationSpace {
+        VariationSpace::default()
+    }
+
+    #[test]
+    fn corner_counts_match_paper() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.corners(SamplingStrategy::NominalOnly, &mut rng).len(), 1);
+        assert_eq!(s.corners(SamplingStrategy::CornerSweep, &mut rng).len(), 27);
+        assert_eq!(s.corners(SamplingStrategy::AxialSingleSided, &mut rng).len(), 4);
+        assert_eq!(s.corners(SamplingStrategy::AxialDoubleSided, &mut rng).len(), 7);
+        assert_eq!(
+            s.corners(SamplingStrategy::AxialPlusRandom { count: 2 }, &mut rng).len(),
+            9
+        );
+        // Worst-case corner appended by the optimiser, not here.
+        assert_eq!(s.corners(SamplingStrategy::AxialPlusWorst, &mut rng).len(), 7);
+        assert!(SamplingStrategy::AxialPlusWorst.needs_worst_case());
+        assert!(!SamplingStrategy::AxialDoubleSided.needs_worst_case());
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        for strat in [
+            SamplingStrategy::NominalOnly,
+            SamplingStrategy::CornerSweep,
+            SamplingStrategy::AxialSingleSided,
+            SamplingStrategy::AxialDoubleSided,
+            SamplingStrategy::AxialPlusRandom { count: 3 },
+        ] {
+            let total: f64 = s.corners(strat, &mut rng).iter().map(|c| c.weight).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{strat:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn axial_corners_vary_one_axis_at_a_time() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let corners = s.corners(SamplingStrategy::AxialDoubleSided, &mut rng);
+        assert!(!corners[0].is_varied());
+        for c in &corners[1..] {
+            let axes_varied = [
+                (c.litho != LithoCorner::Nominal) as u8,
+                (c.temperature != T_NOMINAL) as u8,
+                (c.eta_shift != 0.0) as u8,
+            ]
+            .iter()
+            .sum::<u8>();
+            assert_eq!(axes_varied, 1, "corner {} varies {axes_varied} axes", c.label);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_combinations() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let corners = s.corners(SamplingStrategy::CornerSweep, &mut rng);
+        let unique: std::collections::BTreeSet<String> =
+            corners.iter().map(|c| c.label.clone()).collect();
+        assert_eq!(unique.len(), 27);
+    }
+
+    #[test]
+    fn random_corner_within_bounds() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let c = s.sample_random(&mut rng);
+            let (lo, hi) = s.temperature.range();
+            assert!(c.temperature >= lo && c.temperature <= hi);
+            assert_eq!(c.xi.len(), s.eole.terms);
+        }
+    }
+
+    #[test]
+    fn worst_case_moves_against_gradient() {
+        let s = space();
+        // FoM improves with temperature → worst case is the cold bound.
+        let w = s.worst_case_corner(0.5, &[1.0, -2.0]);
+        assert_eq!(w.temperature, s.temperature.range().0);
+        // ξ step is anti-parallel to the gradient.
+        assert!(w.xi[0] < 0.0 && w.xi[1] > 0.0);
+        // Clipped at ±3.
+        assert!(w.xi.iter().all(|x| x.abs() <= 3.0));
+        // Zero gradient: flat field, hot bound.
+        let w2 = s.worst_case_corner(-0.1, &[0.0, 0.0]);
+        assert_eq!(w2.temperature, s.temperature.range().1);
+        assert!(w2.xi.iter().all(|&x| x == 0.0));
+    }
+}

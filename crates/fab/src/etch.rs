@@ -1,0 +1,231 @@
+//! Differentiable etching model: threshold projection of the aerial image.
+//!
+//! Etching binarises the continuous post-lithography intensity: resist
+//! develops where the dose exceeds a threshold `η`. For optimisation we use
+//! the standard smoothed Heaviside (tanh) projection from topology
+//! optimisation — the paper's "gradient-estimated etching modeling" — and
+//! for *evaluation* we use the exact hard threshold, so reported post-fab
+//! numbers are true binary-device numbers.
+//!
+//! The threshold may vary per pixel: spatially-varying etch non-uniformity
+//! is modelled by the EOLE random field in [`crate::eole`].
+
+use boson_num::Array2;
+use serde::{Deserialize, Serialize};
+
+/// Smoothed-projection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EtchProjection {
+    /// Projection sharpness β; larger is closer to a hard threshold.
+    pub beta: f64,
+}
+
+impl Default for EtchProjection {
+    fn default() -> Self {
+        Self { beta: 20.0 }
+    }
+}
+
+impl EtchProjection {
+    /// Creates a projection with sharpness `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta <= 0`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0, "projection sharpness must be positive");
+        Self { beta }
+    }
+
+    /// Smoothed projection of a single intensity `i` against threshold
+    /// `eta`, in `[0, 1]`:
+    /// `ρ = (tanh(βη) + tanh(β(i−η))) / (tanh(βη) + tanh(β(1−η)))`.
+    #[inline]
+    pub fn project(&self, i: f64, eta: f64) -> f64 {
+        let b = self.beta;
+        let denom = (b * eta).tanh() + (b * (1.0 - eta)).tanh();
+        ((b * eta).tanh() + (b * (i - eta)).tanh()) / denom
+    }
+
+    /// Derivative `∂ρ/∂i`.
+    #[inline]
+    pub fn d_project_d_i(&self, i: f64, eta: f64) -> f64 {
+        let b = self.beta;
+        let denom = (b * eta).tanh() + (b * (1.0 - eta)).tanh();
+        let t = (b * (i - eta)).tanh();
+        b * (1.0 - t * t) / denom
+    }
+
+    /// Derivative `∂ρ/∂η` (used by the worst-case variation corner).
+    ///
+    /// Includes the dependence through both the numerator terms; the
+    /// denominator term is retained as well for exactness.
+    #[inline]
+    pub fn d_project_d_eta(&self, i: f64, eta: f64) -> f64 {
+        let b = self.beta;
+        let te = (b * eta).tanh();
+        let t1e = (b * (1.0 - eta)).tanh();
+        let ti = (b * (i - eta)).tanh();
+        let denom = te + t1e;
+        let num = te + ti;
+        let dnum = b * (1.0 - te * te) - b * (1.0 - ti * ti);
+        let ddenom = b * (1.0 - te * te) - b * (1.0 - t1e * t1e);
+        (dnum * denom - num * ddenom) / (denom * denom)
+    }
+
+    /// Projects a whole image against a per-pixel threshold field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn project_image(&self, intensity: &Array2<f64>, eta: &Array2<f64>) -> Array2<f64> {
+        intensity.zip_map(eta, |&i, &e| self.project(i, e))
+    }
+
+    /// Chain-rule helper: given `v = ∂L/∂ρ`, returns `∂L/∂I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn vjp_intensity(
+        &self,
+        intensity: &Array2<f64>,
+        eta: &Array2<f64>,
+        v: &Array2<f64>,
+    ) -> Array2<f64> {
+        assert_eq!(intensity.shape(), v.shape(), "vjp shape mismatch");
+        let mut out = intensity.zip_map(eta, |&i, &e| self.d_project_d_i(i, e));
+        for (o, vv) in out.as_mut_slice().iter_mut().zip(v.as_slice()) {
+            *o *= vv;
+        }
+        out
+    }
+
+    /// Chain-rule helper: given `v = ∂L/∂ρ`, returns `∂L/∂η` per pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn vjp_eta(
+        &self,
+        intensity: &Array2<f64>,
+        eta: &Array2<f64>,
+        v: &Array2<f64>,
+    ) -> Array2<f64> {
+        assert_eq!(intensity.shape(), v.shape(), "vjp shape mismatch");
+        let mut out = intensity.zip_map(eta, |&i, &e| self.d_project_d_eta(i, e));
+        for (o, vv) in out.as_mut_slice().iter_mut().zip(v.as_slice()) {
+            *o *= vv;
+        }
+        out
+    }
+}
+
+/// Hard (exact) threshold used for post-fabrication *evaluation*:
+/// `ρ = 1` where `I > η`, else `0`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn hard_threshold(intensity: &Array2<f64>, eta: &Array2<f64>) -> Array2<f64> {
+    intensity.zip_map(eta, |&i, &e| if i > e { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_endpoints() {
+        let p = EtchProjection::new(30.0);
+        assert!(p.project(0.0, 0.5) < 1e-6);
+        assert!((p.project(1.0, 0.5) - 1.0).abs() < 1e-6);
+        assert!((p.project(0.5, 0.5) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn projection_is_monotone_in_intensity() {
+        let p = EtchProjection::default();
+        let mut prev = -1.0;
+        for k in 0..=40 {
+            let i = k as f64 / 40.0;
+            let v = p.project(i, 0.5);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sharper_beta_approaches_hard_threshold() {
+        let soft = EtchProjection::new(5.0);
+        let sharp = EtchProjection::new(200.0);
+        // At i = 0.6, η = 0.5 the hard answer is 1.
+        assert!(sharp.project(0.6, 0.5) > soft.project(0.6, 0.5));
+        assert!((sharp.project(0.6, 0.5) - 1.0).abs() < 1e-6);
+        assert!((sharp.project(0.4, 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_shift_models_over_under_etch() {
+        let p = EtchProjection::new(50.0);
+        // Raising η (under-etch) shrinks the developed area.
+        let i = 0.52;
+        assert!(p.project(i, 0.45) > 0.9); // low threshold: develops
+        assert!(p.project(i, 0.60) < 0.1); // high threshold: wiped
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let p = EtchProjection::new(17.0);
+        let h = 1e-7;
+        for &(i, e) in &[(0.3, 0.5), (0.5, 0.5), (0.7, 0.45), (0.9, 0.6), (0.05, 0.55)] {
+            let fd_i = (p.project(i + h, e) - p.project(i - h, e)) / (2.0 * h);
+            let an_i = p.d_project_d_i(i, e);
+            assert!((fd_i - an_i).abs() < 1e-5 * (1.0 + fd_i.abs()), "d/di at ({i},{e})");
+            let fd_e = (p.project(i, e + h) - p.project(i, e - h)) / (2.0 * h);
+            let an_e = p.d_project_d_eta(i, e);
+            assert!((fd_e - an_e).abs() < 1e-5 * (1.0 + fd_e.abs()), "d/dη at ({i},{e})");
+        }
+    }
+
+    #[test]
+    fn image_level_vjps() {
+        let p = EtchProjection::new(12.0);
+        let intensity = Array2::from_fn(4, 5, |r, c| (r as f64 * 0.2 + c as f64 * 0.1).min(1.0));
+        let eta = Array2::filled(4, 5, 0.5);
+        let v = Array2::from_fn(4, 5, |r, c| ((r + c) % 3) as f64 - 1.0);
+        let gi = p.vjp_intensity(&intensity, &eta, &v);
+        let ge = p.vjp_eta(&intensity, &eta, &v);
+        let h = 1e-6;
+        // Scalar loss L = Σ v·ρ.
+        let loss = |ii: &Array2<f64>, ee: &Array2<f64>| -> f64 {
+            p.project_image(ii, ee).zip_map(&v, |a, b| a * b).sum()
+        };
+        let mut ip = intensity.clone();
+        ip[(2, 3)] += h;
+        let fd = (loss(&ip, &eta) - loss(&intensity, &eta)) / h;
+        assert!((fd - gi[(2, 3)]).abs() < 1e-4 * (1.0 + fd.abs()));
+        let mut ep = eta.clone();
+        ep[(1, 2)] += h;
+        let fde = (loss(&intensity, &ep) - loss(&intensity, &eta)) / h;
+        assert!((fde - ge[(1, 2)]).abs() < 1e-4 * (1.0 + fde.abs()));
+    }
+
+    #[test]
+    fn hard_threshold_is_binary() {
+        let intensity = Array2::from_fn(3, 3, |r, c| (r * 3 + c) as f64 / 8.0);
+        let eta = Array2::filled(3, 3, 0.5);
+        let b = hard_threshold(&intensity, &eta);
+        for v in b.as_slice() {
+            assert!(*v == 0.0 || *v == 1.0);
+        }
+        assert_eq!(b[(0, 0)], 0.0);
+        assert_eq!(b[(2, 2)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_beta_panics() {
+        let _ = EtchProjection::new(0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # boson-fab — fabrication & operation variation models
+//!
+//! The `E_η` (etching) and `T_t` (operation) stages of the paper's
+//! compound fabrication mapping, plus the variation-corner algebra that
+//! powers the adaptive sampling strategy (§III-E):
+//!
+//! * [`etch`] — differentiable tanh projection with per-pixel thresholds,
+//!   and the *hard* threshold used for honest post-fab evaluation;
+//! * [`eole`] — EOLE discretisation of the spatially-varying etch
+//!   threshold random field (squared-exponential covariance);
+//! * [`temperature`] — thermo-optic silicon permittivity
+//!   `ε(t) = (3.48 + 1.8e-4·(t − 300))²`;
+//! * [`corners`] — [`VariationCorner`] and every sampling strategy from
+//!   Fig. 6(a): nominal-only, exhaustive 3³ sweep, single/double-sided
+//!   axial, axial+random and axial+worst-case.
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_fab::{SamplingStrategy, VariationSpace};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let space = VariationSpace::default();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let axial = space.corners(SamplingStrategy::AxialDoubleSided, &mut rng);
+//! assert_eq!(axial.len(), 7); // linear in the number of axes
+//! let sweep = space.corners(SamplingStrategy::CornerSweep, &mut rng);
+//! assert_eq!(sweep.len(), 27); // exponential
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corners;
+pub mod eole;
+pub mod etch;
+pub mod temperature;
+
+pub use corners::{SamplingStrategy, VariationCorner, VariationSpace};
+pub use eole::{EoleField, EoleParams};
+pub use etch::{hard_threshold, EtchProjection};
+pub use temperature::TemperatureModel;

@@ -1,0 +1,95 @@
+//! Temperature-dependent silicon permittivity (operation variation).
+//!
+//! The paper's `T_t` stage: during operation the device temperature drifts
+//! from its 300 K nominal, shifting the silicon index via the thermo-optic
+//! coefficient (Komma et al., the paper's reference [10]):
+//!
+//! ```text
+//! ε_Si(t) = (3.48 + 1.8·10⁻⁴·(t − 300))²
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Nominal silicon refractive index at 300 K, 1550 nm.
+pub const N_SI_300K: f64 = 3.48;
+/// Thermo-optic coefficient dn/dT (1/K) of silicon at 1550 nm.
+pub const DN_DT: f64 = 1.8e-4;
+/// Nominal operating temperature (K).
+pub const T_NOMINAL: f64 = 300.0;
+
+/// Temperature-dependent silicon permittivity model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureModel {
+    /// Temperature excursion ±ΔT (K) used by the variation corners.
+    pub delta: f64,
+}
+
+impl Default for TemperatureModel {
+    fn default() -> Self {
+        Self { delta: 50.0 }
+    }
+}
+
+impl TemperatureModel {
+    /// Silicon relative permittivity at temperature `t` (K).
+    pub fn eps_si(t: f64) -> f64 {
+        let n = N_SI_300K + DN_DT * (t - T_NOMINAL);
+        n * n
+    }
+
+    /// Derivative `dε/dt` at temperature `t`.
+    pub fn d_eps_si_dt(t: f64) -> f64 {
+        2.0 * (N_SI_300K + DN_DT * (t - T_NOMINAL)) * DN_DT
+    }
+
+    /// The three temperature corners `{300−Δ, 300, 300+Δ}`.
+    pub fn corners(&self) -> [f64; 3] {
+        [T_NOMINAL - self.delta, T_NOMINAL, T_NOMINAL + self.delta]
+    }
+
+    /// Bounds of the operating range.
+    pub fn range(&self) -> (f64, f64) {
+        (T_NOMINAL - self.delta, T_NOMINAL + self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_handbook() {
+        assert!((TemperatureModel::eps_si(300.0) - 3.48 * 3.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permittivity_increases_with_temperature() {
+        assert!(TemperatureModel::eps_si(350.0) > TemperatureModel::eps_si(300.0));
+        assert!(TemperatureModel::eps_si(250.0) < TemperatureModel::eps_si(300.0));
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-3;
+        for t in [250.0, 300.0, 350.0] {
+            let fd = (TemperatureModel::eps_si(t + h) - TemperatureModel::eps_si(t - h)) / (2.0 * h);
+            let an = TemperatureModel::d_eps_si_dt(t);
+            assert!((fd - an).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn corners_are_symmetric() {
+        let m = TemperatureModel { delta: 40.0 };
+        let c = m.corners();
+        assert_eq!(c, [260.0, 300.0, 340.0]);
+        assert_eq!(m.range(), (260.0, 340.0));
+    }
+
+    #[test]
+    fn drift_magnitude_is_small_but_nonzero() {
+        // 50 K drift shifts ε by ~0.06 — a perturbation, not a redesign.
+        let d = TemperatureModel::eps_si(350.0) - TemperatureModel::eps_si(300.0);
+        assert!(d > 0.01 && d < 0.2, "Δε = {d}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Stretched-coordinate perfectly matched layers (SC-PML).
+//!
+//! Every spatial derivative in the frequency-domain Maxwell operator is
+//! replaced by `(1/s(u)) ∂/∂u` where the complex stretch factor
+//! `s(u) = 1 + i σ(u)/ω` grows polynomially inside the absorbing layer.
+//! With the `e^{-iωt}` time convention this damps outgoing waves with no
+//! reflection at the PML interface (in the continuum limit).
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_fdfd::{grid::SimGrid, pml::SFactors};
+//!
+//! let g = SimGrid::new(40, 40, 0.05, 8);
+//! let s = SFactors::new(&g, 2.0 * std::f64::consts::PI / 1.55);
+//! // Interior factors are exactly 1.
+//! assert_eq!(s.sx_int(20), boson_num::Complex64::ONE);
+//! // Deep inside the PML the imaginary part is large.
+//! assert!(s.sx_int(0).im > 1.0);
+//! ```
+
+use crate::grid::SimGrid;
+use boson_num::{c64, Complex64};
+
+/// Polynomial grading order for the conductivity profile.
+const GRADE: f64 = 3.0;
+/// Target normal-incidence reflection coefficient.
+const R_TARGET: f64 = 1e-8;
+
+/// Precomputed complex stretch factors at integer and half-integer grid
+/// positions along both axes.
+#[derive(Debug, Clone)]
+pub struct SFactors {
+    sx_int: Vec<Complex64>,
+    sx_half: Vec<Complex64>, // sx at i+1/2, length nx (last unused)
+    sy_int: Vec<Complex64>,
+    sy_half: Vec<Complex64>,
+}
+
+impl SFactors {
+    /// Builds stretch factors for `grid` at angular frequency `omega`
+    /// (with c = 1, `omega == k0 = 2π/λ`).
+    pub fn new(grid: &SimGrid, omega: f64) -> Self {
+        let d = grid.npml as f64 * grid.dx;
+        // σ_max from the standard reflection-target formula, impedance 1.
+        let sigma_max = -(GRADE + 1.0) * R_TARGET.ln() / (2.0 * d);
+        let profile = |dist_into_pml: f64| -> f64 {
+            if dist_into_pml <= 0.0 {
+                0.0
+            } else {
+                sigma_max * (dist_into_pml / d).powf(GRADE)
+            }
+        };
+        let build = |n: usize, offset: f64| -> Vec<Complex64> {
+            (0..n)
+                .map(|i| {
+                    let u = (i as f64 + offset) * grid.dx;
+                    let lo = grid.npml as f64 * grid.dx - u;
+                    let hi = u - (n as f64 - grid.npml as f64) * grid.dx;
+                    let sigma = profile(lo.max(hi));
+                    c64(1.0, sigma / omega)
+                })
+                .collect()
+        };
+        Self {
+            sx_int: build(grid.nx, 0.5),
+            sx_half: build(grid.nx, 1.0),
+            sy_int: build(grid.ny, 0.5),
+            sy_half: build(grid.ny, 1.0),
+        }
+    }
+
+    /// `s_x` at integer position `ix` (cell centre).
+    #[inline(always)]
+    pub fn sx_int(&self, ix: usize) -> Complex64 {
+        self.sx_int[ix]
+    }
+
+    /// `s_x` at half position `ix + 1/2`.
+    #[inline(always)]
+    pub fn sx_half(&self, ix: usize) -> Complex64 {
+        self.sx_half[ix]
+    }
+
+    /// `s_y` at integer position `iy`.
+    #[inline(always)]
+    pub fn sy_int(&self, iy: usize) -> Complex64 {
+        self.sy_int[iy]
+    }
+
+    /// `s_y` at half position `iy + 1/2`.
+    #[inline(always)]
+    pub fn sy_half(&self, iy: usize) -> Complex64 {
+        self.sy_half[iy]
+    }
+
+    /// `s_x(ix)·s_y(iy)` — the row scaling of the symmetrised operator.
+    #[inline(always)]
+    pub fn sxy(&self, ix: usize, iy: usize) -> Complex64 {
+        self.sx_int[ix] * self.sy_int[iy]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> SimGrid {
+        SimGrid::new(50, 40, 0.05, 10)
+    }
+
+    #[test]
+    fn interior_is_identity() {
+        let g = grid();
+        let s = SFactors::new(&g, 4.0);
+        for ix in g.interior_x() {
+            assert_eq!(s.sx_int(ix), Complex64::ONE, "ix={ix}");
+        }
+        for iy in 12..28 {
+            assert_eq!(s.sy_int(iy), Complex64::ONE, "iy={iy}");
+        }
+    }
+
+    #[test]
+    fn profile_monotone_into_pml() {
+        let g = grid();
+        let s = SFactors::new(&g, 4.0);
+        for ix in 1..g.npml {
+            assert!(
+                s.sx_int(ix - 1).im > s.sx_int(ix).im,
+                "imag part should grow towards the boundary"
+            );
+        }
+        for ix in g.nx - g.npml..g.nx - 1 {
+            assert!(s.sx_int(ix + 1).im > s.sx_int(ix).im);
+        }
+    }
+
+    #[test]
+    fn real_part_is_unity_everywhere() {
+        let g = grid();
+        let s = SFactors::new(&g, 4.0);
+        for ix in 0..g.nx {
+            assert_eq!(s.sx_int(ix).re, 1.0);
+            assert_eq!(s.sx_half(ix).re, 1.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_profile() {
+        let g = SimGrid::new(40, 40, 0.05, 8);
+        let s = SFactors::new(&g, 4.0);
+        for ix in 0..g.nx {
+            let mirror = g.nx - 1 - ix;
+            assert!(
+                (s.sx_int(ix).im - s.sx_int(mirror).im).abs() < 1e-12,
+                "ix={ix} vs {mirror}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_with_frequency() {
+        let g = grid();
+        let s1 = SFactors::new(&g, 2.0);
+        let s2 = SFactors::new(&g, 4.0);
+        // σ/ω halves when ω doubles.
+        assert!((s1.sx_int(0).im - 2.0 * s2.sx_int(0).im).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! Waveguide ports: where light enters and leaves a device.
+//!
+//! A [`Port`] is a transverse line segment on the grid (a constant-x or
+//! constant-y plane restricted to a window of cells) together with the
+//! waveguide cross-section it cuts. Ports know how to solve for their own
+//! guided modes from the simulation permittivity.
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_fdfd::{grid::{Axis, SimGrid}, port::Port};
+//! use boson_num::Array2;
+//!
+//! let grid = SimGrid::new(60, 60, 0.05, 10);
+//! let mut eps = Array2::filled(60, 60, 1.0);
+//! for iy in 26..34 {
+//!     for ix in 0..60 {
+//!         eps[(iy, ix)] = 12.11; // 0.4 µm waveguide along x
+//!     }
+//! }
+//! let port = Port::new("in", Axis::X, 14, 12, 48);
+//! let modes = port.solve_modes(&grid, &eps, 2.0 * std::f64::consts::PI / 1.55, 2);
+//! assert!(!modes.is_empty());
+//! assert!(modes[0].neff > 1.0); // guided fundamental
+//! ```
+
+use crate::grid::{Axis, SimGrid};
+use crate::modes::{solve_modes, SlabMode};
+use boson_num::Array2;
+use serde::{Deserialize, Serialize};
+
+/// A modal port on a constant-coordinate plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    /// Human-readable name used in reports ("in", "out", "xtalk-top", …).
+    pub name: String,
+    /// Orientation of propagation through this port.
+    pub axis: Axis,
+    /// Plane index: `ix` for [`Axis::X`], `iy` for [`Axis::Y`].
+    pub plane: usize,
+    /// Transverse window start (inclusive), in cells.
+    pub t_lo: usize,
+    /// Transverse window end (exclusive).
+    pub t_hi: usize,
+}
+
+impl Port {
+    /// Creates a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn new(name: &str, axis: Axis, plane: usize, t_lo: usize, t_hi: usize) -> Self {
+        assert!(t_hi > t_lo, "port window must be non-empty");
+        Self {
+            name: name.to_owned(),
+            axis,
+            plane,
+            t_lo,
+            t_hi,
+        }
+    }
+
+    /// Number of transverse cells.
+    pub fn width(&self) -> usize {
+        self.t_hi - self.t_lo
+    }
+
+    /// Extracts the permittivity profile along the port's transverse
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not fit in `grid` / `eps`.
+    pub fn eps_profile(&self, grid: &SimGrid, eps: &Array2<f64>) -> Vec<f64> {
+        assert_eq!(eps.shape(), (grid.ny, grid.nx), "eps shape mismatch");
+        match self.axis {
+            Axis::X => {
+                assert!(self.plane < grid.nx && self.t_hi <= grid.ny, "port out of bounds");
+                (self.t_lo..self.t_hi).map(|iy| eps[(iy, self.plane)]).collect()
+            }
+            Axis::Y => {
+                assert!(self.plane < grid.ny && self.t_hi <= grid.nx, "port out of bounds");
+                (self.t_lo..self.t_hi).map(|ix| eps[(self.plane, ix)]).collect()
+            }
+        }
+    }
+
+    /// Solves for up to `count` guided modes of this port's cross-section.
+    pub fn solve_modes(
+        &self,
+        grid: &SimGrid,
+        eps: &Array2<f64>,
+        omega: f64,
+        count: usize,
+    ) -> Vec<SlabMode> {
+        let profile = self.eps_profile(grid, eps);
+        solve_modes(&profile, grid.dx, omega, count)
+    }
+
+    /// Flat grid index of the `t`-th transverse cell at plane offset
+    /// `shift` (signed cells along the propagation axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shifted plane leaves the grid.
+    pub fn cell_at(&self, grid: &SimGrid, t: usize, shift: isize) -> usize {
+        let plane = self.plane as isize + shift;
+        assert!(plane >= 0, "port plane shift out of bounds");
+        let plane = plane as usize;
+        match self.axis {
+            Axis::X => {
+                assert!(plane < grid.nx, "port plane shift out of bounds");
+                grid.idx(plane, t)
+            }
+            Axis::Y => {
+                assert!(plane < grid.ny, "port plane shift out of bounds");
+                grid.idx(t, plane)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wg_eps(grid: &SimGrid) -> Array2<f64> {
+        let mut eps = Array2::filled(grid.ny, grid.nx, 1.0);
+        for iy in 26..34 {
+            for ix in 0..grid.nx {
+                eps[(iy, ix)] = 12.11;
+            }
+        }
+        eps
+    }
+
+    #[test]
+    fn profile_extraction_x_axis() {
+        let grid = SimGrid::new(60, 60, 0.05, 10);
+        let eps = wg_eps(&grid);
+        let port = Port::new("in", Axis::X, 14, 20, 40);
+        let prof = port.eps_profile(&grid, &eps);
+        assert_eq!(prof.len(), 20);
+        assert_eq!(prof[0], 1.0);
+        assert_eq!(prof[8], 12.11); // iy = 28 inside core
+    }
+
+    #[test]
+    fn profile_extraction_y_axis() {
+        let grid = SimGrid::new(60, 60, 0.05, 10);
+        let mut eps = Array2::filled(60, 60, 1.0);
+        for ix in 28..36 {
+            for iy in 0..60 {
+                eps[(iy, ix)] = 12.11;
+            }
+        }
+        let port = Port::new("top", Axis::Y, 45, 20, 44);
+        let prof = port.eps_profile(&grid, &eps);
+        assert_eq!(prof.len(), 24);
+        assert_eq!(prof[10], 12.11); // ix = 30 inside core
+        assert_eq!(prof[0], 1.0);
+    }
+
+    #[test]
+    fn cell_at_maps_correctly() {
+        let grid = SimGrid::new(40, 30, 0.05, 8);
+        let px = Port::new("px", Axis::X, 12, 5, 25);
+        assert_eq!(px.cell_at(&grid, 7, 0), grid.idx(12, 7));
+        assert_eq!(px.cell_at(&grid, 7, 1), grid.idx(13, 7));
+        assert_eq!(px.cell_at(&grid, 7, -1), grid.idx(11, 7));
+        let py = Port::new("py", Axis::Y, 9, 5, 25);
+        assert_eq!(py.cell_at(&grid, 7, 0), grid.idx(7, 9));
+        assert_eq!(py.cell_at(&grid, 7, 2), grid.idx(7, 11));
+    }
+
+    #[test]
+    fn modes_from_port() {
+        let grid = SimGrid::new(60, 60, 0.05, 10);
+        let eps = wg_eps(&grid);
+        let port = Port::new("in", Axis::X, 14, 12, 48);
+        let modes = port.solve_modes(&grid, &eps, 2.0 * std::f64::consts::PI / 1.55, 3);
+        assert!(!modes.is_empty());
+        assert!(modes[0].neff > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_panics() {
+        let _ = Port::new("bad", Axis::X, 5, 10, 10);
+    }
+}

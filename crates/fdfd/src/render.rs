@@ -1,0 +1,132 @@
+//! Lightweight rendering of fields and material patterns.
+//!
+//! Inverse-design debugging lives and dies by looking at patterns and
+//! fields. This module renders [`Array2`] data as ASCII art (for
+//! terminals/logs) and as binary PGM images (for any image viewer),
+//! without pulling an image dependency.
+
+use boson_num::{Array2, Complex64};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Grey-scale ramp used by [`ascii_art`] (dark → bright).
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a non-negative scalar field as ASCII art, normalised to its
+/// maximum.
+///
+/// # Examples
+///
+/// ```
+/// use boson_num::Array2;
+/// let a = Array2::from_fn(2, 4, |r, c| (r * 4 + c) as f64);
+/// let art = boson_fdfd::render::ascii_art(&a);
+/// assert_eq!(art.lines().count(), 2);
+/// ```
+pub fn ascii_art(field: &Array2<f64>) -> String {
+    let max = field.max().max(f64::MIN_POSITIVE);
+    let (rows, cols) = field.shape();
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (field[(r, c)].max(0.0) / max).min(1.0);
+            let idx = ((RAMP.len() - 1) as f64 * v).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a binary/density pattern with `#` for solid (> 0.5) and `.`
+/// for void.
+pub fn pattern_art(rho: &Array2<f64>) -> String {
+    let (rows, cols) = rho.shape();
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push(if rho[(r, c)] > 0.5 { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Field magnitude |Ez| of a complex field as a real array (helper for
+/// rendering solved fields).
+pub fn magnitude(field: &Array2<Complex64>) -> Array2<f64> {
+    field.map(|v| v.abs())
+}
+
+/// Writes a scalar field as an 8-bit binary PGM image (max-normalised).
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation/writes.
+pub fn write_pgm<P: AsRef<Path>>(path: P, field: &Array2<f64>) -> io::Result<()> {
+    let (rows, cols) = field.shape();
+    let max = field.max().max(f64::MIN_POSITIVE);
+    let min = field.min().min(0.0);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let mut file = std::fs::File::create(path)?;
+    write!(file, "P5\n{cols} {rows}\n255\n")?;
+    let mut bytes = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = ((field[(r, c)] - min) / span * 255.0).round().clamp(0.0, 255.0);
+            bytes.push(v as u8);
+        }
+    }
+    file.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boson_num::c64;
+
+    #[test]
+    fn ascii_art_shape_and_ramp() {
+        let a = Array2::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        let art = ascii_art(&a);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 5));
+        // Brightest cell uses the last ramp char.
+        assert!(lines[2].ends_with('@'));
+        // Darkest cell uses the first ramp char.
+        assert!(lines[0].starts_with(' '));
+    }
+
+    #[test]
+    fn ascii_art_handles_all_zero() {
+        let a = Array2::zeros(2, 2);
+        let art = ascii_art(&a);
+        assert_eq!(art, "  \n  \n");
+    }
+
+    #[test]
+    fn pattern_art_binary() {
+        let a = Array2::from_vec(1, 3, vec![0.2, 0.6, 1.0]);
+        assert_eq!(pattern_art(&a), ".##\n");
+    }
+
+    #[test]
+    fn magnitude_of_complex_field() {
+        let a = Array2::filled(2, 2, c64(3.0, 4.0));
+        let m = magnitude(&a);
+        assert!((m[(1, 1)] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pgm_round_trip_header() {
+        let a = Array2::from_fn(4, 6, |r, c| (r + c) as f64);
+        let dir = std::env::temp_dir().join("boson_render_test.pgm");
+        write_pgm(&dir, &a).unwrap();
+        let data = std::fs::read(&dir).unwrap();
+        let header = String::from_utf8_lossy(&data[..11]);
+        assert!(header.starts_with("P5\n6 4\n255"), "{header}");
+        assert_eq!(data.len(), 11 + 24);
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,357 @@
+//! The forward/adjoint FDFD simulation driver.
+//!
+//! [`Simulation`] owns a grid, a permittivity map and a factored operator.
+//! The expensive step is [`Simulation::new`] (banded LU factorisation);
+//! each subsequent source solve or adjoint solve is a cheap triangular
+//! substitution against the same factors — the core economy of the adjoint
+//! method: *gradient = two solves, one factorisation*.
+//!
+//! The adjoint identity implemented by [`Simulation::grad_eps`]: with the
+//! symmetrised operator `Ã(ε)·E = b̃`, a real objective `F(E)` with
+//! Wirtinger gradient `g = ∂F/∂E` (convention `dF = 2Re(gᵀdE)`), and
+//! `λ = Ã⁻¹g` (symmetric ⇒ transpose solve = plain solve),
+//!
+//! ```text
+//! dF/dε_k = -2·Re(λ_k · ω² · sx_k·sy_k · E_k)
+//! ```
+
+use crate::grid::SimGrid;
+use crate::operator::{assemble_banded, scale_source};
+use crate::pml::SFactors;
+use boson_num::banded::{BandedLu, SingularMatrixError};
+use boson_num::{Array2, Complex64};
+
+/// A solved `Ez` field on the simulation grid.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Flat field values (x-fastest ordering; see [`SimGrid::idx`]).
+    pub ez: Vec<Complex64>,
+    /// Grid the field lives on.
+    pub grid: SimGrid,
+}
+
+impl Field {
+    /// Views the field as a `(ny, nx)` array.
+    pub fn to_array(&self) -> Array2<Complex64> {
+        Array2::from_fn(self.grid.ny, self.grid.nx, |iy, ix| self.ez[self.grid.idx(ix, iy)])
+    }
+
+    /// Field magnitude squared as a `(ny, nx)` array (for visualisation).
+    pub fn intensity(&self) -> Array2<f64> {
+        Array2::from_fn(self.grid.ny, self.grid.nx, |iy, ix| {
+            self.ez[self.grid.idx(ix, iy)].norm_sqr()
+        })
+    }
+}
+
+/// A factored FDFD problem: grid + permittivity + LU factors.
+pub struct Simulation {
+    grid: SimGrid,
+    omega: f64,
+    eps: Array2<f64>,
+    sfactors: SFactors,
+    lu: BandedLu,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Simulation({}x{}, ω={:.4}, npml={})",
+            self.grid.nx, self.grid.ny, self.omega, self.grid.npml
+        )
+    }
+}
+
+impl Simulation {
+    /// Assembles and factors the operator for `eps` at angular frequency
+    /// `omega` (= 2π/λ with c = 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the operator is singular (which
+    /// indicates an unphysical configuration, e.g. ω = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` does not have shape `(ny, nx)`.
+    pub fn new(grid: SimGrid, omega: f64, eps: Array2<f64>) -> Result<Self, SingularMatrixError> {
+        assert_eq!(eps.shape(), (grid.ny, grid.nx), "eps shape must be (ny, nx)");
+        let sfactors = SFactors::new(&grid, omega);
+        let a = assemble_banded(&grid, &sfactors, &eps, omega);
+        let lu = a.factor()?;
+        Ok(Self {
+            grid,
+            omega,
+            eps,
+            sfactors,
+            lu,
+        })
+    }
+
+    /// The simulation grid.
+    pub fn grid(&self) -> &SimGrid {
+        &self.grid
+    }
+
+    /// Angular frequency.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// The permittivity map used to assemble the operator.
+    pub fn eps(&self) -> &Array2<f64> {
+        &self.eps
+    }
+
+    /// PML stretch factors.
+    pub fn sfactors(&self) -> &SFactors {
+        &self.sfactors
+    }
+
+    /// Solves the forward problem for a raw current distribution `jz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jz.len()` does not match the grid.
+    pub fn solve_current(&self, jz: &[Complex64]) -> Field {
+        let mut b = scale_source(&self.grid, &self.sfactors, self.omega, jz);
+        self.lu.solve(&mut b);
+        Field {
+            ez: b,
+            grid: self.grid,
+        }
+    }
+
+    /// Solves the adjoint problem `Ã λ = g` for a Wirtinger objective
+    /// gradient `g = ∂F/∂E`.
+    ///
+    /// The operator is complex-symmetric so this is a plain solve; the
+    /// transpose path exists for independent verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len()` does not match the grid.
+    pub fn solve_adjoint(&self, g: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(g.len(), self.grid.n(), "adjoint source length mismatch");
+        let mut lam = g.to_vec();
+        self.lu.solve(&mut lam);
+        lam
+    }
+
+    /// Adjoint solve through `Ãᵀ` — must agree with
+    /// [`Simulation::solve_adjoint`] up to round-off because the operator
+    /// is symmetric. Used in tests as an internal consistency check.
+    pub fn solve_adjoint_transpose(&self, g: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(g.len(), self.grid.n(), "adjoint source length mismatch");
+        let mut lam = g.to_vec();
+        self.lu.solve_transpose(&mut lam);
+        lam
+    }
+
+    /// Computes `dF/dε` for every grid cell from a forward field and the
+    /// adjoint field `λ = Ã⁻¹(∂F/∂E)`.
+    ///
+    /// Returns a `(ny, nx)` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field/adjoint lengths do not match the grid.
+    pub fn grad_eps(&self, field: &Field, lambda: &[Complex64]) -> Array2<f64> {
+        assert_eq!(field.ez.len(), self.grid.n(), "field length mismatch");
+        assert_eq!(lambda.len(), self.grid.n(), "adjoint length mismatch");
+        let k2 = self.omega * self.omega;
+        Array2::from_fn(self.grid.ny, self.grid.nx, |iy, ix| {
+            let k = self.grid.idx(ix, iy);
+            let s = self.sfactors.sxy(ix, iy);
+            -2.0 * (lambda[k] * s * field.ez[k]).re * k2
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Axis, Sign};
+    use crate::monitor::{FluxMonitor, ModalMonitor};
+    use crate::port::Port;
+    use crate::source::ModalSource;
+    use boson_num::c64;
+
+    const LAMBDA: f64 = 1.55;
+
+    fn omega() -> f64 {
+        2.0 * std::f64::consts::PI / LAMBDA
+    }
+
+    /// Straight horizontal waveguide spanning the domain.
+    fn straight_wg(grid: &SimGrid, half_width_cells: usize) -> Array2<f64> {
+        let cy = grid.ny / 2;
+        Array2::from_fn(grid.ny, grid.nx, |iy, _ix| {
+            if iy >= cy - half_width_cells && iy < cy + half_width_cells {
+                12.11
+            } else {
+                1.0
+            }
+        })
+    }
+
+    fn test_grid() -> SimGrid {
+        // 3.0 × 2.5 µm at 50 nm, 10-cell PML.
+        SimGrid::new(60, 50, 0.05, 10)
+    }
+
+    #[test]
+    fn straight_waveguide_unity_transmission() {
+        let grid = test_grid();
+        let eps = straight_wg(&grid, 4); // 0.4 µm core
+        let sim = Simulation::new(grid, omega(), eps.clone()).unwrap();
+
+        let port_in = Port::new("in", Axis::X, 14, 10, 40);
+        let port_out = Port::new("out", Axis::X, 45, 10, 40);
+        let modes_in = port_in.solve_modes(&grid, &eps, omega(), 1);
+        let modes_out = port_out.solve_modes(&grid, &eps, omega(), 1);
+        assert_eq!(modes_in.len(), 1);
+
+        let src = ModalSource::new(port_in.clone(), modes_in[0].clone(), Sign::Plus);
+        let field = sim.solve_current(&src.current(&grid));
+
+        let mon_in = ModalMonitor::new(&grid, &Port::new("ref", Axis::X, 18, 10, 40), &modes_in[0], Sign::Plus);
+        let mon_out = ModalMonitor::new(&grid, &port_out, &modes_out[0], Sign::Plus);
+        let p_in = mon_in.power(&field.ez);
+        let p_out = mon_out.power(&field.ez);
+        assert!(p_in > 1e-6, "input power should be nonzero: {p_in}");
+        let t = p_out / p_in;
+        assert!(
+            (t - 1.0).abs() < 0.02,
+            "straight waveguide transmission = {t} (p_in={p_in}, p_out={p_out})"
+        );
+    }
+
+    #[test]
+    fn source_is_unidirectional() {
+        let grid = test_grid();
+        let eps = straight_wg(&grid, 4);
+        let sim = Simulation::new(grid, omega(), eps.clone()).unwrap();
+        let port_in = Port::new("in", Axis::X, 25, 10, 40);
+        let modes = port_in.solve_modes(&grid, &eps, omega(), 1);
+        let src = ModalSource::new(port_in, modes[0].clone(), Sign::Plus);
+        let field = sim.solve_current(&src.current(&grid));
+        // Backward power measured behind the source must be tiny.
+        let mon_fwd = ModalMonitor::new(&grid, &Port::new("f", Axis::X, 40, 10, 40), &modes[0], Sign::Plus);
+        let mon_bwd = ModalMonitor::new(&grid, &Port::new("b", Axis::X, 15, 10, 40), &modes[0], Sign::Minus);
+        let pf = mon_fwd.power(&field.ez);
+        let pb = mon_bwd.power(&field.ez);
+        assert!(pf > 1e-6);
+        assert!(pb / pf < 5e-3, "backward/forward = {}", pb / pf);
+    }
+
+    #[test]
+    fn energy_conservation_flux_in_equals_flux_out() {
+        let grid = test_grid();
+        let eps = straight_wg(&grid, 4);
+        let sim = Simulation::new(grid, omega(), eps.clone()).unwrap();
+        let port_in = Port::new("in", Axis::X, 14, 10, 40);
+        let modes = port_in.solve_modes(&grid, &eps, omega(), 1);
+        let src = ModalSource::new(port_in, modes[0].clone(), Sign::Plus);
+        let field = sim.solve_current(&src.current(&grid));
+        let f1 = FluxMonitor::new("a", &grid, Axis::X, 20, 10, 40, Sign::Plus, omega());
+        let f2 = FluxMonitor::new("b", &grid, Axis::X, 44, 10, 40, Sign::Plus, omega());
+        let p1 = f1.power(&field.ez);
+        let p2 = f2.power(&field.ez);
+        assert!(p1 > 0.0);
+        assert!((p1 - p2).abs() / p1 < 0.02, "flux not conserved: {p1} vs {p2}");
+    }
+
+    #[test]
+    fn pml_absorbs_radiation() {
+        // A line source in vacuum: total outgoing flux through a box must
+        // be (nearly) independent of the box size — no reflections.
+        let grid = SimGrid::new(60, 60, 0.05, 12);
+        let eps = Array2::filled(60, 60, 1.0);
+        let sim = Simulation::new(grid, omega(), eps).unwrap();
+        let mut jz = vec![Complex64::ZERO; grid.n()];
+        jz[grid.idx(30, 30)] = Complex64::ONE;
+        let field = sim.solve_current(&jz);
+        let box_flux = |half: usize| -> f64 {
+            let (c, lo, hi) = (30usize, 30 - half, 30 + half);
+            let _ = c;
+            let right = FluxMonitor::new("r", &grid, Axis::X, hi, lo, hi, Sign::Plus, omega());
+            let left = FluxMonitor::new("l", &grid, Axis::X, lo, lo, hi, Sign::Minus, omega());
+            let top = FluxMonitor::new("t", &grid, Axis::Y, hi, lo, hi, Sign::Plus, omega());
+            let bot = FluxMonitor::new("b", &grid, Axis::Y, lo, lo, hi, Sign::Minus, omega());
+            right.power(&field.ez) + left.power(&field.ez) + top.power(&field.ez)
+                + bot.power(&field.ez)
+        };
+        let p_small = box_flux(8);
+        let p_large = box_flux(14);
+        assert!(p_small > 0.0);
+        assert!(
+            (p_small - p_large).abs() / p_small < 0.05,
+            "PML reflection detected: {p_small} vs {p_large}"
+        );
+    }
+
+    #[test]
+    fn adjoint_transpose_consistency() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let eps = straight_wg(&grid, 3);
+        let sim = Simulation::new(grid, omega(), eps).unwrap();
+        let g: Vec<Complex64> = (0..grid.n())
+            .map(|k| c64((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+            .collect();
+        let a = sim.solve_adjoint(&g);
+        let b = sim.solve_adjoint_transpose(&g);
+        let num: f64 = a.iter().zip(&b).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt();
+        let den: f64 = a.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt();
+        assert!(num / den < 1e-9, "operator not symmetric: rel err {}", num / den);
+    }
+
+    #[test]
+    fn adjoint_gradient_matches_finite_difference() {
+        // The definitive check: dF/dε from the adjoint method vs central
+        // finite differences of the full solve, for a modal-power objective.
+        let grid = SimGrid::new(36, 30, 0.05, 8);
+        let mut eps = straight_wg(&grid, 3);
+        // Slight perturbation so the problem is not perfectly uniform.
+        eps[(15, 18)] = 6.0;
+        let om = omega();
+        let port_in = Port::new("in", Axis::X, 10, 8, 22);
+        let port_out = Port::new("out", Axis::X, 26, 8, 22);
+        let modes = port_in.solve_modes(&grid, &eps, om, 1);
+        let src = ModalSource::new(port_in, modes[0].clone(), Sign::Plus);
+        let jz = src.current(&grid);
+
+        let objective = |eps_map: &Array2<f64>| -> f64 {
+            let sim = Simulation::new(grid, om, eps_map.clone()).unwrap();
+            let f = sim.solve_current(&jz);
+            let mon = ModalMonitor::new(&grid, &port_out, &modes[0], Sign::Plus);
+            mon.power(&f.ez)
+        };
+
+        // Adjoint gradient.
+        let sim = Simulation::new(grid, om, eps.clone()).unwrap();
+        let field = sim.solve_current(&jz);
+        let mon = ModalMonitor::new(&grid, &port_out, &modes[0], Sign::Plus);
+        let mut g = vec![Complex64::ZERO; grid.n()];
+        mon.accumulate_power_grad(&field.ez, 1.0, &mut g);
+        let lam = sim.solve_adjoint(&g);
+        let grad = sim.grad_eps(&field, &lam);
+
+        // Compare at several cells (inside the "design region").
+        let h = 1e-5;
+        for &(ix, iy) in &[(18usize, 15usize), (17, 14), (19, 16), (16, 15)] {
+            let mut ep = eps.clone();
+            ep[(iy, ix)] += h;
+            let fp = objective(&ep);
+            ep[(iy, ix)] -= 2.0 * h;
+            let fm = objective(&ep);
+            let fd = (fp - fm) / (2.0 * h);
+            let ad = grad[(iy, ix)];
+            assert!(
+                (fd - ad).abs() < 1e-6 + 2e-3 * fd.abs().max(ad.abs()),
+                "adjoint {ad} vs FD {fd} at ({ix},{iy})"
+            );
+        }
+    }
+}

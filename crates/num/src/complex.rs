@@ -1,0 +1,441 @@
+//! A minimal, fast double-precision complex scalar.
+//!
+//! The BOSON-1 stack needs complex arithmetic in exactly one flavour
+//! (`f64` real/imaginary parts), so instead of pulling an external crate we
+//! provide [`Complex64`] here with the full set of operations the solvers
+//! use: field arithmetic, conjugation, magnitude, exponential and square
+//! root.
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_num::Complex64;
+//!
+//! let a = Complex64::new(1.0, 2.0);
+//! let b = Complex64::new(3.0, -1.0);
+//! let c = a * b + Complex64::I;
+//! assert_eq!(c, Complex64::new(5.0, 6.0));
+//! assert!((a * a.conj()).re - a.norm_sqr() < 1e-15);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// Implements all field operations, mixed operations with `f64`, and the
+/// transcendental functions needed by the FDFD and lithography kernels.
+#[derive(Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Convenience constructor mirroring the `num_complex` idiom.
+///
+/// ```
+/// use boson_num::{c64, Complex64};
+/// assert_eq!(c64(1.0, -2.0), Complex64::new(1.0, -2.0));
+/// ```
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Complex conjugate `re - i·im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for robustness against
+    /// overflow/underflow in the squares.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians in `(-π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `self` is zero, matching IEEE
+    /// division semantics.
+    #[inline(always)]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z = e^re (cos im + i sin im)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        c64(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// `e^{iθ}` for real θ — the unit phasor used throughout the FFT and
+    /// source phasing code.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let m = self.abs();
+        let re = ((m + self.re) * 0.5).max(0.0).sqrt();
+        let im = ((m - self.re) * 0.5).max(0.0).sqrt();
+        c64(re, if self.im >= 0.0 { im } else { -im })
+    }
+
+    /// Raises to a small integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Self::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Self::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        c64(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: f64) -> Self {
+        c64(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: f64) -> Self {
+        c64(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        c64(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Self {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        rhs + self
+    }
+}
+
+impl Sub<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        c64(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs * self
+    }
+}
+
+impl Div<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        Complex64::from_real(self) / rhs
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = c64(1.5, -2.25);
+        let b = c64(-0.5, 4.0);
+        let c = c64(3.0, 0.125);
+        assert!(close(a + b, b + a, 0.0));
+        assert!(close(a * b, b * a, 0.0));
+        assert!(close(a * (b + c), a * b + a * c, 1e-12));
+        assert!(close(a + Complex64::ZERO, a, 0.0));
+        assert!(close(a * Complex64::ONE, a, 0.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c64(2.0, -3.0);
+        let b = c64(0.5, 1.5);
+        assert!(close((a * b) / b, a, 1e-12));
+        assert!(close(a * a.inv(), Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let a = c64(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.conj(), c64(3.0, -4.0));
+        assert!(close(a * a.conj(), c64(25.0, 0.0), 0.0));
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex64::I * std::f64::consts::PI;
+        assert!(close(z.exp(), c64(-1.0, 0.0), 1e-12));
+        let w = c64(1.0, 0.5);
+        let e = w.exp();
+        assert!((e.abs() - 1.0f64.exp()).abs() < 1e-12);
+        assert!((e.arg() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        for k in 0..16 {
+            let th = k as f64 * 0.4321;
+            let p = Complex64::cis(th);
+            assert!((p.abs() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(2.0, 3.0), c64(-1.0, 0.5), c64(0.0, -4.0), c64(-2.0, -0.1)] {
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-12), "sqrt({z:?})² = {:?}", s * s);
+            assert!(s.re >= 0.0, "principal branch");
+        }
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64(0.9, 0.4);
+        let mut acc = Complex64::ONE;
+        for n in 0..8 {
+            assert!(close(z.powi(n), acc, 1e-12));
+            acc *= z;
+        }
+        assert!(close(z.powi(-3), (z * z * z).inv(), 1e-12));
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = c64(1.0, -1.0);
+        assert_eq!(z * 2.0, c64(2.0, -2.0));
+        assert_eq!(2.0 * z, c64(2.0, -2.0));
+        assert_eq!(z + 1.0, c64(2.0, -1.0));
+        assert_eq!(1.0 - z, c64(0.0, 1.0));
+        assert!(close(1.0 / z, z.inv(), 1e-14));
+    }
+
+    #[test]
+    fn sum_iterators() {
+        let v = vec![c64(1.0, 1.0); 10];
+        let s: Complex64 = v.iter().sum();
+        assert_eq!(s, c64(10.0, 10.0));
+        let s2: Complex64 = v.into_iter().sum();
+        assert_eq!(s2, c64(10.0, 10.0));
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let s = format!("{:?}", c64(1.0, -2.0));
+        assert!(s.contains('i'));
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Small dense complex matrices with LU decomposition.
+//!
+//! The banded solver carries the production load; this dense
+//! implementation exists as an *independent reference* for
+//! cross-validation (tests solve the same systems both ways) and for the
+//! occasional small dense subproblem.
+
+use crate::{Array2, Complex64};
+use std::fmt;
+
+/// Error returned when dense LU meets an exactly-singular column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseSingularError {
+    /// Pivot column at which elimination failed.
+    pub column: usize,
+}
+
+impl fmt::Display for DenseSingularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dense matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for DenseSingularError {}
+
+/// LU factors of a dense complex matrix (partial pivoting).
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    /// Combined L (unit lower, below diagonal) and U factors.
+    lu: Array2<Complex64>,
+    piv: Vec<usize>,
+}
+
+/// Factors a square dense complex matrix with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`DenseSingularError`] on an exactly-zero pivot.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn dense_lu(a: &Array2<Complex64>) -> Result<DenseLu, DenseSingularError> {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "dense_lu requires a square matrix");
+    let mut lu = a.clone();
+    let mut piv: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        // Pivot search.
+        let mut best = k;
+        let mut best_mag = lu[(k, k)].abs();
+        for i in k + 1..n {
+            let mag = lu[(i, k)].abs();
+            if mag > best_mag {
+                best = i;
+                best_mag = mag;
+            }
+        }
+        if best_mag == 0.0 {
+            return Err(DenseSingularError { column: k });
+        }
+        if best != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(best, j)];
+                lu[(best, j)] = tmp;
+            }
+            piv.swap(k, best);
+        }
+        let pivot = lu[(k, k)];
+        for i in k + 1..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            for j in k + 1..n {
+                let u = lu[(k, j)];
+                lu[(i, j)] -= m * u;
+            }
+        }
+    }
+    Ok(DenseLu { n, lu, piv })
+}
+
+impl DenseLu {
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        // Apply permutation.
+        let mut x: Vec<Complex64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution (unit lower).
+        for i in 1..self.n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..self.n).rev() {
+            let mut s = x[i];
+            for j in i + 1..self.n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// The determinant (product of U's diagonal with pivot sign).
+    pub fn det(&self) -> Complex64 {
+        let mut d = Complex64::ONE;
+        for i in 0..self.n {
+            d *= self.lu[(i, i)];
+        }
+        // Sign from the permutation parity.
+        let mut seen = vec![false; self.n];
+        let mut swaps = 0;
+        for i in 0..self.n {
+            if seen[i] {
+                continue;
+            }
+            let mut j = i;
+            let mut len = 0;
+            while !seen[j] {
+                seen[j] = true;
+                j = self.piv[j];
+                len += 1;
+            }
+            swaps += len - 1;
+        }
+        if swaps % 2 == 1 {
+            -d
+        } else {
+            d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    fn matvec(a: &Array2<Complex64>, x: &[Complex64]) -> Vec<Complex64> {
+        let (n, _) = a.shape();
+        (0..n)
+            .map(|i| (0..n).map(|j| a[(i, j)] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn solves_small_known_system() {
+        // [[2, 1], [1, 3]] x = [5, 10] → x = [1, 3].
+        let a = Array2::from_vec(
+            2,
+            2,
+            vec![c64(2.0, 0.0), c64(1.0, 0.0), c64(1.0, 0.0), c64(3.0, 0.0)],
+        );
+        let lu = dense_lu(&a).unwrap();
+        let x = lu.solve(&[c64(5.0, 0.0), c64(10.0, 0.0)]);
+        assert!((x[0] - c64(1.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - c64(3.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_complex_random_system() {
+        let n = 12;
+        let a = Array2::from_fn(n, n, |i, j| {
+            let v = ((i * 31 + j * 17) % 13) as f64 - 6.0;
+            let w = ((i * 7 + j * 3) % 11) as f64 - 5.0;
+            c64(v, w) + if i == j { c64(20.0, 5.0) } else { Complex64::ZERO }
+        });
+        let b: Vec<Complex64> = (0..n).map(|i| c64(i as f64, -(i as f64) / 2.0)).collect();
+        let lu = dense_lu(&a).unwrap();
+        let x = lu.solve(&b);
+        let ax = matvec(&a, &x);
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((*p - *q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pivoting_required_case() {
+        let a = Array2::from_vec(
+            2,
+            2,
+            vec![Complex64::ZERO, c64(1.0, 0.0), c64(1.0, 0.0), Complex64::ZERO],
+        );
+        let lu = dense_lu(&a).unwrap();
+        let x = lu.solve(&[c64(7.0, 0.0), c64(9.0, 0.0)]);
+        assert!((x[0] - c64(9.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - c64(7.0, 0.0)).abs() < 1e-12);
+        // det of the swap matrix is -1.
+        assert!((lu.det() + Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Array2::from_vec(
+            2,
+            2,
+            vec![c64(1.0, 0.0), c64(2.0, 0.0), c64(2.0, 0.0), c64(4.0, 0.0)],
+        );
+        assert_eq!(dense_lu(&a).unwrap_err().column, 1);
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let a = Array2::from_fn(3, 3, |i, j| {
+            if i == j {
+                c64((i + 2) as f64, 0.0)
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let lu = dense_lu(&a).unwrap();
+        assert!((lu.det() - c64(24.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_banded_solver() {
+        // The same banded system solved densely and banded must agree.
+        use crate::banded::BandedMatrix;
+        let n = 15;
+        let (kl, ku) = (2, 2);
+        let mut banded = BandedMatrix::new(n, kl, ku);
+        let mut dense = Array2::filled(n, n, Complex64::ZERO);
+        for i in 0..n {
+            for j in i.saturating_sub(kl)..=(i + ku).min(n - 1) {
+                let v = c64(
+                    ((i * 5 + j * 3) % 7) as f64 - 3.0,
+                    ((i + j) % 5) as f64 - 2.0,
+                ) + if i == j { c64(9.0, 0.0) } else { Complex64::ZERO };
+                banded.set(i, j, v);
+                dense[(i, j)] = v;
+            }
+        }
+        let b: Vec<Complex64> = (0..n).map(|i| c64(1.0, i as f64 * 0.1)).collect();
+        let xb = banded.factor().unwrap().solve_vec(&b);
+        let xd = dense_lu(&dense).unwrap().solve(&b);
+        for (p, q) in xb.iter().zip(&xd) {
+            assert!((*p - *q).abs() < 1e-10, "banded vs dense disagreement");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Cyclic Jacobi eigensolver for small dense real symmetric matrices.
+//!
+//! The EOLE (expansion optimal linear estimation) discretisation of the
+//! etching-threshold random field needs the eigendecomposition of a modest
+//! covariance matrix (tens of observation points). Cyclic Jacobi is simple,
+//! unconditionally stable and more than fast enough at that size.
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_num::{Array2, jacobi::sym_eigen};
+//!
+//! let a = Array2::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+//! let eig = sym_eigen(&a, 100);
+//! assert!((eig.values[0] - 3.0).abs() < 1e-12);
+//! assert!((eig.values[1] - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::Array2;
+
+/// Result of [`sym_eigen`]: eigenvalues sorted descending and the matching
+/// eigenvectors as columns of `vectors`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymEigen {
+    /// Eigenvalues, sorted in descending order.
+    pub values: Vec<f64>,
+    /// `vectors.col(k)` is the unit eigenvector for `values[k]`.
+    pub vectors: Array2<f64>,
+}
+
+/// Computes the full eigendecomposition of a dense real symmetric matrix by
+/// cyclic Jacobi rotations.
+///
+/// `max_sweeps` bounds the number of full sweeps; 30–100 is plenty for the
+/// matrix sizes used here (convergence is quadratic).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn sym_eigen(a: &Array2<f64>, max_sweeps: usize) -> SymEigen {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "sym_eigen requires a square matrix, got {n}x{m}");
+    let mut w = a.clone();
+    let mut v = Array2::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += w[(p, q)] * w[(p, q)];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frob(&w)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = w[(p, q)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = w[(p, p)];
+                let aqq = w[(q, q)];
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation G(p,q,θ): W <- GᵀWG, V <- VG.
+                for k in 0..n {
+                    let wkp = w[(k, p)];
+                    let wkq = w[(k, q)];
+                    w[(k, p)] = c * wkp - s * wkq;
+                    w[(k, q)] = s * wkp + c * wkq;
+                }
+                for k in 0..n {
+                    let wpk = w[(p, k)];
+                    let wqk = w[(q, k)];
+                    w[(p, k)] = c * wpk - s * wqk;
+                    w[(q, k)] = s * wpk + c * wqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| w[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Array2::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymEigen { values, vectors }
+}
+
+fn frob(a: &Array2<f64>) -> f64 {
+    a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_sym(n: usize, seed: u64) -> Array2<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = Array2::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        let a = Array2::from_vec(2, 2, vec![3.0, 1.0, 1.0, 3.0]);
+        let e = sym_eigen(&a, 50);
+        assert!((e.values[0] - 4.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_residual_small() {
+        for n in [3usize, 5, 10, 20] {
+            let a = random_sym(n, n as u64 * 7 + 1);
+            let e = sym_eigen(&a, 100);
+            // A v_k = λ_k v_k for every k.
+            for k in 0..n {
+                let vk = e.vectors.col(k);
+                let mut res = 0.0f64;
+                for i in 0..n {
+                    let mut av = 0.0;
+                    for j in 0..n {
+                        av += a[(i, j)] * vk[j];
+                    }
+                    res += (av - e.values[k] * vk[i]).powi(2);
+                }
+                assert!(res.sqrt() < 1e-9, "n={n} k={k} residual {}", res.sqrt());
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = random_sym(12, 42);
+        let e = sym_eigen(&a, 100);
+        for p in 0..12 {
+            for q in 0..12 {
+                let dot: f64 = e
+                    .vectors
+                    .col(p)
+                    .iter()
+                    .zip(e.vectors.col(q))
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let expect = if p == q { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "({p},{q}) dot={dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = random_sym(8, 7);
+        let e = sym_eigen(&a, 100);
+        let tr: f64 = (0..8).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = random_sym(9, 123);
+        let e = sym_eigen(&a, 100);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn psd_covariance_has_nonnegative_spectrum() {
+        // Squared-exponential covariance matrix is positive semi-definite.
+        let n = 16;
+        let a = Array2::from_fn(n, n, |i, j| {
+            let d = i as f64 - j as f64;
+            (-d * d / 8.0).exp()
+        });
+        let e = sym_eigen(&a, 100);
+        for &v in &e.values {
+            assert!(v > -1e-10, "negative eigenvalue {v} for PSD matrix");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let a = Array2::zeros(2, 3);
+        let _ = sym_eigen(&a, 10);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the numerical kernels.
+
+use boson_num::banded::BandedMatrix;
+use boson_num::fft::{fft, ifft};
+use boson_num::jacobi::sym_eigen;
+use boson_num::tridiag::SymTridiag;
+use boson_num::{c64, Array2, Complex64};
+use proptest::prelude::*;
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), len..=len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms(
+        (ar, ai, br, bi, cr, ci) in (-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6,
+                                     -1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6)
+    ) {
+        let a = c64(ar, ai);
+        let b = c64(br, bi);
+        let c = c64(cr, ci);
+        let d1 = a * (b + c);
+        let d2 = a * b + a * c;
+        prop_assert!((d1 - d2).abs() <= 1e-9 * (1.0 + d1.abs()));
+        // Conjugation is an automorphism.
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn fft_round_trip(x in complex_vec(64)) {
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(x in complex_vec(32), y in complex_vec(32)) {
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        let mut fxy: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        fft(&mut fx);
+        fft(&mut fy);
+        fft(&mut fxy);
+        for i in 0..32 {
+            let sum = fx[i] + fy[i];
+            prop_assert!((fxy[i] - sum).abs() < 1e-7 * (1.0 + sum.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_parseval(x in complex_vec(64)) {
+        let e_time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft(&mut f);
+        let e_freq: f64 = f.iter().map(|v| v.norm_sqr()).sum::<f64>() / 64.0;
+        prop_assert!((e_time - e_freq).abs() < 1e-6 * (1.0 + e_time));
+    }
+
+    #[test]
+    fn banded_lu_solves_diagonally_dominant_systems(
+        entries in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 20 * 5),
+        rhs in complex_vec(20)
+    ) {
+        let n = 20;
+        let (kl, ku) = (2usize, 2usize);
+        let mut a = BandedMatrix::new(n, kl, ku);
+        let mut k = 0;
+        for i in 0..n {
+            for j in i.saturating_sub(kl)..=(i + ku).min(n - 1) {
+                let (re, im) = entries[k % entries.len()];
+                k += 1;
+                let mut v = c64(re, im);
+                if i == j {
+                    v += c64(6.0, 1.0); // strict diagonal dominance
+                }
+                a.set(i, j, v);
+            }
+        }
+        let lu = a.clone().factor().expect("dominant matrix is nonsingular");
+        let x = lu.solve_vec(&rhs);
+        let ax = a.matvec(&x);
+        let res: f64 = ax.iter().zip(&rhs).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+        let scale: f64 = rhs.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+        prop_assert!(res <= 1e-8 * (1.0 + scale), "residual {res}");
+        // Transpose solve residual too.
+        let xt = lu.solve_transpose_vec(&rhs);
+        let atx = a.matvec_transpose(&xt);
+        let rest: f64 = atx.iter().zip(&rhs).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+        prop_assert!(rest <= 1e-8 * (1.0 + scale), "transpose residual {rest}");
+    }
+
+    #[test]
+    fn tridiag_eigenpairs_satisfy_definition(
+        diag in proptest::collection::vec(-5.0f64..5.0, 12..=12),
+        off in proptest::collection::vec(-2.0f64..2.0, 11..=11)
+    ) {
+        let t = SymTridiag::new(diag, off);
+        for pair in t.largest_eigenpairs(3) {
+            let tv = t.matvec(&pair.vector);
+            let res: f64 = tv.iter().zip(&pair.vector)
+                .map(|(a, b)| (a - pair.value * b).powi(2)).sum::<f64>().sqrt();
+            prop_assert!(res < 1e-6, "residual {res} at λ = {}", pair.value);
+        }
+    }
+
+    #[test]
+    fn sturm_count_is_monotone_nondecreasing(
+        diag in proptest::collection::vec(-5.0f64..5.0, 10..=10),
+        off in proptest::collection::vec(-2.0f64..2.0, 9..=9),
+        a in -20.0f64..20.0,
+        b in -20.0f64..20.0
+    ) {
+        let t = SymTridiag::new(diag, off);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.count_below(lo) <= t.count_below(hi));
+    }
+
+    #[test]
+    fn jacobi_preserves_trace_and_orthonormality(
+        vals in proptest::collection::vec(-3.0f64..3.0, 21..=21)
+    ) {
+        // Build a 6×6 symmetric matrix from 21 free entries.
+        let n = 6;
+        let mut a = Array2::zeros(n, n);
+        let mut k = 0;
+        for i in 0..n {
+            for j in 0..=i {
+                a[(i, j)] = vals[k];
+                a[(j, i)] = vals[k];
+                k += 1;
+            }
+        }
+        let e = sym_eigen(&a, 100);
+        let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((tr - sum).abs() < 1e-8 * (1.0 + tr.abs()));
+        for p in 0..n {
+            for q in 0..=p {
+                let dot: f64 = e.vectors.col(p).iter().zip(e.vectors.col(q)).map(|(x, y)| x * y).sum();
+                let expect = if p == q { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-8);
+            }
+        }
+    }
+}

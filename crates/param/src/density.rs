@@ -1,0 +1,280 @@
+//! Per-pixel density parameterisation (the "Density" baseline).
+//!
+//! Every design pixel carries its own latent variable pushed through a
+//! sigmoid; optionally a Gaussian blur is applied afterwards as a
+//! heuristic minimum-feature-size control (the "-M" variants in the
+//! paper's tables). Without blur this parameterisation can express
+//! arbitrarily fine features — which is exactly why its designs collapse
+//! after lithography.
+
+use crate::sdf::Geometry;
+use crate::Parameterization;
+use boson_num::Array2;
+use serde::{Deserialize, Serialize};
+
+/// Density parameterisation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityConfig {
+    /// Sigmoid sharpness applied to the latent variables.
+    pub sharpness: f64,
+    /// Gaussian blur radius in *cells* (0 disables the MFS control).
+    pub blur_radius: f64,
+}
+
+impl Default for DensityConfig {
+    fn default() -> Self {
+        Self {
+            sharpness: 4.0,
+            blur_radius: 0.0,
+        }
+    }
+}
+
+/// Per-pixel density parameterisation over a fixed design grid.
+#[derive(Debug, Clone)]
+pub struct DensityParam {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    config: DensityConfig,
+    /// Separable blur kernel (empty when blur disabled).
+    kernel: Vec<f64>,
+}
+
+impl DensityParam {
+    /// Creates a parameterisation producing `rows × cols` densities at
+    /// pitch `dx` µm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or `sharpness <= 0`.
+    pub fn new(rows: usize, cols: usize, dx: f64, config: DensityConfig) -> Self {
+        assert!(rows > 0 && cols > 0, "design grid must be non-empty");
+        assert!(config.sharpness > 0.0, "sharpness must be positive");
+        let kernel = if config.blur_radius > 0.0 {
+            let sigma = config.blur_radius;
+            let half = (3.0 * sigma).ceil() as i64;
+            let mut k: Vec<f64> = (-half..=half)
+                .map(|i| (-(i as f64).powi(2) / (2.0 * sigma * sigma)).exp())
+                .collect();
+            let sum: f64 = k.iter().sum();
+            for v in &mut k {
+                *v /= sum;
+            }
+            k
+        } else {
+            Vec::new()
+        };
+        Self {
+            rows,
+            cols,
+            dx,
+            config,
+            kernel,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DensityConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn sigmoid(&self, t: f64) -> f64 {
+        1.0 / (1.0 + (-self.config.sharpness * t).exp())
+    }
+
+    #[inline]
+    fn d_sigmoid(&self, t: f64) -> f64 {
+        let s = self.sigmoid(t);
+        self.config.sharpness * s * (1.0 - s)
+    }
+
+    /// Separable zero-padded blur (its transpose is itself, keeping the
+    /// vjp exact).
+    fn blur(&self, a: &Array2<f64>) -> Array2<f64> {
+        if self.kernel.is_empty() {
+            return a.clone();
+        }
+        let half = (self.kernel.len() / 2) as i64;
+        // Horizontal pass.
+        let hpass = Array2::from_fn(self.rows, self.cols, |r, c| {
+            let mut acc = 0.0;
+            for (ki, &kv) in self.kernel.iter().enumerate() {
+                let cc = c as i64 + ki as i64 - half;
+                if cc >= 0 && (cc as usize) < self.cols {
+                    acc += kv * a[(r, cc as usize)];
+                }
+            }
+            acc
+        });
+        // Vertical pass.
+        Array2::from_fn(self.rows, self.cols, |r, c| {
+            let mut acc = 0.0;
+            for (ki, &kv) in self.kernel.iter().enumerate() {
+                let rr = r as i64 + ki as i64 - half;
+                if rr >= 0 && (rr as usize) < self.rows {
+                    acc += kv * hpass[(rr as usize, c)];
+                }
+            }
+            acc
+        })
+    }
+
+    /// Seeds `θ` from a geometry: `+1` inside the solid, `−1` outside.
+    pub fn theta_from_geometry(&self, geometry: &Geometry) -> Vec<f64> {
+        let mut theta = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let x = (c as f64 + 0.5) * self.dx;
+                let y = (r as f64 + 0.5) * self.dx;
+                theta.push(if geometry.contains(x, y) { 1.0 } else { -1.0 });
+            }
+        }
+        theta
+    }
+}
+
+impl Parameterization for DensityParam {
+    fn num_params(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn design_shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn forward(&self, theta: &[f64]) -> Array2<f64> {
+        assert_eq!(theta.len(), self.num_params(), "theta length mismatch");
+        let rho = Array2::from_fn(self.rows, self.cols, |r, c| {
+            self.sigmoid(theta[r * self.cols + c])
+        });
+        self.blur(&rho)
+    }
+
+    fn vjp(&self, theta: &[f64], v: &Array2<f64>) -> Vec<f64> {
+        assert_eq!(v.shape(), (self.rows, self.cols), "cotangent shape mismatch");
+        // Blur is self-transpose (symmetric zero-padded kernel).
+        let vb = self.blur(v);
+        let mut grad = vec![0.0; self.num_params()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let k = r * self.cols + c;
+                grad[k] = vb[(r, c)] * self.d_sigmoid(theta[k]);
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdf::Shape;
+
+    fn param(blur: f64) -> DensityParam {
+        DensityParam::new(
+            18,
+            22,
+            0.05,
+            DensityConfig {
+                sharpness: 3.0,
+                blur_radius: blur,
+            },
+        )
+    }
+
+    #[test]
+    fn forward_range_and_midpoint() {
+        let p = param(0.0);
+        let rho = p.forward(&vec![0.0; p.num_params()]);
+        for v in rho.as_slice() {
+            assert!((v - 0.5).abs() < 1e-12);
+        }
+        let rho_hi = p.forward(&vec![5.0; p.num_params()]);
+        assert!(rho_hi.min() > 0.95);
+    }
+
+    #[test]
+    fn blur_smooths_single_pixel() {
+        let p0 = param(0.0);
+        let p2 = param(1.5);
+        let mut theta = vec![-8.0; p0.num_params()];
+        theta[9 * 22 + 11] = 8.0;
+        let sharp = p0.forward(&theta);
+        let smooth = p2.forward(&theta);
+        // Peak is lower and neighbours are higher after blur.
+        assert!(smooth[(9, 11)] < sharp[(9, 11)]);
+        assert!(smooth[(9, 13)] > sharp[(9, 13)]);
+    }
+
+    #[test]
+    fn blur_preserves_mass_in_interior() {
+        let p = param(1.0);
+        let mut theta = vec![-20.0; p.num_params()];
+        theta[9 * 22 + 11] = 20.0;
+        let rho = p.forward(&theta);
+        // Total mass ≈ 1 (kernel normalised, pixel far from edges).
+        assert!((rho.sum() - 1.0).abs() < 1e-6, "mass = {}", rho.sum());
+    }
+
+    #[test]
+    fn vjp_matches_finite_difference_no_blur() {
+        vjp_check(param(0.0));
+    }
+
+    #[test]
+    fn vjp_matches_finite_difference_with_blur() {
+        vjp_check(param(1.2));
+    }
+
+    fn vjp_check(p: DensityParam) {
+        let theta: Vec<f64> = (0..p.num_params())
+            .map(|k| ((k * 31) % 11) as f64 * 0.1 - 0.5)
+            .collect();
+        let v = Array2::from_fn(18, 22, |r, c| ((r * 5 + c * 3) % 7) as f64 * 0.1 - 0.3);
+        let grad = p.vjp(&theta, &v);
+        let loss = |th: &[f64]| -> f64 { p.forward(th).zip_map(&v, |a, b| a * b).sum() };
+        let h = 1e-6;
+        for k in [0usize, 50, 200, p.num_params() - 1] {
+            let mut tp = theta.clone();
+            tp[k] += h;
+            let lp = loss(&tp);
+            tp[k] -= 2.0 * h;
+            let lm = loss(&tp);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grad[k]).abs() < 1e-6 + 1e-5 * fd.abs(),
+                "vjp mismatch at θ[{k}]: fd={fd} ad={}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_seed() {
+        let p = param(0.0);
+        let geo = Geometry::new().with(Shape::Rect {
+            x0: 0.3,
+            y0: 0.3,
+            x1: 0.8,
+            y1: 0.6,
+        });
+        let theta = p.theta_from_geometry(&geo);
+        let rho = p.forward(&theta);
+        // Inside the rect (x=0.55, y=0.45) → cell (8, 10) or so.
+        assert!(rho[(8, 10)] > 0.9);
+        assert!(rho[(1, 1)] < 0.1);
+    }
+
+    #[test]
+    fn density_can_express_single_pixel_features() {
+        // The core difference from the level-set: one θ flips one pixel.
+        let p = param(0.0);
+        let mut theta = vec![-5.0; p.num_params()];
+        theta[5 * 22 + 5] = 5.0;
+        let rho = p.forward(&theta);
+        let changed = rho.as_slice().iter().filter(|v| **v > 0.5).count();
+        assert_eq!(changed, 1, "density flips exactly one pixel");
+    }
+}

@@ -1,0 +1,53 @@
+//! # boson-param — differentiable topology parameterisations
+//!
+//! The `P` stage of the paper's compound mapping: latent design variables
+//! `θ` become a material density map `ρ ∈ [0,1]^{N_x×N_y}`. Two
+//! parameterisations are provided, matching the paper's comparisons:
+//!
+//! * [`LevelSetParam`] ("LS", BOSON-1's default) — θ lives on a coarse
+//!   control lattice, bilinearly upsampled and projected through a
+//!   smoothed Heaviside;
+//! * [`DensityParam`] ("Density") — one θ per pixel through a sigmoid,
+//!   with optional Gaussian-blur minimum-feature-size control ("-M").
+//!
+//! [`sdf`] supplies signed-distance seed geometry for the paper's
+//! light-concentrated initialisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_param::{LevelSetConfig, LevelSetParam, Parameterization};
+//! use boson_param::sdf::{Geometry, Shape};
+//!
+//! let p = LevelSetParam::new(20, 20, 0.05, LevelSetConfig::default());
+//! let seed = Geometry::new().with(Shape::Rect { x0: 0.0, y0: 0.4, x1: 1.0, y1: 0.6 });
+//! let theta = p.theta_from_geometry(&seed);
+//! let rho = p.forward(&theta);
+//! assert!(rho[(10, 10)] > 0.5); // strip is solid
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod levelset;
+pub mod sdf;
+
+use boson_num::Array2;
+
+pub use density::{DensityConfig, DensityParam};
+pub use levelset::{LevelSetConfig, LevelSetParam};
+
+/// A differentiable map from latent design variables to a density image.
+pub trait Parameterization {
+    /// Number of latent variables.
+    fn num_params(&self) -> usize;
+
+    /// Shape `(rows, cols)` of the produced density map.
+    fn design_shape(&self) -> (usize, usize);
+
+    /// Forward map `θ → ρ` with `ρ ∈ [0, 1]` elementwise.
+    fn forward(&self, theta: &[f64]) -> Array2<f64>;
+
+    /// Vector–Jacobian product: given `v = ∂L/∂ρ`, returns `∂L/∂θ`.
+    fn vjp(&self, theta: &[f64], v: &Array2<f64>) -> Vec<f64>;
+}

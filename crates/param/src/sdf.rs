@@ -1,0 +1,258 @@
+//! Signed distance functions for seed geometry.
+//!
+//! The paper's *optical-path-concentrated initialisation* (§III-D3) starts
+//! the optimisation from a simple geometry that already connects the ports
+//! (a straight guide, an L-bend, a crossing, a taper) instead of random
+//! noise. These seeds are described as unions of primitive shapes with
+//! signed distance functions; the level-set parameterisation samples them
+//! directly.
+//!
+//! Convention: `sdf < 0` inside the solid, `> 0` outside, zero on the
+//! boundary. Distances in µm.
+
+use serde::{Deserialize, Serialize};
+
+/// A primitive solid shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Axis-aligned rectangle spanning `[x0,x1] × [y0,y1]`.
+    Rect {
+        /// Left edge.
+        x0: f64,
+        /// Bottom edge.
+        y0: f64,
+        /// Right edge.
+        x1: f64,
+        /// Top edge.
+        y1: f64,
+    },
+    /// A thick line segment (capsule) from `(x0,y0)` to `(x1,y1)`.
+    Segment {
+        /// Start x.
+        x0: f64,
+        /// Start y.
+        y0: f64,
+        /// End x.
+        x1: f64,
+        /// End y.
+        y1: f64,
+        /// Half-width of the stroke.
+        half_width: f64,
+    },
+    /// A filled circle.
+    Circle {
+        /// Centre x.
+        cx: f64,
+        /// Centre y.
+        cy: f64,
+        /// Radius.
+        r: f64,
+    },
+    /// A linear taper (trapezoid) along x from half-width `hw0` at `x0` to
+    /// `hw1` at `x1`, centred on `y = cy`.
+    TaperX {
+        /// Start x.
+        x0: f64,
+        /// End x.
+        x1: f64,
+        /// Centreline y.
+        cy: f64,
+        /// Half-width at `x0`.
+        hw0: f64,
+        /// Half-width at `x1`.
+        hw1: f64,
+    },
+}
+
+impl Shape {
+    /// Signed distance from `(x, y)` to this shape (< 0 inside).
+    pub fn sdf(&self, x: f64, y: f64) -> f64 {
+        match *self {
+            Shape::Rect { x0, y0, x1, y1 } => {
+                let dx = (x0 - x).max(x - x1);
+                let dy = (y0 - y).max(y - y1);
+                if dx <= 0.0 && dy <= 0.0 {
+                    dx.max(dy)
+                } else {
+                    let ox = dx.max(0.0);
+                    let oy = dy.max(0.0);
+                    (ox * ox + oy * oy).sqrt()
+                }
+            }
+            Shape::Segment {
+                x0,
+                y0,
+                x1,
+                y1,
+                half_width,
+            } => {
+                let (vx, vy) = (x1 - x0, y1 - y0);
+                let (px, py) = (x - x0, y - y0);
+                let len2 = vx * vx + vy * vy;
+                let t = if len2 > 0.0 {
+                    ((px * vx + py * vy) / len2).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let (qx, qy) = (px - t * vx, py - t * vy);
+                (qx * qx + qy * qy).sqrt() - half_width
+            }
+            Shape::Circle { cx, cy, r } => ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() - r,
+            Shape::TaperX { x0, x1, cy, hw0, hw1 } => {
+                // Approximate SDF: exact in the vertical direction within
+                // the span, distance-to-span outside. Adequate for seeding.
+                let t = ((x - x0) / (x1 - x0)).clamp(0.0, 1.0);
+                let hw = hw0 + (hw1 - hw0) * t;
+                let dy = (y - cy).abs() - hw;
+                let dx_out = (x0 - x).max(x - x1).max(0.0);
+                if dx_out > 0.0 {
+                    (dx_out * dx_out + dy.max(0.0).powi(2)).sqrt().max(dy)
+                } else {
+                    dy
+                }
+            }
+        }
+    }
+}
+
+/// A union of shapes (solid where *any* shape is solid).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Geometry {
+    shapes: Vec<Shape>,
+}
+
+impl Geometry {
+    /// An empty geometry (all void).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a shape to the union; returns `self` for chaining.
+    pub fn with(mut self, shape: Shape) -> Self {
+        self.shapes.push(shape);
+        self
+    }
+
+    /// Number of shapes.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// `true` when the geometry holds no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Signed distance of the union (min over shapes); `+∞` when empty.
+    pub fn sdf(&self, x: f64, y: f64) -> f64 {
+        self.shapes
+            .iter()
+            .map(|s| s.sdf(x, y))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `true` when `(x, y)` is inside the solid.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        self.sdf(x, y) < 0.0
+    }
+
+    /// Appends a circular-arc stroke (polyline of capsule segments) from
+    /// angle `a0` to `a1` (radians) on the circle of radius `r` centred at
+    /// `(cx, cy)`; returns `self` for chaining.
+    ///
+    /// Used for smoothly-bent waveguide seeds: an abrupt 90° corner
+    /// radiates most of the light, an arc keeps it guided.
+    pub fn with_arc(
+        mut self,
+        cx: f64,
+        cy: f64,
+        r: f64,
+        a0: f64,
+        a1: f64,
+        segments: usize,
+        half_width: f64,
+    ) -> Self {
+        let n = segments.max(1);
+        let mut prev = (cx + r * a0.cos(), cy + r * a0.sin());
+        for k in 1..=n {
+            let a = a0 + (a1 - a0) * k as f64 / n as f64;
+            let pt = (cx + r * a.cos(), cy + r * a.sin());
+            self.shapes.push(Shape::Segment {
+                x0: prev.0,
+                y0: prev.1,
+                x1: pt.0,
+                y1: pt.1,
+                half_width,
+            });
+            prev = pt;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_sdf_signs() {
+        let r = Shape::Rect { x0: 0.0, y0: 0.0, x1: 2.0, y1: 1.0 };
+        assert!(r.sdf(1.0, 0.5) < 0.0);
+        assert!(r.sdf(3.0, 0.5) > 0.0);
+        assert!((r.sdf(1.0, 0.5) - (-0.5)).abs() < 1e-12); // 0.5 from top/bottom
+        assert!((r.sdf(3.0, 0.5) - 1.0).abs() < 1e-12);
+        // Corner distance is Euclidean.
+        assert!((r.sdf(3.0, 2.0) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_sdf_is_capsule() {
+        let s = Shape::Segment { x0: 0.0, y0: 0.0, x1: 2.0, y1: 0.0, half_width: 0.25 };
+        assert!(s.sdf(1.0, 0.0) < 0.0);
+        assert!((s.sdf(1.0, 0.25)).abs() < 1e-12);
+        assert!((s.sdf(1.0, 1.0) - 0.75).abs() < 1e-12);
+        // Beyond the cap.
+        assert!((s.sdf(3.0, 0.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_is_circle() {
+        let s = Shape::Segment { x0: 1.0, y0: 1.0, x1: 1.0, y1: 1.0, half_width: 0.5 };
+        assert!((s.sdf(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert!(s.sdf(1.0, 1.2) < 0.0);
+    }
+
+    #[test]
+    fn circle_sdf() {
+        let c = Shape::Circle { cx: 0.0, cy: 0.0, r: 1.0 };
+        assert!((c.sdf(2.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!((c.sdf(0.0, 0.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taper_narrows_along_x() {
+        let t = Shape::TaperX { x0: 0.0, x1: 2.0, cy: 0.0, hw0: 0.5, hw1: 0.1 };
+        assert!(t.sdf(0.1, 0.4) < 0.0); // inside wide end
+        assert!(t.sdf(1.9, 0.4) > 0.0); // outside narrow end
+        assert!(t.sdf(1.9, 0.05) < 0.0);
+    }
+
+    #[test]
+    fn union_takes_min() {
+        let g = Geometry::new()
+            .with(Shape::Circle { cx: 0.0, cy: 0.0, r: 0.5 })
+            .with(Shape::Circle { cx: 2.0, cy: 0.0, r: 0.5 });
+        assert!(g.contains(0.0, 0.0));
+        assert!(g.contains(2.0, 0.0));
+        assert!(!g.contains(1.0, 0.0));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn empty_geometry_is_all_void() {
+        let g = Geometry::new();
+        assert!(!g.contains(0.0, 0.0));
+        assert_eq!(g.sdf(1.0, 1.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,537 @@
+//! # boson-sparse — complex sparse matrices and iterative solvers
+//!
+//! A compact CSR implementation plus a BiCGSTAB Krylov solver. In the
+//! BOSON-1 stack the *direct* banded solver does the production work; this
+//! crate exists to (a) cross-validate the direct solver on the exact same
+//! FDFD operators and (b) offer an iterative fallback for grids whose
+//! bandwidth would make the banded factorisation too expensive.
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_sparse::{CooMatrix, bicgstab, BicgstabOptions};
+//! use boson_num::{c64, Complex64};
+//!
+//! let mut coo = CooMatrix::new(2, 2);
+//! coo.push(0, 0, c64(4.0, 0.0));
+//! coo.push(1, 1, c64(2.0, 0.0));
+//! coo.push(0, 1, c64(1.0, 0.0));
+//! let a = coo.to_csr();
+//! let b = [c64(9.0, 0.0), c64(4.0, 0.0)];
+//! let sol = bicgstab(&a, &b, &BicgstabOptions::default()).unwrap();
+//! assert!((sol.x[1] - c64(2.0, 0.0)).abs() < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+
+use boson_num::Complex64;
+use std::fmt;
+
+/// Triplet-format sparse matrix builder.
+///
+/// Duplicate entries are *summed* when converting to CSR, which is exactly
+/// what stencil assembly wants.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, Complex64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends entry `(i, j, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: Complex64) {
+        assert!(i < self.nrows && j < self.ncols, "entry ({i},{j}) out of bounds");
+        self.entries.push((i, j, v));
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&k| {
+            let (i, j, _) = self.entries[k];
+            (i, j)
+        });
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<Complex64> = Vec::with_capacity(self.entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &k in &order {
+            let (i, j, v) = self.entries[k];
+            if last == Some((i, j)) {
+                *values.last_mut().expect("non-empty") += v;
+            } else {
+                col_idx.push(j);
+                values.push(v);
+                row_ptr[i + 1] += 1;
+                last = Some((i, j));
+            }
+        }
+        for r in 0..self.nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// Compressed sparse row matrix over [`Complex64`].
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<Complex64>,
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={})",
+            self.nrows,
+            self.ncols,
+            self.values.len()
+        )
+    }
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns entry `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => Complex64::ZERO,
+        }
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        let mut y = vec![Complex64::ZERO; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product writing into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn matvec_into(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec output dimension mismatch");
+        for i in 0..self.nrows {
+            let mut acc = Complex64::ZERO;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn matvec_transpose(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.nrows, "matvec_transpose dimension mismatch");
+        let mut y = vec![Complex64::ZERO; self.ncols];
+        for i in 0..self.nrows {
+            let xi = x[i];
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                y[self.col_idx[k]] += self.values[k] * xi;
+            }
+        }
+        y
+    }
+
+    /// The diagonal of the matrix (used by the Jacobi preconditioner).
+    pub fn diagonal(&self) -> Vec<Complex64> {
+        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Maximum relative asymmetry over stored entries, `0` for symmetric.
+    pub fn asymmetry(&self) -> f64 {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for i in 0..self.nrows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                let a = self.values[k];
+                let b = self.get(j, i);
+                num = num.max((a - b).abs());
+                den = den.max(a.abs());
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+/// Options controlling [`bicgstab`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BicgstabOptions {
+    /// Relative residual tolerance ‖r‖/‖b‖ at which to declare convergence.
+    pub tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Whether to apply Jacobi (diagonal) preconditioning.
+    pub jacobi_precondition: bool,
+}
+
+impl Default for BicgstabOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-10,
+            max_iter: 10_000,
+            jacobi_precondition: true,
+        }
+    }
+}
+
+/// Successful BiCGSTAB result.
+#[derive(Debug, Clone)]
+pub struct BicgstabSolution {
+    /// The solution vector.
+    pub x: Vec<Complex64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Error returned when [`bicgstab`] fails to converge or breaks down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveBreakdownError {
+    /// Iterations performed before the failure.
+    pub iterations: usize,
+    /// Relative residual at the point of failure.
+    pub residual: f64,
+    /// Human-readable cause.
+    pub cause: &'static str,
+}
+
+impl fmt::Display for SolveBreakdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bicgstab failed after {} iterations (residual {:.3e}): {}",
+            self.iterations, self.residual, self.cause
+        )
+    }
+}
+
+impl std::error::Error for SolveBreakdownError {}
+
+fn dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum()
+}
+
+fn norm(a: &[Complex64]) -> f64 {
+    a.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Solves `A x = b` with (optionally Jacobi-preconditioned) BiCGSTAB.
+///
+/// # Errors
+///
+/// Returns [`SolveBreakdownError`] if the method stagnates, breaks down
+/// (`ρ ≈ 0` or `ω ≈ 0`), or exhausts `max_iter` without reaching `tol`.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b.len() != A.nrows()`.
+pub fn bicgstab(
+    a: &CsrMatrix,
+    b: &[Complex64],
+    opts: &BicgstabOptions,
+) -> Result<BicgstabSolution, SolveBreakdownError> {
+    assert_eq!(a.nrows(), a.ncols(), "bicgstab requires a square matrix");
+    assert_eq!(b.len(), a.nrows(), "rhs dimension mismatch");
+    let n = b.len();
+    let bnorm = norm(b).max(f64::MIN_POSITIVE);
+
+    let minv: Option<Vec<Complex64>> = if opts.jacobi_precondition {
+        Some(
+            a.diagonal()
+                .iter()
+                .map(|d| if d.abs() > 0.0 { d.inv() } else { Complex64::ONE })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let precond = |v: &[Complex64]| -> Vec<Complex64> {
+        match &minv {
+            Some(m) => v.iter().zip(m).map(|(x, mi)| *x * *mi).collect(),
+            None => v.to_vec(),
+        }
+    };
+
+    let mut x = vec![Complex64::ZERO; n];
+    let mut r = b.to_vec();
+    let r_hat = r.clone();
+    let mut rho = Complex64::ONE;
+    let mut alpha = Complex64::ONE;
+    let mut omega = Complex64::ONE;
+    let mut v = vec![Complex64::ZERO; n];
+    let mut p = vec![Complex64::ZERO; n];
+    let mut res = norm(&r) / bnorm;
+    if res <= opts.tol {
+        return Ok(BicgstabSolution {
+            x,
+            iterations: 0,
+            residual: res,
+        });
+    }
+
+    for it in 1..=opts.max_iter {
+        let rho_new = dot(&r_hat, &r);
+        if rho_new.abs() < 1e-300 {
+            return Err(SolveBreakdownError {
+                iterations: it,
+                residual: res,
+                cause: "rho breakdown",
+            });
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        let p_hat = precond(&p);
+        v = a.matvec(&p_hat);
+        let denom = dot(&r_hat, &v);
+        if denom.abs() < 1e-300 {
+            return Err(SolveBreakdownError {
+                iterations: it,
+                residual: res,
+                cause: "alpha breakdown",
+            });
+        }
+        alpha = rho / denom;
+        let s: Vec<Complex64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
+        if norm(&s) / bnorm <= opts.tol {
+            for i in 0..n {
+                x[i] += alpha * p_hat[i];
+            }
+            let final_res = norm(&s) / bnorm;
+            return Ok(BicgstabSolution {
+                x,
+                iterations: it,
+                residual: final_res,
+            });
+        }
+        let s_hat = precond(&s);
+        let t = a.matvec(&s_hat);
+        let tt = dot(&t, &t);
+        if tt.abs() < 1e-300 {
+            return Err(SolveBreakdownError {
+                iterations: it,
+                residual: res,
+                cause: "omega breakdown",
+            });
+        }
+        omega = dot(&t, &s) / tt;
+        for i in 0..n {
+            x[i] += alpha * p_hat[i] + omega * s_hat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        res = norm(&r) / bnorm;
+        if res <= opts.tol {
+            return Ok(BicgstabSolution {
+                x,
+                iterations: it,
+                residual: res,
+            });
+        }
+        if omega.abs() < 1e-300 {
+            return Err(SolveBreakdownError {
+                iterations: it,
+                residual: res,
+                cause: "omega breakdown",
+            });
+        }
+    }
+    Err(SolveBreakdownError {
+        iterations: opts.max_iter,
+        residual: res,
+        cause: "max iterations exceeded",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boson_num::c64;
+
+    fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
+        // Standard 5-point Laplacian + small complex shift (well conditioned).
+        let n = nx * ny;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..ny {
+            for i in 0..nx {
+                let k = j * nx + i;
+                coo.push(k, k, c64(4.2, 0.35));
+                if i > 0 {
+                    coo.push(k, k - 1, c64(-1.0, 0.0));
+                }
+                if i + 1 < nx {
+                    coo.push(k, k + 1, c64(-1.0, 0.0));
+                }
+                if j > 0 {
+                    coo.push(k, k - nx, c64(-1.0, 0.0));
+                }
+                if j + 1 < ny {
+                    coo.push(k, k + nx, c64(-1.0, 0.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, c64(1.0, 0.0));
+        coo.push(0, 0, c64(2.0, 1.0));
+        coo.push(1, 1, c64(5.0, 0.0));
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 0), c64(3.0, 1.0));
+        assert_eq!(a.get(1, 1), c64(5.0, 0.0));
+        assert_eq!(a.get(1, 0), Complex64::ZERO);
+    }
+
+    #[test]
+    fn matvec_small_dense_check() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, c64(1.0, 0.0));
+        coo.push(0, 2, c64(2.0, 0.0));
+        coo.push(1, 1, c64(-1.0, 1.0));
+        let a = coo.to_csr();
+        let x = [Complex64::ONE, c64(2.0, 0.0), c64(3.0, 0.0)];
+        let y = a.matvec(&x);
+        assert_eq!(y[0], c64(7.0, 0.0));
+        assert_eq!(y[1], c64(-2.0, 2.0));
+        let yt = a.matvec_transpose(&y);
+        assert_eq!(yt.len(), 3);
+        assert_eq!(yt[2], c64(14.0, 0.0));
+    }
+
+    #[test]
+    fn bicgstab_solves_laplacian() {
+        let a = laplacian_2d(12, 9);
+        let n = a.nrows();
+        let b: Vec<Complex64> = (0..n).map(|i| c64((i as f64 * 0.1).sin(), 0.2)).collect();
+        let sol = bicgstab(&a, &b, &BicgstabOptions::default()).unwrap();
+        let r = a.matvec(&sol.x);
+        let err: f64 = r.iter().zip(&b).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+        assert!(err < 1e-8, "residual {err} after {} iters", sol.iterations);
+    }
+
+    #[test]
+    fn bicgstab_without_preconditioner() {
+        let a = laplacian_2d(6, 6);
+        let b = vec![Complex64::ONE; a.nrows()];
+        let opts = BicgstabOptions {
+            jacobi_precondition: false,
+            ..Default::default()
+        };
+        let sol = bicgstab(&a, &b, &opts).unwrap();
+        let r = a.matvec(&sol.x);
+        let err: f64 = r.iter().zip(&b).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+        assert!(err < 1e-8);
+    }
+
+    #[test]
+    fn bicgstab_zero_rhs_trivial() {
+        let a = laplacian_2d(4, 4);
+        let b = vec![Complex64::ZERO; a.nrows()];
+        let sol = bicgstab(&a, &b, &BicgstabOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|v| v.abs() == 0.0));
+    }
+
+    #[test]
+    fn bicgstab_max_iter_error() {
+        let a = laplacian_2d(8, 8);
+        let b = vec![Complex64::ONE; a.nrows()];
+        let opts = BicgstabOptions {
+            max_iter: 1,
+            tol: 1e-300,
+            ..Default::default()
+        };
+        let err = bicgstab(&a, &b, &opts).unwrap_err();
+        assert!(format!("{err}").contains("bicgstab failed"));
+    }
+
+    #[test]
+    fn symmetry_detector() {
+        let a = laplacian_2d(5, 5);
+        assert!(a.asymmetry() < 1e-15);
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, c64(1.0, 0.0));
+        coo.push(0, 0, c64(1.0, 0.0));
+        coo.push(1, 1, c64(1.0, 0.0));
+        assert!(coo.to_csr().asymmetry() > 0.5);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = laplacian_2d(3, 3);
+        let d = a.diagonal();
+        assert_eq!(d.len(), 9);
+        assert!(d.iter().all(|v| (*v - c64(4.2, 0.35)).abs() < 1e-15));
+    }
+}

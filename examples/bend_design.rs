@@ -1,0 +1,42 @@
+//! Method comparison on the waveguide bend: conventional density-based
+//! inverse design vs the two-stage InvFabCor flow vs BOSON-1 — a
+//! miniature of the paper's Table I row.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example bend_design
+//! ```
+
+use boson1::core::baselines::{run_method, standard_chain, BaseRunConfig, MethodSpec};
+use boson1::core::compiled::CompiledProblem;
+use boson1::core::eval::{evaluate_ideal, evaluate_post_fab};
+use boson1::core::problem::bending;
+use boson1::fab::VariationSpace;
+
+fn main() {
+    let iterations = std::env::var("BOSON_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let compiled = CompiledProblem::compile(bending()).expect("compile failed");
+    let chain = standard_chain(compiled.problem());
+    let space = VariationSpace::default();
+    let base = BaseRunConfig {
+        iterations,
+        lr: 0.03,
+        seed: 7,
+        threads: 8,
+    };
+
+    println!("{:16} {:>10} {:>12} {:>12}", "method", "pre-fab", "post-fab", "sim cost");
+    for spec in MethodSpec::table1_methods(iterations) {
+        let run = run_method(&compiled, &spec, &base);
+        let (pre, _) = evaluate_ideal(&compiled, &run.mask);
+        let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, 20, 99);
+        println!(
+            "{:16} {:>10.4} {:>12.4} {:>12}",
+            run.name, pre, post.fom.mean, run.factorizations
+        );
+    }
+    println!("\n(transmission efficiency; higher is better)");
+}

@@ -1,0 +1,134 @@
+//! Integration test: the full gradient chain
+//! `θ → ρ → litho → etch → ε → FDFD objective`
+//! matches central finite differences end-to-end. This is the single most
+//! important invariant in the repository — it certifies that the adjoint
+//! solver, every vjp and the parameterisation compose correctly.
+
+use boson1::core::baselines::standard_chain;
+use boson1::core::compiled::CompiledProblem;
+use boson1::core::fabchain::{assemble_eps, grad_eps_to_rho};
+use boson1::core::problem::bending;
+use boson1::fab::VariationCorner;
+use boson1::param::{LevelSetConfig, LevelSetParam, Parameterization};
+
+#[test]
+fn full_chain_gradient_matches_finite_difference() {
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let problem = compiled.problem().clone();
+    let chain = standard_chain(&problem);
+    let ls = LevelSetParam::new(
+        problem.design_shape.0,
+        problem.design_shape.1,
+        problem.grid.dx,
+        LevelSetConfig {
+            control_rows: 10,
+            control_cols: 10,
+            smoothing: 0.05,
+        },
+    );
+    let theta = ls.theta_from_geometry(&problem.seed);
+    let corner = VariationCorner::nominal();
+
+    // Scalar objective as a function of θ through the whole pipeline.
+    let objective = |th: &[f64]| -> f64 {
+        let rho = ls.forward(th);
+        let fwd = chain.forward(&rho, &corner, false);
+        let eps = assemble_eps(
+            &problem.background_solid,
+            problem.design_origin,
+            &fwd.rho_fab,
+            corner.temperature,
+        );
+        compiled.evaluate_eps(&eps, false).expect("evaluate").objective
+    };
+
+    // Analytic gradient via adjoint + chain vjps.
+    let rho = ls.forward(&theta);
+    let fwd = chain.forward(&rho, &corner, false);
+    let eps = assemble_eps(
+        &problem.background_solid,
+        problem.design_origin,
+        &fwd.rho_fab,
+        corner.temperature,
+    );
+    let ev = compiled.evaluate_eps(&eps, true).expect("evaluate with grad");
+    let v_rho = grad_eps_to_rho(
+        ev.grad_eps.as_ref().unwrap(),
+        problem.design_origin,
+        problem.design_shape,
+        corner.temperature,
+    );
+    let v_mask = chain.vjp_mask(&fwd, &v_rho);
+    let grad_theta = ls.vjp(&theta, &v_mask);
+
+    // Central finite differences on a handful of parameters, including
+    // ones near the waveguide path where gradients are significant.
+    let h = 1e-5;
+    let mut checked = 0;
+    let max_abs = grad_theta.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+    assert!(max_abs > 0.0, "gradient must not vanish identically");
+    for k in (0..theta.len()).step_by(theta.len() / 7) {
+        let mut tp = theta.clone();
+        tp[k] += h;
+        let op = objective(&tp);
+        tp[k] -= 2.0 * h;
+        let om = objective(&tp);
+        let fd = (op - om) / (2.0 * h);
+        let ad = grad_theta[k];
+        assert!(
+            (fd - ad).abs() < 1e-5 + 1e-2 * fd.abs().max(ad.abs()).max(0.01 * max_abs),
+            "θ[{k}]: finite difference {fd} vs adjoint {ad}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "checked {checked} parameters");
+}
+
+#[test]
+fn gradient_through_litho_corners_differs() {
+    // The min/max corners see different imaging, so their gradients must
+    // differ — the whole point of multi-corner robust optimisation.
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let problem = compiled.problem().clone();
+    let chain = standard_chain(&problem);
+    let ls = LevelSetParam::new(
+        problem.design_shape.0,
+        problem.design_shape.1,
+        problem.grid.dx,
+        LevelSetConfig::default(),
+    );
+    let theta = ls.theta_from_geometry(&problem.seed);
+    let rho = ls.forward(&theta);
+
+    let grad_for = |corner: &VariationCorner| -> Vec<f64> {
+        let fwd = chain.forward(&rho, corner, false);
+        let eps = assemble_eps(
+            &problem.background_solid,
+            problem.design_origin,
+            &fwd.rho_fab,
+            corner.temperature,
+        );
+        let ev = compiled.evaluate_eps(&eps, true).unwrap();
+        let v_rho = grad_eps_to_rho(
+            ev.grad_eps.as_ref().unwrap(),
+            problem.design_origin,
+            problem.design_shape,
+            corner.temperature,
+        );
+        let v_mask = chain.vjp_mask(&fwd, &v_rho);
+        ls.vjp(&theta, &v_mask)
+    };
+
+    let g_nom = grad_for(&VariationCorner::nominal());
+    let g_min = grad_for(&VariationCorner {
+        litho: boson1::litho::LithoCorner::Min,
+        ..VariationCorner::nominal()
+    });
+    let diff: f64 = g_nom
+        .iter()
+        .zip(&g_min)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>();
+    let scale: f64 = g_nom.iter().map(|g| g.abs()).sum::<f64>();
+    assert!(diff > 1e-3 * scale, "corner gradients suspiciously identical");
+}

@@ -1,0 +1,90 @@
+//! Integration tests: short optimisation runs must actually improve their
+//! objectives, and the method zoo must run end-to-end.
+
+use boson1::core::baselines::{run_method, BaseRunConfig, MethodSpec};
+use boson1::core::compiled::CompiledProblem;
+use boson1::core::problem::{bending, crossing};
+
+fn base(iters: usize) -> BaseRunConfig {
+    BaseRunConfig {
+        iterations: iters,
+        lr: 0.04,
+        seed: 7,
+        threads: 2,
+    }
+}
+
+#[test]
+fn boson1_improves_bending_transmission() {
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let run = run_method(&compiled, &MethodSpec::boson1(8), &base(8));
+    let first = run.trajectory.first().unwrap().objective;
+    let last = run.trajectory.last().unwrap().objective;
+    assert!(
+        last > first,
+        "objective must improve: {first} -> {last}"
+    );
+    // The trajectory records sane readings.
+    for rec in &run.trajectory {
+        let t = rec.readings_nominal[0]["trans"];
+        assert!((-0.1..=1.2).contains(&t), "transmission {t} out of range");
+    }
+}
+
+#[test]
+fn density_baseline_improves_its_own_view() {
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let run = run_method(&compiled, &MethodSpec::density(), &base(8));
+    let first = run.trajectory.first().unwrap().objective;
+    let last = run.trajectory.last().unwrap().objective;
+    assert!(last > first, "density objective must improve: {first} -> {last}");
+    // Not fab-aware: exactly one factorisation per iteration.
+    assert_eq!(run.factorizations, 8);
+}
+
+#[test]
+fn invfabcor_produces_a_mask_different_from_stage1() {
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let spec = MethodSpec::inv_fab_cor(MethodSpec::ls_m(), 3);
+    let run = run_method(&compiled, &spec, &base(5));
+    let d: f64 = run
+        .mask
+        .as_slice()
+        .iter()
+        .zip(run.stage1_mask.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    assert!(d > 1e-3, "mask correction should alter the mask (|Δ| = {d})");
+}
+
+#[test]
+fn crossing_run_keeps_crosstalk_monitored() {
+    let compiled = CompiledProblem::compile(crossing()).expect("compile");
+    let run = run_method(&compiled, &MethodSpec::boson1(6), &base(6));
+    let last = run.trajectory.last().unwrap();
+    assert!(last.readings_nominal[0].contains_key("xtalk_top"));
+    assert!(last.readings_nominal[0].contains_key("xtalk_bottom"));
+}
+
+#[test]
+fn run_is_deterministic_for_fixed_seed() {
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let r1 = run_method(&compiled, &MethodSpec::boson1(4), &base(4));
+    let r2 = run_method(&compiled, &MethodSpec::boson1(4), &base(4));
+    for (a, b) in r1.mask.as_slice().iter().zip(r2.mask.as_slice()) {
+        assert!((a - b).abs() < 1e-12, "runs with the same seed must agree");
+    }
+}
+
+#[test]
+fn fab_aware_costs_more_simulations_than_free() {
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let free = run_method(&compiled, &MethodSpec::ls(), &base(4));
+    let robust = run_method(&compiled, &MethodSpec::boson1(4), &base(4));
+    assert!(
+        robust.factorizations > 3 * free.factorizations,
+        "axial+worst sampling must cost several× the nominal-only run: {} vs {}",
+        robust.factorizations,
+        free.factorizations
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate physics validation: the FDFD solver against the iterative
+//! solver, reciprocity, and frequency scaling.
+
+use boson1::fdfd::grid::{Axis, Sign, SimGrid};
+use boson1::fdfd::monitor::ModalMonitor;
+use boson1::fdfd::operator::{assemble_banded, assemble_csr};
+use boson1::fdfd::pml::SFactors;
+use boson1::fdfd::port::Port;
+use boson1::fdfd::sim::Simulation;
+use boson1::fdfd::source::ModalSource;
+use boson1::num::{Array2, Complex64};
+use boson1::sparse::{bicgstab, BicgstabOptions};
+
+const OMEGA: f64 = 2.0 * std::f64::consts::PI / 1.55;
+
+fn straight_wg(grid: &SimGrid) -> Array2<f64> {
+    Array2::from_fn(grid.ny, grid.nx, |iy, _| {
+        if iy.abs_diff(grid.ny / 2) < 4 {
+            12.11
+        } else {
+            1.0
+        }
+    })
+}
+
+#[test]
+fn direct_and_iterative_solvers_agree() {
+    // Same operator, same right-hand side: banded LU vs BiCGSTAB.
+    // (A lossy diagonal shift keeps the Krylov iteration well-behaved —
+    // we check both solvers against the *same* shifted system.)
+    let grid = SimGrid::new(30, 26, 0.05, 8);
+    let s = SFactors::new(&grid, OMEGA);
+    let eps = straight_wg(&grid);
+    let banded = assemble_banded(&grid, &s, &eps, OMEGA);
+    let csr = assemble_csr(&grid, &s, &eps, OMEGA);
+    // Build shifted copies.
+    let n = grid.n();
+    let shift = Complex64::new(0.0, 25.0);
+    let mut banded_shifted = banded.clone();
+    let mut coo = boson1::sparse::CooMatrix::new(n, n);
+    for i in 0..n {
+        banded_shifted.add(i, i, shift);
+        for j in i.saturating_sub(grid.nx)..(i + grid.nx + 1).min(n) {
+            let v = csr.get(i, j);
+            if v != Complex64::ZERO {
+                coo.push(i, j, v);
+            }
+        }
+        coo.push(i, i, shift);
+    }
+    let csr_shifted = coo.to_csr();
+    let rhs: Vec<Complex64> = (0..n)
+        .map(|k| Complex64::new((k as f64 * 0.05).sin(), (k as f64 * 0.02).cos()))
+        .collect();
+    let lu = banded_shifted.factor().unwrap();
+    let x_direct = lu.solve_vec(&rhs);
+    let x_iter = bicgstab(
+        &csr_shifted,
+        &rhs,
+        &BicgstabOptions {
+            tol: 1e-12,
+            max_iter: 20_000,
+            jacobi_precondition: true,
+        },
+    )
+    .expect("bicgstab convergence")
+    .x;
+    let num: f64 = x_direct
+        .iter()
+        .zip(&x_iter)
+        .map(|(a, b)| (*a - *b).norm_sqr())
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = x_direct.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    assert!(num / den < 1e-7, "solver disagreement: {}", num / den);
+}
+
+#[test]
+fn reciprocity_left_to_right_equals_right_to_left() {
+    // A passive linear device is reciprocal: transmission L→R equals R→L
+    // for the same mode pair.
+    let grid = SimGrid::new(60, 50, 0.05, 10);
+    let mut eps = straight_wg(&grid);
+    // Asymmetric scatterer in the middle.
+    for iy in 20..24 {
+        for ix in 28..36 {
+            eps[(iy, ix)] = 12.11;
+        }
+    }
+    let sim = Simulation::new(grid, OMEGA, eps.clone()).unwrap();
+    let port_l = Port::new("l", Axis::X, 14, 10, 40);
+    let port_r = Port::new("r", Axis::X, 45, 10, 40);
+    let mode_l = port_l.solve_modes(&grid, &eps, OMEGA, 1).remove(0);
+    let mode_r = port_r.solve_modes(&grid, &eps, OMEGA, 1).remove(0);
+
+    let fwd_src = ModalSource::new(port_l.clone(), mode_l.clone(), Sign::Plus);
+    let f_fwd = sim.solve_current(&fwd_src.current(&grid));
+    let mon_r = ModalMonitor::new(&grid, &port_r, &mode_r, Sign::Plus);
+    let t_lr = mon_r.power(&f_fwd.ez);
+
+    let bwd_src = ModalSource::new(port_r, mode_r, Sign::Minus);
+    let f_bwd = sim.solve_current(&bwd_src.current(&grid));
+    let mon_l = ModalMonitor::new(&grid, &port_l, &mode_l, Sign::Minus);
+    let t_rl = mon_l.power(&f_bwd.ez);
+
+    assert!(t_lr > 1e-8);
+    assert!(
+        (t_lr - t_rl).abs() / t_lr < 0.02,
+        "reciprocity violated: {t_lr} vs {t_rl}"
+    );
+}
+
+#[test]
+fn mode_effective_index_between_cladding_and_core() {
+    let grid = SimGrid::new(40, 40, 0.05, 8);
+    let eps = straight_wg(&grid);
+    let port = Port::new("p", Axis::X, 12, 8, 32);
+    for count in 1..=2 {
+        let modes = port.solve_modes(&grid, &eps, OMEGA, count);
+        for m in &modes {
+            assert!(m.neff > 1.0 && m.neff < 12.11f64.sqrt(), "neff {}", m.neff);
+        }
+    }
+}
+
+#[test]
+fn higher_frequency_confines_mode_more() {
+    let grid = SimGrid::new(40, 40, 0.05, 8);
+    let eps = straight_wg(&grid);
+    let port = Port::new("p", Axis::X, 12, 8, 32);
+    let m1 = port.solve_modes(&grid, &eps, OMEGA, 1).remove(0);
+    let m2 = port.solve_modes(&grid, &eps, OMEGA * 1.3, 1).remove(0);
+    assert!(
+        m2.neff > m1.neff,
+        "effective index should grow with frequency: {} vs {}",
+        m2.neff,
+        m1.neff
+    );
+}

@@ -1,0 +1,134 @@
+//! Integration tests of the post-fabrication evaluation pipeline:
+//! fabrication corners really erode/dilate device patterns, and the
+//! Monte-Carlo evaluator produces physically-sane, reproducible numbers.
+
+use boson1::core::baselines::standard_chain;
+use boson1::core::compiled::CompiledProblem;
+use boson1::core::eval::{binarize_mask, evaluate_ideal, evaluate_post_fab};
+use boson1::core::problem::bending;
+use boson1::fab::{VariationCorner, VariationSpace};
+use boson1::litho::LithoCorner;
+use boson1::num::Array2;
+use boson1::param::{LevelSetConfig, LevelSetParam, Parameterization};
+
+fn seed_mask() -> (CompiledProblem, Array2<f64>) {
+    let compiled = CompiledProblem::compile(bending()).expect("compile");
+    let p = compiled.problem().clone();
+    let ls = LevelSetParam::new(
+        p.design_shape.0,
+        p.design_shape.1,
+        p.grid.dx,
+        LevelSetConfig::default(),
+    );
+    let mask = ls.forward(&ls.theta_from_geometry(&p.seed));
+    (compiled, mask)
+}
+
+#[test]
+fn fabrication_corners_change_the_device() {
+    let (compiled, mask) = seed_mask();
+    let chain = standard_chain(compiled.problem());
+    let binary = binarize_mask(&mask);
+    let area = |corner: LithoCorner| -> f64 {
+        let c = VariationCorner {
+            litho: corner,
+            ..VariationCorner::nominal()
+        };
+        chain.forward(&binary, &c, false).rho_fab.sum()
+    };
+    let a_min = area(LithoCorner::Min);
+    let a_nom = area(LithoCorner::Nominal);
+    let a_max = area(LithoCorner::Max);
+    assert!(a_min < a_nom, "under-dose erodes: {a_min} !< {a_nom}");
+    assert!(a_max > a_nom, "over-dose dilates: {a_max} !> {a_nom}");
+}
+
+#[test]
+fn fine_features_do_not_survive_fabrication() {
+    // A 1-pixel (50 nm) comb is far below the litho resolution: after
+    // fabrication, its solid fraction collapses or fuses — the pattern is
+    // qualitatively destroyed, unlike a wide strip.
+    let (compiled, _) = seed_mask();
+    let chain = standard_chain(compiled.problem());
+    let (dr, dc) = compiled.problem().design_shape;
+    let comb = Array2::from_fn(dr, dc, |r, _| if r % 2 == 0 { 1.0 } else { 0.0 });
+    let fabbed = chain
+        .forward(&comb, &VariationCorner::nominal(), true)
+        .rho_fab;
+    // The comb's fine alternation must be gone: neighbouring rows no
+    // longer alternate.
+    let mut alternating = 0;
+    for r in 1..dr {
+        for c in 0..dc {
+            if (fabbed[(r, c)] - fabbed[(r - 1, c)]).abs() > 0.5 {
+                alternating += 1;
+            }
+        }
+    }
+    let frac = alternating as f64 / ((dr - 1) * dc) as f64;
+    assert!(
+        frac < 0.2,
+        "sub-resolution comb survived fabrication ({frac:.2} of edges alternate)"
+    );
+}
+
+#[test]
+fn wide_strip_survives_fabrication() {
+    let (compiled, _) = seed_mask();
+    let chain = standard_chain(compiled.problem());
+    let (dr, dc) = compiled.problem().design_shape;
+    // 0.4 µm strip (8 cells) — well above the ~0.16 µm MFS.
+    let strip = Array2::from_fn(dr, dc, |r, _| {
+        if r.abs_diff(dr / 2) <= 4 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let fabbed = chain
+        .forward(&strip, &VariationCorner::nominal(), true)
+        .rho_fab;
+    // Compare areas away from the mask ends (the finite mask is padded
+    // with void, so the strip ends legitimately erode).
+    let central = |a: &Array2<f64>| -> f64 {
+        let mut s = 0.0;
+        for r in 0..dr {
+            for c in dc / 4..3 * dc / 4 {
+                s += a[(r, c)];
+            }
+        }
+        s
+    };
+    let in_area = central(&strip);
+    let out_area = central(&fabbed);
+    assert!(
+        (out_area - in_area).abs() / in_area < 0.2,
+        "wide strip should survive: {in_area} -> {out_area}"
+    );
+}
+
+#[test]
+fn post_fab_mc_is_reproducible_and_bounded() {
+    let (compiled, mask) = seed_mask();
+    let chain = standard_chain(compiled.problem());
+    let space = VariationSpace::default();
+    let r1 = evaluate_post_fab(&compiled, &chain, &space, &mask, 5, 42);
+    let r2 = evaluate_post_fab(&compiled, &chain, &space, &mask, 5, 42);
+    assert_eq!(r1.samples, r2.samples, "same seed ⇒ same draws");
+    for s in &r1.samples {
+        assert!((-0.1..=1.2).contains(s), "transmission sample {s} out of range");
+    }
+    // Variation must actually move the FoM between samples.
+    assert!(r1.fom.std > 0.0, "MC samples identical — variation not applied");
+}
+
+#[test]
+fn ideal_evaluation_binarizes_first() {
+    let (compiled, mask) = seed_mask();
+    let half = mask.map(|&v| v * 0.5 + 0.25); // all grey
+    let (fom_grey, _) = evaluate_ideal(&compiled, &half);
+    let (fom_binary, _) = evaluate_ideal(&compiled, &mask);
+    // Both must be evaluated as *binary* devices: the grey version
+    // binarises to the same pattern (threshold 0.5) only where mask>0.5.
+    assert!(fom_grey.is_finite() && fom_binary.is_finite());
+}

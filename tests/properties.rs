@@ -1,0 +1,145 @@
+//! Property-based tests of the domain-level invariants: fabrication
+//! models, parameterisations and corner algebra.
+
+use boson1::fab::{
+    hard_threshold, EoleField, EoleParams, EtchProjection, SamplingStrategy, VariationSpace,
+};
+use boson1::num::Array2;
+use boson1::param::sdf::{Geometry, Shape};
+use boson1::param::{
+    DensityConfig, DensityParam, LevelSetConfig, LevelSetParam, Parameterization,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn etch_projection_is_monotone_and_bounded(
+        beta in 1.0f64..100.0,
+        eta in 0.2f64..0.8,
+        i1 in 0.0f64..1.5,
+        i2 in 0.0f64..1.5
+    ) {
+        let p = EtchProjection::new(beta);
+        let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+        prop_assert!(p.project(lo, eta) <= p.project(hi, eta) + 1e-12);
+        // Intensities in [0,1] map into [0,1] exactly.
+        let v = p.project(lo.min(1.0), eta);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+    }
+
+    #[test]
+    fn hard_threshold_matches_sharp_projection_limit(
+        eta in 0.25f64..0.75,
+        i in 0.0f64..1.0
+    ) {
+        prop_assume!((i - eta).abs() > 0.02);
+        let sharp = EtchProjection::new(500.0);
+        let intensity = Array2::filled(1, 1, i);
+        let eta_map = Array2::filled(1, 1, eta);
+        let hard = hard_threshold(&intensity, &eta_map)[(0, 0)];
+        let soft = sharp.project(i, eta);
+        prop_assert!((hard - soft).abs() < 1e-3, "i={i} eta={eta}: {hard} vs {soft}");
+    }
+
+    #[test]
+    fn eole_field_is_linear_in_xi(
+        x1 in proptest::collection::vec(-2.0f64..2.0, 8..=8),
+        x2 in proptest::collection::vec(-2.0f64..2.0, 8..=8)
+    ) {
+        let f = EoleField::new(10, 12, 0.05, EoleParams::default());
+        let sum: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let e1 = f.realise(&x1, 0.0);
+        let e2 = f.realise(&x2, 0.0);
+        let es = f.realise(&sum, 0.0);
+        let mean = f.params().mean;
+        for ((idx, v), _) in es.indexed_iter().zip(0..) {
+            let expect = e1[idx] + e2[idx] - mean;
+            prop_assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn levelset_forward_bounded_and_vjp_scales(
+        seed_vals in proptest::collection::vec(-0.5f64..0.5, 64..=64),
+        scale in 0.1f64..5.0
+    ) {
+        let p = LevelSetParam::new(16, 16, 0.05, LevelSetConfig {
+            control_rows: 8,
+            control_cols: 8,
+            smoothing: 0.05,
+        });
+        let rho = p.forward(&seed_vals);
+        for v in rho.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        // vjp is linear in the cotangent.
+        let v = Array2::filled(16, 16, 1.0);
+        let vs = Array2::filled(16, 16, scale);
+        let g1 = p.vjp(&seed_vals, &v);
+        let gs = p.vjp(&seed_vals, &vs);
+        for (a, b) in g1.iter().zip(&gs) {
+            prop_assert!((a * scale - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn density_blur_never_exceeds_input_range(
+        theta in proptest::collection::vec(-6.0f64..6.0, 12 * 10)
+    ) {
+        let p = DensityParam::new(12, 10, 0.05, DensityConfig {
+            sharpness: 4.0,
+            blur_radius: 1.0,
+        });
+        let rho = p.forward(&theta);
+        for v in rho.as_slice() {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(v), "blurred density {v}");
+        }
+    }
+
+    #[test]
+    fn geometry_union_is_monotone(
+        x in 0.0f64..2.0,
+        y in 0.0f64..2.0,
+        r in 0.05f64..0.5
+    ) {
+        let g1 = Geometry::new().with(Shape::Circle { cx: 1.0, cy: 1.0, r });
+        let g2 = g1.clone().with(Shape::Rect { x0: 0.0, y0: 0.0, x1: 0.3, y1: 0.3 });
+        // Adding a shape can only grow the solid set.
+        if g1.contains(x, y) {
+            prop_assert!(g2.contains(x, y));
+        }
+        prop_assert!(g2.sdf(x, y) <= g1.sdf(x, y) + 1e-12);
+    }
+
+    #[test]
+    fn corner_sets_have_documented_cardinality(seed in 0u64..1000) {
+        let space = VariationSpace::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for strat in [
+            SamplingStrategy::NominalOnly,
+            SamplingStrategy::CornerSweep,
+            SamplingStrategy::AxialSingleSided,
+            SamplingStrategy::AxialDoubleSided,
+            SamplingStrategy::AxialPlusWorst,
+        ] {
+            let corners = space.corners(strat, &mut rng);
+            prop_assert_eq!(corners.len(), strat.base_corner_count());
+            let w: f64 = corners.iter().map(|c| c.weight).sum();
+            prop_assert!((w - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_corners_stay_in_bounds(seed in 0u64..1000) {
+        let space = VariationSpace::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = space.sample_random(&mut rng);
+        let (lo, hi) = space.temperature.range();
+        prop_assert!(c.temperature >= lo && c.temperature <= hi);
+        prop_assert_eq!(c.xi.len(), space.eole.terms);
+    }
+}
