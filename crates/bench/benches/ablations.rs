@@ -19,7 +19,11 @@ fn bench_shared_factorisation(c: &mut Criterion) {
     let grid = SimGrid::new(50, 50, 0.05, 10);
     let omega = 2.0 * std::f64::consts::PI / 1.55;
     let s = SFactors::new(&grid, omega);
-    let eps = Array2::from_fn(50, 50, |iy, _| if iy.abs_diff(25) < 4 { 12.11 } else { 1.0 });
+    let eps = Array2::from_fn(
+        50,
+        50,
+        |iy, _| if iy.abs_diff(25) < 4 { 12.11 } else { 1.0 },
+    );
     let rhs: Vec<Complex64> = (0..grid.n())
         .map(|k| Complex64::new((k as f64 * 0.02).sin(), 0.1))
         .collect();
@@ -56,7 +60,15 @@ fn bench_source_quadrature(c: &mut Criterion) {
     // σ = 0 degenerates all five source points to the pupil centre —
     // effectively coherent imaging at the same quadrature cost, so we
     // compare against the partially-coherent default.
-    let coherent = LithoModel::new(n, n, 0.05, LithoConfig { sigma: 0.0, ..LithoConfig::default() });
+    let coherent = LithoModel::new(
+        n,
+        n,
+        0.05,
+        LithoConfig {
+            sigma: 0.0,
+            ..LithoConfig::default()
+        },
+    );
     let partial = LithoModel::new(n, n, 0.05, LithoConfig::default());
     group.bench_function("coherent_sigma0", |b| {
         b.iter(|| black_box(coherent.aerial_image(&mask, LithoCorner::Nominal)))
@@ -85,5 +97,10 @@ fn bench_kernel_caching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shared_factorisation, bench_source_quadrature, bench_kernel_caching);
+criterion_group!(
+    benches,
+    bench_shared_factorisation,
+    bench_source_quadrature,
+    bench_kernel_caching
+);
 criterion_main!(benches);

@@ -2,8 +2,10 @@
 //! LU factorisation, triangular solves, and the BiCGSTAB comparison.
 
 use boson_fdfd::grid::SimGrid;
-use boson_fdfd::operator::{assemble_banded, assemble_csr};
+use boson_fdfd::operator::{assemble_banded, assemble_csr, scale_source};
 use boson_fdfd::pml::SFactors;
+use boson_fdfd::sim::SimWorkspace;
+use boson_num::banded::reference;
 use boson_num::{Array2, Complex64};
 use boson_sparse::{bicgstab, BicgstabOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -13,13 +15,17 @@ fn setup(n: usize) -> (SimGrid, SFactors, Array2<f64>, f64) {
     let grid = SimGrid::new(n, n, 0.05, 10);
     let omega = 2.0 * std::f64::consts::PI / 1.55;
     let s = SFactors::new(&grid, omega);
-    let eps = Array2::from_fn(n, n, |iy, _| {
-        if iy.abs_diff(n / 2) < 5 {
-            12.11
-        } else {
-            1.0
-        }
-    });
+    let eps = Array2::from_fn(
+        n,
+        n,
+        |iy, _| {
+            if iy.abs_diff(n / 2) < 5 {
+                12.11
+            } else {
+                1.0
+            }
+        },
+    );
     (grid, s, eps, omega)
 }
 
@@ -48,6 +54,69 @@ fn bench_factor_and_solve(c: &mut Criterion) {
     c.bench_function("banded_lu_solve_transpose_64x64", |b| {
         b.iter(|| black_box(lu.solve_transpose_vec(&rhs)))
     });
+}
+
+/// The acceptance benchmark of the zero-allocation pipeline: one full
+/// variation-corner loop (four permittivities, each factored once and
+/// solved forward + adjoint) through
+///
+/// * `naive_alloc_per_call` — the seed's path: fresh `SFactors`, fresh
+///   band allocation, the scalar `reference` kernel, per-call RHS
+///   vectors; vs
+/// * `workspace_pipeline` — cached `SFactors`, reused band/factor/RHS
+///   buffers and the vectorised kernels via `SimWorkspace`.
+///
+/// `scripts/bench.sh` extracts the two medians into `BENCH_solver.json`
+/// and reports the speedup (target ≥ 1.5×).
+fn bench_corner_loop(c: &mut Criterion) {
+    let (grid, _, eps0, omega) = setup(64);
+    // Four corner permittivities (temperature-like diagonal shifts).
+    let corners: Vec<Array2<f64>> = (0..4)
+        .map(|k| eps0.map(|&e| if e > 1.0 { e + 0.05 * k as f64 } else { e }))
+        .collect();
+    let mut jz = vec![Complex64::ZERO; grid.n()];
+    for iy in 27..37 {
+        jz[grid.idx(14, iy)] = Complex64::ONE;
+    }
+    let g: Vec<Complex64> = (0..grid.n())
+        .map(|k| Complex64::new((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+        .collect();
+
+    let mut group = c.benchmark_group("corner_loop");
+    group.sample_size(10);
+    group.bench_function("naive_alloc_per_call", |b| {
+        b.iter(|| {
+            let mut acc = Complex64::ZERO;
+            for eps in &corners {
+                let s = SFactors::new(&grid, omega);
+                let a = assemble_banded(&grid, &s, eps, omega);
+                let lu = reference::factor(a).unwrap();
+                let mut fwd = scale_source(&grid, &s, omega, &jz);
+                reference::solve(&lu, &mut fwd);
+                let mut adj = g.to_vec();
+                reference::solve(&lu, &mut adj);
+                acc += fwd[grid.n() / 2] + adj[grid.n() / 2];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("workspace_pipeline", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut fwd = Vec::new();
+        let mut adj = vec![Complex64::ZERO; grid.n()];
+        b.iter(|| {
+            let mut acc = Complex64::ZERO;
+            for eps in &corners {
+                ws.factor(grid, omega, eps).unwrap();
+                ws.solve_current_into(&jz, &mut fwd);
+                adj.copy_from_slice(&g);
+                ws.solve_adjoint_in_place(&mut adj);
+                acc += fwd[grid.n() / 2] + adj[grid.n() / 2];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
 }
 
 fn bench_bicgstab(c: &mut Criterion) {
@@ -90,6 +159,6 @@ fn bench_bicgstab(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_assembly, bench_factor_and_solve, bench_bicgstab
+    targets = bench_assembly, bench_factor_and_solve, bench_corner_loop, bench_bicgstab
 }
 criterion_main!(benches);

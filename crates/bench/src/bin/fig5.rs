@@ -53,7 +53,9 @@ fn main() {
         let run = run_method(&compiled, &spec, &base);
         eprintln!("  {} done in {:.1}s", spec.name, t0.elapsed().as_secs_f64());
         println!("\n# {}", spec.name);
-        println!("iter,fwd_trans3,fwd_trans1,fwd_refl,fwd_rad,bwd_leak,bwd_reflb,bwd_radb,contrast");
+        println!(
+            "iter,fwd_trans3,fwd_trans1,fwd_refl,fwd_rad,bwd_leak,bwd_reflb,bwd_radb,contrast"
+        );
         for rec in &run.trajectory {
             let f = &rec.readings_nominal[0];
             let b = &rec.readings_nominal[1];

@@ -36,7 +36,10 @@ fn main() {
         ("Single-sided axial", SamplingStrategy::AxialSingleSided),
         ("Double-sided axial", SamplingStrategy::AxialDoubleSided),
         ("Nominal only", SamplingStrategy::NominalOnly),
-        ("Axial+random", SamplingStrategy::AxialPlusRandom { count: 1 }),
+        (
+            "Axial+random",
+            SamplingStrategy::AxialPlusRandom { count: 1 },
+        ),
         ("Axial+worst case", SamplingStrategy::AxialPlusWorst),
     ];
 
@@ -49,7 +52,14 @@ fn main() {
         };
         let t0 = Instant::now();
         let run = run_method(&compiled, &spec, &base);
-        let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, cfg.mc_samples, cfg.seed + 300);
+        let post = evaluate_post_fab(
+            &compiled,
+            &chain,
+            &space,
+            &run.mask,
+            cfg.mc_samples,
+            cfg.seed + 300,
+        );
         eprintln!("  {label} done in {:.1}s", t0.elapsed().as_secs_f64());
         let per_iter = run.factorizations as f64 / cfg.iterations as f64;
         table.row([

@@ -49,9 +49,20 @@ fn main() {
         let t0 = Instant::now();
         let run = run_method(&compiled, &spec, &base);
         let (contrast, readings) = evaluate_nominal_fab(&compiled, &chain, &run.mask);
-        eprintln!("  relax={epochs} done in {:.1}s", t0.elapsed().as_secs_f64());
-        let label = if epochs == 0 { "w/o".to_string() } else { epochs.to_string() };
-        table.row([label, fom_fmt(contrast), format!("{:.4}", readings[0]["trans3"])]);
+        eprintln!(
+            "  relax={epochs} done in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+        let label = if epochs == 0 {
+            "w/o".to_string()
+        } else {
+            epochs.to_string()
+        };
+        table.row([
+            label,
+            fom_fmt(contrast),
+            format!("{:.4}", readings[0]["trans3"]),
+        ]);
     }
     println!("{}", table.render());
     println!("\n(paper: relaxation improves contrast by orders of magnitude over w/o)");

@@ -37,7 +37,10 @@ fn isolator_pair(readings: &[std::collections::HashMap<String, f64>]) -> (f64, f
 
 fn main() {
     let cfg = ExpConfig::from_env(50, 20);
-    println!("== Table I: main results (iters={}, MC={}) ==\n", cfg.iterations, cfg.mc_samples);
+    println!(
+        "== Table I: main results (iters={}, MC={}) ==\n",
+        cfg.iterations, cfg.mc_samples
+    );
     let base = BaseRunConfig {
         iterations: cfg.iterations,
         lr: 0.03,
@@ -46,7 +49,13 @@ fn main() {
     };
     let space = VariationSpace::default();
 
-    let mut table = Table::new(["Benchmark", "Model", "Fwd & bwd transmission", "Avg FoM", "sims"]);
+    let mut table = Table::new([
+        "Benchmark",
+        "Model",
+        "Fwd & bwd transmission",
+        "Avg FoM",
+        "sims",
+    ]);
     let mut improvements: Vec<f64> = Vec::new();
 
     for problem in all_benchmarks() {
@@ -60,8 +69,19 @@ fn main() {
             let t0 = Instant::now();
             let run = run_method(&compiled, &spec, &base);
             let (fom_pre, readings_pre) = pre_fab(&compiled, &spec, &run);
-            let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, cfg.mc_samples, cfg.seed + 1000);
-            eprintln!("  [{name}] {} done in {:.1}s", spec.name, t0.elapsed().as_secs_f64());
+            let post = evaluate_post_fab(
+                &compiled,
+                &chain,
+                &space,
+                &run.mask,
+                cfg.mc_samples,
+                cfg.seed + 1000,
+            );
+            eprintln!(
+                "  [{name}] {} done in {:.1}s",
+                spec.name,
+                t0.elapsed().as_secs_f64()
+            );
 
             if is_isolator {
                 let (f_pre, b_pre) = isolator_pair(&readings_pre);
@@ -92,7 +112,11 @@ fn main() {
         for &b in &post_foms[..post_foms.len() - 1] {
             let imp = if is_isolator {
                 // Lower is better: fraction of baseline contrast removed.
-                if b > 0.0 { (b - boson) / b } else { 0.0 }
+                if b > 0.0 {
+                    (b - boson) / b
+                } else {
+                    0.0
+                }
             } else {
                 // Higher is better: relative gain, capped at 100 %.
                 ((boson - b) / b.max(1e-9)).min(1.0)
@@ -112,7 +136,10 @@ fn main() {
 
     println!("{}", table.render());
     let total = improvements.iter().sum::<f64>() / improvements.len() as f64;
-    println!("\ntotal avg improvement: {:.1}%  (paper: 74.3%)", total * 100.0);
+    println!(
+        "\ntotal avg improvement: {:.1}%  (paper: 74.3%)",
+        total * 100.0
+    );
     println!("(bending/crossing FoM = transmission efficiency, higher better;");
     println!(" isolator FoM = isolation contrast, lower better)");
 }

@@ -77,7 +77,14 @@ fn main() {
     for (label, spec) in variants {
         let t0 = Instant::now();
         let run = run_method(&compiled, &spec, &base);
-        let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, cfg.mc_samples, cfg.seed + 500);
+        let post = evaluate_post_fab(
+            &compiled,
+            &chain,
+            &space,
+            &run.mask,
+            cfg.mc_samples,
+            cfg.seed + 500,
+        );
         let fwd = post.readings_mean["fwd/trans3"];
         let bwd = post.readings_mean["bwd/leak0"] + post.readings_mean["bwd/leak2"];
         let contrast = post.fom.mean;
@@ -90,7 +97,11 @@ fn main() {
             Some(b) => {
                 // Paper's convention: how much of the achieved contrast
                 // quality is lost, as a fraction of the ablated value.
-                let d = if contrast > b { (contrast - b) / contrast } else { 0.0 };
+                let d = if contrast > b {
+                    (contrast - b) / contrast
+                } else {
+                    0.0
+                };
                 format!("{:.0}%", d * 100.0)
             }
         };

@@ -53,7 +53,14 @@ fn main() {
         let f_pre = pre_readings[0]["trans3"];
         let b_pre = pre_readings[1]["leak0"] + pre_readings[1]["leak2"];
         let pre_contrast = b_pre / (f_pre + 1e-6);
-        let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, cfg.mc_samples, cfg.seed + 2000);
+        let post = evaluate_post_fab(
+            &compiled,
+            &chain,
+            &space,
+            &run.mask,
+            cfg.mc_samples,
+            cfg.seed + 2000,
+        );
         let f_post = post.readings_mean["fwd/trans3"];
         let b_post = post.readings_mean["bwd/leak0"] + post.readings_mean["bwd/leak2"];
         eprintln!("  {} done in {:.1}s", spec.name, t0.elapsed().as_secs_f64());
@@ -75,5 +82,7 @@ fn main() {
     }
     println!("{}", table.render());
     println!("\n(Avg FoM = isolation contrast under Monte-Carlo variation; lower is better.");
-    println!(" BOSON-1 rows show post-fab only — its optimisation target *is* the fabricated device.)");
+    println!(
+        " BOSON-1 rows show post-fab only — its optimisation target *is* the fabricated device.)"
+    );
 }

@@ -38,9 +38,14 @@ impl ExpConfig {
     /// Reads the configuration from the environment with the given
     /// defaults; `BOSON_FAST=1` shrinks everything to smoke-test scale.
     pub fn from_env(default_iters: usize, default_mc: usize) -> Self {
-        let fast = std::env::var("BOSON_FAST").map(|v| v == "1").unwrap_or(false);
+        let fast = std::env::var("BOSON_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let geti = |k: &str, d: usize| -> usize {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         Self {
             iterations: geti("BOSON_ITERS", if fast { 4 } else { default_iters }),
@@ -82,8 +87,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let sep: String =
-            widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+";
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+";
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
             for (i, w) in widths.iter().enumerate() {

@@ -16,7 +16,9 @@ use crate::optimizer::{Adam, AdamConfig};
 use crate::problem::DeviceProblem;
 use crate::runner::{InitKind, InverseDesigner, IterationRecord, RunnerConfig};
 use crate::schedule::RelaxationSchedule;
-use boson_fab::{EoleField, EoleParams, EtchProjection, SamplingStrategy, VariationCorner, VariationSpace};
+use boson_fab::{
+    EoleField, EoleParams, EtchProjection, SamplingStrategy, VariationCorner, VariationSpace,
+};
 use boson_litho::{LithoConfig, LithoCorner, LithoModel};
 use boson_num::Array2;
 use boson_param::{DensityConfig, DensityParam, LevelSetConfig, LevelSetParam};
@@ -295,9 +297,19 @@ pub fn mask_correction(
     };
     // Latent per-pixel variables through a sigmoid; start at the target.
     let sharp = 4.0;
-    let mut theta: Vec<f64> = target.as_slice().iter().map(|&t| if t > 0.5 { 1.0 } else { -1.0 }).collect();
+    let mut theta: Vec<f64> = target
+        .as_slice()
+        .iter()
+        .map(|&t| if t > 0.5 { 1.0 } else { -1.0 })
+        .collect();
     let sigmoid = |t: f64| 1.0 / (1.0 + (-sharp * t).exp());
-    let mut adam = Adam::new(theta.len(), AdamConfig { lr: spec.lr, ..Default::default() });
+    let mut adam = Adam::new(
+        theta.len(),
+        AdamConfig {
+            lr: spec.lr,
+            ..Default::default()
+        },
+    );
     let n = (dr * dc) as f64;
     for _ in 0..spec.iterations {
         let mask = Array2::from_fn(dr, dc, |r, c| sigmoid(theta[r * dc + c]));
@@ -351,7 +363,10 @@ pub fn run_method(
     let space = VariationSpace::default();
     let config = RunnerConfig {
         iterations: base.iterations,
-        adam: AdamConfig { lr: base.lr * spec.lr_scale, ..Default::default() },
+        adam: AdamConfig {
+            lr: base.lr * spec.lr_scale,
+            ..Default::default()
+        },
         sampling: spec.sampling,
         relaxation: RelaxationSchedule::over(spec.relax_epochs),
         beta_start: 10.0,
@@ -485,9 +500,7 @@ mod tests {
         );
         let err = |mask: &Array2<f64>| -> f64 {
             let fwd = chain.forward(mask, &VariationCorner::nominal(), false);
-            fwd.rho_fab
-                .zip_map(&target, |a, b| (a - b) * (a - b))
-                .sum()
+            fwd.rho_fab.zip_map(&target, |a, b| (a - b) * (a - b)).sum()
         };
         let e_raw = err(&target);
         let e_corr = err(&corrected);

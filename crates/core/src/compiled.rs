@@ -13,7 +13,8 @@ use crate::fabchain::assemble_eps;
 use crate::objective::Readings;
 use crate::problem::{DeviceProblem, MonitorKind};
 use boson_fdfd::monitor::ModalMonitor;
-use boson_fdfd::sim::Simulation;
+use boson_fdfd::operator::scale_source_into;
+use boson_fdfd::sim::{SimWorkspace, Simulation};
 use boson_fdfd::source::ModalSource;
 use boson_num::banded::SingularMatrixError;
 use boson_num::{Array2, Complex64};
@@ -39,6 +40,32 @@ pub struct Evaluation {
     pub grad_eps: Option<Array2<f64>>,
     /// Number of linear-system factorisations performed.
     pub factorizations: usize,
+}
+
+/// Reusable buffers for repeated [`CompiledProblem::evaluate_eps_scratch`]
+/// calls: one FDFD factor/solve workspace plus the current, field and
+/// adjoint blocks. Keep one per worker thread; after the first evaluation
+/// the entire solve path runs without heap allocation.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    sim: SimWorkspace,
+    /// Raw current buffer (one excitation at a time).
+    jz: Vec<Complex64>,
+    /// Column-major field block, `n × n_excitations`.
+    fields: Vec<Complex64>,
+    /// Column-major adjoint source/solution block, `n × n_excitations`.
+    adj: Vec<Complex64>,
+    /// Which adjoint columns carry a non-zero source.
+    adj_active: Vec<bool>,
+    /// Excitation indices of the active columns, in packed order.
+    active_cols: Vec<usize>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A benchmark compiled against its background geometry.
@@ -111,7 +138,11 @@ impl CompiledProblem {
             let mut bound = Vec::new();
             for spec in &exc.monitors {
                 let bm = match &spec.kind {
-                    MonitorKind::Modal { port, mode, direction } => {
+                    MonitorKind::Modal {
+                        port,
+                        mode,
+                        direction,
+                    } => {
                         let modes = &port_modes[*port];
                         assert!(
                             *mode < modes.len(),
@@ -222,6 +253,9 @@ impl CompiledProblem {
     /// objective (used by the sparse-objective ablation, which strips the
     /// auxiliary constraints).
     ///
+    /// Allocates a fresh [`EvalScratch`] per call; hot loops should keep
+    /// one and use [`CompiledProblem::evaluate_eps_scratch`].
+    ///
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] if the operator factorisation
@@ -232,17 +266,67 @@ impl CompiledProblem {
         with_grad: bool,
         spec: &crate::objective::ObjectiveSpec,
     ) -> Result<Evaluation, SingularMatrixError> {
+        let mut scratch = EvalScratch::new();
+        self.evaluate_eps_scratch(eps, with_grad, spec, &mut scratch)
+    }
+
+    /// The zero-allocation evaluation path: factors the operator into the
+    /// scratch's [`SimWorkspace`], pushes **all** excitation solves through
+    /// one batched [`boson_num::banded::BandedLu::solve_many`] sweep, and
+    /// (when `with_grad`) does the same for every adjoint system before
+    /// accumulating `∂objective/∂ε`.
+    ///
+    /// After the scratch's first use with this problem, the factor-and-
+    /// solve path performs no heap allocation (the returned [`Evaluation`]
+    /// still owns its readings and gradient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the operator factorisation
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` does not have the grid's shape.
+    #[allow(clippy::needless_range_loop)] // excitation index addresses four parallel blocks
+    pub fn evaluate_eps_scratch(
+        &self,
+        eps: &Array2<f64>,
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+        scratch: &mut EvalScratch,
+    ) -> Result<Evaluation, SingularMatrixError> {
         let grid = self.problem.grid;
-        let sim = Simulation::new(grid, self.problem.omega, eps.clone())?;
-        let mut fields = Vec::with_capacity(self.sources.len());
-        let mut readings: Readings = Vec::with_capacity(self.sources.len());
+        let n = grid.n();
+        let nexc = self.sources.len();
+        scratch.sim.factor(grid, self.problem.omega, eps)?;
+
+        // Forward: scale every excitation's current into one column-major
+        // block and solve them together.
+        scratch.jz.clear();
+        scratch.jz.resize(n, Complex64::ZERO);
+        scratch.fields.clear();
+        scratch.fields.resize(n * nexc, Complex64::ZERO);
         for (ei, src) in self.sources.iter().enumerate() {
-            let field = sim.solve_current(&src.current(&grid));
+            src.current_into(&grid, &mut scratch.jz);
+            scale_source_into(
+                &grid,
+                scratch.sim.sfactors(),
+                self.problem.omega,
+                &scratch.jz,
+                &mut scratch.fields[ei * n..(ei + 1) * n],
+            );
+        }
+        scratch.sim.lu().solve_many(&mut scratch.fields, nexc);
+
+        let mut readings: Readings = Vec::with_capacity(nexc);
+        for ei in 0..nexc {
+            let ez = &scratch.fields[ei * n..(ei + 1) * n];
             let mut map = HashMap::new();
             // Modal monitors first, residuals second.
             for (name, mon) in &self.monitors[ei] {
                 if let BoundMonitor::Modal(m) = mon {
-                    map.insert(name.clone(), m.power(&field.ez) / self.norm_power[ei]);
+                    map.insert(name.clone(), m.power(ez) / self.norm_power[ei]);
                 }
             }
             for (name, mon) in &self.monitors[ei] {
@@ -252,7 +336,6 @@ impl CompiledProblem {
                 }
             }
             readings.push(map);
-            fields.push(field);
         }
         let objective = spec.objective(&readings);
         let fom = spec.fom(&readings);
@@ -279,28 +362,50 @@ impl CompiledProblem {
                     *dr[ei].entry(name).or_default() += g;
                 }
             }
-            // Adjoint per excitation.
-            let mut total = Array2::zeros(grid.ny, grid.nx);
-            for (ei, field) in fields.iter().enumerate() {
-                let mut g_field = vec![Complex64::ZERO; grid.n()];
-                let mut any = false;
+            // Adjoint sources per excitation, then one batched solve.
+            scratch.adj.clear();
+            scratch.adj.resize(n * nexc, Complex64::ZERO);
+            scratch.adj_active.clear();
+            scratch.adj_active.resize(nexc, false);
+            for ei in 0..nexc {
+                let ez = &scratch.fields[ei * n..(ei + 1) * n];
+                let g_field = &mut scratch.adj[ei * n..(ei + 1) * n];
                 for (name, mon) in &self.monitors[ei] {
                     if let BoundMonitor::Modal(m) = mon {
                         if let Some(&g) = dr[ei].get(name) {
                             if g != 0.0 {
-                                m.accumulate_power_grad(
-                                    &field.ez,
-                                    g / self.norm_power[ei],
-                                    &mut g_field,
-                                );
-                                any = true;
+                                m.accumulate_power_grad(ez, g / self.norm_power[ei], g_field);
+                                scratch.adj_active[ei] = true;
                             }
                         }
                     }
                 }
-                if any {
-                    let lambda = sim.solve_adjoint(&g_field);
-                    total += &sim.grad_eps(field, &lambda);
+            }
+            // Pack the active columns to the front of the block so dead
+            // excitations (no monitor gradient — common under the sparse
+            // objective) cost no triangular sweeps at all.
+            scratch.active_cols.clear();
+            for ei in 0..nexc {
+                if scratch.adj_active[ei] {
+                    let pos = scratch.active_cols.len();
+                    if pos != ei {
+                        scratch.adj.copy_within(ei * n..(ei + 1) * n, pos * n);
+                    }
+                    scratch.active_cols.push(ei);
+                }
+            }
+            let mut total = Array2::zeros(grid.ny, grid.nx);
+            if !scratch.active_cols.is_empty() {
+                let nactive = scratch.active_cols.len();
+                scratch
+                    .sim
+                    .solve_adjoints_batched_in_place(&mut scratch.adj[..nactive * n], nactive);
+                for (pos, &ei) in scratch.active_cols.iter().enumerate() {
+                    scratch.sim.grad_eps_accumulate(
+                        &scratch.fields[ei * n..(ei + 1) * n],
+                        &scratch.adj[pos * n..(pos + 1) * n],
+                        &mut total,
+                    );
                 }
             }
             Some(total)
@@ -382,10 +487,16 @@ mod tests {
         let ev = c.evaluate_eps(&eps, false).unwrap();
         assert_eq!(ev.readings.len(), 2);
         for key in ["trans3", "trans1", "refl", "rad"] {
-            assert!(ev.readings[0].contains_key(key), "missing fwd reading {key}");
+            assert!(
+                ev.readings[0].contains_key(key),
+                "missing fwd reading {key}"
+            );
         }
         for key in ["leak0", "leak2", "reflb", "radb"] {
-            assert!(ev.readings[1].contains_key(key), "missing bwd reading {key}");
+            assert!(
+                ev.readings[1].contains_key(key),
+                "missing bwd reading {key}"
+            );
         }
         // Readings are physical: powers within [0, ~1].
         for map in &ev.readings {

@@ -39,10 +39,7 @@ pub fn binarize_mask(mask: &Array2<f64>) -> Array2<f64> {
 
 /// Evaluates `mask` with no fabrication model at all (the "ideal" view of
 /// Density/LS-style methods): the binarised mask *is* the device.
-pub fn evaluate_ideal(
-    compiled: &CompiledProblem,
-    mask: &Array2<f64>,
-) -> (f64, Readings) {
+pub fn evaluate_ideal(compiled: &CompiledProblem, mask: &Array2<f64>) -> (f64, Readings) {
     let problem = compiled.problem();
     let rho = binarize_mask(mask);
     let eps = assemble_eps(
@@ -51,7 +48,9 @@ pub fn evaluate_ideal(
         &rho,
         boson_fab::temperature::T_NOMINAL,
     );
-    let ev = compiled.evaluate_eps(&eps, false).expect("ideal evaluation failed");
+    let ev = compiled
+        .evaluate_eps(&eps, false)
+        .expect("ideal evaluation failed");
     (ev.fom, ev.readings)
 }
 
@@ -71,7 +70,9 @@ pub fn evaluate_nominal_fab(
         &fwd.rho_fab,
         corner.temperature,
     );
-    let ev = compiled.evaluate_eps(&eps, false).expect("nominal fab evaluation failed");
+    let ev = compiled
+        .evaluate_eps(&eps, false)
+        .expect("nominal fab evaluation failed");
     (ev.fom, ev.readings)
 }
 
@@ -99,11 +100,15 @@ pub fn evaluate_post_fab(
             &fwd.rho_fab,
             corner.temperature,
         );
-        let ev = compiled.evaluate_eps(&eps, false).expect("MC evaluation failed");
+        let ev = compiled
+            .evaluate_eps(&eps, false)
+            .expect("MC evaluation failed");
         foms.push(ev.fom);
         for (ei, map) in ev.readings.iter().enumerate() {
             for (k, v) in map {
-                *sums.entry(format!("{}/{k}", problem.excitations[ei].name)).or_default() += v;
+                *sums
+                    .entry(format!("{}/{k}", problem.excitations[ei].name))
+                    .or_default() += v;
             }
         }
     }

@@ -7,8 +7,8 @@
 //! `∂F/∂ε` flows all the way back to the mask (and, for the worst-case
 //! corner search, to the variation parameters `t` and `ξ`).
 
-use boson_fab::{EoleField, EtchProjection, VariationCorner};
 use boson_fab::{hard_threshold, TemperatureModel};
+use boson_fab::{EoleField, EtchProjection, VariationCorner};
 use boson_litho::model::AerialImage;
 use boson_litho::LithoModel;
 use boson_num::Array2;
@@ -56,11 +56,6 @@ impl FabChain {
         &self.etch
     }
 
-    /// Replaces the etch projection (used by the β sharpening schedule).
-    pub fn set_etch(&mut self, etch: EtchProjection) {
-        self.etch = etch;
-    }
-
     /// The EOLE threshold field.
     pub fn eole(&self) -> &EoleField {
         &self.eole
@@ -75,6 +70,25 @@ impl FabChain {
     ///
     /// Panics if the mask shape disagrees with the models.
     pub fn forward(&self, mask: &Array2<f64>, corner: &VariationCorner, hard: bool) -> FabForward {
+        self.forward_with_etch(mask, corner, hard, self.etch)
+    }
+
+    /// Like [`FabChain::forward`] but with an explicit etch projection,
+    /// so the β sharpening schedule can vary per iteration without
+    /// mutating the (thread-shared) chain. The matching backward passes
+    /// are [`FabChain::vjp_mask_with_etch`] / [`FabChain::vjp_xi_with_etch`]
+    /// — always pair them with the etch used forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape disagrees with the models.
+    pub fn forward_with_etch(
+        &self,
+        mask: &Array2<f64>,
+        corner: &VariationCorner,
+        hard: bool,
+        etch: EtchProjection,
+    ) -> FabForward {
         let aerial = self.litho.aerial_image(mask, corner.litho);
         let xi = if corner.xi.is_empty() {
             vec![0.0; self.eole.terms()]
@@ -86,7 +100,7 @@ impl FabChain {
         let rho_fab = if hard {
             hard_threshold(&aerial.intensity, &eta)
         } else {
-            self.etch.project_image(&aerial.intensity, &eta)
+            etch.project_image(&aerial.intensity, &eta)
         };
         FabForward {
             mask: mask.clone(),
@@ -103,8 +117,22 @@ impl FabChain {
     ///
     /// Panics if the forward pass was run with `hard = true`.
     pub fn vjp_mask(&self, fwd: &FabForward, v: &Array2<f64>) -> Array2<f64> {
+        self.vjp_mask_with_etch(fwd, v, self.etch)
+    }
+
+    /// Backward pass matching [`FabChain::forward_with_etch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward pass was run with `hard = true`.
+    pub fn vjp_mask_with_etch(
+        &self,
+        fwd: &FabForward,
+        v: &Array2<f64>,
+        etch: EtchProjection,
+    ) -> Array2<f64> {
         assert!(!fwd.hard, "no gradients through the hard threshold");
-        let v_intensity = self.etch.vjp_intensity(&fwd.aerial.intensity, &fwd.eta, v);
+        let v_intensity = etch.vjp_intensity(&fwd.aerial.intensity, &fwd.eta, v);
         self.litho.vjp(&fwd.aerial, &v_intensity)
     }
 
@@ -115,8 +143,22 @@ impl FabChain {
     ///
     /// Panics if the forward pass was run with `hard = true`.
     pub fn vjp_xi(&self, fwd: &FabForward, v: &Array2<f64>) -> Vec<f64> {
+        self.vjp_xi_with_etch(fwd, v, self.etch)
+    }
+
+    /// EOLE-weight backward pass matching [`FabChain::forward_with_etch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward pass was run with `hard = true`.
+    pub fn vjp_xi_with_etch(
+        &self,
+        fwd: &FabForward,
+        v: &Array2<f64>,
+        etch: EtchProjection,
+    ) -> Vec<f64> {
         assert!(!fwd.hard, "no gradients through the hard threshold");
-        let v_eta = self.etch.vjp_eta(&fwd.aerial.intensity, &fwd.eta, v);
+        let v_eta = etch.vjp_eta(&fwd.aerial.intensity, &fwd.eta, v);
         self.eole.grad_xi(&v_eta)
     }
 }
@@ -142,7 +184,10 @@ pub fn assemble_eps(
     let (by, bx) = background_solid.shape();
     let (dr, dc) = rho.shape();
     let (oy, ox) = design_origin;
-    assert!(oy + dr <= by && ox + dc <= bx, "design region out of bounds");
+    assert!(
+        oy + dr <= by && ox + dc <= bx,
+        "design region out of bounds"
+    );
     let mut eps = background_solid.map(|&s| EPS_VOID + (eps_si - EPS_VOID) * s);
     for r in 0..dr {
         for c in 0..dc {
@@ -222,7 +267,11 @@ mod tests {
             assert!(*v >= -0.1 && *v <= 1.1, "density {v} far outside range");
         }
         // The strip survives fabrication: centre is solid, edge void.
-        assert!(out.rho_fab[(12, 12)] > 0.7, "centre: {}", out.rho_fab[(12, 12)]);
+        assert!(
+            out.rho_fab[(12, 12)] > 0.7,
+            "centre: {}",
+            out.rho_fab[(12, 12)]
+        );
         assert!(out.rho_fab[(2, 12)] < 0.2, "edge: {}", out.rho_fab[(2, 12)]);
     }
 
@@ -322,7 +371,10 @@ mod tests {
         let loss = |xi: &[f64]| -> f64 {
             let mut c2 = corner.clone();
             c2.xi = xi.to_vec();
-            ch.forward(&mask, &c2, false).rho_fab.zip_map(&w, |a, b| a * b).sum()
+            ch.forward(&mask, &c2, false)
+                .rho_fab
+                .zip_map(&w, |a, b| a * b)
+                .sum()
         };
         for k in [0usize, ch.eole().terms() - 1] {
             let mut xp = corner.xi.clone();
@@ -347,7 +399,10 @@ mod tests {
         let esi = TemperatureModel::eps_si(300.0);
         assert!((eps[(5, 0)] - esi).abs() < 1e-12, "waveguide cell");
         assert!((eps[(0, 0)] - 1.0).abs() < 1e-12, "void cell");
-        assert!((eps[(4, 4)] - (1.0 + 0.5 * (esi - 1.0))).abs() < 1e-12, "design cell");
+        assert!(
+            (eps[(4, 4)] - (1.0 + 0.5 * (esi - 1.0))).abs() < 1e-12,
+            "design cell"
+        );
     }
 
     #[test]
@@ -359,9 +414,14 @@ mod tests {
         let analytic = grad_temperature(&g, &bg, (4, 4), &rho, t);
         let h = 1e-3;
         let loss = |tt: f64| -> f64 {
-            assemble_eps(&bg, (4, 4), &rho, tt).zip_map(&g, |a, b| a * b).sum()
+            assemble_eps(&bg, (4, 4), &rho, tt)
+                .zip_map(&g, |a, b| a * b)
+                .sum()
         };
         let fd = (loss(t + h) - loss(t - h)) / (2.0 * h);
-        assert!((fd - analytic).abs() < 1e-8 * (1.0 + fd.abs()), "fd={fd} ad={analytic}");
+        assert!(
+            (fd - analytic).abs() < 1e-8 * (1.0 + fd.abs()),
+            "fd={fd} ad={analytic}"
+        );
     }
 }

@@ -43,6 +43,7 @@ pub mod eval;
 pub mod fabchain;
 pub mod objective;
 pub mod optimizer;
+pub mod pool;
 pub mod problem;
 pub mod runner;
 pub mod schedule;

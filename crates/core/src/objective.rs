@@ -85,9 +85,10 @@ impl ObjectiveSpec {
     /// know which way is up via [`ObjectiveSpec::fom_higher_is_better`]).
     pub fn fom(&self, readings: &Readings) -> f64 {
         match &self.main {
-            MainObjective::MaximizePower { excitation, monitor } => {
-                read(readings, *excitation, monitor)
-            }
+            MainObjective::MaximizePower {
+                excitation,
+                monitor,
+            } => read(readings, *excitation, monitor),
             MainObjective::MinimizeContrast { fwd, bwd } => {
                 let f = read(readings, fwd.0, &fwd.1);
                 let b: f64 = bwd.iter().map(|(e, m)| read(readings, *e, m)).sum();
@@ -131,7 +132,10 @@ impl ObjectiveSpec {
     pub fn objective_grad(&self, readings: &Readings) -> Vec<(usize, String, f64)> {
         let mut grads: HashMap<(usize, String), f64> = HashMap::new();
         match &self.main {
-            MainObjective::MaximizePower { excitation, monitor } => {
+            MainObjective::MaximizePower {
+                excitation,
+                monitor,
+            } => {
                 *grads.entry((*excitation, monitor.clone())).or_default() += 1.0;
             }
             MainObjective::MinimizeContrast { fwd, bwd } => {
@@ -169,10 +173,7 @@ impl ObjectiveSpec {
                 *grads.entry((c.excitation, c.monitor.clone())).or_default() += g;
             }
         }
-        grads
-            .into_iter()
-            .map(|((e, m), g)| (e, m, g))
-            .collect()
+        grads.into_iter().map(|((e, m), g)| (e, m, g)).collect()
     }
 }
 
@@ -285,7 +286,10 @@ mod tests {
             let mut rp = r.clone();
             *rp[e].get_mut(&m).unwrap() += h;
             let fd = (spec.objective(&rp) - spec.objective(&r)) / h;
-            assert!((fd - g).abs() < 1e-5 * (1.0 + fd.abs()), "({e},{m}): {fd} vs {g}");
+            assert!(
+                (fd - g).abs() < 1e-5 * (1.0 + fd.abs()),
+                "({e},{m}): {fd} vs {g}"
+            );
         }
     }
 

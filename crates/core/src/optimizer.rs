@@ -95,10 +95,16 @@ mod tests {
     fn maximises_concave_quadratic() {
         // f(x) = -(x-3)², gradient 2(3-x); Adam should find x ≈ 3.
         let mut x = vec![0.0];
-        let mut opt = Adam::new(1, AdamConfig { lr: 0.1, ..Default::default() });
+        let mut opt = Adam::new(
+            1,
+            AdamConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
+        );
         for _ in 0..500 {
             let g = 2.0 * (3.0 - x[0]);
-            opt.step(&mut x, &g.clone().into_iter_hack());
+            opt.step(&mut x, &g.into_iter_hack());
         }
         assert!((x[0] - 3.0).abs() < 1e-2, "x = {}", x[0]);
         assert_eq!(opt.steps(), 500);
@@ -118,7 +124,13 @@ mod tests {
     fn multi_dimensional_rosenbrock_ascent() {
         // Maximise -((1-a)² + 5(b-a²)²): optimum at (1, 1).
         let mut p = vec![-0.5, 0.5];
-        let mut opt = Adam::new(2, AdamConfig { lr: 0.02, ..Default::default() });
+        let mut opt = Adam::new(
+            2,
+            AdamConfig {
+                lr: 0.02,
+                ..Default::default()
+            },
+        );
         for _ in 0..4000 {
             let (a, b) = (p[0], p[1]);
             let g = vec![

@@ -1,0 +1,214 @@
+//! A persistent scoped worker pool for corner evaluation.
+//!
+//! The seed spawned a fresh set of scoped threads (plus a fresh results
+//! mutex) for **every** corner batch of **every** optimisation iteration.
+//! [`WorkerPool`] instead spawns its workers once per [`std::thread::scope`]
+//! region — in practice once per optimisation *run* — and feeds them jobs
+//! over a channel, so the per-iteration fan-out cost is a handful of
+//! channel sends. Each worker owns whatever expensive state the caller's
+//! `make_worker` factory builds for it (an `EvalScratch` with its factor
+//! buffers, for the corner loop), which is what makes the zero-allocation
+//! solve path possible across threads.
+//!
+//! The pool is deliberately tiny: unbounded MPSC job queue shared through
+//! a mutex-wrapped receiver, results funnelled back over a second channel
+//! tagged by job. A panic inside a worker's job is caught, shipped back,
+//! and re-raised on the thread calling [`WorkerPool::recv`] — matching
+//! the loud-failure behaviour of the scoped-spawn code this replaces
+//! (a silently hung run would otherwise be the failure mode). Dropping
+//! the pool closes the job channel, the workers drain and exit, and the
+//! enclosing scope joins them.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+
+/// A fixed set of worker threads processing jobs of type `J` into results
+/// of type `R`, alive for the lifetime of the enclosing thread scope.
+pub struct WorkerPool<'scope, J: Send + 'scope, R: Send + 'scope> {
+    job_tx: Option<Sender<J>>,
+    res_rx: Receiver<std::thread::Result<R>>,
+    workers: usize,
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<'scope, J: Send + 'scope, R: Send + 'scope> WorkerPool<'scope, J, R> {
+    /// Spawns `threads` workers on `scope`. `make_worker(i)` builds the
+    /// per-thread closure (capturing that thread's private state); the
+    /// closure is called once per job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new<'env, F, W>(
+        scope: &'scope Scope<'scope, 'env>,
+        threads: usize,
+        mut make_worker: F,
+    ) -> Self
+    where
+        F: FnMut(usize) -> W,
+        W: FnMut(J) -> R + Send + 'scope,
+    {
+        assert!(threads > 0, "worker pool needs at least one thread");
+        let (job_tx, job_rx) = channel::<J>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = channel::<std::thread::Result<R>>();
+        for i in 0..threads {
+            let rx = Arc::clone(&job_rx);
+            let tx = res_tx.clone();
+            let mut work = make_worker(i);
+            scope.spawn(move || loop {
+                // Take the lock only for the dequeue, not for the work.
+                let job = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break, // a sibling panicked mid-recv
+                };
+                match job {
+                    Ok(job) => {
+                        // Catch panics so the consumer re-raises them
+                        // instead of deadlocking on a missing result.
+                        // (The worker's private state may be torn after a
+                        // panic, so this worker retires afterwards.)
+                        let outcome = catch_unwind(AssertUnwindSafe(|| work(job)));
+                        let failed = outcome.is_err();
+                        if tx.send(outcome).is_err() || failed {
+                            break;
+                        }
+                    }
+                    Err(_) => break, // job channel closed: pool dropped
+                }
+            });
+        }
+        Self {
+            job_tx: Some(job_tx),
+            res_rx,
+            workers: threads,
+            _scope: PhantomData,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues one job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every worker has exited (i.e. one of them panicked).
+    pub fn submit(&self, job: J) {
+        self.job_tx
+            .as_ref()
+            .expect("job channel open while pool is alive")
+            .send(job)
+            .expect("worker pool has no live workers");
+    }
+
+    /// Blocks for the next finished result (in completion order, not
+    /// submission order — tag jobs with a slot index to reassemble).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that occurred inside a worker's job, and panics
+    /// if every worker exited with results still outstanding.
+    pub fn recv(&self) -> R {
+        match self.res_rx.recv() {
+            Ok(Ok(result)) => result,
+            Ok(Err(payload)) => resume_unwind(payload),
+            Err(_) => panic!("worker pool has no live workers"),
+        }
+    }
+}
+
+impl<'scope, J: Send + 'scope, R: Send + 'scope> Drop for WorkerPool<'scope, J, R> {
+    fn drop(&mut self) {
+        // Closing the job channel lets the workers drain and exit; the
+        // enclosing scope joins them.
+        self.job_tx.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_processes_all_jobs_with_persistent_state() {
+        let results = std::thread::scope(|scope| {
+            // Each worker counts its own jobs — persistent per-thread state.
+            let pool: WorkerPool<usize, (usize, usize, usize)> = WorkerPool::new(scope, 3, |wid| {
+                let mut handled = 0usize;
+                move |job: usize| {
+                    handled += 1;
+                    (job, job * job, wid * handled)
+                }
+            });
+            let njobs = 40;
+            for j in 0..njobs {
+                pool.submit(j);
+            }
+            let mut out = vec![0usize; njobs];
+            for _ in 0..njobs {
+                let (j, sq, _) = pool.recv();
+                out[j] = sq;
+            }
+            out
+        });
+        for (j, sq) in results.iter().enumerate() {
+            assert_eq!(*sq, j * j);
+        }
+    }
+
+    #[test]
+    fn pool_survives_multiple_batches() {
+        std::thread::scope(|scope| {
+            let pool: WorkerPool<u64, u64> = WorkerPool::new(scope, 2, |_| |x: u64| x + 1);
+            for batch in 0..5u64 {
+                for j in 0..8 {
+                    pool.submit(batch * 100 + j);
+                }
+                let mut sum = 0;
+                for _ in 0..8 {
+                    sum += pool.recv();
+                }
+                assert_eq!(sum, (0..8).map(|j| batch * 100 + j + 1).sum::<u64>());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "corner exploded")]
+    fn worker_panic_propagates_to_consumer() {
+        std::thread::scope(|scope| {
+            let pool: WorkerPool<u32, u32> = WorkerPool::new(scope, 2, |_| {
+                |x: u32| {
+                    if x == 3 {
+                        panic!("corner exploded");
+                    }
+                    x
+                }
+            });
+            for j in 0..4 {
+                pool.submit(j);
+            }
+            for _ in 0..4 {
+                pool.recv();
+            }
+        });
+    }
+
+    #[test]
+    fn dropping_pool_releases_workers() {
+        // The scope exits only if the workers exit: this test hanging
+        // would mean the drop protocol is broken.
+        std::thread::scope(|scope| {
+            let pool: WorkerPool<(), ()> = WorkerPool::new(scope, 4, |_| |()| ());
+            pool.submit(());
+            pool.recv();
+            drop(pool);
+        });
+    }
+}

@@ -156,15 +156,25 @@ pub fn bending() -> DeviceProblem {
     let monitors = vec![
         MonitorSpec {
             name: "trans".into(),
-            kind: MonitorKind::Modal { port: 1, mode: 0, direction: Sign::Plus },
+            kind: MonitorKind::Modal {
+                port: 1,
+                mode: 0,
+                direction: Sign::Plus,
+            },
         },
         MonitorSpec {
             name: "refl".into(),
-            kind: MonitorKind::Modal { port: 2, mode: 0, direction: Sign::Minus },
+            kind: MonitorKind::Modal {
+                port: 2,
+                mode: 0,
+                direction: Sign::Minus,
+            },
         },
         MonitorSpec {
             name: "rad".into(),
-            kind: MonitorKind::Residual { subtract: vec!["trans".into(), "refl".into()] },
+            kind: MonitorKind::Residual {
+                subtract: vec!["trans".into(), "refl".into()],
+            },
         },
     ];
     let excitations = vec![Excitation {
@@ -175,7 +185,10 @@ pub fn bending() -> DeviceProblem {
         monitors,
     }];
     let objective = ObjectiveSpec {
-        main: MainObjective::MaximizePower { excitation: 0, monitor: "trans".into() },
+        main: MainObjective::MaximizePower {
+            excitation: 0,
+            monitor: "trans".into(),
+        },
         constraints: vec![
             Constraint {
                 excitation: 0,
@@ -201,8 +214,20 @@ pub fn bending() -> DeviceProblem {
     // arc-bent guide (an abrupt 90° corner would radiate ~99 % of the
     // light — the arc starts the optimiser at ~67 % transmission).
     let seed = Geometry::new()
-        .with(Shape::Segment { x0: 0.0, y0: 0.7, x1: 0.25, y1: 0.7, half_width: 0.2 })
-        .with(Shape::Segment { x0: 0.7, y0: 1.15, x1: 0.7, y1: 1.4, half_width: 0.2 })
+        .with(Shape::Segment {
+            x0: 0.0,
+            y0: 0.7,
+            x1: 0.25,
+            y1: 0.7,
+            half_width: 0.2,
+        })
+        .with(Shape::Segment {
+            x0: 0.7,
+            y0: 1.15,
+            x1: 0.7,
+            y1: 1.4,
+            half_width: 0.2,
+        })
         .with_arc(0.2, 1.2, 0.5, -std::f64::consts::FRAC_PI_2, 0.0, 8, 0.2);
     DeviceProblem {
         name: "bending".into(),
@@ -237,28 +262,44 @@ pub fn crossing() -> DeviceProblem {
         }
     }
     let ports = vec![
-        Port::new("in", Axis::X, 16, 26, 54),    // 0
-        Port::new("out", Axis::X, 63, 26, 54),   // 1
-        Port::new("top", Axis::Y, 63, 26, 54),   // 2
-        Port::new("bottom", Axis::Y, 16, 26, 54),// 3
-        Port::new("refl", Axis::X, 13, 26, 54),  // 4
+        Port::new("in", Axis::X, 16, 26, 54),     // 0
+        Port::new("out", Axis::X, 63, 26, 54),    // 1
+        Port::new("top", Axis::Y, 63, 26, 54),    // 2
+        Port::new("bottom", Axis::Y, 16, 26, 54), // 3
+        Port::new("refl", Axis::X, 13, 26, 54),   // 4
     ];
     let monitors = vec![
         MonitorSpec {
             name: "trans".into(),
-            kind: MonitorKind::Modal { port: 1, mode: 0, direction: Sign::Plus },
+            kind: MonitorKind::Modal {
+                port: 1,
+                mode: 0,
+                direction: Sign::Plus,
+            },
         },
         MonitorSpec {
             name: "refl".into(),
-            kind: MonitorKind::Modal { port: 4, mode: 0, direction: Sign::Minus },
+            kind: MonitorKind::Modal {
+                port: 4,
+                mode: 0,
+                direction: Sign::Minus,
+            },
         },
         MonitorSpec {
             name: "xtalk_top".into(),
-            kind: MonitorKind::Modal { port: 2, mode: 0, direction: Sign::Plus },
+            kind: MonitorKind::Modal {
+                port: 2,
+                mode: 0,
+                direction: Sign::Plus,
+            },
         },
         MonitorSpec {
             name: "xtalk_bottom".into(),
-            kind: MonitorKind::Modal { port: 3, mode: 0, direction: Sign::Minus },
+            kind: MonitorKind::Modal {
+                port: 3,
+                mode: 0,
+                direction: Sign::Minus,
+            },
         },
         MonitorSpec {
             name: "rad".into(),
@@ -280,7 +321,10 @@ pub fn crossing() -> DeviceProblem {
         monitors,
     }];
     let objective = ObjectiveSpec {
-        main: MainObjective::MaximizePower { excitation: 0, monitor: "trans".into() },
+        main: MainObjective::MaximizePower {
+            excitation: 0,
+            monitor: "trans".into(),
+        },
         constraints: vec![
             Constraint {
                 excitation: 0,
@@ -309,8 +353,20 @@ pub fn crossing() -> DeviceProblem {
         ],
     };
     let seed = Geometry::new()
-        .with(Shape::Segment { x0: 0.0, y0: 0.7, x1: 1.4, y1: 0.7, half_width: 0.2 })
-        .with(Shape::Segment { x0: 0.7, y0: 0.0, x1: 0.7, y1: 1.4, half_width: 0.2 });
+        .with(Shape::Segment {
+            x0: 0.0,
+            y0: 0.7,
+            x1: 1.4,
+            y1: 0.7,
+            half_width: 0.2,
+        })
+        .with(Shape::Segment {
+            x0: 0.7,
+            y0: 0.0,
+            x1: 0.7,
+            y1: 1.4,
+            half_width: 0.2,
+        });
     DeviceProblem {
         name: "crossing".into(),
         grid,
@@ -345,15 +401,27 @@ pub fn isolator() -> DeviceProblem {
     let fwd_monitors = vec![
         MonitorSpec {
             name: "trans3".into(),
-            kind: MonitorKind::Modal { port: 1, mode: 2, direction: Sign::Plus },
+            kind: MonitorKind::Modal {
+                port: 1,
+                mode: 2,
+                direction: Sign::Plus,
+            },
         },
         MonitorSpec {
             name: "trans1".into(),
-            kind: MonitorKind::Modal { port: 1, mode: 0, direction: Sign::Plus },
+            kind: MonitorKind::Modal {
+                port: 1,
+                mode: 0,
+                direction: Sign::Plus,
+            },
         },
         MonitorSpec {
             name: "refl".into(),
-            kind: MonitorKind::Modal { port: 2, mode: 0, direction: Sign::Minus },
+            kind: MonitorKind::Modal {
+                port: 2,
+                mode: 0,
+                direction: Sign::Minus,
+            },
         },
         MonitorSpec {
             name: "rad".into(),
@@ -365,15 +433,27 @@ pub fn isolator() -> DeviceProblem {
     let bwd_monitors = vec![
         MonitorSpec {
             name: "leak0".into(),
-            kind: MonitorKind::Modal { port: 3, mode: 0, direction: Sign::Minus },
+            kind: MonitorKind::Modal {
+                port: 3,
+                mode: 0,
+                direction: Sign::Minus,
+            },
         },
         MonitorSpec {
             name: "leak2".into(),
-            kind: MonitorKind::Modal { port: 3, mode: 2, direction: Sign::Minus },
+            kind: MonitorKind::Modal {
+                port: 3,
+                mode: 2,
+                direction: Sign::Minus,
+            },
         },
         MonitorSpec {
             name: "reflb".into(),
-            kind: MonitorKind::Modal { port: 4, mode: 0, direction: Sign::Plus },
+            kind: MonitorKind::Modal {
+                port: 4,
+                mode: 0,
+                direction: Sign::Plus,
+            },
         },
         MonitorSpec {
             name: "radb".into(),
@@ -434,8 +514,19 @@ pub fn isolator() -> DeviceProblem {
     // the multimode guide through the region, with a gentle taper to seed
     // mode mixing.
     let seed = Geometry::new()
-        .with(Shape::Rect { x0: 0.0, y0: 0.15, x1: 2.0, y1: 1.65 })
-        .with(Shape::TaperX { x0: 0.0, x1: 2.0, cy: 0.9, hw0: 0.75, hw1: 0.3 });
+        .with(Shape::Rect {
+            x0: 0.0,
+            y0: 0.15,
+            x1: 2.0,
+            y1: 1.65,
+        })
+        .with(Shape::TaperX {
+            x0: 0.0,
+            x1: 2.0,
+            cy: 0.9,
+            hw0: 0.75,
+            hw1: 0.3,
+        });
     DeviceProblem {
         name: "isolator".into(),
         grid,
@@ -474,8 +565,16 @@ mod tests {
         for p in all_benchmarks() {
             let (oy, ox) = p.design_origin;
             let (h, w) = p.design_shape;
-            assert!(oy >= p.grid.npml && oy + h <= p.grid.ny - p.grid.npml, "{}", p.name);
-            assert!(ox >= p.grid.npml && ox + w <= p.grid.nx - p.grid.npml, "{}", p.name);
+            assert!(
+                oy >= p.grid.npml && oy + h <= p.grid.ny - p.grid.npml,
+                "{}",
+                p.name
+            );
+            assert!(
+                ox >= p.grid.npml && ox + w <= p.grid.nx - p.grid.npml,
+                "{}",
+                p.name
+            );
         }
     }
 
@@ -489,7 +588,11 @@ mod tests {
                     Axis::X => port.plane < ox.saturating_sub(1) || port.plane > ox + w,
                     Axis::Y => port.plane < oy.saturating_sub(1) || port.plane > oy + h,
                 };
-                assert!(clear, "{}: port {} intersects design region", p.name, port.name);
+                assert!(
+                    clear,
+                    "{}: port {} intersects design region",
+                    p.name, port.name
+                );
             }
         }
     }
@@ -552,7 +655,16 @@ mod tests {
     #[test]
     fn isolator_guide_is_multimode() {
         let p = isolator();
-        let modes = p.ports[0].solve_modes(&p.grid, &p.background_solid.map(|&s| 1.0 + 11.11 * s), p.omega, 3);
-        assert!(modes.len() >= 3, "need ≥3 guided modes, got {}", modes.len());
+        let modes = p.ports[0].solve_modes(
+            &p.grid,
+            &p.background_solid.map(|&s| 1.0 + 11.11 * s),
+            p.omega,
+            3,
+        );
+        assert!(
+            modes.len() >= 3,
+            "need ≥3 guided modes, got {}",
+            modes.len()
+        );
     }
 }

@@ -6,20 +6,29 @@
 //! 2. draw the variation corners (axial set; plus a worst-case corner
 //!    from one gradient-ascent step on `(T, ξ)` at the nominal corner);
 //! 3. for every corner, run the fabrication model and the FDFD forward +
-//!    adjoint simulations *in parallel* (one thread per corner), chaining
-//!    the field gradient back through etch → litho → `ρ`;
+//!    adjoint simulations *in parallel*, chaining the field gradient back
+//!    through etch → litho → `ρ`;
 //! 4. blend the fab-aware gradient with the unrestricted "tunnel"
 //!    gradient according to the relaxation schedule `p`;
 //! 5. back-propagate through the parameterisation and take an Adam step.
+//!
+//! Corner fan-out runs on a **persistent** [`WorkerPool`] spawned once per
+//! run: each worker owns an [`EvalScratch`] whose factor/solve buffers are
+//! reused across *all* corners of *all* iterations, so the steady-state
+//! solve path performs no heap allocation and no thread spawning. The β
+//! sharpening schedule is threaded through as an explicit
+//! [`EtchProjection`] job parameter instead of mutating the shared
+//! [`FabChain`].
 //!
 //! Baselines reuse the same loop with features disabled (`fab_aware =
 //! false`, sparse objective, nominal-only sampling, random init …), which
 //! is exactly how the paper's ablation table is generated.
 
-use crate::compiled::CompiledProblem;
+use crate::compiled::{CompiledProblem, EvalScratch};
 use crate::fabchain::{assemble_eps, grad_eps_to_rho, grad_temperature, FabChain};
 use crate::objective::{ObjectiveSpec, Readings};
 use crate::optimizer::{Adam, AdamConfig};
+use crate::pool::WorkerPool;
 use crate::schedule::{BetaSchedule, RelaxationSchedule};
 use boson_fab::{EtchProjection, SamplingStrategy, VariationCorner, VariationSpace};
 use boson_num::Array2;
@@ -27,6 +36,8 @@ use boson_param::Parameterization;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::Scope;
 
 /// How to initialise the latent variables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -126,6 +137,17 @@ struct CornerOutcome {
     variation_grads: Option<(f64, Vec<f64>)>,
 }
 
+/// One unit of work for the corner pool. Owns (or `Arc`-shares) its data
+/// so the channels do not have to name per-iteration lifetimes; the
+/// handful of clones here are far off the solve path.
+struct CornerJob {
+    slot: usize,
+    rho: Arc<Array2<f64>>,
+    corner: VariationCorner,
+    etch: EtchProjection,
+    want_variation_grads: bool,
+}
+
 /// The optimisation driver.
 pub struct InverseDesigner<'a, P: Parameterization + Sync> {
     compiled: &'a CompiledProblem,
@@ -176,7 +198,9 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         P: SeedableParam,
     {
         match self.config.init {
-            InitKind::Seeded => self.param.theta_from_geometry(&self.compiled.problem().seed),
+            InitKind::Seeded => self
+                .param
+                .theta_from_geometry(&self.compiled.problem().seed),
             InitKind::Random { amplitude } => (0..self.param.num_params())
                 .map(|_| rng.gen_range(-amplitude..amplitude))
                 .collect(),
@@ -185,15 +209,19 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
 
     /// Evaluates one corner: fabrication forward, EM forward + adjoint,
     /// chain backward. `want_variation_grads` additionally produces
-    /// `(dT, dξ)` for the worst-case search.
+    /// `(dT, dξ)` for the worst-case search. The etch projection of the
+    /// current β-schedule step is passed explicitly; `scratch` carries the
+    /// reusable solver buffers.
     fn eval_corner(
         &self,
         rho: &Array2<f64>,
         corner: &VariationCorner,
+        etch: EtchProjection,
         want_variation_grads: bool,
+        scratch: &mut EvalScratch,
     ) -> CornerOutcome {
         let problem = self.compiled.problem();
-        let fwd = self.chain.forward(rho, corner, false);
+        let fwd = self.chain.forward_with_etch(rho, corner, false, etch);
         let eps = assemble_eps(
             &problem.background_solid,
             problem.design_origin,
@@ -202,7 +230,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         );
         let ev = self
             .compiled
-            .evaluate_eps_with(&eps, true, &self.objective)
+            .evaluate_eps_scratch(&eps, true, &self.objective, scratch)
             .expect("corner simulation failed");
         let grad_eps = ev.grad_eps.as_ref().expect("gradient requested");
         let v_rho = grad_eps_to_rho(
@@ -211,7 +239,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             problem.design_shape,
             corner.temperature,
         );
-        let v_mask = self.chain.vjp_mask(&fwd, &v_rho);
+        let v_mask = self.chain.vjp_mask_with_etch(&fwd, &v_rho, etch);
         let variation_grads = if want_variation_grads {
             let dt = grad_temperature(
                 grad_eps,
@@ -220,7 +248,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 &fwd.rho_fab,
                 corner.temperature,
             );
-            let dxi = self.chain.vjp_xi(&fwd, &v_rho);
+            let dxi = self.chain.vjp_xi_with_etch(&fwd, &v_rho, etch);
             Some((dt, dxi))
         } else {
             None
@@ -236,7 +264,11 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
 
     /// Evaluates the unrestricted ("ideal") term: the raw density drives
     /// the permittivity directly, bypassing litho and etch.
-    fn eval_free(&self, rho: &Array2<f64>) -> (f64, f64, Readings, Array2<f64>) {
+    fn eval_free(
+        &self,
+        rho: &Array2<f64>,
+        scratch: &mut EvalScratch,
+    ) -> (f64, f64, Readings, Array2<f64>) {
         let problem = self.compiled.problem();
         let eps = assemble_eps(
             &problem.background_solid,
@@ -246,7 +278,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         );
         let ev = self
             .compiled
-            .evaluate_eps_with(&eps, true, &self.objective)
+            .evaluate_eps_scratch(&eps, true, &self.objective, scratch)
             .expect("free simulation failed");
         let v_rho = grad_eps_to_rho(
             ev.grad_eps.as_ref().expect("gradient requested"),
@@ -257,10 +289,44 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         (ev.objective, ev.fom, ev.readings, v_rho)
     }
 
+    /// Number of pool workers the configuration asks for (0 = run corners
+    /// inline on the main thread).
+    fn pool_threads(&self) -> usize {
+        if !self.config.fab_aware {
+            return 0;
+        }
+        let max_useful = self.config.sampling.corners_per_iteration();
+        let t = self.config.threads.min(max_useful);
+        if t <= 1 {
+            0
+        } else {
+            t
+        }
+    }
+
     /// Runs the optimisation from `theta0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta0` does not match the parameterisation.
     pub fn run(&mut self, theta0: Vec<f64>) -> RunResult {
+        assert_eq!(
+            theta0.len(),
+            self.param.num_params(),
+            "theta length mismatch"
+        );
+        let this: &Self = self;
+        std::thread::scope(|scope| this.run_scoped(scope, theta0))
+    }
+
+    /// The loop body, generic over the thread scope that hosts the
+    /// persistent corner pool.
+    fn run_scoped<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        theta0: Vec<f64>,
+    ) -> RunResult {
         let mut theta = theta0;
-        assert_eq!(theta.len(), self.param.num_params(), "theta length mismatch");
         let mut adam = Adam::new(theta.len(), self.config.adam);
         let beta_sched = BetaSchedule::new(
             self.config.beta_start,
@@ -271,9 +337,31 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         let mut factorizations = 0usize;
         let (dr, dc) = self.param.design_shape();
 
+        // Main-thread scratch (free term, worst-case corner, inline mode).
+        let mut scratch = EvalScratch::new();
+        // Persistent corner pool: spawned once, workers keep their
+        // EvalScratch (and its factor buffers) for the whole run.
+        let pool: Option<WorkerPool<'scope, CornerJob, (usize, CornerOutcome)>> =
+            match self.pool_threads() {
+                0 => None,
+                threads => Some(WorkerPool::new(scope, threads, |_| {
+                    let mut scratch = EvalScratch::new();
+                    move |job: CornerJob| {
+                        let out = self.eval_corner(
+                            &job.rho,
+                            &job.corner,
+                            job.etch,
+                            job.want_variation_grads,
+                            &mut scratch,
+                        );
+                        (job.slot, out)
+                    }
+                })),
+            };
+
         for iter in 0..self.config.iterations {
-            self.chain.set_etch(EtchProjection::new(beta_sched.beta(iter)));
-            let rho = self.param.forward(&theta);
+            let etch = EtchProjection::new(beta_sched.beta(iter));
+            let rho = Arc::new(self.param.forward(&theta));
             let p = if self.config.fab_aware {
                 self.config.relaxation.p(iter)
             } else {
@@ -285,12 +373,20 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             let mut nominal_readings: Option<(Readings, f64)> = None;
 
             if self.config.fab_aware {
-                let mut rng = StdRng::seed_from_u64(self.config.seed ^ (iter as u64).wrapping_mul(0x9E37));
+                let mut rng =
+                    StdRng::seed_from_u64(self.config.seed ^ (iter as u64).wrapping_mul(0x9E37));
                 let mut corners = self.space.corners(self.config.sampling, &mut rng);
                 // Identify the nominal corner for worst-case gradients and
                 // trajectory recording.
                 let nominal_idx = corners.iter().position(|c| !c.is_varied());
-                let outcomes = self.eval_corners_parallel(&rho, &corners, nominal_idx);
+                let outcomes = self.eval_corners(
+                    pool.as_ref(),
+                    &rho,
+                    &corners,
+                    etch,
+                    nominal_idx,
+                    &mut scratch,
+                );
                 factorizations += corners.len();
 
                 // Worst-case corner from the nominal gradients.
@@ -299,7 +395,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                     if let Some(ni) = nominal_idx {
                         if let Some((dt, dxi)) = &all_outcomes[ni].variation_grads {
                             let worst = self.space.worst_case_corner(*dt, dxi);
-                            let o = self.eval_corner(&rho, &worst, false);
+                            let o = self.eval_corner(&rho, &worst, etch, false, &mut scratch);
                             factorizations += 1;
                             corners.push(worst);
                             all_outcomes.push(o);
@@ -325,10 +421,15 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             }
 
             if p < 1.0 {
-                let (obj_free, fom_free, readings_free, v_free) = self.eval_free(&rho);
+                let (obj_free, fom_free, readings_free, v_free) =
+                    self.eval_free(&rho, &mut scratch);
                 factorizations += 1;
                 objective += (1.0 - p) * obj_free;
-                for (dst, src) in v_mask_total.as_mut_slice().iter_mut().zip(v_free.as_slice()) {
+                for (dst, src) in v_mask_total
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(v_free.as_slice())
+                {
                     *dst += (1.0 - p) * src;
                 }
                 if nominal_readings.is_none() {
@@ -359,39 +460,46 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         }
     }
 
-    /// Evaluates a corner set in parallel with scoped threads.
-    fn eval_corners_parallel(
+    /// Evaluates a corner set — on the persistent pool when one exists,
+    /// inline on the main-thread scratch otherwise. Results come back in
+    /// corner order regardless of completion order.
+    fn eval_corners(
         &self,
-        rho: &Array2<f64>,
+        pool: Option<&WorkerPool<'_, CornerJob, (usize, CornerOutcome)>>,
+        rho: &Arc<Array2<f64>>,
         corners: &[VariationCorner],
+        etch: EtchProjection,
         nominal_idx: Option<usize>,
+        scratch: &mut EvalScratch,
     ) -> Vec<CornerOutcome> {
-        let threads = self.config.threads.max(1).min(corners.len().max(1));
-        if threads <= 1 || corners.len() <= 1 {
-            return corners
+        match pool {
+            Some(pool) if corners.len() > 1 => {
+                for (ci, corner) in corners.iter().enumerate() {
+                    pool.submit(CornerJob {
+                        slot: ci,
+                        rho: Arc::clone(rho),
+                        corner: corner.clone(),
+                        etch,
+                        want_variation_grads: Some(ci) == nominal_idx,
+                    });
+                }
+                let mut slots: Vec<Option<CornerOutcome>> =
+                    (0..corners.len()).map(|_| None).collect();
+                for _ in 0..corners.len() {
+                    let (slot, out) = pool.recv();
+                    slots[slot] = Some(out);
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every slot filled"))
+                    .collect()
+            }
+            _ => corners
                 .iter()
                 .enumerate()
-                .map(|(ci, c)| self.eval_corner(rho, c, Some(ci) == nominal_idx))
-                .collect();
+                .map(|(ci, c)| self.eval_corner(rho, c, etch, Some(ci) == nominal_idx, scratch))
+                .collect(),
         }
-        let mut slots: Vec<Option<CornerOutcome>> = Vec::new();
-        slots.resize_with(corners.len(), || None);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots_mutex = parking_lot::Mutex::new(&mut slots);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let ci = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if ci >= corners.len() {
-                        break;
-                    }
-                    let out = self.eval_corner(rho, &corners[ci], Some(ci) == nominal_idx);
-                    slots_mutex.lock()[ci] = Some(out);
-                });
-            }
-        })
-        .expect("corner evaluation thread panicked");
-        slots.into_iter().map(|s| s.expect("slot filled")).collect()
     }
 }
 
@@ -411,5 +519,79 @@ impl SeedableParam for boson_param::LevelSetParam {
 impl SeedableParam for boson_param::DensityParam {
     fn theta_from_geometry(&self, geometry: &boson_param::sdf::Geometry) -> Vec<f64> {
         boson_param::DensityParam::theta_from_geometry(self, geometry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{levelset_param, standard_chain};
+    use crate::problem::bending;
+
+    fn tiny_config(threads: usize, sampling: SamplingStrategy) -> RunnerConfig {
+        RunnerConfig {
+            iterations: 2,
+            sampling,
+            relaxation: RelaxationSchedule::over(1),
+            threads,
+            ..RunnerConfig::default()
+        }
+    }
+
+    /// The persistent pool must be an implementation detail: a threaded
+    /// run and a single-threaded run are bit-identical.
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace::default();
+        let mut results = Vec::new();
+        for threads in [1usize, 4] {
+            let mut designer = InverseDesigner::new(
+                &compiled,
+                &param,
+                standard_chain(&problem),
+                space.clone(),
+                tiny_config(threads, SamplingStrategy::AxialSingleSided),
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            let theta0 = designer.initial_theta(&mut rng);
+            results.push(designer.run(theta0));
+        }
+        let (a, b) = (&results[0], &results[1]);
+        assert_eq!(a.factorizations, b.factorizations);
+        for (ra, rb) in a.trajectory.iter().zip(&b.trajectory) {
+            assert!(
+                (ra.objective - rb.objective).abs() < 1e-12,
+                "iter {}: {} vs {}",
+                ra.iter,
+                ra.objective,
+                rb.objective
+            );
+        }
+        for (ta, tb) in a.theta.iter().zip(&b.theta) {
+            assert!((ta - tb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nominal_only_runs_without_pool() {
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let mut designer = InverseDesigner::new(
+            &compiled,
+            &param,
+            standard_chain(&problem),
+            VariationSpace::default(),
+            tiny_config(8, SamplingStrategy::NominalOnly),
+        );
+        assert_eq!(designer.pool_threads(), 0, "one corner needs no pool");
+        let mut rng = StdRng::seed_from_u64(3);
+        let theta0 = designer.initial_theta(&mut rng);
+        let res = designer.run(theta0);
+        assert_eq!(res.trajectory.len(), 2);
+        assert!(res.factorizations > 0);
     }
 }

@@ -31,7 +31,9 @@ impl RelaxationSchedule {
 
     /// Ramp over `epochs` iterations.
     pub fn over(epochs: usize) -> Self {
-        Self { relax_epochs: epochs }
+        Self {
+            relax_epochs: epochs,
+        }
     }
 
     /// The fab-aware weight `p ∈ [0, 1]` at `iter`.
@@ -63,7 +65,11 @@ impl BetaSchedule {
     /// Panics if either endpoint is non-positive.
     pub fn new(start: f64, end: f64, total_iters: usize) -> Self {
         assert!(start > 0.0 && end > 0.0, "β must stay positive");
-        Self { start, end, total_iters }
+        Self {
+            start,
+            end,
+            total_iters,
+        }
     }
 
     /// β at iteration `iter` (geometric interpolation).

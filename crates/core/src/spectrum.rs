@@ -59,8 +59,13 @@ pub fn wavelength_sweep(
             &fwd.rho_fab,
             corner.temperature,
         );
-        let ev = c.evaluate_eps(&eps, false).expect("sweep evaluation failed");
-        out.push(SpectrumPoint { lambda, fom: ev.fom });
+        let ev = c
+            .evaluate_eps(&eps, false)
+            .expect("sweep evaluation failed");
+        out.push(SpectrumPoint {
+            lambda,
+            fom: ev.fom,
+        });
     }
     out
 }
@@ -119,7 +124,10 @@ mod tests {
         let pts: Vec<SpectrumPoint> = [0.2, 0.8, 0.9, 1.0, 0.95, 0.5, 0.1]
             .iter()
             .enumerate()
-            .map(|(i, &f)| SpectrumPoint { lambda: 1.5 + i as f64 * 0.01, fom: f })
+            .map(|(i, &f)| SpectrumPoint {
+                lambda: 1.5 + i as f64 * 0.01,
+                fom: f,
+            })
             .collect();
         // Tolerance 20 % of centre (1.0): threshold 0.8 keeps indices 1..=4.
         let bw = bandwidth_within(&pts, 1.0, 0.2);

@@ -95,6 +95,17 @@ impl SamplingStrategy {
             | SamplingStrategy::AxialPlusWorst => 7,
         }
     }
+
+    /// Number of corners actually drawn per iteration: the base set plus
+    /// any random extras. (The worst-case corner of `AxialPlusWorst` is
+    /// derived *after* this batch and is not included.) This is the right
+    /// bound for sizing a parallel corner-evaluation pool.
+    pub fn corners_per_iteration(self) -> usize {
+        match self {
+            SamplingStrategy::AxialPlusRandom { count } => self.base_corner_count() + count,
+            other => other.base_corner_count(),
+        }
+    }
 }
 
 /// The variation space: axis excursions and the spatial-field model.
@@ -206,7 +217,7 @@ impl VariationSpace {
     /// Draws one random corner for Monte-Carlo evaluation: uniform litho
     /// corner, uniform temperature in range, standard-normal EOLE weights.
     pub fn sample_random<R: Rng>(&self, rng: &mut R) -> VariationCorner {
-        let litho = LithoCorner::ALL[rng.gen_range(0..3)];
+        let litho = LithoCorner::ALL[rng.gen_range(0..3usize)];
         let (t_lo, t_hi) = self.temperature.range();
         let temperature = rng.gen_range(t_lo..=t_hi);
         let xi: Vec<f64> = (0..self.eole.terms)
@@ -277,14 +288,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(s.corners(SamplingStrategy::NominalOnly, &mut rng).len(), 1);
         assert_eq!(s.corners(SamplingStrategy::CornerSweep, &mut rng).len(), 27);
-        assert_eq!(s.corners(SamplingStrategy::AxialSingleSided, &mut rng).len(), 4);
-        assert_eq!(s.corners(SamplingStrategy::AxialDoubleSided, &mut rng).len(), 7);
         assert_eq!(
-            s.corners(SamplingStrategy::AxialPlusRandom { count: 2 }, &mut rng).len(),
+            s.corners(SamplingStrategy::AxialSingleSided, &mut rng)
+                .len(),
+            4
+        );
+        assert_eq!(
+            s.corners(SamplingStrategy::AxialDoubleSided, &mut rng)
+                .len(),
+            7
+        );
+        assert_eq!(
+            s.corners(SamplingStrategy::AxialPlusRandom { count: 2 }, &mut rng)
+                .len(),
             9
         );
         // Worst-case corner appended by the optimiser, not here.
-        assert_eq!(s.corners(SamplingStrategy::AxialPlusWorst, &mut rng).len(), 7);
+        assert_eq!(
+            s.corners(SamplingStrategy::AxialPlusWorst, &mut rng).len(),
+            7
+        );
         assert!(SamplingStrategy::AxialPlusWorst.needs_worst_case());
         assert!(!SamplingStrategy::AxialDoubleSided.needs_worst_case());
     }
@@ -319,7 +342,11 @@ mod tests {
             ]
             .iter()
             .sum::<u8>();
-            assert_eq!(axes_varied, 1, "corner {} varies {axes_varied} axes", c.label);
+            assert_eq!(
+                axes_varied, 1,
+                "corner {} varies {axes_varied} axes",
+                c.label
+            );
         }
     }
 

@@ -246,7 +246,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mut vals = Vec::new();
         for _ in 0..400 {
-            let xi: Vec<f64> = (0..f.terms()).map(|_| rng.sample::<f64, _>(rand::distributions::Standard) * 2.0 - 1.0).collect();
+            let xi: Vec<f64> = (0..f.terms())
+                .map(|_| rng.sample::<f64, _>(rand::distributions::Standard) * 2.0 - 1.0)
+                .collect();
             let _ = &xi;
             // Use proper normals via Box-Muller for variance accuracy.
             let xi: Vec<f64> = (0..f.terms())
@@ -261,7 +263,10 @@ mod tests {
         }
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (vals.len() - 1) as f64;
-        assert!((mean - EoleParams::default().mean).abs() < 0.01, "mean {mean}");
+        assert!(
+            (mean - EoleParams::default().mean).abs() < 0.01,
+            "mean {mean}"
+        );
         let sigma = var.sqrt();
         assert!(
             sigma > 0.015 && sigma < 0.045,
@@ -285,7 +290,11 @@ mod tests {
             xp[k] -= 2.0 * h;
             let lm = f.realise(&xp, 0.0).zip_map(&w, |a, b| a * b).sum();
             let fd = (lp - lm) / (2.0 * h);
-            assert!((fd - g[k]).abs() < 1e-6 + 1e-6 * fd.abs(), "term {k}: {fd} vs {}", g[k]);
+            assert!(
+                (fd - g[k]).abs() < 1e-6 + 1e-6 * fd.abs(),
+                "term {k}: {fd} vs {}",
+                g[k]
+            );
         }
     }
 

@@ -178,13 +178,25 @@ mod tests {
     fn derivative_matches_finite_difference() {
         let p = EtchProjection::new(17.0);
         let h = 1e-7;
-        for &(i, e) in &[(0.3, 0.5), (0.5, 0.5), (0.7, 0.45), (0.9, 0.6), (0.05, 0.55)] {
+        for &(i, e) in &[
+            (0.3, 0.5),
+            (0.5, 0.5),
+            (0.7, 0.45),
+            (0.9, 0.6),
+            (0.05, 0.55),
+        ] {
             let fd_i = (p.project(i + h, e) - p.project(i - h, e)) / (2.0 * h);
             let an_i = p.d_project_d_i(i, e);
-            assert!((fd_i - an_i).abs() < 1e-5 * (1.0 + fd_i.abs()), "d/di at ({i},{e})");
+            assert!(
+                (fd_i - an_i).abs() < 1e-5 * (1.0 + fd_i.abs()),
+                "d/di at ({i},{e})"
+            );
             let fd_e = (p.project(i, e + h) - p.project(i, e - h)) / (2.0 * h);
             let an_e = p.d_project_d_eta(i, e);
-            assert!((fd_e - an_e).abs() < 1e-5 * (1.0 + fd_e.abs()), "d/dη at ({i},{e})");
+            assert!(
+                (fd_e - an_e).abs() < 1e-5 * (1.0 + fd_e.abs()),
+                "d/dη at ({i},{e})"
+            );
         }
     }
 

@@ -72,7 +72,8 @@ mod tests {
     fn derivative_matches_finite_difference() {
         let h = 1e-3;
         for t in [250.0, 300.0, 350.0] {
-            let fd = (TemperatureModel::eps_si(t + h) - TemperatureModel::eps_si(t - h)) / (2.0 * h);
+            let fd =
+                (TemperatureModel::eps_si(t + h) - TemperatureModel::eps_si(t - h)) / (2.0 * h);
             let an = TemperatureModel::d_eps_si_dt(t);
             assert!((fd - an).abs() < 1e-9, "t={t}");
         }

@@ -73,7 +73,10 @@ pub fn solve_modes(eps: &[f64], dt: f64, omega: f64, count: usize) -> Vec<SlabMo
     assert!(eps.len() >= 3, "profile too short: {}", eps.len());
     let n = eps.len();
     let inv_dt2 = 1.0 / (dt * dt);
-    let diag: Vec<f64> = eps.iter().map(|&e| -2.0 * inv_dt2 + omega * omega * e).collect();
+    let diag: Vec<f64> = eps
+        .iter()
+        .map(|&e| -2.0 * inv_dt2 + omega * omega * e)
+        .collect();
     let off = vec![inv_dt2; n - 1];
     let t = SymTridiag::new(diag, off);
     // Cladding permittivity: take the boundary cells (the profile is
@@ -135,7 +138,13 @@ mod tests {
         let start = (total - core_cells) / 2;
         let _ = dt;
         (0..total)
-            .map(|i| if (start..start + core_cells).contains(&i) { 12.11 } else { 1.0 })
+            .map(|i| {
+                if (start..start + core_cells).contains(&i) {
+                    12.11
+                } else {
+                    1.0
+                }
+            })
             .collect()
     }
 
@@ -230,7 +239,9 @@ mod tests {
             let nodes = modes[1]
                 .profile
                 .windows(2)
-                .filter(|w| w[0].signum() != w[1].signum() && w[0].abs() > 1e-6 && w[1].abs() > 1e-6)
+                .filter(|w| {
+                    w[0].signum() != w[1].signum() && w[0].abs() > 1e-6 && w[1].abs() > 1e-6
+                })
                 .count();
             assert_eq!(nodes, 1, "second mode must have one node");
         }
@@ -241,7 +252,10 @@ mod tests {
         let dx = 0.05;
         let beta = 8.0;
         let bd = discrete_beta(beta, dx);
-        assert!(bd > beta, "discrete β exceeds continuous for the 5-pt stencil");
+        assert!(
+            bd > beta,
+            "discrete β exceeds continuous for the 5-pt stencil"
+        );
         // (4/dx²) sin²(β_d dx/2) = β² must hold.
         let lhs = (2.0 / dx * (bd * dx / 2.0).sin()).powi(2);
         assert!((lhs - beta * beta).abs() < 1e-9);

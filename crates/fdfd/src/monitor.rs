@@ -82,7 +82,10 @@ impl ModalMonitor {
             if phi == 0.0 {
                 continue;
             }
-            weights.push((port.cell_at(grid, t, 0), Complex64::from_real(w_center * phi)));
+            weights.push((
+                port.cell_at(grid, t, 0),
+                Complex64::from_real(w_center * phi),
+            ));
             weights.push((port.cell_at(grid, t, 1), w_deriv * phi));
             weights.push((port.cell_at(grid, t, -1), -w_deriv * phi));
         }
@@ -140,6 +143,7 @@ impl FluxMonitor {
     ///
     /// Panics if the segment or its neighbour planes leave the grid, or if
     /// `omega <= 0`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         grid: &SimGrid,
@@ -378,7 +382,10 @@ mod tests {
             weights: vec![(0, c64(2.0, 0.0)), (2, c64(0.0, 1.0)), (0, c64(1.0, 0.0))],
         };
         let e = [c64(1.0, 0.0), c64(5.0, 5.0), c64(0.0, -1.0)];
-        assert_eq!(form.eval(&e), c64(3.0, 0.0) + c64(0.0, 1.0) * c64(0.0, -1.0));
+        assert_eq!(
+            form.eval(&e),
+            c64(3.0, 0.0) + c64(0.0, 1.0) * c64(0.0, -1.0)
+        );
         let mut out = vec![Complex64::ZERO; 3];
         form.accumulate(c64(1.0, 0.0), &mut out);
         assert_eq!(out[0], c64(3.0, 0.0));

@@ -77,8 +77,7 @@ fn stencil_row(
     let full_cxw = sy * s.sx_half(ix.saturating_sub(1)).inv() * inv_dx2;
     let full_cyn = sx * s.sy_half(iy.min(grid.ny - 2)).inv() * inv_dx2;
     let full_cys = sx * s.sy_half(iy.saturating_sub(1)).inv() * inv_dx2;
-    let center =
-        -(full_cxe + full_cxw + full_cyn + full_cys) + sx * sy * (k2 * eps[(iy, ix)]);
+    let center = -(full_cxe + full_cxw + full_cyn + full_cys) + sx * sy * (k2 * eps[(iy, ix)]);
     StencilRow {
         center,
         west: cxw,
@@ -91,6 +90,9 @@ fn stencil_row(
 /// Assembles the symmetrised Helmholtz operator as a banded matrix with
 /// `kl = ku = nx` (x-fastest flat ordering).
 ///
+/// Allocates fresh band storage; hot loops should keep a workspace matrix
+/// and use [`assemble_banded_into`] instead.
+///
 /// # Panics
 ///
 /// Panics if `eps` does not have shape `(ny, nx)`.
@@ -100,13 +102,38 @@ pub fn assemble_banded(
     eps: &Array2<f64>,
     omega: f64,
 ) -> BandedMatrix {
+    let mut a = BandedMatrix::new(grid.n(), grid.nx, grid.nx);
+    fill_banded(grid, s, eps, omega, &mut a);
+    a
+}
+
+/// Assembles the operator into a caller-owned matrix, reshaping/zeroing it
+/// in place — no heap allocation once `a` has the right capacity.
+///
+/// # Panics
+///
+/// Panics if `eps` does not have shape `(ny, nx)`.
+pub fn assemble_banded_into(
+    grid: &SimGrid,
+    s: &SFactors,
+    eps: &Array2<f64>,
+    omega: f64,
+    a: &mut BandedMatrix,
+) {
+    if a.n() == grid.n() && a.kl() == grid.nx && a.ku() == grid.nx {
+        a.reset();
+    } else {
+        a.reshape(grid.n(), grid.nx, grid.nx);
+    }
+    fill_banded(grid, s, eps, omega, a);
+}
+
+fn fill_banded(grid: &SimGrid, s: &SFactors, eps: &Array2<f64>, omega: f64, a: &mut BandedMatrix) {
     assert_eq!(
         eps.shape(),
         (grid.ny, grid.nx),
         "eps shape must be (ny, nx)"
     );
-    let n = grid.n();
-    let mut a = BandedMatrix::new(n, grid.nx, grid.nx);
     for iy in 0..grid.ny {
         for ix in 0..grid.nx {
             let k = grid.idx(ix, iy);
@@ -126,7 +153,6 @@ pub fn assemble_banded(
             }
         }
     }
-    a
 }
 
 /// Assembles the same operator in CSR form (used by the BiCGSTAB
@@ -136,7 +162,11 @@ pub fn assemble_banded(
 ///
 /// Panics if `eps` does not have shape `(ny, nx)`.
 pub fn assemble_csr(grid: &SimGrid, s: &SFactors, eps: &Array2<f64>, omega: f64) -> CsrMatrix {
-    assert_eq!(eps.shape(), (grid.ny, grid.nx), "eps shape must be (ny, nx)");
+    assert_eq!(
+        eps.shape(),
+        (grid.ny, grid.nx),
+        "eps shape must be (ny, nx)"
+    );
     let n = grid.n();
     let mut coo = CooMatrix::new(n, n);
     for iy in 0..grid.ny {
@@ -164,17 +194,37 @@ pub fn assemble_csr(grid: &SimGrid, s: &SFactors, eps: &Array2<f64>, omega: f64)
 /// The right-hand-side scaling applied to a raw current source `Jz`:
 /// `b_k = -i·ω·sx(i)·sy(j)·Jz_k` (row scaling of the symmetrised system).
 pub fn scale_source(grid: &SimGrid, s: &SFactors, omega: f64, jz: &[Complex64]) -> Vec<Complex64> {
-    assert_eq!(jz.len(), grid.n(), "source length mismatch");
     let mut b = vec![Complex64::ZERO; grid.n()];
+    scale_source_into(grid, s, omega, jz, &mut b);
+    b
+}
+
+/// In-place variant of [`scale_source`]: writes the scaled right-hand side
+/// into the caller's buffer (overwriting every entry).
+///
+/// # Panics
+///
+/// Panics if `jz.len()` or `b.len()` does not match the grid.
+pub fn scale_source_into(
+    grid: &SimGrid,
+    s: &SFactors,
+    omega: f64,
+    jz: &[Complex64],
+    b: &mut [Complex64],
+) {
+    assert_eq!(jz.len(), grid.n(), "source length mismatch");
+    assert_eq!(b.len(), grid.n(), "rhs length mismatch");
     for iy in 0..grid.ny {
-        for ix in 0..grid.nx {
-            let k = grid.idx(ix, iy);
-            if jz[k] != Complex64::ZERO {
-                b[k] = Complex64::I * (-omega) * s.sxy(ix, iy) * jz[k];
-            }
+        let row_jz = &jz[iy * grid.nx..(iy + 1) * grid.nx];
+        let row_b = &mut b[iy * grid.nx..(iy + 1) * grid.nx];
+        for (ix, (dst, &src)) in row_b.iter_mut().zip(row_jz).enumerate() {
+            *dst = if src != Complex64::ZERO {
+                Complex64::I * (-omega) * s.sxy(ix, iy) * src
+            } else {
+                Complex64::ZERO
+            };
         }
     }
-    b
 }
 
 #[cfg(test)]
@@ -245,7 +295,7 @@ mod tests {
         // Discrete dispersion: (4/dx²) sin²(β dx/2) = ω² ε  (1-D propagation).
         let beta = (2.0 / grid.dx) * ((omega * grid.dx / 2.0).sin()).asin();
         // Solve actual discrete relation: sin(β dx/2) = ω dx/2 → β as below.
-        let beta_d = (2.0 / grid.dx) * ((omega * grid.dx / 2.0)).asin();
+        let beta_d = (2.0 / grid.dx) * (omega * grid.dx / 2.0).asin();
         let _ = beta;
         let x: Vec<Complex64> = (0..grid.n())
             .map(|k| {
@@ -265,6 +315,41 @@ mod tests {
                     y[k].abs()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn assemble_into_reuse_matches_fresh_assembly() {
+        let (grid, s, eps, omega) = setup(24, 20);
+        let mut ws = BandedMatrix::new(1, 0, 0); // wrong shape on purpose
+        assemble_banded_into(&grid, &s, &eps, omega, &mut ws);
+        // Second assembly with a different permittivity must fully
+        // overwrite the first.
+        let mut eps2 = eps.clone();
+        for iy in 0..20 {
+            for ix in 0..24 {
+                eps2[(iy, ix)] = 1.0 + ((ix + 2 * iy) % 4) as f64;
+            }
+        }
+        assemble_banded_into(&grid, &s, &eps2, omega, &mut ws);
+        let fresh = assemble_banded(&grid, &s, &eps2, omega);
+        for i in 0..grid.n() {
+            for j in i.saturating_sub(grid.nx)..=(i + grid.nx).min(grid.n() - 1) {
+                assert!((ws.get(i, j) - fresh.get(i, j)).abs() < 1e-15, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_source_into_overwrites_stale_buffer() {
+        let (grid, s, _eps, omega) = setup(20, 20);
+        let mut jz = vec![Complex64::ZERO; grid.n()];
+        jz[grid.idx(10, 10)] = c64(1.0, -0.5);
+        let fresh = scale_source(&grid, &s, omega, &jz);
+        let mut buf = vec![c64(9.0, 9.0); grid.n()]; // poisoned
+        scale_source_into(&grid, &s, omega, &jz, &mut buf);
+        for (p, q) in buf.iter().zip(&fresh) {
+            assert_eq!(*p, *q);
         }
     }
 

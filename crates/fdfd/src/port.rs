@@ -76,12 +76,22 @@ impl Port {
         assert_eq!(eps.shape(), (grid.ny, grid.nx), "eps shape mismatch");
         match self.axis {
             Axis::X => {
-                assert!(self.plane < grid.nx && self.t_hi <= grid.ny, "port out of bounds");
-                (self.t_lo..self.t_hi).map(|iy| eps[(iy, self.plane)]).collect()
+                assert!(
+                    self.plane < grid.nx && self.t_hi <= grid.ny,
+                    "port out of bounds"
+                );
+                (self.t_lo..self.t_hi)
+                    .map(|iy| eps[(iy, self.plane)])
+                    .collect()
             }
             Axis::Y => {
-                assert!(self.plane < grid.ny && self.t_hi <= grid.nx, "port out of bounds");
-                (self.t_lo..self.t_hi).map(|ix| eps[(self.plane, ix)]).collect()
+                assert!(
+                    self.plane < grid.ny && self.t_hi <= grid.nx,
+                    "port out of bounds"
+                );
+                (self.t_lo..self.t_hi)
+                    .map(|ix| eps[(self.plane, ix)])
+                    .collect()
             }
         }
     }

@@ -73,7 +73,9 @@ pub fn write_pgm<P: AsRef<Path>>(path: P, field: &Array2<f64>) -> io::Result<()>
     let mut bytes = Vec::with_capacity(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            let v = ((field[(r, c)] - min) / span * 255.0).round().clamp(0.0, 255.0);
+            let v = ((field[(r, c)] - min) / span * 255.0)
+                .round()
+                .clamp(0.0, 255.0);
             bytes.push(v as u8);
         }
     }

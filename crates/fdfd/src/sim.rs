@@ -14,11 +14,34 @@
 //! ```text
 //! dF/dε_k = -2·Re(λ_k · ω² · sx_k·sy_k · E_k)
 //! ```
+//!
+//! # Workspace / ownership contract
+//!
+//! [`Simulation`] allocates per construction (it owns its permittivity and
+//! factor storage) — convenient for one-off solves and tests. Hot loops
+//! that re-factor the *same grid* for many permittivities (the variation
+//! corners of every optimisation iteration) should instead keep one
+//! [`SimWorkspace`] per thread:
+//!
+//! * [`SimWorkspace::factor`] reuses the cached [`SFactors`] (recomputed
+//!   only when `(grid, ω)` changes), reassembles into a retained
+//!   [`boson_num::banded::BandedMatrix`] and refactors into a retained
+//!   [`boson_num::banded::BandedLu`] — after the first corner, **zero heap
+//!   allocations**;
+//! * the batched solve methods write into caller-owned buffers and push
+//!   all right-hand sides (every excitation's forward solve, then every
+//!   adjoint) through a single [`boson_num::banded::BandedLu::solve_many`]
+//!   sweep over the factors.
+//!
+//! Buffers passed to the workspace are resized on first use and retain
+//! their capacity afterwards, so a steady-state iteration of the corner
+//! loop touches the allocator not at all (verified by the
+//! `tests/zero_alloc.rs` counting-allocator test).
 
 use crate::grid::SimGrid;
-use crate::operator::{assemble_banded, scale_source};
+use crate::operator::{assemble_banded, assemble_banded_into, scale_source, scale_source_into};
 use crate::pml::SFactors;
-use boson_num::banded::{BandedLu, SingularMatrixError};
+use boson_num::banded::{BandedLu, BandedMatrix, SingularMatrixError};
 use boson_num::{Array2, Complex64};
 
 /// A solved `Ez` field on the simulation grid.
@@ -33,7 +56,9 @@ pub struct Field {
 impl Field {
     /// Views the field as a `(ny, nx)` array.
     pub fn to_array(&self) -> Array2<Complex64> {
-        Array2::from_fn(self.grid.ny, self.grid.nx, |iy, ix| self.ez[self.grid.idx(ix, iy)])
+        Array2::from_fn(self.grid.ny, self.grid.nx, |iy, ix| {
+            self.ez[self.grid.idx(ix, iy)]
+        })
     }
 
     /// Field magnitude squared as a `(ny, nx)` array (for visualisation).
@@ -76,7 +101,11 @@ impl Simulation {
     ///
     /// Panics if `eps` does not have shape `(ny, nx)`.
     pub fn new(grid: SimGrid, omega: f64, eps: Array2<f64>) -> Result<Self, SingularMatrixError> {
-        assert_eq!(eps.shape(), (grid.ny, grid.nx), "eps shape must be (ny, nx)");
+        assert_eq!(
+            eps.shape(),
+            (grid.ny, grid.nx),
+            "eps shape must be (ny, nx)"
+        );
         let sfactors = SFactors::new(&grid, omega);
         let a = assemble_banded(&grid, &sfactors, &eps, omega);
         let lu = a.factor()?;
@@ -129,14 +158,28 @@ impl Simulation {
     /// The operator is complex-symmetric so this is a plain solve; the
     /// transpose path exists for independent verification.
     ///
+    /// Copies `g` into a fresh vector; hot paths should build the adjoint
+    /// source in a reusable buffer and call
+    /// [`Simulation::solve_adjoint_in_place`].
+    ///
     /// # Panics
     ///
     /// Panics if `g.len()` does not match the grid.
     pub fn solve_adjoint(&self, g: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(g.len(), self.grid.n(), "adjoint source length mismatch");
         let mut lam = g.to_vec();
-        self.lu.solve(&mut lam);
+        self.solve_adjoint_in_place(&mut lam);
         lam
+    }
+
+    /// In-place adjoint solve: `g` (the Wirtinger gradient `∂F/∂E`) is
+    /// overwritten with `λ = Ã⁻¹g`. No heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len()` does not match the grid.
+    pub fn solve_adjoint_in_place(&self, g: &mut [Complex64]) {
+        assert_eq!(g.len(), self.grid.n(), "adjoint source length mismatch");
+        self.lu.solve(g);
     }
 
     /// Adjoint solve through `Ãᵀ` — must agree with
@@ -158,14 +201,273 @@ impl Simulation {
     ///
     /// Panics if the field/adjoint lengths do not match the grid.
     pub fn grad_eps(&self, field: &Field, lambda: &[Complex64]) -> Array2<f64> {
-        assert_eq!(field.ez.len(), self.grid.n(), "field length mismatch");
-        assert_eq!(lambda.len(), self.grid.n(), "adjoint length mismatch");
-        let k2 = self.omega * self.omega;
-        Array2::from_fn(self.grid.ny, self.grid.nx, |iy, ix| {
-            let k = self.grid.idx(ix, iy);
-            let s = self.sfactors.sxy(ix, iy);
-            -2.0 * (lambda[k] * s * field.ez[k]).re * k2
-        })
+        let mut out = Array2::zeros(self.grid.ny, self.grid.nx);
+        grad_eps_accumulate(
+            &self.grid,
+            &self.sfactors,
+            self.omega,
+            &field.ez,
+            lambda,
+            &mut out,
+        );
+        out
+    }
+}
+
+/// Accumulates the adjoint permittivity gradient
+/// `out[k] += -2·Re(λ_k·sx_k·sy_k·E_k)·ω²` into a caller-owned array.
+///
+/// Shared by [`Simulation::grad_eps`] and [`SimWorkspace`]; allocation-free.
+///
+/// # Panics
+///
+/// Panics if the field/adjoint/output shapes do not match the grid.
+pub fn grad_eps_accumulate(
+    grid: &SimGrid,
+    sfactors: &SFactors,
+    omega: f64,
+    ez: &[Complex64],
+    lambda: &[Complex64],
+    out: &mut Array2<f64>,
+) {
+    assert_eq!(ez.len(), grid.n(), "field length mismatch");
+    assert_eq!(lambda.len(), grid.n(), "adjoint length mismatch");
+    assert_eq!(out.shape(), (grid.ny, grid.nx), "gradient shape mismatch");
+    let k2 = omega * omega;
+    for iy in 0..grid.ny {
+        let row = iy * grid.nx;
+        let lam_row = &lambda[row..row + grid.nx];
+        let ez_row = &ez[row..row + grid.nx];
+        let out_row = &mut out.as_mut_slice()[row..row + grid.nx];
+        for (ix, (dst, (&l, &e))) in out_row
+            .iter_mut()
+            .zip(lam_row.iter().zip(ez_row))
+            .enumerate()
+        {
+            let s = sfactors.sxy(ix, iy);
+            *dst += -2.0 * (l * s * e).re * k2;
+        }
+    }
+}
+
+/// Reusable factor-and-solve workspace for repeated simulations on one
+/// grid (see the module docs for the ownership contract).
+///
+/// Typical lifecycle, once per worker thread:
+///
+/// ```no_run
+/// # use boson_fdfd::grid::SimGrid;
+/// # use boson_fdfd::sim::SimWorkspace;
+/// # use boson_num::{Array2, Complex64};
+/// # let grid = SimGrid::new(40, 30, 0.05, 8);
+/// # let omega = 2.0 * std::f64::consts::PI / 1.55;
+/// # let eps_of_corner = |_c: usize| Array2::filled(30, 40, 1.0);
+/// # let jz = vec![Complex64::ZERO; grid.n()];
+/// let mut ws = SimWorkspace::new();
+/// let mut field = Vec::new();
+/// for corner in 0..8 {
+///     let eps = eps_of_corner(corner);
+///     ws.factor(grid, omega, &eps).unwrap();     // alloc-free after warm-up
+///     ws.solve_current_into(&jz, &mut field);    // forward solve
+///     ws.solve_adjoint_in_place(&mut field);     // adjoint reuses factors
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SimWorkspace {
+    grid: Option<SimGrid>,
+    omega: f64,
+    sfactors: Option<SFactors>,
+    a: BandedMatrix,
+    lu: BandedLu,
+    factored: bool,
+}
+
+impl Default for SimWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers are sized on first
+    /// [`SimWorkspace::factor`].
+    pub fn new() -> Self {
+        Self {
+            grid: None,
+            omega: 0.0,
+            sfactors: None,
+            a: BandedMatrix::new(1, 0, 0),
+            lu: BandedLu::placeholder(),
+            factored: false,
+        }
+    }
+
+    /// `true` once [`SimWorkspace::factor`] has succeeded.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// The grid of the current factorisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace has never been factored.
+    pub fn grid(&self) -> &SimGrid {
+        self.grid.as_ref().expect("SimWorkspace::factor not called")
+    }
+
+    /// Angular frequency of the current factorisation.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// PML stretch factors of the current factorisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace has never been factored.
+    pub fn sfactors(&self) -> &SFactors {
+        self.sfactors
+            .as_ref()
+            .expect("SimWorkspace::factor not called")
+    }
+
+    /// Assembles and factors the operator for `eps`, reusing every buffer.
+    ///
+    /// The [`SFactors`] are recomputed only when `(grid, omega)` differs
+    /// from the previous call; the band assembly and LU storage are reused
+    /// whenever the grid size is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the operator is singular; the
+    /// workspace is then unfactored until the next successful call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` does not have shape `(ny, nx)`.
+    pub fn factor(
+        &mut self,
+        grid: SimGrid,
+        omega: f64,
+        eps: &Array2<f64>,
+    ) -> Result<(), SingularMatrixError> {
+        assert_eq!(
+            eps.shape(),
+            (grid.ny, grid.nx),
+            "eps shape must be (ny, nx)"
+        );
+        if self.grid != Some(grid) || self.omega != omega || self.sfactors.is_none() {
+            self.sfactors = Some(SFactors::new(&grid, omega));
+            self.grid = Some(grid);
+            self.omega = omega;
+        }
+        let s = self.sfactors.as_ref().expect("sfactors cached above");
+        assemble_banded_into(&grid, s, eps, omega, &mut self.a);
+        self.factored = false;
+        // The assembly is rebuilt from scratch every corner, so the band
+        // image can be donated to the factorisation instead of copied.
+        self.a.factor_swap_into(&mut self.lu)?;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// The current factorisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is not factored.
+    pub fn lu(&self) -> &BandedLu {
+        assert!(self.factored, "SimWorkspace not factored");
+        &self.lu
+    }
+
+    /// Solves the forward problem for one raw current distribution,
+    /// writing the field into `out` (resized once, then reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is not factored or `jz` has the wrong
+    /// length.
+    pub fn solve_current_into(&self, jz: &[Complex64], out: &mut Vec<Complex64>) {
+        assert!(self.factored, "SimWorkspace not factored");
+        let grid = self.grid();
+        let n = grid.n();
+        out.clear();
+        out.resize(n, Complex64::ZERO);
+        scale_source_into(grid, self.sfactors(), self.omega, jz, out);
+        self.lu.solve(out);
+    }
+
+    /// Batched forward solve: scales every `jz` into one column-major
+    /// right-hand-side block and pushes all of them through a single
+    /// [`BandedLu::solve_many`] sweep. Column `c` of `out` (stride `n`)
+    /// holds the field of `jzs[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is not factored or any source has the wrong
+    /// length.
+    pub fn solve_currents_batched(&self, jzs: &[&[Complex64]], out: &mut Vec<Complex64>) {
+        assert!(self.factored, "SimWorkspace not factored");
+        let grid = self.grid();
+        let n = grid.n();
+        out.clear();
+        out.resize(n * jzs.len(), Complex64::ZERO);
+        for (c, jz) in jzs.iter().enumerate() {
+            scale_source_into(
+                grid,
+                self.sfactors(),
+                self.omega,
+                jz,
+                &mut out[c * n..(c + 1) * n],
+            );
+        }
+        self.lu.solve_many(out, jzs.len());
+    }
+
+    /// In-place adjoint solve (`g` becomes `λ`); the symmetrised operator
+    /// makes this a plain solve against the shared factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is not factored or `g` has the wrong
+    /// length.
+    pub fn solve_adjoint_in_place(&self, g: &mut [Complex64]) {
+        assert!(self.factored, "SimWorkspace not factored");
+        assert_eq!(g.len(), self.grid().n(), "adjoint source length mismatch");
+        self.lu.solve(g);
+    }
+
+    /// Batched in-place adjoint solve over `nrhs` column-major gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is not factored or `g.len() != n·nrhs`.
+    pub fn solve_adjoints_batched_in_place(&self, g: &mut [Complex64], nrhs: usize) {
+        assert!(self.factored, "SimWorkspace not factored");
+        assert_eq!(
+            g.len(),
+            self.grid().n() * nrhs,
+            "adjoint block length mismatch"
+        );
+        self.lu.solve_many(g, nrhs);
+    }
+
+    /// Accumulates `dF/dε` from a forward field and its adjoint into a
+    /// caller-owned `(ny, nx)` array (see [`grad_eps_accumulate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is not factored or shapes mismatch.
+    pub fn grad_eps_accumulate(
+        &self,
+        ez: &[Complex64],
+        lambda: &[Complex64],
+        out: &mut Array2<f64>,
+    ) {
+        assert!(self.factored, "SimWorkspace not factored");
+        grad_eps_accumulate(self.grid(), self.sfactors(), self.omega, ez, lambda, out);
     }
 }
 
@@ -216,7 +518,12 @@ mod tests {
         let src = ModalSource::new(port_in.clone(), modes_in[0].clone(), Sign::Plus);
         let field = sim.solve_current(&src.current(&grid));
 
-        let mon_in = ModalMonitor::new(&grid, &Port::new("ref", Axis::X, 18, 10, 40), &modes_in[0], Sign::Plus);
+        let mon_in = ModalMonitor::new(
+            &grid,
+            &Port::new("ref", Axis::X, 18, 10, 40),
+            &modes_in[0],
+            Sign::Plus,
+        );
         let mon_out = ModalMonitor::new(&grid, &port_out, &modes_out[0], Sign::Plus);
         let p_in = mon_in.power(&field.ez);
         let p_out = mon_out.power(&field.ez);
@@ -238,8 +545,18 @@ mod tests {
         let src = ModalSource::new(port_in, modes[0].clone(), Sign::Plus);
         let field = sim.solve_current(&src.current(&grid));
         // Backward power measured behind the source must be tiny.
-        let mon_fwd = ModalMonitor::new(&grid, &Port::new("f", Axis::X, 40, 10, 40), &modes[0], Sign::Plus);
-        let mon_bwd = ModalMonitor::new(&grid, &Port::new("b", Axis::X, 15, 10, 40), &modes[0], Sign::Minus);
+        let mon_fwd = ModalMonitor::new(
+            &grid,
+            &Port::new("f", Axis::X, 40, 10, 40),
+            &modes[0],
+            Sign::Plus,
+        );
+        let mon_bwd = ModalMonitor::new(
+            &grid,
+            &Port::new("b", Axis::X, 15, 10, 40),
+            &modes[0],
+            Sign::Minus,
+        );
         let pf = mon_fwd.power(&field.ez);
         let pb = mon_bwd.power(&field.ez);
         assert!(pf > 1e-6);
@@ -260,7 +577,10 @@ mod tests {
         let p1 = f1.power(&field.ez);
         let p2 = f2.power(&field.ez);
         assert!(p1 > 0.0);
-        assert!((p1 - p2).abs() / p1 < 0.02, "flux not conserved: {p1} vs {p2}");
+        assert!(
+            (p1 - p2).abs() / p1 < 0.02,
+            "flux not conserved: {p1} vs {p2}"
+        );
     }
 
     #[test]
@@ -280,7 +600,9 @@ mod tests {
             let left = FluxMonitor::new("l", &grid, Axis::X, lo, lo, hi, Sign::Minus, omega());
             let top = FluxMonitor::new("t", &grid, Axis::Y, hi, lo, hi, Sign::Plus, omega());
             let bot = FluxMonitor::new("b", &grid, Axis::Y, lo, lo, hi, Sign::Minus, omega());
-            right.power(&field.ez) + left.power(&field.ez) + top.power(&field.ez)
+            right.power(&field.ez)
+                + left.power(&field.ez)
+                + top.power(&field.ez)
                 + bot.power(&field.ez)
         };
         let p_small = box_flux(8);
@@ -302,9 +624,103 @@ mod tests {
             .collect();
         let a = sim.solve_adjoint(&g);
         let b = sim.solve_adjoint_transpose(&g);
-        let num: f64 = a.iter().zip(&b).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt();
+        let num: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (*x - *y).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = a.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt();
-        assert!(num / den < 1e-9, "operator not symmetric: rel err {}", num / den);
+        assert!(
+            num / den < 1e-9,
+            "operator not symmetric: rel err {}",
+            num / den
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_simulation_across_corners() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let mut ws = SimWorkspace::new();
+        let mut field_ws = Vec::new();
+        for corner in 0..3 {
+            let mut eps = straight_wg(&grid, 3);
+            eps[(18, 20)] = 4.0 + corner as f64; // per-corner perturbation
+            let sim = Simulation::new(grid, omega(), eps.clone()).unwrap();
+            ws.factor(grid, omega(), &eps).unwrap();
+
+            let port = Port::new("in", Axis::X, 12, 9, 27);
+            let modes = port.solve_modes(&grid, &eps, omega(), 1);
+            let src = ModalSource::new(port, modes[0].clone(), Sign::Plus);
+            let jz = src.current(&grid);
+
+            let fresh = sim.solve_current(&jz);
+            ws.solve_current_into(&jz, &mut field_ws);
+            for (p, q) in fresh.ez.iter().zip(&field_ws) {
+                assert!((*p - *q).abs() < 1e-10, "corner {corner}");
+            }
+
+            // In-place adjoint ≡ copying adjoint.
+            let g: Vec<Complex64> = (0..grid.n())
+                .map(|k| c64((k as f64 * 0.011).sin(), (k as f64 * 0.017).cos()))
+                .collect();
+            let lam_copy = sim.solve_adjoint(&g);
+            let mut lam_inplace = g.clone();
+            ws.solve_adjoint_in_place(&mut lam_inplace);
+            for (p, q) in lam_copy.iter().zip(&lam_inplace) {
+                assert!((*p - *q).abs() < 1e-10, "corner {corner}");
+            }
+
+            // Gradient accumulation matches the allocating path.
+            let dense = sim.grad_eps(&fresh, &lam_copy);
+            let mut accum = Array2::zeros(grid.ny, grid.nx);
+            ws.grad_eps_accumulate(&field_ws, &lam_inplace, &mut accum);
+            for (p, q) in dense.as_slice().iter().zip(accum.as_slice()) {
+                assert!((p - q).abs() < 1e-10 * (1.0 + p.abs()), "corner {corner}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solves_match_individual_solves() {
+        let grid = SimGrid::new(36, 30, 0.05, 8);
+        let eps = straight_wg(&grid, 3);
+        let mut ws = SimWorkspace::new();
+        ws.factor(grid, omega(), &eps).unwrap();
+
+        let mut jz1 = vec![Complex64::ZERO; grid.n()];
+        jz1[grid.idx(14, 15)] = Complex64::ONE;
+        let mut jz2 = vec![Complex64::ZERO; grid.n()];
+        jz2[grid.idx(20, 12)] = c64(0.0, 2.0);
+        jz2[grid.idx(21, 12)] = c64(-1.0, 0.0);
+
+        let mut f1 = Vec::new();
+        let mut f2 = Vec::new();
+        ws.solve_current_into(&jz1, &mut f1);
+        ws.solve_current_into(&jz2, &mut f2);
+
+        let mut block = Vec::new();
+        ws.solve_currents_batched(&[&jz1, &jz2], &mut block);
+        let n = grid.n();
+        for (p, q) in f1.iter().zip(&block[..n]) {
+            assert!((*p - *q).abs() < 1e-11);
+        }
+        for (p, q) in f2.iter().zip(&block[n..]) {
+            assert!((*p - *q).abs() < 1e-11);
+        }
+
+        // Batched adjoint block ≡ per-column adjoints.
+        let mut g_block: Vec<Complex64> = (0..2 * n)
+            .map(|k| c64((k as f64 * 0.003).cos(), (k as f64 * 0.005).sin()))
+            .collect();
+        let mut col0 = g_block[..n].to_vec();
+        let mut col1 = g_block[n..].to_vec();
+        ws.solve_adjoints_batched_in_place(&mut g_block, 2);
+        ws.solve_adjoint_in_place(&mut col0);
+        ws.solve_adjoint_in_place(&mut col1);
+        for (p, q) in col0.iter().chain(&col1).zip(&g_block) {
+            assert!((*p - *q).abs() < 1e-11);
+        }
     }
 
     #[test]

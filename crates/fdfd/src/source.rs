@@ -50,6 +50,20 @@ impl ModalSource {
     /// Panics if the port plane or its behind-neighbour leaves the grid.
     pub fn current(&self, grid: &SimGrid) -> Vec<Complex64> {
         let mut jz = vec![Complex64::ZERO; grid.n()];
+        self.current_into(grid, &mut jz);
+        jz
+    }
+
+    /// In-place variant of [`ModalSource::current`]: zeroes `jz` and fills
+    /// the two source lines, reusing the caller's buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jz.len()` does not match the grid, or if the port plane
+    /// or its behind-neighbour leaves the grid.
+    pub fn current_into(&self, grid: &SimGrid, jz: &mut [Complex64]) {
+        assert_eq!(jz.len(), grid.n(), "current buffer length mismatch");
+        jz.fill(Complex64::ZERO);
         let beta_d = discrete_beta(self.mode.beta, grid.dx);
         let behind: isize = match self.direction {
             Sign::Plus => -1,
@@ -67,7 +81,6 @@ impl ModalSource {
             jz[k1] += self.amplitude * phi;
             jz[k2] += self.amplitude * a2 * phi;
         }
-        jz
     }
 }
 

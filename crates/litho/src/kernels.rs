@@ -94,14 +94,34 @@ pub struct SourcePoint {
 /// Standard 5-point source quadrature: centre + 4 axial points at radius
 /// `σ·NA/λ·r_frac`.
 pub fn source_points(cfg: &LithoConfig) -> Vec<SourcePoint> {
-    let r = cfg.sigma * cfg.cutoff() * 0.7071;
+    let r = cfg.sigma * cfg.cutoff() * std::f64::consts::FRAC_1_SQRT_2;
     let w = 1.0 / 5.0;
     vec![
-        SourcePoint { fx: 0.0, fy: 0.0, weight: w },
-        SourcePoint { fx: r, fy: 0.0, weight: w },
-        SourcePoint { fx: -r, fy: 0.0, weight: w },
-        SourcePoint { fx: 0.0, fy: r, weight: w },
-        SourcePoint { fx: 0.0, fy: -r, weight: w },
+        SourcePoint {
+            fx: 0.0,
+            fy: 0.0,
+            weight: w,
+        },
+        SourcePoint {
+            fx: r,
+            fy: 0.0,
+            weight: w,
+        },
+        SourcePoint {
+            fx: -r,
+            fy: 0.0,
+            weight: w,
+        },
+        SourcePoint {
+            fx: 0.0,
+            fy: r,
+            weight: w,
+        },
+        SourcePoint {
+            fx: 0.0,
+            fy: -r,
+            weight: w,
+        },
     ]
 }
 
@@ -168,7 +188,11 @@ mod tests {
     #[test]
     fn transfer_function_is_lowpass() {
         let cfg = LithoConfig::default();
-        let s = SourcePoint { fx: 0.0, fy: 0.0, weight: 1.0 };
+        let s = SourcePoint {
+            fx: 0.0,
+            fy: 0.0,
+            weight: 1.0,
+        };
         let h = transfer_function(64, 64, 0.05, &cfg, &s, 0.0);
         // DC passes.
         assert_eq!(h[(0, 0)], Complex64::ONE);
@@ -188,7 +212,11 @@ mod tests {
     #[test]
     fn defocus_adds_phase() {
         let cfg = LithoConfig::default();
-        let s = SourcePoint { fx: 0.0, fy: 0.0, weight: 1.0 };
+        let s = SourcePoint {
+            fx: 0.0,
+            fy: 0.0,
+            weight: 1.0,
+        };
         let h = transfer_function(64, 64, 0.05, &cfg, &s, 0.2);
         // Away from DC there must be nontrivial phase.
         let v = h[(0, 5)];
@@ -201,7 +229,11 @@ mod tests {
     #[test]
     fn shifted_pupil_asymmetric() {
         let cfg = LithoConfig::default();
-        let s = SourcePoint { fx: 1.5, fy: 0.0, weight: 1.0 };
+        let s = SourcePoint {
+            fx: 1.5,
+            fy: 0.0,
+            weight: 1.0,
+        };
         let h = transfer_function(64, 64, 0.05, &cfg, &s, 0.0);
         // The passband is shifted: count of passing bins on the +fx side
         // differs from the -fx side.

@@ -120,7 +120,9 @@ impl<T: Clone> Array2<T> {
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<T> {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c].clone()).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c].clone())
+            .collect()
     }
 
     /// Transposed copy.
@@ -134,7 +136,10 @@ impl<T: Clone> Array2<T> {
     ///
     /// Panics if the window exceeds the array bounds.
     pub fn window(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "window out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "window out of bounds"
+        );
         Self::from_fn(h, w, |r, c| self[(r0 + r, c0 + c)].clone())
     }
 
@@ -223,7 +228,12 @@ impl<T> Array2<T> {
         Array2 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(other.data.iter()).map(|(a, b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -237,7 +247,10 @@ impl<T> Array2<T> {
     /// Iterates over `((row, col), &value)` pairs in row-major order.
     pub fn indexed_iter(&self) -> impl Iterator<Item = ((usize, usize), &T)> {
         let cols = self.cols;
-        self.data.iter().enumerate().map(move |(k, v)| ((k / cols, k % cols), v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, v)| ((k / cols, k % cols), v))
     }
 }
 
@@ -303,7 +316,10 @@ impl<T> Index<(usize, usize)> for Array2<T> {
     type Output = T;
     #[inline(always)]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -311,7 +327,10 @@ impl<T> Index<(usize, usize)> for Array2<T> {
 impl<T> IndexMut<(usize, usize)> for Array2<T> {
     #[inline(always)]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

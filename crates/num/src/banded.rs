@@ -10,6 +10,32 @@
 //! Storage is column-major LAPACK band format with `2·kl + ku + 1` rows per
 //! column: the top `kl` rows are fill space for pivoting.
 //!
+//! # Workspace / ownership contract
+//!
+//! The solver supports two usage styles:
+//!
+//! * **One-shot** — [`BandedMatrix::factor`] consumes the matrix and moves
+//!   its storage into the returned [`BandedLu`]; each call allocates fresh
+//!   band storage via [`BandedMatrix::new`]. Simple, but in a hot loop the
+//!   `(2·kl+ku+1)·n` complex allocation and its zero-fill dominate.
+//! * **Workspace reuse** — the caller keeps one [`BandedMatrix`] (reset
+//!   with [`BandedMatrix::reset`] / [`BandedMatrix::reshape`] between
+//!   assemblies) and one [`BandedLu`] created once via
+//!   [`BandedLu::placeholder`], then refilled with
+//!   [`BandedMatrix::factor_into`]. After the first call, `factor_into`
+//!   performs **zero heap allocations**: the band image is `memcpy`ed into
+//!   the factor's existing buffer and factored in place. Multi-RHS solves
+//!   go through [`BandedLu::solve_many`] / [`BandedLu::solve_transpose_many`]
+//!   which make a *single* pass over the factors for all right-hand sides.
+//!
+//! The factorisation kernel is shared by both styles and is written in
+//! slice/iterator form (no bounds checks in the inner loops) so the
+//! compiler can vectorise the complex axpy updates; pivot selection uses
+//! `|·|²` instead of `|·|` (equivalent argmax, no `hypot` per entry). The
+//! seed's straightforward scalar implementation is preserved unchanged in
+//! [`reference`] as the correctness baseline for property tests and as the
+//! naïve side of the `solver` criterion bench.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,7 +56,26 @@
 //! assert!(b[2].re > b[0].re);
 //! # Ok::<(), boson_num::banded::SingularMatrixError>(())
 //! ```
+//!
+//! Allocation-free reuse across repeated factorisations:
+//!
+//! ```
+//! use boson_num::banded::{BandedLu, BandedMatrix};
+//! use boson_num::c64;
+//!
+//! let mut a = BandedMatrix::new(4, 1, 1);
+//! let mut lu = BandedLu::placeholder();
+//! for shift in [2.0, 3.0] {
+//!     a.reset();
+//!     for i in 0..4 { a.set(i, i, c64(shift, 0.0)); }
+//!     a.factor_into(&mut lu).unwrap();
+//!     let mut x = vec![c64(1.0, 0.0); 4];
+//!     lu.solve(&mut x);
+//!     assert!((x[0].re - 1.0 / shift).abs() < 1e-14);
+//! }
+//! ```
 
+use crate::complex::{axpy_neg, dotu, scal};
 use crate::Complex64;
 use std::fmt;
 
@@ -43,7 +88,11 @@ pub struct SingularMatrixError {
 
 impl fmt::Display for SingularMatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matrix is singular: zero pivot at column {}", self.column)
+        write!(
+            f,
+            "matrix is singular: zero pivot at column {}",
+            self.column
+        )
     }
 }
 
@@ -64,7 +113,11 @@ pub struct BandedMatrix {
 
 impl fmt::Debug for BandedMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BandedMatrix(n={}, kl={}, ku={})", self.n, self.kl, self.ku)
+        write!(
+            f,
+            "BandedMatrix(n={}, kl={}, ku={})",
+            self.n, self.kl, self.ku
+        )
     }
 }
 
@@ -109,6 +162,25 @@ impl BandedMatrix {
     fn idx(&self, i: usize, j: usize) -> usize {
         // row within column j's band block: kl + ku + i - j
         j * self.ldab() + (self.kl + self.ku + i - j)
+    }
+
+    /// Zeroes the band storage in place, keeping the allocation.
+    ///
+    /// Part of the workspace-reuse contract: call before re-assembling an
+    /// operator into a matrix that was already factored from.
+    pub fn reset(&mut self) {
+        self.ab.fill(Complex64::ZERO);
+    }
+
+    /// Reshapes to an all-zero `n×n` band with `kl`/`ku` diagonals,
+    /// reusing the existing allocation when it is large enough.
+    pub fn reshape(&mut self, n: usize, kl: usize, ku: usize) {
+        let ldab = 2 * kl + ku + 1;
+        self.n = n;
+        self.kl = kl;
+        self.ku = ku;
+        self.ab.clear();
+        self.ab.resize(ldab * n, Complex64::ZERO);
     }
 
     /// `true` when `(i, j)` lies inside the stored band.
@@ -215,79 +287,145 @@ impl BandedMatrix {
         }
     }
 
-    /// Factors the matrix in place (partial pivoting), consuming it.
+    /// Factors the matrix (partial pivoting), consuming it.
+    ///
+    /// The band storage moves into the returned factorisation without a
+    /// copy. For repeated factorisations prefer
+    /// [`BandedMatrix::factor_into`], which keeps the assembly buffer.
     ///
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] if an exactly-zero pivot is met.
     pub fn factor(mut self) -> Result<BandedLu, SingularMatrixError> {
-        let n = self.n;
-        let kl = self.kl;
-        let ku = self.ku;
-        let ldab = self.ldab();
-        // Effective super-diagonal capacity after pivoting fill.
-        let kv = kl + ku;
-        let ab = &mut self.ab;
-        let mut ipiv = vec![0usize; n];
-
-        for j in 0..n {
-            // Number of sub-diagonal rows present in this column.
-            let km = kl.min(n - 1 - j);
-            // Find pivot: largest |A(i,j)| for i in j..=j+km.
-            let col = j * ldab + kl + ku; // diagonal position within column j
-            let mut jp = 0usize;
-            let mut best = ab[col].abs();
-            for i in 1..=km {
-                let v = ab[col + i].abs();
-                if v > best {
-                    best = v;
-                    jp = i;
-                }
-            }
-            ipiv[j] = j + jp;
-            if best == 0.0 {
-                return Err(SingularMatrixError { column: j });
-            }
-            // Swap rows j and j+jp over columns j..=min(j+kv, n-1).
-            if jp != 0 {
-                let chi = (j + kv).min(n - 1);
-                for c in j..=chi {
-                    // Row r of A in column c sits at ab[c*ldab + kl+ku + r - c].
-                    let base = c * ldab + kl + ku;
-                    let pa = base + j - c; // in storage row index arithmetic this is fine:
-                    let pb = base + j + jp - c;
-                    ab.swap(pa, pb);
-                }
-            }
-            // Compute multipliers.
-            let piv = ab[col];
-            for i in 1..=km {
-                ab[col + i] /= piv;
-            }
-            // Update trailing submatrix within band.
-            let chi = (j + kv).min(n - 1);
-            for c in (j + 1)..=chi {
-                let base = c * ldab + kl + ku;
-                let t = ab[base + j - c]; // A(j, c) — careful: j - c negative in math,
-                                          // but storage offset kl+ku+j-c >= 0 since c-j <= kv.
-                if t.re != 0.0 || t.im != 0.0 {
-                    for i in 1..=km {
-                        let m = ab[col + i];
-                        let dst = base + j + i - c;
-                        ab[dst] -= m * t;
-                    }
-                }
-            }
-        }
-
+        let mut ipiv = vec![0usize; self.n];
+        factor_kernel(self.n, self.kl, self.ku, &mut self.ab, &mut ipiv)?;
         Ok(BandedLu {
-            n,
-            kl,
-            ku,
-            ab: std::mem::take(ab),
+            n: self.n,
+            kl: self.kl,
+            ku: self.ku,
+            ab: std::mem::take(&mut self.ab),
             ipiv,
         })
     }
+
+    /// Factors the matrix into a caller-owned [`BandedLu`], leaving the
+    /// assembly intact.
+    ///
+    /// The band image is copied into `lu`'s existing storage and factored
+    /// there; once `lu` has been used with the same dimensions before, the
+    /// call performs no heap allocation. This is the workhorse of the
+    /// zero-allocation simulation pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if an exactly-zero pivot is met (in
+    /// which case `lu` holds garbage and must be refilled before use).
+    pub fn factor_into(&self, lu: &mut BandedLu) -> Result<(), SingularMatrixError> {
+        lu.n = self.n;
+        lu.kl = self.kl;
+        lu.ku = self.ku;
+        lu.ab.clear();
+        lu.ab.extend_from_slice(&self.ab);
+        lu.ipiv.clear();
+        lu.ipiv.resize(self.n, 0);
+        factor_kernel(self.n, self.kl, self.ku, &mut lu.ab, &mut lu.ipiv)
+    }
+
+    /// Like [`BandedMatrix::factor_into`] but *swaps* band storage with
+    /// `lu` instead of copying it, then factors in place — the band image
+    /// in `self` is **destroyed** (replaced by `lu`'s previous storage,
+    /// zero-padded to the right size, contents unspecified).
+    ///
+    /// This is the cheapest refactorisation path for workspaces that
+    /// re-assemble from scratch each round anyway (call
+    /// [`BandedMatrix::reset`] before the next assembly, as usual): it
+    /// skips the `(2·kl+ku+1)·n` copy entirely and still performs zero
+    /// heap allocations once both buffers are warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if an exactly-zero pivot is met.
+    pub fn factor_swap_into(&mut self, lu: &mut BandedLu) -> Result<(), SingularMatrixError> {
+        lu.n = self.n;
+        lu.kl = self.kl;
+        lu.ku = self.ku;
+        std::mem::swap(&mut self.ab, &mut lu.ab);
+        // `self` inherited `lu`'s previous storage; keep its length
+        // consistent with the declared shape for the next reset+assembly.
+        self.ab.resize(self.ldab() * self.n, Complex64::ZERO);
+        lu.ipiv.clear();
+        lu.ipiv.resize(self.n, 0);
+        factor_kernel(self.n, self.kl, self.ku, &mut lu.ab, &mut lu.ipiv)
+    }
+}
+
+/// The in-place `zgbtrf`-style kernel shared by [`BandedMatrix::factor`]
+/// and [`BandedMatrix::factor_into`].
+///
+/// Pivot selection compares `|·|²` (same argmax as `|·|`, no `hypot`), the
+/// column scaling multiplies by the precomputed pivot inverse, and the
+/// rank-1 trailing update runs on disjoint slices so the inner complex
+/// axpy vectorises.
+fn factor_kernel(
+    n: usize,
+    kl: usize,
+    ku: usize,
+    ab: &mut [Complex64],
+    ipiv: &mut [usize],
+) -> Result<(), SingularMatrixError> {
+    let ldab = 2 * kl + ku + 1;
+    let kv = kl + ku;
+    debug_assert_eq!(ab.len(), ldab * n);
+    debug_assert_eq!(ipiv.len(), n);
+
+    for j in 0..n {
+        // Number of sub-diagonal rows present in this column.
+        let km = kl.min(n - 1 - j);
+        let col = j * ldab + kv; // diagonal position within column j
+                                 // Find pivot: largest |A(i,j)|² for i in j..=j+km.
+        let mut jp = 0usize;
+        let mut best = ab[col].norm_sqr();
+        for (i, v) in ab[col + 1..=col + km].iter().enumerate() {
+            let m = v.norm_sqr();
+            if m > best {
+                best = m;
+                jp = i + 1;
+            }
+        }
+        ipiv[j] = j + jp;
+        if best == 0.0 {
+            return Err(SingularMatrixError { column: j });
+        }
+        // Swap rows j and j+jp over columns j..=min(j+kv, n-1).
+        let chi = (j + kv).min(n - 1);
+        if jp != 0 {
+            for c in j..=chi {
+                // Row r of A in column c sits at ab[c*ldab + kv + r - c].
+                let base = c * ldab + kv;
+                ab.swap(base + j - c, base + j + jp - c);
+            }
+        }
+        // Compute multipliers.
+        let piv_inv = ab[col].inv();
+        scal(piv_inv, &mut ab[col + 1..=col + km]);
+        if km == 0 {
+            continue;
+        }
+        // Rank-1 update of the trailing submatrix within the band. The
+        // multiplier column (column j) always precedes column c in
+        // storage, so a split at c's column start yields disjoint slices.
+        for c in (j + 1)..=chi {
+            let d = c - j;
+            let (head, tail) = ab.split_at_mut(c * ldab);
+            let t = tail[kv - d]; // A(j, c)
+            if t.re != 0.0 || t.im != 0.0 {
+                let src = &head[col + 1..=col + km];
+                let dst = &mut tail[kv - d + 1..=kv - d + km];
+                axpy_neg(t, src, dst);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The LU factorisation of a [`BandedMatrix`], ready to solve systems.
@@ -307,7 +445,19 @@ impl fmt::Debug for BandedLu {
 }
 
 impl BandedLu {
-    /// Matrix dimension.
+    /// An empty factorisation slot for workspace reuse: fill it with
+    /// [`BandedMatrix::factor_into`] before solving.
+    pub fn placeholder() -> Self {
+        Self {
+            n: 0,
+            kl: 0,
+            ku: 0,
+            ab: Vec::new(),
+            ipiv: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension (0 for a [`BandedLu::placeholder`] never filled).
     #[inline(always)]
     pub fn n(&self) -> usize {
         self.n
@@ -325,33 +475,50 @@ impl BandedLu {
     /// Panics if `b.len() != n`.
     pub fn solve(&self, b: &mut [Complex64]) {
         assert_eq!(b.len(), self.n, "solve dimension mismatch");
+        self.solve_many(b, 1);
+    }
+
+    /// Solves `A X = B` in place for `nrhs` right-hand sides stored
+    /// column-major in `b` (`b.len() == n·nrhs`, column stride `n`).
+    ///
+    /// All right-hand sides advance through a **single sweep** over the
+    /// factors (the `zgbtrs` blocking), so the factor data is read once
+    /// per column instead of once per column *per RHS* — the batched form
+    /// used for forward+adjoint pairs and multi-excitation objectives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * nrhs`.
+    pub fn solve_many(&self, b: &mut [Complex64], nrhs: usize) {
         let n = self.n;
+        assert_eq!(b.len(), n * nrhs, "solve_many dimension mismatch");
         let kl = self.kl;
-        let ku = self.ku;
         let ldab = self.ldab();
-        let kv = kl + ku;
+        let kv = kl + self.ku;
         // Solve L x = P b.
         for j in 0..n {
             let p = self.ipiv[j];
-            if p != j {
-                b.swap(j, p);
-            }
             let km = kl.min(n - 1 - j);
-            let col = j * ldab + kl + ku;
-            let bj = b[j];
-            for i in 1..=km {
-                b[j + i] -= self.ab[col + i] * bj;
+            let col = j * ldab + kv;
+            let l = &self.ab[col + 1..=col + km];
+            for rhs in b.chunks_exact_mut(n) {
+                if p != j {
+                    rhs.swap(j, p);
+                }
+                let bj = rhs[j];
+                axpy_neg(bj, l, &mut rhs[j + 1..=j + km]);
             }
         }
         // Solve U x = b (U has kv super-diagonals).
         for j in (0..n).rev() {
-            let col = j * ldab + kl + ku;
-            b[j] /= self.ab[col];
-            let bj = b[j];
+            let col = j * ldab + kv;
+            let dinv = self.ab[col].inv();
             let reach = kv.min(j);
-            for i in 1..=reach {
-                // U(j-i, j) lives at ab[col - i].
-                b[j - i] -= self.ab[col - i] * bj;
+            let u = &self.ab[col - reach..col];
+            for rhs in b.chunks_exact_mut(n) {
+                let bj = rhs[j] * dinv;
+                rhs[j] = bj;
+                axpy_neg(bj, u, &mut rhs[j - reach..j]);
             }
         }
     }
@@ -363,33 +530,44 @@ impl BandedLu {
     /// Panics if `b.len() != n`.
     pub fn solve_transpose(&self, b: &mut [Complex64]) {
         assert_eq!(b.len(), self.n, "solve_transpose dimension mismatch");
+        self.solve_transpose_many(b, 1);
+    }
+
+    /// Transpose counterpart of [`BandedLu::solve_many`]: solves
+    /// `Aᵀ X = B` for `nrhs` column-major right-hand sides in one sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * nrhs`.
+    pub fn solve_transpose_many(&self, b: &mut [Complex64], nrhs: usize) {
         let n = self.n;
+        assert_eq!(b.len(), n * nrhs, "solve_transpose_many dimension mismatch");
         let kl = self.kl;
-        let ku = self.ku;
         let ldab = self.ldab();
-        let kv = kl + ku;
+        let kv = kl + self.ku;
         // Solve Uᵀ y = b: forward substitution.
         for j in 0..n {
-            let col = j * ldab + kl + ku;
-            let mut s = b[j];
+            let col = j * ldab + kv;
+            let dinv = self.ab[col].inv();
             let reach = kv.min(j);
-            for i in 1..=reach {
-                s -= self.ab[col - i] * b[j - i];
+            let u = &self.ab[col - reach..col];
+            for rhs in b.chunks_exact_mut(n) {
+                let s = rhs[j] - dotu(u, &rhs[j - reach..j]);
+                rhs[j] = s * dinv;
             }
-            b[j] = s / self.ab[col];
         }
         // Solve Lᵀ z = y: backward, applying pivots in reverse.
         for j in (0..n).rev() {
             let km = kl.min(n - 1 - j);
-            let col = j * ldab + kl + ku;
-            let mut s = b[j];
-            for i in 1..=km {
-                s -= self.ab[col + i] * b[j + i];
-            }
-            b[j] = s;
+            let col = j * ldab + kv;
             let p = self.ipiv[j];
-            if p != j {
-                b.swap(j, p);
+            let l = &self.ab[col + 1..=col + km];
+            for rhs in b.chunks_exact_mut(n) {
+                let s = rhs[j] - dotu(l, &rhs[j + 1..=j + km]);
+                rhs[j] = s;
+                if p != j {
+                    rhs.swap(j, p);
+                }
             }
         }
     }
@@ -406,6 +584,156 @@ impl BandedLu {
         let mut x = b.to_vec();
         self.solve_transpose(&mut x);
         x
+    }
+}
+
+/// The seed's straightforward scalar implementation, kept verbatim as the
+/// correctness baseline and as the naïve ("allocate per call, scalar
+/// kernel") side of the `solver` criterion benchmark.
+///
+/// Do not optimise this module: its value is being the simple,
+/// independently-written implementation the optimised kernels are checked
+/// against (see `crates/num/tests/properties.rs`).
+pub mod reference {
+    use super::{BandedLu, BandedMatrix, SingularMatrixError};
+    use crate::Complex64;
+
+    /// Scalar `zgbtrf`, consuming the matrix (the seed's `factor`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if an exactly-zero pivot is met.
+    pub fn factor(mut a: BandedMatrix) -> Result<BandedLu, SingularMatrixError> {
+        let n = a.n;
+        let kl = a.kl;
+        let ku = a.ku;
+        let ldab = 2 * kl + ku + 1;
+        let kv = kl + ku;
+        let ab = &mut a.ab;
+        let mut ipiv = vec![0usize; n];
+
+        for j in 0..n {
+            let km = kl.min(n - 1 - j);
+            let col = j * ldab + kl + ku;
+            let mut jp = 0usize;
+            let mut best = ab[col].abs();
+            for i in 1..=km {
+                let v = ab[col + i].abs();
+                if v > best {
+                    best = v;
+                    jp = i;
+                }
+            }
+            ipiv[j] = j + jp;
+            if best == 0.0 {
+                return Err(SingularMatrixError { column: j });
+            }
+            if jp != 0 {
+                let chi = (j + kv).min(n - 1);
+                for c in j..=chi {
+                    let base = c * ldab + kl + ku;
+                    let pa = base + j - c;
+                    let pb = base + j + jp - c;
+                    ab.swap(pa, pb);
+                }
+            }
+            let piv = ab[col];
+            for i in 1..=km {
+                ab[col + i] /= piv;
+            }
+            let chi = (j + kv).min(n - 1);
+            for c in (j + 1)..=chi {
+                let base = c * ldab + kl + ku;
+                let t = ab[base + j - c];
+                if t.re != 0.0 || t.im != 0.0 {
+                    for i in 1..=km {
+                        let m = ab[col + i];
+                        let dst = base + j + i - c;
+                        ab[dst] -= m * t;
+                    }
+                }
+            }
+        }
+
+        Ok(BandedLu {
+            n,
+            kl,
+            ku,
+            ab: std::mem::take(ab),
+            ipiv,
+        })
+    }
+
+    /// Scalar single-RHS substitution (the seed's `solve`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != lu.n()`.
+    pub fn solve(lu: &BandedLu, b: &mut [Complex64]) {
+        assert_eq!(b.len(), lu.n, "solve dimension mismatch");
+        let n = lu.n;
+        let kl = lu.kl;
+        let ku = lu.ku;
+        let ldab = 2 * kl + ku + 1;
+        let kv = kl + ku;
+        for j in 0..n {
+            let p = lu.ipiv[j];
+            if p != j {
+                b.swap(j, p);
+            }
+            let km = kl.min(n - 1 - j);
+            let col = j * ldab + kl + ku;
+            let bj = b[j];
+            for i in 1..=km {
+                b[j + i] -= lu.ab[col + i] * bj;
+            }
+        }
+        for j in (0..n).rev() {
+            let col = j * ldab + kl + ku;
+            b[j] /= lu.ab[col];
+            let bj = b[j];
+            let reach = kv.min(j);
+            for i in 1..=reach {
+                b[j - i] -= lu.ab[col - i] * bj;
+            }
+        }
+    }
+
+    /// Scalar single-RHS transpose substitution (the seed's
+    /// `solve_transpose`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != lu.n()`.
+    pub fn solve_transpose(lu: &BandedLu, b: &mut [Complex64]) {
+        assert_eq!(b.len(), lu.n, "solve_transpose dimension mismatch");
+        let n = lu.n;
+        let kl = lu.kl;
+        let ku = lu.ku;
+        let ldab = 2 * kl + ku + 1;
+        let kv = kl + ku;
+        for j in 0..n {
+            let col = j * ldab + kl + ku;
+            let mut s = b[j];
+            let reach = kv.min(j);
+            for i in 1..=reach {
+                s -= lu.ab[col - i] * b[j - i];
+            }
+            b[j] = s / lu.ab[col];
+        }
+        for j in (0..n).rev() {
+            let km = kl.min(n - 1 - j);
+            let col = j * ldab + kl + ku;
+            let mut s = b[j];
+            for i in 1..=km {
+                s -= lu.ab[col + i] * b[j + i];
+            }
+            b[j] = s;
+            let p = lu.ipiv[j];
+            if p != j {
+                b.swap(j, p);
+            }
+        }
     }
 }
 
@@ -464,9 +792,17 @@ mod tests {
 
     #[test]
     fn solve_random_systems_various_bandwidths() {
-        for &(n, kl, ku) in &[(4usize, 1usize, 1usize), (10, 2, 3), (25, 4, 2), (40, 7, 7), (60, 1, 5)] {
+        for &(n, kl, ku) in &[
+            (4usize, 1usize, 1usize),
+            (10, 2, 3),
+            (25, 4, 2),
+            (40, 7, 7),
+            (60, 1, 5),
+        ] {
             let a = random_banded(n, kl, ku, (n * 31 + kl * 7 + ku) as u64);
-            let b: Vec<_> = (0..n).map(|i| c64((i as f64).cos(), (i as f64).sin())).collect();
+            let b: Vec<_> = (0..n)
+                .map(|i| c64((i as f64).cos(), (i as f64).sin()))
+                .collect();
             let lu = a.clone().factor().unwrap();
             let x = lu.solve_vec(&b);
             let r = residual(&a, &x, &b);
@@ -478,7 +814,9 @@ mod tests {
     fn transpose_solve_random_systems() {
         for &(n, kl, ku) in &[(5usize, 1usize, 2usize), (12, 3, 3), (33, 6, 4), (48, 5, 9)] {
             let a = random_banded(n, kl, ku, (n * 13 + kl + ku * 3) as u64);
-            let b: Vec<_> = (0..n).map(|i| c64(1.0 / (i + 1) as f64, 0.3 * i as f64)).collect();
+            let b: Vec<_> = (0..n)
+                .map(|i| c64(1.0 / (i + 1) as f64, 0.3 * i as f64))
+                .collect();
             let lu = a.clone().factor().unwrap();
             let x = lu.solve_transpose_vec(&b);
             // Residual against Aᵀ x = b.
@@ -489,7 +827,10 @@ mod tests {
                 .map(|(p, q)| (*p - *q).norm_sqr())
                 .sum::<f64>()
                 .sqrt();
-            assert!(r < 1e-10, "transpose residual {r} for n={n} kl={kl} ku={ku}");
+            assert!(
+                r < 1e-10,
+                "transpose residual {r} for n={n} kl={kl} ku={ku}"
+            );
         }
     }
 
@@ -579,9 +920,148 @@ mod tests {
         let a = random_banded(n, 3, 3, 99);
         let lu = a.clone().factor().unwrap();
         for k in 0..4 {
-            let b: Vec<_> = (0..n).map(|i| c64((i + k) as f64, (i * k) as f64 * 0.1)).collect();
+            let b: Vec<_> = (0..n)
+                .map(|i| c64((i + k) as f64, (i * k) as f64 * 0.1))
+                .collect();
             let x = lu.solve_vec(&b);
             assert!(residual(&a, &x, &b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn factor_into_matches_consuming_factor() {
+        let a = random_banded(24, 3, 2, 5);
+        let lu1 = a.clone().factor().unwrap();
+        let mut lu2 = BandedLu::placeholder();
+        a.factor_into(&mut lu2).unwrap();
+        let b: Vec<_> = (0..24).map(|i| c64(i as f64, -0.5 * i as f64)).collect();
+        let x1 = lu1.solve_vec(&b);
+        let x2 = lu2.solve_vec(&b);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((*p - *q).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn factor_into_is_allocation_stable_across_reuse() {
+        // Buffer pointers must not move between reuses with equal shapes —
+        // the workspace contract behind the zero-allocation pipeline.
+        let mut a = random_banded(20, 2, 2, 1);
+        let mut lu = BandedLu::placeholder();
+        a.factor_into(&mut lu).unwrap();
+        let ab_ptr = lu.ab.as_ptr();
+        let ipiv_ptr = lu.ipiv.as_ptr();
+        for seed in 2..6 {
+            a.reset();
+            let fresh = random_banded(20, 2, 2, seed);
+            for i in 0..20usize {
+                for j in i.saturating_sub(2)..=(i + 2).min(19) {
+                    a.set(i, j, fresh.get(i, j));
+                }
+            }
+            a.factor_into(&mut lu).unwrap();
+            assert_eq!(lu.ab.as_ptr(), ab_ptr, "factor storage reallocated");
+            assert_eq!(lu.ipiv.as_ptr(), ipiv_ptr, "pivot storage reallocated");
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_column_by_column() {
+        let n = 32;
+        let a = random_banded(n, 4, 3, 77);
+        let lu = a.clone().factor().unwrap();
+        let nrhs = 5;
+        let cols: Vec<Vec<Complex64>> = (0..nrhs)
+            .map(|r| {
+                (0..n)
+                    .map(|i| c64((i * r + 1) as f64 * 0.1, (i + r) as f64 * 0.05))
+                    .collect()
+            })
+            .collect();
+        let mut block: Vec<Complex64> = cols.iter().flatten().copied().collect();
+        lu.solve_many(&mut block, nrhs);
+        for (r, col) in cols.iter().enumerate() {
+            let x = lu.solve_vec(col);
+            for (p, q) in x.iter().zip(&block[r * n..(r + 1) * n]) {
+                assert!((*p - *q).abs() < 1e-12, "rhs {r} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_transpose_many_matches_column_by_column() {
+        let n = 28;
+        let a = random_banded(n, 3, 4, 55);
+        let lu = a.clone().factor().unwrap();
+        let nrhs = 3;
+        let cols: Vec<Vec<Complex64>> = (0..nrhs)
+            .map(|r| {
+                (0..n)
+                    .map(|i| c64((i + 2 * r) as f64 * 0.2, (i * i) as f64 * 0.01))
+                    .collect()
+            })
+            .collect();
+        let mut block: Vec<Complex64> = cols.iter().flatten().copied().collect();
+        lu.solve_transpose_many(&mut block, nrhs);
+        for (r, col) in cols.iter().enumerate() {
+            let x = lu.solve_transpose_vec(col);
+            for (p, q) in x.iter().zip(&block[r * n..(r + 1) * n]) {
+                assert!((*p - *q).abs() < 1e-12, "rhs {r} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn optimised_factor_matches_reference() {
+        for &(n, kl, ku) in &[(10usize, 2usize, 2usize), (30, 5, 3), (45, 8, 8)] {
+            let a = random_banded(n, kl, ku, (n + kl * ku) as u64);
+            let fast = a.clone().factor().unwrap();
+            let slow = reference::factor(a.clone()).unwrap();
+            let b: Vec<_> = (0..n)
+                .map(|i| c64((i as f64).sin(), 0.2 * i as f64))
+                .collect();
+            let xf = fast.solve_vec(&b);
+            let mut xs = b.clone();
+            reference::solve(&slow, &mut xs);
+            for (p, q) in xf.iter().zip(&xs) {
+                assert!((*p - *q).abs() < 1e-10, "n={n} kl={kl} ku={ku}");
+            }
+            let xtf = fast.solve_transpose_vec(&b);
+            let mut xts = b.clone();
+            reference::solve_transpose(&slow, &mut xts);
+            for (p, q) in xtf.iter().zip(&xts) {
+                assert!((*p - *q).abs() < 1e-10, "transpose n={n} kl={kl} ku={ku}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_and_reshape_keep_solutions_correct() {
+        let mut a = random_banded(16, 2, 3, 9);
+        let lu1 = a.clone().factor().unwrap();
+        let b: Vec<_> = (0..16).map(|i| c64(1.0 + i as f64, 0.0)).collect();
+        let x1 = lu1.solve_vec(&b);
+        // Reset and refill with the identical matrix: same solution.
+        let copy = random_banded(16, 2, 3, 9);
+        a.reset();
+        for i in 0..16usize {
+            for j in i.saturating_sub(2)..=(i + 3).min(15) {
+                a.set(i, j, copy.get(i, j));
+            }
+        }
+        let x2 = a.clone().factor().unwrap().solve_vec(&b);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((*p - *q).abs() < 1e-13);
+        }
+        // Reshape to a different bandwidth and solve a diagonal system.
+        a.reshape(8, 1, 1);
+        assert_eq!(a.n(), 8);
+        for i in 0..8 {
+            a.set(i, i, c64(2.0, 0.0));
+        }
+        let x3 = a.factor().unwrap().solve_vec(&[Complex64::ONE; 8]);
+        for v in &x3 {
+            assert!((*v - c64(0.5, 0.0)).abs() < 1e-14);
         }
     }
 }

@@ -159,7 +159,13 @@ impl Complex64 {
 
 impl fmt::Debug for Complex64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+        write!(
+            f,
+            "{}{}{}i",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
     }
 }
 
@@ -337,6 +343,58 @@ impl<'a> Sum<&'a Complex64> for Complex64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Slice kernels
+//
+// The innermost loops of the banded LU (rank-1 trailing updates and
+// triangular substitutions) spend all their time in three BLAS-1 shapes.
+// Writing them once here over exact-length slices keeps every caller free
+// of bounds checks in the hot loop and gives the compiler a single place
+// to vectorise the interleaved re/im arithmetic.
+// ---------------------------------------------------------------------------
+
+/// `y[i] -= a·x[i]` over exact-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy_neg(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(x.len(), y.len(), "axpy_neg length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        yi.re -= xi.re * a.re - xi.im * a.im;
+        yi.im -= xi.re * a.im + xi.im * a.re;
+    }
+}
+
+/// `x[i] *= a` in place.
+#[inline]
+pub fn scal(a: Complex64, x: &mut [Complex64]) {
+    for xi in x.iter_mut() {
+        let re = xi.re * a.re - xi.im * a.im;
+        xi.im = xi.re * a.im + xi.im * a.re;
+        xi.re = re;
+    }
+}
+
+/// Unconjugated dot product `Σ x[i]·y[i]` (the bilinear form used by the
+/// transpose substitutions; *not* the Hermitian inner product).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dotu(x: &[Complex64], y: &[Complex64]) -> Complex64 {
+    assert_eq!(x.len(), y.len(), "dotu length mismatch");
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        re += xi.re * yi.re - xi.im * yi.im;
+        im += xi.re * yi.im + xi.im * yi.re;
+    }
+    c64(re, im)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,7 +453,12 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &z in &[c64(2.0, 3.0), c64(-1.0, 0.5), c64(0.0, -4.0), c64(-2.0, -0.1)] {
+        for &z in &[
+            c64(2.0, 3.0),
+            c64(-1.0, 0.5),
+            c64(0.0, -4.0),
+            c64(-2.0, -0.1),
+        ] {
             let s = z.sqrt();
             assert!(close(s * s, z, 1e-12), "sqrt({z:?})² = {:?}", s * s);
             assert!(s.re >= 0.0, "principal branch");
@@ -437,5 +500,29 @@ mod tests {
         let s = format!("{:?}", c64(1.0, -2.0));
         assert!(s.contains('i'));
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_ops() {
+        let a = c64(0.7, -1.3);
+        let x: Vec<Complex64> = (0..17)
+            .map(|i| c64(i as f64 * 0.3, 1.0 - i as f64 * 0.1))
+            .collect();
+        let mut y: Vec<Complex64> = (0..17).map(|i| c64(-(i as f64), 0.5 * i as f64)).collect();
+        let expect: Vec<Complex64> = y.iter().zip(&x).map(|(&yi, &xi)| yi - xi * a).collect();
+        axpy_neg(a, &x, &mut y);
+        for (p, q) in y.iter().zip(&expect) {
+            assert!((*p - *q).abs() < 1e-14);
+        }
+
+        let mut z = x.clone();
+        scal(a, &mut z);
+        for (p, &xi) in z.iter().zip(&x) {
+            assert!((*p - xi * a).abs() < 1e-14);
+        }
+
+        let d = dotu(&x, &expect);
+        let manual: Complex64 = x.iter().zip(&expect).map(|(&p, &q)| p * q).sum();
+        assert!((d - manual).abs() < 1e-12);
     }
 }

@@ -172,7 +172,12 @@ mod tests {
         let a = Array2::from_fn(n, n, |i, j| {
             let v = ((i * 31 + j * 17) % 13) as f64 - 6.0;
             let w = ((i * 7 + j * 3) % 11) as f64 - 5.0;
-            c64(v, w) + if i == j { c64(20.0, 5.0) } else { Complex64::ZERO }
+            c64(v, w)
+                + if i == j {
+                    c64(20.0, 5.0)
+                } else {
+                    Complex64::ZERO
+                }
         });
         let b: Vec<Complex64> = (0..n).map(|i| c64(i as f64, -(i as f64) / 2.0)).collect();
         let lu = dense_lu(&a).unwrap();
@@ -188,7 +193,12 @@ mod tests {
         let a = Array2::from_vec(
             2,
             2,
-            vec![Complex64::ZERO, c64(1.0, 0.0), c64(1.0, 0.0), Complex64::ZERO],
+            vec![
+                Complex64::ZERO,
+                c64(1.0, 0.0),
+                c64(1.0, 0.0),
+                Complex64::ZERO,
+            ],
         );
         let lu = dense_lu(&a).unwrap();
         let x = lu.solve(&[c64(7.0, 0.0), c64(9.0, 0.0)]);
@@ -234,7 +244,11 @@ mod tests {
                 let v = c64(
                     ((i * 5 + j * 3) % 7) as f64 - 3.0,
                     ((i + j) % 5) as f64 - 2.0,
-                ) + if i == j { c64(9.0, 0.0) } else { Complex64::ZERO };
+                ) + if i == j {
+                    c64(9.0, 0.0)
+                } else {
+                    Complex64::ZERO
+                };
                 banded.set(i, j, v);
                 dense[(i, j)] = v;
             }

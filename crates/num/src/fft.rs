@@ -184,7 +184,11 @@ pub fn circular_convolve2(a: &Array2<Complex64>, b: &Array2<Complex64>) -> Array
 /// assert_eq!(freq_coord(7, 8, 1.0), -0.125);
 /// ```
 pub fn freq_coord(k: usize, n: usize, d: f64) -> f64 {
-    let kk = if k <= n / 2 - 1 || n == 1 { k as f64 } else { k as f64 - n as f64 };
+    let kk = if k < n / 2 || n == 1 {
+        k as f64
+    } else {
+        k as f64 - n as f64
+    };
     kk / (n as f64 * d)
 }
 
@@ -226,7 +230,9 @@ mod tests {
 
     #[test]
     fn round_trip_1d() {
-        let x: Vec<Complex64> = (0..64).map(|i| c64((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| c64((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
         let mut y = x.clone();
         fft(&mut y);
         ifft(&mut y);
@@ -237,7 +243,9 @@ mod tests {
 
     #[test]
     fn round_trip_2d() {
-        let a = Array2::from_fn(8, 16, |r, c| c64((r as f64 * 0.7).sin(), (c as f64 * 0.2).cos()));
+        let a = Array2::from_fn(8, 16, |r, c| {
+            c64((r as f64 * 0.7).sin(), (c as f64 * 0.2).cos())
+        });
         let mut b = a.clone();
         fft2(&mut b);
         ifft2(&mut b);
@@ -248,7 +256,9 @@ mod tests {
 
     #[test]
     fn parseval_2d() {
-        let a = Array2::from_fn(8, 8, |r, c| c64((r * c) as f64 * 0.01, (r + c) as f64 * 0.02));
+        let a = Array2::from_fn(8, 8, |r, c| {
+            c64((r * c) as f64 * 0.01, (r + c) as f64 * 0.02)
+        });
         let mut f = a.clone();
         fft2(&mut f);
         let e_time: f64 = a.as_slice().iter().map(|v| v.norm_sqr()).sum();

@@ -38,6 +38,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Index-style loops mirror the underlying linear-algebra notation; the
+// iterator rewrites clippy suggests obscure the math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod array2;
 pub mod banded;

@@ -98,7 +98,9 @@ impl SymTridiag {
             let e2 = self.off[i - 1] * self.off[i - 1];
             // Guard division by (near-)zero as in LAPACK dstebz.
             let denom = if q.abs() < f64::MIN_POSITIVE.sqrt() {
-                f64::MIN_POSITIVE.sqrt().copysign(if q == 0.0 { 1.0 } else { q })
+                f64::MIN_POSITIVE
+                    .sqrt()
+                    .copysign(if q == 0.0 { 1.0 } else { q })
             } else {
                 q
             };
@@ -159,12 +161,12 @@ impl SymTridiag {
                 // After swap, row i gets (sub, d_{i+1}, u_{i+1}); we fold:
                 let di1_old = d[i + 1];
                 d[i + 1] = u[i]; // placeholder, fixed below
-                // Row i originally: [d_i, u_i, 0]; row i+1: [sub, d_{i+1}, u_{i+1}]
-                // We swapped d[i]<->u[i] incorrectly for the general case; redo carefully:
-                // Undo the aliasing approach and perform the swap explicitly.
+                                 // Row i originally: [d_i, u_i, 0]; row i+1: [sub, d_{i+1}, u_{i+1}]
+                                 // We swapped d[i]<->u[i] incorrectly for the general case; redo carefully:
+                                 // Undo the aliasing approach and perform the swap explicitly.
                 std::mem::swap(&mut d[i], &mut u[i]); // revert
                 let row_i = (d[i], u[i], 0.0);
-                let row_i1 = (sub, di1_old, if i + 2 <= n - 1 { u[i + 1] } else { 0.0 });
+                let row_i1 = (sub, di1_old, if i + 2 < n { u[i + 1] } else { 0.0 });
                 // Pivot row becomes old row i+1.
                 d[i] = row_i1.0;
                 u[i] = row_i1.1;
@@ -175,7 +177,7 @@ impl SymTridiag {
                 let m = row_i.0 / d[i];
                 l[i] = m;
                 d[i + 1] = row_i.1 - m * u[i];
-                if i + 1 <= n - 2 {
+                if i + 2 < n {
                     u[i + 1] = row_i.2 - m * if i < u2.len() { u2[i] } else { 0.0 };
                 }
                 x.swap(i, i + 1);
@@ -230,8 +232,9 @@ impl SymTridiag {
                 .map(|i| {
                     // Deterministic pseudo-random start, decorrelated per m.
                     let t = (i * 2654435761 + m * 40503 + 12345) as u64;
-                    ((t.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33)
-                        as f64
+                    ((t.wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407)
+                        >> 33) as f64
                         / (1u64 << 31) as f64)
                         - 1.0
                 })
@@ -269,7 +272,10 @@ impl SymTridiag {
                     *x = -*x;
                 }
             }
-            out.push(Eigenpair { value: lam, vector: v });
+            out.push(Eigenpair {
+                value: lam,
+                vector: v,
+            });
         }
         out
     }
@@ -395,7 +401,9 @@ mod tests {
         let dy = 0.05;
         let k0 = 2.0 * PI / 1.55;
         let eps = |i: usize| if (40..=60).contains(&i) { 12.1 } else { 1.0 };
-        let diag: Vec<f64> = (0..n).map(|i| -2.0 / (dy * dy) + k0 * k0 * eps(i)).collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| -2.0 / (dy * dy) + k0 * k0 * eps(i))
+            .collect();
         let off = vec![1.0 / (dy * dy); n - 1];
         let t = SymTridiag::new(diag, off);
         let pairs = t.largest_eigenpairs(1);
@@ -410,7 +418,10 @@ mod tests {
                 imax = i;
             }
         }
-        assert!((40..=60).contains(&imax), "mode peak at {imax} outside core");
+        assert!(
+            (40..=60).contains(&imax),
+            "mode peak at {imax} outside core"
+        );
     }
 
     #[test]

@@ -152,3 +152,111 @@ proptest! {
         }
     }
 }
+
+/// Builds a strictly diagonally dominant banded matrix from flat entries.
+fn dominant_banded(n: usize, kl: usize, ku: usize, entries: &[(f64, f64)]) -> BandedMatrix {
+    let mut a = BandedMatrix::new(n, kl, ku);
+    let mut k = 0;
+    for i in 0..n {
+        for j in i.saturating_sub(kl)..=(i + ku).min(n - 1) {
+            let (re, im) = entries[k % entries.len()];
+            k += 1;
+            let mut v = c64(re, im);
+            if i == j {
+                v += c64(6.0 + (kl + ku) as f64, 1.0);
+            }
+            a.set(i, j, v);
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // solve_many over a block ≡ column-by-column solve of the same RHS.
+    #[test]
+    fn solve_many_is_column_by_column_solve(
+        entries in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 24 * 6),
+        block in complex_vec(24 * 4)
+    ) {
+        let n = 24;
+        let a = dominant_banded(n, 3, 2, &entries);
+        let lu = a.factor().expect("dominant matrix is nonsingular");
+        let mut batched = block.clone();
+        lu.solve_many(&mut batched, 4);
+        for r in 0..4 {
+            let x = lu.solve_vec(&block[r * n..(r + 1) * n]);
+            for (p, q) in x.iter().zip(&batched[r * n..(r + 1) * n]) {
+                prop_assert!((*p - *q).abs() < 1e-10, "rhs {r}");
+            }
+        }
+        // Transpose flavour too.
+        let mut batched_t = block.clone();
+        lu.solve_transpose_many(&mut batched_t, 4);
+        for r in 0..4 {
+            let x = lu.solve_transpose_vec(&block[r * n..(r + 1) * n]);
+            for (p, q) in x.iter().zip(&batched_t[r * n..(r + 1) * n]) {
+                prop_assert!((*p - *q).abs() < 1e-10, "transpose rhs {r}");
+            }
+        }
+    }
+
+    // Workspace reuse (reset + factor_into twice) ≡ fresh allocations.
+    #[test]
+    fn workspace_reuse_equals_fresh_allocation(
+        e1 in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 20 * 6),
+        e2 in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 20 * 6),
+        rhs in complex_vec(20)
+    ) {
+        use boson_num::banded::BandedLu;
+        let n = 20;
+        let (kl, ku) = (2, 3);
+        let mut ws = BandedMatrix::new(n, kl, ku);
+        let mut lu = BandedLu::placeholder();
+        for entries in [&e1, &e2] {
+            // Reused path.
+            ws.reset();
+            let fresh = dominant_banded(n, kl, ku, entries);
+            for i in 0..n {
+                for j in i.saturating_sub(kl)..=(i + ku).min(n - 1) {
+                    ws.set(i, j, fresh.get(i, j));
+                }
+            }
+            ws.factor_into(&mut lu).expect("dominant matrix is nonsingular");
+            let mut x_reused = rhs.clone();
+            lu.solve(&mut x_reused);
+            // Fresh-allocation path.
+            let x_fresh = fresh.factor().unwrap().solve_vec(&rhs);
+            for (p, q) in x_reused.iter().zip(&x_fresh) {
+                prop_assert!((*p - *q).abs() < 1e-11);
+            }
+        }
+    }
+
+    // The optimised kernels agree with the seed's scalar reference
+    // implementation (forward and transpose).
+    #[test]
+    fn optimised_kernels_match_scalar_reference(
+        entries in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 28 * 8),
+        rhs in complex_vec(28)
+    ) {
+        use boson_num::banded::reference;
+        let n = 28;
+        let a = dominant_banded(n, 4, 3, &entries);
+        let fast = a.clone().factor().unwrap();
+        let slow = reference::factor(a).unwrap();
+        let x_fast = fast.solve_vec(&rhs);
+        let mut x_slow = rhs.clone();
+        reference::solve(&slow, &mut x_slow);
+        for (p, q) in x_fast.iter().zip(&x_slow) {
+            prop_assert!((*p - *q).abs() < 1e-9 * (1.0 + q.abs()));
+        }
+        let xt_fast = fast.solve_transpose_vec(&rhs);
+        let mut xt_slow = rhs.clone();
+        reference::solve_transpose(&slow, &mut xt_slow);
+        for (p, q) in xt_fast.iter().zip(&xt_slow) {
+            prop_assert!((*p - *q).abs() < 1e-9 * (1.0 + q.abs()));
+        }
+    }
+}

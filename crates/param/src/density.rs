@@ -153,7 +153,11 @@ impl Parameterization for DensityParam {
     }
 
     fn vjp(&self, theta: &[f64], v: &Array2<f64>) -> Vec<f64> {
-        assert_eq!(v.shape(), (self.rows, self.cols), "cotangent shape mismatch");
+        assert_eq!(
+            v.shape(),
+            (self.rows, self.cols),
+            "cotangent shape mismatch"
+        );
         // Blur is self-transpose (symmetric zero-padded kernel).
         let vb = self.blur(v);
         let mut grad = vec![0.0; self.num_params()];

@@ -105,10 +105,7 @@ impl LevelSetParam {
     pub fn phi(&self, theta: &[f64]) -> Array2<f64> {
         assert_eq!(theta.len(), self.num_params(), "theta length mismatch");
         Array2::from_fn(self.rows, self.cols, |r, c| {
-            self.stencil(r, c)
-                .iter()
-                .map(|&(k, w)| w * theta[k])
-                .sum()
+            self.stencil(r, c).iter().map(|&(k, w)| w * theta[k]).sum()
         })
     }
 
@@ -149,7 +146,11 @@ impl Parameterization for LevelSetParam {
     }
 
     fn vjp(&self, theta: &[f64], v: &Array2<f64>) -> Vec<f64> {
-        assert_eq!(v.shape(), (self.rows, self.cols), "cotangent shape mismatch");
+        assert_eq!(
+            v.shape(),
+            (self.rows, self.cols),
+            "cotangent shape mismatch"
+        );
         let phi = self.phi(theta);
         let mut grad = vec![0.0; self.num_params()];
         for r in 0..self.rows {
@@ -188,7 +189,9 @@ mod tests {
     #[test]
     fn forward_bounds() {
         let p = param();
-        let theta: Vec<f64> = (0..p.num_params()).map(|k| ((k * 37) % 13) as f64 * 0.1 - 0.6).collect();
+        let theta: Vec<f64> = (0..p.num_params())
+            .map(|k| ((k * 37) % 13) as f64 * 0.1 - 0.6)
+            .collect();
         let rho = p.forward(&theta);
         for v in rho.as_slice() {
             assert!(*v >= 0.0 && *v <= 1.0);
@@ -212,7 +215,9 @@ mod tests {
     fn upsample_is_linear_in_theta() {
         let p = param();
         let t1: Vec<f64> = (0..p.num_params()).map(|k| (k % 5) as f64 * 0.1).collect();
-        let t2: Vec<f64> = (0..p.num_params()).map(|k| ((k + 3) % 7) as f64 * -0.05).collect();
+        let t2: Vec<f64> = (0..p.num_params())
+            .map(|k| ((k + 3) % 7) as f64 * -0.05)
+            .collect();
         let sum: Vec<f64> = t1.iter().zip(&t2).map(|(a, b)| a + b).collect();
         let phi_sum = p.phi(&sum);
         let phi_1 = p.phi(&t1);
@@ -234,7 +239,11 @@ mod tests {
         });
         let theta = p.theta_from_geometry(&geo);
         let rho = p.forward(&theta);
-        assert!(rho[(12, 15)] > 0.9, "centre should be solid: {}", rho[(12, 15)]);
+        assert!(
+            rho[(12, 15)] > 0.9,
+            "centre should be solid: {}",
+            rho[(12, 15)]
+        );
         assert!(rho[(1, 15)] < 0.1, "edge should be void: {}", rho[(1, 15)]);
     }
 
@@ -278,6 +287,9 @@ mod tests {
             .zip(rho1.as_slice())
             .filter(|(a, b)| (*a - *b).abs() > 0.05)
             .count();
-        assert!(changed > 4, "one control point should influence a blob, changed {changed}");
+        assert!(
+            changed > 4,
+            "one control point should influence a blob, changed {changed}"
+        );
     }
 }

@@ -98,7 +98,13 @@ impl Shape {
                 (qx * qx + qy * qy).sqrt() - half_width
             }
             Shape::Circle { cx, cy, r } => ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() - r,
-            Shape::TaperX { x0, x1, cy, hw0, hw1 } => {
+            Shape::TaperX {
+                x0,
+                x1,
+                cy,
+                hw0,
+                hw1,
+            } => {
                 // Approximate SDF: exact in the vertical direction within
                 // the span, distance-to-span outside. Adequate for seeding.
                 let t = ((x - x0) / (x1 - x0)).clamp(0.0, 1.0);
@@ -162,6 +168,7 @@ impl Geometry {
     ///
     /// Used for smoothly-bent waveguide seeds: an abrupt 90° corner
     /// radiates most of the light, an arc keeps it guided.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_arc(
         mut self,
         cx: f64,
@@ -196,7 +203,12 @@ mod tests {
 
     #[test]
     fn rect_sdf_signs() {
-        let r = Shape::Rect { x0: 0.0, y0: 0.0, x1: 2.0, y1: 1.0 };
+        let r = Shape::Rect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 2.0,
+            y1: 1.0,
+        };
         assert!(r.sdf(1.0, 0.5) < 0.0);
         assert!(r.sdf(3.0, 0.5) > 0.0);
         assert!((r.sdf(1.0, 0.5) - (-0.5)).abs() < 1e-12); // 0.5 from top/bottom
@@ -207,7 +219,13 @@ mod tests {
 
     #[test]
     fn segment_sdf_is_capsule() {
-        let s = Shape::Segment { x0: 0.0, y0: 0.0, x1: 2.0, y1: 0.0, half_width: 0.25 };
+        let s = Shape::Segment {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 2.0,
+            y1: 0.0,
+            half_width: 0.25,
+        };
         assert!(s.sdf(1.0, 0.0) < 0.0);
         assert!((s.sdf(1.0, 0.25)).abs() < 1e-12);
         assert!((s.sdf(1.0, 1.0) - 0.75).abs() < 1e-12);
@@ -217,21 +235,37 @@ mod tests {
 
     #[test]
     fn degenerate_segment_is_circle() {
-        let s = Shape::Segment { x0: 1.0, y0: 1.0, x1: 1.0, y1: 1.0, half_width: 0.5 };
+        let s = Shape::Segment {
+            x0: 1.0,
+            y0: 1.0,
+            x1: 1.0,
+            y1: 1.0,
+            half_width: 0.5,
+        };
         assert!((s.sdf(1.0, 2.0) - 0.5).abs() < 1e-12);
         assert!(s.sdf(1.0, 1.2) < 0.0);
     }
 
     #[test]
     fn circle_sdf() {
-        let c = Shape::Circle { cx: 0.0, cy: 0.0, r: 1.0 };
+        let c = Shape::Circle {
+            cx: 0.0,
+            cy: 0.0,
+            r: 1.0,
+        };
         assert!((c.sdf(2.0, 0.0) - 1.0).abs() < 1e-12);
         assert!((c.sdf(0.0, 0.0) + 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn taper_narrows_along_x() {
-        let t = Shape::TaperX { x0: 0.0, x1: 2.0, cy: 0.0, hw0: 0.5, hw1: 0.1 };
+        let t = Shape::TaperX {
+            x0: 0.0,
+            x1: 2.0,
+            cy: 0.0,
+            hw0: 0.5,
+            hw1: 0.1,
+        };
         assert!(t.sdf(0.1, 0.4) < 0.0); // inside wide end
         assert!(t.sdf(1.9, 0.4) > 0.0); // outside narrow end
         assert!(t.sdf(1.9, 0.05) < 0.0);
@@ -240,8 +274,16 @@ mod tests {
     #[test]
     fn union_takes_min() {
         let g = Geometry::new()
-            .with(Shape::Circle { cx: 0.0, cy: 0.0, r: 0.5 })
-            .with(Shape::Circle { cx: 2.0, cy: 0.0, r: 0.5 });
+            .with(Shape::Circle {
+                cx: 0.0,
+                cy: 0.0,
+                r: 0.5,
+            })
+            .with(Shape::Circle {
+                cx: 2.0,
+                cy: 0.0,
+                r: 0.5,
+            });
         assert!(g.contains(0.0, 0.0));
         assert!(g.contains(2.0, 0.0));
         assert!(!g.contains(1.0, 0.0));

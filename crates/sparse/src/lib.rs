@@ -23,6 +23,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
 
 use boson_num::Complex64;
 use std::fmt;
@@ -54,7 +55,10 @@ impl CooMatrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn push(&mut self, i: usize, j: usize, v: Complex64) {
-        assert!(i < self.nrows && j < self.ncols, "entry ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "entry ({i},{j}) out of bounds"
+        );
         self.entries.push((i, j, v));
     }
 
@@ -194,7 +198,9 @@ impl CsrMatrix {
 
     /// The diagonal of the matrix (used by the Jacobi preconditioner).
     pub fn diagonal(&self) -> Vec<Complex64> {
-        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Maximum relative asymmetry over stored entries, `0` for symmetric.
@@ -305,7 +311,13 @@ pub fn bicgstab(
         Some(
             a.diagonal()
                 .iter()
-                .map(|d| if d.abs() > 0.0 { d.inv() } else { Complex64::ONE })
+                .map(|d| {
+                    if d.abs() > 0.0 {
+                        d.inv()
+                    } else {
+                        Complex64::ONE
+                    }
+                })
                 .collect(),
         )
     } else {
@@ -476,7 +488,12 @@ mod tests {
         let b: Vec<Complex64> = (0..n).map(|i| c64((i as f64 * 0.1).sin(), 0.2)).collect();
         let sol = bicgstab(&a, &b, &BicgstabOptions::default()).unwrap();
         let r = a.matvec(&sol.x);
-        let err: f64 = r.iter().zip(&b).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+        let err: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-8, "residual {err} after {} iters", sol.iterations);
     }
 
@@ -490,7 +507,12 @@ mod tests {
         };
         let sol = bicgstab(&a, &b, &opts).unwrap();
         let r = a.matvec(&sol.x);
-        let err: f64 = r.iter().zip(&b).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+        let err: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-8);
     }
 

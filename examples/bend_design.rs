@@ -28,7 +28,10 @@ fn main() {
         threads: 8,
     };
 
-    println!("{:16} {:>10} {:>12} {:>12}", "method", "pre-fab", "post-fab", "sim cost");
+    println!(
+        "{:16} {:>10} {:>12} {:>12}",
+        "method", "pre-fab", "post-fab", "sim cost"
+    );
     for spec in MethodSpec::table1_methods(iterations) {
         let run = run_method(&compiled, &spec, &base);
         let (pre, _) = evaluate_ideal(&compiled, &run.mask);

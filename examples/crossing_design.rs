@@ -37,7 +37,10 @@ fn main() {
         println!("  {k:14} {:.4}", readings[0][k]);
     }
     let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, 20, 321);
-    println!("\nMonte-Carlo post-fab transmission: {:.4} ± {:.4}", post.fom.mean, post.fom.std);
+    println!(
+        "\nMonte-Carlo post-fab transmission: {:.4} ± {:.4}",
+        post.fom.mean, post.fom.std
+    );
     let mut mean_keys: Vec<_> = post.readings_mean.keys().collect();
     mean_keys.sort();
     println!("mean readings under variation:");

@@ -45,7 +45,10 @@ fn main() {
     let post = evaluate_post_fab(&compiled, &chain, &space, &run.mask, 20, 12345);
     println!("\n=== results ===");
     println!("nominal post-fab transmission : {nominal:.4}");
-    println!("  (reflection {:.4}, radiation {:.4})", readings[0]["refl"], readings[0]["rad"]);
+    println!(
+        "  (reflection {:.4}, radiation {:.4})",
+        readings[0]["refl"], readings[0]["rad"]
+    );
     println!(
         "Monte-Carlo post-fab (20 draws): {:.4} ± {:.4}  [min {:.4}, max {:.4}]",
         post.fom.mean, post.fom.std, post.fom.min, post.fom.max

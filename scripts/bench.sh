@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs the solver + corner_scaling criterion benches and aggregates the
+# results into BENCH_solver.json (committed so the perf trajectory is
+# recorded PR over PR).
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_solver.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+export BOSON_BENCH_JSON="$RAW"
+# Keep the end-to-end corner bench at smoke scale; the micro benches are
+# already bounded by their sample sizes.
+export BOSON_FAST=1
+# Benchmarks measure this host: let the vectorised kernels use its full
+# SIMD width (the seed-era scalar reference barely responds to this).
+export RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}"
+
+echo "== bench: solver =="
+cargo bench -p boson-bench --bench solver
+echo "== bench: corner_scaling =="
+cargo bench -p boson-bench --bench corner_scaling
+
+# Aggregate the JSON lines and compute the acceptance ratio
+# (naïve allocate-per-call corner loop vs the workspace pipeline).
+awk '
+function val(line, key,   s) {
+    s = line
+    sub(".*\"" key "\":", "", s)
+    sub("[,}].*", "", s)
+    return s + 0
+}
+/"id"/ {
+    lines[n++] = $0
+    id = $0
+    sub(/.*"id":"/, "", id)
+    sub(/".*/, "", id)
+    median[id] = val($0, "median_ns")
+}
+END {
+    printf "{\n  \"suite\": \"solver+corner_scaling\",\n  \"results\": [\n"
+    for (i = 0; i < n; i++) printf "    %s%s\n", lines[i], (i < n - 1 ? "," : "")
+    printf "  ]"
+    naive = median["corner_loop/naive_alloc_per_call"]
+    fast = median["corner_loop/workspace_pipeline"]
+    if (naive > 0 && fast > 0) {
+        printf ",\n  \"corner_loop_naive_ns\": %.1f", naive
+        printf ",\n  \"corner_loop_workspace_ns\": %.1f", fast
+        printf ",\n  \"corner_loop_speedup\": %.3f", naive / fast
+    }
+    printf "\n}\n"
+}
+' "$RAW" > "$OUT"
+
+echo
+echo "wrote $OUT"
+SPEEDUP=$(awk '/corner_loop_speedup/ { s = $0; sub(/.*: /, "", s); sub(/,.*/, "", s); print s }' "$OUT")
+if [ -n "${SPEEDUP:-}" ]; then
+    echo "corner-loop speedup (naive / workspace): ${SPEEDUP}x"
+    awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 1.5 ? 0 : 1) }' \
+        || { echo "FAIL: speedup ${SPEEDUP}x below the 1.5x acceptance floor" >&2; exit 1; }
+else
+    echo "FAIL: corner_loop medians missing from bench output" >&2
+    exit 1
+fi

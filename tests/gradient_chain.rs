@@ -39,7 +39,10 @@ fn full_chain_gradient_matches_finite_difference() {
             &fwd.rho_fab,
             corner.temperature,
         );
-        compiled.evaluate_eps(&eps, false).expect("evaluate").objective
+        compiled
+            .evaluate_eps(&eps, false)
+            .expect("evaluate")
+            .objective
     };
 
     // Analytic gradient via adjoint + chain vjps.
@@ -51,7 +54,9 @@ fn full_chain_gradient_matches_finite_difference() {
         &fwd.rho_fab,
         corner.temperature,
     );
-    let ev = compiled.evaluate_eps(&eps, true).expect("evaluate with grad");
+    let ev = compiled
+        .evaluate_eps(&eps, true)
+        .expect("evaluate with grad");
     let v_rho = grad_eps_to_rho(
         ev.grad_eps.as_ref().unwrap(),
         problem.design_origin,
@@ -130,5 +135,8 @@ fn gradient_through_litho_corners_differs() {
         .map(|(a, b)| (a - b).abs())
         .sum::<f64>();
     let scale: f64 = g_nom.iter().map(|g| g.abs()).sum::<f64>();
-    assert!(diff > 1e-3 * scale, "corner gradients suspiciously identical");
+    assert!(
+        diff > 1e-3 * scale,
+        "corner gradients suspiciously identical"
+    );
 }

@@ -20,10 +20,7 @@ fn boson1_improves_bending_transmission() {
     let run = run_method(&compiled, &MethodSpec::boson1(8), &base(8));
     let first = run.trajectory.first().unwrap().objective;
     let last = run.trajectory.last().unwrap().objective;
-    assert!(
-        last > first,
-        "objective must improve: {first} -> {last}"
-    );
+    assert!(last > first, "objective must improve: {first} -> {last}");
     // The trajectory records sane readings.
     for rec in &run.trajectory {
         let t = rec.readings_nominal[0]["trans"];
@@ -37,7 +34,10 @@ fn density_baseline_improves_its_own_view() {
     let run = run_method(&compiled, &MethodSpec::density(), &base(8));
     let first = run.trajectory.first().unwrap().objective;
     let last = run.trajectory.last().unwrap().objective;
-    assert!(last > first, "density objective must improve: {first} -> {last}");
+    assert!(
+        last > first,
+        "density objective must improve: {first} -> {last}"
+    );
     // Not fab-aware: exactly one factorisation per iteration.
     assert_eq!(run.factorizations, 8);
 }
@@ -54,7 +54,10 @@ fn invfabcor_produces_a_mask_different_from_stage1() {
         .zip(run.stage1_mask.as_slice())
         .map(|(a, b)| (a - b).abs())
         .sum();
-    assert!(d > 1e-3, "mask correction should alter the mask (|Δ| = {d})");
+    assert!(
+        d > 1e-3,
+        "mask correction should alter the mask (|Δ| = {d})"
+    );
 }
 
 #[test]

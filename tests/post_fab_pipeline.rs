@@ -78,13 +78,17 @@ fn wide_strip_survives_fabrication() {
     let chain = standard_chain(compiled.problem());
     let (dr, dc) = compiled.problem().design_shape;
     // 0.4 µm strip (8 cells) — well above the ~0.16 µm MFS.
-    let strip = Array2::from_fn(dr, dc, |r, _| {
-        if r.abs_diff(dr / 2) <= 4 {
-            1.0
-        } else {
-            0.0
-        }
-    });
+    let strip = Array2::from_fn(
+        dr,
+        dc,
+        |r, _| {
+            if r.abs_diff(dr / 2) <= 4 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
     let fabbed = chain
         .forward(&strip, &VariationCorner::nominal(), true)
         .rho_fab;
@@ -116,10 +120,16 @@ fn post_fab_mc_is_reproducible_and_bounded() {
     let r2 = evaluate_post_fab(&compiled, &chain, &space, &mask, 5, 42);
     assert_eq!(r1.samples, r2.samples, "same seed ⇒ same draws");
     for s in &r1.samples {
-        assert!((-0.1..=1.2).contains(s), "transmission sample {s} out of range");
+        assert!(
+            (-0.1..=1.2).contains(s),
+            "transmission sample {s} out of range"
+        );
     }
     // Variation must actually move the FoM between samples.
-    assert!(r1.fom.std > 0.0, "MC samples identical — variation not applied");
+    assert!(
+        r1.fom.std > 0.0,
+        "MC samples identical — variation not applied"
+    );
 }
 
 #[test]

@@ -6,9 +6,7 @@ use boson1::fab::{
 };
 use boson1::num::Array2;
 use boson1::param::sdf::{Geometry, Shape};
-use boson1::param::{
-    DensityConfig, DensityParam, LevelSetConfig, LevelSetParam, Parameterization,
-};
+use boson1::param::{DensityConfig, DensityParam, LevelSetConfig, LevelSetParam, Parameterization};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,280 @@
+//! Offline subset of `criterion`: wall-clock sampling benchmarks.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `Bencher::iter`, benchmark groups, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is plain
+//! `Instant`-based sampling: each sample times one closure call (with
+//! automatic inner batching when a call is faster than ~1 ms) and the
+//! reported statistic is the median over `sample_size` samples.
+//!
+//! When the environment variable `BOSON_BENCH_JSON` names a file, every
+//! finished benchmark appends one JSON line:
+//!
+//! ```json
+//! {"id":"banded_lu_factor_64x64","median_ns":123456.0,"mean_ns":125000.0,"samples":10}
+//! ```
+//!
+//! `scripts/bench.sh` consumes these lines to build `BENCH_solver.json`.
+//! See `vendor/README.md` for scope and caveats.
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Target wall-clock time for a single sample; calls faster than this are
+/// batched so timer resolution does not dominate.
+const MIN_SAMPLE_SECS: f64 = 1e-3;
+
+/// Benchmark driver: holds configuration and reports results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (consuming builder,
+    /// mirroring criterion's configuration style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, recording `sample_size` samples (batched when fast).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch calibration.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().as_secs_f64();
+        let batch = if once >= MIN_SAMPLE_SECS {
+            1
+        } else {
+            ((MIN_SAMPLE_SECS / once.max(1e-9)).ceil() as usize).clamp(1, 1_000_000)
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("warning: benchmark {id} recorded no samples (missing b.iter call?)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{id:<48} time: [median {} | mean {} | {} samples]",
+        fmt_secs(median),
+        fmt_secs(mean),
+        sorted.len()
+    );
+    if let Ok(path) = std::env::var("BOSON_BENCH_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"id\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}\n",
+                id,
+                median * 1e9,
+                mean * 1e9,
+                sorted.len()
+            );
+            match OpenOptions::new().create(true).append(true).open(&path) {
+                Ok(mut fh) => {
+                    let _ = fh.write_all(line.as_bytes());
+                }
+                Err(e) => eprintln!("warning: cannot append to {path}: {e}"),
+            }
+        }
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &41, |b, &x| {
+            b.iter(|| std::hint::black_box(x + 1))
+        });
+        group.bench_function("f", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline subset of `serde`: the trait names plus no-op derives.
+//!
+//! See `vendor/README.md` for why this exists and what it guarantees.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not implement it; nothing in-tree bounds on it.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

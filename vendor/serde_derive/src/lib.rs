@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros (offline subset).
+//!
+//! The workspace only *carries* the derives on config/record types; nothing
+//! in-tree serialises yet, so the derives expand to nothing. See
+//! `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing — the type simply does not implement the (empty)
+/// `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing — see [`derive_serialize`].
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
