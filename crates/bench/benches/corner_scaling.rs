@@ -2,33 +2,69 @@
 //! simulations per optimisation iteration for each sampling strategy.
 //! Exhaustive corner sweeping is `O(3^N)`; the adaptive axial+worst set is
 //! linear. This bench measures one *real* robust-gradient iteration of the
-//! bending benchmark under each strategy.
+//! bending benchmark under each strategy — and, for the expensive sets,
+//! under both corner solver strategies: per-corner direct factorisation
+//! vs the nominal-factor-preconditioned iterative solver
+//! (`corner_iterative_*` entries; `scripts/bench.sh` reports the ratio as
+//! `corner_iterative_speedup`).
 
 use boson_core::baselines::{run_method, BaseRunConfig, MethodSpec};
 use boson_core::compiled::CompiledProblem;
 use boson_core::problem::bending;
 use boson_fab::SamplingStrategy;
+use boson_fdfd::sim::SolverStrategy;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_corner_scaling(c: &mut Criterion) {
     let compiled = CompiledProblem::compile(bending()).unwrap();
-    let base = BaseRunConfig {
-        iterations: 1,
-        lr: 0.03,
-        seed: 7,
-        threads: 2,
-    };
-    let strategies: Vec<(&str, SamplingStrategy)> = vec![
-        ("nominal_only_1sim", SamplingStrategy::NominalOnly),
-        ("axial_single_4sims", SamplingStrategy::AxialSingleSided),
-        ("axial_double_7sims", SamplingStrategy::AxialDoubleSided),
-        ("axial_worst_8sims", SamplingStrategy::AxialPlusWorst),
-        ("corner_sweep_27sims", SamplingStrategy::CornerSweep),
+    let strategies: Vec<(&str, SamplingStrategy, SolverStrategy)> = vec![
+        (
+            "nominal_only_1sim",
+            SamplingStrategy::NominalOnly,
+            SolverStrategy::Direct,
+        ),
+        (
+            "axial_single_4sims",
+            SamplingStrategy::AxialSingleSided,
+            SolverStrategy::Direct,
+        ),
+        (
+            "axial_double_7sims",
+            SamplingStrategy::AxialDoubleSided,
+            SolverStrategy::Direct,
+        ),
+        (
+            "axial_worst_8sims",
+            SamplingStrategy::AxialPlusWorst,
+            SolverStrategy::Direct,
+        ),
+        (
+            "corner_sweep_27sims",
+            SamplingStrategy::CornerSweep,
+            SolverStrategy::Direct,
+        ),
+        (
+            "corner_iterative_8sims",
+            SamplingStrategy::AxialPlusWorst,
+            SolverStrategy::preconditioned_iterative(),
+        ),
+        (
+            "corner_iterative_27sims",
+            SamplingStrategy::CornerSweep,
+            SolverStrategy::preconditioned_iterative(),
+        ),
     ];
     let mut group = c.benchmark_group("one_robust_iteration");
     group.sample_size(10);
-    for (label, sampling) in strategies {
+    for (label, sampling, solver) in strategies {
+        let base = BaseRunConfig {
+            iterations: 1,
+            lr: 0.03,
+            seed: 7,
+            threads: 2,
+            solver,
+        };
         let spec = MethodSpec {
             name: label.into(),
             sampling,

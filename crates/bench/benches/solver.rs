@@ -4,7 +4,7 @@
 use boson_fdfd::grid::SimGrid;
 use boson_fdfd::operator::{assemble_banded, assemble_csr, scale_source};
 use boson_fdfd::pml::SFactors;
-use boson_fdfd::sim::SimWorkspace;
+use boson_fdfd::sim::{CornerContext, SimWorkspace, SolverStrategy};
 use boson_num::banded::reference;
 use boson_num::{Array2, Complex64};
 use boson_sparse::{bicgstab, BicgstabOptions};
@@ -119,6 +119,87 @@ fn bench_corner_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// Criterion sweep behind the [`boson_num::banded::RHS_BLOCK`] choice:
+/// solve a 64-column batch (a multi-wavelength-sweep shape) with various
+/// RHS block sizes. Columns are independent, so every block size is
+/// bit-identical — only the cache behaviour differs.
+fn bench_rhs_blocking(c: &mut Criterion) {
+    let (grid, s, eps, omega) = setup(64);
+    let lu = assemble_banded(&grid, &s, &eps, omega).factor().unwrap();
+    let n = grid.n();
+    let nrhs = 64;
+    let b0: Vec<Complex64> = (0..n * nrhs)
+        .map(|k| Complex64::new((k as f64 * 0.01).sin(), (k as f64 * 0.003).cos()))
+        .collect();
+    let mut group = c.benchmark_group("solve_many_rhs_blocking");
+    group.sample_size(10);
+    for block in [4usize, 8, 16, 32, 64] {
+        group.bench_function(&format!("block_{block}"), |bench| {
+            let mut b = b0.clone();
+            bench.iter(|| {
+                b.copy_from_slice(&b0);
+                lu.solve_many_blocked(&mut b, nrhs, block);
+                black_box(b[n / 2])
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Micro view of the tentpole: one perturbed-corner forward+adjoint pair
+/// solved by a fresh direct factorisation vs the nominal-factor-
+/// preconditioned iterative path (per-corner, no batching — the batched
+/// sweep is measured end-to-end in `corner_scaling`).
+fn bench_corner_solve(c: &mut Criterion) {
+    let (grid, _, eps0, omega) = setup(64);
+    let nominal = eps0.clone();
+    let corner_eps = eps0.map(|&e| if e > 1.0 { e + 0.04 } else { e });
+    let g: Vec<Complex64> = (0..grid.n())
+        .map(|k| Complex64::new((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+        .collect();
+    let mut group = c.benchmark_group("corner_solve");
+    group.sample_size(10);
+    group.bench_function("direct_refactor", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut x = g.clone();
+        b.iter(|| {
+            ws.prepare_corner(grid, omega, &corner_eps, SolverStrategy::Direct, None)
+                .unwrap();
+            x.copy_from_slice(&g);
+            ws.solve_block(&mut x, 1).unwrap();
+            black_box(x[grid.n() / 2])
+        })
+    });
+    group.bench_function("nominal_precond_iterative", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut x = g.clone();
+        let mut epoch = 0u64;
+        b.iter(|| {
+            // A fresh epoch each round so the nominal factorisation cost
+            // is included, exactly like the direct side.
+            epoch += 1;
+            let ctx = CornerContext {
+                nominal_eps: &nominal,
+                epoch,
+                is_nominal: false,
+                force_direct: false,
+            };
+            ws.prepare_corner(
+                grid,
+                omega,
+                &corner_eps,
+                SolverStrategy::preconditioned_iterative(),
+                Some(&ctx),
+            )
+            .unwrap();
+            x.copy_from_slice(&g);
+            ws.solve_block(&mut x, 1).unwrap();
+            black_box(x[grid.n() / 2])
+        })
+    });
+    group.finish();
+}
+
 fn bench_bicgstab(c: &mut Criterion) {
     // Iterative comparison on a small, well-conditioned system: a lossy
     // variant of the operator (adds imaginary diagonal so the Krylov
@@ -159,6 +240,7 @@ fn bench_bicgstab(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_assembly, bench_factor_and_solve, bench_corner_loop, bench_bicgstab
+    targets = bench_assembly, bench_factor_and_solve, bench_corner_loop, bench_rhs_blocking,
+        bench_corner_solve, bench_bicgstab
 }
 criterion_main!(benches);

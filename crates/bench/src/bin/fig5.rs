@@ -28,6 +28,7 @@ fn main() {
         lr: 0.03,
         seed: cfg.seed,
         threads: cfg.threads,
+        ..BaseRunConfig::default()
     };
     let compiled = CompiledProblem::compile(isolator()).expect("compile failed");
 

@@ -46,6 +46,7 @@ fn main() {
         lr: 0.03,
         seed: cfg.seed,
         threads: cfg.threads,
+        ..BaseRunConfig::default()
     };
     let space = VariationSpace::default();
 

@@ -38,6 +38,7 @@ fn main() {
         lr: 0.03,
         seed: cfg.seed,
         threads: cfg.threads,
+        ..BaseRunConfig::default()
     };
     let compiled = CompiledProblem::compile(isolator()).expect("compile failed");
     let chain = standard_chain(compiled.problem());

@@ -19,6 +19,7 @@ use crate::schedule::RelaxationSchedule;
 use boson_fab::{
     EoleField, EoleParams, EtchProjection, SamplingStrategy, VariationCorner, VariationSpace,
 };
+use boson_fdfd::sim::SolverStrategy;
 use boson_litho::{LithoConfig, LithoCorner, LithoModel};
 use boson_num::Array2;
 use boson_param::{DensityConfig, DensityParam, LevelSetConfig, LevelSetParam};
@@ -204,6 +205,9 @@ pub struct BaseRunConfig {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Corner linear-solver strategy (a runtime knob, not a method
+    /// property: every method row can run under either solver).
+    pub solver: SolverStrategy,
 }
 
 impl Default for BaseRunConfig {
@@ -213,6 +217,7 @@ impl Default for BaseRunConfig {
             lr: 0.02,
             seed: 7,
             threads: 8,
+            solver: SolverStrategy::Direct,
         }
     }
 }
@@ -376,6 +381,7 @@ pub fn run_method(
         init: spec.init,
         seed: base.seed,
         threads: base.threads,
+        solver: base.solver,
     };
 
     let mut rng = StdRng::seed_from_u64(base.seed);

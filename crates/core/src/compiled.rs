@@ -14,7 +14,7 @@ use crate::objective::Readings;
 use crate::problem::{DeviceProblem, MonitorKind};
 use boson_fdfd::monitor::ModalMonitor;
 use boson_fdfd::operator::scale_source_into;
-use boson_fdfd::sim::{SimWorkspace, Simulation};
+use boson_fdfd::sim::{CornerContext, CornerSolveReport, SimWorkspace, Simulation, SolverStrategy};
 use boson_fdfd::source::ModalSource;
 use boson_num::banded::SingularMatrixError;
 use boson_num::{Array2, Complex64};
@@ -40,6 +40,46 @@ pub struct Evaluation {
     pub grad_eps: Option<Array2<f64>>,
     /// Number of linear-system factorisations performed.
     pub factorizations: usize,
+    /// What the corner solver did (iteration counts, residuals, whether
+    /// the adaptive direct fallback fired). Default for plain direct
+    /// evaluations.
+    pub solve: CornerSolveReport,
+}
+
+/// Per-corner solver directions for
+/// [`CompiledProblem::evaluate_eps_corner`]: the strategy plus the
+/// nominal-preconditioner context the iterative path needs.
+#[derive(Debug, Clone, Copy)]
+pub struct CornerSolve<'a> {
+    /// Solver strategy for this corner.
+    pub strategy: SolverStrategy,
+    /// Permittivity of the nominal corner this epoch.
+    pub nominal_eps: &'a Array2<f64>,
+    /// Token identifying the nominal operator (typically the iteration).
+    pub epoch: u64,
+    /// This corner *is* the nominal corner.
+    pub is_nominal: bool,
+    /// Cached adaptive-policy decision: go straight to a direct factor.
+    pub force_direct: bool,
+}
+
+/// Directions for evaluating a whole corner set in one batched sweep
+/// (see [`CompiledProblem::evaluate_corner_set`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CornerSetSolve<'a> {
+    /// Relative residual at which a right-hand side is converged.
+    pub tol: f64,
+    /// Iteration budget per solve before the direct fallback fires.
+    pub max_iters: usize,
+    /// Permittivity of the nominal corner this epoch.
+    pub nominal_eps: &'a Array2<f64>,
+    /// Token identifying the nominal operator (typically the iteration).
+    pub epoch: u64,
+    /// Index of the nominal corner within the set, if present.
+    pub nominal_idx: Option<usize>,
+    /// Per-corner cached policy decisions: `true` pins a corner to the
+    /// direct path.
+    pub force_direct: &'a [bool],
 }
 
 /// Reusable buffers for repeated [`CompiledProblem::evaluate_eps_scratch`]
@@ -59,6 +99,26 @@ pub struct EvalScratch {
     adj_active: Vec<bool>,
     /// Excitation indices of the active columns, in packed order.
     active_cols: Vec<usize>,
+    /// Shared forward right-hand sides (`n × n_excitations`) — identical
+    /// for every corner of an epoch, built once.
+    base_rhs: Vec<Complex64>,
+    /// Batched-sweep forward RHS / solution blocks (`n × n_excitations ×
+    /// batch`).
+    batch_rhs: Vec<Complex64>,
+    /// Batched forward solutions.
+    batch_x: Vec<Complex64>,
+    /// Batched adjoint sources.
+    batch_adj: Vec<Complex64>,
+    /// Batched adjoint solutions.
+    batch_adj_x: Vec<Complex64>,
+    /// The nominal corner's fields — warm starts for the batched forward
+    /// solves of the same epoch.
+    warm_fields: Vec<Complex64>,
+    /// The nominal corner's adjoint solutions (unpacked to excitation
+    /// order) — warm starts for the batched adjoint solves.
+    warm_adj: Vec<Complex64>,
+    /// Epoch the warm-start blocks belong to.
+    warm_epoch: Option<u64>,
 }
 
 impl EvalScratch {
@@ -288,7 +348,6 @@ impl CompiledProblem {
     /// # Panics
     ///
     /// Panics if `eps` does not have the grid's shape.
-    #[allow(clippy::needless_range_loop)] // excitation index addresses four parallel blocks
     pub fn evaluate_eps_scratch(
         &self,
         eps: &Array2<f64>,
@@ -296,91 +355,85 @@ impl CompiledProblem {
         spec: &crate::objective::ObjectiveSpec,
         scratch: &mut EvalScratch,
     ) -> Result<Evaluation, SingularMatrixError> {
+        self.evaluate_eps_corner(eps, with_grad, spec, scratch, None)
+    }
+
+    /// [`CompiledProblem::evaluate_eps_scratch`] with explicit per-corner
+    /// solver directions: `None` (or a [`SolverStrategy::Direct`] corner)
+    /// factors this operator as always, while a
+    /// [`SolverStrategy::PreconditionedIterative`] corner factors only
+    /// the nominal operator per epoch and solves this corner's forward
+    /// and adjoint systems iteratively against that shared factor,
+    /// falling back to a direct factorisation when the iteration misses
+    /// its budget (reported in [`Evaluation::solve`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a factorisation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` does not have the grid's shape.
+    #[allow(clippy::needless_range_loop)] // excitation index addresses four parallel blocks
+    pub fn evaluate_eps_corner(
+        &self,
+        eps: &Array2<f64>,
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+        scratch: &mut EvalScratch,
+        corner: Option<&CornerSolve<'_>>,
+    ) -> Result<Evaluation, SingularMatrixError> {
         let grid = self.problem.grid;
         let n = grid.n();
         let nexc = self.sources.len();
-        scratch.sim.factor(grid, self.problem.omega, eps)?;
+        match corner {
+            None => scratch.sim.prepare_corner(
+                grid,
+                self.problem.omega,
+                eps,
+                SolverStrategy::Direct,
+                None,
+            )?,
+            Some(cs) => {
+                let ctx = CornerContext {
+                    nominal_eps: cs.nominal_eps,
+                    epoch: cs.epoch,
+                    is_nominal: cs.is_nominal,
+                    force_direct: cs.force_direct,
+                };
+                scratch.sim.prepare_corner(
+                    grid,
+                    self.problem.omega,
+                    eps,
+                    cs.strategy,
+                    Some(&ctx),
+                )?
+            }
+        }
 
         // Forward: scale every excitation's current into one column-major
         // block and solve them together.
-        scratch.jz.clear();
-        scratch.jz.resize(n, Complex64::ZERO);
         scratch.fields.clear();
         scratch.fields.resize(n * nexc, Complex64::ZERO);
-        for (ei, src) in self.sources.iter().enumerate() {
-            src.current_into(&grid, &mut scratch.jz);
-            scale_source_into(
-                &grid,
-                scratch.sim.sfactors(),
-                self.problem.omega,
-                &scratch.jz,
-                &mut scratch.fields[ei * n..(ei + 1) * n],
-            );
-        }
-        scratch.sim.lu().solve_many(&mut scratch.fields, nexc);
+        let (jz, fields) = (&mut scratch.jz, &mut scratch.fields);
+        self.forward_rhs_into(scratch.sim.sfactors(), jz, fields);
+        scratch.sim.solve_block(&mut scratch.fields, nexc)?;
 
-        let mut readings: Readings = Vec::with_capacity(nexc);
-        for ei in 0..nexc {
-            let ez = &scratch.fields[ei * n..(ei + 1) * n];
-            let mut map = HashMap::new();
-            // Modal monitors first, residuals second.
-            for (name, mon) in &self.monitors[ei] {
-                if let BoundMonitor::Modal(m) = mon {
-                    map.insert(name.clone(), m.power(ez) / self.norm_power[ei]);
-                }
-            }
-            for (name, mon) in &self.monitors[ei] {
-                if let BoundMonitor::Residual(subtract) = mon {
-                    let total: f64 = subtract.iter().map(|s| map[s]).sum();
-                    map.insert(name.clone(), 1.0 - total);
-                }
-            }
-            readings.push(map);
-        }
+        let readings = self.readings_from_fields(&scratch.fields);
         let objective = spec.objective(&readings);
         let fom = spec.fom(&readings);
 
         let grad_eps = if with_grad {
-            // ∂obj/∂reading, with residual gradients folded back into the
-            // modal readings they subtract.
-            let mut dr: Vec<HashMap<String, f64>> = vec![HashMap::new(); readings.len()];
-            for (e, m, g) in spec.objective_grad(&readings) {
-                *dr[e].entry(m).or_default() += g;
-            }
-            for (ei, mons) in self.monitors.iter().enumerate() {
-                let mut updates: Vec<(String, f64)> = Vec::new();
-                for (name, mon) in mons {
-                    if let BoundMonitor::Residual(subtract) = mon {
-                        if let Some(&gres) = dr[ei].get(name) {
-                            for s in subtract {
-                                updates.push((s.clone(), -gres));
-                            }
-                        }
-                    }
-                }
-                for (name, g) in updates {
-                    *dr[ei].entry(name).or_default() += g;
-                }
-            }
+            let dr = self.reading_grads(spec, &readings);
             // Adjoint sources per excitation, then one batched solve.
             scratch.adj.clear();
             scratch.adj.resize(n * nexc, Complex64::ZERO);
-            scratch.adj_active.clear();
-            scratch.adj_active.resize(nexc, false);
-            for ei in 0..nexc {
-                let ez = &scratch.fields[ei * n..(ei + 1) * n];
-                let g_field = &mut scratch.adj[ei * n..(ei + 1) * n];
-                for (name, mon) in &self.monitors[ei] {
-                    if let BoundMonitor::Modal(m) = mon {
-                        if let Some(&g) = dr[ei].get(name) {
-                            if g != 0.0 {
-                                m.accumulate_power_grad(ez, g / self.norm_power[ei], g_field);
-                                scratch.adj_active[ei] = true;
-                            }
-                        }
-                    }
-                }
-            }
+            self.adjoint_sources_into(
+                &dr,
+                &scratch.fields,
+                &mut scratch.adj,
+                &mut scratch.adj_active,
+            );
             // Pack the active columns to the front of the block so dead
             // excitations (no monitor gradient — common under the sparse
             // objective) cost no triangular sweeps at all.
@@ -399,7 +452,7 @@ impl CompiledProblem {
                 let nactive = scratch.active_cols.len();
                 scratch
                     .sim
-                    .solve_adjoints_batched_in_place(&mut scratch.adj[..nactive * n], nactive);
+                    .solve_block(&mut scratch.adj[..nactive * n], nactive)?;
                 for (pos, &ei) in scratch.active_cols.iter().enumerate() {
                     scratch.sim.grad_eps_accumulate(
                         &scratch.fields[ei * n..(ei + 1) * n],
@@ -413,13 +466,395 @@ impl CompiledProblem {
             None
         };
 
+        // Snapshot the nominal corner's solutions: they seed (warm-start)
+        // the batched iterative solves of every other corner this epoch.
+        if let Some(cs) = corner {
+            if cs.is_nominal && with_grad {
+                scratch.warm_fields.clear();
+                scratch.warm_fields.extend_from_slice(&scratch.fields);
+                scratch.warm_adj.clear();
+                scratch.warm_adj.resize(n * nexc, Complex64::ZERO);
+                for (pos, &ei) in scratch.active_cols.iter().enumerate() {
+                    let (dst, src) = (ei * n, pos * n);
+                    scratch.warm_adj[dst..dst + n].copy_from_slice(&scratch.adj[src..src + n]);
+                }
+                scratch.warm_epoch = Some(cs.epoch);
+            }
+        }
+
+        let solve = scratch.sim.last_report().clone();
         Ok(Evaluation {
             readings,
             objective,
             fom,
             grad_eps,
-            factorizations: 1,
+            factorizations: solve.factorizations,
+            solve,
         })
+    }
+
+    /// Evaluates a whole variation-corner set under the preconditioned
+    /// iterative strategy, advancing **all** corners' solves in one
+    /// lockstep batch against the shared nominal factor.
+    ///
+    /// This is the fast path behind the corner-sweep speedup: the
+    /// preconditioner's triangular sweeps are memory-bound on the factor
+    /// image, so sweeping the packed active columns of every corner at
+    /// once amortises that traffic across the whole set, and the nominal
+    /// corner's forward/adjoint solutions warm-start every other corner.
+    /// Corners whose iteration misses its budget (and corners pinned by
+    /// `force_direct`) are evaluated through the direct path instead —
+    /// bit-identical to [`SolverStrategy::Direct`] — and flagged in their
+    /// [`Evaluation::solve`] so the caller's adaptive policy can pin
+    /// them.
+    ///
+    /// Returns one [`Evaluation`] per entry of `epss`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a required factorisation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epss` and `set.force_direct` disagree in length, or if
+    /// `set.nominal_idx` is out of range.
+    pub fn evaluate_corner_set(
+        &self,
+        epss: &[Array2<f64>],
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+        scratch: &mut EvalScratch,
+        set: &CornerSetSolve<'_>,
+    ) -> Result<Vec<Evaluation>, SingularMatrixError> {
+        let grid = self.problem.grid;
+        let n = grid.n();
+        let nexc = self.sources.len();
+        let count = epss.len();
+        assert_eq!(set.force_direct.len(), count, "policy flag count mismatch");
+        let strategy = SolverStrategy::PreconditionedIterative {
+            tol: set.tol,
+            max_iters: set.max_iters,
+        };
+        let mut evals: Vec<Option<Evaluation>> = (0..count).map(|_| None).collect();
+
+        // The nominal corner first: it refreshes the shared factor and
+        // snapshots the warm-start fields for everyone else.
+        if let Some(ni) = set.nominal_idx {
+            let cs = CornerSolve {
+                strategy,
+                nominal_eps: set.nominal_eps,
+                epoch: set.epoch,
+                is_nominal: true,
+                force_direct: false,
+            };
+            evals[ni] =
+                Some(self.evaluate_eps_corner(&epss[ni], with_grad, spec, scratch, Some(&cs))?);
+        }
+        // Corners the adaptive policy has pinned to the direct path.
+        for ci in 0..count {
+            if evals[ci].is_some() || !set.force_direct[ci] {
+                continue;
+            }
+            let cs = CornerSolve {
+                strategy,
+                nominal_eps: set.nominal_eps,
+                epoch: set.epoch,
+                is_nominal: false,
+                force_direct: true,
+            };
+            evals[ci] =
+                Some(self.evaluate_eps_corner(&epss[ci], with_grad, spec, scratch, Some(&cs))?);
+        }
+
+        // Everything else advances in one lockstep batch.
+        let batched: Vec<usize> = (0..count).filter(|ci| evals[*ci].is_none()).collect();
+        if !batched.is_empty() {
+            let extra_factorizations = scratch.sim.batch_begin(
+                grid,
+                self.problem.omega,
+                set.nominal_eps,
+                set.epoch,
+                set.tol,
+                set.max_iters,
+            )?;
+            for &ci in &batched {
+                scratch.sim.batch_push(&epss[ci]);
+            }
+            // The forward RHS is corner-independent: build it once and
+            // replicate per corner.
+            scratch.base_rhs.clear();
+            scratch.base_rhs.resize(n * nexc, Complex64::ZERO);
+            {
+                let (jz, base) = (&mut scratch.jz, &mut scratch.base_rhs);
+                self.forward_rhs_into(scratch.sim.sfactors(), jz, base);
+            }
+            let bl = n * nexc; // block length per corner
+            let bcols = batched.len() * bl;
+            scratch.batch_rhs.clear();
+            scratch.batch_rhs.resize(bcols, Complex64::ZERO);
+            scratch.batch_x.clear();
+            scratch.batch_x.resize(bcols, Complex64::ZERO);
+            let warm =
+                set.nominal_idx.is_some() && with_grad && scratch.warm_epoch == Some(set.epoch);
+            for slot in 0..batched.len() {
+                scratch.batch_rhs[slot * bl..(slot + 1) * bl].copy_from_slice(&scratch.base_rhs);
+                if warm {
+                    scratch.batch_x[slot * bl..(slot + 1) * bl]
+                        .copy_from_slice(&scratch.warm_fields);
+                }
+            }
+            {
+                let (sim, rhs, x) = (&mut scratch.sim, &scratch.batch_rhs, &mut scratch.batch_x);
+                sim.batch_solve(rhs, x, nexc, warm);
+            }
+
+            // Forward-phase budget misses re-evaluate directly.
+            let forward_reports = scratch.sim.batch_reports().to_vec();
+            for (slot, &ci) in batched.iter().enumerate() {
+                if !forward_reports[slot].converged {
+                    evals[ci] = Some(self.fallback_eval(
+                        &epss[ci],
+                        with_grad,
+                        spec,
+                        scratch,
+                        set,
+                        &forward_reports[slot],
+                    )?);
+                }
+            }
+
+            // Readings + adjoint phase for the surviving corners.
+            let mut partials: Vec<(usize, usize, Readings, f64, f64)> = Vec::new();
+            scratch.batch_adj.clear();
+            scratch.batch_adj.resize(bcols, Complex64::ZERO);
+            for (slot, &ci) in batched.iter().enumerate() {
+                if evals[ci].is_some() {
+                    continue; // fell back; its adjoint columns stay zero
+                }
+                let fields = &scratch.batch_x[slot * bl..(slot + 1) * bl];
+                let readings = self.readings_from_fields(fields);
+                let objective = spec.objective(&readings);
+                let fom = spec.fom(&readings);
+                if with_grad {
+                    let dr = self.reading_grads(spec, &readings);
+                    let adj = &mut scratch.batch_adj[slot * bl..(slot + 1) * bl];
+                    self.adjoint_sources_into(&dr, fields, adj, &mut scratch.adj_active);
+                }
+                partials.push((slot, ci, readings, objective, fom));
+            }
+
+            if with_grad {
+                scratch.batch_adj_x.clear();
+                scratch.batch_adj_x.resize(bcols, Complex64::ZERO);
+                if warm {
+                    for &(slot, _, _, _, _) in &partials {
+                        scratch.batch_adj_x[slot * bl..(slot + 1) * bl]
+                            .copy_from_slice(&scratch.warm_adj);
+                    }
+                }
+                {
+                    let (sim, rhs, x) = (
+                        &mut scratch.sim,
+                        &scratch.batch_adj,
+                        &mut scratch.batch_adj_x,
+                    );
+                    sim.batch_solve(rhs, x, nexc, warm);
+                }
+            }
+            let merged_reports = scratch.sim.batch_reports().to_vec();
+
+            for (slot, ci, readings, objective, fom) in partials {
+                let report = &merged_reports[slot];
+                if !report.converged {
+                    // Adjoint-phase budget miss: full direct re-evaluation.
+                    evals[ci] =
+                        Some(self.fallback_eval(&epss[ci], with_grad, spec, scratch, set, report)?);
+                    continue;
+                }
+                let grad_eps = if with_grad {
+                    let mut total = Array2::zeros(grid.ny, grid.nx);
+                    let fields = &scratch.batch_x[slot * bl..(slot + 1) * bl];
+                    let lambdas = &scratch.batch_adj_x[slot * bl..(slot + 1) * bl];
+                    for ei in 0..nexc {
+                        // Inactive excitations solved λ = 0 exactly and
+                        // contribute nothing.
+                        scratch.sim.grad_eps_accumulate(
+                            &fields[ei * n..(ei + 1) * n],
+                            &lambdas[ei * n..(ei + 1) * n],
+                            &mut total,
+                        );
+                    }
+                    Some(total)
+                } else {
+                    None
+                };
+                let mut solve = report.clone();
+                solve.factorizations = 0;
+                evals[ci] = Some(Evaluation {
+                    readings,
+                    objective,
+                    fom,
+                    grad_eps,
+                    factorizations: 0,
+                    solve,
+                });
+            }
+
+            // Attribute a nominal refresh performed by `batch_begin`
+            // (only possible when the set has no nominal corner) to the
+            // first batched evaluation.
+            if extra_factorizations > 0 {
+                if let Some(ev) = evals[batched[0]].as_mut() {
+                    ev.factorizations += extra_factorizations;
+                    ev.solve.factorizations += extra_factorizations;
+                }
+            }
+        }
+
+        Ok(evals
+            .into_iter()
+            .map(|e| e.expect("every corner evaluated"))
+            .collect())
+    }
+
+    /// Direct re-evaluation of a corner whose batched iteration missed
+    /// its budget; the result is bit-identical to the direct strategy and
+    /// carries the failed attempt's statistics with `fell_back` set.
+    fn fallback_eval(
+        &self,
+        eps: &Array2<f64>,
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+        scratch: &mut EvalScratch,
+        set: &CornerSetSolve<'_>,
+        attempt: &CornerSolveReport,
+    ) -> Result<Evaluation, SingularMatrixError> {
+        let cs = CornerSolve {
+            strategy: SolverStrategy::PreconditionedIterative {
+                tol: set.tol,
+                max_iters: set.max_iters,
+            },
+            nominal_eps: set.nominal_eps,
+            epoch: set.epoch,
+            is_nominal: false,
+            force_direct: true,
+        };
+        let mut ev = self.evaluate_eps_corner(eps, with_grad, spec, scratch, Some(&cs))?;
+        ev.solve.used_iterative = true;
+        ev.solve.fell_back = true;
+        ev.solve.max_iterations = ev.solve.max_iterations.max(attempt.max_iterations);
+        ev.solve.max_residual = ev.solve.max_residual.max(attempt.max_residual);
+        Ok(ev)
+    }
+
+    /// Builds the scaled forward right-hand side of every excitation into
+    /// the column-major block `out` (`n × n_excitations`); identical for
+    /// every corner of a `(grid, ω)`.
+    fn forward_rhs_into(
+        &self,
+        sfactors: &boson_fdfd::pml::SFactors,
+        jz: &mut Vec<Complex64>,
+        out: &mut [Complex64],
+    ) {
+        let grid = self.problem.grid;
+        let n = grid.n();
+        jz.clear();
+        jz.resize(n, Complex64::ZERO);
+        for (ei, src) in self.sources.iter().enumerate() {
+            src.current_into(&grid, jz);
+            scale_source_into(
+                &grid,
+                sfactors,
+                self.problem.omega,
+                jz,
+                &mut out[ei * n..(ei + 1) * n],
+            );
+        }
+    }
+
+    /// Normalised monitor readings from a solved field block
+    /// (`n × n_excitations`, column per excitation).
+    fn readings_from_fields(&self, fields: &[Complex64]) -> Readings {
+        let n = self.problem.grid.n();
+        let nexc = self.sources.len();
+        let mut readings: Readings = Vec::with_capacity(nexc);
+        for ei in 0..nexc {
+            let ez = &fields[ei * n..(ei + 1) * n];
+            let mut map = HashMap::new();
+            // Modal monitors first, residuals second.
+            for (name, mon) in &self.monitors[ei] {
+                if let BoundMonitor::Modal(m) = mon {
+                    map.insert(name.clone(), m.power(ez) / self.norm_power[ei]);
+                }
+            }
+            for (name, mon) in &self.monitors[ei] {
+                if let BoundMonitor::Residual(subtract) = mon {
+                    let total: f64 = subtract.iter().map(|s| map[s]).sum();
+                    map.insert(name.clone(), 1.0 - total);
+                }
+            }
+            readings.push(map);
+        }
+        readings
+    }
+
+    /// `∂objective/∂reading` per excitation, with residual-monitor
+    /// gradients folded back into the modal readings they subtract.
+    fn reading_grads(
+        &self,
+        spec: &crate::objective::ObjectiveSpec,
+        readings: &Readings,
+    ) -> Vec<HashMap<String, f64>> {
+        let mut dr: Vec<HashMap<String, f64>> = vec![HashMap::new(); readings.len()];
+        for (e, m, g) in spec.objective_grad(readings) {
+            *dr[e].entry(m).or_default() += g;
+        }
+        for (ei, mons) in self.monitors.iter().enumerate() {
+            let mut updates: Vec<(String, f64)> = Vec::new();
+            for (name, mon) in mons {
+                if let BoundMonitor::Residual(subtract) = mon {
+                    if let Some(&gres) = dr[ei].get(name) {
+                        for s in subtract {
+                            updates.push((s.clone(), -gres));
+                        }
+                    }
+                }
+            }
+            for (name, g) in updates {
+                *dr[ei].entry(name).or_default() += g;
+            }
+        }
+        dr
+    }
+
+    /// Accumulates the adjoint (Wirtinger) sources of every excitation
+    /// into the column-major block `adj` (assumed zeroed), recording
+    /// which columns are active.
+    fn adjoint_sources_into(
+        &self,
+        dr: &[HashMap<String, f64>],
+        fields: &[Complex64],
+        adj: &mut [Complex64],
+        adj_active: &mut Vec<bool>,
+    ) {
+        let n = self.problem.grid.n();
+        let nexc = self.sources.len();
+        adj_active.clear();
+        adj_active.resize(nexc, false);
+        for ei in 0..nexc {
+            let ez = &fields[ei * n..(ei + 1) * n];
+            let g_field = &mut adj[ei * n..(ei + 1) * n];
+            for (name, mon) in &self.monitors[ei] {
+                if let BoundMonitor::Modal(m) = mon {
+                    if let Some(&g) = dr[ei].get(name) {
+                        if g != 0.0 {
+                            m.accumulate_power_grad(ez, g / self.norm_power[ei], g_field);
+                            adj_active[ei] = true;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -24,19 +24,21 @@
 //! false`, sparse objective, nominal-only sampling, random init …), which
 //! is exactly how the paper's ablation table is generated.
 
-use crate::compiled::{CompiledProblem, EvalScratch};
+use crate::compiled::{CompiledProblem, CornerSolve, EvalScratch};
 use crate::fabchain::{assemble_eps, grad_eps_to_rho, grad_temperature, FabChain};
 use crate::objective::{ObjectiveSpec, Readings};
 use crate::optimizer::{Adam, AdamConfig};
 use crate::pool::WorkerPool;
 use crate::schedule::{BetaSchedule, RelaxationSchedule};
 use boson_fab::{EtchProjection, SamplingStrategy, VariationCorner, VariationSpace};
+use boson_fdfd::sim::SolverStrategy;
 use boson_num::Array2;
 use boson_param::Parameterization;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 use std::thread::Scope;
 
 /// How to initialise the latent variables.
@@ -78,6 +80,9 @@ pub struct RunnerConfig {
     pub seed: u64,
     /// Worker threads for corner evaluation.
     pub threads: usize,
+    /// Corner linear-solver strategy: direct per-corner factorisation or
+    /// nominal-factor-preconditioned iteration with adaptive fallback.
+    pub solver: SolverStrategy,
 }
 
 impl Default for RunnerConfig {
@@ -94,6 +99,7 @@ impl Default for RunnerConfig {
             init: InitKind::Seeded,
             seed: 7,
             threads: 8,
+            solver: SolverStrategy::Direct,
         }
     }
 }
@@ -135,6 +141,8 @@ struct CornerOutcome {
     v_mask: Array2<f64>,
     /// `(d obj/dT, d obj/dξ)` — only filled for the nominal corner.
     variation_grads: Option<(f64, Vec<f64>)>,
+    /// Factorisations this corner actually performed.
+    factorizations: usize,
 }
 
 /// One unit of work for the corner pool. Owns (or `Arc`-shares) its data
@@ -148,6 +156,50 @@ struct CornerJob {
     want_variation_grads: bool,
 }
 
+/// The adaptive per-corner solver policy: corners whose iterative solve
+/// ever missed its budget are pinned to the direct path for the rest of
+/// the run. Shared (behind a mutex, far off the solve path) between the
+/// main thread and the pool workers so serial and threaded runs make the
+/// same decisions.
+///
+/// Decisions are cached only for *stable* corners — the axial/sweep
+/// excursions, whose label names the same perturbation every iteration.
+/// Worst-case and random corners carry a fresh EOLE field `ξ` each
+/// iteration, so a past budget miss says nothing about the next draw and
+/// they always retry the iterative path (falling back individually when
+/// needed).
+#[derive(Debug, Default)]
+struct CornerPolicy {
+    direct: Mutex<HashSet<String>>,
+}
+
+impl CornerPolicy {
+    /// `true` when the corner's label identifies the same perturbation
+    /// every iteration. Spatial-field corners (non-empty `ξ`) are
+    /// resampled or re-derived per iteration.
+    fn is_stable(corner: &VariationCorner) -> bool {
+        corner.xi.is_empty()
+    }
+
+    fn force_direct(&self, corner: &VariationCorner) -> bool {
+        Self::is_stable(corner)
+            && self
+                .direct
+                .lock()
+                .expect("policy lock")
+                .contains(&corner.label)
+    }
+
+    fn mark_direct(&self, corner: &VariationCorner) {
+        if Self::is_stable(corner) {
+            self.direct
+                .lock()
+                .expect("policy lock")
+                .insert(corner.label.clone());
+        }
+    }
+}
+
 /// The optimisation driver.
 pub struct InverseDesigner<'a, P: Parameterization + Sync> {
     compiled: &'a CompiledProblem,
@@ -156,6 +208,7 @@ pub struct InverseDesigner<'a, P: Parameterization + Sync> {
     space: VariationSpace,
     config: RunnerConfig,
     objective: ObjectiveSpec,
+    policy: CornerPolicy,
 }
 
 impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
@@ -189,6 +242,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             space,
             config,
             objective,
+            policy: CornerPolicy::default(),
         }
     }
 
@@ -211,7 +265,11 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
     /// chain backward. `want_variation_grads` additionally produces
     /// `(dT, dξ)` for the worst-case search. The etch projection of the
     /// current β-schedule step is passed explicitly; `scratch` carries the
-    /// reusable solver buffers.
+    /// reusable solver buffers. Under the iterative solver strategy
+    /// `nominal_eps`/`epoch` identify the shared preconditioner and the
+    /// adaptive policy decides (and learns) whether this corner solves
+    /// iteratively or directly.
+    #[allow(clippy::too_many_arguments)] // one call site per fan-out path
     fn eval_corner(
         &self,
         rho: &Array2<f64>,
@@ -219,6 +277,9 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         etch: EtchProjection,
         want_variation_grads: bool,
         scratch: &mut EvalScratch,
+        nominal_eps: Option<&Array2<f64>>,
+        epoch: u64,
+        is_nominal: bool,
     ) -> CornerOutcome {
         let problem = self.compiled.problem();
         let fwd = self.chain.forward_with_etch(rho, corner, false, etch);
@@ -228,10 +289,38 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             &fwd.rho_fab,
             corner.temperature,
         );
+        let solve = nominal_eps.map(|nominal_eps| CornerSolve {
+            strategy: self.config.solver,
+            nominal_eps,
+            epoch,
+            is_nominal,
+            force_direct: self.policy.force_direct(corner),
+        });
         let ev = self
             .compiled
-            .evaluate_eps_scratch(&eps, true, &self.objective, scratch)
+            .evaluate_eps_corner(&eps, true, &self.objective, scratch, solve.as_ref())
             .expect("corner simulation failed");
+        self.outcome_from(corner, &fwd, ev, etch, want_variation_grads)
+    }
+
+    /// Back-propagates an EM evaluation through the fabrication chain and
+    /// packages the [`CornerOutcome`], updating the adaptive policy from
+    /// the solve report.
+    fn outcome_from(
+        &self,
+        corner: &VariationCorner,
+        fwd: &crate::fabchain::FabForward,
+        ev: crate::compiled::Evaluation,
+        etch: EtchProjection,
+        want_variation_grads: bool,
+    ) -> CornerOutcome {
+        let problem = self.compiled.problem();
+        if ev.solve.fell_back {
+            // This corner's perturbation defeats the nominal
+            // preconditioner (large β, strong litho/etch excursion): pin
+            // it to the direct path for the rest of the run.
+            self.policy.mark_direct(corner);
+        }
         let grad_eps = ev.grad_eps.as_ref().expect("gradient requested");
         let v_rho = grad_eps_to_rho(
             grad_eps,
@@ -239,7 +328,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             problem.design_shape,
             corner.temperature,
         );
-        let v_mask = self.chain.vjp_mask_with_etch(&fwd, &v_rho, etch);
+        let v_mask = self.chain.vjp_mask_with_etch(fwd, &v_rho, etch);
         let variation_grads = if want_variation_grads {
             let dt = grad_temperature(
                 grad_eps,
@@ -248,7 +337,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 &fwd.rho_fab,
                 corner.temperature,
             );
-            let dxi = self.chain.vjp_xi_with_etch(&fwd, &v_rho, etch);
+            let dxi = self.chain.vjp_xi_with_etch(fwd, &v_rho, etch);
             Some((dt, dxi))
         } else {
             None
@@ -259,7 +348,72 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             readings: ev.readings,
             v_mask,
             variation_grads,
+            factorizations: ev.factorizations,
         }
+    }
+
+    /// The batched iterative fan-out: runs every corner's fabrication
+    /// model, then advances **all** corners' forward (and adjoint) solves
+    /// in one lockstep preconditioned sweep against the shared nominal
+    /// factor (see [`CompiledProblem::evaluate_corner_set`]), and finally
+    /// back-propagates each corner through the chain. Serial by design —
+    /// the batch itself is the parallelism, and it is what makes the
+    /// iterative strategy beat per-corner factorisation.
+    #[allow(clippy::too_many_arguments)] // mirrors eval_corners
+    fn eval_corners_batched(
+        &self,
+        rho: &Arc<Array2<f64>>,
+        corners: &[VariationCorner],
+        etch: EtchProjection,
+        nominal_idx: Option<usize>,
+        nominal_eps: &Array2<f64>,
+        epoch: u64,
+        scratch: &mut EvalScratch,
+        tol: f64,
+        max_iters: usize,
+    ) -> Vec<CornerOutcome> {
+        let problem = self.compiled.problem();
+        let fwds: Vec<crate::fabchain::FabForward> = corners
+            .iter()
+            .map(|c| self.chain.forward_with_etch(rho, c, false, etch))
+            .collect();
+        let epss: Vec<Array2<f64>> = corners
+            .iter()
+            .zip(&fwds)
+            .map(|(c, fwd)| {
+                assemble_eps(
+                    &problem.background_solid,
+                    problem.design_origin,
+                    &fwd.rho_fab,
+                    c.temperature,
+                )
+            })
+            .collect();
+        let force_direct: Vec<bool> = corners
+            .iter()
+            .map(|c| self.policy.force_direct(c))
+            .collect();
+        let set = crate::compiled::CornerSetSolve {
+            tol,
+            max_iters,
+            nominal_eps,
+            epoch,
+            nominal_idx,
+            force_direct: &force_direct,
+        };
+        let evals = self
+            .compiled
+            .evaluate_corner_set(&epss, true, &self.objective, scratch, &set)
+            .expect("corner sweep failed");
+        corners
+            .iter()
+            .zip(&fwds)
+            .zip(evals)
+            .enumerate()
+            .map(|(ci, ((corner, fwd), ev))| {
+                self.outcome_from(corner, fwd, ev, etch, Some(ci) == nominal_idx)
+            })
+            .collect()
     }
 
     /// Evaluates the unrestricted ("ideal") term: the raw density drives
@@ -291,8 +445,18 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
 
     /// Number of pool workers the configuration asks for (0 = run corners
     /// inline on the main thread).
+    ///
+    /// The iterative strategy needs none: its fan-out is the batched
+    /// lockstep sweep, which amortises the preconditioner's memory
+    /// traffic across corners far better than per-corner threads would.
     fn pool_threads(&self) -> usize {
         if !self.config.fab_aware {
+            return 0;
+        }
+        if matches!(
+            self.config.solver,
+            SolverStrategy::PreconditionedIterative { .. }
+        ) {
             return 0;
         }
         let max_useful = self.config.sampling.corners_per_iteration();
@@ -347,12 +511,18 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 threads => Some(WorkerPool::new(scope, threads, |_| {
                     let mut scratch = EvalScratch::new();
                     move |job: CornerJob| {
+                        // The pool only ever runs the direct strategy
+                        // (the iterative strategy fans out through the
+                        // batched sweep instead), so no solver context.
                         let out = self.eval_corner(
                             &job.rho,
                             &job.corner,
                             job.etch,
                             job.want_variation_grads,
                             &mut scratch,
+                            None,
+                            0,
+                            false,
                         );
                         (job.slot, out)
                     }
@@ -379,15 +549,50 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 // Identify the nominal corner for worst-case gradients and
                 // trajectory recording.
                 let nominal_idx = corners.iter().position(|c| !c.is_varied());
-                let outcomes = self.eval_corners(
-                    pool.as_ref(),
-                    &rho,
-                    &corners,
-                    etch,
-                    nominal_idx,
-                    &mut scratch,
-                );
-                factorizations += corners.len();
+                // The iterative strategy shares one nominal operator per
+                // iteration: materialise its permittivity once so every
+                // worker preconditions against bit-identical factors.
+                let nominal_eps: Option<Arc<Array2<f64>>> = match self.config.solver {
+                    SolverStrategy::Direct => None,
+                    SolverStrategy::PreconditionedIterative { .. } => {
+                        let fwd = self.chain.forward_with_etch(
+                            &rho,
+                            &VariationCorner::nominal(),
+                            false,
+                            etch,
+                        );
+                        let problem = self.compiled.problem();
+                        Some(Arc::new(assemble_eps(
+                            &problem.background_solid,
+                            problem.design_origin,
+                            &fwd.rho_fab,
+                            boson_fab::temperature::T_NOMINAL,
+                        )))
+                    }
+                };
+                let outcomes = match self.config.solver {
+                    SolverStrategy::Direct => self.eval_corners(
+                        pool.as_ref(),
+                        &rho,
+                        &corners,
+                        etch,
+                        nominal_idx,
+                        &mut scratch,
+                    ),
+                    SolverStrategy::PreconditionedIterative { tol, max_iters } => self
+                        .eval_corners_batched(
+                            &rho,
+                            &corners,
+                            etch,
+                            nominal_idx,
+                            nominal_eps.as_ref().expect("iterative strategy nominal"),
+                            iter as u64,
+                            &mut scratch,
+                            tol,
+                            max_iters,
+                        ),
+                };
+                factorizations += outcomes.iter().map(|o| o.factorizations).sum::<usize>();
 
                 // Worst-case corner from the nominal gradients.
                 let mut all_outcomes = outcomes;
@@ -395,8 +600,17 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                     if let Some(ni) = nominal_idx {
                         if let Some((dt, dxi)) = &all_outcomes[ni].variation_grads {
                             let worst = self.space.worst_case_corner(*dt, dxi);
-                            let o = self.eval_corner(&rho, &worst, etch, false, &mut scratch);
-                            factorizations += 1;
+                            let o = self.eval_corner(
+                                &rho,
+                                &worst,
+                                etch,
+                                false,
+                                &mut scratch,
+                                nominal_eps.as_deref(),
+                                iter as u64,
+                                false,
+                            );
+                            factorizations += o.factorizations;
                             corners.push(worst);
                             all_outcomes.push(o);
                         }
@@ -497,7 +711,18 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             _ => corners
                 .iter()
                 .enumerate()
-                .map(|(ci, c)| self.eval_corner(rho, c, etch, Some(ci) == nominal_idx, scratch))
+                .map(|(ci, c)| {
+                    self.eval_corner(
+                        rho,
+                        c,
+                        etch,
+                        Some(ci) == nominal_idx,
+                        scratch,
+                        None,
+                        0,
+                        false,
+                    )
+                })
                 .collect(),
         }
     }
@@ -573,6 +798,142 @@ mod tests {
         for (ta, tb) in a.theta.iter().zip(&b.theta) {
             assert!((ta - tb).abs() < 1e-12);
         }
+    }
+
+    /// The iterative corner solver must also be an implementation detail
+    /// of the fan-out: threaded and serial runs stay bit-identical
+    /// because every worker preconditions against bit-identical nominal
+    /// factors and the adaptive policy is shared.
+    #[test]
+    fn iterative_parallel_and_serial_runs_agree() {
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace::default();
+        let mut results = Vec::new();
+        for threads in [1usize, 4] {
+            let mut designer = InverseDesigner::new(
+                &compiled,
+                &param,
+                standard_chain(&problem),
+                space.clone(),
+                RunnerConfig {
+                    solver: SolverStrategy::preconditioned_iterative(),
+                    ..tiny_config(threads, SamplingStrategy::AxialSingleSided)
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            let theta0 = designer.initial_theta(&mut rng);
+            results.push(designer.run(theta0));
+        }
+        let (a, b) = (&results[0], &results[1]);
+        for (ra, rb) in a.trajectory.iter().zip(&b.trajectory) {
+            assert_eq!(
+                ra.objective, rb.objective,
+                "iter {}: {} vs {}",
+                ra.iter, ra.objective, rb.objective
+            );
+        }
+        for (ta, tb) in a.theta.iter().zip(&b.theta) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    /// The iterative strategy reproduces the direct strategy's trajectory
+    /// to solver tolerance while factoring far fewer operators — across
+    /// different etch-sharpening β schedules (sharper β means stronger
+    /// corner perturbations).
+    #[test]
+    fn iterative_strategy_matches_direct_and_saves_factorizations() {
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace::default();
+        for (beta_start, beta_end) in [(10.0, 40.0), (40.0, 80.0)] {
+            let run_with = |solver: SolverStrategy| {
+                let mut designer = InverseDesigner::new(
+                    &compiled,
+                    &param,
+                    standard_chain(&problem),
+                    space.clone(),
+                    RunnerConfig {
+                        solver,
+                        beta_start,
+                        beta_end,
+                        ..tiny_config(1, SamplingStrategy::AxialSingleSided)
+                    },
+                );
+                let mut rng = StdRng::seed_from_u64(3);
+                let theta0 = designer.initial_theta(&mut rng);
+                designer.run(theta0)
+            };
+            let direct = run_with(SolverStrategy::Direct);
+            let iterative = run_with(SolverStrategy::PreconditionedIterative {
+                tol: 1e-10,
+                max_iters: 40,
+            });
+            for (rd, ri) in direct.trajectory.iter().zip(&iterative.trajectory) {
+                assert!(
+                    (rd.objective - ri.objective).abs() < 1e-7 * (1.0 + rd.objective.abs()),
+                    "β=({beta_start},{beta_end}) iter {}: direct {} vs iterative {}",
+                    rd.iter,
+                    rd.objective,
+                    ri.objective
+                );
+            }
+            assert!(
+                iterative.factorizations < direct.factorizations,
+                "β=({beta_start},{beta_end}): iterative did {} factorizations, direct {}",
+                iterative.factorizations,
+                direct.factorizations
+            );
+        }
+    }
+
+    /// A starved iteration budget makes every non-nominal corner fall
+    /// back, so the run degrades to the direct strategy **bit-exactly**
+    /// — and the adaptive policy pins those corners to the direct path
+    /// afterwards (no repeated wasted iterative attempts).
+    #[test]
+    fn starved_iterative_budget_degrades_to_direct_bitwise() {
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace::default();
+        let run_with = |solver: SolverStrategy| {
+            let mut designer = InverseDesigner::new(
+                &compiled,
+                &param,
+                standard_chain(&problem),
+                space.clone(),
+                RunnerConfig {
+                    solver,
+                    ..tiny_config(1, SamplingStrategy::AxialSingleSided)
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            let theta0 = designer.initial_theta(&mut rng);
+            let marked = designer.policy.direct.lock().unwrap().len();
+            assert_eq!(marked, 0);
+            let res = designer.run(theta0);
+            let marked = designer.policy.direct.lock().unwrap().len();
+            (res, marked)
+        };
+        let (direct, _) = run_with(SolverStrategy::Direct);
+        // An impossible tolerance within a one-iteration budget: every
+        // perturbed corner must miss and fall back.
+        let (starved, marked) = run_with(SolverStrategy::PreconditionedIterative {
+            tol: 1e-300,
+            max_iters: 1,
+        });
+        for (rd, ri) in direct.trajectory.iter().zip(&starved.trajectory) {
+            assert_eq!(rd.objective, ri.objective, "iter {}", rd.iter);
+        }
+        for (td, ti) in direct.theta.iter().zip(&starved.theta) {
+            assert_eq!(td, ti);
+        }
+        // AxialSingleSided = nominal + 3 varied corners: all three marked.
+        assert_eq!(marked, 3, "policy should pin every hard corner");
     }
 
     #[test]

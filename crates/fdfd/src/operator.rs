@@ -24,6 +24,7 @@
 use crate::grid::SimGrid;
 use crate::pml::SFactors;
 use boson_num::banded::BandedMatrix;
+use boson_num::complex::{vmul, vmul_add};
 use boson_num::{Array2, Complex64};
 use boson_sparse::{CooMatrix, CsrMatrix};
 
@@ -37,14 +38,22 @@ struct StencilRow {
     north: Complex64,
 }
 
-fn stencil_row(
-    grid: &SimGrid,
-    s: &SFactors,
-    eps: &Array2<f64>,
-    omega: f64,
-    ix: usize,
-    iy: usize,
-) -> StencilRow {
+/// The ε-independent pieces of one stencil row: the neighbour couplings,
+/// the Dirichlet-consistent diagonal contribution `center0 = -(Σ full
+/// couplings)`, and the row scaling `sxy = sx·sy` that multiplies the
+/// `k₀²·ε` term. Shared by the direct per-row assembly and the
+/// [`StencilCache`] so both produce bit-identical coefficients.
+#[derive(Debug, Clone, Copy)]
+struct StencilParts {
+    center0: Complex64,
+    west: Complex64,
+    east: Complex64,
+    south: Complex64,
+    north: Complex64,
+    sxy: Complex64,
+}
+
+fn stencil_parts(grid: &SimGrid, s: &SFactors, ix: usize, iy: usize) -> StencilParts {
     let inv_dx2 = 1.0 / (grid.dx * grid.dx);
     let sy = s.sy_int(iy);
     let sx = s.sx_int(ix);
@@ -70,20 +79,38 @@ fn stencil_row(
     } else {
         Complex64::ZERO
     };
-    let k2 = omega * omega;
     // At the Dirichlet boundary the missing neighbour contributes zero but
     // the diagonal keeps the full stencil weight for consistency.
     let full_cxe = sy * s.sx_half(ix.min(grid.nx - 2)).inv() * inv_dx2;
     let full_cxw = sy * s.sx_half(ix.saturating_sub(1)).inv() * inv_dx2;
     let full_cyn = sx * s.sy_half(iy.min(grid.ny - 2)).inv() * inv_dx2;
     let full_cys = sx * s.sy_half(iy.saturating_sub(1)).inv() * inv_dx2;
-    let center = -(full_cxe + full_cxw + full_cyn + full_cys) + sx * sy * (k2 * eps[(iy, ix)]);
-    StencilRow {
-        center,
+    StencilParts {
+        center0: -(full_cxe + full_cxw + full_cyn + full_cys),
         west: cxw,
         east: cxe,
         south: cys,
         north: cyn,
+        sxy: sx * sy,
+    }
+}
+
+fn stencil_row(
+    grid: &SimGrid,
+    s: &SFactors,
+    eps: &Array2<f64>,
+    omega: f64,
+    ix: usize,
+    iy: usize,
+) -> StencilRow {
+    let parts = stencil_parts(grid, s, ix, iy);
+    let k2 = omega * omega;
+    StencilRow {
+        center: parts.center0 + parts.sxy * (k2 * eps[(iy, ix)]),
+        west: parts.west,
+        east: parts.east,
+        south: parts.south,
+        north: parts.north,
     }
 }
 
@@ -152,6 +179,212 @@ fn fill_banded(grid: &SimGrid, s: &SFactors, eps: &Array2<f64>, omega: f64, a: &
                 a.set(k, k + grid.nx, row.north);
             }
         }
+    }
+}
+
+/// Cached ε-independent stencil coefficients for one `(grid, ω)`.
+///
+/// Assembling the FDFD operator re-derives every PML-stretched neighbour
+/// coupling per corner, but only the diagonal `k₀²·ε·sx·sy` term actually
+/// varies across the variation corners of an optimisation iteration. This
+/// cache stores the couplings (and the ε-independent diagonal part) once
+/// per `(grid, ω)` so a corner needs just
+///
+/// * [`StencilCache::diag_into`] — an `O(n)` rewrite of the diagonal — and
+/// * either [`StencilCache::assemble_with_diag`] (banded image for a
+///   direct factorisation) or [`StencilCache::apply`] (matrix-free
+///   `O(5n)` operator application for the preconditioned iterative path).
+///
+/// Coefficients come from the same `stencil_parts` helper as the per-row
+/// assembly, so cache-based assembly is bit-identical to
+/// [`assemble_banded_into`] (asserted in tests).
+#[derive(Debug, Clone)]
+pub struct StencilCache {
+    nx: usize,
+    n: usize,
+    k2: f64,
+    west: Vec<Complex64>,
+    east: Vec<Complex64>,
+    south: Vec<Complex64>,
+    north: Vec<Complex64>,
+    /// ε-independent diagonal `-(Σ full couplings)` per cell.
+    diag0: Vec<Complex64>,
+    /// Row scaling `sx·sy` per cell (multiplies `k₀²·ε`).
+    sxy: Vec<Complex64>,
+}
+
+impl StencilCache {
+    /// Derives the couplings for `(grid, ω)`. Allocates; build once per
+    /// geometry and reuse across corners.
+    pub fn build(grid: &SimGrid, s: &SFactors, omega: f64) -> Self {
+        let n = grid.n();
+        let mut cache = Self {
+            nx: grid.nx,
+            n,
+            k2: omega * omega,
+            west: vec![Complex64::ZERO; n],
+            east: vec![Complex64::ZERO; n],
+            south: vec![Complex64::ZERO; n],
+            north: vec![Complex64::ZERO; n],
+            diag0: vec![Complex64::ZERO; n],
+            sxy: vec![Complex64::ZERO; n],
+        };
+        for iy in 0..grid.ny {
+            for ix in 0..grid.nx {
+                let k = grid.idx(ix, iy);
+                let parts = stencil_parts(grid, s, ix, iy);
+                cache.west[k] = parts.west;
+                cache.east[k] = parts.east;
+                cache.south[k] = parts.south;
+                cache.north[k] = parts.north;
+                cache.diag0[k] = parts.center0;
+                cache.sxy[k] = parts.sxy;
+            }
+        }
+        cache
+    }
+
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Writes the full operator diagonal for `eps` into `diag` (resized
+    /// once, then reused): `diag[k] = diag0[k] + sx·sy·(k₀²·ε_k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` does not match the cached grid size.
+    pub fn diag_into(&self, eps: &Array2<f64>, diag: &mut Vec<Complex64>) {
+        assert_eq!(eps.as_slice().len(), self.n, "eps size mismatch");
+        diag.clear();
+        diag.extend(
+            self.diag0
+                .iter()
+                .zip(&self.sxy)
+                .zip(eps.as_slice())
+                .map(|((&d0, &sxy), &e)| d0 + sxy * (self.k2 * e)),
+        );
+    }
+
+    /// Writes the banded image of the operator whose diagonal is `diag`
+    /// (as produced by [`StencilCache::diag_into`]) into `a`, reshaping /
+    /// zeroing in place — the fast-path replacement for
+    /// [`assemble_banded_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag.len()` does not match the cached grid size.
+    pub fn assemble_with_diag(&self, diag: &[Complex64], a: &mut BandedMatrix) {
+        assert_eq!(diag.len(), self.n, "diagonal size mismatch");
+        let nx = self.nx;
+        if a.n() == self.n && a.kl() == nx && a.ku() == nx {
+            a.reset();
+        } else {
+            a.reshape(self.n, nx, nx);
+        }
+        for (k, &d) in diag.iter().enumerate() {
+            a.set(k, k, d);
+            let ix = k % nx;
+            if ix > 0 {
+                a.set(k, k - 1, self.west[k]);
+            }
+            if ix + 1 < nx {
+                a.set(k, k + 1, self.east[k]);
+            }
+            if k >= nx {
+                a.set(k, k - nx, self.south[k]);
+            }
+            if k + nx < self.n {
+                a.set(k, k + nx, self.north[k]);
+            }
+        }
+    }
+
+    /// Matrix-free operator application `y = A x` with diagonal `diag`,
+    /// in `O(5n)` — the corner operator of the preconditioned iterative
+    /// solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the cached grid size.
+    pub fn apply(&self, diag: &[Complex64], x: &[Complex64], y: &mut [Complex64]) {
+        let n = self.n;
+        assert_eq!(diag.len(), n, "diagonal size mismatch");
+        assert_eq!(x.len(), n, "input size mismatch");
+        assert_eq!(y.len(), n, "output size mismatch");
+        let nx = self.nx;
+        vmul(diag, x, y);
+        // West/east couplings are zero at row boundaries (ix = 0 /
+        // ix = nx−1), so the shifted whole-array updates cannot couple
+        // across grid rows.
+        vmul_add(&self.west[1..], &x[..n - 1], &mut y[1..]);
+        vmul_add(&self.east[..n - 1], &x[1..], &mut y[..n - 1]);
+        vmul_add(&self.south[nx..], &x[..n - nx], &mut y[nx..]);
+        vmul_add(&self.north[..n - nx], &x[nx..], &mut y[..n - nx]);
+    }
+}
+
+/// A [`StencilCache`] bound to one corner's diagonal, usable as the
+/// matrix-free operator of [`boson_num::krylov`].
+///
+/// The symmetrised FDFD operator is complex-symmetric by construction
+/// (the east coupling of a cell equals the west coupling of its
+/// neighbour), so the transpose application is the plain application.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilOp<'a> {
+    /// Cached ε-independent couplings.
+    pub cache: &'a StencilCache,
+    /// Operator diagonal for the current corner.
+    pub diag: &'a [Complex64],
+}
+
+impl boson_num::krylov::LinearOp for StencilOp<'_> {
+    fn dim(&self) -> usize {
+        self.cache.n()
+    }
+
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.cache.apply(self.diag, x, y);
+    }
+
+    fn apply_transpose(&self, x: &[Complex64], y: &mut [Complex64]) {
+        // Complex-symmetric operator: Aᵀ = A.
+        self.cache.apply(self.diag, x, y);
+    }
+}
+
+/// A *family* of corner operators sharing one [`StencilCache`]: solve
+/// column `col` applies the operator whose diagonal is stored at
+/// `diags[(col / cols_per_diag)·n ..][..n]` — the
+/// [`boson_num::krylov::ColumnOp`] of a batched variation-corner sweep,
+/// where every corner contributes `cols_per_diag` right-hand sides (its
+/// excitations) and all corners advance in lockstep against the shared
+/// nominal preconditioner.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiCornerOp<'a> {
+    /// Cached ε-independent couplings (shared by every corner).
+    pub cache: &'a StencilCache,
+    /// Concatenated per-corner operator diagonals, `n` entries each.
+    pub diags: &'a [Complex64],
+    /// Right-hand-side columns per corner diagonal.
+    pub cols_per_diag: usize,
+}
+
+impl boson_num::krylov::ColumnOp for MultiCornerOp<'_> {
+    fn dim(&self) -> usize {
+        self.cache.n()
+    }
+
+    fn apply_col(&self, col: usize, x: &[Complex64], y: &mut [Complex64]) {
+        let n = self.cache.n();
+        let d = col / self.cols_per_diag;
+        self.cache.apply(&self.diags[d * n..(d + 1) * n], x, y);
+    }
+
+    fn apply_col_transpose(&self, col: usize, x: &[Complex64], y: &mut [Complex64]) {
+        // Complex-symmetric operator: Aᵀ = A.
+        self.apply_col(col, x, y);
     }
 }
 
@@ -338,6 +571,71 @@ mod tests {
                 assert!((ws.get(i, j) - fresh.get(i, j)).abs() < 1e-15, "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn stencil_cache_assembly_is_bit_identical_to_full_assembly() {
+        let (grid, s, mut eps, omega) = setup(26, 24);
+        for iy in 0..24 {
+            for ix in 0..26 {
+                eps[(iy, ix)] = 1.0 + 11.11 * (((ix * 7 + iy * 3) % 5) as f64) / 4.0;
+            }
+        }
+        let cache = StencilCache::build(&grid, &s, omega);
+        let mut diag = Vec::new();
+        cache.diag_into(&eps, &mut diag);
+        let mut fast = BandedMatrix::new(1, 0, 0); // wrong shape on purpose
+        cache.assemble_with_diag(&diag, &mut fast);
+        let full = assemble_banded(&grid, &s, &eps, omega);
+        for i in 0..grid.n() {
+            for j in i.saturating_sub(grid.nx)..=(i + grid.nx).min(grid.n() - 1) {
+                assert_eq!(fast.get(i, j), full.get(i, j), "entry ({i},{j}) differs");
+            }
+        }
+        // Temperature-style corner: only ε changes → only the diagonal
+        // rewrite is needed, and it must again match the full assembly.
+        let eps2 = eps.map(|&e| if e > 1.0 { e + 0.037 } else { e });
+        cache.diag_into(&eps2, &mut diag);
+        cache.assemble_with_diag(&diag, &mut fast);
+        let full2 = assemble_banded(&grid, &s, &eps2, omega);
+        for i in 0..grid.n() {
+            for j in i.saturating_sub(grid.nx)..=(i + grid.nx).min(grid.n() - 1) {
+                assert_eq!(fast.get(i, j), full2.get(i, j), "corner entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_apply_matches_assembled_matvec() {
+        let (grid, s, mut eps, omega) = setup(22, 20);
+        for iy in 0..20 {
+            for ix in 0..22 {
+                eps[(iy, ix)] = 1.0 + ((ix + iy) % 3) as f64 * 4.0;
+            }
+        }
+        let cache = StencilCache::build(&grid, &s, omega);
+        let mut diag = Vec::new();
+        cache.diag_into(&eps, &mut diag);
+        let a = assemble_banded(&grid, &s, &eps, omega);
+        let x: Vec<Complex64> = (0..grid.n())
+            .map(|k| c64((k as f64 * 0.017).sin(), (k as f64 * 0.029).cos()))
+            .collect();
+        let dense = a.matvec(&x);
+        let mut fast = vec![c64(7.0, -7.0); grid.n()]; // poisoned
+        cache.apply(&diag, &x, &mut fast);
+        let scale: f64 = dense.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (k, (p, q)) in fast.iter().zip(&dense).enumerate() {
+            assert!((*p - *q).abs() < 1e-12 * scale, "cell {k}: {p:?} vs {q:?}");
+        }
+        // Transpose application equals the plain one (complex-symmetric).
+        use boson_num::krylov::LinearOp;
+        let op = StencilOp {
+            cache: &cache,
+            diag: &diag,
+        };
+        let mut yt = vec![Complex64::ZERO; grid.n()];
+        op.apply_transpose(&x, &mut yt);
+        assert_eq!(yt, fast);
     }
 
     #[test]

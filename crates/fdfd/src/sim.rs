@@ -37,12 +37,42 @@
 //! their capacity afterwards, so a steady-state iteration of the corner
 //! loop touches the allocator not at all (verified by the
 //! `tests/zero_alloc.rs` counting-allocator test).
+//!
+//! # Corner solver strategies
+//!
+//! A variation-corner sweep solves many systems whose operators differ
+//! from the *nominal* operator only by small diagonal perturbations.
+//! [`SolverStrategy`] selects how [`SimWorkspace`] treats them:
+//!
+//! * [`SolverStrategy::Direct`] — assemble + LU-factor every corner
+//!   (`O(n·b²)` each); the exact reference path.
+//! * [`SolverStrategy::PreconditionedIterative`] — factor only the
+//!   nominal operator per `(grid, ω, epoch)` and solve every non-nominal
+//!   corner with nominal-factor-preconditioned BiCGSTAB
+//!   ([`boson_num::krylov`]), the corner operator applied matrix-free
+//!   from the cached stencil couplings
+//!   ([`crate::operator::StencilCache`]). Preconditioner sweeps run on a
+//!   single-precision factor copy for ordinary tolerances (residuals
+//!   stay `f64`). Corners are prepared one at a time with
+//!   [`SimWorkspace::prepare_corner`] + [`SimWorkspace::solve_block`]
+//!   (which falls back to a direct factorisation on a budget miss), or —
+//!   the fast path — advanced **together** through
+//!   [`SimWorkspace::batch_begin`] / [`SimWorkspace::batch_push`] /
+//!   [`SimWorkspace::batch_solve`], which packs every corner's active
+//!   columns into shared factor sweeps and reports per-corner
+//!   convergence for the caller's adaptive fallback policy.
 
 use crate::grid::SimGrid;
-use crate::operator::{assemble_banded, assemble_banded_into, scale_source, scale_source_into};
+use crate::operator::{
+    assemble_banded, scale_source, scale_source_into, MultiCornerOp, StencilCache, StencilOp,
+};
 use crate::pml::SFactors;
-use boson_num::banded::{BandedLu, BandedMatrix, SingularMatrixError};
+use boson_num::banded::{BandedLu, BandedLuF32, BandedMatrix, SingularMatrixError};
+use boson_num::krylov::{
+    bicgstab_precond_many, bicgstab_precond_transpose_many, IterativeOptions, KrylovWorkspace,
+};
 use boson_num::{Array2, Complex64};
+use serde::{Deserialize, Serialize};
 
 /// A solved `Ez` field on the simulation grid.
 #[derive(Debug, Clone)]
@@ -250,6 +280,99 @@ pub fn grad_eps_accumulate(
     }
 }
 
+/// How a [`SimWorkspace`] solves the linear systems of a variation
+/// corner.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SolverStrategy {
+    /// Assemble and LU-factor every corner operator (`O(n·b²)` per
+    /// corner) — the exact reference path.
+    #[default]
+    Direct,
+    /// Factor only the **nominal** operator per `(grid, ω, epoch)` and
+    /// solve every non-nominal corner with nominal-factor-preconditioned
+    /// BiCGSTAB, the corner operator applied matrix-free from the cached
+    /// stencil couplings. Corners whose iteration fails the budget fall
+    /// back to a direct factorisation (see
+    /// [`SimWorkspace::prepare_corner`]).
+    PreconditionedIterative {
+        /// Relative residual at which a right-hand side is converged.
+        tol: f64,
+        /// Iteration budget per solve before the direct fallback fires.
+        max_iters: usize,
+    },
+}
+
+impl SolverStrategy {
+    /// The iterative strategy with its production defaults — those of
+    /// [`IterativeOptions::default`] (`tol = 1e-6`, `max_iters = 24`).
+    pub fn preconditioned_iterative() -> Self {
+        let IterativeOptions { tol, max_iters, .. } = IterativeOptions::default();
+        SolverStrategy::PreconditionedIterative { tol, max_iters }
+    }
+}
+
+/// Corner metadata for [`SimWorkspace::prepare_corner`] under the
+/// iterative strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct CornerContext<'a> {
+    /// Permittivity of the nominal corner — the preconditioner source.
+    pub nominal_eps: &'a Array2<f64>,
+    /// Monotonic token identifying the nominal operator (typically the
+    /// optimisation iteration); the nominal factor is rebuilt whenever it
+    /// changes.
+    pub epoch: u64,
+    /// This corner *is* the nominal corner: solve on its factors
+    /// directly, no iteration.
+    pub is_nominal: bool,
+    /// Cached adaptive-policy decision: skip the iterative attempt and
+    /// factor this corner directly.
+    pub force_direct: bool,
+}
+
+/// What the solver did for the last prepared corner — the signal the
+/// adaptive fallback policy keys on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CornerSolveReport {
+    /// The corner was armed for (and at least attempted) iterative
+    /// solves.
+    pub used_iterative: bool,
+    /// An iterative solve missed its budget and the corner was re-solved
+    /// through a direct factorisation. Callers should cache this per
+    /// corner and set [`CornerContext::force_direct`] next time.
+    pub fell_back: bool,
+    /// Every right-hand side of this corner converged (batched sweeps
+    /// report non-convergence here and leave the fallback to the
+    /// caller).
+    pub converged: bool,
+    /// LU factorisations performed (nominal refresh, direct corner, or
+    /// fallback).
+    pub factorizations: usize,
+    /// Right-hand sides solved.
+    pub solves: usize,
+    /// Worst per-RHS BiCGSTAB iteration count.
+    pub max_iterations: usize,
+    /// Worst per-RHS final true relative residual of an iterative solve.
+    pub max_residual: f64,
+}
+
+/// Tolerances at least this loose run the preconditioner sweeps on the
+/// single-precision factor copy; tighter ones use the f64 factors so the
+/// iteration cannot plateau near the f32 noise floor.
+const F32_PRECOND_MIN_TOL: f64 = 1e-8;
+
+/// How the currently-prepared operator solves systems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SolveMode {
+    /// `lu` holds this corner's own factorisation.
+    DirectLu,
+    /// The corner *is* the nominal corner: solve on `nominal_lu`.
+    NominalDirect,
+    /// Matrix-free iterative path against the `nominal_lu`
+    /// preconditioner, falling back to [`SolveMode::DirectLu`] on budget
+    /// miss.
+    Iterative { tol: f64, max_iters: usize },
+}
+
 /// Reusable factor-and-solve workspace for repeated simulations on one
 /// grid (see the module docs for the ownership contract).
 ///
@@ -272,14 +395,43 @@ pub fn grad_eps_accumulate(
 ///     ws.solve_adjoint_in_place(&mut field);     // adjoint reuses factors
 /// }
 /// ```
+///
+/// Corner sweeps that want to amortise the factorisation use
+/// [`SimWorkspace::prepare_corner`] +
+/// [`SimWorkspace::solve_block`] instead of `factor` + direct solves; see
+/// [`SolverStrategy::PreconditionedIterative`].
 #[derive(Debug)]
 pub struct SimWorkspace {
     grid: Option<SimGrid>,
     omega: f64,
     sfactors: Option<SFactors>,
+    stencil: Option<StencilCache>,
     a: BandedMatrix,
     lu: BandedLu,
     factored: bool,
+    /// Factorisation of the nominal corner operator (iterative strategy).
+    nominal_lu: BandedLu,
+    /// Single-precision copy of the nominal factors — the preconditioner
+    /// application engine for ordinary tolerances (see
+    /// [`boson_num::banded::BandedLuF32`]).
+    nominal_lu32: BandedLuF32,
+    /// Epoch the nominal factor belongs to; `None` = invalid.
+    nominal_epoch: Option<u64>,
+    /// Diagonal of the currently-prepared corner operator.
+    diag: Vec<Complex64>,
+    /// RHS snapshot so a direct fallback can re-solve the same systems.
+    rhs: Vec<Complex64>,
+    krylov: KrylovWorkspace,
+    mode: SolveMode,
+    report: CornerSolveReport,
+    /// Concatenated per-corner diagonals of the current batched sweep.
+    batch_diags: Vec<Complex64>,
+    /// Corners in the current batch.
+    batch_count: usize,
+    /// Convergence controls of the current batch.
+    batch_opts: IterativeOptions,
+    /// Per-corner reports of the current batch.
+    batch_reports: Vec<CornerSolveReport>,
 }
 
 impl Default for SimWorkspace {
@@ -296,9 +448,22 @@ impl SimWorkspace {
             grid: None,
             omega: 0.0,
             sfactors: None,
+            stencil: None,
             a: BandedMatrix::new(1, 0, 0),
             lu: BandedLu::placeholder(),
             factored: false,
+            nominal_lu: BandedLu::placeholder(),
+            nominal_lu32: BandedLuF32::placeholder(),
+            nominal_epoch: None,
+            diag: Vec::new(),
+            rhs: Vec::new(),
+            krylov: KrylovWorkspace::new(),
+            mode: SolveMode::DirectLu,
+            report: CornerSolveReport::default(),
+            batch_diags: Vec::new(),
+            batch_count: 0,
+            batch_opts: IterativeOptions::default(),
+            batch_reports: Vec::new(),
         }
     }
 
@@ -332,11 +497,28 @@ impl SimWorkspace {
             .expect("SimWorkspace::factor not called")
     }
 
+    /// Recomputes the `(grid, ω)`-dependent state — PML stretch factors
+    /// and the ε-independent stencil couplings — when the geometry
+    /// changed, invalidating the cached nominal factor.
+    fn ensure_geometry(&mut self, grid: SimGrid, omega: f64) {
+        if self.grid != Some(grid) || self.omega != omega || self.stencil.is_none() {
+            let s = SFactors::new(&grid, omega);
+            self.stencil = Some(StencilCache::build(&grid, &s, omega));
+            self.sfactors = Some(s);
+            self.grid = Some(grid);
+            self.omega = omega;
+            self.nominal_epoch = None;
+        }
+    }
+
     /// Assembles and factors the operator for `eps`, reusing every buffer.
     ///
-    /// The [`SFactors`] are recomputed only when `(grid, omega)` differs
-    /// from the previous call; the band assembly and LU storage are reused
-    /// whenever the grid size is unchanged.
+    /// The [`SFactors`] and the ε-independent stencil couplings are
+    /// recomputed only when `(grid, omega)` differs from the previous
+    /// call — a corner assembly rewrites the diagonal `k₀²·ε·sx·sy` band
+    /// and copies the cached couplings instead of re-deriving them. The
+    /// band assembly and LU storage are reused whenever the grid size is
+    /// unchanged.
     ///
     /// # Errors
     ///
@@ -357,19 +539,429 @@ impl SimWorkspace {
             (grid.ny, grid.nx),
             "eps shape must be (ny, nx)"
         );
-        if self.grid != Some(grid) || self.omega != omega || self.sfactors.is_none() {
-            self.sfactors = Some(SFactors::new(&grid, omega));
-            self.grid = Some(grid);
-            self.omega = omega;
-        }
-        let s = self.sfactors.as_ref().expect("sfactors cached above");
-        assemble_banded_into(&grid, s, eps, omega, &mut self.a);
+        self.ensure_geometry(grid, omega);
+        let stencil = self.stencil.as_ref().expect("stencil cached above");
+        stencil.diag_into(eps, &mut self.diag);
+        stencil.assemble_with_diag(&self.diag, &mut self.a);
         self.factored = false;
         // The assembly is rebuilt from scratch every corner, so the band
         // image can be donated to the factorisation instead of copied.
         self.a.factor_swap_into(&mut self.lu)?;
         self.factored = true;
+        self.mode = SolveMode::DirectLu;
         Ok(())
+    }
+
+    /// Prepares a variation-corner evaluation under `strategy`.
+    ///
+    /// * [`SolverStrategy::Direct`] — identical to
+    ///   [`SimWorkspace::factor`]: assemble + LU-factor this corner.
+    /// * [`SolverStrategy::PreconditionedIterative`] — factors only the
+    ///   **nominal** operator (once per [`CornerContext::epoch`], from
+    ///   [`CornerContext::nominal_eps`]) and arms the matrix-free
+    ///   iterative path for this corner: an `O(n)` diagonal rewrite
+    ///   replaces the `O(n·b²)` factorisation. The nominal corner itself
+    ///   and corners with [`CornerContext::force_direct`] solve directly.
+    ///
+    /// Subsequent [`SimWorkspace::solve_block`] /
+    /// [`SimWorkspace::solve_block_transpose`] calls dispatch on the
+    /// prepared mode; [`SimWorkspace::last_report`] tells what happened.
+    /// Steady-state corner preparation performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a required factorisation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` does not have shape `(ny, nx)`, or if the
+    /// iterative strategy is selected without a [`CornerContext`].
+    pub fn prepare_corner(
+        &mut self,
+        grid: SimGrid,
+        omega: f64,
+        eps: &Array2<f64>,
+        strategy: SolverStrategy,
+        ctx: Option<&CornerContext<'_>>,
+    ) -> Result<(), SingularMatrixError> {
+        self.report = CornerSolveReport {
+            // The per-corner path always delivers converged results (the
+            // direct fallback guarantees it); batched sweeps overwrite
+            // this per corner.
+            converged: true,
+            ..CornerSolveReport::default()
+        };
+        match strategy {
+            SolverStrategy::Direct => {
+                self.factor(grid, omega, eps)?;
+                self.report.factorizations = 1;
+            }
+            SolverStrategy::PreconditionedIterative { tol, max_iters } => {
+                let ctx = ctx.expect("PreconditionedIterative requires a CornerContext");
+                assert_eq!(
+                    eps.shape(),
+                    (grid.ny, grid.nx),
+                    "eps shape must be (ny, nx)"
+                );
+                self.ensure_geometry(grid, omega);
+                self.factored = false;
+                if self.nominal_epoch != Some(ctx.epoch) {
+                    let stencil = self.stencil.as_ref().expect("stencil cached above");
+                    stencil.diag_into(ctx.nominal_eps, &mut self.diag);
+                    stencil.assemble_with_diag(&self.diag, &mut self.a);
+                    self.a.factor_swap_into(&mut self.nominal_lu)?;
+                    self.nominal_lu32.assign_from(&self.nominal_lu);
+                    self.nominal_epoch = Some(ctx.epoch);
+                    self.report.factorizations += 1;
+                }
+                if ctx.is_nominal {
+                    self.mode = SolveMode::NominalDirect;
+                } else {
+                    let stencil = self.stencil.as_ref().expect("stencil cached above");
+                    stencil.diag_into(eps, &mut self.diag);
+                    if ctx.force_direct {
+                        stencil.assemble_with_diag(&self.diag, &mut self.a);
+                        self.a.factor_swap_into(&mut self.lu)?;
+                        self.factored = true;
+                        self.mode = SolveMode::DirectLu;
+                        self.report.factorizations += 1;
+                    } else {
+                        self.mode = SolveMode::Iterative { tol, max_iters };
+                        self.report.used_iterative = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A X = B` for the prepared corner, `nrhs` column-major
+    /// right-hand sides in `b` (overwritten with the solutions).
+    ///
+    /// Direct modes run one batched triangular sweep; the iterative mode
+    /// runs nominal-factor-preconditioned BiCGSTAB and, if any right-hand
+    /// side misses its budget, transparently factors this corner and
+    /// re-solves everything directly (recorded in
+    /// [`SimWorkspace::last_report`] — the results are then bit-identical
+    /// to the [`SolverStrategy::Direct`] path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the direct fallback hits a
+    /// singular operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no corner is prepared or `b.len() != n·nrhs`.
+    pub fn solve_block(
+        &mut self,
+        b: &mut [Complex64],
+        nrhs: usize,
+    ) -> Result<(), SingularMatrixError> {
+        self.solve_block_impl(b, nrhs, false)
+    }
+
+    /// Transpose counterpart of [`SimWorkspace::solve_block`]: solves
+    /// `Aᵀ X = B`. The symmetrised operator makes this numerically equal
+    /// to the plain solve; it exists for independent verification and for
+    /// adjoints of non-symmetric extensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the direct fallback hits a
+    /// singular operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no corner is prepared or `b.len() != n·nrhs`.
+    pub fn solve_block_transpose(
+        &mut self,
+        b: &mut [Complex64],
+        nrhs: usize,
+    ) -> Result<(), SingularMatrixError> {
+        self.solve_block_impl(b, nrhs, true)
+    }
+
+    fn solve_block_impl(
+        &mut self,
+        b: &mut [Complex64],
+        nrhs: usize,
+        transpose: bool,
+    ) -> Result<(), SingularMatrixError> {
+        let n = self.grid.expect("SimWorkspace not prepared").n();
+        assert_eq!(b.len(), n * nrhs, "solve_block dimension mismatch");
+        self.report.solves += nrhs;
+        match self.mode {
+            SolveMode::DirectLu => {
+                assert!(self.factored, "SimWorkspace not factored");
+                if transpose {
+                    self.lu.solve_transpose_many(b, nrhs);
+                } else {
+                    self.lu.solve_many(b, nrhs);
+                }
+            }
+            SolveMode::NominalDirect => {
+                if transpose {
+                    self.nominal_lu.solve_transpose_many(b, nrhs);
+                } else {
+                    self.nominal_lu.solve_many(b, nrhs);
+                }
+            }
+            SolveMode::Iterative { tol, max_iters } => {
+                self.rhs.clear();
+                self.rhs.extend_from_slice(b);
+                let stencil = self.stencil.as_ref().expect("stencil cached");
+                let op = StencilOp {
+                    cache: stencil,
+                    diag: &self.diag,
+                };
+                let opts = IterativeOptions {
+                    tol,
+                    max_iters,
+                    use_initial_guess: false,
+                };
+                // Memory-bound triangular sweeps dominate the iteration;
+                // the f32 factor copy halves their traffic. Only very
+                // tight tolerances (which f32 preconditioning could slow
+                // down near its noise floor) pay for f64 sweeps.
+                let use_f32 = tol >= F32_PRECOND_MIN_TOL;
+                let quality = match (transpose, use_f32) {
+                    (false, true) => bicgstab_precond_many(
+                        &op,
+                        &mut self.nominal_lu32,
+                        &self.rhs,
+                        b,
+                        nrhs,
+                        &opts,
+                        &mut self.krylov,
+                    ),
+                    (true, true) => bicgstab_precond_transpose_many(
+                        &op,
+                        &mut self.nominal_lu32,
+                        &self.rhs,
+                        b,
+                        nrhs,
+                        &opts,
+                        &mut self.krylov,
+                    ),
+                    (false, false) => bicgstab_precond_many(
+                        &op,
+                        &mut self.nominal_lu,
+                        &self.rhs,
+                        b,
+                        nrhs,
+                        &opts,
+                        &mut self.krylov,
+                    ),
+                    (true, false) => bicgstab_precond_transpose_many(
+                        &op,
+                        &mut self.nominal_lu,
+                        &self.rhs,
+                        b,
+                        nrhs,
+                        &opts,
+                        &mut self.krylov,
+                    ),
+                };
+                self.report.max_iterations = self.report.max_iterations.max(quality.max_iterations);
+                self.report.max_residual = self.report.max_residual.max(quality.max_residual);
+                if !quality.converged {
+                    // Budget miss: factor this corner and re-solve the
+                    // snapshot directly; later solves of this corner go
+                    // direct as well.
+                    self.report.fell_back = true;
+                    self.report.factorizations += 1;
+                    stencil.assemble_with_diag(&self.diag, &mut self.a);
+                    self.a.factor_swap_into(&mut self.lu)?;
+                    self.factored = true;
+                    self.mode = SolveMode::DirectLu;
+                    b.copy_from_slice(&self.rhs);
+                    if transpose {
+                        self.lu.solve_transpose_many(b, nrhs);
+                    } else {
+                        self.lu.solve_many(b, nrhs);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// What the solver did for the last [`SimWorkspace::prepare_corner`]
+    /// (factorisations, iteration counts, residuals, fallback).
+    pub fn last_report(&self) -> &CornerSolveReport {
+        &self.report
+    }
+
+    /// Begins a **batched** corner sweep under the iterative strategy:
+    /// ensures the geometry caches and the nominal factor for `epoch`,
+    /// then clears the batch. Push corners with
+    /// [`SimWorkspace::batch_push`] and solve all of them in lockstep
+    /// with [`SimWorkspace::batch_solve`].
+    ///
+    /// Batching exists because the preconditioner sweeps are memory-bound
+    /// on the factor image: sweeping the packed active columns of *every*
+    /// corner at once reads the factors one time per half-iteration for
+    /// the whole sweep instead of once per corner, which is where the
+    /// corner-sweep speedup comes from.
+    ///
+    /// Returns the number of factorisations performed (1 when the nominal
+    /// factor was refreshed, else 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the nominal operator is
+    /// singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_eps` does not have shape `(ny, nx)`.
+    pub fn batch_begin(
+        &mut self,
+        grid: SimGrid,
+        omega: f64,
+        nominal_eps: &Array2<f64>,
+        epoch: u64,
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<usize, SingularMatrixError> {
+        assert_eq!(
+            nominal_eps.shape(),
+            (grid.ny, grid.nx),
+            "eps shape must be (ny, nx)"
+        );
+        self.ensure_geometry(grid, omega);
+        let mut factorizations = 0;
+        if self.nominal_epoch != Some(epoch) {
+            let stencil = self.stencil.as_ref().expect("stencil cached above");
+            stencil.diag_into(nominal_eps, &mut self.diag);
+            stencil.assemble_with_diag(&self.diag, &mut self.a);
+            self.a.factor_swap_into(&mut self.nominal_lu)?;
+            self.nominal_lu32.assign_from(&self.nominal_lu);
+            self.nominal_epoch = Some(epoch);
+            factorizations = 1;
+        }
+        self.batch_diags.clear();
+        self.batch_count = 0;
+        self.batch_reports.clear();
+        self.batch_opts = IterativeOptions {
+            tol,
+            max_iters,
+            use_initial_guess: false,
+        };
+        Ok(factorizations)
+    }
+
+    /// Appends one corner operator (its diagonal) to the current batch;
+    /// returns the corner's slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` does not match the batch grid.
+    pub fn batch_push(&mut self, eps: &Array2<f64>) -> usize {
+        let stencil = self
+            .stencil
+            .as_ref()
+            .expect("batch_begin before batch_push");
+        let n = stencil.n();
+        assert_eq!(eps.as_slice().len(), n, "eps size mismatch");
+        // diag_into semantics, appended to the batch block.
+        stencil.diag_into(eps, &mut self.diag);
+        self.batch_diags.extend_from_slice(&self.diag);
+        let slot = self.batch_count;
+        self.batch_count += 1;
+        slot
+    }
+
+    /// Number of corners in the current batch.
+    pub fn batch_len(&self) -> usize {
+        self.batch_count
+    }
+
+    /// Lockstep-solves `cols_per_corner` systems for every batched
+    /// corner: `b` holds the right-hand sides (corner-major, column-major
+    /// within a corner, `n·cols_per_corner·batch_len()` entries) and the
+    /// solutions land in `x`. With `use_initial_guess`, `x` carries warm
+    /// starts (e.g. the nominal corner's fields) on entry.
+    ///
+    /// No direct fallback happens here: corners whose columns miss the
+    /// budget are reported with `converged == false` in
+    /// [`SimWorkspace::batch_reports`] and the caller re-evaluates them
+    /// directly. Calling `batch_solve` again (e.g. for the adjoint phase)
+    /// merges into the same per-corner reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block lengths disagree with the batch.
+    pub fn batch_solve(
+        &mut self,
+        b: &[Complex64],
+        x: &mut [Complex64],
+        cols_per_corner: usize,
+        use_initial_guess: bool,
+    ) {
+        let stencil = self
+            .stencil
+            .as_ref()
+            .expect("batch_begin before batch_solve");
+        let n = stencil.n();
+        let ncols = self.batch_count * cols_per_corner;
+        assert_eq!(b.len(), n * ncols, "batch rhs block length mismatch");
+        assert_eq!(x.len(), n * ncols, "batch solution block length mismatch");
+        let op = MultiCornerOp {
+            cache: stencil,
+            diags: &self.batch_diags,
+            cols_per_diag: cols_per_corner,
+        };
+        let opts = IterativeOptions {
+            use_initial_guess,
+            ..self.batch_opts
+        };
+        let use_f32 = self.batch_opts.tol >= F32_PRECOND_MIN_TOL;
+        if use_f32 {
+            bicgstab_precond_many(
+                &op,
+                &mut self.nominal_lu32,
+                b,
+                x,
+                ncols,
+                &opts,
+                &mut self.krylov,
+            );
+        } else {
+            bicgstab_precond_many(
+                &op,
+                &mut self.nominal_lu,
+                b,
+                x,
+                ncols,
+                &opts,
+                &mut self.krylov,
+            );
+        }
+        // Merge per-column stats into per-corner reports.
+        self.batch_reports.resize(
+            self.batch_count,
+            CornerSolveReport {
+                converged: true,
+                used_iterative: true,
+                ..CornerSolveReport::default()
+            },
+        );
+        for (col, stats) in self.krylov.stats().iter().enumerate() {
+            let report = &mut self.batch_reports[col / cols_per_corner];
+            report.used_iterative = true;
+            report.solves += 1;
+            report.max_iterations = report.max_iterations.max(stats.iterations);
+            report.max_residual = report.max_residual.max(stats.residual);
+            report.converged &= stats.converged;
+        }
+    }
+
+    /// Per-corner convergence reports of the current batch (filled by
+    /// [`SimWorkspace::batch_solve`]).
+    pub fn batch_reports(&self) -> &[CornerSolveReport] {
+        &self.batch_reports
     }
 
     /// The current factorisation.
@@ -459,14 +1051,14 @@ impl SimWorkspace {
     ///
     /// # Panics
     ///
-    /// Panics if the workspace is not factored or shapes mismatch.
+    /// Panics if the workspace was never factored/prepared or shapes
+    /// mismatch.
     pub fn grad_eps_accumulate(
         &self,
         ez: &[Complex64],
         lambda: &[Complex64],
         out: &mut Array2<f64>,
     ) {
-        assert!(self.factored, "SimWorkspace not factored");
         grad_eps_accumulate(self.grid(), self.sfactors(), self.omega, ez, lambda, out);
     }
 }
@@ -721,6 +1313,263 @@ mod tests {
         for (p, q) in col0.iter().chain(&col1).zip(&g_block) {
             assert!((*p - *q).abs() < 1e-11);
         }
+    }
+
+    /// Corner permittivities around a nominal waveguide: index 0 is the
+    /// nominal map, the rest perturb it with temperature-style shifts and
+    /// a litho-style blob.
+    fn corner_family(grid: &SimGrid) -> Vec<Array2<f64>> {
+        let nominal = straight_wg(grid, 3);
+        let mut corners = vec![nominal.clone()];
+        for k in 1..4 {
+            let mut eps = nominal.clone();
+            for v in eps.as_mut_slice().iter_mut() {
+                if *v > 1.0 {
+                    *v += 0.02 * k as f64; // dn/dT-style global core shift
+                }
+            }
+            eps[(18, 20)] += 0.4 * k as f64; // local etch-style defect
+            corners.push(eps);
+        }
+        corners
+    }
+
+    #[test]
+    fn iterative_corner_solves_match_direct_within_tolerance() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let corners = corner_family(&grid);
+        let nominal = corners[0].clone();
+        let tol = 1e-9;
+        let strategy = SolverStrategy::PreconditionedIterative { tol, max_iters: 30 };
+        let mut ws = SimWorkspace::new();
+        let n = grid.n();
+        let b: Vec<Complex64> = (0..2 * n)
+            .map(|k| c64((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+            .collect();
+        for (ci, eps) in corners.iter().enumerate() {
+            let ctx = CornerContext {
+                nominal_eps: &nominal,
+                epoch: 1,
+                is_nominal: ci == 0,
+                force_direct: false,
+            };
+            ws.prepare_corner(grid, omega(), eps, strategy, Some(&ctx))
+                .unwrap();
+            let mut x_iter = b.clone();
+            ws.solve_block(&mut x_iter, 2).unwrap();
+            let report = ws.last_report().clone();
+            assert!(!report.fell_back, "corner {ci} fell back: {report:?}");
+            if ci > 0 {
+                assert!(report.used_iterative);
+                assert!(report.max_residual <= tol * 10.0, "{report:?}");
+            }
+
+            let mut ws_direct = SimWorkspace::new();
+            ws_direct.factor(grid, omega(), eps).unwrap();
+            let mut x_direct = b.clone();
+            ws_direct.solve_block(&mut x_direct, 2).unwrap();
+            let scale: f64 = x_direct.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+            let err: f64 = x_iter
+                .iter()
+                .zip(&x_direct)
+                .map(|(p, q)| (*p - *q).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                err / scale < 1e-7,
+                "corner {ci}: iterative vs direct rel err {}",
+                err / scale
+            );
+
+            // Transpose path agrees with the direct transpose solve too.
+            let mut xt_iter = b.clone();
+            ws.prepare_corner(grid, omega(), eps, strategy, Some(&ctx))
+                .unwrap();
+            ws.solve_block_transpose(&mut xt_iter, 2).unwrap();
+            let mut xt_direct = b.clone();
+            ws_direct.solve_block_transpose(&mut xt_direct, 2).unwrap();
+            let errt: f64 = xt_iter
+                .iter()
+                .zip(&xt_direct)
+                .map(|(p, q)| (*p - *q).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                errt / scale < 1e-7,
+                "corner {ci}: transpose rel err {}",
+                errt / scale
+            );
+        }
+    }
+
+    #[test]
+    fn forced_direct_corner_is_bit_identical_to_direct_strategy() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let corners = corner_family(&grid);
+        let nominal = corners[0].clone();
+        let strategy = SolverStrategy::preconditioned_iterative();
+        let n = grid.n();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| c64((k as f64 * 0.021).cos(), (k as f64 * 0.011).sin()))
+            .collect();
+        for eps in &corners[1..] {
+            let mut ws = SimWorkspace::new();
+            let ctx = CornerContext {
+                nominal_eps: &nominal,
+                epoch: 7,
+                is_nominal: false,
+                force_direct: true,
+            };
+            ws.prepare_corner(grid, omega(), eps, strategy, Some(&ctx))
+                .unwrap();
+            let report = ws.last_report();
+            assert!(!report.used_iterative);
+            assert_eq!(report.factorizations, 2, "nominal + forced direct");
+            let mut x_forced = b.clone();
+            ws.solve_block(&mut x_forced, 1).unwrap();
+
+            let mut ws_direct = SimWorkspace::new();
+            ws_direct
+                .prepare_corner(grid, omega(), eps, SolverStrategy::Direct, None)
+                .unwrap();
+            let mut x_direct = b.clone();
+            ws_direct.solve_block(&mut x_direct, 1).unwrap();
+            assert_eq!(x_forced, x_direct, "forced fallback must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn budget_miss_falls_back_to_direct_and_stays_accurate() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let nominal = straight_wg(&grid, 3);
+        // A violently perturbed corner: half the domain changes index, so
+        // the nominal factor is a poor preconditioner.
+        let mut hard = nominal.clone();
+        for iy in 0..18 {
+            for ix in 0..40 {
+                hard[(iy, ix)] += 6.0;
+            }
+        }
+        let strategy = SolverStrategy::PreconditionedIterative {
+            tol: 1e-10,
+            max_iters: 2,
+        };
+        let ctx = CornerContext {
+            nominal_eps: &nominal,
+            epoch: 3,
+            is_nominal: false,
+            force_direct: false,
+        };
+        let mut ws = SimWorkspace::new();
+        ws.prepare_corner(grid, omega(), &hard, strategy, Some(&ctx))
+            .unwrap();
+        let n = grid.n();
+        let b: Vec<Complex64> = (0..n).map(|k| c64((k as f64 * 0.01).sin(), 0.3)).collect();
+        let mut x = b.clone();
+        ws.solve_block(&mut x, 1).unwrap();
+        let report = ws.last_report().clone();
+        assert!(report.used_iterative);
+        assert!(report.fell_back, "{report:?}");
+        assert_eq!(report.factorizations, 2, "nominal + fallback");
+
+        // The fallback result is bit-identical to the direct strategy.
+        let mut ws_direct = SimWorkspace::new();
+        ws_direct.factor(grid, omega(), &hard).unwrap();
+        let mut x_direct = b.clone();
+        ws_direct.solve_block(&mut x_direct, 1).unwrap();
+        assert_eq!(x, x_direct);
+
+        // After the fallback the corner is in direct mode: later solves
+        // (e.g. the adjoint block) go through the fresh factors.
+        let mut x2 = b.clone();
+        ws.solve_block(&mut x2, 1).unwrap();
+        assert_eq!(x2, x_direct);
+        assert!(!ws.last_report().fell_back || ws.last_report().fell_back); // report persists per corner
+    }
+
+    /// The batched lockstep sweep performs exactly the per-column
+    /// arithmetic of the per-corner path (columns are coupled only
+    /// through sweep *packing*, never through values), so its results are
+    /// bit-identical.
+    #[test]
+    fn batched_sweep_is_bit_identical_to_per_corner_iterative() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let corners = corner_family(&grid);
+        let nominal = corners[0].clone();
+        let (tol, max_iters) = (1e-6, 24);
+        let n = grid.n();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| c64((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+            .collect();
+
+        // Batched: all non-nominal corners at once.
+        let mut ws = SimWorkspace::new();
+        ws.batch_begin(grid, omega(), &nominal, 5, tol, max_iters)
+            .unwrap();
+        for eps in &corners[1..] {
+            ws.batch_push(eps);
+        }
+        let ncorner = corners.len() - 1;
+        let mut rhs = vec![Complex64::ZERO; n * ncorner];
+        for c in 0..ncorner {
+            rhs[c * n..(c + 1) * n].copy_from_slice(&b);
+        }
+        let mut x = vec![Complex64::ZERO; n * ncorner];
+        ws.batch_solve(&rhs, &mut x, 1, false);
+        assert!(ws.batch_reports().iter().all(|r| r.converged));
+        assert_eq!(ws.batch_reports().len(), ncorner);
+
+        // Per-corner path, same tolerance.
+        let strategy = SolverStrategy::PreconditionedIterative { tol, max_iters };
+        for (c, eps) in corners[1..].iter().enumerate() {
+            let mut ws1 = SimWorkspace::new();
+            let ctx = CornerContext {
+                nominal_eps: &nominal,
+                epoch: 5,
+                is_nominal: false,
+                force_direct: false,
+            };
+            ws1.prepare_corner(grid, omega(), eps, strategy, Some(&ctx))
+                .unwrap();
+            let mut x1 = b.clone();
+            ws1.solve_block(&mut x1, 1).unwrap();
+            assert!(!ws1.last_report().fell_back);
+            assert_eq!(
+                &x[c * n..(c + 1) * n],
+                x1.as_slice(),
+                "corner {c} diverged from the per-corner path"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_factor_is_reused_across_corners_and_epochs() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let corners = corner_family(&grid);
+        let nominal = corners[0].clone();
+        let strategy = SolverStrategy::preconditioned_iterative();
+        let mut ws = SimWorkspace::new();
+        let mut total_factorizations = 0usize;
+        let n = grid.n();
+        let b: Vec<Complex64> = (0..n).map(|k| c64(0.1 * k as f64, -0.2)).collect();
+        for epoch in 0..2u64 {
+            for (ci, eps) in corners.iter().enumerate() {
+                let ctx = CornerContext {
+                    nominal_eps: &nominal,
+                    epoch,
+                    is_nominal: ci == 0,
+                    force_direct: false,
+                };
+                ws.prepare_corner(grid, omega(), eps, strategy, Some(&ctx))
+                    .unwrap();
+                let mut x = b.clone();
+                ws.solve_block(&mut x, 1).unwrap();
+                assert!(!ws.last_report().fell_back, "corner {ci} fell back");
+                total_factorizations += ws.last_report().factorizations;
+            }
+        }
+        // One nominal factorisation per epoch, nothing else.
+        assert_eq!(total_factorizations, 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! allocator sees no traffic from unrelated tests.
 
 use boson_fdfd::grid::SimGrid;
-use boson_fdfd::sim::SimWorkspace;
+use boson_fdfd::sim::{CornerContext, SimWorkspace, SolverStrategy};
 use boson_num::{Array2, Complex64};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -92,4 +92,131 @@ fn steady_state_solve_path_performs_no_heap_allocations() {
     // Sanity: the loop really did solve systems.
     assert!(field.iter().any(|v| v.abs() > 0.0));
     assert!(grad.as_slice().iter().any(|v| v.abs() > 0.0));
+}
+
+#[test]
+fn steady_state_iterative_corner_path_performs_no_heap_allocations() {
+    let grid = SimGrid::new(48, 40, 0.05, 8);
+    let omega = 2.0 * std::f64::consts::PI / 1.55;
+    let nominal = Array2::from_fn(grid.ny, grid.nx, |iy, _| {
+        if iy.abs_diff(grid.ny / 2) < 4 {
+            12.11
+        } else {
+            1.0
+        }
+    });
+    let mut eps = nominal.clone();
+    let g: Vec<Complex64> = (0..grid.n())
+        .map(|k| Complex64::new((k as f64 * 0.01).sin(), (k as f64 * 0.02).cos()))
+        .collect();
+    let strategy = SolverStrategy::preconditioned_iterative();
+
+    let mut ws = SimWorkspace::new();
+    let n = grid.n();
+    let mut block = vec![Complex64::ZERO; n];
+    let mut grad = Array2::zeros(grid.ny, grid.nx);
+
+    let run_epoch = |ws: &mut SimWorkspace,
+                     eps: &mut Array2<f64>,
+                     grad: &mut Array2<f64>,
+                     block: &mut Vec<Complex64>,
+                     epoch: u64| {
+        // Nominal corner + three perturbed corners per epoch, mirroring
+        // one robust iteration's sweep.
+        for corner in 0..4usize {
+            for (dst, &nom) in eps.as_mut_slice().iter_mut().zip(nominal.as_slice()) {
+                *dst = if nom > 1.0 {
+                    nom + 0.01 * corner as f64
+                } else {
+                    nom
+                };
+            }
+            let ctx = CornerContext {
+                nominal_eps: &nominal,
+                epoch,
+                is_nominal: corner == 0,
+                force_direct: false,
+            };
+            ws.prepare_corner(grid, omega, eps, strategy, Some(&ctx))
+                .unwrap();
+            block.copy_from_slice(&g);
+            ws.solve_block(block, 1).unwrap();
+            assert!(!ws.last_report().fell_back, "corner {corner} fell back");
+            ws.grad_eps_accumulate(&g, block, grad);
+        }
+    };
+
+    // Warm-up: two epochs so every buffer (factors, Krylov scratch, RHS
+    // snapshot) reaches its steady-state size.
+    for epoch in 0..2 {
+        run_epoch(&mut ws, &mut eps, &mut grad, &mut block, epoch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for epoch in 2..6 {
+        run_epoch(&mut ws, &mut eps, &mut grad, &mut block, epoch);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state iterative corner path performed {} heap allocations",
+        after - before
+    );
+    assert!(block.iter().any(|v| v.abs() > 0.0));
+    assert!(grad.as_slice().iter().any(|v| v.abs() > 0.0));
+}
+
+#[test]
+fn steady_state_batched_corner_sweep_performs_no_heap_allocations() {
+    let grid = SimGrid::new(48, 40, 0.05, 8);
+    let omega = 2.0 * std::f64::consts::PI / 1.55;
+    let nominal = Array2::from_fn(grid.ny, grid.nx, |iy, _| {
+        if iy.abs_diff(grid.ny / 2) < 4 {
+            12.11
+        } else {
+            1.0
+        }
+    });
+    let corners: Vec<Array2<f64>> = (1..4)
+        .map(|k| nominal.map(|&e| if e > 1.0 { e + 0.01 * k as f64 } else { e }))
+        .collect();
+    let n = grid.n();
+    let g: Vec<Complex64> = (0..n)
+        .map(|k| Complex64::new((k as f64 * 0.01).sin(), (k as f64 * 0.02).cos()))
+        .collect();
+    let mut rhs = vec![Complex64::ZERO; n * corners.len()];
+    for c in 0..corners.len() {
+        rhs[c * n..(c + 1) * n].copy_from_slice(&g);
+    }
+    let mut x = vec![Complex64::ZERO; n * corners.len()];
+
+    let mut ws = SimWorkspace::new();
+    let run_epoch = |ws: &mut SimWorkspace, x: &mut Vec<Complex64>, epoch: u64| {
+        ws.batch_begin(grid, omega, &nominal, epoch, 1e-6, 24)
+            .unwrap();
+        for eps in &corners {
+            ws.batch_push(eps);
+        }
+        x.fill(Complex64::ZERO);
+        ws.batch_solve(&rhs, x, 1, false);
+        assert!(ws.batch_reports().iter().all(|r| r.converged));
+    };
+
+    for epoch in 0..2 {
+        run_epoch(&mut ws, &mut x, epoch);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for epoch in 2..6 {
+        run_epoch(&mut ws, &mut x, epoch);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched corner sweep performed {} heap allocations",
+        after - before
+    );
+    assert!(x.iter().any(|v| v.abs() > 0.0));
 }

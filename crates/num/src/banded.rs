@@ -235,16 +235,31 @@ impl BandedMatrix {
     ///
     /// Panics if `x.len() != n`.
     pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(x.len(), self.n, "matvec dimension mismatch");
         let mut y = vec![Complex64::ZERO; self.n];
-        for j in 0..self.n {
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free matrix–vector product `y = A x`, overwriting `y`.
+    ///
+    /// Sweeps the band storage column by column (each column is contiguous,
+    /// so the inner update is a vectorisable [`axpy`]); this is the
+    /// operator application behind the matrix-free iterative solver in
+    /// [`crate::krylov`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n` or `y.len() != n`.
+    pub fn matvec_into(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(x.len(), self.n, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.n, "matvec output dimension mismatch");
+        y.fill(Complex64::ZERO);
+        for (j, &xj) in x.iter().enumerate() {
             let ilo = j.saturating_sub(self.ku);
             let ihi = (j + self.kl).min(self.n - 1);
-            for i in ilo..=ihi {
-                y[i] += self.ab[self.idx(i, j)] * x[j];
-            }
+            let base = self.idx(ilo, j);
+            crate::complex::axpy(xj, &self.ab[base..=base + (ihi - ilo)], &mut y[ilo..=ihi]);
         }
-        y
     }
 
     /// Transposed matrix–vector product `y = Aᵀ x`.
@@ -253,16 +268,29 @@ impl BandedMatrix {
     ///
     /// Panics if `x.len() != n`.
     pub fn matvec_transpose(&self, x: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(x.len(), self.n, "matvec_transpose dimension mismatch");
         let mut y = vec![Complex64::ZERO; self.n];
-        for j in 0..self.n {
+        self.matvec_transpose_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free transposed matrix–vector product `y = Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n` or `y.len() != n`.
+    pub fn matvec_transpose_into(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(x.len(), self.n, "matvec_transpose dimension mismatch");
+        assert_eq!(
+            y.len(),
+            self.n,
+            "matvec_transpose output dimension mismatch"
+        );
+        for (j, yj) in y.iter_mut().enumerate() {
             let ilo = j.saturating_sub(self.ku);
             let ihi = (j + self.kl).min(self.n - 1);
-            for i in ilo..=ihi {
-                y[j] += self.ab[self.idx(i, j)] * x[i];
-            }
+            let base = self.idx(ilo, j);
+            *yj = dotu(&self.ab[base..=base + (ihi - ilo)], &x[ilo..=ihi]);
         }
-        y
     }
 
     /// Maximum relative asymmetry `|A - Aᵀ|/|A|` over the band — used to
@@ -428,6 +456,19 @@ fn factor_kernel(
     Ok(())
 }
 
+/// Default number of right-hand-side columns per factor sweep in
+/// [`BandedLu::solve_many`] / [`BandedLu::solve_transpose_many`].
+///
+/// Each factor column touches a `kl + ku + 1` window in every RHS; 32
+/// columns keep those windows comfortably inside L2 for FDFD-scale
+/// bandwidths while amortising the factor reads. The
+/// `solve_many_rhs_blocking` criterion sweep
+/// (`crates/bench/benches/solver.rs`, results in `BENCH_solver.json`)
+/// shows a flat 16–32 optimum (~13% over block 4 at 64 RHS on a 64×64
+/// grid); 32 is taken from that plateau so a full variation-corner batch
+/// (≤ ~32 active columns) still costs a single factor read per sweep.
+pub const RHS_BLOCK: usize = 32;
+
 /// The LU factorisation of a [`BandedMatrix`], ready to solve systems.
 #[derive(Clone)]
 pub struct BandedLu {
@@ -481,17 +522,50 @@ impl BandedLu {
     /// Solves `A X = B` in place for `nrhs` right-hand sides stored
     /// column-major in `b` (`b.len() == n·nrhs`, column stride `n`).
     ///
-    /// All right-hand sides advance through a **single sweep** over the
+    /// Right-hand sides advance through a **single sweep** over the
     /// factors (the `zgbtrs` blocking), so the factor data is read once
     /// per column instead of once per column *per RHS* — the batched form
     /// used for forward+adjoint pairs and multi-excitation objectives.
+    /// Very large batches are processed [`RHS_BLOCK`] columns at a time so
+    /// the active window of every right-hand side stays cache-resident
+    /// (see [`BandedLu::solve_many_blocked`]).
     ///
     /// # Panics
     ///
     /// Panics if `b.len() != n * nrhs`.
     pub fn solve_many(&self, b: &mut [Complex64], nrhs: usize) {
+        self.solve_many_blocked(b, nrhs, RHS_BLOCK);
+    }
+
+    /// [`BandedLu::solve_many`] with an explicit RHS block size: the batch
+    /// is split into chunks of at most `block` columns and each chunk gets
+    /// its own factor sweep.
+    ///
+    /// Per column `j` of the factors the substitution touches a window of
+    /// `kl + ku + 1` entries in every right-hand side; once
+    /// `nrhs × window` outgrows L2 those windows start evicting each
+    /// other and the sweep turns memory-bound. Blocking trades extra
+    /// factor reads (one sweep per chunk) for resident windows, which wins
+    /// for large multi-wavelength batches. Columns are solved
+    /// independently, so any block size gives bit-identical results; the
+    /// [`RHS_BLOCK`] default was picked by the `solve_many_rhs_blocking`
+    /// sweep in the `solver` criterion bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * nrhs` or `block == 0`.
+    pub fn solve_many_blocked(&self, b: &mut [Complex64], nrhs: usize, block: usize) {
+        assert_eq!(b.len(), self.n * nrhs, "solve_many dimension mismatch");
+        assert!(block > 0, "RHS block size must be positive");
+        for chunk in b.chunks_mut(self.n * block) {
+            self.solve_sweep(chunk);
+        }
+    }
+
+    /// One factor sweep over all columns of `b` (the pre-blocking
+    /// [`BandedLu::solve_many`] body).
+    fn solve_sweep(&self, b: &mut [Complex64]) {
         let n = self.n;
-        assert_eq!(b.len(), n * nrhs, "solve_many dimension mismatch");
         let kl = self.kl;
         let ldab = self.ldab();
         let kv = kl + self.ku;
@@ -534,14 +608,38 @@ impl BandedLu {
     }
 
     /// Transpose counterpart of [`BandedLu::solve_many`]: solves
-    /// `Aᵀ X = B` for `nrhs` column-major right-hand sides in one sweep.
+    /// `Aᵀ X = B` for `nrhs` column-major right-hand sides, sweeping the
+    /// factors once per [`RHS_BLOCK`]-column chunk.
     ///
     /// # Panics
     ///
     /// Panics if `b.len() != n * nrhs`.
     pub fn solve_transpose_many(&self, b: &mut [Complex64], nrhs: usize) {
+        self.solve_transpose_many_blocked(b, nrhs, RHS_BLOCK);
+    }
+
+    /// [`BandedLu::solve_transpose_many`] with an explicit RHS block size
+    /// (see [`BandedLu::solve_many_blocked`] for the trade-off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * nrhs` or `block == 0`.
+    pub fn solve_transpose_many_blocked(&self, b: &mut [Complex64], nrhs: usize, block: usize) {
+        assert_eq!(
+            b.len(),
+            self.n * nrhs,
+            "solve_transpose_many dimension mismatch"
+        );
+        assert!(block > 0, "RHS block size must be positive");
+        for chunk in b.chunks_mut(self.n * block) {
+            self.solve_transpose_sweep(chunk);
+        }
+    }
+
+    /// One factor sweep of the transpose substitution over all columns of
+    /// `b`.
+    fn solve_transpose_sweep(&self, b: &mut [Complex64]) {
         let n = self.n;
-        assert_eq!(b.len(), n * nrhs, "solve_transpose_many dimension mismatch");
         let kl = self.kl;
         let ldab = self.ldab();
         let kv = kl + self.ku;
@@ -584,6 +682,216 @@ impl BandedLu {
         let mut x = b.to_vec();
         self.solve_transpose(&mut x);
         x
+    }
+}
+
+/// A single-precision copy of a [`BandedLu`], used as an *approximate*
+/// preconditioner application engine.
+///
+/// Triangular sweeps over FDFD-scale factors are memory-bound: the factor
+/// image is read once per sweep and a 2-D operator's factors run to tens
+/// of megabytes. Storing the factors in `f32` halves that traffic and
+/// doubles the SIMD width, roughly halving the cost of every
+/// preconditioner application — while the *preconditioned Krylov
+/// iteration* still runs in `f64` and measures true `f64` residuals, so
+/// solution accuracy is set by the outer iteration's tolerance, not by
+/// the `f32` storage (the factors are approximate qua preconditioner
+/// anyway). Do **not** use this type for direct solves.
+///
+/// The right-hand-side conversion scratch lives inside the struct, so
+/// applies take `&mut self` and perform no heap allocation after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct BandedLuF32 {
+    n: usize,
+    kl: usize,
+    ku: usize,
+    /// Interleaved `(re, im)` single-precision factor image,
+    /// `2·ldab·n` floats.
+    ab: Vec<f32>,
+    ipiv: Vec<usize>,
+    /// Interleaved f32 RHS scratch for whole-block applies.
+    scratch: Vec<f32>,
+}
+
+impl BandedLuF32 {
+    /// An empty slot; fill with [`BandedLuF32::assign_from`].
+    pub fn placeholder() -> Self {
+        Self::default()
+    }
+
+    /// Matrix dimension (0 until assigned).
+    #[inline(always)]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Downconverts `lu`'s factors into this slot, reusing its buffers
+    /// (no heap allocation once warm). The pivot sequence is shared —
+    /// this is a storage conversion, not a refactorisation.
+    pub fn assign_from(&mut self, lu: &BandedLu) {
+        self.n = lu.n;
+        self.kl = lu.kl;
+        self.ku = lu.ku;
+        self.ab.clear();
+        self.ab
+            .extend(lu.ab.iter().flat_map(|z| [z.re as f32, z.im as f32]));
+        self.ipiv.clear();
+        self.ipiv.extend_from_slice(&lu.ipiv);
+    }
+
+    #[inline(always)]
+    fn ldab(&self) -> usize {
+        2 * self.kl + self.ku + 1
+    }
+
+    /// Applies `M⁻¹` to `nrhs` column-major `f64` right-hand sides in
+    /// place: converts to `f32`, sweeps the single-precision factors, and
+    /// converts back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n·nrhs` or the slot was never assigned.
+    pub fn solve_many(&mut self, b: &mut [Complex64], nrhs: usize) {
+        self.solve_impl(b, nrhs, false);
+    }
+
+    /// Transpose counterpart of [`BandedLuF32::solve_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n·nrhs` or the slot was never assigned.
+    pub fn solve_transpose_many(&mut self, b: &mut [Complex64], nrhs: usize) {
+        self.solve_impl(b, nrhs, true);
+    }
+
+    fn solve_impl(&mut self, b: &mut [Complex64], nrhs: usize, transpose: bool) {
+        assert!(self.n > 0, "BandedLuF32 never assigned");
+        assert_eq!(b.len(), self.n * nrhs, "solve dimension mismatch");
+        self.scratch.clear();
+        self.scratch
+            .extend(b.iter().flat_map(|z| [z.re as f32, z.im as f32]));
+        // Block the RHS like the f64 path so huge batches stay resident.
+        let cols_per_chunk = RHS_BLOCK;
+        let chunk_len = 2 * self.n * cols_per_chunk;
+        let (n, kl, ku, ldab) = (self.n, self.kl, self.ku, self.ldab());
+        for chunk in self.scratch.chunks_mut(chunk_len) {
+            if transpose {
+                sweep32_transpose(n, kl, ku, ldab, &self.ab, &self.ipiv, chunk);
+            } else {
+                sweep32(n, kl, ku, ldab, &self.ab, &self.ipiv, chunk);
+            }
+        }
+        for (dst, pair) in b.iter_mut().zip(self.scratch.chunks_exact(2)) {
+            *dst = Complex64::new(pair[0] as f64, pair[1] as f64);
+        }
+    }
+}
+
+/// `y[i] -= a·x[i]` over interleaved-complex `f32` slices.
+#[inline]
+fn axpy_neg32(a_re: f32, a_im: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yp, xp) in y.chunks_exact_mut(2).zip(x.chunks_exact(2)) {
+        yp[0] -= xp[0] * a_re - xp[1] * a_im;
+        yp[1] -= xp[0] * a_im + xp[1] * a_re;
+    }
+}
+
+/// Unconjugated dot product over interleaved-complex `f32` slices.
+#[inline]
+fn dotu32(x: &[f32], y: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut re = 0.0f32;
+    let mut im = 0.0f32;
+    for (xp, yp) in x.chunks_exact(2).zip(y.chunks_exact(2)) {
+        re += xp[0] * yp[0] - xp[1] * yp[1];
+        im += xp[0] * yp[1] + xp[1] * yp[0];
+    }
+    (re, im)
+}
+
+/// Single-precision port of the forward sweep (`solve_sweep`) over
+/// interleaved-complex storage. `b` holds whole columns (`2·n` floats
+/// each).
+fn sweep32(n: usize, kl: usize, ku: usize, ldab: usize, ab: &[f32], ipiv: &[usize], b: &mut [f32]) {
+    let kv = kl + ku;
+    // L x = P b.
+    for j in 0..n {
+        let p = ipiv[j];
+        let km = kl.min(n - 1 - j);
+        let col = 2 * (j * ldab + kv);
+        let l = &ab[col + 2..col + 2 + 2 * km];
+        for rhs in b.chunks_exact_mut(2 * n) {
+            if p != j {
+                rhs.swap(2 * j, 2 * p);
+                rhs.swap(2 * j + 1, 2 * p + 1);
+            }
+            let (bre, bim) = (rhs[2 * j], rhs[2 * j + 1]);
+            axpy_neg32(bre, bim, l, &mut rhs[2 * (j + 1)..2 * (j + 1 + km)]);
+        }
+    }
+    // U x = b.
+    for j in (0..n).rev() {
+        let col = 2 * (j * ldab + kv);
+        let (dre, dim_) = (ab[col], ab[col + 1]);
+        let dn = dre * dre + dim_ * dim_;
+        let (ire, iim) = (dre / dn, -dim_ / dn);
+        let reach = kv.min(j);
+        let u = &ab[col - 2 * reach..col];
+        for rhs in b.chunks_exact_mut(2 * n) {
+            let (bre, bim) = (rhs[2 * j], rhs[2 * j + 1]);
+            let re = bre * ire - bim * iim;
+            let im = bre * iim + bim * ire;
+            rhs[2 * j] = re;
+            rhs[2 * j + 1] = im;
+            axpy_neg32(re, im, u, &mut rhs[2 * (j - reach)..2 * j]);
+        }
+    }
+}
+
+/// Single-precision port of the transpose sweep
+/// (`solve_transpose_sweep`).
+fn sweep32_transpose(
+    n: usize,
+    kl: usize,
+    ku: usize,
+    ldab: usize,
+    ab: &[f32],
+    ipiv: &[usize],
+    b: &mut [f32],
+) {
+    let kv = kl + ku;
+    // Uᵀ y = b: forward substitution.
+    for j in 0..n {
+        let col = 2 * (j * ldab + kv);
+        let (dre, dim_) = (ab[col], ab[col + 1]);
+        let dn = dre * dre + dim_ * dim_;
+        let (ire, iim) = (dre / dn, -dim_ / dn);
+        let reach = kv.min(j);
+        let u = &ab[col - 2 * reach..col];
+        for rhs in b.chunks_exact_mut(2 * n) {
+            let (sre, sim) = dotu32(u, &rhs[2 * (j - reach)..2 * j]);
+            let bre = rhs[2 * j] - sre;
+            let bim = rhs[2 * j + 1] - sim;
+            rhs[2 * j] = bre * ire - bim * iim;
+            rhs[2 * j + 1] = bre * iim + bim * ire;
+        }
+    }
+    // Lᵀ z = y: backward, applying pivots in reverse.
+    for j in (0..n).rev() {
+        let km = kl.min(n - 1 - j);
+        let col = 2 * (j * ldab + kv);
+        let p = ipiv[j];
+        let l = &ab[col + 2..col + 2 + 2 * km];
+        for rhs in b.chunks_exact_mut(2 * n) {
+            let (sre, sim) = dotu32(l, &rhs[2 * (j + 1)..2 * (j + 1 + km)]);
+            rhs[2 * j] -= sre;
+            rhs[2 * j + 1] -= sim;
+            if p != j {
+                rhs.swap(2 * j, 2 * p);
+                rhs.swap(2 * j + 1, 2 * p + 1);
+            }
+        }
     }
 }
 
@@ -1009,6 +1317,92 @@ mod tests {
                 assert!((*p - *q).abs() < 1e-12, "rhs {r} diverged");
             }
         }
+    }
+
+    #[test]
+    fn blocked_solve_many_matches_unblocked_for_any_block_size() {
+        let n = 24;
+        let a = random_banded(n, 3, 3, 123);
+        let lu = a.factor().unwrap();
+        let nrhs = 11;
+        let block0: Vec<Complex64> = (0..n * nrhs)
+            .map(|k| c64((k as f64 * 0.07).sin(), (k as f64 * 0.03).cos()))
+            .collect();
+        let mut reference = block0.clone();
+        lu.solve_many_blocked(&mut reference, nrhs, nrhs); // single sweep
+        let mut reference_t = block0.clone();
+        lu.solve_transpose_many_blocked(&mut reference_t, nrhs, nrhs);
+        for block in [1usize, 2, 3, 4, 8, 16, 64] {
+            let mut b = block0.clone();
+            lu.solve_many_blocked(&mut b, nrhs, block);
+            assert_eq!(b, reference, "block={block}");
+            let mut bt = block0.clone();
+            lu.solve_transpose_many_blocked(&mut bt, nrhs, block);
+            assert_eq!(bt, reference_t, "transpose block={block}");
+        }
+        // The default path is one of them.
+        let mut b = block0.clone();
+        lu.solve_many(&mut b, nrhs);
+        assert_eq!(b, reference);
+    }
+
+    #[test]
+    fn f32_preconditioner_tracks_f64_solves_to_single_precision() {
+        let n = 40;
+        let a = random_banded(n, 4, 4, 2024);
+        let lu = a.clone().factor().unwrap();
+        let mut lu32 = BandedLuF32::placeholder();
+        lu32.assign_from(&lu);
+        assert_eq!(lu32.n(), n);
+        let nrhs = 3;
+        let b0: Vec<Complex64> = (0..n * nrhs)
+            .map(|k| c64((k as f64 * 0.11).sin(), (k as f64 * 0.07).cos()))
+            .collect();
+        for transpose in [false, true] {
+            let mut exact = b0.clone();
+            let mut approx = b0.clone();
+            if transpose {
+                lu.solve_transpose_many(&mut exact, nrhs);
+                lu32.solve_transpose_many(&mut approx, nrhs);
+            } else {
+                lu.solve_many(&mut exact, nrhs);
+                lu32.solve_many(&mut approx, nrhs);
+            }
+            let scale: f64 = exact.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+            let err: f64 = exact
+                .iter()
+                .zip(&approx)
+                .map(|(p, q)| (*p - *q).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                err / scale < 1e-5,
+                "transpose={transpose}: f32 sweep error {}",
+                err / scale
+            );
+        }
+        // Reassignment reuses buffers.
+        let ab_ptr = {
+            lu32.assign_from(&lu);
+            lu32.ab.as_ptr()
+        };
+        lu32.assign_from(&lu);
+        assert_eq!(ab_ptr, lu32.ab.as_ptr(), "f32 factor storage reallocated");
+    }
+
+    #[test]
+    fn matvec_into_matches_allocating_matvec() {
+        let n = 31;
+        let a = random_banded(n, 4, 2, 17);
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| c64((i as f64 * 0.2).cos(), (i as f64 * 0.11).sin()))
+            .collect();
+        let mut y = vec![c64(9.0, 9.0); n]; // poisoned: must be overwritten
+        a.matvec_into(&x, &mut y);
+        assert_eq!(y, a.matvec(&x));
+        let mut yt = vec![c64(-3.0, 7.0); n];
+        a.matvec_transpose_into(&x, &mut yt);
+        assert_eq!(yt, a.matvec_transpose(&x));
     }
 
     #[test]

@@ -367,6 +367,51 @@ pub fn axpy_neg(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
     }
 }
 
+/// `y[i] += a·x[i]` over exact-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        yi.re += xi.re * a.re - xi.im * a.im;
+        yi.im += xi.re * a.im + xi.im * a.re;
+    }
+}
+
+/// Element-wise fused multiply-add `y[i] += a[i]·x[i]` — the stencil
+/// (diagonal-band) application kernel.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn vmul_add(a: &[Complex64], x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(a.len(), x.len(), "vmul_add length mismatch");
+    assert_eq!(a.len(), y.len(), "vmul_add length mismatch");
+    for ((yi, &ai), &xi) in y.iter_mut().zip(a).zip(x) {
+        yi.re += ai.re * xi.re - ai.im * xi.im;
+        yi.im += ai.re * xi.im + ai.im * xi.re;
+    }
+}
+
+/// Element-wise multiply `y[i] = a[i]·x[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn vmul(a: &[Complex64], x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(a.len(), x.len(), "vmul length mismatch");
+    assert_eq!(a.len(), y.len(), "vmul length mismatch");
+    for ((yi, &ai), &xi) in y.iter_mut().zip(a).zip(x) {
+        yi.re = ai.re * xi.re - ai.im * xi.im;
+        yi.im = ai.re * xi.im + ai.im * xi.re;
+    }
+}
+
 /// `x[i] *= a` in place.
 #[inline]
 pub fn scal(a: Complex64, x: &mut [Complex64]) {
@@ -524,5 +569,33 @@ mod tests {
         let d = dotu(&x, &expect);
         let manual: Complex64 = x.iter().zip(&expect).map(|(&p, &q)| p * q).sum();
         assert!((d - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_vector_kernels_match_scalar_ops() {
+        let a = c64(-0.4, 0.9);
+        let x: Vec<Complex64> = (0..13)
+            .map(|i| c64(0.2 * i as f64, -0.7 + i as f64))
+            .collect();
+        let w: Vec<Complex64> = (0..13)
+            .map(|i| c64(1.0 - i as f64, 0.05 * i as f64))
+            .collect();
+        let mut y: Vec<Complex64> = (0..13).map(|i| c64(i as f64, -(i as f64))).collect();
+        let expect: Vec<Complex64> = y.iter().zip(&x).map(|(&yi, &xi)| yi + xi * a).collect();
+        axpy(a, &x, &mut y);
+        for (p, q) in y.iter().zip(&expect) {
+            assert!((*p - *q).abs() < 1e-14);
+        }
+
+        let mut z = vec![Complex64::ZERO; 13];
+        vmul(&w, &x, &mut z);
+        for ((p, &wi), &xi) in z.iter().zip(&w).zip(&x) {
+            assert!((*p - wi * xi).abs() < 1e-14);
+        }
+        let snapshot = y.clone();
+        vmul_add(&w, &x, &mut y);
+        for (((p, &yi0), &wi), &xi) in y.iter().zip(&snapshot).zip(&w).zip(&x) {
+            assert!((*p - (yi0 + wi * xi)).abs() < 1e-14);
+        }
     }
 }

@@ -10,6 +10,9 @@
 //! * [`banded`] — LAPACK-style complex banded LU with partial pivoting, the
 //!   direct solver behind the FDFD electromagnetic simulations (forward
 //!   *and* transpose solves, so adjoint systems reuse the factorisation);
+//! * [`krylov`] — preconditioned multi-RHS BiCGSTAB taking any
+//!   [`banded::BandedLu`] as preconditioner; amortises one nominal
+//!   factorisation across many nearby variation-corner solves;
 //! * [`tridiag`] — symmetric tridiagonal eigensolver (Sturm bisection +
 //!   inverse iteration) used by the slab waveguide mode solver;
 //! * [`jacobi`] — cyclic Jacobi eigensolver for the EOLE covariance
@@ -48,6 +51,7 @@ pub mod complex;
 pub mod dense;
 pub mod fft;
 pub mod jacobi;
+pub mod krylov;
 pub mod stats;
 pub mod tridiag;
 

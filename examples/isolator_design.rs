@@ -27,6 +27,7 @@ fn main() {
         lr: 0.03,
         seed: 7,
         threads: 8,
+        ..BaseRunConfig::default()
     };
 
     println!("optimising the isolator for {iterations} iterations…");

@@ -28,6 +28,7 @@ fn main() {
         lr: 0.03,
         seed: 7,
         threads: 8,
+        ..BaseRunConfig::default()
     };
     let run = run_method(&compiled, &MethodSpec::boson1(iterations), &base);
 

@@ -51,6 +51,13 @@ END {
         printf ",\n  \"corner_loop_workspace_ns\": %.1f", fast
         printf ",\n  \"corner_loop_speedup\": %.3f", naive / fast
     }
+    direct = median["one_robust_iteration/corner_sweep_27sims"]
+    iter = median["one_robust_iteration/corner_iterative_27sims"]
+    if (direct > 0 && iter > 0) {
+        printf ",\n  \"corner_sweep_direct_ns\": %.1f", direct
+        printf ",\n  \"corner_sweep_iterative_ns\": %.1f", iter
+        printf ",\n  \"corner_iterative_speedup\": %.3f", direct / iter
+    }
     printf "\n}\n"
 }
 ' "$RAW" > "$OUT"
@@ -64,5 +71,14 @@ if [ -n "${SPEEDUP:-}" ]; then
         || { echo "FAIL: speedup ${SPEEDUP}x below the 1.5x acceptance floor" >&2; exit 1; }
 else
     echo "FAIL: corner_loop medians missing from bench output" >&2
+    exit 1
+fi
+ITER_SPEEDUP=$(awk '/corner_iterative_speedup/ { s = $0; sub(/.*: /, "", s); sub(/,.*/, "", s); print s }' "$OUT")
+if [ -n "${ITER_SPEEDUP:-}" ]; then
+    echo "corner-sweep speedup (direct / preconditioned-iterative): ${ITER_SPEEDUP}x"
+    awk -v s="$ITER_SPEEDUP" 'BEGIN { exit (s >= 2.0 ? 0 : 1) }' \
+        || { echo "FAIL: iterative corner-sweep speedup ${ITER_SPEEDUP}x below the 2.0x acceptance floor" >&2; exit 1; }
+else
+    echo "FAIL: corner-sweep medians missing from bench output" >&2
     exit 1
 fi

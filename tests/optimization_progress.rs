@@ -11,6 +11,7 @@ fn base(iters: usize) -> BaseRunConfig {
         lr: 0.04,
         seed: 7,
         threads: 2,
+        ..BaseRunConfig::default()
     }
 }
 
