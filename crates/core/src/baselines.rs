@@ -382,6 +382,9 @@ pub fn run_method(
         seed: base.seed,
         threads: base.threads,
         solver: base.solver,
+        // The paper's methods are single-wavelength; broadband runs build
+        // their RunnerConfig directly (see examples/broadband_bend.rs).
+        spectral_agg: crate::objective::SpectralAggregation::Mean,
     };
 
     let mut rng = StdRng::seed_from_u64(base.seed);

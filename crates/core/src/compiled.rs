@@ -8,10 +8,23 @@
 //! excitation with a straight-waveguide reference run. Evaluation then
 //! costs one factorisation plus `2·(number of excitations)` triangular
 //! solves when gradients are requested.
+//!
+//! # Spectral axis
+//!
+//! Ports, modes, sources and the launched-power normalisation are all
+//! ω-dependent, so a broadband problem compiles **once per wavelength**:
+//! [`CompiledProblem::compile_spectral`] calibrates every sample of a
+//! [`SpectralAxis`] up front, and each evaluation entry point takes (or
+//! defaults) an index into that axis. `K = 1`
+//! ([`CompiledProblem::compile`]) reproduces the single-ω behaviour
+//! bit-identically, and a finished-design wavelength sweep over a
+//! spectrally-compiled problem costs `K` solves with **no** recompiles
+//! (see [`crate::spectrum::wavelength_sweep`]).
 
 use crate::fabchain::assemble_eps;
 use crate::objective::Readings;
 use crate::problem::{DeviceProblem, MonitorKind};
+use boson_fab::SpectralAxis;
 use boson_fdfd::monitor::ModalMonitor;
 use boson_fdfd::operator::scale_source_into;
 use boson_fdfd::sim::{CornerContext, CornerSolveReport, SimWorkspace, Simulation, SolverStrategy};
@@ -53,7 +66,8 @@ pub struct Evaluation {
 pub struct CornerSolve<'a> {
     /// Solver strategy for this corner.
     pub strategy: SolverStrategy,
-    /// Permittivity of the nominal corner this epoch.
+    /// Permittivity of the nominal corner this epoch (ω-independent —
+    /// only the operator around it changes with the wavelength).
     pub nominal_eps: &'a Array2<f64>,
     /// Token identifying the nominal operator (typically the iteration).
     pub epoch: u64,
@@ -61,10 +75,14 @@ pub struct CornerSolve<'a> {
     pub is_nominal: bool,
     /// Cached adaptive-policy decision: go straight to a direct factor.
     pub force_direct: bool,
+    /// Index of this corner's wavelength in the compiled spectral axis
+    /// (`0` for single-ω problems).
+    pub omega_idx: usize,
 }
 
 /// Directions for evaluating a whole corner set in one batched sweep
-/// (see [`CompiledProblem::evaluate_corner_set`]).
+/// (see [`CompiledProblem::evaluate_corner_set`]). All corners of one set
+/// share a wavelength; a broadband iteration runs one set per ω.
 #[derive(Debug, Clone, Copy)]
 pub struct CornerSetSolve<'a> {
     /// Relative residual at which a right-hand side is converged.
@@ -80,6 +98,9 @@ pub struct CornerSetSolve<'a> {
     /// Per-corner cached policy decisions: `true` pins a corner to the
     /// direct path.
     pub force_direct: &'a [bool],
+    /// Index of this set's wavelength in the compiled spectral axis
+    /// (`0` for single-ω problems).
+    pub omega_idx: usize,
 }
 
 /// Reusable buffers for repeated [`CompiledProblem::evaluate_eps_scratch`]
@@ -117,8 +138,10 @@ pub struct EvalScratch {
     /// The nominal corner's adjoint solutions (unpacked to excitation
     /// order) — warm starts for the batched adjoint solves.
     warm_adj: Vec<Complex64>,
-    /// Epoch the warm-start blocks belong to.
-    warm_epoch: Option<u64>,
+    /// `(epoch, omega_idx)` the warm-start blocks belong to: warm starts
+    /// only apply to the same wavelength's batch (fields at a detuned ω
+    /// are a different solution family).
+    warm_key: Option<(u64, usize)>,
 }
 
 impl EvalScratch {
@@ -128,29 +151,155 @@ impl EvalScratch {
     }
 }
 
-/// A benchmark compiled against its background geometry.
-pub struct CompiledProblem {
-    problem: DeviceProblem,
+/// The ω-dependent half of a compiled benchmark: one wavelength's port
+/// modes bound into sources and monitors, plus the launched-power
+/// normalisation at that wavelength.
+struct OmegaCal {
+    omega: f64,
     sources: Vec<ModalSource>,
     monitors: Vec<Vec<(String, BoundMonitor)>>,
     /// Launched power per excitation (straight-waveguide calibration).
     norm_power: Vec<f64>,
 }
 
+/// A benchmark compiled against its background geometry, at one or more
+/// operating wavelengths (see the module docs' *Spectral axis* section).
+pub struct CompiledProblem {
+    problem: DeviceProblem,
+    /// The spectral axis this problem was compiled for.
+    axis: SpectralAxis,
+    /// One calibration per wavelength sample, ascending λ (single entry
+    /// at the problem's own ω for [`CompiledProblem::compile`]).
+    cals: Vec<OmegaCal>,
+    /// Index of the nominal (centre) wavelength in `cals`.
+    nominal_omega_idx: usize,
+}
+
 impl std::fmt::Debug for CompiledProblem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CompiledProblem({}, {} excitations)",
+            "CompiledProblem({}, {} excitations, {} wavelengths)",
             self.problem.name,
-            self.sources.len()
+            self.cals[self.nominal_omega_idx].sources.len(),
+            self.cals.len()
         )
     }
 }
 
+/// Solves the port modes at `omega`, binds sources/monitors and runs the
+/// straight-waveguide normalisation references — everything ω-dependent
+/// about a compiled benchmark.
+fn calibrate_omega(
+    problem: &DeviceProblem,
+    eps_bg: &Array2<f64>,
+    omega: f64,
+) -> Result<OmegaCal, SingularMatrixError> {
+    let grid = problem.grid;
+    // Solve modes at every port.
+    let port_modes: Vec<_> = problem
+        .ports
+        .iter()
+        .map(|p| p.solve_modes(&grid, eps_bg, omega, problem.mode_count))
+        .collect();
+
+    let mut sources = Vec::new();
+    let mut monitors = Vec::new();
+    for exc in &problem.excitations {
+        let src_modes = &port_modes[exc.source_port];
+        assert!(
+            exc.source_mode < src_modes.len(),
+            "{}: port {} supports {} modes at ω={omega:.4}, excitation needs mode {}",
+            problem.name,
+            problem.ports[exc.source_port].name,
+            src_modes.len(),
+            exc.source_mode
+        );
+        sources.push(ModalSource::new(
+            problem.ports[exc.source_port].clone(),
+            src_modes[exc.source_mode].clone(),
+            exc.source_direction,
+        ));
+        let mut bound = Vec::new();
+        for spec in &exc.monitors {
+            let bm = match &spec.kind {
+                MonitorKind::Modal {
+                    port,
+                    mode,
+                    direction,
+                } => {
+                    let modes = &port_modes[*port];
+                    assert!(
+                        *mode < modes.len(),
+                        "{}: monitor {} wants mode {} of port {} ({} available at ω={omega:.4})",
+                        problem.name,
+                        spec.name,
+                        mode,
+                        problem.ports[*port].name,
+                        modes.len()
+                    );
+                    BoundMonitor::Modal(ModalMonitor::new(
+                        &grid,
+                        &problem.ports[*port],
+                        &modes[*mode],
+                        *direction,
+                    ))
+                }
+                MonitorKind::Residual { subtract } => BoundMonitor::Residual(subtract.clone()),
+            };
+            bound.push((spec.name.clone(), bm));
+        }
+        monitors.push(bound);
+    }
+
+    // Normalisation: straight-waveguide reference per excitation.
+    let mut norm_power = Vec::new();
+    for (ei, exc) in problem.excitations.iter().enumerate() {
+        let port = &problem.ports[exc.source_port];
+        // Replicate the transverse ε line at the source plane along the
+        // propagation axis.
+        let eps_ref = match port.axis {
+            boson_fdfd::grid::Axis::X => {
+                let line: Vec<f64> = (0..grid.ny).map(|iy| eps_bg[(iy, port.plane)]).collect();
+                Array2::from_fn(grid.ny, grid.nx, |iy, _| line[iy])
+            }
+            boson_fdfd::grid::Axis::Y => {
+                let line: Vec<f64> = (0..grid.nx).map(|ix| eps_bg[(port.plane, ix)]).collect();
+                Array2::from_fn(grid.ny, grid.nx, |_, ix| line[ix])
+            }
+        };
+        let sim = Simulation::new(grid, omega, eps_ref)?;
+        let field = sim.solve_current(&sources[ei].current(&grid));
+        // Measure the launched mode 12 cells downstream.
+        let shift: isize = match exc.source_direction {
+            boson_fdfd::grid::Sign::Plus => 12,
+            boson_fdfd::grid::Sign::Minus => -12,
+        };
+        let mut ref_port = port.clone();
+        ref_port.plane = (port.plane as isize + shift) as usize;
+        let mon = ModalMonitor::new(
+            &grid,
+            &ref_port,
+            &port_modes[exc.source_port][exc.source_mode],
+            exc.source_direction,
+        );
+        let p0 = mon.power(&field.ez);
+        assert!(p0 > 1e-12, "{}: zero launched power", problem.name);
+        norm_power.push(p0);
+    }
+
+    Ok(OmegaCal {
+        omega,
+        sources,
+        monitors,
+        norm_power,
+    })
+}
+
 impl CompiledProblem {
-    /// Compiles `problem`: solves port modes, builds sources/monitors and
-    /// runs the normalisation references.
+    /// Compiles `problem` at its single centre wavelength: solves port
+    /// modes, builds sources/monitors and runs the normalisation
+    /// references.
     ///
     /// # Errors
     ///
@@ -161,113 +310,46 @@ impl CompiledProblem {
     /// Panics if a port supports fewer guided modes than the problem
     /// requests.
     pub fn compile(problem: DeviceProblem) -> Result<Self, SingularMatrixError> {
-        let grid = problem.grid;
-        let om = problem.omega;
+        Self::compile_spectral(problem, SpectralAxis::single())
+    }
+
+    /// Compiles `problem` across a whole [`SpectralAxis`]: modes, sources,
+    /// monitors and launched-power calibration at **each** of the `K`
+    /// wavelengths around the problem's centre. A `K = 1` axis is
+    /// bit-identical to [`CompiledProblem::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a reference solve fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port supports fewer guided modes than the problem
+    /// requests at any wavelength of the axis (the sweep left the guided
+    /// regime — narrow the axis).
+    pub fn compile_spectral(
+        problem: DeviceProblem,
+        axis: SpectralAxis,
+    ) -> Result<Self, SingularMatrixError> {
         // Nominal background permittivity (design region = seed-less void
-        // is fine for mode solving: ports sit on access waveguides).
+        // is fine for mode solving: ports sit on access waveguides). It is
+        // ω-independent, so it is shared by every calibration.
         let eps_bg = assemble_eps(
             &problem.background_solid,
             problem.design_origin,
             &Array2::zeros(problem.design_shape.0, problem.design_shape.1),
             300.0,
         );
-        // Solve modes at every port.
-        let port_modes: Vec<_> = problem
-            .ports
-            .iter()
-            .map(|p| p.solve_modes(&grid, &eps_bg, om, problem.mode_count))
-            .collect();
-
-        let mut sources = Vec::new();
-        let mut monitors = Vec::new();
-        for exc in &problem.excitations {
-            let src_modes = &port_modes[exc.source_port];
-            assert!(
-                exc.source_mode < src_modes.len(),
-                "{}: port {} supports {} modes, excitation needs mode {}",
-                problem.name,
-                problem.ports[exc.source_port].name,
-                src_modes.len(),
-                exc.source_mode
-            );
-            sources.push(ModalSource::new(
-                problem.ports[exc.source_port].clone(),
-                src_modes[exc.source_mode].clone(),
-                exc.source_direction,
-            ));
-            let mut bound = Vec::new();
-            for spec in &exc.monitors {
-                let bm = match &spec.kind {
-                    MonitorKind::Modal {
-                        port,
-                        mode,
-                        direction,
-                    } => {
-                        let modes = &port_modes[*port];
-                        assert!(
-                            *mode < modes.len(),
-                            "{}: monitor {} wants mode {} of port {} ({} available)",
-                            problem.name,
-                            spec.name,
-                            mode,
-                            problem.ports[*port].name,
-                            modes.len()
-                        );
-                        BoundMonitor::Modal(ModalMonitor::new(
-                            &grid,
-                            &problem.ports[*port],
-                            &modes[*mode],
-                            *direction,
-                        ))
-                    }
-                    MonitorKind::Residual { subtract } => BoundMonitor::Residual(subtract.clone()),
-                };
-                bound.push((spec.name.clone(), bm));
-            }
-            monitors.push(bound);
-        }
-
-        // Normalisation: straight-waveguide reference per excitation.
-        let mut norm_power = Vec::new();
-        for (ei, exc) in problem.excitations.iter().enumerate() {
-            let port = &problem.ports[exc.source_port];
-            // Replicate the transverse ε line at the source plane along the
-            // propagation axis.
-            let eps_ref = match port.axis {
-                boson_fdfd::grid::Axis::X => {
-                    let line: Vec<f64> = (0..grid.ny).map(|iy| eps_bg[(iy, port.plane)]).collect();
-                    Array2::from_fn(grid.ny, grid.nx, |iy, _| line[iy])
-                }
-                boson_fdfd::grid::Axis::Y => {
-                    let line: Vec<f64> = (0..grid.nx).map(|ix| eps_bg[(port.plane, ix)]).collect();
-                    Array2::from_fn(grid.ny, grid.nx, |_, ix| line[ix])
-                }
-            };
-            let sim = Simulation::new(grid, om, eps_ref)?;
-            let field = sim.solve_current(&sources[ei].current(&grid));
-            // Measure the launched mode 12 cells downstream.
-            let shift: isize = match exc.source_direction {
-                boson_fdfd::grid::Sign::Plus => 12,
-                boson_fdfd::grid::Sign::Minus => -12,
-            };
-            let mut ref_port = port.clone();
-            ref_port.plane = (port.plane as isize + shift) as usize;
-            let mon = ModalMonitor::new(
-                &grid,
-                &ref_port,
-                &port_modes[exc.source_port][exc.source_mode],
-                exc.source_direction,
-            );
-            let p0 = mon.power(&field.ez);
-            assert!(p0 > 1e-12, "{}: zero launched power", problem.name);
-            norm_power.push(p0);
-        }
-
+        let cals = axis
+            .omegas(problem.omega)
+            .into_iter()
+            .map(|om| calibrate_omega(&problem, &eps_bg, om))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             problem,
-            sources,
-            monitors,
-            norm_power,
+            axis,
+            cals,
+            nominal_omega_idx: axis.nominal_index(),
         })
     }
 
@@ -276,9 +358,31 @@ impl CompiledProblem {
         &self.problem
     }
 
-    /// Launched-power calibration per excitation.
+    /// The spectral axis this problem was compiled for.
+    pub fn spectral_axis(&self) -> &SpectralAxis {
+        &self.axis
+    }
+
+    /// Number of compiled wavelengths `K`.
+    pub fn omega_count(&self) -> usize {
+        self.cals.len()
+    }
+
+    /// The compiled angular frequencies, in calibration order (ascending
+    /// λ, i.e. descending ω).
+    pub fn omegas(&self) -> Vec<f64> {
+        self.cals.iter().map(|c| c.omega).collect()
+    }
+
+    /// Index of the nominal (centre) wavelength.
+    pub fn nominal_omega_idx(&self) -> usize {
+        self.nominal_omega_idx
+    }
+
+    /// Launched-power calibration per excitation at the nominal
+    /// wavelength.
     pub fn norm_power(&self) -> &[f64] {
-        &self.norm_power
+        &self.cals[self.nominal_omega_idx].norm_power
     }
 
     /// Assembles the permittivity for a design-region density at
@@ -358,6 +462,32 @@ impl CompiledProblem {
         self.evaluate_eps_corner(eps, with_grad, spec, scratch, None)
     }
 
+    /// [`CompiledProblem::evaluate_eps_scratch`] at an explicit wavelength
+    /// of the compiled spectral axis: a direct factor-and-solve against
+    /// the `omega_idx`-th calibration (sources, monitors and power
+    /// normalisation all at that ω). This is the per-ω solve behind
+    /// [`crate::spectrum::wavelength_sweep`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the operator factorisation
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_idx` is out of range or `eps` does not have the
+    /// grid's shape.
+    pub fn evaluate_eps_omega(
+        &self,
+        eps: &Array2<f64>,
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+        scratch: &mut EvalScratch,
+        omega_idx: usize,
+    ) -> Result<Evaluation, SingularMatrixError> {
+        self.evaluate_eps_impl(eps, with_grad, spec, scratch, None, omega_idx)
+    }
+
     /// [`CompiledProblem::evaluate_eps_scratch`] with explicit per-corner
     /// solver directions: `None` (or a [`SolverStrategy::Direct`] corner)
     /// factors this operator as always, while a
@@ -374,7 +504,6 @@ impl CompiledProblem {
     /// # Panics
     ///
     /// Panics if `eps` does not have the grid's shape.
-    #[allow(clippy::needless_range_loop)] // excitation index addresses four parallel blocks
     pub fn evaluate_eps_corner(
         &self,
         eps: &Array2<f64>,
@@ -383,17 +512,32 @@ impl CompiledProblem {
         scratch: &mut EvalScratch,
         corner: Option<&CornerSolve<'_>>,
     ) -> Result<Evaluation, SingularMatrixError> {
+        let omega_idx = corner.map_or(self.nominal_omega_idx, |cs| cs.omega_idx);
+        self.evaluate_eps_impl(eps, with_grad, spec, scratch, corner, omega_idx)
+    }
+
+    /// Shared body of every single-ε evaluation entry point, at the
+    /// `omega_idx`-th compiled wavelength.
+    #[allow(clippy::needless_range_loop)] // excitation index addresses four parallel blocks
+    fn evaluate_eps_impl(
+        &self,
+        eps: &Array2<f64>,
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+        scratch: &mut EvalScratch,
+        corner: Option<&CornerSolve<'_>>,
+        omega_idx: usize,
+    ) -> Result<Evaluation, SingularMatrixError> {
         let grid = self.problem.grid;
         let n = grid.n();
-        let nexc = self.sources.len();
+        let cal = &self.cals[omega_idx];
+        let nexc = cal.sources.len();
         match corner {
-            None => scratch.sim.prepare_corner(
-                grid,
-                self.problem.omega,
-                eps,
-                SolverStrategy::Direct,
-                None,
-            )?,
+            None => {
+                scratch
+                    .sim
+                    .prepare_corner(grid, cal.omega, eps, SolverStrategy::Direct, None)?
+            }
             Some(cs) => {
                 let ctx = CornerContext {
                     nominal_eps: cs.nominal_eps,
@@ -401,13 +545,9 @@ impl CompiledProblem {
                     is_nominal: cs.is_nominal,
                     force_direct: cs.force_direct,
                 };
-                scratch.sim.prepare_corner(
-                    grid,
-                    self.problem.omega,
-                    eps,
-                    cs.strategy,
-                    Some(&ctx),
-                )?
+                scratch
+                    .sim
+                    .prepare_corner(grid, cal.omega, eps, cs.strategy, Some(&ctx))?
             }
         }
 
@@ -416,19 +556,21 @@ impl CompiledProblem {
         scratch.fields.clear();
         scratch.fields.resize(n * nexc, Complex64::ZERO);
         let (jz, fields) = (&mut scratch.jz, &mut scratch.fields);
-        self.forward_rhs_into(scratch.sim.sfactors(), jz, fields);
+        forward_rhs_into(cal, &grid, scratch.sim.sfactors(), jz, fields);
         scratch.sim.solve_block(&mut scratch.fields, nexc)?;
 
-        let readings = self.readings_from_fields(&scratch.fields);
+        let readings = readings_from_fields(cal, n, &scratch.fields);
         let objective = spec.objective(&readings);
         let fom = spec.fom(&readings);
 
         let grad_eps = if with_grad {
-            let dr = self.reading_grads(spec, &readings);
+            let dr = self.reading_grads(spec, omega_idx, &readings);
             // Adjoint sources per excitation, then one batched solve.
             scratch.adj.clear();
             scratch.adj.resize(n * nexc, Complex64::ZERO);
-            self.adjoint_sources_into(
+            adjoint_sources_into(
+                cal,
+                n,
                 &dr,
                 &scratch.fields,
                 &mut scratch.adj,
@@ -478,7 +620,7 @@ impl CompiledProblem {
                     let (dst, src) = (ei * n, pos * n);
                     scratch.warm_adj[dst..dst + n].copy_from_slice(&scratch.adj[src..src + n]);
                 }
-                scratch.warm_epoch = Some(cs.epoch);
+                scratch.warm_key = Some((cs.epoch, omega_idx));
             }
         }
 
@@ -528,7 +670,8 @@ impl CompiledProblem {
     ) -> Result<Vec<Evaluation>, SingularMatrixError> {
         let grid = self.problem.grid;
         let n = grid.n();
-        let nexc = self.sources.len();
+        let cal = &self.cals[set.omega_idx];
+        let nexc = cal.sources.len();
         let count = epss.len();
         assert_eq!(set.force_direct.len(), count, "policy flag count mismatch");
         let strategy = SolverStrategy::PreconditionedIterative {
@@ -546,6 +689,7 @@ impl CompiledProblem {
                 epoch: set.epoch,
                 is_nominal: true,
                 force_direct: false,
+                omega_idx: set.omega_idx,
             };
             evals[ni] =
                 Some(self.evaluate_eps_corner(&epss[ni], with_grad, spec, scratch, Some(&cs))?);
@@ -561,6 +705,7 @@ impl CompiledProblem {
                 epoch: set.epoch,
                 is_nominal: false,
                 force_direct: true,
+                omega_idx: set.omega_idx,
             };
             evals[ci] =
                 Some(self.evaluate_eps_corner(&epss[ci], with_grad, spec, scratch, Some(&cs))?);
@@ -571,7 +716,7 @@ impl CompiledProblem {
         if !batched.is_empty() {
             let extra_factorizations = scratch.sim.batch_begin(
                 grid,
-                self.problem.omega,
+                cal.omega,
                 set.nominal_eps,
                 set.epoch,
                 set.tol,
@@ -586,7 +731,7 @@ impl CompiledProblem {
             scratch.base_rhs.resize(n * nexc, Complex64::ZERO);
             {
                 let (jz, base) = (&mut scratch.jz, &mut scratch.base_rhs);
-                self.forward_rhs_into(scratch.sim.sfactors(), jz, base);
+                forward_rhs_into(cal, &grid, scratch.sim.sfactors(), jz, base);
             }
             let bl = n * nexc; // block length per corner
             let bcols = batched.len() * bl;
@@ -594,8 +739,9 @@ impl CompiledProblem {
             scratch.batch_rhs.resize(bcols, Complex64::ZERO);
             scratch.batch_x.clear();
             scratch.batch_x.resize(bcols, Complex64::ZERO);
-            let warm =
-                set.nominal_idx.is_some() && with_grad && scratch.warm_epoch == Some(set.epoch);
+            let warm = set.nominal_idx.is_some()
+                && with_grad
+                && scratch.warm_key == Some((set.epoch, set.omega_idx));
             for slot in 0..batched.len() {
                 scratch.batch_rhs[slot * bl..(slot + 1) * bl].copy_from_slice(&scratch.base_rhs);
                 if warm {
@@ -632,13 +778,13 @@ impl CompiledProblem {
                     continue; // fell back; its adjoint columns stay zero
                 }
                 let fields = &scratch.batch_x[slot * bl..(slot + 1) * bl];
-                let readings = self.readings_from_fields(fields);
+                let readings = readings_from_fields(cal, n, fields);
                 let objective = spec.objective(&readings);
                 let fom = spec.fom(&readings);
                 if with_grad {
-                    let dr = self.reading_grads(spec, &readings);
+                    let dr = self.reading_grads(spec, set.omega_idx, &readings);
                     let adj = &mut scratch.batch_adj[slot * bl..(slot + 1) * bl];
-                    self.adjoint_sources_into(&dr, fields, adj, &mut scratch.adj_active);
+                    adjoint_sources_into(cal, n, &dr, fields, adj, &mut scratch.adj_active);
                 }
                 partials.push((slot, ci, readings, objective, fom));
             }
@@ -738,6 +884,7 @@ impl CompiledProblem {
             epoch: set.epoch,
             is_nominal: false,
             force_direct: true,
+            omega_idx: set.omega_idx,
         };
         let mut ev = self.evaluate_eps_corner(eps, with_grad, spec, scratch, Some(&cs))?;
         ev.solve.used_iterative = true;
@@ -747,69 +894,20 @@ impl CompiledProblem {
         Ok(ev)
     }
 
-    /// Builds the scaled forward right-hand side of every excitation into
-    /// the column-major block `out` (`n × n_excitations`); identical for
-    /// every corner of a `(grid, ω)`.
-    fn forward_rhs_into(
-        &self,
-        sfactors: &boson_fdfd::pml::SFactors,
-        jz: &mut Vec<Complex64>,
-        out: &mut [Complex64],
-    ) {
-        let grid = self.problem.grid;
-        let n = grid.n();
-        jz.clear();
-        jz.resize(n, Complex64::ZERO);
-        for (ei, src) in self.sources.iter().enumerate() {
-            src.current_into(&grid, jz);
-            scale_source_into(
-                &grid,
-                sfactors,
-                self.problem.omega,
-                jz,
-                &mut out[ei * n..(ei + 1) * n],
-            );
-        }
-    }
-
-    /// Normalised monitor readings from a solved field block
-    /// (`n × n_excitations`, column per excitation).
-    fn readings_from_fields(&self, fields: &[Complex64]) -> Readings {
-        let n = self.problem.grid.n();
-        let nexc = self.sources.len();
-        let mut readings: Readings = Vec::with_capacity(nexc);
-        for ei in 0..nexc {
-            let ez = &fields[ei * n..(ei + 1) * n];
-            let mut map = HashMap::new();
-            // Modal monitors first, residuals second.
-            for (name, mon) in &self.monitors[ei] {
-                if let BoundMonitor::Modal(m) = mon {
-                    map.insert(name.clone(), m.power(ez) / self.norm_power[ei]);
-                }
-            }
-            for (name, mon) in &self.monitors[ei] {
-                if let BoundMonitor::Residual(subtract) = mon {
-                    let total: f64 = subtract.iter().map(|s| map[s]).sum();
-                    map.insert(name.clone(), 1.0 - total);
-                }
-            }
-            readings.push(map);
-        }
-        readings
-    }
-
     /// `∂objective/∂reading` per excitation, with residual-monitor
-    /// gradients folded back into the modal readings they subtract.
+    /// gradients folded back into the modal readings they subtract (the
+    /// monitor topology is the `omega_idx`-th calibration's).
     fn reading_grads(
         &self,
         spec: &crate::objective::ObjectiveSpec,
+        omega_idx: usize,
         readings: &Readings,
     ) -> Vec<HashMap<String, f64>> {
         let mut dr: Vec<HashMap<String, f64>> = vec![HashMap::new(); readings.len()];
         for (e, m, g) in spec.objective_grad(readings) {
             *dr[e].entry(m).or_default() += g;
         }
-        for (ei, mons) in self.monitors.iter().enumerate() {
+        for (ei, mons) in self.cals[omega_idx].monitors.iter().enumerate() {
             let mut updates: Vec<(String, f64)> = Vec::new();
             for (name, mon) in mons {
                 if let BoundMonitor::Residual(subtract) = mon {
@@ -826,31 +924,82 @@ impl CompiledProblem {
         }
         dr
     }
+}
 
-    /// Accumulates the adjoint (Wirtinger) sources of every excitation
-    /// into the column-major block `adj` (assumed zeroed), recording
-    /// which columns are active.
-    fn adjoint_sources_into(
-        &self,
-        dr: &[HashMap<String, f64>],
-        fields: &[Complex64],
-        adj: &mut [Complex64],
-        adj_active: &mut Vec<bool>,
-    ) {
-        let n = self.problem.grid.n();
-        let nexc = self.sources.len();
-        adj_active.clear();
-        adj_active.resize(nexc, false);
-        for ei in 0..nexc {
-            let ez = &fields[ei * n..(ei + 1) * n];
-            let g_field = &mut adj[ei * n..(ei + 1) * n];
-            for (name, mon) in &self.monitors[ei] {
-                if let BoundMonitor::Modal(m) = mon {
-                    if let Some(&g) = dr[ei].get(name) {
-                        if g != 0.0 {
-                            m.accumulate_power_grad(ez, g / self.norm_power[ei], g_field);
-                            adj_active[ei] = true;
-                        }
+/// Builds the scaled forward right-hand side of every excitation of one
+/// wavelength's calibration into the column-major block `out`
+/// (`n × n_excitations`); identical for every corner of a `(grid, ω)`.
+fn forward_rhs_into(
+    cal: &OmegaCal,
+    grid: &boson_fdfd::grid::SimGrid,
+    sfactors: &boson_fdfd::pml::SFactors,
+    jz: &mut Vec<Complex64>,
+    out: &mut [Complex64],
+) {
+    let n = grid.n();
+    jz.clear();
+    jz.resize(n, Complex64::ZERO);
+    for (ei, src) in cal.sources.iter().enumerate() {
+        src.current_into(grid, jz);
+        scale_source_into(
+            grid,
+            sfactors,
+            cal.omega,
+            jz,
+            &mut out[ei * n..(ei + 1) * n],
+        );
+    }
+}
+
+/// Normalised monitor readings from a solved field block
+/// (`n × n_excitations`, column per excitation) against one wavelength's
+/// calibration.
+fn readings_from_fields(cal: &OmegaCal, n: usize, fields: &[Complex64]) -> Readings {
+    let nexc = cal.sources.len();
+    let mut readings: Readings = Vec::with_capacity(nexc);
+    for ei in 0..nexc {
+        let ez = &fields[ei * n..(ei + 1) * n];
+        let mut map = HashMap::new();
+        // Modal monitors first, residuals second.
+        for (name, mon) in &cal.monitors[ei] {
+            if let BoundMonitor::Modal(m) = mon {
+                map.insert(name.clone(), m.power(ez) / cal.norm_power[ei]);
+            }
+        }
+        for (name, mon) in &cal.monitors[ei] {
+            if let BoundMonitor::Residual(subtract) = mon {
+                let total: f64 = subtract.iter().map(|s| map[s]).sum();
+                map.insert(name.clone(), 1.0 - total);
+            }
+        }
+        readings.push(map);
+    }
+    readings
+}
+
+/// Accumulates the adjoint (Wirtinger) sources of every excitation into
+/// the column-major block `adj` (assumed zeroed), recording which columns
+/// are active.
+fn adjoint_sources_into(
+    cal: &OmegaCal,
+    n: usize,
+    dr: &[HashMap<String, f64>],
+    fields: &[Complex64],
+    adj: &mut [Complex64],
+    adj_active: &mut Vec<bool>,
+) {
+    let nexc = cal.sources.len();
+    adj_active.clear();
+    adj_active.resize(nexc, false);
+    for ei in 0..nexc {
+        let ez = &fields[ei * n..(ei + 1) * n];
+        let g_field = &mut adj[ei * n..(ei + 1) * n];
+        for (name, mon) in &cal.monitors[ei] {
+            if let BoundMonitor::Modal(m) = mon {
+                if let Some(&g) = dr[ei].get(name) {
+                    if g != 0.0 {
+                        m.accumulate_power_grad(ez, g / cal.norm_power[ei], g_field);
+                        adj_active[ei] = true;
                     }
                 }
             }

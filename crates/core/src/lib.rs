@@ -17,6 +17,10 @@
 //! * [`baselines`] — every comparison method from the paper's tables,
 //!   including the two-stage InvFabCor mask-correction flow;
 //! * [`eval`] — pre-fab vs Monte-Carlo post-fab evaluation;
+//! * [`spectrum`] — finished-design wavelength sweeps at K solves per
+//!   sweep (the spectral axis' evaluation counterpart: broadband robust
+//!   *optimisation* runs through [`runner`] with a
+//!   `boson_fab::SpectralAxis` in the variation space);
 //! * [`optimizer`] — Adam.
 //!
 //! # Examples

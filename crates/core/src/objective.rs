@@ -70,6 +70,73 @@ pub struct ObjectiveSpec {
 /// Monitor readings for all excitations: `readings[excitation][monitor]`.
 pub type Readings = Vec<HashMap<String, f64>>;
 
+/// How the per-wavelength objective values of one fabrication corner
+/// combine into its contribution to the robust objective (the spectral
+/// axis' analogue of the corner-weighted sum).
+///
+/// Both variants expose exact gradients through
+/// [`SpectralAggregation::weights_into`]: the aggregate is a weighted sum
+/// `Σ w_k·obj_k` with `Σ w_k = 1` and `∂agg/∂obj_k = w_k` (for
+/// [`SpectralAggregation::WorstCase`] this is the subgradient at the
+/// active wavelength, exact almost everywhere), so the per-ω adjoint
+/// gradients flow through unchanged — no finite differencing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SpectralAggregation {
+    /// Uniform average over the K wavelengths. With `K = 1` this is the
+    /// identity, reproducing the single-ω pipeline bit-identically.
+    #[default]
+    Mean,
+    /// The worst wavelength dominates: the aggregate is `min_k obj_k`
+    /// (objectives are maximised), all weight on the first minimiser.
+    WorstCase,
+}
+
+impl SpectralAggregation {
+    /// The aggregate of `values` (one objective per wavelength).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn aggregate(&self, values: &[f64]) -> f64 {
+        assert!(!values.is_empty(), "no wavelengths to aggregate");
+        match self {
+            // Σ (w·v) with w = 1/K, matching `weights_into` term-for-term
+            // so aggregate and gradient weights are exactly consistent
+            // (and K = 1 reduces to `1.0 * v`, bit-identical to v alone
+            // inside the runner's weighted corner sum).
+            SpectralAggregation::Mean => {
+                let w = 1.0 / values.len() as f64;
+                values.iter().map(|v| w * v).sum()
+            }
+            SpectralAggregation::WorstCase => values.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Writes the per-wavelength gradient weights `w_k = ∂agg/∂obj_k`
+    /// into `out` (`Σ w_k = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` and `out` differ in length or are empty.
+    pub fn weights_into(&self, values: &[f64], out: &mut [f64]) {
+        assert!(!values.is_empty(), "no wavelengths to aggregate");
+        assert_eq!(values.len(), out.len(), "weight buffer length mismatch");
+        match self {
+            SpectralAggregation::Mean => out.fill(1.0 / values.len() as f64),
+            SpectralAggregation::WorstCase => {
+                out.fill(0.0);
+                let argmin = values
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite objectives"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                out[argmin] = 1.0;
+            }
+        }
+    }
+}
+
 impl ObjectiveSpec {
     /// Copy of this spec with all auxiliary constraints removed — the
     /// conventional sparse objective used by the ablation/baselines.
@@ -300,6 +367,39 @@ mod tests {
         assert!(sparse.constraints.is_empty());
         let r = readings(&[(0, "trans", 0.2), (0, "refl", 0.9)]);
         assert_eq!(sparse.objective(&r), 0.2);
+    }
+
+    #[test]
+    fn spectral_aggregation_values_and_weights() {
+        let vs = [0.8, 0.3, 0.6];
+        let mut w = [0.0; 3];
+
+        let mean = SpectralAggregation::Mean;
+        assert!((mean.aggregate(&vs) - (0.8 + 0.3 + 0.6) / 3.0).abs() < 1e-12);
+        mean.weights_into(&vs, &mut w);
+        assert!(w.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-12));
+
+        let worst = SpectralAggregation::WorstCase;
+        assert_eq!(worst.aggregate(&vs), 0.3);
+        worst.weights_into(&vs, &mut w);
+        assert_eq!(w, [0.0, 1.0, 0.0]);
+
+        // The aggregate is the weight-consistent sum: Σ w·v == agg.
+        for agg in [mean, worst] {
+            agg.weights_into(&vs, &mut w);
+            let sum: f64 = w.iter().zip(&vs).map(|(wk, v)| wk * v).sum();
+            assert!((sum - agg.aggregate(&vs)).abs() < 1e-12, "{agg:?}");
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+
+        // K = 1: both aggregations are the identity — the spectral axis
+        // degenerates away exactly.
+        for agg in [mean, worst] {
+            assert_eq!(agg.aggregate(&[0.7]), 0.7, "{agg:?}");
+            let mut w1 = [0.0];
+            agg.weights_into(&[0.7], &mut w1);
+            assert_eq!(w1, [1.0], "{agg:?}");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use crate::compiled::{CompiledProblem, CornerSolve, EvalScratch};
 use crate::fabchain::{assemble_eps, grad_eps_to_rho, grad_temperature, FabChain};
-use crate::objective::{ObjectiveSpec, Readings};
+use crate::objective::{ObjectiveSpec, Readings, SpectralAggregation};
 use crate::optimizer::{Adam, AdamConfig};
 use crate::pool::WorkerPool;
 use crate::schedule::{BetaSchedule, RelaxationSchedule};
@@ -83,6 +83,10 @@ pub struct RunnerConfig {
     /// Corner linear-solver strategy: direct per-corner factorisation or
     /// nominal-factor-preconditioned iteration with adaptive fallback.
     pub solver: SolverStrategy,
+    /// How the per-wavelength objectives of one fabrication corner
+    /// combine when the variation space carries `K > 1` wavelengths
+    /// (a `K = 1` space makes both choices identical).
+    pub spectral_agg: SpectralAggregation,
 }
 
 impl Default for RunnerConfig {
@@ -100,6 +104,7 @@ impl Default for RunnerConfig {
             seed: 7,
             threads: 8,
             solver: SolverStrategy::Direct,
+            spectral_agg: SpectralAggregation::Mean,
         }
     }
 }
@@ -230,6 +235,28 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             compiled.problem().design_shape,
             "parameterisation/design-region shape mismatch"
         );
+        assert_eq!(
+            space.spectral.count,
+            compiled.omega_count(),
+            "variation space carries {} wavelengths but the problem was \
+             compiled for {} (use CompiledProblem::compile_spectral with \
+             the same axis)",
+            space.spectral.count,
+            compiled.omega_count()
+        );
+        // The optimiser revisits every ω each epoch; past the workspace's
+        // slot capacity the per-ω caches would thrash (every visit
+        // rebuilding geometry and re-factoring the nominal operator), so
+        // refuse rather than silently lose the K-factorisations-per-epoch
+        // and zero-allocation guarantees. One-shot wavelength *sweeps*
+        // (each ω visited once) have no such constraint.
+        assert!(
+            space.spectral.count <= boson_fdfd::sim::MAX_OMEGA_SLOTS,
+            "spectral axis has {} wavelengths but the solver workspace \
+             retains at most {} per-ω slots",
+            space.spectral.count,
+            boson_fdfd::sim::MAX_OMEGA_SLOTS
+        );
         let objective = if config.dense_objectives {
             compiled.problem().objective.clone()
         } else {
@@ -295,11 +322,24 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             epoch,
             is_nominal,
             force_direct: self.policy.force_direct(corner),
+            omega_idx: corner.omega_idx,
         });
-        let ev = self
-            .compiled
-            .evaluate_eps_corner(&eps, true, &self.objective, scratch, solve.as_ref())
-            .expect("corner simulation failed");
+        let ev = match &solve {
+            Some(cs) => {
+                self.compiled
+                    .evaluate_eps_corner(&eps, true, &self.objective, scratch, Some(cs))
+            }
+            // No solver context (direct strategy): a plain direct
+            // evaluation at this corner's wavelength.
+            None => self.compiled.evaluate_eps_omega(
+                &eps,
+                true,
+                &self.objective,
+                scratch,
+                corner.omega_idx,
+            ),
+        }
+        .expect("corner simulation failed");
         self.outcome_from(corner, &fwd, ev, etch, want_variation_grads)
     }
 
@@ -353,12 +393,21 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
     }
 
     /// The batched iterative fan-out: runs every corner's fabrication
-    /// model, then advances **all** corners' forward (and adjoint) solves
-    /// in one lockstep preconditioned sweep against the shared nominal
-    /// factor (see [`CompiledProblem::evaluate_corner_set`]), and finally
-    /// back-propagates each corner through the chain. Serial by design —
-    /// the batch itself is the parallelism, and it is what makes the
-    /// iterative strategy beat per-corner factorisation.
+    /// model, then advances each wavelength group's forward (and adjoint)
+    /// solves in one lockstep preconditioned sweep against that ω's
+    /// shared nominal factor (see
+    /// [`CompiledProblem::evaluate_corner_set`]), and finally
+    /// back-propagates each corner through the chain. A broadband
+    /// iteration runs one batched sweep per ω — per-ω nominal factors are
+    /// the preconditioners and each ω's nominal solution warm-starts its
+    /// own group — so the whole (fabrication corner × ω) cross product
+    /// advances through `K` sweeps and `K` factorisations per epoch.
+    /// Serial by design — the batch itself is the parallelism, and it is
+    /// what makes the iterative strategy beat per-corner factorisation.
+    ///
+    /// `corners` must be ω-contiguous (as produced by
+    /// [`VariationSpace::spectral_corners`]); `nominal_idx` is the global
+    /// index of the fabrication-nominal corner at the nominal wavelength.
     #[allow(clippy::too_many_arguments)] // mirrors eval_corners
     fn eval_corners_batched(
         &self,
@@ -393,18 +442,39 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             .iter()
             .map(|c| self.policy.force_direct(c))
             .collect();
-        let set = crate::compiled::CornerSetSolve {
-            tol,
-            max_iters,
-            nominal_eps,
-            epoch,
-            nominal_idx,
-            force_direct: &force_direct,
-        };
-        let evals = self
-            .compiled
-            .evaluate_corner_set(&epss, true, &self.objective, scratch, &set)
-            .expect("corner sweep failed");
+        // One batched sweep per contiguous ω group.
+        let mut evals: Vec<crate::compiled::Evaluation> = Vec::with_capacity(corners.len());
+        let mut start = 0usize;
+        while start < corners.len() {
+            let oi = corners[start].omega_idx;
+            let mut end = start + 1;
+            while end < corners.len() && corners[end].omega_idx == oi {
+                end += 1;
+            }
+            assert!(
+                corners[end..].iter().all(|c| c.omega_idx != oi),
+                "corner set is not ω-contiguous"
+            );
+            // The group-local nominal: the fabrication-nominal corner of
+            // this wavelength (every ω group replicates the full
+            // fabrication set, so the same predicate applies per group).
+            let group_nominal = corners[start..end].iter().position(|c| !c.is_varied());
+            let set = crate::compiled::CornerSetSolve {
+                tol,
+                max_iters,
+                nominal_eps,
+                epoch,
+                nominal_idx: group_nominal,
+                force_direct: &force_direct[start..end],
+                omega_idx: oi,
+            };
+            evals.extend(
+                self.compiled
+                    .evaluate_corner_set(&epss[start..end], true, &self.objective, scratch, &set)
+                    .expect("corner sweep failed"),
+            );
+            start = end;
+        }
         corners
             .iter()
             .zip(&fwds)
@@ -545,10 +615,21 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             if self.config.fab_aware {
                 let mut rng =
                     StdRng::seed_from_u64(self.config.seed ^ (iter as u64).wrapping_mul(0x9E37));
-                let mut corners = self.space.corners(self.config.sampling, &mut rng);
-                // Identify the nominal corner for worst-case gradients and
+                let lambda_c = 2.0 * std::f64::consts::PI / self.compiled.problem().omega;
+                // The (fabrication corner × ω) cross product, ω-major; a
+                // single-wavelength space degenerates to the plain corner
+                // set bit-identically.
+                let mut corners =
+                    self.space
+                        .spectral_corners(self.config.sampling, lambda_c, &mut rng);
+                let product_len = corners.len();
+                let nominal_oi = self.compiled.nominal_omega_idx();
+                // Identify the nominal corner (fabrication-nominal at the
+                // centre wavelength) for worst-case gradients and
                 // trajectory recording.
-                let nominal_idx = corners.iter().position(|c| !c.is_varied());
+                let nominal_idx = corners
+                    .iter()
+                    .position(|c| !c.is_varied() && c.omega_idx == nominal_oi);
                 // The iterative strategy shares one nominal operator per
                 // iteration: materialise its permittivity once so every
                 // worker preconditions against bit-identical factors.
@@ -599,7 +680,10 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 if self.config.sampling.needs_worst_case() {
                     if let Some(ni) = nominal_idx {
                         if let Some((dt, dxi)) = &all_outcomes[ni].variation_grads {
-                            let worst = self.space.worst_case_corner(*dt, dxi);
+                            // The worst-case search runs at the centre
+                            // wavelength (its gradients were taken there).
+                            let mut worst = self.space.worst_case_corner(*dt, dxi);
+                            worst.omega_idx = nominal_oi;
                             let o = self.eval_corner(
                                 &rho,
                                 &worst,
@@ -616,17 +700,49 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         }
                     }
                 }
-                let w = 1.0 / all_outcomes.len() as f64;
+                // Robust objective: uniform weight over fabrication
+                // corners, each contributing the spectral aggregate of
+                // its K per-ω objectives (K = 1: the value itself — the
+                // original weighting, bit-identically). Gradients carry
+                // the aggregation's exact per-ω weights.
+                let k = self.compiled.omega_count();
+                let f_count = product_len / k;
+                debug_assert_eq!(f_count * k, product_len, "ragged cross product");
+                let extras = all_outcomes.len() - product_len; // worst-case corners
+                let w = 1.0 / (f_count + extras) as f64;
+                let agg = self.config.spectral_agg;
+                let mut values = vec![0.0; k];
+                let mut sweights = vec![0.0; k];
                 let mut obj_fab = 0.0;
                 let mut v_fab = Array2::<f64>::zeros(dr, dc);
-                for (ci, o) in all_outcomes.iter().enumerate() {
-                    obj_fab += w * o.objective;
+                for f in 0..f_count {
+                    for oi in 0..k {
+                        values[oi] = all_outcomes[oi * f_count + f].objective;
+                    }
+                    obj_fab += w * agg.aggregate(&values);
+                    agg.weights_into(&values, &mut sweights);
+                    for oi in 0..k {
+                        let wk = w * sweights[oi];
+                        if wk != 0.0 {
+                            let o = &all_outcomes[oi * f_count + f];
+                            for (dst, src) in
+                                v_fab.as_mut_slice().iter_mut().zip(o.v_mask.as_slice())
+                            {
+                                *dst += wk * src;
+                            }
+                        }
+                    }
+                }
+                // Appended worst-case corners are single-ω groups.
+                for o in &all_outcomes[product_len..] {
+                    obj_fab += w * agg.aggregate(&[o.objective]);
                     for (dst, src) in v_fab.as_mut_slice().iter_mut().zip(o.v_mask.as_slice()) {
                         *dst += w * src;
                     }
-                    if Some(ci) == nominal_idx {
-                        nominal_readings = Some((o.readings.clone(), o.fom));
-                    }
+                }
+                if let Some(ni) = nominal_idx {
+                    let o = &all_outcomes[ni];
+                    nominal_readings = Some((o.readings.clone(), o.fom));
                 }
                 objective += p * obj_fab;
                 for (dst, src) in v_mask_total.as_mut_slice().iter_mut().zip(v_fab.as_slice()) {
@@ -934,6 +1050,164 @@ mod tests {
         }
         // AxialSingleSided = nominal + 3 varied corners: all three marked.
         assert_eq!(marked, 3, "policy should pin every hard corner");
+    }
+
+    /// The spectral axis must be a *strict* extension: a `K = 1` axis —
+    /// whatever its half-span or aggregation — runs **bit-identically**
+    /// to the original single-ω pipeline, for both solver strategies and
+    /// both fan-out modes.
+    #[test]
+    fn k1_spectral_runs_are_bit_identical_to_single_omega_runs() {
+        use crate::objective::SpectralAggregation;
+        use boson_fab::SpectralAxis;
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        for solver in [
+            SolverStrategy::Direct,
+            SolverStrategy::preconditioned_iterative(),
+        ] {
+            for threads in [1usize, 4] {
+                let run = |space: VariationSpace, agg: SpectralAggregation| {
+                    let mut designer = InverseDesigner::new(
+                        &compiled,
+                        &param,
+                        standard_chain(&problem),
+                        space,
+                        RunnerConfig {
+                            solver,
+                            spectral_agg: agg,
+                            ..tiny_config(threads, SamplingStrategy::AxialSingleSided)
+                        },
+                    );
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let theta0 = designer.initial_theta(&mut rng);
+                    designer.run(theta0)
+                };
+                let base = run(VariationSpace::default(), SpectralAggregation::Mean);
+                // K = 1 with a non-zero half-span still samples only λ_c.
+                let k1 = VariationSpace {
+                    spectral: SpectralAxis::around(0.05, 1),
+                    ..VariationSpace::default()
+                };
+                for agg in [SpectralAggregation::Mean, SpectralAggregation::WorstCase] {
+                    let spectral = run(k1.clone(), agg);
+                    assert_eq!(
+                        base.factorizations, spectral.factorizations,
+                        "{solver:?}/{threads}/{agg:?}"
+                    );
+                    for (rb, rs) in base.trajectory.iter().zip(&spectral.trajectory) {
+                        assert_eq!(
+                            rb.objective, rs.objective,
+                            "{solver:?}/{threads}/{agg:?} iter {}",
+                            rb.iter
+                        );
+                        assert_eq!(rb.fom_nominal, rs.fom_nominal);
+                    }
+                    for (tb, ts) in base.theta.iter().zip(&spectral.theta) {
+                        assert_eq!(tb, ts, "{solver:?}/{threads}/{agg:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Broadband (K = 3) robust runs: the batched spectral-iterative path
+    /// reproduces the direct strategy to solver tolerance with far fewer
+    /// factorisations, and both strategies are thread-count invariant.
+    #[test]
+    fn broadband_iterative_matches_direct_and_is_thread_invariant() {
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        assert_eq!(compiled.omega_count(), 3);
+        assert_eq!(compiled.nominal_omega_idx(), 1);
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        let run = |solver: SolverStrategy, threads: usize| {
+            let mut designer = InverseDesigner::new(
+                &compiled,
+                &param,
+                standard_chain(&problem),
+                space.clone(),
+                RunnerConfig {
+                    solver,
+                    spectral_agg: crate::objective::SpectralAggregation::WorstCase,
+                    ..tiny_config(threads, SamplingStrategy::AxialSingleSided)
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            let theta0 = designer.initial_theta(&mut rng);
+            designer.run(theta0)
+        };
+        let direct = run(SolverStrategy::Direct, 1);
+        let direct_threaded = run(SolverStrategy::Direct, 4);
+        let iterative = run(
+            SolverStrategy::PreconditionedIterative {
+                tol: 1e-10,
+                max_iters: 40,
+            },
+            1,
+        );
+        let iterative_threaded = run(
+            SolverStrategy::PreconditionedIterative {
+                tol: 1e-10,
+                max_iters: 40,
+            },
+            4,
+        );
+        for (rd, ri) in direct.trajectory.iter().zip(&iterative.trajectory) {
+            assert!(
+                (rd.objective - ri.objective).abs() < 1e-7 * (1.0 + rd.objective.abs()),
+                "iter {}: direct {} vs iterative {}",
+                rd.iter,
+                rd.objective,
+                ri.objective
+            );
+        }
+        assert!(
+            iterative.factorizations < direct.factorizations,
+            "iterative {} !< direct {}",
+            iterative.factorizations,
+            direct.factorizations
+        );
+        // Thread-count invariance, bit-exact, for both strategies.
+        for ((a, b), what) in [
+            ((&direct, &direct_threaded), "direct"),
+            ((&iterative, &iterative_threaded), "iterative"),
+        ] {
+            for (ra, rb) in a.trajectory.iter().zip(&b.trajectory) {
+                assert_eq!(ra.objective, rb.objective, "{what} iter {}", ra.iter);
+            }
+            for (ta, tb) in a.theta.iter().zip(&b.theta) {
+                assert_eq!(ta, tb, "{what}");
+            }
+        }
+    }
+
+    /// A K > 1 variation space requires a matching spectral compilation.
+    #[test]
+    #[should_panic(expected = "compiled for")]
+    fn spectral_space_against_single_omega_problem_panics() {
+        use boson_fab::SpectralAxis;
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: SpectralAxis::around(0.02, 3),
+            ..VariationSpace::default()
+        };
+        let _ = InverseDesigner::new(
+            &compiled,
+            &param,
+            standard_chain(&problem),
+            space,
+            tiny_config(1, SamplingStrategy::AxialSingleSided),
+        );
     }
 
     #[test]

@@ -2,15 +2,19 @@
 //!
 //! The paper optimises at a single centre wavelength λ_c but frames
 //! operation variation broadly; a natural robustness axis for a deployed
-//! device is its spectral bandwidth. This module re-compiles a benchmark
-//! at shifted wavelengths and evaluates a fabricated mask across the
-//! sweep — the "extension/future-work" analysis BOSON-1 enables once the
-//! fabrication model is differentiable and cheap to re-target.
+//! device is its spectral bandwidth. Since the spectral extension,
+//! [`CompiledProblem`] carries per-ω mode calibrations
+//! ([`CompiledProblem::compile_spectral`]), so a finished-design sweep
+//! over a spectrally-compiled problem costs **K factor-and-solves** — no
+//! per-wavelength recompiles, no per-wavelength fabrication re-runs (the
+//! fabricated permittivity is ω-independent and built once). A problem
+//! compiled for a different axis is recalibrated once, after which the
+//! sweep itself still runs at K solves.
 
-use crate::compiled::CompiledProblem;
+use crate::compiled::{CompiledProblem, EvalScratch};
 use crate::eval::binarize_mask;
 use crate::fabchain::{assemble_eps, FabChain};
-use boson_fab::VariationCorner;
+use boson_fab::{SpectralAxis, VariationCorner};
 use boson_num::Array2;
 use serde::{Deserialize, Serialize};
 
@@ -27,9 +31,11 @@ pub struct SpectrumPoint {
 /// Evaluates `mask` across `count` wavelengths spanning
 /// `lambda_c ± half_span` at the nominal fabrication corner.
 ///
-/// Each wavelength requires recompiling the benchmark (modes and
-/// calibration are wavelength-dependent), so the cost is
-/// `count × (compile + evaluate)`.
+/// If `compiled` already carries the matching spectral calibration (it
+/// was built with [`CompiledProblem::compile_spectral`] on the same
+/// axis), the sweep costs exactly `count` factor-and-solves. Otherwise
+/// the per-ω calibration is rebuilt once here — still a single compile,
+/// not one per wavelength.
 ///
 /// # Panics
 ///
@@ -43,42 +49,85 @@ pub fn wavelength_sweep(
     count: usize,
 ) -> Vec<SpectrumPoint> {
     assert!(count >= 2, "need at least two sweep points");
-    let base = compiled.problem().clone();
-    let lambda_c = 2.0 * std::f64::consts::PI / base.omega;
+    let axis = SpectralAxis::around(half_span, count);
+    let owned;
+    let spectral: &CompiledProblem = if *compiled.spectral_axis() == axis {
+        compiled
+    } else {
+        owned = CompiledProblem::compile_spectral(compiled.problem().clone(), axis)
+            .expect("sweep recalibration failed");
+        &owned
+    };
+    sweep_compiled(spectral, chain, mask)
+}
+
+/// The K-solve sweep core: evaluates `mask` at **every** wavelength a
+/// spectrally-compiled problem carries, reusing its per-ω calibration.
+/// The fabricated permittivity (nominal corner, hard etch) is built once
+/// — it does not depend on ω — and each wavelength then costs one
+/// factorisation plus the excitation solves, sharing one scratch whose
+/// per-ω geometry caches stay resident across the sweep.
+pub fn sweep_compiled(
+    spectral: &CompiledProblem,
+    chain: &FabChain,
+    mask: &Array2<f64>,
+) -> Vec<SpectrumPoint> {
+    let problem = spectral.problem();
+    let lambda_c = 2.0 * std::f64::consts::PI / problem.omega;
+    let lambdas = spectral.spectral_axis().lambdas(lambda_c);
     let corner = VariationCorner::nominal();
     let fwd = chain.forward(&binarize_mask(mask), &corner, true);
-    let mut out = Vec::with_capacity(count);
-    for k in 0..count {
-        let lambda = lambda_c - half_span + 2.0 * half_span * k as f64 / (count as f64 - 1.0);
-        let mut problem = base.clone();
-        problem.omega = 2.0 * std::f64::consts::PI / lambda;
-        let c = CompiledProblem::compile(problem).expect("sweep recompile failed");
-        let eps = assemble_eps(
-            &c.problem().background_solid,
-            c.problem().design_origin,
-            &fwd.rho_fab,
-            corner.temperature,
-        );
-        let ev = c
-            .evaluate_eps(&eps, false)
-            .expect("sweep evaluation failed");
-        out.push(SpectrumPoint {
-            lambda,
-            fom: ev.fom,
-        });
-    }
-    out
+    let eps = assemble_eps(
+        &problem.background_solid,
+        problem.design_origin,
+        &fwd.rho_fab,
+        corner.temperature,
+    );
+    let spec = problem.objective.clone();
+    let mut scratch = EvalScratch::new();
+    lambdas
+        .into_iter()
+        .enumerate()
+        .map(|(oi, lambda)| {
+            let ev = spectral
+                .evaluate_eps_omega(&eps, false, &spec, &mut scratch, oi)
+                .expect("sweep evaluation failed");
+            SpectrumPoint {
+                lambda,
+                fom: ev.fom,
+            }
+        })
+        .collect()
 }
 
 /// Bandwidth summary: the contiguous wavelength span around the centre
 /// where the FoM stays within `tolerance` of the centre value (for
 /// higher-is-better FoMs) or below `tolerance × centre` (contrast).
+///
+/// The centre is the sample whose wavelength is closest to the midpoint
+/// of the sweep (even-length sweeps have no true centre index; ties go to
+/// the lower sample). A centre already below the threshold has no
+/// in-tolerance span at all and returns `0.0`.
 pub fn bandwidth_within(points: &[SpectrumPoint], centre_fom: f64, tolerance: f64) -> f64 {
     if points.len() < 2 {
         return 0.0;
     }
     let threshold = centre_fom * (1.0 - tolerance);
-    let centre_idx = points.len() / 2;
+    let mid = 0.5 * (points[0].lambda + points[points.len() - 1].lambda);
+    let centre_idx = points
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (a.lambda - mid)
+                .abs()
+                .partial_cmp(&(b.lambda - mid).abs())
+                .expect("finite wavelengths")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    if points[centre_idx].fom < threshold {
+        return 0.0;
+    }
     let mut lo = centre_idx;
     let mut hi = centre_idx;
     while lo > 0 && points[lo - 1].fom >= threshold {
@@ -135,6 +184,69 @@ mod tests {
         // Zero tolerance keeps only the centre.
         let bw0 = bandwidth_within(&pts, 1.0, 0.0);
         assert!(bw0 <= 0.011, "bandwidth {bw0}");
+    }
+
+    #[test]
+    fn sweep_on_spectrally_compiled_problem_matches_recalibrated_sweep() {
+        // A problem compiled with the matching axis reuses its per-ω
+        // calibration (K solves, no recompiles); a single-ω compiled
+        // problem recalibrates once. Both paths must agree exactly.
+        let p = bending();
+        let chain = standard_chain(&p);
+        let ls = LevelSetParam::new(
+            p.design_shape.0,
+            p.design_shape.1,
+            p.grid.dx,
+            LevelSetConfig::default(),
+        );
+        let mask = ls.forward(&ls.theta_from_geometry(&p.seed));
+        let axis = boson_fab::SpectralAxis::around(0.02, 3);
+        let single = CompiledProblem::compile(p.clone()).unwrap();
+        let spectral = CompiledProblem::compile_spectral(p, axis).unwrap();
+        assert_eq!(spectral.omega_count(), 3);
+        let a = wavelength_sweep(&single, &chain, &mask, 0.02, 3);
+        let b = wavelength_sweep(&spectral, &chain, &mask, 0.02, 3);
+        assert_eq!(a, b);
+        // And the direct K-solve core agrees too.
+        let c = sweep_compiled(&spectral, &chain, &mask);
+        assert_eq!(b, c);
+        // Detuning moves the FoM: the sweep is not a constant.
+        assert!(a.iter().any(|pt| (pt.fom - a[1].fom).abs() > 1e-9));
+    }
+
+    #[test]
+    fn bandwidth_even_length_sweep_uses_nearest_centre_sample() {
+        // Six points: the midpoint falls between indices 2 and 3; the
+        // centre must be index 2 (ties to the lower sample), not the
+        // right-biased len()/2 = 3.
+        let pts: Vec<SpectrumPoint> = [0.1, 0.9, 1.0, 0.2, 0.2, 0.2]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| SpectrumPoint {
+                lambda: 1.5 + i as f64 * 0.01,
+                fom: f,
+            })
+            .collect();
+        // Centre (idx 2, fom 1.0) and its left neighbour pass the 0.8
+        // threshold; idx 3 (fom 0.2) would have produced a zero span
+        // under the old centre choice.
+        let bw = bandwidth_within(&pts, 1.0, 0.2);
+        assert!((bw - 0.01).abs() < 1e-12, "bandwidth {bw}");
+    }
+
+    #[test]
+    fn bandwidth_is_zero_when_centre_is_below_threshold() {
+        // A dip exactly at the centre: neighbours above threshold must
+        // not be counted into a span the centre itself fails.
+        let pts: Vec<SpectrumPoint> = [1.0, 1.0, 0.5, 1.0, 1.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| SpectrumPoint {
+                lambda: 1.5 + i as f64 * 0.01,
+                fom: f,
+            })
+            .collect();
+        assert_eq!(bandwidth_within(&pts, 1.0, 0.2), 0.0);
     }
 
     #[test]

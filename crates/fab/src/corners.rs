@@ -1,17 +1,24 @@
 //! Variation-corner algebra and the adaptive sampling strategies.
 //!
-//! The variation space has three axes (paper §III-E): lithography corner
-//! `L`, operating temperature `T`, and global etch threshold `η`, plus the
-//! high-dimensional EOLE field weights `ξ` for spatial etch variation.
-//! Exhaustive corner sweeping costs `3^N` simulations per iteration; the
-//! paper's *axial* sampling visits only the `2N` single-axis excursions
-//! plus the nominal point (linear cost), and appends one *worst-case*
-//! corner found by a single gradient-ascent step on `(T, ξ)`.
+//! The variation space has three fabrication/operation axes (paper
+//! §III-E): lithography corner `L`, operating temperature `T`, and global
+//! etch threshold `η`, plus the high-dimensional EOLE field weights `ξ`
+//! for spatial etch variation — and, since the spectral extension, the
+//! operating wavelength as a fourth axis ([`SpectralAxis`]: `K`
+//! wavelengths around λ_c, `K = 1` degenerating to the original
+//! single-wavelength behaviour bit-identically). Exhaustive corner
+//! sweeping costs `3^N` simulations per iteration; the paper's *axial*
+//! sampling visits only the `2N` single-axis excursions plus the nominal
+//! point (linear cost), and appends one *worst-case* corner found by a
+//! single gradient-ascent step on `(T, ξ)`.
 //!
 //! All strategies from Fig. 6(a) are implemented so the comparison can be
-//! regenerated.
+//! regenerated. [`VariationSpace::spectral_corners`] forms the
+//! (fabrication corner × wavelength) cross product that the broadband
+//! robust loop sweeps.
 
 use crate::eole::EoleParams;
+use crate::spectral::SpectralAxis;
 use crate::temperature::{TemperatureModel, T_NOMINAL};
 use boson_litho::LithoCorner;
 use rand::Rng;
@@ -28,6 +35,9 @@ pub struct VariationCorner {
     pub eta_shift: f64,
     /// EOLE spatial-field weights (empty = flat field).
     pub xi: Vec<f64>,
+    /// Index of this corner's operating wavelength in the spectral axis
+    /// (see [`SpectralAxis`]); `0` for the single-wavelength space.
+    pub omega_idx: usize,
     /// Weight of this corner in the robust objective.
     pub weight: f64,
     /// Human-readable label for traces and reports.
@@ -35,24 +45,40 @@ pub struct VariationCorner {
 }
 
 impl VariationCorner {
-    /// The nominal (no-variation) corner.
+    /// The nominal (no-variation) corner at the first (and for the
+    /// single-wavelength space, only) spectral sample.
     pub fn nominal() -> Self {
         Self {
             litho: LithoCorner::Nominal,
             temperature: T_NOMINAL,
             eta_shift: 0.0,
             xi: Vec::new(),
+            omega_idx: 0,
             weight: 1.0,
             label: "nominal".to_owned(),
         }
     }
 
-    /// `true` if this corner deviates from nominal in any axis.
+    /// `true` if this corner deviates from nominal in any *fabrication*
+    /// axis (the spectral index is judged separately because the nominal
+    /// wavelength index depends on the axis — see
+    /// [`SpectralAxis::nominal_index`]).
     pub fn is_varied(&self) -> bool {
         self.litho != LithoCorner::Nominal
             || self.temperature != T_NOMINAL
             || self.eta_shift != 0.0
             || self.xi.iter().any(|&x| x != 0.0)
+    }
+
+    /// This corner re-targeted to spectral sample `omega_idx` at
+    /// wavelength `lambda` (µm); the label gains a `@λ=…` suffix so
+    /// per-corner solver policies key on the exact `(corner, ω)` pair.
+    pub fn at_omega(&self, omega_idx: usize, lambda: f64) -> Self {
+        Self {
+            omega_idx,
+            label: format!("{}@λ={lambda:.4}", self.label),
+            ..self.clone()
+        }
     }
 }
 
@@ -108,7 +134,8 @@ impl SamplingStrategy {
     }
 }
 
-/// The variation space: axis excursions and the spatial-field model.
+/// The variation space: axis excursions, the spatial-field model, and the
+/// spectral (operating-wavelength) axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VariationSpace {
     /// Temperature model (excursion ±Δ).
@@ -117,6 +144,10 @@ pub struct VariationSpace {
     pub eta_delta: f64,
     /// EOLE parameters for spatially-varying etching.
     pub eole: EoleParams,
+    /// Spectral axis: `K` wavelengths around λ_c (default: the single
+    /// centre wavelength, which reproduces the unextended pipeline
+    /// bit-identically).
+    pub spectral: SpectralAxis,
 }
 
 impl Default for VariationSpace {
@@ -125,6 +156,7 @@ impl Default for VariationSpace {
             temperature: TemperatureModel::default(),
             eta_delta: 0.05,
             eole: EoleParams::default(),
+            spectral: SpectralAxis::single(),
         }
     }
 }
@@ -150,9 +182,8 @@ impl VariationSpace {
                                 litho,
                                 temperature: t,
                                 eta_shift: de,
-                                xi: Vec::new(),
-                                weight: 1.0,
                                 label: format!("sweep:{litho:?}/T={t}/dη={de:+.2}"),
+                                ..VariationCorner::nominal()
                             });
                         }
                     }
@@ -186,6 +217,43 @@ impl VariationSpace {
         let w = 1.0 / out.len() as f64;
         for c in &mut out {
             c.weight = w;
+        }
+        out
+    }
+
+    /// The (fabrication corner × wavelength) cross product for
+    /// `strategy`: every corner of [`VariationSpace::corners`] replicated
+    /// at each of the spectral axis' `K` wavelengths, ω-major (all
+    /// fabrication corners at ω₀, then all at ω₁, …) so each wavelength's
+    /// group is contiguous for the per-ω batched solver sweep. Weights
+    /// are renormalised across the whole product.
+    ///
+    /// With the default single-wavelength axis this returns exactly
+    /// [`VariationSpace::corners`] — same labels, same weights, same
+    /// `omega_idx = 0` — so `K = 1` runs are bit-identical to the
+    /// unextended pipeline.
+    ///
+    /// `lambda_c` is the centre wavelength (µm) used only to render the
+    /// `@λ=…` label suffixes of the `K > 1` product.
+    pub fn spectral_corners<R: Rng>(
+        &self,
+        strategy: SamplingStrategy,
+        lambda_c: f64,
+        rng: &mut R,
+    ) -> Vec<VariationCorner> {
+        let fab = self.corners(strategy, rng);
+        if self.spectral.is_single() {
+            return fab;
+        }
+        let lambdas = self.spectral.lambdas(lambda_c);
+        let w = 1.0 / (fab.len() * lambdas.len()) as f64;
+        let mut out = Vec::with_capacity(fab.len() * lambdas.len());
+        for (oi, &lambda) in lambdas.iter().enumerate() {
+            for c in &fab {
+                let mut sc = c.at_omega(oi, lambda);
+                sc.weight = w;
+                out.push(sc);
+            }
         }
         out
     }
@@ -231,10 +299,9 @@ impl VariationSpace {
         VariationCorner {
             litho,
             temperature,
-            eta_shift: 0.0,
             xi,
-            weight: 1.0,
             label: "mc".to_owned(),
+            ..VariationCorner::nominal()
         }
     }
 
@@ -262,12 +329,10 @@ impl VariationSpace {
             vec![0.0; k]
         };
         VariationCorner {
-            litho: LithoCorner::Nominal,
             temperature,
-            eta_shift: 0.0,
             xi,
-            weight: 1.0,
             label: "worst-case".to_owned(),
+            ..VariationCorner::nominal()
         }
     }
 }
@@ -370,6 +435,57 @@ mod tests {
             assert!(c.temperature >= lo && c.temperature <= hi);
             assert_eq!(c.xi.len(), s.eole.terms);
         }
+    }
+
+    #[test]
+    fn single_wavelength_spectral_corners_are_identical_to_corners() {
+        let s = space();
+        for strat in [
+            SamplingStrategy::NominalOnly,
+            SamplingStrategy::CornerSweep,
+            SamplingStrategy::AxialDoubleSided,
+            SamplingStrategy::AxialPlusRandom { count: 2 },
+        ] {
+            // Same RNG seed on both sides: the draws must match too.
+            let mut rng_a = StdRng::seed_from_u64(11);
+            let mut rng_b = StdRng::seed_from_u64(11);
+            let plain = s.corners(strat, &mut rng_a);
+            let spectral = s.spectral_corners(strat, 1.55, &mut rng_b);
+            assert_eq!(plain, spectral, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn spectral_cross_product_replicates_corners_per_wavelength() {
+        let mut s = space();
+        s.spectral = crate::SpectralAxis::around(0.02, 3);
+        let mut rng = StdRng::seed_from_u64(12);
+        let product = s.spectral_corners(SamplingStrategy::AxialDoubleSided, 1.55, &mut rng);
+        assert_eq!(product.len(), 7 * 3);
+        // ω-major: the first 7 share ω₀, the next 7 share ω₁, …
+        for (i, c) in product.iter().enumerate() {
+            assert_eq!(c.omega_idx, i / 7, "{}", c.label);
+            assert!(c.label.contains("@λ="), "{}", c.label);
+        }
+        // Weights renormalised across the whole product.
+        let total: f64 = product.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Each ω group contains exactly one fabrication-nominal corner,
+        // and the nominal spectral sample is the centre wavelength.
+        for oi in 0..3 {
+            let group: Vec<_> = product.iter().filter(|c| c.omega_idx == oi).collect();
+            assert_eq!(group.iter().filter(|c| !c.is_varied()).count(), 1);
+        }
+        assert_eq!(s.spectral.nominal_index(), 1);
+    }
+
+    #[test]
+    fn at_omega_retargets_and_relabels() {
+        let c = VariationCorner::nominal();
+        let c2 = c.at_omega(2, 1.57);
+        assert_eq!(c2.omega_idx, 2);
+        assert!(c2.label.starts_with("nominal@λ=1.57"));
+        assert!(!c2.is_varied(), "spectral index is not a fabrication axis");
     }
 
     #[test]

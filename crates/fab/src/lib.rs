@@ -12,7 +12,11 @@
 //!   `ε(t) = (3.48 + 1.8e-4·(t − 300))²`;
 //! * [`corners`] — [`VariationCorner`] and every sampling strategy from
 //!   Fig. 6(a): nominal-only, exhaustive 3³ sweep, single/double-sided
-//!   axial, axial+random and axial+worst-case.
+//!   axial, axial+random and axial+worst-case;
+//! * [`spectral`] — the operating-wavelength axis ([`SpectralAxis`]):
+//!   `K` wavelengths around λ_c that cross with the fabrication corners
+//!   into the broadband variation space (`K = 1` reproduces the
+//!   single-wavelength pipeline bit-identically).
 //!
 //! # Examples
 //!
@@ -33,9 +37,11 @@
 pub mod corners;
 pub mod eole;
 pub mod etch;
+pub mod spectral;
 pub mod temperature;
 
 pub use corners::{SamplingStrategy, VariationCorner, VariationSpace};
 pub use eole::{EoleField, EoleParams};
 pub use etch::{hard_threshold, EtchProjection};
+pub use spectral::SpectralAxis;
 pub use temperature::TemperatureModel;

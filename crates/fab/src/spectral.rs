@@ -1,0 +1,191 @@
+//! The spectral (operating-wavelength) variation axis.
+//!
+//! BOSON-1 optimises at a single centre wavelength λ_c, but a deployed
+//! device must hold its figure of merit across its operating band —
+//! spectral detuning is as real a variation axis as lithography dose or
+//! temperature. [`SpectralAxis`] discretises that axis into `K`
+//! wavelengths spanning `λ_c ± half_span`; the variation machinery then
+//! treats every fabrication corner × wavelength pair as one corner of the
+//! extended variation space (see
+//! [`VariationSpace::spectral_corners`](crate::VariationSpace::spectral_corners)).
+//!
+//! `K = 1` is the degenerate single-wavelength axis and reproduces the
+//! original single-ω pipeline **bit-identically**: the axis contributes
+//! exactly `[λ_c]` (the `half_span` is ignored), no labels change, and no
+//! extra simulations run.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric wavelength window `λ_c ± half_span` sampled at `count`
+/// equispaced points (endpoints included).
+///
+/// The *nominal* sample is the one closest to λ_c: the exact centre for
+/// odd `count`, the lower of the two middle samples for even `count`
+/// (an even-length sweep has no true centre).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralAxis {
+    /// Wavelength half-span around the centre (µm). Ignored when
+    /// `count == 1`.
+    pub half_span: f64,
+    /// Number of wavelength samples `K ≥ 1`.
+    pub count: usize,
+}
+
+impl Default for SpectralAxis {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl SpectralAxis {
+    /// The degenerate single-wavelength axis (today's behaviour).
+    pub fn single() -> Self {
+        Self {
+            half_span: 0.0,
+            count: 1,
+        }
+    }
+
+    /// `count` wavelengths spanning `λ_c ± half_span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `half_span < 0`.
+    pub fn around(half_span: f64, count: usize) -> Self {
+        assert!(count >= 1, "spectral axis needs at least one wavelength");
+        assert!(half_span >= 0.0, "spectral half-span must be non-negative");
+        Self { half_span, count }
+    }
+
+    /// `true` for the degenerate `K = 1` axis.
+    pub fn is_single(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The sampled wavelengths for centre `lambda_c`, ascending.
+    /// `K = 1` returns exactly `[lambda_c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` (the fields are public and serde-reachable,
+    /// so an invalid axis can bypass [`SpectralAxis::around`]'s guard).
+    pub fn lambdas(&self, lambda_c: f64) -> Vec<f64> {
+        assert!(
+            self.count >= 1,
+            "spectral axis needs at least one wavelength"
+        );
+        if self.count == 1 {
+            return vec![lambda_c];
+        }
+        (0..self.count)
+            .map(|k| {
+                lambda_c - self.half_span
+                    + 2.0 * self.half_span * k as f64 / (self.count as f64 - 1.0)
+            })
+            .collect()
+    }
+
+    /// The sampled angular frequencies for centre frequency `omega_c`
+    /// (`ω = 2π/λ`, c = 1), in the order of [`SpectralAxis::lambdas`]
+    /// (i.e. descending ω). `K = 1` returns exactly `[omega_c]` — no
+    /// λ↔ω round-trip, so the single-wavelength axis is bit-identical to
+    /// the unextended pipeline.
+    pub fn omegas(&self, omega_c: f64) -> Vec<f64> {
+        if self.count == 1 {
+            return vec![omega_c];
+        }
+        let lambda_c = 2.0 * std::f64::consts::PI / omega_c;
+        self.lambdas(lambda_c)
+            .into_iter()
+            .map(|l| 2.0 * std::f64::consts::PI / l)
+            .collect()
+    }
+
+    /// Index of the nominal (closest-to-centre) wavelength: `(K − 1) / 2`
+    /// — the exact centre for odd `K`, the lower middle sample for even
+    /// `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn nominal_index(&self) -> usize {
+        assert!(
+            self.count >= 1,
+            "spectral axis needs at least one wavelength"
+        );
+        (self.count - 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_axis_is_exactly_the_centre() {
+        let a = SpectralAxis::single();
+        assert!(a.is_single());
+        assert_eq!(a.lambdas(1.55), vec![1.55]);
+        let wc = 2.0 * std::f64::consts::PI / 1.55;
+        // Bit-exact: no λ↔ω round trip for K = 1.
+        assert_eq!(a.omegas(wc), vec![wc]);
+        assert_eq!(a.nominal_index(), 0);
+        // A K=1 axis with a non-zero half-span is still the bare centre.
+        let b = SpectralAxis::around(0.03, 1);
+        assert_eq!(b.lambdas(1.55), vec![1.55]);
+        assert_eq!(b.omegas(wc), vec![wc]);
+    }
+
+    #[test]
+    fn odd_axis_centres_on_lambda_c() {
+        let a = SpectralAxis::around(0.02, 5);
+        let ls = a.lambdas(1.55);
+        assert_eq!(ls.len(), 5);
+        assert!((ls[0] - 1.53).abs() < 1e-12);
+        assert!((ls[4] - 1.57).abs() < 1e-12);
+        assert!((ls[a.nominal_index()] - 1.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_axis_nominal_is_lower_middle() {
+        let a = SpectralAxis::around(0.03, 4);
+        assert_eq!(a.nominal_index(), 1);
+        let ls = a.lambdas(1.55);
+        // The two middle samples straddle the centre; nominal is the lower.
+        assert!(ls[1] < 1.55 && ls[2] > 1.55);
+        assert!(((1.55 - ls[1]) - (ls[2] - 1.55)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn lambdas_are_monotone_and_symmetric(
+            half in 0.001f64..0.2,
+            count in 1usize..9,
+            lambda_c in 0.8f64..3.0,
+        ) {
+            let a = SpectralAxis::around(half, count);
+            let ls = a.lambdas(lambda_c);
+            prop_assert_eq!(ls.len(), count);
+            for w in ls.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            // Symmetric about λ_c: λ_k + λ_{K−1−k} = 2 λ_c.
+            for k in 0..count {
+                prop_assert!((ls[k] + ls[count - 1 - k] - 2.0 * lambda_c).abs() < 1e-9);
+            }
+            // The nominal sample is (one of) the closest to λ_c.
+            let ni = a.nominal_index();
+            for l in &ls {
+                prop_assert!(
+                    (ls[ni] - lambda_c).abs() <= (l - lambda_c).abs() + 1e-12
+                );
+            }
+            // ω order matches λ order reversed in magnitude.
+            let ws = a.omegas(2.0 * std::f64::consts::PI / lambda_c);
+            for (l, w) in ls.iter().zip(&ws) {
+                prop_assert!((l * w - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+            }
+        }
+    }
+}

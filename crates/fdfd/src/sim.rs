@@ -23,11 +23,13 @@
 //! corners of every optimisation iteration) should instead keep one
 //! [`SimWorkspace`] per thread:
 //!
-//! * [`SimWorkspace::factor`] reuses the cached [`SFactors`] (recomputed
-//!   only when `(grid, ω)` changes), reassembles into a retained
-//!   [`boson_num::banded::BandedMatrix`] and refactors into a retained
-//!   [`boson_num::banded::BandedLu`] — after the first corner, **zero heap
-//!   allocations**;
+//! * [`SimWorkspace::factor`] reuses the cached [`SFactors`] and stencil
+//!   couplings, kept in a small LRU set of **per-ω slots** (one per
+//!   `(grid, ω)` pair, up to [`MAX_OMEGA_SLOTS`] wavelengths resident at
+//!   once — a multi-wavelength sweep revisits its ωs allocation-free),
+//!   reassembles into a retained [`boson_num::banded::BandedMatrix`] and
+//!   refactors into a retained [`boson_num::banded::BandedLu`] — after
+//!   the first corner of each ω, **zero heap allocations**;
 //! * the batched solve methods write into caller-owned buffers and push
 //!   all right-hand sides (every excitation's forward solve, then every
 //!   adjoint) through a single [`boson_num::banded::BandedLu::solve_many`]
@@ -47,10 +49,12 @@
 //! * [`SolverStrategy::Direct`] — assemble + LU-factor every corner
 //!   (`O(n·b²)` each); the exact reference path.
 //! * [`SolverStrategy::PreconditionedIterative`] — factor only the
-//!   nominal operator per `(grid, ω, epoch)` and solve every non-nominal
-//!   corner with nominal-factor-preconditioned BiCGSTAB
-//!   ([`boson_num::krylov`]), the corner operator applied matrix-free
-//!   from the cached stencil couplings
+//!   nominal operator per `(grid, ω, epoch)` — each resident ω slot
+//!   caches its own nominal factor, so a broadband (corner × ω) sweep
+//!   pays K nominal factorisations per epoch, not K per corner — and
+//!   solve every non-nominal corner with nominal-factor-preconditioned
+//!   BiCGSTAB ([`boson_num::krylov`]), the corner operator applied
+//!   matrix-free from the cached stencil couplings
 //!   ([`crate::operator::StencilCache`]). Preconditioner sweeps run on a
 //!   single-precision factor copy for ordinary tolerances (residuals
 //!   stay `f64`). Corners are prepared one at a time with
@@ -360,6 +364,35 @@ pub struct CornerSolveReport {
 /// iteration cannot plateau near the f32 noise floor.
 const F32_PRECOND_MIN_TOL: f64 = 1e-8;
 
+/// Maximum number of per-ω slots a [`SimWorkspace`] retains. A broadband
+/// robust iteration keys its geometry caches and nominal factors by
+/// `(grid, ω)`; up to this many wavelengths stay resident simultaneously
+/// (allocation-free once warm), beyond it the least-recently-used ω is
+/// evicted and rebuilt on return (which re-allocates — keep `K ≤` this
+/// for steady-state zero-allocation sweeps).
+pub const MAX_OMEGA_SLOTS: usize = 8;
+
+/// The `(grid, ω)`-keyed state of one operating wavelength: PML stretch
+/// factors, the ε-independent stencil couplings, and the cached nominal
+/// factorisation (plus its single-precision preconditioner copy) with the
+/// epoch it belongs to.
+#[derive(Debug)]
+struct OmegaSlot {
+    omega: f64,
+    sfactors: SFactors,
+    stencil: StencilCache,
+    /// Factorisation of this ω's nominal corner operator (iterative
+    /// strategy).
+    nominal_lu: BandedLu,
+    /// Single-precision copy of the nominal factors — the preconditioner
+    /// application engine for ordinary tolerances.
+    nominal_lu32: BandedLuF32,
+    /// Epoch the nominal factor belongs to; `None` = invalid.
+    nominal_epoch: Option<u64>,
+    /// LRU stamp (workspace clock at last use).
+    last_used: u64,
+}
+
 /// How the currently-prepared operator solves systems.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum SolveMode {
@@ -403,20 +436,20 @@ enum SolveMode {
 #[derive(Debug)]
 pub struct SimWorkspace {
     grid: Option<SimGrid>,
+    /// ω of the active slot (0.0 until the first factorisation).
     omega: f64,
-    sfactors: Option<SFactors>,
-    stencil: Option<StencilCache>,
+    /// Per-ω geometry + nominal-factor caches, LRU-bounded by
+    /// [`MAX_OMEGA_SLOTS`]. A single-wavelength run occupies exactly one
+    /// slot and follows the same code path as before the spectral
+    /// extension (bit-identical results).
+    slots: Vec<OmegaSlot>,
+    /// Index of the active slot in `slots`.
+    active: usize,
+    /// Monotonic use counter driving the LRU eviction.
+    clock: u64,
     a: BandedMatrix,
     lu: BandedLu,
     factored: bool,
-    /// Factorisation of the nominal corner operator (iterative strategy).
-    nominal_lu: BandedLu,
-    /// Single-precision copy of the nominal factors — the preconditioner
-    /// application engine for ordinary tolerances (see
-    /// [`boson_num::banded::BandedLuF32`]).
-    nominal_lu32: BandedLuF32,
-    /// Epoch the nominal factor belongs to; `None` = invalid.
-    nominal_epoch: Option<u64>,
     /// Diagonal of the currently-prepared corner operator.
     diag: Vec<Complex64>,
     /// RHS snapshot so a direct fallback can re-solve the same systems.
@@ -447,14 +480,12 @@ impl SimWorkspace {
         Self {
             grid: None,
             omega: 0.0,
-            sfactors: None,
-            stencil: None,
+            slots: Vec::new(),
+            active: 0,
+            clock: 0,
             a: BandedMatrix::new(1, 0, 0),
             lu: BandedLu::placeholder(),
             factored: false,
-            nominal_lu: BandedLu::placeholder(),
-            nominal_lu32: BandedLuF32::placeholder(),
-            nominal_epoch: None,
             diag: Vec::new(),
             rhs: Vec::new(),
             krylov: KrylovWorkspace::new(),
@@ -492,23 +523,61 @@ impl SimWorkspace {
     ///
     /// Panics if the workspace has never been factored.
     pub fn sfactors(&self) -> &SFactors {
-        self.sfactors
-            .as_ref()
+        &self
+            .slots
+            .get(self.active)
             .expect("SimWorkspace::factor not called")
+            .sfactors
     }
 
-    /// Recomputes the `(grid, ω)`-dependent state — PML stretch factors
-    /// and the ε-independent stencil couplings — when the geometry
-    /// changed, invalidating the cached nominal factor.
+    /// Number of ω slots currently resident (≤ [`MAX_OMEGA_SLOTS`]).
+    pub fn omega_slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Selects (building or evicting as needed) the per-ω slot for
+    /// `(grid, ω)` — PML stretch factors, stencil couplings and this ω's
+    /// cached nominal factor. A grid change clears every slot; revisiting
+    /// a resident ω is an `O(K)` scan with no allocation, which is what
+    /// keeps the steady-state multi-wavelength corner sweep
+    /// allocation-free for `K ≤` [`MAX_OMEGA_SLOTS`].
     fn ensure_geometry(&mut self, grid: SimGrid, omega: f64) {
-        if self.grid != Some(grid) || self.omega != omega || self.stencil.is_none() {
-            let s = SFactors::new(&grid, omega);
-            self.stencil = Some(StencilCache::build(&grid, &s, omega));
-            self.sfactors = Some(s);
+        if self.grid != Some(grid) {
+            self.slots.clear();
             self.grid = Some(grid);
-            self.omega = omega;
-            self.nominal_epoch = None;
         }
+        self.clock += 1;
+        if let Some(idx) = self.slots.iter().position(|s| s.omega == omega) {
+            self.active = idx;
+        } else {
+            let sfactors = SFactors::new(&grid, omega);
+            let stencil = StencilCache::build(&grid, &sfactors, omega);
+            let slot = OmegaSlot {
+                omega,
+                sfactors,
+                stencil,
+                nominal_lu: BandedLu::placeholder(),
+                nominal_lu32: BandedLuF32::placeholder(),
+                nominal_epoch: None,
+                last_used: 0,
+            };
+            if self.slots.len() < MAX_OMEGA_SLOTS {
+                self.slots.push(slot);
+                self.active = self.slots.len() - 1;
+            } else {
+                let lru = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.last_used)
+                    .map(|(i, _)| i)
+                    .expect("slot cache non-empty");
+                self.slots[lru] = slot;
+                self.active = lru;
+            }
+        }
+        self.slots[self.active].last_used = self.clock;
+        self.omega = omega;
     }
 
     /// Assembles and factors the operator for `eps`, reusing every buffer.
@@ -540,7 +609,7 @@ impl SimWorkspace {
             "eps shape must be (ny, nx)"
         );
         self.ensure_geometry(grid, omega);
-        let stencil = self.stencil.as_ref().expect("stencil cached above");
+        let stencil = &self.slots[self.active].stencil;
         stencil.diag_into(eps, &mut self.diag);
         stencil.assemble_with_diag(&self.diag, &mut self.a);
         self.factored = false;
@@ -605,22 +674,21 @@ impl SimWorkspace {
                 );
                 self.ensure_geometry(grid, omega);
                 self.factored = false;
-                if self.nominal_epoch != Some(ctx.epoch) {
-                    let stencil = self.stencil.as_ref().expect("stencil cached above");
-                    stencil.diag_into(ctx.nominal_eps, &mut self.diag);
-                    stencil.assemble_with_diag(&self.diag, &mut self.a);
-                    self.a.factor_swap_into(&mut self.nominal_lu)?;
-                    self.nominal_lu32.assign_from(&self.nominal_lu);
-                    self.nominal_epoch = Some(ctx.epoch);
+                let slot = &mut self.slots[self.active];
+                if slot.nominal_epoch != Some(ctx.epoch) {
+                    slot.stencil.diag_into(ctx.nominal_eps, &mut self.diag);
+                    slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
+                    self.a.factor_swap_into(&mut slot.nominal_lu)?;
+                    slot.nominal_lu32.assign_from(&slot.nominal_lu);
+                    slot.nominal_epoch = Some(ctx.epoch);
                     self.report.factorizations += 1;
                 }
                 if ctx.is_nominal {
                     self.mode = SolveMode::NominalDirect;
                 } else {
-                    let stencil = self.stencil.as_ref().expect("stencil cached above");
-                    stencil.diag_into(eps, &mut self.diag);
+                    slot.stencil.diag_into(eps, &mut self.diag);
                     if ctx.force_direct {
-                        stencil.assemble_with_diag(&self.diag, &mut self.a);
+                        slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
                         self.a.factor_swap_into(&mut self.lu)?;
                         self.factored = true;
                         self.mode = SolveMode::DirectLu;
@@ -701,18 +769,19 @@ impl SimWorkspace {
                 }
             }
             SolveMode::NominalDirect => {
+                let nominal_lu = &self.slots[self.active].nominal_lu;
                 if transpose {
-                    self.nominal_lu.solve_transpose_many(b, nrhs);
+                    nominal_lu.solve_transpose_many(b, nrhs);
                 } else {
-                    self.nominal_lu.solve_many(b, nrhs);
+                    nominal_lu.solve_many(b, nrhs);
                 }
             }
             SolveMode::Iterative { tol, max_iters } => {
                 self.rhs.clear();
                 self.rhs.extend_from_slice(b);
-                let stencil = self.stencil.as_ref().expect("stencil cached");
+                let slot = &mut self.slots[self.active];
                 let op = StencilOp {
-                    cache: stencil,
+                    cache: &slot.stencil,
                     diag: &self.diag,
                 };
                 let opts = IterativeOptions {
@@ -728,7 +797,7 @@ impl SimWorkspace {
                 let quality = match (transpose, use_f32) {
                     (false, true) => bicgstab_precond_many(
                         &op,
-                        &mut self.nominal_lu32,
+                        &mut slot.nominal_lu32,
                         &self.rhs,
                         b,
                         nrhs,
@@ -737,7 +806,7 @@ impl SimWorkspace {
                     ),
                     (true, true) => bicgstab_precond_transpose_many(
                         &op,
-                        &mut self.nominal_lu32,
+                        &mut slot.nominal_lu32,
                         &self.rhs,
                         b,
                         nrhs,
@@ -746,7 +815,7 @@ impl SimWorkspace {
                     ),
                     (false, false) => bicgstab_precond_many(
                         &op,
-                        &mut self.nominal_lu,
+                        &mut slot.nominal_lu,
                         &self.rhs,
                         b,
                         nrhs,
@@ -755,7 +824,7 @@ impl SimWorkspace {
                     ),
                     (true, false) => bicgstab_precond_transpose_many(
                         &op,
-                        &mut self.nominal_lu,
+                        &mut slot.nominal_lu,
                         &self.rhs,
                         b,
                         nrhs,
@@ -771,7 +840,7 @@ impl SimWorkspace {
                     // direct as well.
                     self.report.fell_back = true;
                     self.report.factorizations += 1;
-                    stencil.assemble_with_diag(&self.diag, &mut self.a);
+                    slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
                     self.a.factor_swap_into(&mut self.lu)?;
                     self.factored = true;
                     self.mode = SolveMode::DirectLu;
@@ -832,13 +901,13 @@ impl SimWorkspace {
         );
         self.ensure_geometry(grid, omega);
         let mut factorizations = 0;
-        if self.nominal_epoch != Some(epoch) {
-            let stencil = self.stencil.as_ref().expect("stencil cached above");
-            stencil.diag_into(nominal_eps, &mut self.diag);
-            stencil.assemble_with_diag(&self.diag, &mut self.a);
-            self.a.factor_swap_into(&mut self.nominal_lu)?;
-            self.nominal_lu32.assign_from(&self.nominal_lu);
-            self.nominal_epoch = Some(epoch);
+        let slot = &mut self.slots[self.active];
+        if slot.nominal_epoch != Some(epoch) {
+            slot.stencil.diag_into(nominal_eps, &mut self.diag);
+            slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
+            self.a.factor_swap_into(&mut slot.nominal_lu)?;
+            slot.nominal_lu32.assign_from(&slot.nominal_lu);
+            slot.nominal_epoch = Some(epoch);
             factorizations = 1;
         }
         self.batch_diags.clear();
@@ -859,10 +928,11 @@ impl SimWorkspace {
     ///
     /// Panics if `eps` does not match the batch grid.
     pub fn batch_push(&mut self, eps: &Array2<f64>) -> usize {
-        let stencil = self
-            .stencil
-            .as_ref()
-            .expect("batch_begin before batch_push");
+        let stencil = &self
+            .slots
+            .get(self.active)
+            .expect("batch_begin before batch_push")
+            .stencil;
         let n = stencil.n();
         assert_eq!(eps.as_slice().len(), n, "eps size mismatch");
         // diag_into semantics, appended to the batch block.
@@ -900,16 +970,16 @@ impl SimWorkspace {
         cols_per_corner: usize,
         use_initial_guess: bool,
     ) {
-        let stencil = self
-            .stencil
-            .as_ref()
+        let slot = self
+            .slots
+            .get_mut(self.active)
             .expect("batch_begin before batch_solve");
-        let n = stencil.n();
+        let n = slot.stencil.n();
         let ncols = self.batch_count * cols_per_corner;
         assert_eq!(b.len(), n * ncols, "batch rhs block length mismatch");
         assert_eq!(x.len(), n * ncols, "batch solution block length mismatch");
         let op = MultiCornerOp {
-            cache: stencil,
+            cache: &slot.stencil,
             diags: &self.batch_diags,
             cols_per_diag: cols_per_corner,
         };
@@ -921,7 +991,7 @@ impl SimWorkspace {
         if use_f32 {
             bicgstab_precond_many(
                 &op,
-                &mut self.nominal_lu32,
+                &mut slot.nominal_lu32,
                 b,
                 x,
                 ncols,
@@ -931,7 +1001,7 @@ impl SimWorkspace {
         } else {
             bicgstab_precond_many(
                 &op,
-                &mut self.nominal_lu,
+                &mut slot.nominal_lu,
                 b,
                 x,
                 ncols,
@@ -1570,6 +1640,93 @@ mod tests {
         }
         // One nominal factorisation per epoch, nothing else.
         assert_eq!(total_factorizations, 2);
+    }
+
+    /// Per-ω slots: alternating between wavelengths keeps each ω's
+    /// nominal factor resident, so one epoch pays exactly one nominal
+    /// factorisation per ω — and revisiting an ω reproduces the result a
+    /// dedicated single-ω workspace computes, bit-for-bit.
+    #[test]
+    fn omega_slots_cache_nominal_factors_per_wavelength() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let corners = corner_family(&grid);
+        let nominal = corners[0].clone();
+        let strategy = SolverStrategy::preconditioned_iterative();
+        let omegas = [omega(), omega() * 1.02, omega() * 0.98];
+        let n = grid.n();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| c64((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+            .collect();
+
+        let mut ws = SimWorkspace::new();
+        let mut total_factorizations = 0usize;
+        let mut multi: Vec<Vec<Complex64>> = Vec::new();
+        for epoch in 0..2u64 {
+            // ω-interleaved sweep: (ω0 c0) (ω1 c0) (ω2 c0) (ω0 c1) …
+            for (ci, eps) in corners.iter().enumerate() {
+                for &om in &omegas {
+                    let ctx = CornerContext {
+                        nominal_eps: &nominal,
+                        epoch,
+                        is_nominal: ci == 0,
+                        force_direct: false,
+                    };
+                    ws.prepare_corner(grid, om, eps, strategy, Some(&ctx))
+                        .unwrap();
+                    let mut x = b.clone();
+                    ws.solve_block(&mut x, 1).unwrap();
+                    assert!(!ws.last_report().fell_back, "corner {ci} ω {om}");
+                    total_factorizations += ws.last_report().factorizations;
+                    if epoch == 0 {
+                        multi.push(x);
+                    }
+                }
+            }
+        }
+        // One nominal factorisation per (ω, epoch) — the ω slots never
+        // evict each other across the interleaved revisits.
+        assert_eq!(total_factorizations, omegas.len() * 2);
+        assert_eq!(ws.omega_slot_count(), omegas.len());
+
+        // Each (corner, ω) solution is bit-identical to a fresh single-ω
+        // workspace.
+        for (ci, eps) in corners.iter().enumerate() {
+            for (oi, &om) in omegas.iter().enumerate() {
+                let mut ws1 = SimWorkspace::new();
+                let ctx = CornerContext {
+                    nominal_eps: &nominal,
+                    epoch: 0,
+                    is_nominal: ci == 0,
+                    force_direct: false,
+                };
+                ws1.prepare_corner(grid, om, eps, strategy, Some(&ctx))
+                    .unwrap();
+                let mut x1 = b.clone();
+                ws1.solve_block(&mut x1, 1).unwrap();
+                assert_eq!(
+                    multi[ci * omegas.len() + oi],
+                    x1,
+                    "corner {ci} ω index {oi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn omega_slot_cache_is_bounded_and_evicts_lru() {
+        let grid = SimGrid::new(30, 26, 0.05, 6);
+        let eps = straight_wg(&grid, 3);
+        let mut ws = SimWorkspace::new();
+        for k in 0..(MAX_OMEGA_SLOTS + 3) {
+            let om = omega() * (1.0 + 0.01 * k as f64);
+            ws.factor(grid, om, &eps).unwrap();
+        }
+        assert_eq!(ws.omega_slot_count(), MAX_OMEGA_SLOTS);
+        // A grid change clears every slot.
+        let grid2 = SimGrid::new(32, 26, 0.05, 6);
+        let eps2 = Array2::filled(26, 32, 1.0);
+        ws.factor(grid2, omega(), &eps2).unwrap();
+        assert_eq!(ws.omega_slot_count(), 1);
     }
 
     #[test]

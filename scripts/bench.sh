@@ -23,6 +23,8 @@ echo "== bench: solver =="
 cargo bench -p boson-bench --bench solver
 echo "== bench: corner_scaling =="
 cargo bench -p boson-bench --bench corner_scaling
+echo "== bench: spectral =="
+cargo bench -p boson-bench --bench spectral
 
 # Aggregate the JSON lines and compute the acceptance ratio
 # (naïve allocate-per-call corner loop vs the workspace pipeline).
@@ -58,6 +60,13 @@ END {
         printf ",\n  \"corner_sweep_iterative_ns\": %.1f", iter
         printf ",\n  \"corner_iterative_speedup\": %.3f", direct / iter
     }
+    naive_wl = median["broadband_27corner_3wl/naive_recompile"]
+    batched_wl = median["broadband_27corner_3wl/batched"]
+    if (naive_wl > 0 && batched_wl > 0) {
+        printf ",\n  \"spectral_naive_recompile_ns\": %.1f", naive_wl
+        printf ",\n  \"spectral_batched_ns\": %.1f", batched_wl
+        printf ",\n  \"spectral_batch_speedup\": %.3f", naive_wl / batched_wl
+    }
     printf "\n}\n"
 }
 ' "$RAW" > "$OUT"
@@ -80,5 +89,14 @@ if [ -n "${ITER_SPEEDUP:-}" ]; then
         || { echo "FAIL: iterative corner-sweep speedup ${ITER_SPEEDUP}x below the 2.0x acceptance floor" >&2; exit 1; }
 else
     echo "FAIL: corner-sweep medians missing from bench output" >&2
+    exit 1
+fi
+SPECTRAL_SPEEDUP=$(awk '/spectral_batch_speedup/ { s = $0; sub(/.*: /, "", s); sub(/,.*/, "", s); print s }' "$OUT")
+if [ -n "${SPECTRAL_SPEEDUP:-}" ]; then
+    echo "broadband sweep speedup (recompile-per-wl / batched spectral): ${SPECTRAL_SPEEDUP}x"
+    awk -v s="$SPECTRAL_SPEEDUP" 'BEGIN { exit (s >= 2.0 ? 0 : 1) }' \
+        || { echo "FAIL: spectral batch speedup ${SPECTRAL_SPEEDUP}x below the 2.0x acceptance floor" >&2; exit 1; }
+else
+    echo "FAIL: broadband_27corner_3wl medians missing from bench output" >&2
     exit 1
 fi
