@@ -22,7 +22,7 @@
 //! (see [`crate::spectrum::wavelength_sweep`]).
 
 use crate::fabchain::assemble_eps;
-use crate::objective::Readings;
+use crate::objective::{Readings, SpectralAggregation};
 use crate::problem::{DeviceProblem, MonitorKind};
 use boson_fab::SpectralAxis;
 use boson_fdfd::monitor::ModalMonitor;
@@ -103,6 +103,62 @@ pub struct CornerSetSolve<'a> {
     pub omega_idx: usize,
 }
 
+/// Directions for evaluating the whole (fabrication corner × ω) cross
+/// product in **one** fused lockstep batch (see
+/// [`CompiledProblem::evaluate_corner_product`]). Entries are flat over
+/// the product; per-entry slices name each corner's wavelength, its
+/// group-nominal status and its cached policy decision.
+#[derive(Debug, Clone, Copy)]
+pub struct CornerProductSolve<'a> {
+    /// Relative residual at which a right-hand side is converged.
+    pub tol: f64,
+    /// Iteration budget per solve before the direct fallback fires.
+    pub max_iters: usize,
+    /// Permittivity of the nominal corner this epoch (ω-independent).
+    pub nominal_eps: &'a Array2<f64>,
+    /// Token identifying the nominal operator (typically the iteration).
+    pub epoch: u64,
+    /// Wavelength index of each entry in the compiled spectral axis
+    /// (ω-grouped order keeps the fused preconditioner runs contiguous).
+    pub omega_idx: &'a [usize],
+    /// Per-entry flag: this corner is its ω group's fabrication-nominal
+    /// corner (solved directly on that ω's nominal factor; its solutions
+    /// become the group's warm starts).
+    pub is_nominal: &'a [bool],
+    /// Per-entry cached policy decisions: `true` pins a corner to the
+    /// direct path.
+    pub force_direct: &'a [bool],
+    /// Worker threads for splitting the packed preconditioner sweeps
+    /// (see [`boson_fdfd::sim::FUSED_SPLIT_MIN_COLS`]); ≤ 1 = serial.
+    pub threads: usize,
+    /// When `Some((agg, fab_idx))`, the adjoint phase exploits the one
+    /// structural advantage the fused product has over K per-ω sets: it
+    /// sees **every** forward objective before any adjoint solve, so it
+    /// can evaluate `agg`'s exact gradient weights per fabrication corner
+    /// (`fab_idx[ci]` names each entry's corner; entries of one corner
+    /// must appear in ascending-ω order, as in the ω-major product) and
+    /// skip the adjoint solve of every batched entry whose weight is
+    /// exactly zero — under [`SpectralAggregation::WorstCase`] that is
+    /// `K − 1` of every corner's `K` wavelengths. Skipped entries return
+    /// `grad_eps: None` (their gradient cannot reach the aggregated
+    /// objective; callers weight gradients by the same `agg`, so the
+    /// results are identical to computing and discarding them). Entries
+    /// evaluated outside the batch (nominal, policy-pinned, fallbacks)
+    /// always carry full gradients.
+    ///
+    /// One deliberate behavioural difference from the per-ω schedule: a
+    /// zero-weight entry whose (unused) adjoint solve *would have*
+    /// missed its budget no longer misses — so it is not re-evaluated
+    /// directly and the caller's adaptive policy does not pin its
+    /// corner. That is strictly better (pinning a corner over a
+    /// gradient that cannot reach the objective wastes factorisations),
+    /// but it means fused ↔ per-ω runs are guaranteed bit-identical
+    /// only when no adjoint-only budget miss lands on a zero-weight
+    /// entry (forward-phase misses, the common case, behave
+    /// identically in both schedules).
+    pub skip_zero_weight_adjoints: Option<(SpectralAggregation, &'a [usize])>,
+}
+
 /// Reusable buffers for repeated [`CompiledProblem::evaluate_eps_scratch`]
 /// calls: one FDFD factor/solve workspace plus the current, field and
 /// adjoint blocks. Keep one per worker thread; after the first evaluation
@@ -132,16 +188,32 @@ pub struct EvalScratch {
     batch_adj: Vec<Complex64>,
     /// Batched adjoint solutions.
     batch_adj_x: Vec<Complex64>,
-    /// The nominal corner's fields — warm starts for the batched forward
-    /// solves of the same epoch.
-    warm_fields: Vec<Complex64>,
-    /// The nominal corner's adjoint solutions (unpacked to excitation
-    /// order) — warm starts for the batched adjoint solves.
-    warm_adj: Vec<Complex64>,
-    /// `(epoch, omega_idx)` the warm-start blocks belong to: warm starts
-    /// only apply to the same wavelength's batch (fields at a detuned ω
-    /// are a different solution family).
-    warm_key: Option<(u64, usize)>,
+    /// Per-ω warm-start snapshots (indexed by `omega_idx`): each slot
+    /// holds the nominal corner's fields and adjoints at that wavelength,
+    /// the warm starts for same-ω batched solves of the same epoch. Kept
+    /// per ω (not as a single most-recent slot) so a **fused** (corner ×
+    /// ω) batch can warm-start every column from its own wavelength's
+    /// nominal solution simultaneously.
+    warm: Vec<WarmSlot>,
+}
+
+/// One wavelength's warm-start snapshot (see [`EvalScratch::warm`]).
+#[derive(Debug, Default)]
+struct WarmSlot {
+    /// Epoch the snapshot belongs to; `None` = invalid.
+    epoch: Option<u64>,
+    /// The nominal corner's fields (`n × n_excitations`).
+    fields: Vec<Complex64>,
+    /// The nominal corner's adjoint solutions, unpacked to excitation
+    /// order.
+    adj: Vec<Complex64>,
+}
+
+impl WarmSlot {
+    /// `true` when this snapshot warm-starts batches of `epoch`.
+    fn valid_for(&self, epoch: u64) -> bool {
+        self.epoch == Some(epoch)
+    }
 }
 
 impl EvalScratch {
@@ -608,19 +680,24 @@ impl CompiledProblem {
             None
         };
 
-        // Snapshot the nominal corner's solutions: they seed (warm-start)
-        // the batched iterative solves of every other corner this epoch.
+        // Snapshot the nominal corner's solutions into this ω's warm
+        // slot: they seed (warm-start) the batched iterative solves of
+        // every other corner of this wavelength this epoch.
         if let Some(cs) = corner {
             if cs.is_nominal && with_grad {
-                scratch.warm_fields.clear();
-                scratch.warm_fields.extend_from_slice(&scratch.fields);
-                scratch.warm_adj.clear();
-                scratch.warm_adj.resize(n * nexc, Complex64::ZERO);
+                if scratch.warm.len() <= omega_idx {
+                    scratch.warm.resize_with(omega_idx + 1, WarmSlot::default);
+                }
+                let warm = &mut scratch.warm[omega_idx];
+                warm.fields.clear();
+                warm.fields.extend_from_slice(&scratch.fields);
+                warm.adj.clear();
+                warm.adj.resize(n * nexc, Complex64::ZERO);
                 for (pos, &ei) in scratch.active_cols.iter().enumerate() {
                     let (dst, src) = (ei * n, pos * n);
-                    scratch.warm_adj[dst..dst + n].copy_from_slice(&scratch.adj[src..src + n]);
+                    warm.adj[dst..dst + n].copy_from_slice(&scratch.adj[src..src + n]);
                 }
-                scratch.warm_key = Some((cs.epoch, omega_idx));
+                warm.epoch = Some(cs.epoch);
             }
         }
 
@@ -741,12 +818,15 @@ impl CompiledProblem {
             scratch.batch_x.resize(bcols, Complex64::ZERO);
             let warm = set.nominal_idx.is_some()
                 && with_grad
-                && scratch.warm_key == Some((set.epoch, set.omega_idx));
+                && scratch
+                    .warm
+                    .get(set.omega_idx)
+                    .is_some_and(|w| w.valid_for(set.epoch));
             for slot in 0..batched.len() {
                 scratch.batch_rhs[slot * bl..(slot + 1) * bl].copy_from_slice(&scratch.base_rhs);
                 if warm {
                     scratch.batch_x[slot * bl..(slot + 1) * bl]
-                        .copy_from_slice(&scratch.warm_fields);
+                        .copy_from_slice(&scratch.warm[set.omega_idx].fields);
                 }
             }
             {
@@ -763,7 +843,11 @@ impl CompiledProblem {
                         with_grad,
                         spec,
                         scratch,
-                        set,
+                        set.tol,
+                        set.max_iters,
+                        set.nominal_eps,
+                        set.epoch,
+                        set.omega_idx,
                         &forward_reports[slot],
                     )?);
                 }
@@ -795,7 +879,7 @@ impl CompiledProblem {
                 if warm {
                     for &(slot, _, _, _, _) in &partials {
                         scratch.batch_adj_x[slot * bl..(slot + 1) * bl]
-                            .copy_from_slice(&scratch.warm_adj);
+                            .copy_from_slice(&scratch.warm[set.omega_idx].adj);
                     }
                 }
                 {
@@ -813,8 +897,18 @@ impl CompiledProblem {
                 let report = &merged_reports[slot];
                 if !report.converged {
                     // Adjoint-phase budget miss: full direct re-evaluation.
-                    evals[ci] =
-                        Some(self.fallback_eval(&epss[ci], with_grad, spec, scratch, set, report)?);
+                    evals[ci] = Some(self.fallback_eval(
+                        &epss[ci],
+                        with_grad,
+                        spec,
+                        scratch,
+                        set.tol,
+                        set.max_iters,
+                        set.nominal_eps,
+                        set.epoch,
+                        set.omega_idx,
+                        report,
+                    )?);
                     continue;
                 }
                 let grad_eps = if with_grad {
@@ -863,28 +957,451 @@ impl CompiledProblem {
             .collect())
     }
 
+    /// Evaluates the whole (fabrication corner × ω) cross product under
+    /// the preconditioned iterative strategy, advancing **all** non-direct
+    /// columns — every corner of every wavelength, forwards and then
+    /// adjoints — through **one** fused lockstep batch, each column
+    /// preconditioned by its own ω's nominal factor and stencil-applied
+    /// through its own ω's couplings.
+    ///
+    /// This is the cross-ω generalisation of
+    /// [`CompiledProblem::evaluate_corner_set`] (one batch per iteration
+    /// instead of one per ω): per-column arithmetic is identical, so the
+    /// fused product is **bit-identical** to running K per-ω sets — and
+    /// when the packed column count is large enough, the fused
+    /// preconditioner sweeps split across `threads` scoped workers
+    /// (bit-identical at any thread count). Each ω's nominal corner is
+    /// evaluated first (refreshing that ω's factor and snapshotting its
+    /// warm starts), policy-pinned corners solve directly, and budget
+    /// misses fall back per (corner, ω) exactly like the per-ω path.
+    ///
+    /// Returns one [`Evaluation`] per entry of `epss`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a required factorisation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-entry slices of `set` disagree with `epss` in
+    /// length, an `omega_idx` is out of range, or the product spans more
+    /// than [`boson_fdfd::sim::MAX_OMEGA_SLOTS`] wavelengths.
+    pub fn evaluate_corner_product(
+        &self,
+        epss: &[Array2<f64>],
+        with_grad: bool,
+        spec: &crate::objective::ObjectiveSpec,
+        scratch: &mut EvalScratch,
+        set: &CornerProductSolve<'_>,
+    ) -> Result<Vec<Evaluation>, SingularMatrixError> {
+        let grid = self.problem.grid;
+        let n = grid.n();
+        let count = epss.len();
+        assert_eq!(set.omega_idx.len(), count, "ω index count mismatch");
+        assert_eq!(set.is_nominal.len(), count, "nominal flag count mismatch");
+        assert_eq!(set.force_direct.len(), count, "policy flag count mismatch");
+        let strategy = SolverStrategy::PreconditionedIterative {
+            tol: set.tol,
+            max_iters: set.max_iters,
+        };
+        let mut evals: Vec<Option<Evaluation>> = (0..count).map(|_| None).collect();
+
+        // Each ω's nominal corner first: it refreshes that wavelength's
+        // shared factor and snapshots its warm-start fields.
+        for ci in 0..count {
+            if !set.is_nominal[ci] {
+                continue;
+            }
+            let cs = CornerSolve {
+                strategy,
+                nominal_eps: set.nominal_eps,
+                epoch: set.epoch,
+                is_nominal: true,
+                force_direct: false,
+                omega_idx: set.omega_idx[ci],
+            };
+            evals[ci] =
+                Some(self.evaluate_eps_corner(&epss[ci], with_grad, spec, scratch, Some(&cs))?);
+        }
+        // Corners the adaptive policy has pinned to the direct path.
+        for ci in 0..count {
+            if evals[ci].is_some() || !set.force_direct[ci] {
+                continue;
+            }
+            let cs = CornerSolve {
+                strategy,
+                nominal_eps: set.nominal_eps,
+                epoch: set.epoch,
+                is_nominal: false,
+                force_direct: true,
+                omega_idx: set.omega_idx[ci],
+            };
+            evals[ci] =
+                Some(self.evaluate_eps_corner(&epss[ci], with_grad, spec, scratch, Some(&cs))?);
+        }
+
+        // Everything else — all remaining (corner, ω) pairs — advances in
+        // one fused lockstep batch.
+        let batched: Vec<usize> = (0..count).filter(|ci| evals[*ci].is_none()).collect();
+        if !batched.is_empty() {
+            // The batch's wavelengths, in first-appearance order.
+            let mut omegas_used: Vec<usize> = Vec::new();
+            for &ci in &batched {
+                if !omegas_used.contains(&set.omega_idx[ci]) {
+                    omegas_used.push(set.omega_idx[ci]);
+                }
+            }
+            let omega_vals: Vec<f64> = omegas_used.iter().map(|&oi| self.cals[oi].omega).collect();
+            let extra_factorizations = scratch.sim.fused_batch_begin(
+                grid,
+                &omega_vals,
+                set.nominal_eps,
+                set.epoch,
+                set.tol,
+                set.max_iters,
+            )?;
+            // Batch-local ω index per batched corner.
+            let batch_omega: Vec<usize> = batched
+                .iter()
+                .map(|&ci| {
+                    omegas_used
+                        .iter()
+                        .position(|&oi| oi == set.omega_idx[ci])
+                        .expect("ω registered above")
+                })
+                .collect();
+            for (slot, &ci) in batched.iter().enumerate() {
+                scratch.sim.fused_batch_push(&epss[ci], batch_omega[slot]);
+            }
+
+            let nexc = self.cals[0].sources.len();
+            let bl = n * nexc; // block length per corner
+                               // One forward RHS block per batch wavelength (ω-dependent
+                               // through the sources, the source scaling and the stretch
+                               // factors), then replicated per corner.
+            scratch.base_rhs.clear();
+            scratch
+                .base_rhs
+                .resize(omegas_used.len() * bl, Complex64::ZERO);
+            for (bo, &oi) in omegas_used.iter().enumerate() {
+                let cal = &self.cals[oi];
+                let (jz, base, sim) = (&mut scratch.jz, &mut scratch.base_rhs, &scratch.sim);
+                forward_rhs_into(
+                    cal,
+                    &grid,
+                    sim.fused_sfactors(bo),
+                    jz,
+                    &mut base[bo * bl..(bo + 1) * bl],
+                );
+            }
+            let bcols = batched.len() * bl;
+            scratch.batch_rhs.clear();
+            scratch.batch_rhs.resize(bcols, Complex64::ZERO);
+            scratch.batch_x.clear();
+            scratch.batch_x.resize(bcols, Complex64::ZERO);
+            // Warm starts: every batch wavelength must carry this epoch's
+            // nominal snapshot (the full cross product always does — each
+            // ω group contains its fabrication-nominal corner).
+            let warm = with_grad
+                && omegas_used
+                    .iter()
+                    .all(|&oi| scratch.warm.get(oi).is_some_and(|w| w.valid_for(set.epoch)));
+            for (slot, &ci) in batched.iter().enumerate() {
+                let bo = batch_omega[slot];
+                scratch.batch_rhs[slot * bl..(slot + 1) * bl]
+                    .copy_from_slice(&scratch.base_rhs[bo * bl..(bo + 1) * bl]);
+                if warm {
+                    scratch.batch_x[slot * bl..(slot + 1) * bl]
+                        .copy_from_slice(&scratch.warm[set.omega_idx[ci]].fields);
+                }
+            }
+            {
+                let (sim, rhs, x) = (&mut scratch.sim, &scratch.batch_rhs, &mut scratch.batch_x);
+                sim.fused_batch_solve(rhs, x, nexc, warm, set.threads);
+            }
+
+            // Forward-phase budget misses re-evaluate directly.
+            let forward_reports = scratch.sim.batch_reports().to_vec();
+            for (slot, &ci) in batched.iter().enumerate() {
+                if !forward_reports[slot].converged {
+                    evals[ci] = Some(self.fallback_eval(
+                        &epss[ci],
+                        with_grad,
+                        spec,
+                        scratch,
+                        set.tol,
+                        set.max_iters,
+                        set.nominal_eps,
+                        set.epoch,
+                        set.omega_idx[ci],
+                        &forward_reports[slot],
+                    )?);
+                }
+            }
+
+            // Readings phase for the surviving corners, each against its
+            // own wavelength's calibration.
+            let mut partials: Vec<(usize, usize, Readings, f64, f64)> = Vec::new();
+            for (slot, &ci) in batched.iter().enumerate() {
+                if evals[ci].is_some() {
+                    continue; // fell back; its adjoint columns stay zero
+                }
+                let cal = &self.cals[set.omega_idx[ci]];
+                let fields = &scratch.batch_x[slot * bl..(slot + 1) * bl];
+                let readings = readings_from_fields(cal, n, fields);
+                let objective = spec.objective(&readings);
+                let fom = spec.fom(&readings);
+                partials.push((slot, ci, readings, objective, fom));
+            }
+
+            // With every forward objective in hand, the aggregation's
+            // exact gradient weights are known — drop the adjoint solves
+            // of zero-weight entries when the caller opted in.
+            let mut needs_grad = vec![true; count];
+            if with_grad {
+                if let Some((agg, fab_idx)) = set.skip_zero_weight_adjoints {
+                    assert_eq!(fab_idx.len(), count, "fabrication index count mismatch");
+                    let mut obj_of = vec![0.0; count];
+                    for (ci, ev) in evals.iter().enumerate() {
+                        if let Some(ev) = ev {
+                            obj_of[ci] = ev.objective;
+                        }
+                    }
+                    for &(_, ci, _, objective, _) in &partials {
+                        obj_of[ci] = objective;
+                    }
+                    let nfab = fab_idx.iter().copied().max().map_or(0, |m| m + 1);
+                    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); nfab];
+                    for (ci, &f) in fab_idx.iter().enumerate() {
+                        groups[f].push(ci);
+                    }
+                    let mut values = Vec::new();
+                    let mut sweights = Vec::new();
+                    for group in &groups {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        values.clear();
+                        values.extend(group.iter().map(|&ci| obj_of[ci]));
+                        sweights.clear();
+                        sweights.resize(group.len(), 0.0);
+                        agg.weights_into(&values, &mut sweights);
+                        for (pos, &ci) in group.iter().enumerate() {
+                            if sweights[pos] == 0.0 {
+                                needs_grad[ci] = false;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Adjoint phase: sources only for the entries whose gradient
+            // can reach the objective (the rest stay zero-RHS columns,
+            // which the lockstep solver completes in zero iterations).
+            scratch.batch_adj.clear();
+            scratch.batch_adj.resize(bcols, Complex64::ZERO);
+            if with_grad {
+                for (slot, ci, readings, _, _) in &partials {
+                    if !needs_grad[*ci] {
+                        continue;
+                    }
+                    let cal = &self.cals[set.omega_idx[*ci]];
+                    let fields = &scratch.batch_x[slot * bl..(slot + 1) * bl];
+                    let dr = self.reading_grads(spec, set.omega_idx[*ci], readings);
+                    let adj = &mut scratch.batch_adj[slot * bl..(slot + 1) * bl];
+                    adjoint_sources_into(cal, n, &dr, fields, adj, &mut scratch.adj_active);
+                }
+                scratch.batch_adj_x.clear();
+                scratch.batch_adj_x.resize(bcols, Complex64::ZERO);
+                if warm {
+                    for &(slot, ci, _, _, _) in &partials {
+                        if !needs_grad[ci] {
+                            continue;
+                        }
+                        scratch.batch_adj_x[slot * bl..(slot + 1) * bl]
+                            .copy_from_slice(&scratch.warm[set.omega_idx[ci]].adj);
+                    }
+                }
+                {
+                    let (sim, rhs, x) = (
+                        &mut scratch.sim,
+                        &scratch.batch_adj,
+                        &mut scratch.batch_adj_x,
+                    );
+                    sim.fused_batch_solve(rhs, x, nexc, warm, set.threads);
+                }
+            }
+            let merged_reports = scratch.sim.batch_reports().to_vec();
+
+            for (slot, ci, readings, objective, fom) in partials {
+                let report = &merged_reports[slot];
+                if !report.converged {
+                    // Adjoint-phase budget miss: full direct re-evaluation.
+                    evals[ci] = Some(self.fallback_eval(
+                        &epss[ci],
+                        with_grad,
+                        spec,
+                        scratch,
+                        set.tol,
+                        set.max_iters,
+                        set.nominal_eps,
+                        set.epoch,
+                        set.omega_idx[ci],
+                        report,
+                    )?);
+                    continue;
+                }
+                let grad_eps = if with_grad && needs_grad[ci] {
+                    let mut total = Array2::zeros(grid.ny, grid.nx);
+                    let fields = &scratch.batch_x[slot * bl..(slot + 1) * bl];
+                    let lambdas = &scratch.batch_adj_x[slot * bl..(slot + 1) * bl];
+                    for ei in 0..nexc {
+                        // Inactive excitations solved λ = 0 exactly and
+                        // contribute nothing; accumulation runs through
+                        // this corner's own ω (its ω² and stretch
+                        // factors).
+                        scratch.sim.fused_grad_eps_accumulate(
+                            batch_omega[slot],
+                            &fields[ei * n..(ei + 1) * n],
+                            &lambdas[ei * n..(ei + 1) * n],
+                            &mut total,
+                        );
+                    }
+                    Some(total)
+                } else {
+                    None
+                };
+                let mut solve = report.clone();
+                solve.factorizations = 0;
+                evals[ci] = Some(Evaluation {
+                    readings,
+                    objective,
+                    fom,
+                    grad_eps,
+                    factorizations: 0,
+                    solve,
+                });
+            }
+
+            // Consistency pass for the adjoint skip: an adjoint-phase
+            // fallback re-evaluates its corner *directly*, nudging its
+            // objective within solver tolerance — which can move a
+            // group's aggregation argmin onto an entry whose adjoint was
+            // skipped. Re-derive the weights from the final objectives
+            // and give every weighted-but-gradient-less entry a full
+            // direct evaluation; each pass only ever adds gradients, so
+            // the loop terminates (and in practice never runs — it needs
+            // an adjoint-only budget miss landing between two nearly-tied
+            // wavelengths).
+            if with_grad {
+                if let Some((agg, fab_idx)) = set.skip_zero_weight_adjoints {
+                    let mut groups: Vec<Vec<usize>> = Vec::new();
+                    for (ci, &f) in fab_idx.iter().enumerate() {
+                        if groups.len() <= f {
+                            groups.resize_with(f + 1, Vec::new);
+                        }
+                        groups[f].push(ci);
+                    }
+                    loop {
+                        let mut missing: Vec<usize> = Vec::new();
+                        let mut values = Vec::new();
+                        let mut sweights = Vec::new();
+                        for group in &groups {
+                            if group.is_empty() {
+                                continue;
+                            }
+                            values.clear();
+                            values.extend(group.iter().map(|&ci| {
+                                evals[ci]
+                                    .as_ref()
+                                    .expect("every corner evaluated")
+                                    .objective
+                            }));
+                            sweights.clear();
+                            sweights.resize(group.len(), 0.0);
+                            agg.weights_into(&values, &mut sweights);
+                            for (pos, &ci) in group.iter().enumerate() {
+                                let has_grad =
+                                    evals[ci].as_ref().is_some_and(|ev| ev.grad_eps.is_some());
+                                if sweights[pos] != 0.0 && !has_grad {
+                                    missing.push(ci);
+                                }
+                            }
+                        }
+                        if missing.is_empty() {
+                            break;
+                        }
+                        for ci in missing {
+                            // A plain direct evaluation — NOT a budget
+                            // miss, so `fell_back` stays unset and the
+                            // caller's adaptive policy does not pin this
+                            // corner.
+                            let cs = CornerSolve {
+                                strategy: SolverStrategy::PreconditionedIterative {
+                                    tol: set.tol,
+                                    max_iters: set.max_iters,
+                                },
+                                nominal_eps: set.nominal_eps,
+                                epoch: set.epoch,
+                                is_nominal: false,
+                                force_direct: true,
+                                omega_idx: set.omega_idx[ci],
+                            };
+                            evals[ci] = Some(self.evaluate_eps_corner(
+                                &epss[ci],
+                                with_grad,
+                                spec,
+                                scratch,
+                                Some(&cs),
+                            )?);
+                        }
+                    }
+                }
+            }
+
+            // Attribute nominal refreshes performed by `fused_batch_begin`
+            // (only possible when some ω group has no nominal corner) to
+            // the first batched evaluation.
+            if extra_factorizations > 0 {
+                if let Some(ev) = evals[batched[0]].as_mut() {
+                    ev.factorizations += extra_factorizations;
+                    ev.solve.factorizations += extra_factorizations;
+                }
+            }
+        }
+
+        Ok(evals
+            .into_iter()
+            .map(|e| e.expect("every corner evaluated"))
+            .collect())
+    }
+
     /// Direct re-evaluation of a corner whose batched iteration missed
-    /// its budget; the result is bit-identical to the direct strategy and
-    /// carries the failed attempt's statistics with `fell_back` set.
+    /// its budget (shared by the per-ω and fused sweeps — `omega_idx`
+    /// names the corner's own wavelength); the result is bit-identical to
+    /// the direct strategy and carries the failed attempt's statistics
+    /// with `fell_back` set.
+    #[allow(clippy::too_many_arguments)] // two sweep callers, one fallback
     fn fallback_eval(
         &self,
         eps: &Array2<f64>,
         with_grad: bool,
         spec: &crate::objective::ObjectiveSpec,
         scratch: &mut EvalScratch,
-        set: &CornerSetSolve<'_>,
+        tol: f64,
+        max_iters: usize,
+        nominal_eps: &Array2<f64>,
+        epoch: u64,
+        omega_idx: usize,
         attempt: &CornerSolveReport,
     ) -> Result<Evaluation, SingularMatrixError> {
         let cs = CornerSolve {
-            strategy: SolverStrategy::PreconditionedIterative {
-                tol: set.tol,
-                max_iters: set.max_iters,
-            },
-            nominal_eps: set.nominal_eps,
-            epoch: set.epoch,
+            strategy: SolverStrategy::PreconditionedIterative { tol, max_iters },
+            nominal_eps,
+            epoch,
             is_nominal: false,
             force_direct: true,
-            omega_idx: set.omega_idx,
+            omega_idx,
         };
         let mut ev = self.evaluate_eps_corner(eps, with_grad, spec, scratch, Some(&cs))?;
         ev.solve.used_iterative = true;
@@ -1127,6 +1644,85 @@ mod tests {
                 "objective grad at ({iy},{ix}): fd={fd} ad={ad}"
             );
         }
+    }
+
+    /// The fused product's zero-weight adjoint skip is a pure work
+    /// deletion: objectives are bitwise unchanged, every weighted entry
+    /// still carries its (bitwise identical) gradient, and exactly the
+    /// aggregation's zero-weight entries come back without one.
+    #[test]
+    fn fused_product_skip_drops_only_zero_weight_gradients() {
+        use crate::objective::SpectralAggregation;
+        use boson_fab::SpectralAxis;
+        let k = 3;
+        let c =
+            CompiledProblem::compile_spectral(bending(), SpectralAxis::around(0.02, k)).unwrap();
+        let p = c.problem().clone();
+        let rho = seed_rho(&p, &p.seed.clone());
+        let nominal = c.eps_for(&rho, 300.0);
+        let mut bumped = nominal.clone();
+        for v in bumped.as_mut_slice().iter_mut() {
+            if *v > 2.0 {
+                *v += 0.04;
+            }
+        }
+        let fab = [nominal.clone(), bumped];
+        let nf = fab.len();
+        let epss: Vec<Array2<f64>> = (0..k).flat_map(|_| fab.iter().cloned()).collect();
+        let omega_idx: Vec<usize> = (0..k).flat_map(|oi| std::iter::repeat_n(oi, nf)).collect();
+        let is_nominal: Vec<bool> = (0..k).flat_map(|_| [true, false]).collect();
+        let fab_idx: Vec<usize> = (0..k * nf).map(|ci| ci % nf).collect();
+        let force_direct = vec![false; k * nf];
+        let agg = SpectralAggregation::WorstCase;
+        let spec = p.objective.clone();
+        let run = |skip: bool| {
+            let mut scratch = EvalScratch::new();
+            let set = CornerProductSolve {
+                tol: 1e-6,
+                max_iters: 24,
+                nominal_eps: &fab[0],
+                epoch: 1,
+                omega_idx: &omega_idx,
+                is_nominal: &is_nominal,
+                force_direct: &force_direct,
+                threads: 1,
+                skip_zero_weight_adjoints: skip.then_some((agg, fab_idx.as_slice())),
+            };
+            c.evaluate_corner_product(&epss, true, &spec, &mut scratch, &set)
+                .unwrap()
+        };
+        let full = run(false);
+        let skipped = run(true);
+        let mut values = vec![0.0; k];
+        let mut weights = vec![0.0; k];
+        let mut dropped = 0usize;
+        for f in 0..nf {
+            for oi in 0..k {
+                let (a, b) = (&full[oi * nf + f], &skipped[oi * nf + f]);
+                assert_eq!(a.objective, b.objective, "corner {f} ω {oi}");
+                values[oi] = a.objective;
+            }
+            agg.weights_into(&values, &mut weights);
+            for oi in 0..k {
+                let (a, b) = (&full[oi * nf + f], &skipped[oi * nf + f]);
+                // Nominal entries are evaluated outside the batch and
+                // always keep their gradient.
+                if weights[oi] != 0.0 || is_nominal[oi * nf + f] {
+                    assert_eq!(
+                        a.grad_eps.as_ref().unwrap().as_slice(),
+                        b.grad_eps.as_ref().unwrap().as_slice(),
+                        "weighted gradient diverged: corner {f} ω {oi}"
+                    );
+                } else {
+                    assert!(a.grad_eps.is_some());
+                    assert!(b.grad_eps.is_none(), "corner {f} ω {oi} not skipped");
+                    dropped += 1;
+                }
+            }
+        }
+        // WorstCase keeps one ω per corner; the non-nominal corner's two
+        // other wavelengths (and possibly the nominal's) are dropped.
+        assert!(dropped >= k - 1, "skip never fired ({dropped} dropped)");
     }
 
     #[test]

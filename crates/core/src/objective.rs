@@ -115,6 +115,14 @@ impl SpectralAggregation {
     /// Writes the per-wavelength gradient weights `w_k = ∂agg/∂obj_k`
     /// into `out` (`Σ w_k = 1`).
     ///
+    /// [`SpectralAggregation::WorstCase`] puts all weight on the
+    /// **lowest-index** minimiser: when two wavelengths share the exact
+    /// minimum the subgradient is not unique, and a deterministic,
+    /// order-independent tie-break (strict `<` scan from index 0) keeps
+    /// the gradient — and therefore whole optimisation trajectories —
+    /// reproducible across evaluation orders, serial ↔ threaded runs and
+    /// fused ↔ per-ω sweeps.
+    ///
     /// # Panics
     ///
     /// Panics if `values` and `out` differ in length or are empty.
@@ -125,12 +133,16 @@ impl SpectralAggregation {
             SpectralAggregation::Mean => out.fill(1.0 / values.len() as f64),
             SpectralAggregation::WorstCase => {
                 out.fill(0.0);
-                let argmin = values
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite objectives"))
-                    .map(|(i, _)| i)
-                    .expect("non-empty");
+                // Explicit strict-< scan: ties keep the earliest ω index,
+                // by construction rather than by iterator implementation
+                // detail. (NaN objectives never win the scan; the runner
+                // never produces them — the solver breaks down first.)
+                let mut argmin = 0usize;
+                for (i, &v) in values.iter().enumerate().skip(1) {
+                    if v < values[argmin] {
+                        argmin = i;
+                    }
+                }
                 out[argmin] = 1.0;
             }
         }
@@ -400,6 +412,45 @@ mod tests {
             agg.weights_into(&[0.7], &mut w1);
             assert_eq!(w1, [1.0], "{agg:?}");
         }
+    }
+
+    /// Two wavelengths sharing the exact minimum: the worst-case
+    /// subgradient must deterministically pick the lowest ω index —
+    /// whatever the tie's position — so gradients don't depend on
+    /// evaluation order (the property that keeps serial ↔ threaded and
+    /// fused ↔ per-ω runs bit-identical at a tie).
+    #[test]
+    fn worst_case_tied_minimum_takes_lowest_omega_index() {
+        let worst = SpectralAggregation::WorstCase;
+        let mut w = [0.0; 3];
+
+        // Tie between indices 1 and 2 → weight on 1.
+        worst.weights_into(&[0.8, 0.3, 0.3], &mut w);
+        assert_eq!(w, [0.0, 1.0, 0.0]);
+        // Tie between indices 0 and 2 → weight on 0.
+        worst.weights_into(&[0.3, 0.8, 0.3], &mut w);
+        assert_eq!(w, [1.0, 0.0, 0.0]);
+        // All tied → weight on 0.
+        worst.weights_into(&[0.3, 0.3, 0.3], &mut w);
+        assert_eq!(w, [1.0, 0.0, 0.0]);
+        // Signed zeros compare equal: -0.0 at a later index must not
+        // displace +0.0 at an earlier one.
+        let mut w2 = [0.0; 2];
+        worst.weights_into(&[0.0, -0.0], &mut w2);
+        assert_eq!(w2, [1.0, 0.0]);
+
+        // The aggregate stays the weight-consistent sum at a tie, and the
+        // gradient weights are reversal-stable: reversing the tied pair
+        // moves the weight to the (new) lowest index, never "the one seen
+        // last".
+        let tied = [0.5, 0.2, 0.2];
+        assert_eq!(worst.aggregate(&tied), 0.2);
+        worst.weights_into(&tied, &mut w);
+        let sum: f64 = w.iter().zip(&tied).map(|(wk, v)| wk * v).sum();
+        assert_eq!(sum, worst.aggregate(&tied));
+        let reversed = [0.2, 0.2, 0.5];
+        worst.weights_into(&reversed, &mut w);
+        assert_eq!(w, [1.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -214,6 +214,11 @@ pub struct InverseDesigner<'a, P: Parameterization + Sync> {
     config: RunnerConfig,
     objective: ObjectiveSpec,
     policy: CornerPolicy,
+    /// `true` (production default): the iterative strategy advances the
+    /// whole (corner × ω) product through one fused lockstep batch.
+    /// `false`: one batch per ω — the pre-fusion reference path, kept so
+    /// regression tests can assert the two are bit-identical.
+    fused_sweep: bool,
 }
 
 impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
@@ -270,6 +275,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             config,
             objective,
             policy: CornerPolicy::default(),
+            fused_sweep: true,
         }
     }
 
@@ -392,29 +398,42 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         }
     }
 
-    /// The batched iterative fan-out: runs every corner's fabrication
-    /// model, then advances each wavelength group's forward (and adjoint)
-    /// solves in one lockstep preconditioned sweep against that ω's
-    /// shared nominal factor (see
-    /// [`CompiledProblem::evaluate_corner_set`]), and finally
-    /// back-propagates each corner through the chain. A broadband
-    /// iteration runs one batched sweep per ω — per-ω nominal factors are
-    /// the preconditioners and each ω's nominal solution warm-starts its
-    /// own group — so the whole (fabrication corner × ω) cross product
-    /// advances through `K` sweeps and `K` factorisations per epoch.
-    /// Serial by design — the batch itself is the parallelism, and it is
-    /// what makes the iterative strategy beat per-corner factorisation.
+    /// The batched iterative fan-out over the **whole** ω-major
+    /// (fabrication corner × ω) cross product, returning one ω-folded
+    /// [`CornerOutcome`] per *fabrication* corner (`corners.len() / K`
+    /// outcomes — each already aggregated over its K wavelengths with the
+    /// configured [`SpectralAggregation`]'s exact weights).
     ///
-    /// `corners` must be ω-contiguous (as produced by
-    /// [`VariationSpace::spectral_corners`]); `nominal_idx` is the global
-    /// index of the fabrication-nominal corner at the nominal wavelength.
+    /// Three fusions happen here, each exploiting structure the per-entry
+    /// fan-out ignored:
+    ///
+    /// 1. **Fabrication forwards** are ω-independent, so the litho/etch
+    ///    model runs once per fabrication corner and its forward is
+    ///    shared across that corner's K wavelengths (bit-identical — the
+    ///    replicas were equal anyway).
+    /// 2. **EM solves**: all (corner, ω) columns — forwards, then
+    ///    adjoints — advance through **one** fused lockstep BiCGSTAB
+    ///    batch ([`CompiledProblem::evaluate_corner_product`]), every
+    ///    column preconditioned by its own ω's nominal factor and
+    ///    warm-started from its own ω's nominal solution: one batch and
+    ///    `K` factorisations per epoch instead of one batch per ω.
+    ///    Budget misses fall back (and [`CornerPolicy`]-pin) per
+    ///    `(corner, ω)` label exactly as before; above
+    ///    [`boson_fdfd::sim::FUSED_SPLIT_MIN_COLS`] packed columns each
+    ///    preconditioner sweep also splits across `config.threads` scoped
+    ///    workers (serial ↔ threaded bit-identical).
+    /// 3. **Chain backward**: the fabrication VJP is linear in its seed,
+    ///    so the spectral aggregation's exact per-ω weights scale the
+    ///    *pre-chain* gradients and one VJP per fabrication corner
+    ///    back-propagates their weighted sum — K VJPs fold into one.
+    ///    With K = 1 the single weight is exactly `1.0`, so the folded
+    ///    chain is bit-identical to the unfolded single-ω pipeline.
     #[allow(clippy::too_many_arguments)] // mirrors eval_corners
     fn eval_corners_batched(
         &self,
         rho: &Arc<Array2<f64>>,
         corners: &[VariationCorner],
         etch: EtchProjection,
-        nominal_idx: Option<usize>,
         nominal_eps: &Array2<f64>,
         epoch: u64,
         scratch: &mut EvalScratch,
@@ -422,11 +441,28 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         max_iters: usize,
     ) -> Vec<CornerOutcome> {
         let problem = self.compiled.problem();
-        let fwds: Vec<crate::fabchain::FabForward> = corners
+        let k = self.compiled.omega_count();
+        assert_eq!(corners.len() % k, 0, "ragged (corner × ω) product");
+        let f_count = corners.len() / k;
+        // ω-major replication contract of `spectral_corners`: entry
+        // `oi·f_count + f` is fabrication corner `f` at wavelength `oi`.
+        debug_assert!(corners
+            .iter()
+            .enumerate()
+            .all(|(ci, c)| c.omega_idx == ci / f_count));
+        let fab = &corners[..f_count];
+        debug_assert!((0..corners.len()).all(|ci| corners[ci].temperature
+            == fab[ci % f_count].temperature
+            && corners[ci].xi == fab[ci % f_count].xi));
+
+        // Fabrication forwards and permittivities, once per fabrication
+        // corner; the ε maps are replicated per ω group for the solver
+        // (cheap memcpys next to the solves they feed).
+        let fwds: Vec<crate::fabchain::FabForward> = fab
             .iter()
             .map(|c| self.chain.forward_with_etch(rho, c, false, etch))
             .collect();
-        let epss: Vec<Array2<f64>> = corners
+        let epss_fab: Vec<Array2<f64>> = fab
             .iter()
             .zip(&fwds)
             .map(|(c, fwd)| {
@@ -438,11 +474,144 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 )
             })
             .collect();
+        let epss: Vec<Array2<f64>> = (0..k).flat_map(|_| epss_fab.iter().cloned()).collect();
         let force_direct: Vec<bool> = corners
             .iter()
             .map(|c| self.policy.force_direct(c))
             .collect();
-        // One batched sweep per contiguous ω group.
+        let evals = if self.fused_sweep {
+            // Every ω group of the product replicates the fabrication
+            // set, so the group-nominal predicate applies per entry.
+            let omega_idx: Vec<usize> = corners.iter().map(|c| c.omega_idx).collect();
+            let is_nominal: Vec<bool> = corners.iter().map(|c| !c.is_varied()).collect();
+            let fab_idx: Vec<usize> = (0..corners.len()).map(|ci| ci % f_count).collect();
+            let set = crate::compiled::CornerProductSolve {
+                tol,
+                max_iters,
+                nominal_eps,
+                epoch,
+                omega_idx: &omega_idx,
+                is_nominal: &is_nominal,
+                force_direct: &force_direct,
+                threads: self.config.threads,
+                // The fold below weights gradients by the aggregation's
+                // exact per-ω weights, so zero-weight adjoint solves are
+                // pure waste — the fused batch drops them (under
+                // WorstCase that is K−1 of every corner's K adjoints).
+                skip_zero_weight_adjoints: Some((self.config.spectral_agg, &fab_idx)),
+            };
+            self.compiled
+                .evaluate_corner_product(&epss, true, &self.objective, scratch, &set)
+                .expect("corner sweep failed")
+        } else {
+            self.eval_per_omega_sets(
+                corners,
+                &epss,
+                &force_direct,
+                nominal_eps,
+                epoch,
+                scratch,
+                tol,
+                max_iters,
+            )
+        };
+
+        // Adaptive-policy updates stay per (corner, ω) label.
+        for (corner, ev) in corners.iter().zip(&evals) {
+            if ev.solve.fell_back {
+                self.policy.mark_direct(corner);
+            }
+        }
+
+        // Fold the spectral axis per fabrication corner (fusion 3 above).
+        let agg = self.config.spectral_agg;
+        let nominal_oi = self.compiled.nominal_omega_idx();
+        let fab_nominal = fab.iter().position(|c| !c.is_varied());
+        let (dr, dc) = problem.design_shape;
+        let mut values = vec![0.0; k];
+        let mut sweights = vec![0.0; k];
+        (0..f_count)
+            .map(|f| {
+                for oi in 0..k {
+                    values[oi] = evals[oi * f_count + f].objective;
+                }
+                agg.weights_into(&values, &mut sweights);
+                let mut seed = Array2::<f64>::zeros(dr, dc);
+                for oi in 0..k {
+                    let wk = sweights[oi];
+                    if wk != 0.0 {
+                        // Zero-weight entries may carry no gradient at
+                        // all (the fused batch skipped their adjoints);
+                        // every weighted entry always does.
+                        let v_rho = grad_eps_to_rho(
+                            evals[oi * f_count + f]
+                                .grad_eps
+                                .as_ref()
+                                .expect("weighted entry carries a gradient"),
+                            problem.design_origin,
+                            problem.design_shape,
+                            fab[f].temperature,
+                        );
+                        for (dst, src) in seed.as_mut_slice().iter_mut().zip(v_rho.as_slice()) {
+                            *dst += wk * src;
+                        }
+                    }
+                }
+                let v_mask = self.chain.vjp_mask_with_etch(&fwds[f], &seed, etch);
+                let centre = &evals[nominal_oi * f_count + f];
+                let variation_grads = if Some(f) == fab_nominal {
+                    // The worst-case search runs at the centre wavelength
+                    // (nominal entries are evaluated outside the batch,
+                    // so their gradient is always present).
+                    let grad_eps = centre.grad_eps.as_ref().expect("gradient requested");
+                    let dt = grad_temperature(
+                        grad_eps,
+                        &problem.background_solid,
+                        problem.design_origin,
+                        &fwds[f].rho_fab,
+                        fab[f].temperature,
+                    );
+                    let v_rho_centre = grad_eps_to_rho(
+                        grad_eps,
+                        problem.design_origin,
+                        problem.design_shape,
+                        fab[f].temperature,
+                    );
+                    let dxi = self.chain.vjp_xi_with_etch(&fwds[f], &v_rho_centre, etch);
+                    Some((dt, dxi))
+                } else {
+                    None
+                };
+                CornerOutcome {
+                    objective: agg.aggregate(&values),
+                    fom: centre.fom,
+                    readings: centre.readings.clone(),
+                    v_mask,
+                    variation_grads,
+                    factorizations: (0..k)
+                        .map(|oi| evals[oi * f_count + f].factorizations)
+                        .sum(),
+                }
+            })
+            .collect()
+    }
+
+    /// The pre-fusion reference fan-out: one batched sweep per contiguous
+    /// ω group ([`CompiledProblem::evaluate_corner_set`]). Kept as the
+    /// A/B verification path for the fused product — the regression tests
+    /// assert both produce bit-identical runs.
+    #[allow(clippy::too_many_arguments)] // mirrors eval_corners_batched
+    fn eval_per_omega_sets(
+        &self,
+        corners: &[VariationCorner],
+        epss: &[Array2<f64>],
+        force_direct: &[bool],
+        nominal_eps: &Array2<f64>,
+        epoch: u64,
+        scratch: &mut EvalScratch,
+        tol: f64,
+        max_iters: usize,
+    ) -> Vec<crate::compiled::Evaluation> {
         let mut evals: Vec<crate::compiled::Evaluation> = Vec::with_capacity(corners.len());
         let mut start = 0usize;
         while start < corners.len() {
@@ -455,9 +624,6 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 corners[end..].iter().all(|c| c.omega_idx != oi),
                 "corner set is not ω-contiguous"
             );
-            // The group-local nominal: the fabrication-nominal corner of
-            // this wavelength (every ω group replicates the full
-            // fabrication set, so the same predicate applies per group).
             let group_nominal = corners[start..end].iter().position(|c| !c.is_varied());
             let set = crate::compiled::CornerSetSolve {
                 tol,
@@ -475,15 +641,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             );
             start = end;
         }
-        corners
-            .iter()
-            .zip(&fwds)
-            .zip(evals)
-            .enumerate()
-            .map(|(ci, ((corner, fwd), ev))| {
-                self.outcome_from(corner, fwd, ev, etch, Some(ci) == nominal_idx)
-            })
-            .collect()
+        evals
     }
 
     /// Evaluates the unrestricted ("ideal") term: the raw density drives
@@ -622,7 +780,9 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 let mut corners =
                     self.space
                         .spectral_corners(self.config.sampling, lambda_c, &mut rng);
-                let product_len = corners.len();
+                let k = self.compiled.omega_count();
+                let f_count = corners.len() / k;
+                debug_assert_eq!(f_count * k, corners.len(), "ragged cross product");
                 let nominal_oi = self.compiled.nominal_omega_idx();
                 // Identify the nominal corner (fabrication-nominal at the
                 // centre wavelength) for worst-case gradients and
@@ -651,34 +811,48 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         )))
                     }
                 };
-                let outcomes = match self.config.solver {
-                    SolverStrategy::Direct => self.eval_corners(
-                        pool.as_ref(),
-                        &rho,
-                        &corners,
-                        etch,
-                        nominal_idx,
-                        &mut scratch,
-                    ),
-                    SolverStrategy::PreconditionedIterative { tol, max_iters } => self
-                        .eval_corners_batched(
+                // The fan-out's outcome granularity differs by strategy:
+                // the direct pool evaluates every (corner, ω) product
+                // entry (`agg_k = k` groups of `f_count`), while the
+                // batched iterative path returns outcomes already folded
+                // over ω — one per fabrication corner (`agg_k = 1`), its
+                // spectral aggregation applied inside the fold. Both
+                // shapes flow through the same weighted sum below.
+                let (outcomes, agg_k, agg_nominal_idx) = match self.config.solver {
+                    SolverStrategy::Direct => (
+                        self.eval_corners(
+                            pool.as_ref(),
                             &rho,
                             &corners,
                             etch,
                             nominal_idx,
+                            &mut scratch,
+                        ),
+                        k,
+                        nominal_idx,
+                    ),
+                    SolverStrategy::PreconditionedIterative { tol, max_iters } => (
+                        self.eval_corners_batched(
+                            &rho,
+                            &corners,
+                            etch,
                             nominal_eps.as_ref().expect("iterative strategy nominal"),
                             iter as u64,
                             &mut scratch,
                             tol,
                             max_iters,
                         ),
+                        1,
+                        corners[..f_count].iter().position(|c| !c.is_varied()),
+                    ),
                 };
+                let agg_product_len = outcomes.len();
                 factorizations += outcomes.iter().map(|o| o.factorizations).sum::<usize>();
 
                 // Worst-case corner from the nominal gradients.
                 let mut all_outcomes = outcomes;
                 if self.config.sampling.needs_worst_case() {
-                    if let Some(ni) = nominal_idx {
+                    if let Some(ni) = agg_nominal_idx {
                         if let Some((dt, dxi)) = &all_outcomes[ni].variation_grads {
                             // The worst-case search runs at the centre
                             // wavelength (its gradients were taken there).
@@ -704,27 +878,28 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 // corners, each contributing the spectral aggregate of
                 // its K per-ω objectives (K = 1: the value itself — the
                 // original weighting, bit-identically). Gradients carry
-                // the aggregation's exact per-ω weights.
-                let k = self.compiled.omega_count();
-                let f_count = product_len / k;
-                debug_assert_eq!(f_count * k, product_len, "ragged cross product");
-                let extras = all_outcomes.len() - product_len; // worst-case corners
-                let w = 1.0 / (f_count + extras) as f64;
+                // the aggregation's exact per-ω weights; the folded
+                // iterative outcomes (`agg_k = 1`) arrive pre-aggregated,
+                // so for them this loop degenerates to the plain weighted
+                // sum.
+                let agg_f_count = agg_product_len / agg_k;
+                let extras = all_outcomes.len() - agg_product_len; // worst-case corners
+                let w = 1.0 / (agg_f_count + extras) as f64;
                 let agg = self.config.spectral_agg;
-                let mut values = vec![0.0; k];
-                let mut sweights = vec![0.0; k];
+                let mut values = vec![0.0; agg_k];
+                let mut sweights = vec![0.0; agg_k];
                 let mut obj_fab = 0.0;
                 let mut v_fab = Array2::<f64>::zeros(dr, dc);
-                for f in 0..f_count {
-                    for oi in 0..k {
-                        values[oi] = all_outcomes[oi * f_count + f].objective;
+                for f in 0..agg_f_count {
+                    for oi in 0..agg_k {
+                        values[oi] = all_outcomes[oi * agg_f_count + f].objective;
                     }
                     obj_fab += w * agg.aggregate(&values);
                     agg.weights_into(&values, &mut sweights);
-                    for oi in 0..k {
+                    for oi in 0..agg_k {
                         let wk = w * sweights[oi];
                         if wk != 0.0 {
-                            let o = &all_outcomes[oi * f_count + f];
+                            let o = &all_outcomes[oi * agg_f_count + f];
                             for (dst, src) in
                                 v_fab.as_mut_slice().iter_mut().zip(o.v_mask.as_slice())
                             {
@@ -734,13 +909,13 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                     }
                 }
                 // Appended worst-case corners are single-ω groups.
-                for o in &all_outcomes[product_len..] {
+                for o in &all_outcomes[agg_product_len..] {
                     obj_fab += w * agg.aggregate(&[o.objective]);
                     for (dst, src) in v_fab.as_mut_slice().iter_mut().zip(o.v_mask.as_slice()) {
                         *dst += w * src;
                     }
                 }
-                if let Some(ni) = nominal_idx {
+                if let Some(ni) = agg_nominal_idx {
                     let o = &all_outcomes[ni];
                     nominal_readings = Some((o.readings.clone(), o.fom));
                 }
@@ -1185,6 +1360,70 @@ mod tests {
             }
             for (ta, tb) in a.theta.iter().zip(&b.theta) {
                 assert_eq!(ta, tb, "{what}");
+            }
+        }
+    }
+
+    /// The fused (corner × ω) lockstep batch must be an implementation
+    /// detail: full broadband runs through the fused product and through
+    /// the pre-fusion per-ω batches are **bit-identical** — for both
+    /// spectral aggregations, healthy and starved iteration budgets (the
+    /// starved case drives every perturbed (corner, ω) column through the
+    /// budget-miss → direct-fallback path), serial and threaded.
+    #[test]
+    fn fused_product_runs_are_bit_identical_to_per_omega_runs() {
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        let healthy = SolverStrategy::preconditioned_iterative();
+        let starved = SolverStrategy::PreconditionedIterative {
+            tol: 1e-300,
+            max_iters: 1,
+        };
+        let cases = [
+            (SpectralAggregation::Mean, healthy, 1usize),
+            (SpectralAggregation::Mean, healthy, 4),
+            (SpectralAggregation::WorstCase, healthy, 1),
+            (SpectralAggregation::Mean, starved, 1),
+            (SpectralAggregation::WorstCase, starved, 1),
+        ];
+        for (agg, solver, threads) in cases {
+            let run = |fused: bool| {
+                let mut designer = InverseDesigner::new(
+                    &compiled,
+                    &param,
+                    standard_chain(&problem),
+                    space.clone(),
+                    RunnerConfig {
+                        solver,
+                        spectral_agg: agg,
+                        ..tiny_config(threads, SamplingStrategy::AxialSingleSided)
+                    },
+                );
+                designer.fused_sweep = fused;
+                let mut rng = StdRng::seed_from_u64(3);
+                let theta0 = designer.initial_theta(&mut rng);
+                designer.run(theta0)
+            };
+            let fused = run(true);
+            let per_omega = run(false);
+            let tag = format!("{agg:?}/{solver:?}/threads={threads}");
+            assert_eq!(
+                fused.factorizations, per_omega.factorizations,
+                "{tag}: factorisation counts diverged"
+            );
+            for (rf, rp) in fused.trajectory.iter().zip(&per_omega.trajectory) {
+                assert_eq!(rf.objective, rp.objective, "{tag} iter {}", rf.iter);
+                assert_eq!(rf.fom_nominal, rp.fom_nominal, "{tag} iter {}", rf.iter);
+            }
+            for (tf, tp) in fused.theta.iter().zip(&per_omega.theta) {
+                assert_eq!(tf, tp, "{tag}");
             }
         }
     }

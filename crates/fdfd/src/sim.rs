@@ -73,7 +73,8 @@ use crate::operator::{
 use crate::pml::SFactors;
 use boson_num::banded::{BandedLu, BandedLuF32, BandedMatrix, SingularMatrixError};
 use boson_num::krylov::{
-    bicgstab_precond_many, bicgstab_precond_transpose_many, IterativeOptions, KrylovWorkspace,
+    bicgstab_precond_many, bicgstab_precond_transpose_many, ColumnOp, IterativeOptions,
+    KrylovWorkspace, PrecondFamily, RhsStats,
 };
 use boson_num::{Array2, Complex64};
 use serde::{Deserialize, Serialize};
@@ -364,6 +365,17 @@ pub struct CornerSolveReport {
 /// iteration cannot plateau near the f32 noise floor.
 const F32_PRECOND_MIN_TOL: f64 = 1e-8;
 
+/// Packed active-column count at which a fused-batch preconditioner
+/// sweep splits across worker threads
+/// (see [`SimWorkspace::fused_batch_solve`]).
+///
+/// Below it the split's thread-spawn cost (and its per-thread re-reads of
+/// the factor image) outweighs the parallel sweep work; a 27-corner
+/// single-ω batch (≤ ~32 columns) stays serial while a fused 27-corner ×
+/// 3-ω product (~78 columns) splits. Columns are solved independently, so
+/// serial and split sweeps are bit-identical at any thread count.
+pub const FUSED_SPLIT_MIN_COLS: usize = 48;
+
 /// Maximum number of per-ω slots a [`SimWorkspace`] retains. A broadband
 /// robust iteration keys its geometry caches and nominal factors by
 /// `(grid, ω)`; up to this many wavelengths stay resident simultaneously
@@ -391,6 +403,187 @@ struct OmegaSlot {
     nominal_epoch: Option<u64>,
     /// LRU stamp (workspace clock at last use).
     last_used: u64,
+}
+
+/// The matrix-free operator family of a **fused** (corner × ω) sweep:
+/// column `col` belongs to corner `col / cols_per_corner`, and applies
+/// that corner's diagonal through *its own wavelength's* cached stencil
+/// couplings — the cross-ω generalisation of
+/// [`crate::operator::MultiCornerOp`].
+struct FusedCornerOp<'a> {
+    slots: &'a [OmegaSlot],
+    /// Slot index per batch-local ω.
+    fused_slots: &'a [usize],
+    /// Batch-local ω index per corner.
+    omega_of_corner: &'a [usize],
+    /// Concatenated per-corner operator diagonals, `n` entries each.
+    diags: &'a [Complex64],
+    /// Right-hand-side columns per corner.
+    cols_per_corner: usize,
+}
+
+impl FusedCornerOp<'_> {
+    fn apply_corner_col(&self, col: usize, x: &[Complex64], y: &mut [Complex64]) {
+        let corner = col / self.cols_per_corner;
+        let slot = &self.slots[self.fused_slots[self.omega_of_corner[corner]]];
+        let n = slot.stencil.n();
+        slot.stencil
+            .apply(&self.diags[corner * n..(corner + 1) * n], x, y);
+    }
+}
+
+impl ColumnOp for FusedCornerOp<'_> {
+    fn dim(&self) -> usize {
+        self.slots[self.fused_slots[0]].stencil.n()
+    }
+
+    fn apply_col(&self, col: usize, x: &[Complex64], y: &mut [Complex64]) {
+        self.apply_corner_col(col, x, y);
+    }
+
+    fn apply_col_transpose(&self, col: usize, x: &[Complex64], y: &mut [Complex64]) {
+        // Complex-symmetric operator: Aᵀ = A.
+        self.apply_corner_col(col, x, y);
+    }
+}
+
+/// The per-column preconditioner family of a fused (corner × ω) sweep:
+/// every packed column is preconditioned by **its own wavelength's**
+/// nominal factor. Columns of one ω form contiguous runs in the ω-major
+/// packed block, so each run costs one factor sweep — and runs above
+/// [`FUSED_SPLIT_MIN_COLS`] total active columns split across scoped
+/// worker threads in independent column chunks (columns are solved
+/// independently; any split is bit-identical to the serial sweep).
+struct FusedPrecond<'a> {
+    slots: &'a [OmegaSlot],
+    fused_slots: &'a [usize],
+    omega_of_corner: &'a [usize],
+    cols_per_corner: usize,
+    /// Sweep the single-precision factor copies (ordinary tolerances).
+    use_f32: bool,
+    /// One f32 conversion scratch per worker; the slice length *is* the
+    /// split width (1 = serial).
+    scratches: &'a mut [Vec<f32>],
+}
+
+impl FusedPrecond<'_> {
+    fn slot_of_col(&self, col: usize) -> usize {
+        self.fused_slots[self.omega_of_corner[col / self.cols_per_corner]]
+    }
+
+    fn solve_runs(&mut self, b: &mut [Complex64], cols: &[usize], transpose: bool) {
+        let n = self.slots[self.fused_slots[0]].stencil.n();
+        let split = self.scratches.len() > 1 && cols.len() >= FUSED_SPLIT_MIN_COLS;
+        let mut rest = b;
+        let mut start = 0usize;
+        while start < cols.len() {
+            let slot_idx = self.slot_of_col(cols[start]);
+            let mut end = start + 1;
+            while end < cols.len() && self.slot_of_col(cols[end]) == slot_idx {
+                end += 1;
+            }
+            let (run, tail) = rest.split_at_mut((end - start) * n);
+            rest = tail;
+            let slot = &self.slots[slot_idx];
+            let workers = if split { self.scratches.len() } else { 1 };
+            solve_slot_run(
+                slot,
+                run,
+                end - start,
+                n,
+                self.use_f32,
+                transpose,
+                workers,
+                &mut self.scratches[..workers],
+            );
+            start = end;
+        }
+    }
+}
+
+impl PrecondFamily for FusedPrecond<'_> {
+    fn dim(&self) -> usize {
+        self.slots[self.fused_slots[0]].stencil.n()
+    }
+
+    fn solve_packed(&mut self, b: &mut [Complex64], cols: &[usize]) {
+        self.solve_runs(b, cols, false);
+    }
+
+    fn solve_packed_transpose(&mut self, b: &mut [Complex64], cols: &[usize]) {
+        self.solve_runs(b, cols, true);
+    }
+}
+
+/// Sweeps one ω's nominal factor over a contiguous run of `run_cols`
+/// packed columns, optionally split into near-equal contiguous chunks on
+/// `workers` scoped threads (the first chunk runs on the calling thread).
+#[allow(clippy::too_many_arguments)] // flat args keep the hot path monomorphic
+fn solve_slot_run(
+    slot: &OmegaSlot,
+    run: &mut [Complex64],
+    run_cols: usize,
+    n: usize,
+    use_f32: bool,
+    transpose: bool,
+    workers: usize,
+    scratches: &mut [Vec<f32>],
+) {
+    let solve_chunk = |chunk: &mut [Complex64], scratch: &mut Vec<f32>| {
+        let ccols = chunk.len() / n;
+        match (use_f32, transpose) {
+            (true, false) => slot
+                .nominal_lu32
+                .solve_many_with_scratch(scratch, chunk, ccols),
+            (true, true) => slot
+                .nominal_lu32
+                .solve_transpose_many_with_scratch(scratch, chunk, ccols),
+            (false, false) => slot.nominal_lu.solve_many(chunk, ccols),
+            (false, true) => slot.nominal_lu.solve_transpose_many(chunk, ccols),
+        }
+    };
+    if workers <= 1 || run_cols < 2 {
+        solve_chunk(run, &mut scratches[0]);
+        return;
+    }
+    let per = run_cols.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut chunks = run.chunks_mut(per * n).zip(scratches.iter_mut());
+        let first = chunks.next();
+        for (chunk, scratch) in chunks {
+            scope.spawn(|| solve_chunk(chunk, scratch));
+        }
+        if let Some((chunk, scratch)) = first {
+            solve_chunk(chunk, scratch);
+        }
+    });
+}
+
+/// Folds per-column Krylov stats into per-corner solve reports (shared by
+/// the per-ω and fused batched sweeps; repeated solves of one batch —
+/// forwards, then adjoints — merge into the same reports).
+fn merge_stats_into_reports(
+    stats: &[RhsStats],
+    reports: &mut Vec<CornerSolveReport>,
+    batch_count: usize,
+    cols_per_corner: usize,
+) {
+    reports.resize(
+        batch_count,
+        CornerSolveReport {
+            converged: true,
+            used_iterative: true,
+            ..CornerSolveReport::default()
+        },
+    );
+    for (col, stats) in stats.iter().enumerate() {
+        let report = &mut reports[col / cols_per_corner];
+        report.used_iterative = true;
+        report.solves += 1;
+        report.max_iterations = report.max_iterations.max(stats.iterations);
+        report.max_residual = report.max_residual.max(stats.residual);
+        report.converged &= stats.converged;
+    }
 }
 
 /// How the currently-prepared operator solves systems.
@@ -465,6 +658,15 @@ pub struct SimWorkspace {
     batch_opts: IterativeOptions,
     /// Per-corner reports of the current batch.
     batch_reports: Vec<CornerSolveReport>,
+    /// Batch-local ω index of each corner of the current **fused** batch
+    /// (indexes [`SimWorkspace::fused_batch_begin`]'s ω list).
+    fused_omega_of_corner: Vec<usize>,
+    /// Slot index (into `slots`) of each fused-batch ω, pinned for the
+    /// duration of the batch.
+    fused_slots: Vec<usize>,
+    /// Per-worker f32 conversion scratches for (possibly split) fused
+    /// preconditioner sweeps; grown once, then reused.
+    fused_scratches: Vec<Vec<f32>>,
 }
 
 impl Default for SimWorkspace {
@@ -495,6 +697,9 @@ impl SimWorkspace {
             batch_count: 0,
             batch_opts: IterativeOptions::default(),
             batch_reports: Vec::new(),
+            fused_omega_of_corner: Vec::new(),
+            fused_slots: Vec::new(),
+            fused_scratches: Vec::new(),
         }
     }
 
@@ -559,7 +764,12 @@ impl SimWorkspace {
                 nominal_lu: BandedLu::placeholder(),
                 nominal_lu32: BandedLuF32::placeholder(),
                 nominal_epoch: None,
-                last_used: 0,
+                // Stamp the clock at *insertion*, not first reuse: a slot
+                // born with stamp 0 would be the LRU minimum and could be
+                // evicted by the very next new ω — with
+                // K = MAX_OMEGA_SLOTS + 1 interleaved visits the freshly
+                // built slot would thrash instead of the true LRU victim.
+                last_used: self.clock,
             };
             if self.slots.len() < MAX_OMEGA_SLOTS {
                 self.slots.push(slot);
@@ -1010,28 +1220,257 @@ impl SimWorkspace {
             );
         }
         // Merge per-column stats into per-corner reports.
-        self.batch_reports.resize(
+        merge_stats_into_reports(
+            self.krylov.stats(),
+            &mut self.batch_reports,
             self.batch_count,
-            CornerSolveReport {
-                converged: true,
-                used_iterative: true,
-                ..CornerSolveReport::default()
-            },
+            cols_per_corner,
         );
-        for (col, stats) in self.krylov.stats().iter().enumerate() {
-            let report = &mut self.batch_reports[col / cols_per_corner];
-            report.used_iterative = true;
-            report.solves += 1;
-            report.max_iterations = report.max_iterations.max(stats.iterations);
-            report.max_residual = report.max_residual.max(stats.residual);
-            report.converged &= stats.converged;
-        }
     }
 
     /// Per-corner convergence reports of the current batch (filled by
-    /// [`SimWorkspace::batch_solve`]).
+    /// [`SimWorkspace::batch_solve`] / [`SimWorkspace::fused_batch_solve`]).
     pub fn batch_reports(&self) -> &[CornerSolveReport] {
         &self.batch_reports
+    }
+
+    /// Begins a **fused** (corner × ω) sweep: ensures the geometry caches
+    /// and the epoch's nominal factorisation for **every** wavelength of
+    /// `omegas` (each resident ω slot pinned for the duration of the
+    /// batch), then clears the batch. Push corners with
+    /// [`SimWorkspace::fused_batch_push`] — each tagged with its ω — and
+    /// advance all of them in one lockstep sweep with
+    /// [`SimWorkspace::fused_batch_solve`].
+    ///
+    /// Where [`SimWorkspace::batch_begin`] amortises the preconditioner's
+    /// memory traffic across the corners of *one* wavelength, the fused
+    /// batch amortises the whole iteration across the full cross product:
+    /// every column is preconditioned by its own ω's nominal factor and
+    /// stencil-applied through its own ω's couplings, so a broadband
+    /// robust iteration runs **one** batch instead of K.
+    ///
+    /// Returns the number of nominal factorisations performed (one per ω
+    /// whose cached factor was stale for `epoch`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a nominal operator is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omegas` is empty or exceeds [`MAX_OMEGA_SLOTS`] (the
+    /// batch needs every ω resident simultaneously), or if `nominal_eps`
+    /// does not have shape `(ny, nx)`.
+    pub fn fused_batch_begin(
+        &mut self,
+        grid: SimGrid,
+        omegas: &[f64],
+        nominal_eps: &Array2<f64>,
+        epoch: u64,
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<usize, SingularMatrixError> {
+        assert!(!omegas.is_empty(), "fused batch needs at least one ω");
+        assert!(
+            omegas.len() <= MAX_OMEGA_SLOTS,
+            "fused batch carries {} wavelengths but the workspace retains \
+             at most {} ω slots",
+            omegas.len(),
+            MAX_OMEGA_SLOTS
+        );
+        assert_eq!(
+            nominal_eps.shape(),
+            (grid.ny, grid.nx),
+            "eps shape must be (ny, nx)"
+        );
+        let mut factorizations = 0;
+        for &omega in omegas {
+            self.ensure_geometry(grid, omega);
+            let slot = &mut self.slots[self.active];
+            if slot.nominal_epoch != Some(epoch) {
+                slot.stencil.diag_into(nominal_eps, &mut self.diag);
+                slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
+                self.a.factor_swap_into(&mut slot.nominal_lu)?;
+                slot.nominal_lu32.assign_from(&slot.nominal_lu);
+                slot.nominal_epoch = Some(epoch);
+                factorizations += 1;
+            }
+        }
+        // Pin the batch's slots only after every geometry is ensured: the
+        // insertion-time LRU stamps above guarantee the batch's own ωs
+        // never evict each other, so each lookup must succeed.
+        self.fused_slots.clear();
+        for &omega in omegas {
+            let idx = self
+                .slots
+                .iter()
+                .position(|s| s.omega == omega)
+                .expect("fused-batch ω evicted while ensuring its siblings");
+            self.fused_slots.push(idx);
+        }
+        self.batch_diags.clear();
+        self.batch_count = 0;
+        self.fused_omega_of_corner.clear();
+        self.batch_reports.clear();
+        self.batch_opts = IterativeOptions {
+            tol,
+            max_iters,
+            use_initial_guess: false,
+        };
+        Ok(factorizations)
+    }
+
+    /// Appends one corner operator (its diagonal, derived through the
+    /// `omega_idx`-th batch wavelength's stencil) to the current fused
+    /// batch; returns the corner's slot index. ω-grouped push order keeps
+    /// each preconditioner run contiguous (required only for speed, not
+    /// correctness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_idx` is outside the ω list of the most recent
+    /// [`SimWorkspace::fused_batch_begin`], or `eps` does not match its
+    /// grid.
+    pub fn fused_batch_push(&mut self, eps: &Array2<f64>, omega_idx: usize) -> usize {
+        let slot_idx = *self
+            .fused_slots
+            .get(omega_idx)
+            .expect("fused_batch_begin before fused_batch_push");
+        let stencil = &self.slots[slot_idx].stencil;
+        assert_eq!(eps.as_slice().len(), stencil.n(), "eps size mismatch");
+        stencil.diag_into(eps, &mut self.diag);
+        self.batch_diags.extend_from_slice(&self.diag);
+        self.fused_omega_of_corner.push(omega_idx);
+        let slot = self.batch_count;
+        self.batch_count += 1;
+        slot
+    }
+
+    /// Angular frequency of the `omega_idx`-th fused-batch wavelength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_idx` is outside the current fused batch's ω list.
+    pub fn fused_omega(&self, omega_idx: usize) -> f64 {
+        self.slots[self.fused_slots[omega_idx]].omega
+    }
+
+    /// PML stretch factors of the `omega_idx`-th fused-batch wavelength
+    /// (for building that ω's right-hand sides while the batch is
+    /// pinned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_idx` is outside the current fused batch's ω list.
+    pub fn fused_sfactors(&self, omega_idx: usize) -> &SFactors {
+        &self.slots[self.fused_slots[omega_idx]].sfactors
+    }
+
+    /// Accumulates `dF/dε` at the `omega_idx`-th fused-batch wavelength
+    /// (each corner of a fused sweep back-propagates through its own ω's
+    /// stretch factors and `ω²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_idx` is outside the current fused batch's ω list
+    /// or shapes mismatch.
+    pub fn fused_grad_eps_accumulate(
+        &self,
+        omega_idx: usize,
+        ez: &[Complex64],
+        lambda: &[Complex64],
+        out: &mut Array2<f64>,
+    ) {
+        let slot = &self.slots[self.fused_slots[omega_idx]];
+        grad_eps_accumulate(
+            self.grid.as_ref().expect("SimWorkspace not prepared"),
+            &slot.sfactors,
+            slot.omega,
+            ez,
+            lambda,
+            out,
+        );
+    }
+
+    /// Lockstep-solves `cols_per_corner` systems for every corner of the
+    /// fused (corner × ω) batch: `b` holds the right-hand sides
+    /// (corner-major, column-major within a corner) and the solutions
+    /// land in `x`; with `use_initial_guess`, `x` carries warm starts
+    /// (each corner's own ω's nominal solution) on entry.
+    ///
+    /// Every column advances through the one shared BiCGSTAB iteration,
+    /// preconditioned by **its own ω's** nominal factor and
+    /// stencil-applied through its own ω's couplings — per-column
+    /// arithmetic is exactly that of the per-ω batched sweep, so results
+    /// are bit-identical to running K separate [`SimWorkspace::batch_solve`]
+    /// batches. When the packed active-column count reaches
+    /// [`FUSED_SPLIT_MIN_COLS`] and `threads > 1`, each preconditioner
+    /// run splits into independent contiguous column chunks on scoped
+    /// worker threads (bit-identical at any thread count).
+    ///
+    /// No direct fallback happens here: corners whose columns miss the
+    /// budget are reported with `converged == false` in
+    /// [`SimWorkspace::batch_reports`] and the caller re-evaluates them
+    /// directly. Calling `fused_batch_solve` again (the adjoint phase)
+    /// merges into the same per-corner reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fused batch is begun or the block lengths disagree
+    /// with it.
+    pub fn fused_batch_solve(
+        &mut self,
+        b: &[Complex64],
+        x: &mut [Complex64],
+        cols_per_corner: usize,
+        use_initial_guess: bool,
+        threads: usize,
+    ) {
+        let Self {
+            slots,
+            fused_slots,
+            fused_omega_of_corner,
+            fused_scratches,
+            batch_diags,
+            batch_count,
+            batch_opts,
+            batch_reports,
+            krylov,
+            ..
+        } = self;
+        assert!(
+            !fused_slots.is_empty(),
+            "fused_batch_begin before fused_batch_solve"
+        );
+        let n = slots[fused_slots[0]].stencil.n();
+        let ncols = *batch_count * cols_per_corner;
+        assert_eq!(b.len(), n * ncols, "fused rhs block length mismatch");
+        assert_eq!(x.len(), n * ncols, "fused solution block length mismatch");
+        let workers = threads.max(1);
+        if fused_scratches.len() < workers {
+            fused_scratches.resize_with(workers, Vec::new);
+        }
+        let op = FusedCornerOp {
+            slots,
+            fused_slots,
+            omega_of_corner: fused_omega_of_corner,
+            diags: batch_diags,
+            cols_per_corner,
+        };
+        let mut family = FusedPrecond {
+            slots,
+            fused_slots,
+            omega_of_corner: fused_omega_of_corner,
+            cols_per_corner,
+            use_f32: batch_opts.tol >= F32_PRECOND_MIN_TOL,
+            scratches: &mut fused_scratches[..workers],
+        };
+        let opts = IterativeOptions {
+            use_initial_guess,
+            ..*batch_opts
+        };
+        bicgstab_precond_many(&op, &mut family, b, x, ncols, &opts, krylov);
+        merge_stats_into_reports(krylov.stats(), batch_reports, *batch_count, cols_per_corner);
     }
 
     /// The current factorisation.
@@ -1717,16 +2156,182 @@ mod tests {
         let grid = SimGrid::new(30, 26, 0.05, 6);
         let eps = straight_wg(&grid, 3);
         let mut ws = SimWorkspace::new();
+        let om_of = |k: usize| omega() * (1.0 + 0.01 * k as f64);
         for k in 0..(MAX_OMEGA_SLOTS + 3) {
-            let om = omega() * (1.0 + 0.01 * k as f64);
-            ws.factor(grid, om, &eps).unwrap();
+            ws.factor(grid, om_of(k), &eps).unwrap();
         }
         assert_eq!(ws.omega_slot_count(), MAX_OMEGA_SLOTS);
+
+        // Interleaved-revisit order with K = MAX_OMEGA_SLOTS + 1: each new
+        // ω must evict the **least recently used** slot, never the slot
+        // that was just built. (A slot inserted with stamp 0 instead of
+        // the current clock would immediately be the LRU minimum and the
+        // cache would thrash: every insertion evicting the previous one.)
+        let mut ws = SimWorkspace::new();
+        for k in 0..MAX_OMEGA_SLOTS {
+            ws.factor(grid, om_of(k), &eps).unwrap();
+        }
+        // ω_MAX is new: evicts ω0 (the LRU), then must itself be resident.
+        ws.factor(grid, om_of(MAX_OMEGA_SLOTS), &eps).unwrap();
+        assert!(ws.slots.iter().all(|s| s.omega != om_of(0)));
+        assert!(ws.slots.iter().any(|s| s.omega == om_of(MAX_OMEGA_SLOTS)));
+        // Revisiting ω0 (now cold) must evict ω1 — the true LRU — and NOT
+        // the just-built ω_MAX slot.
+        ws.factor(grid, om_of(0), &eps).unwrap();
+        assert!(ws.slots.iter().all(|s| s.omega != om_of(1)));
+        assert!(
+            ws.slots.iter().any(|s| s.omega == om_of(MAX_OMEGA_SLOTS)),
+            "freshly built slot was thrashed out by the next insertion"
+        );
+        // Continue the interleaved cycle one more step: ω1 evicts ω2.
+        ws.factor(grid, om_of(1), &eps).unwrap();
+        assert!(ws.slots.iter().all(|s| s.omega != om_of(2)));
+        for survivor in [0, 1, MAX_OMEGA_SLOTS] {
+            assert!(
+                ws.slots.iter().any(|s| s.omega == om_of(survivor)),
+                "ω{survivor} should be resident"
+            );
+        }
+
         // A grid change clears every slot.
         let grid2 = SimGrid::new(32, 26, 0.05, 6);
         let eps2 = Array2::filled(26, 32, 1.0);
         ws.factor(grid2, omega(), &eps2).unwrap();
         assert_eq!(ws.omega_slot_count(), 1);
+    }
+
+    /// The fused (corner × ω) batch performs, per column, exactly the
+    /// per-ω batched sweep's arithmetic — its own ω's stencil apply, its
+    /// own ω's nominal-factor preconditioner sweep — so fusing the K
+    /// per-ω batches into one lockstep batch is bit-identical, forwards
+    /// and (merged) second-phase solves alike.
+    #[test]
+    fn fused_cross_omega_batch_is_bit_identical_to_per_omega_batches() {
+        let grid = SimGrid::new(40, 36, 0.05, 8);
+        let corners = corner_family(&grid);
+        let nominal = corners[0].clone();
+        let omegas = [omega(), omega() * 1.02, omega() * 0.98];
+        let (tol, max_iters) = (1e-6, 24);
+        let n = grid.n();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| c64((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+            .collect();
+        let ncorner = corners.len() - 1;
+
+        // Fused: all (corner, ω) pairs, ω-major, one lockstep batch.
+        let mut ws = SimWorkspace::new();
+        ws.fused_batch_begin(grid, &omegas, &nominal, 5, tol, max_iters)
+            .unwrap();
+        for oi in 0..omegas.len() {
+            for eps in &corners[1..] {
+                ws.fused_batch_push(eps, oi);
+            }
+        }
+        let total = ncorner * omegas.len();
+        let mut rhs = vec![Complex64::ZERO; n * total];
+        for c in 0..total {
+            rhs[c * n..(c + 1) * n].copy_from_slice(&b);
+        }
+        let mut x = vec![Complex64::ZERO; n * total];
+        ws.fused_batch_solve(&rhs, &mut x, 1, false, 1);
+        assert_eq!(ws.batch_reports().len(), total);
+        assert!(ws.batch_reports().iter().all(|r| r.converged));
+        // Second phase on the same batch (the adjoint pattern).
+        let mut x2 = vec![Complex64::ZERO; n * total];
+        ws.fused_batch_solve(&rhs, &mut x2, 1, false, 1);
+
+        // Per-ω reference: K separate batches.
+        for (oi, &om) in omegas.iter().enumerate() {
+            let mut ws1 = SimWorkspace::new();
+            ws1.batch_begin(grid, om, &nominal, 5, tol, max_iters)
+                .unwrap();
+            for eps in &corners[1..] {
+                ws1.batch_push(eps);
+            }
+            let mut rhs1 = vec![Complex64::ZERO; n * ncorner];
+            for c in 0..ncorner {
+                rhs1[c * n..(c + 1) * n].copy_from_slice(&b);
+            }
+            let mut x1 = vec![Complex64::ZERO; n * ncorner];
+            ws1.batch_solve(&rhs1, &mut x1, 1, false);
+            let fused = &x[oi * ncorner * n..(oi + 1) * ncorner * n];
+            assert_eq!(fused, x1.as_slice(), "ω index {oi} diverged");
+            let mut x1b = vec![Complex64::ZERO; n * ncorner];
+            ws1.batch_solve(&rhs1, &mut x1b, 1, false);
+            let fused2 = &x2[oi * ncorner * n..(oi + 1) * ncorner * n];
+            assert_eq!(fused2, x1b.as_slice(), "ω index {oi} second phase");
+            // Reports agree corner-for-corner (iterations, residuals).
+            for c in 0..ncorner {
+                let rf = &ws.batch_reports()[oi * ncorner + c];
+                let rp = &ws1.batch_reports()[c];
+                assert_eq!(rf.max_iterations, rp.max_iterations, "ω {oi} corner {c}");
+                assert_eq!(rf.max_residual, rp.max_residual, "ω {oi} corner {c}");
+                assert_eq!(rf.converged, rp.converged);
+                assert_eq!(rf.solves, rp.solves);
+            }
+        }
+
+        // K = 1 degenerates to the plain batched sweep bit-identically.
+        let mut wsk1 = SimWorkspace::new();
+        wsk1.fused_batch_begin(grid, &omegas[..1], &nominal, 9, tol, max_iters)
+            .unwrap();
+        for eps in &corners[1..] {
+            wsk1.fused_batch_push(eps, 0);
+        }
+        let mut xk1 = vec![Complex64::ZERO; n * ncorner];
+        wsk1.fused_batch_solve(&rhs[..n * ncorner], &mut xk1, 1, false, 1);
+        let mut ws1 = SimWorkspace::new();
+        ws1.batch_begin(grid, omegas[0], &nominal, 9, tol, max_iters)
+            .unwrap();
+        for eps in &corners[1..] {
+            ws1.batch_push(eps);
+        }
+        let mut x1 = vec![Complex64::ZERO; n * ncorner];
+        ws1.batch_solve(&rhs[..n * ncorner], &mut x1, 1, false);
+        assert_eq!(xk1, x1);
+    }
+
+    /// Splitting the fused preconditioner sweeps across worker threads is
+    /// an implementation detail: columns are solved independently, so any
+    /// thread count produces bit-identical solutions and reports. The
+    /// column count here exceeds [`FUSED_SPLIT_MIN_COLS`] so the split
+    /// path really runs.
+    #[test]
+    fn fused_threaded_sweep_split_is_bit_identical_to_serial() {
+        let grid = SimGrid::new(30, 26, 0.05, 6);
+        let nominal = straight_wg(&grid, 3);
+        let ncorner = 14; // × 2 ω × 2 cols = 56 columns ≥ FUSED_SPLIT_MIN_COLS
+        let corners: Vec<Array2<f64>> = (1..=ncorner)
+            .map(|k| nominal.map(|&e| if e > 1.0 { e + 0.012 * k as f64 } else { e }))
+            .collect();
+        let omegas = [omega(), omega() * 1.03];
+        let n = grid.n();
+        let cols_per_corner = 2;
+        let total = ncorner * omegas.len() * cols_per_corner;
+        assert!(total >= FUSED_SPLIT_MIN_COLS);
+        let rhs: Vec<Complex64> = (0..n * total)
+            .map(|k| c64((k as f64 * 0.011).sin(), (k as f64 * 0.017).cos()))
+            .collect();
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 4, 7] {
+            let mut ws = SimWorkspace::new();
+            ws.fused_batch_begin(grid, &omegas, &nominal, 3, 1e-6, 24)
+                .unwrap();
+            for oi in 0..omegas.len() {
+                for eps in &corners {
+                    ws.fused_batch_push(eps, oi);
+                }
+            }
+            let mut x = vec![Complex64::ZERO; n * total];
+            ws.fused_batch_solve(&rhs, &mut x, cols_per_corner, false, threads);
+            results.push((threads, x, ws.batch_reports().to_vec()));
+        }
+        let (_, x_serial, reports_serial) = &results[0];
+        assert!(reports_serial.iter().all(|r| r.converged));
+        for (threads, x, reports) in &results[1..] {
+            assert_eq!(x, x_serial, "threads={threads}");
+            assert_eq!(reports, reports_serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -725,6 +725,13 @@ impl BandedLuF32 {
         self.n
     }
 
+    /// Rough size of the conversion scratch one [`BandedLuF32::solve_many_with_scratch`]
+    /// call needs for `nrhs` columns (interleaved `f32` pairs); callers
+    /// that pre-grow external scratches use this to stay allocation-free.
+    pub fn scratch_len(&self, nrhs: usize) -> usize {
+        2 * self.n * nrhs
+    }
+
     /// Downconverts `lu`'s factors into this slot, reusing its buffers
     /// (no heap allocation once warm). The pivot sequence is shared —
     /// this is a storage conversion, not a refactorisation.
@@ -739,11 +746,6 @@ impl BandedLuF32 {
         self.ipiv.extend_from_slice(&lu.ipiv);
     }
 
-    #[inline(always)]
-    fn ldab(&self) -> usize {
-        2 * self.kl + self.ku + 1
-    }
-
     /// Applies `M⁻¹` to `nrhs` column-major `f64` right-hand sides in
     /// place: converts to `f32`, sweeps the single-precision factors, and
     /// converts back.
@@ -752,7 +754,15 @@ impl BandedLuF32 {
     ///
     /// Panics if `b.len() != n·nrhs` or the slot was never assigned.
     pub fn solve_many(&mut self, b: &mut [Complex64], nrhs: usize) {
-        self.solve_impl(b, nrhs, false);
+        let Self {
+            n,
+            kl,
+            ku,
+            ab,
+            ipiv,
+            scratch,
+        } = self;
+        solve32_with(*n, *kl, *ku, ab, ipiv, scratch, b, nrhs, false);
     }
 
     /// Transpose counterpart of [`BandedLuF32::solve_many`].
@@ -761,29 +771,86 @@ impl BandedLuF32 {
     ///
     /// Panics if `b.len() != n·nrhs` or the slot was never assigned.
     pub fn solve_transpose_many(&mut self, b: &mut [Complex64], nrhs: usize) {
-        self.solve_impl(b, nrhs, true);
+        let Self {
+            n,
+            kl,
+            ku,
+            ab,
+            ipiv,
+            scratch,
+        } = self;
+        solve32_with(*n, *kl, *ku, ab, ipiv, scratch, b, nrhs, true);
     }
 
-    fn solve_impl(&mut self, b: &mut [Complex64], nrhs: usize, transpose: bool) {
-        assert!(self.n > 0, "BandedLuF32 never assigned");
-        assert_eq!(b.len(), self.n * nrhs, "solve dimension mismatch");
-        self.scratch.clear();
-        self.scratch
-            .extend(b.iter().flat_map(|z| [z.re as f32, z.im as f32]));
-        // Block the RHS like the f64 path so huge batches stay resident.
-        let cols_per_chunk = RHS_BLOCK;
-        let chunk_len = 2 * self.n * cols_per_chunk;
-        let (n, kl, ku, ldab) = (self.n, self.kl, self.ku, self.ldab());
-        for chunk in self.scratch.chunks_mut(chunk_len) {
-            if transpose {
-                sweep32_transpose(n, kl, ku, ldab, &self.ab, &self.ipiv, chunk);
-            } else {
-                sweep32(n, kl, ku, ldab, &self.ab, &self.ipiv, chunk);
-            }
+    /// [`BandedLuF32::solve_many`] with a **caller-owned** conversion
+    /// scratch, leaving `self` shared. This is what lets several threads
+    /// (or a per-column preconditioner family holding many factors behind
+    /// one shared borrow) sweep the same factor image concurrently — each
+    /// caller brings its own scratch, the factors are read-only.
+    /// Bit-identical to [`BandedLuF32::solve_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n·nrhs` or the slot was never assigned.
+    pub fn solve_many_with_scratch(
+        &self,
+        scratch: &mut Vec<f32>,
+        b: &mut [Complex64],
+        nrhs: usize,
+    ) {
+        solve32_with(
+            self.n, self.kl, self.ku, &self.ab, &self.ipiv, scratch, b, nrhs, false,
+        );
+    }
+
+    /// Transpose counterpart of [`BandedLuF32::solve_many_with_scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n·nrhs` or the slot was never assigned.
+    pub fn solve_transpose_many_with_scratch(
+        &self,
+        scratch: &mut Vec<f32>,
+        b: &mut [Complex64],
+        nrhs: usize,
+    ) {
+        solve32_with(
+            self.n, self.kl, self.ku, &self.ab, &self.ipiv, scratch, b, nrhs, true,
+        );
+    }
+}
+
+/// Shared body of every [`BandedLuF32`] apply: converts the `f64` block
+/// into the interleaved-`f32` scratch, sweeps [`RHS_BLOCK`]-column chunks
+/// over the single-precision factors, and converts back.
+#[allow(clippy::too_many_arguments)] // destructured BandedLuF32 + solve args
+fn solve32_with(
+    n: usize,
+    kl: usize,
+    ku: usize,
+    ab: &[f32],
+    ipiv: &[usize],
+    scratch: &mut Vec<f32>,
+    b: &mut [Complex64],
+    nrhs: usize,
+    transpose: bool,
+) {
+    assert!(n > 0, "BandedLuF32 never assigned");
+    assert_eq!(b.len(), n * nrhs, "solve dimension mismatch");
+    scratch.clear();
+    scratch.extend(b.iter().flat_map(|z| [z.re as f32, z.im as f32]));
+    // Block the RHS like the f64 path so huge batches stay resident.
+    let chunk_len = 2 * n * RHS_BLOCK;
+    let ldab = 2 * kl + ku + 1;
+    for chunk in scratch.chunks_mut(chunk_len) {
+        if transpose {
+            sweep32_transpose(n, kl, ku, ldab, ab, ipiv, chunk);
+        } else {
+            sweep32(n, kl, ku, ldab, ab, ipiv, chunk);
         }
-        for (dst, pair) in b.iter_mut().zip(self.scratch.chunks_exact(2)) {
-            *dst = Complex64::new(pair[0] as f64, pair[1] as f64);
-        }
+    }
+    for (dst, pair) in b.iter_mut().zip(scratch.chunks_exact(2)) {
+        *dst = Complex64::new(pair[0] as f64, pair[1] as f64);
     }
 }
 
@@ -1316,6 +1383,41 @@ mod tests {
             for (p, q) in x.iter().zip(&block[r * n..(r + 1) * n]) {
                 assert!((*p - *q).abs() < 1e-12, "rhs {r} diverged");
             }
+        }
+    }
+
+    /// The caller-owned-scratch f32 applies are bit-identical to the
+    /// internal-scratch ones (same sweeps, same chunking — only where the
+    /// conversion buffer lives differs).
+    #[test]
+    fn f32_solve_with_external_scratch_is_bit_identical() {
+        let n = 26;
+        let a = random_banded(n, 3, 2, 77);
+        let lu = a.factor().unwrap();
+        let mut lu32 = BandedLuF32::placeholder();
+        lu32.assign_from(&lu);
+        let nrhs = 5;
+        let b0: Vec<Complex64> = (0..n * nrhs)
+            .map(|k| c64((k as f64 * 0.13).sin(), (k as f64 * 0.09).cos()))
+            .collect();
+        let mut scratch = Vec::new();
+        for transpose in [false, true] {
+            let mut internal = b0.clone();
+            let mut external = b0.clone();
+            if transpose {
+                lu32.solve_transpose_many(&mut internal, nrhs);
+            } else {
+                lu32.solve_many(&mut internal, nrhs);
+            }
+            // Shared borrow + external scratch.
+            let shared: &BandedLuF32 = &lu32;
+            if transpose {
+                shared.solve_transpose_many_with_scratch(&mut scratch, &mut external, nrhs);
+            } else {
+                shared.solve_many_with_scratch(&mut scratch, &mut external, nrhs);
+            }
+            assert_eq!(internal, external, "transpose={transpose}");
+            assert!(scratch.capacity() >= lu32.scratch_len(nrhs));
         }
     }
 

@@ -169,6 +169,47 @@ impl Precondition for BandedLuF32 {
     }
 }
 
+/// A *family* of preconditioner engines, one per right-hand-side column —
+/// the preconditioning counterpart of [`ColumnOp`].
+///
+/// The packed-block sweeps of the lockstep iteration hand the family the
+/// still-active columns (`cols[i]` is the *global* column index occupying
+/// packed slot `i` of `b`), so an implementation can route each column to
+/// its own factorisation — e.g. a fused (corner × ω) sweep preconditioning
+/// every column with its own wavelength's nominal factor. Column results
+/// must not depend on what other columns share the block (every engine in
+/// this module satisfies that: triangular sweeps treat columns
+/// independently), which is what keeps fused and per-family-member batches
+/// bit-identical.
+///
+/// Every single-engine [`Precondition`] is a `PrecondFamily` that ignores
+/// `cols` and sweeps the whole packed block at once, so existing callers
+/// (and the single-ω solve paths) compile and behave unchanged.
+pub trait PrecondFamily {
+    /// Preconditioner dimension (identical for every column).
+    fn dim(&self) -> usize;
+    /// Applies each column's `M⁻¹` to the packed column-major block `b`
+    /// (`b.len() == dim()·cols.len()`); packed slot `i` holds global
+    /// column `cols[i]`.
+    fn solve_packed(&mut self, b: &mut [Complex64], cols: &[usize]);
+    /// Transpose counterpart of [`PrecondFamily::solve_packed`].
+    fn solve_packed_transpose(&mut self, b: &mut [Complex64], cols: &[usize]);
+}
+
+impl<P: Precondition> PrecondFamily for P {
+    fn dim(&self) -> usize {
+        Precondition::dim(self)
+    }
+
+    fn solve_packed(&mut self, b: &mut [Complex64], cols: &[usize]) {
+        self.solve_block(b, cols.len());
+    }
+
+    fn solve_packed_transpose(&mut self, b: &mut [Complex64], cols: &[usize]) {
+        self.solve_block_transpose(b, cols.len());
+    }
+}
+
 /// Convergence controls for the preconditioned iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterativeOptions {
@@ -222,8 +263,10 @@ pub struct SolveQuality {
 enum ColState {
     Active,
     Converged,
-    /// A BiCGSTAB scalar degenerated (ρ, ⟨r̂,v⟩ or ⟨t,t⟩ ≈ 0); the column
-    /// is frozen and reported unconverged.
+    /// A BiCGSTAB scalar degenerated (ρ, ⟨r̂,v⟩ or ⟨t,t⟩ ≈ 0) or went
+    /// non-finite (NaN/Inf scalar, residual norm, or right-hand side);
+    /// the column is frozen and reported unconverged, which drives the
+    /// caller's budget-miss → direct-fallback path.
     Broken,
 }
 
@@ -249,6 +292,9 @@ pub struct KrylovWorkspace {
     /// Columns still iterating, rebuilt each half-iteration; the
     /// preconditioner sweeps touch **only these**, packed contiguously.
     active: Vec<usize>,
+    /// Columns still active at the ŝ-stage sweep (a subset of `active`
+    /// after the s-stage convergence checks), in packed order.
+    s_active: Vec<usize>,
     /// `slot_of[col]` = this iteration's packed slot of `col` in `p_hat`.
     slot_of: Vec<usize>,
     stats: Vec<RhsStats>,
@@ -302,6 +348,8 @@ impl KrylovWorkspace {
         self.iters.resize(nrhs, 0);
         self.active.clear();
         self.active.reserve(nrhs);
+        self.s_active.clear();
+        self.s_active.reserve(nrhs);
         self.slot_of.clear();
         self.slot_of.resize(nrhs, usize::MAX);
         self.stats.clear();
@@ -335,9 +383,23 @@ fn norm(a: &[Complex64]) -> f64 {
 /// Threshold below which a BiCGSTAB scalar counts as a breakdown.
 const BREAKDOWN: f64 = 1e-300;
 
+/// `true` when a BiCGSTAB scalar is unusable: degenerate magnitude *or*
+/// non-finite. The magnitude test alone misses NaN/Inf (`NaN.abs() < x`
+/// is `false`), which would let a poisoned column keep sweeping for the
+/// whole budget; any non-finite scalar is an immediate per-column
+/// breakdown instead, so the caller's budget-miss → direct-fallback
+/// machinery fires at once.
+fn scalar_breaks(z: Complex64) -> bool {
+    !z.is_finite() || z.abs() < BREAKDOWN
+}
+
 /// Solves `A X = B` for `nrhs` column-major right-hand sides with
 /// right-preconditioned BiCGSTAB, `M⁻¹` applied through
-/// [`Precondition::solve_block`].
+/// [`PrecondFamily::solve_packed`] (a plain [`Precondition`] engine — the
+/// common case — preconditions every column with the same factor via the
+/// blanket impl; a true family routes each packed column to its own
+/// engine, e.g. per-wavelength nominal factors in a fused (corner × ω)
+/// sweep).
 ///
 /// `b` holds the right-hand sides (read-only); the solutions land in `x`
 /// (fully overwritten unless [`IterativeOptions::use_initial_guess`]).
@@ -351,7 +413,7 @@ const BREAKDOWN: f64 = 1e-300;
 /// # Panics
 ///
 /// Panics if `op`, `precond`, `b` and `x` disagree on dimensions.
-pub fn bicgstab_precond_many<Op: ColumnOp, P: Precondition>(
+pub fn bicgstab_precond_many<Op: ColumnOp, P: PrecondFamily>(
     op: &Op,
     precond: &mut P,
     b: &[Complex64],
@@ -371,7 +433,7 @@ pub fn bicgstab_precond_many<Op: ColumnOp, P: Precondition>(
 /// # Panics
 ///
 /// Panics if `op`, `precond`, `b` and `x` disagree on dimensions.
-pub fn bicgstab_precond_transpose_many<Op: ColumnOp, P: Precondition>(
+pub fn bicgstab_precond_transpose_many<Op: ColumnOp, P: PrecondFamily>(
     op: &Op,
     precond: &mut P,
     b: &[Complex64],
@@ -396,7 +458,7 @@ fn collect_active(ws: &mut KrylovWorkspace, nrhs: usize) {
 }
 
 #[allow(clippy::too_many_arguments)] // internal driver shared by the two public faces
-fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
+fn bicgstab_driver<Op: ColumnOp, P: PrecondFamily>(
     op: &Op,
     precond: &mut P,
     b: &[Complex64],
@@ -430,6 +492,14 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
             ws.state[c] = ColState::Converged;
             continue;
         }
+        if !ws.bnorm[c].is_finite() {
+            // A non-finite RHS can never satisfy a residual test — break
+            // the column immediately (reported unconverged in zero
+            // iterations) instead of sweeping the whole budget on it.
+            x[col].fill(Complex64::ZERO);
+            ws.state[c] = ColState::Broken;
+            continue;
+        }
         if opts.use_initial_guess {
             apply(c, &x[col.clone()], &mut ws.t[col.clone()]);
             ws.r[col.clone()].copy_from_slice(&b[col.clone()]);
@@ -438,7 +508,13 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
             x[col.clone()].fill(Complex64::ZERO);
             ws.r[col.clone()].copy_from_slice(&b[col.clone()]);
         }
-        if norm(&ws.r[col.clone()]) <= opts.tol * ws.bnorm[c] {
+        let rnorm = norm(&ws.r[col.clone()]);
+        if !rnorm.is_finite() {
+            // Poisoned warm start (or an overflowing operator apply).
+            ws.state[c] = ColState::Broken;
+            continue;
+        }
+        if rnorm <= opts.tol * ws.bnorm[c] {
             ws.state[c] = ColState::Converged;
             continue;
         }
@@ -456,11 +532,15 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
             ws.iters[c] = it;
             let col = c * n..(c + 1) * n;
             let rho_new = dot_conj(&ws.r_hat[col.clone()], &ws.r[col.clone()]);
-            if rho_new.abs() < BREAKDOWN {
+            if scalar_breaks(rho_new) {
                 ws.state[c] = ColState::Broken;
                 continue;
             }
             let beta = (rho_new / ws.rho[c]) * (ws.alpha[c] / ws.omega[c]);
+            if !beta.is_finite() {
+                ws.state[c] = ColState::Broken;
+                continue;
+            }
             ws.rho[c] = rho_new;
             let bo = beta * ws.omega[c];
             let (p, (r, v)) = (
@@ -471,7 +551,8 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
                 *pi = ri + beta * *pi - bo * vi;
             }
         }
-        // p̂ = M⁻¹ p — one factor sweep over the packed active columns.
+        // p̂ = M⁻¹ p — one family sweep over the packed active columns
+        // (each column routed to its own engine).
         collect_active(ws, nrhs);
         if ws.active.is_empty() {
             break;
@@ -480,10 +561,13 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
             ws.p_hat[slot * n..(slot + 1) * n].copy_from_slice(&ws.p[c * n..(c + 1) * n]);
         }
         let nactive = ws.active.len();
-        if transpose {
-            precond.solve_block_transpose(&mut ws.p_hat[..nactive * n], nactive);
-        } else {
-            precond.solve_block(&mut ws.p_hat[..nactive * n], nactive);
+        {
+            let (p_hat, active) = (&mut ws.p_hat, &ws.active);
+            if transpose {
+                precond.solve_packed_transpose(&mut p_hat[..nactive * n], active);
+            } else {
+                precond.solve_packed(&mut p_hat[..nactive * n], active);
+            }
         }
         for idx in 0..nactive {
             let c = ws.active[idx];
@@ -491,16 +575,25 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
             let col = c * n..(c + 1) * n;
             apply(c, &ws.p_hat[slot.clone()], &mut ws.v[col.clone()]);
             let denom = dot_conj(&ws.r_hat[col.clone()], &ws.v[col.clone()]);
-            if denom.abs() < BREAKDOWN {
+            if scalar_breaks(denom) {
                 ws.state[c] = ColState::Broken;
                 continue;
             }
             let alpha = ws.rho[c] / denom;
+            if !alpha.is_finite() {
+                ws.state[c] = ColState::Broken;
+                continue;
+            }
             ws.alpha[c] = alpha;
             // s = r − α v.
             ws.s[col.clone()].copy_from_slice(&ws.r[col.clone()]);
             axpy_neg(alpha, &ws.v[col.clone()], &mut ws.s[col.clone()]);
-            if norm(&ws.s[col.clone()]) <= opts.tol * ws.bnorm[c] {
+            let snorm = norm(&ws.s[col.clone()]);
+            if !snorm.is_finite() {
+                ws.state[c] = ColState::Broken;
+                continue;
+            }
+            if snorm <= opts.tol * ws.bnorm[c] {
                 axpy(alpha, &ws.p_hat[slot], &mut x[col]);
                 ws.state[c] = ColState::Converged;
             }
@@ -508,20 +601,25 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
         // ŝ = M⁻¹ s — second packed sweep over the columns still active
         // after the s-stage convergence checks (`ws.slot_of` keeps each
         // column's p̂ slot from the first half).
-        let mut s_slots = 0usize;
+        ws.s_active.clear();
         for c in 0..nrhs {
             if ws.state[c] == ColState::Active {
-                ws.s_hat[s_slots * n..(s_slots + 1) * n].copy_from_slice(&ws.s[c * n..(c + 1) * n]);
-                s_slots += 1;
+                let s_slot = ws.s_active.len();
+                ws.s_hat[s_slot * n..(s_slot + 1) * n].copy_from_slice(&ws.s[c * n..(c + 1) * n]);
+                ws.s_active.push(c);
             }
         }
+        let s_slots = ws.s_active.len();
         if s_slots == 0 {
             continue;
         }
-        if transpose {
-            precond.solve_block_transpose(&mut ws.s_hat[..s_slots * n], s_slots);
-        } else {
-            precond.solve_block(&mut ws.s_hat[..s_slots * n], s_slots);
+        {
+            let (s_hat, s_active) = (&mut ws.s_hat, &ws.s_active);
+            if transpose {
+                precond.solve_packed_transpose(&mut s_hat[..s_slots * n], s_active);
+            } else {
+                precond.solve_packed(&mut s_hat[..s_slots * n], s_active);
+            }
         }
         let mut s_slot = 0usize;
         for c in 0..nrhs {
@@ -534,17 +632,26 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
             let p_slot = ws.slot_of[c] * n..(ws.slot_of[c] + 1) * n;
             apply(c, &ws.s_hat[sh.clone()], &mut ws.t[col.clone()]);
             let tt = dot_conj(&ws.t[col.clone()], &ws.t[col.clone()]);
-            if tt.abs() < BREAKDOWN {
+            if scalar_breaks(tt) {
                 ws.state[c] = ColState::Broken;
                 continue;
             }
             let omega = dot_conj(&ws.t[col.clone()], &ws.s[col.clone()]) / tt;
+            if !omega.is_finite() {
+                // Freeze before the x/r updates so a NaN ω cannot poison
+                // the partial solution already accumulated.
+                ws.state[c] = ColState::Broken;
+                continue;
+            }
             axpy(ws.alpha[c], &ws.p_hat[p_slot], &mut x[col.clone()]);
             axpy(omega, &ws.s_hat[sh], &mut x[col.clone()]);
             // r = s − ω t.
             ws.r[col.clone()].copy_from_slice(&ws.s[col.clone()]);
             axpy_neg(omega, &ws.t[col.clone()], &mut ws.r[col.clone()]);
-            if norm(&ws.r[col.clone()]) <= opts.tol * ws.bnorm[c] {
+            let rnorm = norm(&ws.r[col.clone()]);
+            if !rnorm.is_finite() {
+                ws.state[c] = ColState::Broken;
+            } else if rnorm <= opts.tol * ws.bnorm[c] {
                 ws.state[c] = ColState::Converged;
             } else if omega.abs() < BREAKDOWN {
                 ws.state[c] = ColState::Broken;
@@ -567,7 +674,15 @@ fn bicgstab_driver<Op: ColumnOp, P: Precondition>(
             apply(c, &x[col.clone()], &mut ws.t[col.clone()]);
             ws.r[col.clone()].copy_from_slice(&b[col.clone()]);
             axpy_neg(Complex64::ONE, &ws.t[col.clone()], &mut ws.r[col.clone()]);
-            norm(&ws.r[col]) / ws.bnorm[c]
+            let r = norm(&ws.r[col]) / ws.bnorm[c];
+            // A broken column (non-finite RHS / overflowed recursion) can
+            // yield a NaN true residual; report it as +∞ so aggregate
+            // maxima stay ordered and meaningful.
+            if r.is_finite() {
+                r
+            } else {
+                f64::INFINITY
+            }
         };
         let converged = ws.state[c] == ColState::Converged;
         ws.stats[c] = RhsStats {
@@ -745,6 +860,79 @@ mod tests {
         assert!(x[..n].iter().all(|v| v.abs() == 0.0));
         assert_eq!(ws.stats()[0].iterations, 0);
         assert!(ws.stats()[1].iterations >= 1);
+    }
+
+    /// A non-finite right-hand side must break its column *immediately*
+    /// (zero iterations, reported unconverged with an ∞ residual) instead
+    /// of sweeping the whole budget — `NaN.abs() < BREAKDOWN` is `false`,
+    /// so the magnitude tests alone never catch it — while healthy
+    /// columns in the same batch converge exactly as if solved alone.
+    #[test]
+    fn non_finite_rhs_breaks_down_immediately_without_poisoning_the_batch() {
+        let n = 30;
+        let a = random_banded(n, 2, 3, 71);
+        let mut nominal = a.clone().factor().unwrap();
+        let corner = perturb_diagonal(&a, 0.05, 13);
+        let good: Vec<Complex64> = (0..n)
+            .map(|k| c64((k as f64 * 0.07).sin(), (k as f64 * 0.03).cos()))
+            .collect();
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            // Column 0 poisoned, column 1 healthy.
+            let mut b = vec![Complex64::ZERO; 2 * n];
+            b[..n].copy_from_slice(&good);
+            b[3] = c64(poison, 0.2);
+            b[n..].copy_from_slice(&good);
+            let mut x = vec![c64(9.0, -9.0); 2 * n]; // poisoned output
+            let mut ws = KrylovWorkspace::new();
+            let opts = IterativeOptions::default();
+            let q = bicgstab_precond_many(&corner, &mut nominal, &b, &mut x, 2, &opts, &mut ws);
+            assert!(!q.converged, "{poison}: {q:?}");
+            let bad = ws.stats()[0];
+            assert!(!bad.converged, "{poison}");
+            assert_eq!(bad.iterations, 0, "{poison}: budget was spent anyway");
+            assert!(bad.residual.is_infinite(), "{poison}: {bad:?}");
+            assert!(
+                x[..n].iter().all(|v| v.abs() == 0.0),
+                "{poison}: broken column must return a defined (zero) solution"
+            );
+            // The healthy column is unaffected by its poisoned neighbour.
+            let healthy = ws.stats()[1];
+            assert!(healthy.converged, "{poison}: {healthy:?}");
+            let mut x_alone = vec![Complex64::ZERO; n];
+            let mut ws_alone = KrylovWorkspace::new();
+            bicgstab_precond_many(
+                &corner,
+                &mut nominal,
+                &good,
+                &mut x_alone,
+                1,
+                &opts,
+                &mut ws_alone,
+            );
+            assert_eq!(&x[n..], x_alone.as_slice(), "{poison}");
+        }
+    }
+
+    /// A warm start carrying non-finite entries breaks the column at the
+    /// initial-residual stage rather than iterating on garbage.
+    #[test]
+    fn non_finite_warm_start_breaks_down_immediately() {
+        let n = 24;
+        let a = random_banded(n, 2, 2, 19);
+        let mut nominal = a.clone().factor().unwrap();
+        let corner = perturb_diagonal(&a, 0.05, 7);
+        let b: Vec<Complex64> = (0..n).map(|k| c64(1.0 + k as f64 * 0.1, -0.4)).collect();
+        let mut x = vec![Complex64::ZERO; n];
+        x[5] = c64(f64::NAN, 0.0);
+        let mut ws = KrylovWorkspace::new();
+        let opts = IterativeOptions {
+            use_initial_guess: true,
+            ..IterativeOptions::default()
+        };
+        let q = bicgstab_precond_many(&corner, &mut nominal, &b, &mut x, 1, &opts, &mut ws);
+        assert!(!q.converged, "{q:?}");
+        assert_eq!(ws.stats()[0].iterations, 0);
+        assert!(ws.stats()[0].residual.is_infinite());
     }
 
     #[test]

@@ -67,6 +67,13 @@ END {
         printf ",\n  \"spectral_batched_ns\": %.1f", batched_wl
         printf ",\n  \"spectral_batch_speedup\": %.3f", naive_wl / batched_wl
     }
+    per_wl = median["fused_27corner_3wl/per_omega"]
+    fused = median["fused_27corner_3wl/fused"]
+    if (per_wl > 0 && fused > 0) {
+        printf ",\n  \"fused_per_omega_ns\": %.1f", per_wl
+        printf ",\n  \"fused_ns\": %.1f", fused
+        printf ",\n  \"fused_batch_speedup\": %.3f", per_wl / fused
+    }
     printf "\n}\n"
 }
 ' "$RAW" > "$OUT"
@@ -98,5 +105,14 @@ if [ -n "${SPECTRAL_SPEEDUP:-}" ]; then
         || { echo "FAIL: spectral batch speedup ${SPECTRAL_SPEEDUP}x below the 2.0x acceptance floor" >&2; exit 1; }
 else
     echo "FAIL: broadband_27corner_3wl medians missing from bench output" >&2
+    exit 1
+fi
+FUSED_SPEEDUP=$(awk '/fused_batch_speedup/ { s = $0; sub(/.*: /, "", s); sub(/,.*/, "", s); print s }' "$OUT")
+if [ -n "${FUSED_SPEEDUP:-}" ]; then
+    echo "fused (corner x omega) iteration speedup (per-omega batches / fused batch): ${FUSED_SPEEDUP}x"
+    awk -v s="$FUSED_SPEEDUP" 'BEGIN { exit (s >= 1.2 ? 0 : 1) }' \
+        || { echo "FAIL: fused batch speedup ${FUSED_SPEEDUP}x below the 1.2x acceptance floor" >&2; exit 1; }
+else
+    echo "FAIL: fused_27corner_3wl medians missing from bench output" >&2
     exit 1
 fi
