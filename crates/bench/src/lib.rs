@@ -16,8 +16,11 @@
 //! settings), `BOSON_THREADS`.
 //!
 //! Criterion micro-benches live in `benches/` (operator assembly, banded
-//! LU, litho kernels, adjoint gradients, and the corner-cost scaling that
-//! motivates the paper's adaptive sampling).
+//! LU, litho kernels, adjoint gradients, the corner-cost scaling that
+//! motivates the paper's adaptive sampling, the spectral/fused batched
+//! sweeps, and the adaptive corner-subspace schedule); the gated subset
+//! is driven by `scripts/bench.sh` — see `scripts/README.md` for every
+//! recorded key and its acceptance floor.
 
 use std::fmt::Write as _;
 

@@ -385,6 +385,10 @@ pub fn run_method(
         // The paper's methods are single-wavelength; broadband runs build
         // their RunnerConfig directly (see examples/broadband_bend.rs).
         spectral_agg: crate::objective::SpectralAggregation::Mean,
+        // The comparison methods sweep their full corner sets — adaptive
+        // subspace scheduling is a production-run feature, not part of
+        // the paper's baseline protocol.
+        subspace: crate::subspace::SubspaceConfig::default(),
     };
 
     let mut rng = StdRng::seed_from_u64(base.seed);

@@ -977,6 +977,19 @@ impl CompiledProblem {
     ///
     /// Returns one [`Evaluation`] per entry of `epss`, in order.
     ///
+    /// # Partial products
+    ///
+    /// Nothing here requires the *full* cross product: the entries may be
+    /// any subset of it — this is how the adaptive corner-subspace
+    /// scheduler ([`crate::subspace`]) evaluates only its active columns,
+    /// reusing the fused batch unchanged. Two caveats for subset callers:
+    /// entries of one fabrication corner must appear in ascending-ω order
+    /// when `skip_zero_weight_adjoints` is on (any ω-major subset
+    /// qualifies; debug-asserted), and warm starts engage only when every
+    /// ω present carries this epoch's nominal snapshot — which is why the
+    /// scheduler keeps each ω's fabrication-nominal entry (`is_nominal`)
+    /// in every schedule.
+    ///
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] if a required factorisation fails.
@@ -1175,6 +1188,15 @@ impl CompiledProblem {
                     for (ci, &f) in fab_idx.iter().enumerate() {
                         groups[f].push(ci);
                     }
+                    // The weight↔entry correspondence below assumes each
+                    // corner's entries arrive ω-ascending (the ω-major
+                    // product — full or any subset of it — does).
+                    debug_assert!(
+                        groups.iter().all(|g| g
+                            .windows(2)
+                            .all(|w| set.omega_idx[w[0]] < set.omega_idx[w[1]])),
+                        "corner group entries must be in ascending-ω order"
+                    );
                     let mut values = Vec::new();
                     let mut sweights = Vec::new();
                     for group in &groups {

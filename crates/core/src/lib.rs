@@ -14,6 +14,10 @@
 //!   projection sharpening;
 //! * [`runner`] — the adaptive variation-aware optimisation loop with
 //!   parallel corner evaluation and the worst-case corner search;
+//! * [`subspace`] — the adaptive corner-subspace scheduler: per-(corner,
+//!   ω) importance tracking that restricts each robust iteration to the
+//!   top-M columns of the (fabrication corner × wavelength) cross
+//!   product, with periodic full-sweep refresh epochs (§III);
 //! * [`baselines`] — every comparison method from the paper's tables,
 //!   including the two-stage InvFabCor mask-correction flow;
 //! * [`eval`] — pre-fab vs Monte-Carlo post-fab evaluation;
@@ -52,3 +56,4 @@ pub mod problem;
 pub mod runner;
 pub mod schedule;
 pub mod spectrum;
+pub mod subspace;

@@ -112,6 +112,83 @@ impl SpectralAggregation {
         }
     }
 
+    /// The aggregate over the `active` subset of `values` — the partial
+    /// sweep's view of a fabrication corner whose dormant wavelengths
+    /// were not evaluated this iteration (the adaptive subspace
+    /// scheduler, [`crate::subspace`]). Inactive entries are ignored
+    /// entirely: they contribute neither value nor weight, exactly as if
+    /// the corner's spectral axis had only its active samples.
+    ///
+    /// An all-`true` mask is **bit-identical** to
+    /// [`SpectralAggregation::aggregate`] (same terms, same order), which
+    /// is what makes the `M = full` subspace schedule indistinguishable
+    /// from the fused full sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` and `active` disagree in length or the active
+    /// subset is empty.
+    pub fn aggregate_masked(&self, values: &[f64], active: &[bool]) -> f64 {
+        assert_eq!(values.len(), active.len(), "mask length mismatch");
+        let count = active.iter().filter(|&&a| a).count();
+        assert!(count > 0, "no active wavelengths to aggregate");
+        match self {
+            SpectralAggregation::Mean => {
+                let w = 1.0 / count as f64;
+                values
+                    .iter()
+                    .zip(active)
+                    .filter(|(_, &a)| a)
+                    .map(|(v, _)| w * v)
+                    .sum()
+            }
+            SpectralAggregation::WorstCase => values
+                .iter()
+                .zip(active)
+                .filter(|(_, &a)| a)
+                .map(|(&v, _)| v)
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Masked counterpart of [`SpectralAggregation::weights_into`]:
+    /// gradient weights over the `active` subset, inactive entries
+    /// receiving exactly `0.0` (their values are never read). An
+    /// all-`true` mask is bit-identical to `weights_into`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices disagree in length or the active subset
+    /// is empty.
+    pub fn weights_into_masked(&self, values: &[f64], active: &[bool], out: &mut [f64]) {
+        assert_eq!(values.len(), active.len(), "mask length mismatch");
+        assert_eq!(values.len(), out.len(), "weight buffer length mismatch");
+        let count = active.iter().filter(|&&a| a).count();
+        assert!(count > 0, "no active wavelengths to aggregate");
+        out.fill(0.0);
+        match self {
+            SpectralAggregation::Mean => {
+                let w = 1.0 / count as f64;
+                for (o, &a) in out.iter_mut().zip(active) {
+                    if a {
+                        *o = w;
+                    }
+                }
+            }
+            SpectralAggregation::WorstCase => {
+                // Same strict-< lowest-index tie-break as the unmasked
+                // scan, restricted to the active entries.
+                let mut argmin: Option<usize> = None;
+                for (i, (&v, &a)) in values.iter().zip(active).enumerate() {
+                    if a && argmin.is_none_or(|am| v < values[am]) {
+                        argmin = Some(i);
+                    }
+                }
+                out[argmin.expect("active subset is non-empty")] = 1.0;
+            }
+        }
+    }
+
     /// Writes the per-wavelength gradient weights `w_k = ∂agg/∂obj_k`
     /// into `out` (`Σ w_k = 1`).
     ///
@@ -412,6 +489,50 @@ mod tests {
             agg.weights_into(&[0.7], &mut w1);
             assert_eq!(w1, [1.0], "{agg:?}");
         }
+    }
+
+    #[test]
+    fn masked_aggregation_ignores_inactive_entries() {
+        let vs = [0.8, 0.3, 0.6];
+        let mut w = [0.0; 3];
+        for agg in [SpectralAggregation::Mean, SpectralAggregation::WorstCase] {
+            // All-true mask: bit-identical to the unmasked API.
+            let all = [true; 3];
+            assert_eq!(
+                agg.aggregate_masked(&vs, &all),
+                agg.aggregate(&vs),
+                "{agg:?}"
+            );
+            let mut wm = [0.0; 3];
+            agg.weights_into(&vs, &mut w);
+            agg.weights_into_masked(&vs, &all, &mut wm);
+            assert_eq!(w, wm, "{agg:?}");
+        }
+        // Partial mask: the inactive middle entry (the global minimum)
+        // contributes nothing — values or weights.
+        let active = [true, false, true];
+        let mean = SpectralAggregation::Mean;
+        assert!((mean.aggregate_masked(&vs, &active) - (0.8 + 0.6) / 2.0).abs() < 1e-15);
+        mean.weights_into_masked(&vs, &active, &mut w);
+        assert_eq!(w, [0.5, 0.0, 0.5]);
+        let worst = SpectralAggregation::WorstCase;
+        assert_eq!(worst.aggregate_masked(&vs, &active), 0.6);
+        worst.weights_into_masked(&vs, &active, &mut w);
+        assert_eq!(w, [0.0, 0.0, 1.0]);
+        // Inactive values are never read: poisoning them changes nothing.
+        let poisoned = [0.8, f64::NAN, 0.6];
+        assert_eq!(worst.aggregate_masked(&poisoned, &active), 0.6);
+        worst.weights_into_masked(&poisoned, &active, &mut w);
+        assert_eq!(w, [0.0, 0.0, 1.0]);
+        // Ties among active entries keep the lowest active index.
+        worst.weights_into_masked(&[0.5, 0.3, 0.3], &[false, true, true], &mut w);
+        assert_eq!(w, [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no active wavelengths")]
+    fn masked_aggregation_rejects_empty_active_set() {
+        SpectralAggregation::Mean.aggregate_masked(&[1.0, 2.0], &[false, false]);
     }
 
     /// Two wavelengths sharing the exact minimum: the worst-case

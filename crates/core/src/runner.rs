@@ -30,6 +30,7 @@ use crate::objective::{ObjectiveSpec, Readings, SpectralAggregation};
 use crate::optimizer::{Adam, AdamConfig};
 use crate::pool::WorkerPool;
 use crate::schedule::{BetaSchedule, RelaxationSchedule};
+use crate::subspace::{ActiveSetRecord, SubspaceConfig, SubspaceScheduler, SweepPlan};
 use boson_fab::{EtchProjection, SamplingStrategy, VariationCorner, VariationSpace};
 use boson_fdfd::sim::SolverStrategy;
 use boson_num::Array2;
@@ -87,6 +88,14 @@ pub struct RunnerConfig {
     /// combine when the variation space carries `K > 1` wavelengths
     /// (a `K = 1` space makes both choices identical).
     pub spectral_agg: SpectralAggregation,
+    /// Adaptive corner-subspace scheduling (see [`crate::subspace`]):
+    /// when enabled, each robust iteration evaluates only the top-M
+    /// importance-ranked (corner, ω) columns of the cross product, with
+    /// periodic full-sweep refresh epochs. Disabled by default (every
+    /// iteration sweeps the full product). Requires the
+    /// preconditioned-iterative solver strategy — the partial product
+    /// rides the fused lockstep batch.
+    pub subspace: SubspaceConfig,
 }
 
 impl Default for RunnerConfig {
@@ -105,6 +114,7 @@ impl Default for RunnerConfig {
             threads: 8,
             solver: SolverStrategy::Direct,
             spectral_agg: SpectralAggregation::Mean,
+            subspace: SubspaceConfig::default(),
         }
     }
 }
@@ -123,6 +133,12 @@ pub struct IterationRecord {
     pub readings_nominal: Readings,
     /// Relaxation weight `p` used this iteration.
     pub p: f64,
+    /// Active-set telemetry of the adaptive corner-subspace scheduler:
+    /// how many (corner, ω) columns this iteration evaluated, out of how
+    /// many, and whether it was a full-sweep refresh epoch. `None` when
+    /// the scheduler is disabled (or the corner fan-out runs the direct
+    /// strategy, which always sweeps fully).
+    pub active_set: Option<ActiveSetRecord>,
 }
 
 /// Result of an optimisation run.
@@ -262,6 +278,21 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             space.spectral.count,
             boson_fdfd::sim::MAX_OMEGA_SLOTS
         );
+        // The subspace scheduler's partial products ride the fused
+        // lockstep batch; the direct pool fan-out has no partial-product
+        // path, so refuse the combination up front rather than silently
+        // sweeping fully.
+        if config.subspace.is_enabled() {
+            assert!(
+                matches!(
+                    config.solver,
+                    SolverStrategy::PreconditionedIterative { .. }
+                ),
+                "the adaptive corner-subspace scheduler requires \
+                 SolverStrategy::PreconditionedIterative (partial products \
+                 ride the fused batched sweep)"
+            );
+        }
         let objective = if config.dense_objectives {
             compiled.problem().objective.clone()
         } else {
@@ -398,11 +429,28 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         }
     }
 
-    /// The batched iterative fan-out over the **whole** ω-major
-    /// (fabrication corner × ω) cross product, returning one ω-folded
-    /// [`CornerOutcome`] per *fabrication* corner (`corners.len() / K`
-    /// outcomes — each already aggregated over its K wavelengths with the
-    /// configured [`SpectralAggregation`]'s exact weights).
+    /// The batched iterative fan-out over the `active` columns of the
+    /// ω-major (fabrication corner × ω) cross product, returning one
+    /// ω-folded [`CornerOutcome`] per **live** fabrication corner (a
+    /// corner with at least one active column — each outcome aggregated
+    /// over its *active* wavelengths with the configured
+    /// [`SpectralAggregation`]'s exact weights) plus the live corners'
+    /// indices into the fabrication set and the nominal corner's position
+    /// among the outcomes (always live — its columns are forced).
+    ///
+    /// An all-`true` mask is the full sweep and is **bit-identical** to
+    /// the pre-scheduler pipeline (same solves, same fold, same
+    /// arithmetic order — regression-tested). A partial mask is the
+    /// adaptive subspace schedule ([`crate::subspace`]): dormant columns
+    /// cost nothing at all — no fabrication forward (when a whole corner
+    /// is dormant), no EM solves, no chain backward. The
+    /// fabrication-nominal corner must stay active at **every**
+    /// wavelength (debug-asserted): those entries refresh the per-ω
+    /// preconditioner factors and warm starts the fused batch rides on.
+    ///
+    /// Every evaluated column reports `(global column index, objective,
+    /// spectral aggregation weight)` into `observations` — the subspace
+    /// scheduler's EMA feed.
     ///
     /// Three fusions happen here, each exploiting structure the per-entry
     /// fan-out ignored:
@@ -439,10 +487,13 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         scratch: &mut EvalScratch,
         tol: f64,
         max_iters: usize,
-    ) -> Vec<CornerOutcome> {
+        active: &[bool],
+        observations: &mut Vec<(usize, f64, f64)>,
+    ) -> (Vec<CornerOutcome>, Vec<usize>, Option<usize>) {
         let problem = self.compiled.problem();
         let k = self.compiled.omega_count();
         assert_eq!(corners.len() % k, 0, "ragged (corner × ω) product");
+        assert_eq!(active.len(), corners.len(), "active mask length mismatch");
         let f_count = corners.len() / k;
         // ω-major replication contract of `spectral_corners`: entry
         // `oi·f_count + f` is fabrication corner `f` at wavelength `oi`.
@@ -454,37 +505,68 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         debug_assert!((0..corners.len()).all(|ci| corners[ci].temperature
             == fab[ci % f_count].temperature
             && corners[ci].xi == fab[ci % f_count].xi));
+        // The subspace scheduler's invariant: the fabrication-nominal
+        // corner stays active at every wavelength (its entries refresh
+        // the per-ω factors and warm starts).
+        debug_assert!(
+            (0..corners.len()).all(|ci| corners[ci].is_varied() || active[ci]),
+            "the nominal corner must stay active at every wavelength"
+        );
 
-        // Fabrication forwards and permittivities, once per fabrication
-        // corner; the ε maps are replicated per ω group for the solver
-        // (cheap memcpys next to the solves they feed).
-        let fwds: Vec<crate::fabchain::FabForward> = fab
-            .iter()
-            .map(|c| self.chain.forward_with_etch(rho, c, false, etch))
+        // Fabrication corners with at least one active column are "live";
+        // fully-dormant corners cost nothing at all this iteration.
+        let live: Vec<usize> = (0..f_count)
+            .filter(|&f| (0..k).any(|oi| active[oi * f_count + f]))
             .collect();
-        let epss_fab: Vec<Array2<f64>> = fab
+
+        // Fabrication forwards and permittivities, once per live
+        // fabrication corner; the ε maps are replicated per active (ω,
+        // corner) entry for the solver (cheap memcpys next to the solves
+        // they feed).
+        let fwds: Vec<crate::fabchain::FabForward> = live
+            .iter()
+            .map(|&f| self.chain.forward_with_etch(rho, &fab[f], false, etch))
+            .collect();
+        let epss_live: Vec<Array2<f64>> = live
             .iter()
             .zip(&fwds)
-            .map(|(c, fwd)| {
+            .map(|(&f, fwd)| {
                 assemble_eps(
                     &problem.background_solid,
                     problem.design_origin,
                     &fwd.rho_fab,
-                    c.temperature,
+                    fab[f].temperature,
                 )
             })
             .collect();
-        let epss: Vec<Array2<f64>> = (0..k).flat_map(|_| epss_fab.iter().cloned()).collect();
-        let force_direct: Vec<bool> = corners
+
+        // The active product entries, still ω-major: `sel[pos] = (ci,
+        // li)` names entry `pos`'s global column and live-corner index;
+        // `pos_of[oi·L + li]` inverts it for the fold (`usize::MAX` =
+        // dormant).
+        let mut sel: Vec<(usize, usize)> = Vec::with_capacity(corners.len());
+        let mut pos_of: Vec<usize> = vec![usize::MAX; k * live.len()];
+        for oi in 0..k {
+            for (li, &f) in live.iter().enumerate() {
+                let ci = oi * f_count + f;
+                if active[ci] {
+                    pos_of[oi * live.len() + li] = sel.len();
+                    sel.push((ci, li));
+                }
+            }
+        }
+        let epss: Vec<Array2<f64>> = sel.iter().map(|&(_, li)| epss_live[li].clone()).collect();
+        let force_direct: Vec<bool> = sel
             .iter()
-            .map(|c| self.policy.force_direct(c))
+            .map(|&(ci, _)| self.policy.force_direct(&corners[ci]))
+            .collect();
+        let omega_idx: Vec<usize> = sel.iter().map(|&(ci, _)| corners[ci].omega_idx).collect();
+        let is_nominal: Vec<bool> = sel
+            .iter()
+            .map(|&(ci, _)| !corners[ci].is_varied())
             .collect();
         let evals = if self.fused_sweep {
-            // Every ω group of the product replicates the fabrication
-            // set, so the group-nominal predicate applies per entry.
-            let omega_idx: Vec<usize> = corners.iter().map(|c| c.omega_idx).collect();
-            let is_nominal: Vec<bool> = corners.iter().map(|c| !c.is_varied()).collect();
-            let fab_idx: Vec<usize> = (0..corners.len()).map(|ci| ci % f_count).collect();
+            let fab_idx: Vec<usize> = sel.iter().map(|&(_, li)| li).collect();
             let set = crate::compiled::CornerProductSolve {
                 tol,
                 max_iters,
@@ -505,7 +587,8 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 .expect("corner sweep failed")
         } else {
             self.eval_per_omega_sets(
-                corners,
+                &omega_idx,
+                &is_nominal,
                 &epss,
                 &force_direct,
                 nominal_eps,
@@ -517,25 +600,32 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         };
 
         // Adaptive-policy updates stay per (corner, ω) label.
-        for (corner, ev) in corners.iter().zip(&evals) {
+        for (&(ci, _), ev) in sel.iter().zip(&evals) {
             if ev.solve.fell_back {
-                self.policy.mark_direct(corner);
+                self.policy.mark_direct(&corners[ci]);
             }
         }
 
-        // Fold the spectral axis per fabrication corner (fusion 3 above).
+        // Fold the spectral axis per live fabrication corner over its
+        // *active* wavelengths (fusion 3 above; the masked aggregation
+        // with every wavelength active is bit-identical to the unmasked
+        // one).
         let agg = self.config.spectral_agg;
         let nominal_oi = self.compiled.nominal_omega_idx();
-        let fab_nominal = fab.iter().position(|c| !c.is_varied());
+        let fab_nominal = live.iter().position(|&f| !fab[f].is_varied());
         let (dr, dc) = problem.design_shape;
         let mut values = vec![0.0; k];
+        let mut omask = vec![false; k];
         let mut sweights = vec![0.0; k];
-        (0..f_count)
-            .map(|f| {
+        let outcomes = (0..live.len())
+            .map(|li| {
+                let f = live[li];
                 for oi in 0..k {
-                    values[oi] = evals[oi * f_count + f].objective;
+                    let pos = pos_of[oi * live.len() + li];
+                    omask[oi] = pos != usize::MAX;
+                    values[oi] = if omask[oi] { evals[pos].objective } else { 0.0 };
                 }
-                agg.weights_into(&values, &mut sweights);
+                agg.weights_into_masked(&values, &omask, &mut sweights);
                 let mut seed = Array2::<f64>::zeros(dr, dc);
                 for oi in 0..k {
                     let wk = sweights[oi];
@@ -544,7 +634,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         // all (the fused batch skipped their adjoints);
                         // every weighted entry always does.
                         let v_rho = grad_eps_to_rho(
-                            evals[oi * f_count + f]
+                            evals[pos_of[oi * live.len() + li]]
                                 .grad_eps
                                 .as_ref()
                                 .expect("weighted entry carries a gradient"),
@@ -556,10 +646,31 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                             *dst += wk * src;
                         }
                     }
+                    if omask[oi] {
+                        // The subspace scheduler's EMA feed: every
+                        // evaluated column reports its objective and its
+                        // spectral weight.
+                        observations.push((oi * f_count + f, values[oi], sweights[oi]));
+                    }
                 }
-                let v_mask = self.chain.vjp_mask_with_etch(&fwds[f], &seed, etch);
-                let centre = &evals[nominal_oi * f_count + f];
-                let variation_grads = if Some(f) == fab_nominal {
+                let v_mask = self.chain.vjp_mask_with_etch(&fwds[li], &seed, etch);
+                // Readings/FoM come from the corner's centre-wavelength
+                // entry when active (always, for the nominal corner —
+                // its columns are all forced), else its first active
+                // wavelength.
+                let centre_pos = {
+                    let p = pos_of[nominal_oi * live.len() + li];
+                    if p != usize::MAX {
+                        p
+                    } else {
+                        (0..k)
+                            .map(|oi| pos_of[oi * live.len() + li])
+                            .find(|&p| p != usize::MAX)
+                            .expect("live corner has an active wavelength")
+                    }
+                };
+                let centre = &evals[centre_pos];
+                let variation_grads = if Some(li) == fab_nominal {
                     // The worst-case search runs at the centre wavelength
                     // (nominal entries are evaluated outside the batch,
                     // so their gradient is always present).
@@ -568,7 +679,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         grad_eps,
                         &problem.background_solid,
                         problem.design_origin,
-                        &fwds[f].rho_fab,
+                        &fwds[li].rho_fab,
                         fab[f].temperature,
                     );
                     let v_rho_centre = grad_eps_to_rho(
@@ -577,33 +688,40 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         problem.design_shape,
                         fab[f].temperature,
                     );
-                    let dxi = self.chain.vjp_xi_with_etch(&fwds[f], &v_rho_centre, etch);
+                    let dxi = self.chain.vjp_xi_with_etch(&fwds[li], &v_rho_centre, etch);
                     Some((dt, dxi))
                 } else {
                     None
                 };
                 CornerOutcome {
-                    objective: agg.aggregate(&values),
+                    objective: agg.aggregate_masked(&values, &omask),
                     fom: centre.fom,
                     readings: centre.readings.clone(),
                     v_mask,
                     variation_grads,
                     factorizations: (0..k)
-                        .map(|oi| evals[oi * f_count + f].factorizations)
+                        .filter_map(|oi| {
+                            let pos = pos_of[oi * live.len() + li];
+                            (pos != usize::MAX).then(|| evals[pos].factorizations)
+                        })
                         .sum(),
                 }
             })
-            .collect()
+            .collect();
+        (outcomes, live, fab_nominal)
     }
 
     /// The pre-fusion reference fan-out: one batched sweep per contiguous
     /// ω group ([`CompiledProblem::evaluate_corner_set`]). Kept as the
     /// A/B verification path for the fused product — the regression tests
-    /// assert both produce bit-identical runs.
+    /// assert both produce bit-identical runs. Entries are described by
+    /// parallel per-entry slices (so partial subspace products, which are
+    /// still ω-contiguous, flow through unchanged).
     #[allow(clippy::too_many_arguments)] // mirrors eval_corners_batched
     fn eval_per_omega_sets(
         &self,
-        corners: &[VariationCorner],
+        omega_idx: &[usize],
+        is_nominal: &[bool],
         epss: &[Array2<f64>],
         force_direct: &[bool],
         nominal_eps: &Array2<f64>,
@@ -612,19 +730,19 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         tol: f64,
         max_iters: usize,
     ) -> Vec<crate::compiled::Evaluation> {
-        let mut evals: Vec<crate::compiled::Evaluation> = Vec::with_capacity(corners.len());
+        let mut evals: Vec<crate::compiled::Evaluation> = Vec::with_capacity(epss.len());
         let mut start = 0usize;
-        while start < corners.len() {
-            let oi = corners[start].omega_idx;
+        while start < epss.len() {
+            let oi = omega_idx[start];
             let mut end = start + 1;
-            while end < corners.len() && corners[end].omega_idx == oi {
+            while end < epss.len() && omega_idx[end] == oi {
                 end += 1;
             }
             assert!(
-                corners[end..].iter().all(|c| c.omega_idx != oi),
+                omega_idx[end..].iter().all(|&o| o != oi),
                 "corner set is not ω-contiguous"
             );
-            let group_nominal = corners[start..end].iter().position(|c| !c.is_varied());
+            let group_nominal = is_nominal[start..end].iter().position(|&n| n);
             let set = crate::compiled::CornerSetSolve {
                 tol,
                 max_iters,
@@ -731,6 +849,19 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
 
         // Main-thread scratch (free term, worst-case corner, inline mode).
         let mut scratch = EvalScratch::new();
+        // The adaptive corner-subspace scheduler: per-run importance
+        // state over the (fabrication corner × ω) cross product. `None`
+        // when disabled — every iteration then sweeps the full product.
+        let mut subspace: Option<SubspaceScheduler> =
+            (self.config.fab_aware && self.config.subspace.is_enabled()).then(|| {
+                SubspaceScheduler::new(
+                    self.space.product_columns(self.config.sampling),
+                    self.config.subspace,
+                )
+            });
+        // (column, objective, spectral weight) observations of one
+        // iteration's sweep — the scheduler's EMA feed.
+        let mut observations: Vec<(usize, f64, f64)> = Vec::new();
         // Persistent corner pool: spawned once, workers keep their
         // EvalScratch (and its factor buffers) for the whole run.
         let pool: Option<WorkerPool<'scope, CornerJob, (usize, CornerOutcome)>> =
@@ -769,6 +900,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             let mut v_mask_total = Array2::<f64>::zeros(dr, dc);
             let mut objective = 0.0;
             let mut nominal_readings: Option<(Readings, f64)> = None;
+            let mut active_set: Option<ActiveSetRecord> = None;
 
             if self.config.fab_aware {
                 let mut rng =
@@ -831,8 +963,29 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         k,
                         nominal_idx,
                     ),
-                    SolverStrategy::PreconditionedIterative { tol, max_iters } => (
-                        self.eval_corners_batched(
+                    SolverStrategy::PreconditionedIterative { tol, max_iters } => {
+                        // The subspace scheduler's plan for this
+                        // iteration (all columns when disabled). The
+                        // forced set — always-active columns — is the
+                        // fabrication-nominal corner at every ω.
+                        let plan = match subspace.as_ref() {
+                            Some(s) => {
+                                let forced: Vec<bool> =
+                                    corners.iter().map(|c| !c.is_varied()).collect();
+                                let plan = s.plan(iter, &forced);
+                                active_set = Some(plan.record());
+                                plan
+                            }
+                            // Disabled scheduler: a full sweep, `refresh`
+                            // true per SweepPlan's contract (every column
+                            // active).
+                            None => SweepPlan {
+                                active: vec![true; corners.len()],
+                                refresh: true,
+                            },
+                        };
+                        observations.clear();
+                        let (outcomes, _live, nominal_li) = self.eval_corners_batched(
                             &rho,
                             &corners,
                             etch,
@@ -841,10 +994,16 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                             &mut scratch,
                             tol,
                             max_iters,
-                        ),
-                        1,
-                        corners[..f_count].iter().position(|c| !c.is_varied()),
-                    ),
+                            &plan.active,
+                            &mut observations,
+                        );
+                        if let Some(s) = subspace.as_mut() {
+                            for &(ci, obj, w) in &observations {
+                                s.record(ci, obj, w);
+                            }
+                        }
+                        (outcomes, 1, nominal_li)
+                    }
                 };
                 let agg_product_len = outcomes.len();
                 factorizations += outcomes.iter().map(|o| o.factorizations).sum::<usize>();
@@ -953,6 +1112,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 fom_nominal,
                 readings_nominal,
                 p,
+                active_set,
             });
         }
 
@@ -1426,6 +1586,253 @@ mod tests {
                 assert_eq!(tf, tp, "{tag}");
             }
         }
+    }
+
+    /// The subspace scheduler with `M =` the full product must be a pure
+    /// no-op: runs are **bit-identical** to the scheduler-disabled fused
+    /// pipeline — for both aggregations, serial and threaded — and the
+    /// telemetry records every iteration as a full sweep.
+    #[test]
+    fn subspace_full_m_runs_are_bit_identical_to_full_sweeps() {
+        use crate::subspace::SubspaceConfig;
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        let columns = space.product_columns(SamplingStrategy::AxialSingleSided);
+        assert_eq!(columns, 4 * 3);
+        for agg in [SpectralAggregation::Mean, SpectralAggregation::WorstCase] {
+            for threads in [1usize, 4] {
+                let run = |subspace: SubspaceConfig| {
+                    let mut designer = InverseDesigner::new(
+                        &compiled,
+                        &param,
+                        standard_chain(&problem),
+                        space.clone(),
+                        RunnerConfig {
+                            solver: SolverStrategy::preconditioned_iterative(),
+                            spectral_agg: agg,
+                            subspace,
+                            ..tiny_config(threads, SamplingStrategy::AxialSingleSided)
+                        },
+                    );
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let theta0 = designer.initial_theta(&mut rng);
+                    designer.run(theta0)
+                };
+                let disabled = run(SubspaceConfig::default());
+                let full_m = run(SubspaceConfig::with_active_columns(columns));
+                let tag = format!("{agg:?}/threads={threads}");
+                assert_eq!(
+                    disabled.factorizations, full_m.factorizations,
+                    "{tag}: factorisation counts diverged"
+                );
+                for (rd, rf) in disabled.trajectory.iter().zip(&full_m.trajectory) {
+                    assert_eq!(rd.objective, rf.objective, "{tag} iter {}", rd.iter);
+                    assert_eq!(rd.fom_nominal, rf.fom_nominal, "{tag} iter {}", rd.iter);
+                }
+                for (td, tf) in disabled.theta.iter().zip(&full_m.theta) {
+                    assert_eq!(td, tf, "{tag}");
+                }
+                // Telemetry: disabled = no record; M = full = every
+                // iteration a full sweep.
+                assert!(disabled.trajectory.iter().all(|r| r.active_set.is_none()));
+                for r in &full_m.trajectory {
+                    let rec = r.active_set.expect("scheduler enabled");
+                    assert_eq!(rec.active_columns, columns);
+                    assert_eq!(rec.product_columns, columns);
+                    assert!(rec.refresh);
+                }
+            }
+        }
+    }
+
+    /// `M = 1` clamps to the forced set — the fabrication-nominal corner
+    /// at every wavelength — so partial iterations evaluate exactly K
+    /// columns (and one fabrication forward), while refresh epochs still
+    /// sweep everything.
+    #[test]
+    fn subspace_m1_degenerates_to_nominal_only_between_refreshes() {
+        use crate::subspace::SubspaceConfig;
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        let columns = space.product_columns(SamplingStrategy::AxialSingleSided);
+        let mut designer = InverseDesigner::new(
+            &compiled,
+            &param,
+            standard_chain(&problem),
+            space,
+            RunnerConfig {
+                iterations: 4,
+                solver: SolverStrategy::preconditioned_iterative(),
+                subspace: SubspaceConfig {
+                    refresh_every: 3,
+                    ..SubspaceConfig::with_active_columns(1)
+                },
+                sampling: SamplingStrategy::AxialSingleSided,
+                relaxation: RelaxationSchedule::over(1),
+                threads: 1,
+                ..RunnerConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let theta0 = designer.initial_theta(&mut rng);
+        let res = designer.run(theta0);
+        assert_eq!(res.trajectory.len(), 4);
+        for r in &res.trajectory {
+            let rec = r.active_set.expect("scheduler enabled");
+            assert_eq!(rec.product_columns, columns);
+            if r.iter % 3 == 0 {
+                assert!(rec.refresh, "iter {}", r.iter);
+                assert_eq!(rec.active_columns, columns, "iter {}", r.iter);
+            } else {
+                assert!(!rec.refresh, "iter {}", r.iter);
+                // The forced set alone: the nominal corner's 3 columns.
+                assert_eq!(rec.active_columns, 3, "iter {}", r.iter);
+            }
+            assert!(r.objective.is_finite());
+        }
+    }
+
+    /// A partial subspace schedule must be an implementation detail of
+    /// the sweep *engine* too: runs through the fused product and through
+    /// the per-ω reference batches are bit-identical under the same
+    /// partial schedule, and thread-count invariant.
+    #[test]
+    fn subspace_partial_runs_are_engine_and_thread_invariant() {
+        use crate::subspace::SubspaceConfig;
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        let run = |fused: bool, threads: usize| {
+            let mut designer = InverseDesigner::new(
+                &compiled,
+                &param,
+                standard_chain(&problem),
+                space.clone(),
+                RunnerConfig {
+                    iterations: 4,
+                    solver: SolverStrategy::preconditioned_iterative(),
+                    spectral_agg: SpectralAggregation::WorstCase,
+                    subspace: SubspaceConfig {
+                        refresh_every: 3,
+                        ..SubspaceConfig::with_active_columns(6)
+                    },
+                    sampling: SamplingStrategy::AxialSingleSided,
+                    relaxation: RelaxationSchedule::over(1),
+                    threads,
+                    ..RunnerConfig::default()
+                },
+            );
+            designer.fused_sweep = fused;
+            let mut rng = StdRng::seed_from_u64(3);
+            let theta0 = designer.initial_theta(&mut rng);
+            designer.run(theta0)
+        };
+        let base = run(true, 1);
+        // Some iteration actually ran partial (6 of 12 columns).
+        assert!(base
+            .trajectory
+            .iter()
+            .any(|r| r.active_set.is_some_and(|rec| rec.active_columns == 6)));
+        for (what, other) in [("per-ω", run(false, 1)), ("threaded", run(true, 4))] {
+            assert_eq!(base.factorizations, other.factorizations, "{what}");
+            for (ra, rb) in base.trajectory.iter().zip(&other.trajectory) {
+                assert_eq!(ra.objective, rb.objective, "{what} iter {}", ra.iter);
+                assert_eq!(ra.active_set, rb.active_set, "{what} iter {}", ra.iter);
+            }
+            for (ta, tb) in base.theta.iter().zip(&other.theta) {
+                assert_eq!(ta, tb, "{what}");
+            }
+        }
+    }
+
+    /// The refresh epoch composes with [`CornerPolicy`] direct-pinning: a
+    /// corner pinned during a partial sweep stays pinned through refresh
+    /// epochs (and vice versa) — the policy is keyed by (corner, ω)
+    /// label, not by schedule.
+    #[test]
+    fn subspace_schedule_composes_with_corner_policy_pinning() {
+        use crate::subspace::SubspaceConfig;
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        // A starved budget: every evaluated varied column falls back and
+        // is pinned.
+        let mut designer = InverseDesigner::new(
+            &compiled,
+            &param,
+            standard_chain(&problem),
+            space,
+            RunnerConfig {
+                iterations: 4,
+                solver: SolverStrategy::PreconditionedIterative {
+                    tol: 1e-300,
+                    max_iters: 1,
+                },
+                subspace: SubspaceConfig {
+                    refresh_every: 3,
+                    ..SubspaceConfig::with_active_columns(6)
+                },
+                sampling: SamplingStrategy::AxialSingleSided,
+                relaxation: RelaxationSchedule::over(1),
+                threads: 1,
+                ..RunnerConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let theta0 = designer.initial_theta(&mut rng);
+        let res = designer.run(theta0);
+        assert_eq!(res.trajectory.len(), 4);
+        // The full product's varied stable columns: 3 varied corners × 3
+        // ω — all seen by the iteration-0 refresh epoch, all pinned.
+        let marked = designer.policy.direct.lock().unwrap().len();
+        assert_eq!(marked, 9, "refresh epoch should pin every hard column");
+    }
+
+    /// Enabling the scheduler under the direct strategy is refused up
+    /// front (partial products ride the fused batch).
+    #[test]
+    #[should_panic(expected = "PreconditionedIterative")]
+    fn subspace_with_direct_strategy_panics() {
+        use crate::subspace::SubspaceConfig;
+        let compiled = CompiledProblem::compile(bending()).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let _ = InverseDesigner::new(
+            &compiled,
+            &param,
+            standard_chain(&problem),
+            VariationSpace::default(),
+            RunnerConfig {
+                subspace: SubspaceConfig::with_active_columns(3),
+                ..tiny_config(1, SamplingStrategy::AxialSingleSided)
+            },
+        );
     }
 
     /// A K > 1 variation space requires a matching spectral compilation.

@@ -1,0 +1,416 @@
+//! Adaptive variation-aware corner-subspace scheduling — the paper's
+//! headline sampling-efficiency mechanism (BOSON-1, §III).
+//!
+//! A broadband robust iteration nominally evaluates the full ω-major
+//! (fabrication corner × wavelength) cross product — 27 corners × K
+//! wavelengths of forward + adjoint FDFD solves — even though most
+//! columns contribute near-zero weight to the worst-case/mean robust
+//! aggregate. The [`SubspaceScheduler`] exploits that: it maintains
+//! per-column exponential moving averages of the *objective value* and
+//! the *spectral aggregation weight* (both observed for free from the
+//! sweeps the runner already performs), ranks columns by an importance
+//! score, and activates only the top `M` columns per iteration. The
+//! fabrication-nominal corner at every wavelength is always active (it
+//! refreshes the per-ω preconditioner factors and warm starts that the
+//! fused batch is built on), and every `R`-th iteration is a forced
+//! **full-sweep refresh epoch** so dormant columns that drift toward the
+//! worst case are re-observed and re-enter the active set.
+//!
+//! The scheduler is pure bookkeeping: it never solves anything, and it
+//! composes with the rest of the adaptive machinery unchanged — the
+//! partial product flows through the same fused lockstep batch
+//! ([`crate::compiled::CompiledProblem::evaluate_corner_product`]), the
+//! same per-(corner, ω) budget-miss fallback, and the same `CornerPolicy`
+//! direct-pinning (a corner pinned during a refresh epoch stays pinned in
+//! partial sweeps and vice versa). `M =` full product is **bit-identical**
+//! to the fused full sweep; see the regression tests in
+//! [`crate::runner`].
+//!
+//! Column identity is the **slot** in the cross product (ω-major index),
+//! which [`boson_fab::VariationSpace::spectral_corners`] keeps stable
+//! across iterations — see
+//! [`boson_fab::VariationSpace::product_columns`].
+
+use boson_fab::VariationSpace;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the adaptive corner-subspace scheduler (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubspaceConfig {
+    /// Maximum number of active (corner, ω) columns per robust iteration.
+    /// `None` disables the scheduler entirely — every iteration sweeps
+    /// the full cross product, exactly as before the scheduler existed.
+    /// Values are effectively clamped to at least the forced set (the
+    /// fabrication-nominal corner at every wavelength) and at most the
+    /// product size.
+    pub active_columns: Option<usize>,
+    /// Full-sweep refresh period `R ≥ 1`: iterations `0, R, 2R, …`
+    /// evaluate the whole cross product so dormant columns are
+    /// re-observed. `R = 1` makes every iteration a full sweep.
+    pub refresh_every: usize,
+    /// EMA retention `α ∈ [0, 1)`: after an observation `o`, a column's
+    /// average becomes `α·old + (1 − α)·o` (the first observation is
+    /// taken verbatim). Smaller values track drifting objectives faster;
+    /// larger values resist noise from redrawn random corners.
+    pub ema_decay: f64,
+    /// Weight of the objective-badness term in the importance score: a
+    /// column's score is its EMA aggregation weight plus
+    /// `objective_pressure` times its normalised badness (how close its
+    /// EMA objective is to the worst observed — candidates to *become*
+    /// the worst case rank above comfortable columns).
+    pub objective_pressure: f64,
+}
+
+impl Default for SubspaceConfig {
+    /// Disabled: full sweep every iteration (bit-identical to the
+    /// pre-scheduler pipeline by construction).
+    fn default() -> Self {
+        Self {
+            active_columns: None,
+            refresh_every: 8,
+            ema_decay: 0.6,
+            objective_pressure: 0.25,
+        }
+    }
+}
+
+impl SubspaceConfig {
+    /// An enabled scheduler keeping at most `m` active columns, with the
+    /// default refresh period and EMA constants.
+    pub fn with_active_columns(m: usize) -> Self {
+        Self {
+            active_columns: Some(m),
+            ..Self::default()
+        }
+    }
+
+    /// `true` when the scheduler actually schedules (an `active_columns`
+    /// bound is set).
+    pub fn is_enabled(&self) -> bool {
+        self.active_columns.is_some()
+    }
+}
+
+/// Active-set telemetry for one iteration of a subspace-scheduled run
+/// (carried in [`crate::runner::IterationRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveSetRecord {
+    /// Columns evaluated this iteration.
+    pub active_columns: usize,
+    /// Total columns of the (corner × ω) cross product.
+    pub product_columns: usize,
+    /// `true` when this iteration was a forced full-sweep refresh epoch
+    /// (or the product was small enough that `M` covered it anyway).
+    pub refresh: bool,
+}
+
+/// What the scheduler decided for one iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// Per-column activity mask over the ω-major cross product.
+    pub active: Vec<bool>,
+    /// `true` when every column is active (refresh epoch, disabled
+    /// scheduler, `M ≥` product, or unobserved columns remaining).
+    pub refresh: bool,
+}
+
+impl SweepPlan {
+    /// The telemetry record of this plan.
+    pub fn record(&self) -> ActiveSetRecord {
+        ActiveSetRecord {
+            active_columns: self.active.iter().filter(|&&a| a).count(),
+            product_columns: self.active.len(),
+            refresh: self.refresh,
+        }
+    }
+}
+
+/// Per-(corner, ω) importance state driving the adaptive subspace
+/// schedule. One instance lives for the duration of one optimisation run
+/// (the statistics deliberately do **not** survive across runs — a new
+/// design starts from a fresh full sweep).
+#[derive(Debug, Clone)]
+pub struct SubspaceScheduler {
+    config: SubspaceConfig,
+    /// EMA of each column's objective value.
+    ema_objective: Vec<f64>,
+    /// EMA of each column's spectral aggregation weight (its share of
+    /// its fabrication corner's gradient).
+    ema_weight: Vec<f64>,
+    /// Whether the column has ever been observed.
+    seen: Vec<bool>,
+}
+
+impl SubspaceScheduler {
+    /// A scheduler for a cross product of `columns` columns
+    /// ([`VariationSpace::product_columns`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid: `columns == 0`,
+    /// `refresh_every == 0`, `ema_decay ∉ [0, 1)`, or a negative
+    /// `objective_pressure`.
+    pub fn new(columns: usize, config: SubspaceConfig) -> Self {
+        assert!(columns > 0, "empty cross product");
+        assert!(
+            config.refresh_every >= 1,
+            "refresh period must be at least 1 iteration"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.ema_decay),
+            "EMA decay must lie in [0, 1), got {}",
+            config.ema_decay
+        );
+        assert!(
+            config.objective_pressure >= 0.0,
+            "objective pressure must be non-negative"
+        );
+        Self {
+            config,
+            ema_objective: vec![0.0; columns],
+            ema_weight: vec![0.0; columns],
+            seen: vec![false; columns],
+        }
+    }
+
+    /// Number of tracked columns.
+    pub fn columns(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The active-set plan for iteration `iter`. `forced` marks the
+    /// always-active columns (the fabrication-nominal corner at every
+    /// wavelength). Full sweeps happen when the scheduler is disabled,
+    /// on refresh epochs (`iter % refresh_every == 0` — iteration 0 is
+    /// always a refresh, so the EMAs start from a complete observation),
+    /// when `M` covers the product, or while any column has never been
+    /// observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forced` does not match the tracked column count.
+    pub fn plan(&self, iter: usize, forced: &[bool]) -> SweepPlan {
+        assert_eq!(forced.len(), self.columns(), "forced mask length mismatch");
+        let full = || SweepPlan {
+            active: vec![true; self.columns()],
+            refresh: true,
+        };
+        let Some(m) = self.config.active_columns else {
+            return full();
+        };
+        if m >= self.columns()
+            || iter.is_multiple_of(self.config.refresh_every)
+            || self.seen.iter().any(|&s| !s)
+        {
+            return full();
+        }
+        let scores = self.scores();
+        SweepPlan {
+            active: VariationSpace::select_top_columns(&scores, forced, m),
+            refresh: false,
+        }
+    }
+
+    /// The current importance score of every column: EMA aggregation
+    /// weight plus [`SubspaceConfig::objective_pressure`] times the
+    /// normalised badness `(o_max − o) / (o_max − o_min)` (columns whose
+    /// EMA objective is closest to the worst observed rank highest;
+    /// unobserved columns score `+∞`). Deterministic in the recorded
+    /// observations.
+    pub fn scores(&self) -> Vec<f64> {
+        let (mut o_min, mut o_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (ci, &o) in self.ema_objective.iter().enumerate() {
+            if self.seen[ci] {
+                o_min = o_min.min(o);
+                o_max = o_max.max(o);
+            }
+        }
+        let span = o_max - o_min;
+        (0..self.columns())
+            .map(|ci| {
+                if !self.seen[ci] {
+                    return f64::INFINITY;
+                }
+                let badness = if span > 0.0 {
+                    (o_max - self.ema_objective[ci]) / span
+                } else {
+                    0.0
+                };
+                self.ema_weight[ci] + self.config.objective_pressure * badness
+            })
+            .collect()
+    }
+
+    /// Feeds one observed column: its objective value and its spectral
+    /// aggregation weight (the column's share of its fabrication corner's
+    /// gradient, as evaluated by the sweep that produced it). Dormant
+    /// columns are simply not recorded — their EMAs freeze until the next
+    /// refresh epoch re-observes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of range.
+    pub fn record(&mut self, column: usize, objective: f64, weight: f64) {
+        assert!(column < self.columns(), "column {column} out of range");
+        if self.seen[column] {
+            let a = self.config.ema_decay;
+            self.ema_objective[column] = a * self.ema_objective[column] + (1.0 - a) * objective;
+            self.ema_weight[column] = a * self.ema_weight[column] + (1.0 - a) * weight;
+        } else {
+            self.ema_objective[column] = objective;
+            self.ema_weight[column] = weight;
+            self.seen[column] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_observation(s: &mut SubspaceScheduler, objectives: &[f64], weights: &[f64]) {
+        for ci in 0..s.columns() {
+            s.record(ci, objectives[ci], weights[ci]);
+        }
+    }
+
+    #[test]
+    fn disabled_scheduler_always_plans_full_sweeps() {
+        let s = SubspaceScheduler::new(6, SubspaceConfig::default());
+        assert!(!SubspaceConfig::default().is_enabled());
+        for iter in 0..5 {
+            let plan = s.plan(iter, &[false; 6]);
+            assert!(plan.refresh);
+            assert!(plan.active.iter().all(|&a| a));
+            assert_eq!(plan.record().active_columns, 6);
+        }
+    }
+
+    #[test]
+    fn first_iterations_sweep_fully_until_observed_then_select_top_m() {
+        let cfg = SubspaceConfig {
+            refresh_every: 10,
+            ..SubspaceConfig::with_active_columns(3)
+        };
+        let mut s = SubspaceScheduler::new(5, cfg);
+        let forced = [true, false, false, false, false];
+        // Nothing observed yet: iteration 1 (not a refresh epoch) still
+        // sweeps fully.
+        assert!(s.plan(1, &forced).refresh);
+        // Column 3 carries all the aggregation weight; column 4 has the
+        // worst objective.
+        full_observation(
+            &mut s,
+            &[0.9, 0.8, 0.7, 0.6, 0.1],
+            &[0.0, 0.0, 0.0, 1.0, 0.0],
+        );
+        let plan = s.plan(1, &forced);
+        assert!(!plan.refresh);
+        // Forced col 0, weight-carrying col 3, worst-objective col 4.
+        assert_eq!(plan.active, [true, false, false, true, true]);
+        assert_eq!(plan.record().active_columns, 3);
+        assert_eq!(plan.record().product_columns, 5);
+    }
+
+    #[test]
+    fn refresh_epochs_force_full_sweeps() {
+        let cfg = SubspaceConfig {
+            refresh_every: 4,
+            ..SubspaceConfig::with_active_columns(2)
+        };
+        let mut s = SubspaceScheduler::new(4, cfg);
+        full_observation(&mut s, &[0.5, 0.4, 0.3, 0.2], &[1.0, 0.0, 0.0, 0.0]);
+        for iter in 0..9 {
+            let plan = s.plan(iter, &[true, false, false, false]);
+            assert_eq!(plan.refresh, iter % 4 == 0, "iter {iter}");
+            assert_eq!(plan.active.iter().all(|&a| a), iter % 4 == 0);
+        }
+    }
+
+    #[test]
+    fn m_at_least_product_size_is_always_a_full_sweep() {
+        let mut s = SubspaceScheduler::new(3, SubspaceConfig::with_active_columns(3));
+        full_observation(&mut s, &[0.1, 0.2, 0.3], &[1.0, 0.0, 0.0]);
+        for iter in 0..5 {
+            let plan = s.plan(iter, &[true, false, false]);
+            assert!(plan.refresh);
+            assert!(plan.active.iter().all(|&a| a));
+        }
+    }
+
+    /// The re-entry guarantee: a column dormant for several iterations is
+    /// re-observed by the refresh epoch, and if it has drifted to the
+    /// worst case it displaces a previously-active column from the very
+    /// next partial sweep.
+    #[test]
+    fn refresh_epoch_reenters_a_dormant_column_that_became_worst_case() {
+        let cfg = SubspaceConfig {
+            refresh_every: 4,
+            ema_decay: 0.0, // take observations verbatim: sharpest test
+            ..SubspaceConfig::with_active_columns(2)
+        };
+        let mut s = SubspaceScheduler::new(4, cfg);
+        let forced = [true, false, false, false];
+        // Iteration 0 (refresh): column 1 looks important, column 3 is
+        // comfortable and carries no weight.
+        full_observation(&mut s, &[0.5, 0.2, 0.6, 0.9], &[0.0, 1.0, 0.0, 0.0]);
+        // Iterations 1–3: column 3 is dormant every time.
+        for iter in 1..4 {
+            let plan = s.plan(iter, &forced);
+            assert!(!plan.refresh, "iter {iter}");
+            assert_eq!(plan.active, [true, true, false, false], "iter {iter}");
+            // Only active columns report back.
+            s.record(0, 0.5, 0.0);
+            s.record(1, 0.2, 1.0);
+        }
+        // Iteration 4: refresh epoch — full sweep re-observes column 3,
+        // which meanwhile collapsed to the worst case and now carries all
+        // the weight.
+        let plan = s.plan(4, &forced);
+        assert!(plan.refresh);
+        assert!(plan.active.iter().all(|&a| a));
+        full_observation(&mut s, &[0.5, 0.4, 0.6, 0.05], &[0.0, 0.0, 0.0, 1.0]);
+        // Iteration 5: the re-observed column displaces column 1.
+        let plan = s.plan(5, &forced);
+        assert!(!plan.refresh);
+        assert_eq!(plan.active, [true, false, false, true]);
+    }
+
+    #[test]
+    fn ema_blends_observations_with_the_configured_decay() {
+        let cfg = SubspaceConfig {
+            ema_decay: 0.5,
+            ..SubspaceConfig::with_active_columns(1)
+        };
+        let mut s = SubspaceScheduler::new(1, cfg);
+        s.record(0, 1.0, 1.0); // first observation verbatim
+        assert_eq!(s.ema_objective[0], 1.0);
+        s.record(0, 0.0, 0.0);
+        assert_eq!(s.ema_objective[0], 0.5);
+        assert_eq!(s.ema_weight[0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "EMA decay")]
+    fn invalid_decay_is_rejected() {
+        let _ = SubspaceScheduler::new(
+            2,
+            SubspaceConfig {
+                ema_decay: 1.0,
+                ..SubspaceConfig::with_active_columns(1)
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh period")]
+    fn zero_refresh_period_is_rejected() {
+        let _ = SubspaceScheduler::new(
+            2,
+            SubspaceConfig {
+                refresh_every: 0,
+                ..SubspaceConfig::with_active_columns(1)
+            },
+        );
+    }
+}

@@ -258,6 +258,60 @@ impl VariationSpace {
         out
     }
 
+    /// Number of columns in the ω-major (fabrication corner × wavelength)
+    /// cross product that [`VariationSpace::spectral_corners`] forms for
+    /// `strategy` — the size of the per-(corner, ω) state an adaptive
+    /// subspace scheduler has to track. Random corners occupy stable
+    /// column slots (their *content* is redrawn per iteration, their
+    /// position is not), so slot-keyed statistics stay well defined.
+    pub fn product_columns(&self, strategy: SamplingStrategy) -> usize {
+        strategy.corners_per_iteration() * self.spectral.count
+    }
+
+    /// Selects the active subset of the cross product for one robust
+    /// iteration: the `forced` columns (the fabrication-nominal corner at
+    /// every wavelength — they refresh the per-ω preconditioner factors
+    /// and warm starts, so a schedule without them is never valid) plus
+    /// the highest-`scores` remaining columns until `m` columns are
+    /// active in total.
+    ///
+    /// Deterministic by construction: ties in the score keep the lowest
+    /// column index, so the same scores always produce the same active
+    /// set whatever produced them. `m` is effectively clamped to
+    /// `[forced count, len]` — every forced column is active even when
+    /// `m` is smaller, and `m ≥ len` activates everything (the full
+    /// sweep). NaN scores rank below every finite score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` and `forced` disagree in length.
+    pub fn select_top_columns(scores: &[f64], forced: &[bool], m: usize) -> Vec<bool> {
+        assert_eq!(
+            scores.len(),
+            forced.len(),
+            "score/forced column count mismatch"
+        );
+        let mut active = forced.to_vec();
+        let mut budget = m.saturating_sub(forced.iter().filter(|&&f| f).count());
+        let mut ranked: Vec<usize> = (0..scores.len()).filter(|&ci| !forced[ci]).collect();
+        ranked.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                // NaN never outranks a comparable score; among
+                // themselves NaNs fall back to the index tie-break.
+                .unwrap_or_else(|| scores[a].is_nan().cmp(&scores[b].is_nan()))
+                .then(a.cmp(&b))
+        });
+        for ci in ranked {
+            if budget == 0 {
+                break;
+            }
+            active[ci] = true;
+            budget -= 1;
+        }
+        active
+    }
+
     fn litho_corner(&self, litho: LithoCorner) -> VariationCorner {
         VariationCorner {
             litho,
@@ -486,6 +540,50 @@ mod tests {
         assert_eq!(c2.omega_idx, 2);
         assert!(c2.label.starts_with("nominal@λ=1.57"));
         assert!(!c2.is_varied(), "spectral index is not a fabrication axis");
+    }
+
+    #[test]
+    fn product_columns_counts_the_cross_product() {
+        let mut s = space();
+        assert_eq!(s.product_columns(SamplingStrategy::CornerSweep), 27);
+        s.spectral = crate::SpectralAxis::around(0.02, 3);
+        assert_eq!(s.product_columns(SamplingStrategy::CornerSweep), 81);
+        assert_eq!(
+            s.product_columns(SamplingStrategy::AxialPlusRandom { count: 2 }),
+            9 * 3
+        );
+        // The shape promise the scheduler relies on: the product really
+        // has that many columns.
+        let mut rng = StdRng::seed_from_u64(9);
+        let product = s.spectral_corners(SamplingStrategy::CornerSweep, 1.55, &mut rng);
+        assert_eq!(
+            product.len(),
+            s.product_columns(SamplingStrategy::CornerSweep)
+        );
+    }
+
+    #[test]
+    fn select_top_columns_keeps_forced_and_ranks_deterministically() {
+        let scores = [0.1, 0.9, 0.5, 0.9, 0.0];
+        let forced = [false, false, false, false, true];
+        // m = 3: the forced column plus the two best scores; the 0.9 tie
+        // keeps the lower index.
+        let active = VariationSpace::select_top_columns(&scores, &forced, 3);
+        assert_eq!(active, [false, true, false, true, true]);
+        // m = 1 < forced count: the forced set alone survives.
+        let active = VariationSpace::select_top_columns(&scores, &forced, 1);
+        assert_eq!(active, [false, false, false, false, true]);
+        // m = 0 behaves the same (clamped to the forced set).
+        let active = VariationSpace::select_top_columns(&scores, &forced, 0);
+        assert_eq!(active, [false, false, false, false, true]);
+        // m ≥ len: everything active — the full sweep.
+        let active = VariationSpace::select_top_columns(&scores, &forced, 99);
+        assert!(active.iter().all(|&a| a));
+        // +∞ outranks everything; NaN outranks nothing.
+        let scores = [f64::NAN, 0.2, f64::INFINITY];
+        let forced = [false; 3];
+        let active = VariationSpace::select_top_columns(&scores, &forced, 2);
+        assert_eq!(active, [false, true, true]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! EOLE discretisation of the spatially-varying etch-threshold field.
 //!
-//! Following Schevenels et al. (the paper's reference [15]), the random
+//! Following Schevenels et al. (the paper's reference \[15\]), the random
 //! threshold field `η(x) = η₀ + δ(x)` with squared-exponential covariance
 //! `C(x, x') = σ² exp(-|x-x'|²/(2ℓ²))` is discretised by *Expansion
 //! Optimal Linear Estimation*: pick `M` observation points, eigendecompose

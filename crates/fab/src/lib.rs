@@ -12,7 +12,10 @@
 //!   `ε(t) = (3.48 + 1.8e-4·(t − 300))²`;
 //! * [`corners`] — [`VariationCorner`] and every sampling strategy from
 //!   Fig. 6(a): nominal-only, exhaustive 3³ sweep, single/double-sided
-//!   axial, axial+random and axial+worst-case;
+//!   axial, axial+random and axial+worst-case — plus the corner-subspace
+//!   selection API ([`VariationSpace::product_columns`],
+//!   [`VariationSpace::select_top_columns`]) that the adaptive subspace
+//!   scheduler in `boson_core` builds its active sets with;
 //! * [`spectral`] — the operating-wavelength axis ([`SpectralAxis`]):
 //!   `K` wavelengths around λ_c that cross with the fabrication corners
 //!   into the broadband variation space (`K = 1` reproduces the

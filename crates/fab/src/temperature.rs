@@ -2,7 +2,7 @@
 //!
 //! The paper's `T_t` stage: during operation the device temperature drifts
 //! from its 300 K nominal, shifting the silicon index via the thermo-optic
-//! coefficient (Komma et al., the paper's reference [10]):
+//! coefficient (Komma et al., the paper's reference \[10\]):
 //!
 //! ```text
 //! ε_Si(t) = (3.48 + 1.8·10⁻⁴·(t − 300))²

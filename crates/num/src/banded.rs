@@ -33,7 +33,7 @@
 //! compiler can vectorise the complex axpy updates; pivot selection uses
 //! `|·|²` instead of `|·|` (equivalent argmax, no `hypot` per entry). The
 //! seed's straightforward scalar implementation is preserved unchanged in
-//! [`reference`] as the correctness baseline for property tests and as the
+//! [`reference`](mod@reference) as the correctness baseline for property tests and as the
 //! naïve side of the `solver` criterion bench.
 //!
 //! # Examples
@@ -243,7 +243,7 @@ impl BandedMatrix {
     /// Allocation-free matrix–vector product `y = A x`, overwriting `y`.
     ///
     /// Sweeps the band storage column by column (each column is contiguous,
-    /// so the inner update is a vectorisable [`axpy`]); this is the
+    /// so the inner update is a vectorisable [`crate::complex::axpy`]); this is the
     /// operator application behind the matrix-free iterative solver in
     /// [`crate::krylov`].
     ///
@@ -320,6 +320,32 @@ impl BandedMatrix {
     /// The band storage moves into the returned factorisation without a
     /// copy. For repeated factorisations prefer
     /// [`BandedMatrix::factor_into`], which keeps the assembly buffer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use boson_num::banded::BandedMatrix;
+    /// use boson_num::{c64, Complex64};
+    ///
+    /// // Tridiagonal system: 2x_i − x_{i−1} − x_{i+1} = b_i.
+    /// let n = 8;
+    /// let mut a = BandedMatrix::new(n, 1, 1);
+    /// for i in 0..n {
+    ///     a.set(i, i, c64(2.0, 0.0));
+    ///     if i > 0 {
+    ///         a.set(i, i - 1, c64(-1.0, 0.0));
+    ///         a.set(i - 1, i, c64(-1.0, 0.0));
+    ///     }
+    /// }
+    /// let check = a.clone();
+    /// let lu = a.factor()?;
+    /// let x = lu.solve_vec(&vec![Complex64::ONE; n]);
+    /// // The factorisation solves the original system: A x == b.
+    /// for ax in check.matvec(&x) {
+    ///     assert!((ax - Complex64::ONE).abs() < 1e-12);
+    /// }
+    /// # Ok::<(), boson_num::banded::SingularMatrixError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -529,6 +555,40 @@ impl BandedLu {
     /// Very large batches are processed [`RHS_BLOCK`] columns at a time so
     /// the active window of every right-hand side stays cache-resident
     /// (see [`BandedLu::solve_many_blocked`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use boson_num::banded::BandedMatrix;
+    /// use boson_num::{c64, Complex64};
+    ///
+    /// let n = 6;
+    /// let mut a = BandedMatrix::new(n, 1, 1);
+    /// for i in 0..n {
+    ///     a.set(i, i, c64(3.0, 0.5));
+    ///     if i > 0 {
+    ///         a.set(i, i - 1, c64(-1.0, 0.0));
+    ///         a.set(i - 1, i, c64(-1.0, 0.0));
+    ///     }
+    /// }
+    /// let check = a.clone();
+    /// let lu = a.factor()?;
+    /// // Two right-hand sides, column-major in one buffer; both are
+    /// // solved in a single sweep over the factors.
+    /// let mut b = vec![Complex64::ONE; 2 * n];
+    /// for v in &mut b[n..] {
+    ///     *v = c64(0.0, 2.0);
+    /// }
+    /// let rhs = b.clone();
+    /// lu.solve_many(&mut b, 2);
+    /// for col in 0..2 {
+    ///     let ax = check.matvec(&b[col * n..(col + 1) * n]);
+    ///     for (ax, b0) in ax.iter().zip(&rhs[col * n..(col + 1) * n]) {
+    ///         assert!((*ax - *b0).abs() < 1e-12);
+    ///     }
+    /// }
+    /// # Ok::<(), boson_num::banded::SingularMatrixError>(())
+    /// ```
     ///
     /// # Panics
     ///

@@ -25,6 +25,8 @@ echo "== bench: corner_scaling =="
 cargo bench -p boson-bench --bench corner_scaling
 echo "== bench: spectral =="
 cargo bench -p boson-bench --bench spectral
+echo "== bench: subspace =="
+cargo bench -p boson-bench --bench subspace
 
 # Aggregate the JSON lines and compute the acceptance ratio
 # (naïve allocate-per-call corner loop vs the workspace pipeline).
@@ -74,6 +76,13 @@ END {
         printf ",\n  \"fused_ns\": %.1f", fused
         printf ",\n  \"fused_batch_speedup\": %.3f", per_wl / fused
     }
+    sub_full = median["subspace_27corner_3wl/full_sweep"]
+    sub_adap = median["subspace_27corner_3wl/adaptive"]
+    if (sub_full > 0 && sub_adap > 0) {
+        printf ",\n  \"subspace_full_sweep_ns\": %.1f", sub_full
+        printf ",\n  \"subspace_adaptive_ns\": %.1f", sub_adap
+        printf ",\n  \"subspace_speedup\": %.3f", sub_full / sub_adap
+    }
     printf "\n}\n"
 }
 ' "$RAW" > "$OUT"
@@ -114,5 +123,14 @@ if [ -n "${FUSED_SPEEDUP:-}" ]; then
         || { echo "FAIL: fused batch speedup ${FUSED_SPEEDUP}x below the 1.2x acceptance floor" >&2; exit 1; }
 else
     echo "FAIL: fused_27corner_3wl medians missing from bench output" >&2
+    exit 1
+fi
+SUBSPACE_SPEEDUP=$(awk '/subspace_speedup/ { s = $0; sub(/.*: /, "", s); sub(/,.*/, "", s); print s }' "$OUT")
+if [ -n "${SUBSPACE_SPEEDUP:-}" ]; then
+    echo "adaptive subspace iteration speedup (full sweep / adaptive M=27-of-81): ${SUBSPACE_SPEEDUP}x"
+    awk -v s="$SUBSPACE_SPEEDUP" 'BEGIN { exit (s >= 1.5 ? 0 : 1) }' \
+        || { echo "FAIL: subspace speedup ${SUBSPACE_SPEEDUP}x below the 1.5x acceptance floor" >&2; exit 1; }
+else
+    echo "FAIL: subspace_27corner_3wl medians missing from bench output" >&2
     exit 1
 fi
