@@ -1,0 +1,104 @@
+//! The large-grid acceptance benchmark: one perturbed-corner
+//! forward+adjoint pair at 256×256 — past the banded-LU wall, where the
+//! `O(n·b²)` factor (b = nx = 256) costs seconds — solved by
+//!
+//! * `direct_factor_solve` — the banded direct path: fresh factor plus
+//!   forward and adjoint triangular sweeps; vs
+//! * `multigrid_iterative` — the matrix-free geometric-multigrid
+//!   V-cycle preconditioning the lockstep BiCGSTAB, hierarchy rebuilt
+//!   from scratch each round (a fresh epoch, like the direct side).
+//!
+//! `scripts/bench.sh` extracts the two medians into `BENCH_solver.json`
+//! as `large_grid_direct_ns` / `large_grid_multigrid_ns` and gates their
+//! ratio as `large_grid_speedup` (target ≥ 3×).
+
+use boson_fdfd::grid::SimGrid;
+use boson_fdfd::sim::{CornerContext, SimWorkspace, SolverStrategy};
+use boson_num::{Array2, Complex64};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 256;
+
+fn setup() -> (SimGrid, Array2<f64>, Array2<f64>, f64) {
+    // 0.02 µm pitch ≈ 22 points per wavelength in silicon at λ = 1.55 µm
+    // — the resolved regime the multigrid preconditioner targets
+    // (under-resolved grids miss the iterative budget and fall back).
+    let grid = SimGrid::new(N, N, 0.02, 10);
+    let omega = 2.0 * std::f64::consts::PI / 1.55;
+    let nominal = Array2::from_fn(
+        N,
+        N,
+        |iy, _| {
+            if iy.abs_diff(N / 2) < 5 {
+                12.11
+            } else {
+                1.0
+            }
+        },
+    );
+    let corner = nominal.map(|&e| if e > 1.0 { e + 0.04 } else { e });
+    (grid, nominal, corner, omega)
+}
+
+fn bench_large_grid(c: &mut Criterion) {
+    let (grid, nominal, corner, omega) = setup();
+    let g: Vec<Complex64> = (0..grid.n())
+        .map(|k| Complex64::new((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+        .collect();
+    let mut group = c.benchmark_group("large_grid_256");
+    // The direct side factors a bandwidth-256 matrix (seconds per call);
+    // two samples bound the bench's wall time while the shim's median
+    // stays robust to a single cold outlier.
+    group.sample_size(2);
+    group.bench_function("direct_factor_solve", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut x = g.clone();
+        b.iter(|| {
+            ws.prepare_corner(grid, omega, &corner, SolverStrategy::Direct, None)
+                .unwrap();
+            x.copy_from_slice(&g);
+            ws.solve_block(&mut x, 1).unwrap();
+            x.copy_from_slice(&g);
+            ws.solve_block_transpose(&mut x, 1).unwrap();
+            black_box(x[grid.n() / 2])
+        })
+    });
+    group.bench_function("multigrid_iterative", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut x = g.clone();
+        let mut epoch = 0u64;
+        b.iter(|| {
+            // A fresh epoch each round so the hierarchy rebuild cost is
+            // included, exactly like the direct side's factorisation.
+            epoch += 1;
+            let ctx = CornerContext {
+                nominal_eps: &nominal,
+                epoch,
+                is_nominal: false,
+                force_direct: false,
+            };
+            ws.prepare_corner(
+                grid,
+                omega,
+                &corner,
+                SolverStrategy::preconditioned_iterative(),
+                Some(&ctx),
+            )
+            .unwrap();
+            x.copy_from_slice(&g);
+            ws.solve_block(&mut x, 1).unwrap();
+            x.copy_from_slice(&g);
+            ws.solve_block_transpose(&mut x, 1).unwrap();
+            black_box(x[grid.n() / 2])
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench_large_grid
+}
+criterion_main!(benches);

@@ -20,6 +20,7 @@ use boson_core::fabchain::{assemble_eps, grad_eps_to_rho};
 use boson_core::objective::SpectralAggregation;
 use boson_core::problem::bending;
 use boson_fab::{EtchProjection, SamplingStrategy, SpectralAxis, VariationSpace};
+use boson_fdfd::sim::SolverStrategy;
 use boson_num::Array2;
 use boson_param::Parameterization;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -81,8 +82,7 @@ fn bench_broadband(c: &mut Criterion) {
             let mut acc = 0.0;
             for oi in 0..WAVELENGTHS {
                 let set = CornerSetSolve {
-                    tol: 1e-6,
-                    max_iters: 24,
+                    strategy: SolverStrategy::preconditioned_iterative(),
                     nominal_eps: &epss[nominal_idx],
                     epoch,
                     nominal_idx: Some(nominal_idx),
@@ -194,8 +194,7 @@ fn bench_fused(c: &mut Criterion) {
             let mut evals = Vec::with_capacity(epss.len());
             for oi in 0..WAVELENGTHS {
                 let set = CornerSetSolve {
-                    tol: 1e-6,
-                    max_iters: 24,
+                    strategy: SolverStrategy::preconditioned_iterative(),
                     nominal_eps: &epss[nominal_idx],
                     epoch,
                     nominal_idx: Some(nominal_idx),
@@ -291,8 +290,7 @@ fn bench_fused(c: &mut Criterion) {
                 .collect();
             // ONE fused lockstep batch for the whole cross product.
             let set = CornerProductSolve {
-                tol: 1e-6,
-                max_iters: 24,
+                strategy: SolverStrategy::preconditioned_iterative(),
                 nominal_eps: &epss_fab[nominal_idx],
                 epoch,
                 omega_idx: &omega_idx,

@@ -31,6 +31,7 @@ use boson_core::objective::SpectralAggregation;
 use boson_core::problem::bending;
 use boson_core::subspace::{SubspaceConfig, SubspaceScheduler};
 use boson_fab::{EtchProjection, SamplingStrategy, SpectralAxis, VariationSpace};
+use boson_fdfd::sim::SolverStrategy;
 use boson_num::Array2;
 use boson_param::Parameterization;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -123,8 +124,7 @@ fn bench_subspace(c: &mut Criterion) {
         let fab_idx: Vec<usize> = sel.iter().map(|&(_, li)| li).collect();
         let force_direct = vec![false; sel.len()];
         let set = CornerProductSolve {
-            tol: 1e-6,
-            max_iters: 24,
+            strategy: SolverStrategy::preconditioned_iterative(),
             nominal_eps: &epss_live[live
                 .iter()
                 .position(|&f| f == nominal_idx)

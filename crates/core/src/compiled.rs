@@ -85,10 +85,10 @@ pub struct CornerSolve<'a> {
 /// share a wavelength; a broadband iteration runs one set per ω.
 #[derive(Debug, Clone, Copy)]
 pub struct CornerSetSolve<'a> {
-    /// Relative residual at which a right-hand side is converged.
-    pub tol: f64,
-    /// Iteration budget per solve before the direct fallback fires.
-    pub max_iters: usize,
+    /// Iterative strategy for the sweep — the tolerance/budget pair plus
+    /// whether the preconditioner is the banded nominal factor or the
+    /// multigrid hierarchy ([`SolverStrategy::Direct`] is rejected).
+    pub strategy: SolverStrategy,
     /// Permittivity of the nominal corner this epoch.
     pub nominal_eps: &'a Array2<f64>,
     /// Token identifying the nominal operator (typically the iteration).
@@ -110,10 +110,10 @@ pub struct CornerSetSolve<'a> {
 /// group-nominal status and its cached policy decision.
 #[derive(Debug, Clone, Copy)]
 pub struct CornerProductSolve<'a> {
-    /// Relative residual at which a right-hand side is converged.
-    pub tol: f64,
-    /// Iteration budget per solve before the direct fallback fires.
-    pub max_iters: usize,
+    /// Iterative strategy for the fused batch — the tolerance/budget pair
+    /// plus whether the preconditioner is the banded nominal factor or
+    /// the multigrid hierarchy ([`SolverStrategy::Direct`] is rejected).
+    pub strategy: SolverStrategy,
     /// Permittivity of the nominal corner this epoch (ω-independent).
     pub nominal_eps: &'a Array2<f64>,
     /// Token identifying the nominal operator (typically the iteration).
@@ -751,10 +751,11 @@ impl CompiledProblem {
         let nexc = cal.sources.len();
         let count = epss.len();
         assert_eq!(set.force_direct.len(), count, "policy flag count mismatch");
-        let strategy = SolverStrategy::PreconditionedIterative {
-            tol: set.tol,
-            max_iters: set.max_iters,
-        };
+        let strategy = set.strategy;
+        assert!(
+            strategy.iterative_params().is_some(),
+            "batched corner sets require an iterative strategy"
+        );
         let mut evals: Vec<Option<Evaluation>> = (0..count).map(|_| None).collect();
 
         // The nominal corner first: it refreshes the shared factor and
@@ -791,14 +792,10 @@ impl CompiledProblem {
         // Everything else advances in one lockstep batch.
         let batched: Vec<usize> = (0..count).filter(|ci| evals[*ci].is_none()).collect();
         if !batched.is_empty() {
-            let extra_factorizations = scratch.sim.batch_begin(
-                grid,
-                cal.omega,
-                set.nominal_eps,
-                set.epoch,
-                set.tol,
-                set.max_iters,
-            )?;
+            let extra_factorizations =
+                scratch
+                    .sim
+                    .batch_begin(grid, cal.omega, set.nominal_eps, set.epoch, strategy)?;
             for &ci in &batched {
                 scratch.sim.batch_push(&epss[ci]);
             }
@@ -843,8 +840,7 @@ impl CompiledProblem {
                         with_grad,
                         spec,
                         scratch,
-                        set.tol,
-                        set.max_iters,
+                        set.strategy,
                         set.nominal_eps,
                         set.epoch,
                         set.omega_idx,
@@ -902,8 +898,7 @@ impl CompiledProblem {
                         with_grad,
                         spec,
                         scratch,
-                        set.tol,
-                        set.max_iters,
+                        set.strategy,
                         set.nominal_eps,
                         set.epoch,
                         set.omega_idx,
@@ -1013,10 +1008,11 @@ impl CompiledProblem {
         assert_eq!(set.omega_idx.len(), count, "ω index count mismatch");
         assert_eq!(set.is_nominal.len(), count, "nominal flag count mismatch");
         assert_eq!(set.force_direct.len(), count, "policy flag count mismatch");
-        let strategy = SolverStrategy::PreconditionedIterative {
-            tol: set.tol,
-            max_iters: set.max_iters,
-        };
+        let strategy = set.strategy;
+        assert!(
+            strategy.iterative_params().is_some(),
+            "fused corner products require an iterative strategy"
+        );
         let mut evals: Vec<Option<Evaluation>> = (0..count).map(|_| None).collect();
 
         // Each ω's nominal corner first: it refreshes that wavelength's
@@ -1070,8 +1066,7 @@ impl CompiledProblem {
                 &omega_vals,
                 set.nominal_eps,
                 set.epoch,
-                set.tol,
-                set.max_iters,
+                strategy,
             )?;
             // Batch-local ω index per batched corner.
             let batch_omega: Vec<usize> = batched
@@ -1142,8 +1137,7 @@ impl CompiledProblem {
                         with_grad,
                         spec,
                         scratch,
-                        set.tol,
-                        set.max_iters,
+                        set.strategy,
                         set.nominal_eps,
                         set.epoch,
                         set.omega_idx[ci],
@@ -1264,8 +1258,7 @@ impl CompiledProblem {
                         with_grad,
                         spec,
                         scratch,
-                        set.tol,
-                        set.max_iters,
+                        set.strategy,
                         set.nominal_eps,
                         set.epoch,
                         set.omega_idx[ci],
@@ -1359,10 +1352,7 @@ impl CompiledProblem {
                             // caller's adaptive policy does not pin this
                             // corner.
                             let cs = CornerSolve {
-                                strategy: SolverStrategy::PreconditionedIterative {
-                                    tol: set.tol,
-                                    max_iters: set.max_iters,
-                                },
+                                strategy: set.strategy,
                                 nominal_eps: set.nominal_eps,
                                 epoch: set.epoch,
                                 is_nominal: false,
@@ -1410,15 +1400,14 @@ impl CompiledProblem {
         with_grad: bool,
         spec: &crate::objective::ObjectiveSpec,
         scratch: &mut EvalScratch,
-        tol: f64,
-        max_iters: usize,
+        strategy: SolverStrategy,
         nominal_eps: &Array2<f64>,
         epoch: u64,
         omega_idx: usize,
         attempt: &CornerSolveReport,
     ) -> Result<Evaluation, SingularMatrixError> {
         let cs = CornerSolve {
-            strategy: SolverStrategy::PreconditionedIterative { tol, max_iters },
+            strategy,
             nominal_eps,
             epoch,
             is_nominal: false,
@@ -1700,8 +1689,7 @@ mod tests {
         let run = |skip: bool| {
             let mut scratch = EvalScratch::new();
             let set = CornerProductSolve {
-                tol: 1e-6,
-                max_iters: 24,
+                strategy: SolverStrategy::preconditioned_iterative(),
                 nominal_eps: &fab[0],
                 epoch: 1,
                 omega_idx: &omega_idx,

@@ -287,6 +287,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 matches!(
                     config.solver,
                     SolverStrategy::PreconditionedIterative { .. }
+                        | SolverStrategy::MultigridIterative { .. }
                 ),
                 "the adaptive corner-subspace scheduler requires \
                  SolverStrategy::PreconditionedIterative (partial products \
@@ -485,8 +486,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         nominal_eps: &Array2<f64>,
         epoch: u64,
         scratch: &mut EvalScratch,
-        tol: f64,
-        max_iters: usize,
+        strategy: SolverStrategy,
         active: &[bool],
         observations: &mut Vec<(usize, f64, f64)>,
     ) -> (Vec<CornerOutcome>, Vec<usize>, Option<usize>) {
@@ -568,8 +568,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         let evals = if self.fused_sweep {
             let fab_idx: Vec<usize> = sel.iter().map(|&(_, li)| li).collect();
             let set = crate::compiled::CornerProductSolve {
-                tol,
-                max_iters,
+                strategy,
                 nominal_eps,
                 epoch,
                 omega_idx: &omega_idx,
@@ -594,8 +593,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 nominal_eps,
                 epoch,
                 scratch,
-                tol,
-                max_iters,
+                strategy,
             )
         };
 
@@ -727,8 +725,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         nominal_eps: &Array2<f64>,
         epoch: u64,
         scratch: &mut EvalScratch,
-        tol: f64,
-        max_iters: usize,
+        strategy: SolverStrategy,
     ) -> Vec<crate::compiled::Evaluation> {
         let mut evals: Vec<crate::compiled::Evaluation> = Vec::with_capacity(epss.len());
         let mut start = 0usize;
@@ -744,8 +741,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             );
             let group_nominal = is_nominal[start..end].iter().position(|&n| n);
             let set = crate::compiled::CornerSetSolve {
-                tol,
-                max_iters,
+                strategy,
                 nominal_eps,
                 epoch,
                 nominal_idx: group_nominal,
@@ -802,6 +798,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         if matches!(
             self.config.solver,
             SolverStrategy::PreconditionedIterative { .. }
+                | SolverStrategy::MultigridIterative { .. }
         ) {
             return 0;
         }
@@ -927,7 +924,8 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 // worker preconditions against bit-identical factors.
                 let nominal_eps: Option<Arc<Array2<f64>>> = match self.config.solver {
                     SolverStrategy::Direct => None,
-                    SolverStrategy::PreconditionedIterative { .. } => {
+                    SolverStrategy::PreconditionedIterative { .. }
+                    | SolverStrategy::MultigridIterative { .. } => {
                         let fwd = self.chain.forward_with_etch(
                             &rho,
                             &VariationCorner::nominal(),
@@ -963,7 +961,8 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         k,
                         nominal_idx,
                     ),
-                    SolverStrategy::PreconditionedIterative { tol, max_iters } => {
+                    strategy @ (SolverStrategy::PreconditionedIterative { .. }
+                    | SolverStrategy::MultigridIterative { .. }) => {
                         // The subspace scheduler's plan for this
                         // iteration (all columns when disabled). The
                         // forced set — always-active columns — is the
@@ -992,8 +991,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                             nominal_eps.as_ref().expect("iterative strategy nominal"),
                             iter as u64,
                             &mut scratch,
-                            tol,
-                            max_iters,
+                            strategy,
                             &plan.active,
                             &mut observations,
                         );

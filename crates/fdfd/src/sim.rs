@@ -74,9 +74,12 @@ use crate::pml::SFactors;
 use boson_num::banded::{BandedLu, BandedLuF32, BandedMatrix, SingularMatrixError};
 use boson_num::krylov::{
     bicgstab_precond_many, bicgstab_precond_transpose_many, ColumnOp, IterativeOptions,
-    KrylovWorkspace, PrecondFamily, RhsStats,
+    KrylovWorkspace, PrecondFamily, Precondition, RhsStats,
 };
 use boson_num::{Array2, Complex64};
+use boson_sparse::multigrid::{
+    BandScratch, BoundaryBand, MgBandPrecond, MgScratch, Multigrid, MultigridOptions,
+};
 use serde::{Deserialize, Serialize};
 
 /// A solved `Ez` field on the simulation grid.
@@ -305,7 +308,45 @@ pub enum SolverStrategy {
         /// Iteration budget per solve before the direct fallback fires.
         max_iters: usize,
     },
+    /// Like [`SolverStrategy::PreconditionedIterative`], but the nominal
+    /// preconditioner is a matrix-free geometric **multigrid V-cycle**
+    /// ([`boson_sparse::multigrid`]) instead of a banded factorisation —
+    /// `O(n)` setup and per-application cost at **any** grid size, with
+    /// no `BandedLu`/`BandedLuF32` factor materialised above the
+    /// hierarchy's coarsest level. This is what
+    /// [`SolverStrategy::PreconditionedIterative`] auto-selects above
+    /// [`MULTIGRID_MIN_CELLS`] cells; the explicit variant forces
+    /// multigrid at any size (tests, benchmarks, tuning). Budget misses
+    /// still fall back to a bit-exact direct factorisation.
+    MultigridIterative {
+        /// Relative residual at which a right-hand side is converged.
+        tol: f64,
+        /// Iteration budget per solve before the direct fallback fires.
+        max_iters: usize,
+    },
 }
+
+/// Grid-cell count at which [`SolverStrategy::PreconditionedIterative`]
+/// switches its nominal preconditioner from the banded factorisation to
+/// the geometric multigrid V-cycle. Below it the banded factor is cheap
+/// and its triangular sweeps converge in fewer iterations; above it the
+/// `O(n·b²)` factor time and `O(n·b)` factor image dwarf the V-cycle's
+/// `O(n)` setup and apply (at 256×256 the factor alone costs seconds).
+pub const MULTIGRID_MIN_CELLS: usize = 128 * 128;
+
+/// Complex shift `β` of the multigrid surrogate operator's mass term
+/// (`diag0 + (1 + iβ)·sxy·k₀²ε`, see
+/// [`StencilCache::shifted_diag_into`]). The indefinite Helmholtz
+/// operator admits no stable Galerkin coarse correction at realistic
+/// wavenumbers; the imaginary shift damps the wave modes enough for the
+/// V-cycle to contract while staying close enough to the true operator
+/// for the outer Krylov iteration to converge in a few steps.
+pub const MG_SHIFT_BETA: f64 = 0.5;
+
+/// Overlap margin (in cells) the boundary-band strips extend past the
+/// PML, so the strip interfaces sit in the unstretched interior where
+/// the surrogate hierarchy is accurate.
+pub const MG_BAND_MARGIN: usize = 6;
 
 impl SolverStrategy {
     /// The iterative strategy with its production defaults — those of
@@ -313,6 +354,34 @@ impl SolverStrategy {
     pub fn preconditioned_iterative() -> Self {
         let IterativeOptions { tol, max_iters, .. } = IterativeOptions::default();
         SolverStrategy::PreconditionedIterative { tol, max_iters }
+    }
+
+    /// The forced-multigrid iterative strategy with the defaults of
+    /// [`IterativeOptions::default`] (`tol = 1e-6`, `max_iters = 24`).
+    pub fn multigrid_iterative() -> Self {
+        let IterativeOptions { tol, max_iters, .. } = IterativeOptions::default();
+        SolverStrategy::MultigridIterative { tol, max_iters }
+    }
+
+    /// `(tol, max_iters)` of an iterative strategy, `None` for
+    /// [`SolverStrategy::Direct`].
+    pub fn iterative_params(&self) -> Option<(f64, usize)> {
+        match *self {
+            SolverStrategy::Direct => None,
+            SolverStrategy::PreconditionedIterative { tol, max_iters }
+            | SolverStrategy::MultigridIterative { tol, max_iters } => Some((tol, max_iters)),
+        }
+    }
+
+    /// Whether corner sweeps under this strategy precondition with the
+    /// multigrid V-cycle on a grid of `cells` unknowns (as opposed to the
+    /// banded nominal factorisation).
+    pub fn uses_multigrid(&self, cells: usize) -> bool {
+        match self {
+            SolverStrategy::Direct => false,
+            SolverStrategy::PreconditionedIterative { .. } => cells >= MULTIGRID_MIN_CELLS,
+            SolverStrategy::MultigridIterative { .. } => true,
+        }
     }
 }
 
@@ -401,8 +470,74 @@ struct OmegaSlot {
     nominal_lu32: BandedLuF32,
     /// Epoch the nominal factor belongs to; `None` = invalid.
     nominal_epoch: Option<u64>,
+    /// Multigrid hierarchy of this ω's nominal **surrogate** operator —
+    /// the hard-walled, shift-damped stand-in the V-cycle contracts on
+    /// (multigrid preconditioning); empty until a multigrid sweep first
+    /// runs on this slot, rebuilt allocation-free per epoch afterwards.
+    nominal_mg: Multigrid,
+    /// Boundary-band Schwarz strips of the **true** nominal operator —
+    /// the companion of `nominal_mg` that removes the boundary-localised
+    /// modes the surrogate cannot represent (see
+    /// [`boson_sparse::multigrid::BoundaryBand`]).
+    nominal_band: BoundaryBand,
+    /// The true nominal operator diagonal `nominal_band` and the
+    /// preconditioner's intermediate residuals are formed against.
+    nominal_diag: Vec<Complex64>,
+    /// Hard-walled (`npml = 0`) stencil of this ω on the same grid
+    /// footprint — the surrogate's couplings. Built on the first
+    /// multigrid epoch, then reused (ε-independent).
+    surrogate: Option<StencilCache>,
+    /// Shift-damped surrogate diagonal buffer (see [`MG_SHIFT_BETA`]).
+    surrogate_diag: Vec<Complex64>,
+    /// Epoch `nominal_mg`/`nominal_band` belong to; `None` = invalid.
+    /// Tracked independently of `nominal_epoch` so mixed strategies never
+    /// reuse a stale hierarchy (and an LU-only run never pays for one).
+    mg_epoch: Option<u64>,
     /// LRU stamp (workspace clock at last use).
     last_used: u64,
+}
+
+impl OmegaSlot {
+    /// Refreshes the multigrid preconditioner pair for this ω's nominal
+    /// operator: the V-cycle hierarchy from the hard-walled shift-damped
+    /// surrogate, and the boundary-band strips from the true operator.
+    /// Allocation-free after the first multigrid epoch (the surrogate
+    /// stencil is ε-independent and built once).
+    fn rebuild_mg(
+        &mut self,
+        grid: SimGrid,
+        nominal_eps: &Array2<f64>,
+    ) -> Result<(), SingularMatrixError> {
+        let omega = self.omega;
+        let surrogate = self.surrogate.get_or_insert_with(|| {
+            let hard_wall = SimGrid::new(grid.nx, grid.ny, grid.dx, 0);
+            let sfactors = SFactors::new(&hard_wall, omega);
+            StencilCache::build(&hard_wall, &sfactors, omega)
+        });
+        surrogate.shifted_diag_into(nominal_eps, MG_SHIFT_BETA, &mut self.surrogate_diag);
+        surrogate.rebuild_multigrid(&self.surrogate_diag, &mut self.nominal_mg)?;
+        self.stencil.diag_into(nominal_eps, &mut self.nominal_diag);
+        self.nominal_band.rebuild(
+            &self.stencil.fine_stencil(&self.nominal_diag),
+            grid.npml + MG_BAND_MARGIN,
+        )
+    }
+
+    /// The combined V-cycle + boundary-band preconditioner of this ω's
+    /// nominal operator, borrowing the caller's scratches.
+    fn mg_precond<'a>(
+        &'a self,
+        mg_scratch: &'a mut MgScratch,
+        band_scratch: &'a mut BandScratch,
+    ) -> MgBandPrecond<'a> {
+        MgBandPrecond {
+            mg: &self.nominal_mg,
+            band: &self.nominal_band,
+            fine: self.stencil.fine_stencil(&self.nominal_diag),
+            mg_scratch,
+            band_scratch,
+        }
+    }
 }
 
 /// The matrix-free operator family of a **fused** (corner × ω) sweep:
@@ -459,8 +594,20 @@ struct FusedPrecond<'a> {
     fused_slots: &'a [usize],
     omega_of_corner: &'a [usize],
     cols_per_corner: usize,
-    /// Sweep the single-precision factor copies (ordinary tolerances).
+    /// Sweep the single-precision factor copies (ordinary tolerances;
+    /// banded preconditioning only).
     use_f32: bool,
+    /// Precondition with each ω's nominal multigrid pair (surrogate
+    /// V-cycle + boundary band) instead of its banded factors (large
+    /// grids). Multigrid runs stay serial — they share one scratch, and
+    /// their `O(n)` applications don't read a factor image worth
+    /// splitting over threads.
+    mg: bool,
+    /// Shared V-cycle scratch (one grid ⇒ every slot's hierarchy has
+    /// identical level shapes).
+    mg_scratch: &'a mut MgScratch,
+    /// Shared boundary-band scratch (same-shape bands across slots).
+    band_scratch: &'a mut BandScratch,
     /// One f32 conversion scratch per worker; the slice length *is* the
     /// split width (1 = serial).
     scratches: &'a mut [Vec<f32>],
@@ -473,7 +620,7 @@ impl FusedPrecond<'_> {
 
     fn solve_runs(&mut self, b: &mut [Complex64], cols: &[usize], transpose: bool) {
         let n = self.slots[self.fused_slots[0]].stencil.n();
-        let split = self.scratches.len() > 1 && cols.len() >= FUSED_SPLIT_MIN_COLS;
+        let split = !self.mg && self.scratches.len() > 1 && cols.len() >= FUSED_SPLIT_MIN_COLS;
         let mut rest = b;
         let mut start = 0usize;
         while start < cols.len() {
@@ -485,17 +632,26 @@ impl FusedPrecond<'_> {
             let (run, tail) = rest.split_at_mut((end - start) * n);
             rest = tail;
             let slot = &self.slots[slot_idx];
-            let workers = if split { self.scratches.len() } else { 1 };
-            solve_slot_run(
-                slot,
-                run,
-                end - start,
-                n,
-                self.use_f32,
-                transpose,
-                workers,
-                &mut self.scratches[..workers],
-            );
+            if self.mg {
+                // The multigrid pair approximates A⁻ᵀ = A⁻¹ on the
+                // complex-symmetric operator, so the transpose
+                // application is the plain one (see
+                // `boson_sparse::multigrid::MgBandPrecond`).
+                let mut precond = slot.mg_precond(&mut *self.mg_scratch, &mut *self.band_scratch);
+                precond.solve_block(run, end - start);
+            } else {
+                let workers = if split { self.scratches.len() } else { 1 };
+                solve_slot_run(
+                    slot,
+                    run,
+                    end - start,
+                    n,
+                    self.use_f32,
+                    transpose,
+                    workers,
+                    &mut self.scratches[..workers],
+                );
+            }
             start = end;
         }
     }
@@ -593,10 +749,15 @@ enum SolveMode {
     DirectLu,
     /// The corner *is* the nominal corner: solve on `nominal_lu`.
     NominalDirect,
-    /// Matrix-free iterative path against the `nominal_lu`
-    /// preconditioner, falling back to [`SolveMode::DirectLu`] on budget
+    /// Matrix-free iterative path, preconditioned by the nominal banded
+    /// factors (`mg == false`) or the nominal multigrid V-cycle
+    /// (`mg == true`), falling back to [`SolveMode::DirectLu`] on budget
     /// miss.
-    Iterative { tol: f64, max_iters: usize },
+    Iterative {
+        tol: f64,
+        max_iters: usize,
+        mg: bool,
+    },
 }
 
 /// Reusable factor-and-solve workspace for repeated simulations on one
@@ -667,6 +828,17 @@ pub struct SimWorkspace {
     /// Per-worker f32 conversion scratches for (possibly split) fused
     /// preconditioner sweeps; grown once, then reused.
     fused_scratches: Vec<Vec<f32>>,
+    /// Boundary-band application scratch, shared by every slot's band
+    /// (same grid ⇒ same strip shapes).
+    band_scratch: BandScratch,
+    /// V-cycle application scratch, shared by every slot's multigrid
+    /// hierarchy (one grid ⇒ identical level shapes); sized once, then
+    /// reused allocation-free.
+    mg_scratch: MgScratch,
+    /// The current batch preconditions with multigrid (set by
+    /// [`SimWorkspace::batch_begin`] / [`SimWorkspace::fused_batch_begin`]
+    /// from the strategy and grid size).
+    batch_mg: bool,
 }
 
 impl Default for SimWorkspace {
@@ -700,6 +872,9 @@ impl SimWorkspace {
             fused_omega_of_corner: Vec::new(),
             fused_slots: Vec::new(),
             fused_scratches: Vec::new(),
+            band_scratch: BandScratch::new(),
+            mg_scratch: MgScratch::new(),
+            batch_mg: false,
         }
     }
 
@@ -764,6 +939,12 @@ impl SimWorkspace {
                 nominal_lu: BandedLu::placeholder(),
                 nominal_lu32: BandedLuF32::placeholder(),
                 nominal_epoch: None,
+                nominal_mg: Multigrid::new(MultigridOptions::default()),
+                nominal_band: BoundaryBand::new(),
+                nominal_diag: Vec::new(),
+                surrogate: None,
+                surrogate_diag: Vec::new(),
+                mg_epoch: None,
                 // Stamp the clock at *insertion*, not first reuse: a slot
                 // born with stamp 0 would be the LRU minimum and could be
                 // evicted by the very next new ω — with
@@ -841,6 +1022,13 @@ impl SimWorkspace {
     ///   iterative path for this corner: an `O(n)` diagonal rewrite
     ///   replaces the `O(n·b²)` factorisation. The nominal corner itself
     ///   and corners with [`CornerContext::force_direct`] solve directly.
+    ///   Above [`MULTIGRID_MIN_CELLS`] cells the nominal preconditioner
+    ///   is the multigrid V-cycle (below).
+    /// * [`SolverStrategy::MultigridIterative`] — as above, but the
+    ///   nominal preconditioner is the geometric multigrid V-cycle at
+    ///   **any** grid size: `O(n)` setup per epoch, no banded factor
+    ///   above the hierarchy's coarsest level. Every non-`force_direct`
+    ///   corner — including the nominal one — solves iteratively.
     ///
     /// Subsequent [`SimWorkspace::solve_block`] /
     /// [`SimWorkspace::solve_block_transpose`] calls dispatch on the
@@ -875,8 +1063,9 @@ impl SimWorkspace {
                 self.factor(grid, omega, eps)?;
                 self.report.factorizations = 1;
             }
-            SolverStrategy::PreconditionedIterative { tol, max_iters } => {
-                let ctx = ctx.expect("PreconditionedIterative requires a CornerContext");
+            SolverStrategy::PreconditionedIterative { tol, max_iters }
+            | SolverStrategy::MultigridIterative { tol, max_iters } => {
+                let ctx = ctx.expect("iterative strategies require a CornerContext");
                 assert_eq!(
                     eps.shape(),
                     (grid.ny, grid.nx),
@@ -885,17 +1074,20 @@ impl SimWorkspace {
                 self.ensure_geometry(grid, omega);
                 self.factored = false;
                 let slot = &mut self.slots[self.active];
-                if slot.nominal_epoch != Some(ctx.epoch) {
-                    slot.stencil.diag_into(ctx.nominal_eps, &mut self.diag);
-                    slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
-                    self.a.factor_swap_into(&mut slot.nominal_lu)?;
-                    slot.nominal_lu32.assign_from(&slot.nominal_lu);
-                    slot.nominal_epoch = Some(ctx.epoch);
-                    self.report.factorizations += 1;
-                }
-                if ctx.is_nominal {
-                    self.mode = SolveMode::NominalDirect;
-                } else {
+                if strategy.uses_multigrid(grid.n()) {
+                    // Multigrid preconditioning: the nominal surrogate
+                    // hierarchy plus boundary-band strips replace the
+                    // nominal factor entirely — no banded factor is built
+                    // above the hierarchy's coarsest level or thicker
+                    // than the band strips. The nominal corner itself
+                    // goes through the iterative path too (its
+                    // preconditioner targets its own operator, so it
+                    // converges in a few iterations).
+                    if slot.mg_epoch != Some(ctx.epoch) {
+                        slot.rebuild_mg(grid, ctx.nominal_eps)?;
+                        slot.mg_epoch = Some(ctx.epoch);
+                        self.report.factorizations += 1;
+                    }
                     slot.stencil.diag_into(eps, &mut self.diag);
                     if ctx.force_direct {
                         slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
@@ -904,8 +1096,40 @@ impl SimWorkspace {
                         self.mode = SolveMode::DirectLu;
                         self.report.factorizations += 1;
                     } else {
-                        self.mode = SolveMode::Iterative { tol, max_iters };
+                        self.mode = SolveMode::Iterative {
+                            tol,
+                            max_iters,
+                            mg: true,
+                        };
                         self.report.used_iterative = true;
+                    }
+                } else {
+                    if slot.nominal_epoch != Some(ctx.epoch) {
+                        slot.stencil.diag_into(ctx.nominal_eps, &mut self.diag);
+                        slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
+                        self.a.factor_swap_into(&mut slot.nominal_lu)?;
+                        slot.nominal_lu32.assign_from(&slot.nominal_lu);
+                        slot.nominal_epoch = Some(ctx.epoch);
+                        self.report.factorizations += 1;
+                    }
+                    if ctx.is_nominal {
+                        self.mode = SolveMode::NominalDirect;
+                    } else {
+                        slot.stencil.diag_into(eps, &mut self.diag);
+                        if ctx.force_direct {
+                            slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
+                            self.a.factor_swap_into(&mut self.lu)?;
+                            self.factored = true;
+                            self.mode = SolveMode::DirectLu;
+                            self.report.factorizations += 1;
+                        } else {
+                            self.mode = SolveMode::Iterative {
+                                tol,
+                                max_iters,
+                                mg: false,
+                            };
+                            self.report.used_iterative = true;
+                        }
                     }
                 }
             }
@@ -986,7 +1210,76 @@ impl SimWorkspace {
                     nominal_lu.solve_many(b, nrhs);
                 }
             }
-            SolveMode::Iterative { tol, max_iters } => {
+            SolveMode::Iterative {
+                tol,
+                max_iters,
+                mg: true,
+            } => {
+                self.rhs.clear();
+                self.rhs.extend_from_slice(b);
+                let slot = &self.slots[self.active];
+                let op = StencilOp {
+                    cache: &slot.stencil,
+                    diag: &self.diag,
+                };
+                let opts = IterativeOptions {
+                    tol,
+                    max_iters,
+                    use_initial_guess: false,
+                };
+                // The V-cycle + band sweep is f64 throughout (smoothing,
+                // coarse solve and strip sweeps are O(n) — there is no
+                // memory-bound full factor image for an f32 copy to
+                // halve).
+                let mut precond = slot.mg_precond(&mut self.mg_scratch, &mut self.band_scratch);
+                let quality = if transpose {
+                    bicgstab_precond_transpose_many(
+                        &op,
+                        &mut precond,
+                        &self.rhs,
+                        b,
+                        nrhs,
+                        &opts,
+                        &mut self.krylov,
+                    )
+                } else {
+                    bicgstab_precond_many(
+                        &op,
+                        &mut precond,
+                        &self.rhs,
+                        b,
+                        nrhs,
+                        &opts,
+                        &mut self.krylov,
+                    )
+                };
+                self.report.max_iterations = self.report.max_iterations.max(quality.max_iterations);
+                self.report.max_residual = self.report.max_residual.max(quality.max_residual);
+                if !quality.converged {
+                    // Budget miss: factor this corner and re-solve the
+                    // snapshot directly — bit-identical to the Direct
+                    // path, exactly like the banded-preconditioned
+                    // fallback below.
+                    self.report.fell_back = true;
+                    self.report.factorizations += 1;
+                    let slot = &self.slots[self.active];
+                    slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
+                    self.a.factor_swap_into(&mut self.lu)?;
+                    self.factored = true;
+                    self.mode = SolveMode::DirectLu;
+                    b.copy_from_slice(&self.rhs);
+                    if transpose {
+                        self.lu.solve_transpose_many(b, nrhs);
+                    } else {
+                        self.lu.solve_many(b, nrhs);
+                    }
+                }
+            }
+            SolveMode::Iterative {
+                tol,
+                max_iters,
+                mg: false,
+            } => {
                 self.rhs.clear();
                 self.rhs.extend_from_slice(b);
                 let slot = &mut self.slots[self.active];
@@ -1085,7 +1378,8 @@ impl SimWorkspace {
     /// corner-sweep speedup comes from.
     ///
     /// Returns the number of factorisations performed (1 when the nominal
-    /// factor was refreshed, else 0).
+    /// preconditioner — banded factor or multigrid hierarchy, per the
+    /// strategy and grid size — was refreshed, else 0).
     ///
     /// # Errors
     ///
@@ -1094,25 +1388,35 @@ impl SimWorkspace {
     ///
     /// # Panics
     ///
-    /// Panics if `nominal_eps` does not have shape `(ny, nx)`.
+    /// Panics if `nominal_eps` does not have shape `(ny, nx)` or
+    /// `strategy` is [`SolverStrategy::Direct`].
     pub fn batch_begin(
         &mut self,
         grid: SimGrid,
         omega: f64,
         nominal_eps: &Array2<f64>,
         epoch: u64,
-        tol: f64,
-        max_iters: usize,
+        strategy: SolverStrategy,
     ) -> Result<usize, SingularMatrixError> {
         assert_eq!(
             nominal_eps.shape(),
             (grid.ny, grid.nx),
             "eps shape must be (ny, nx)"
         );
+        let (tol, max_iters) = strategy
+            .iterative_params()
+            .expect("batched sweeps require an iterative strategy");
+        self.batch_mg = strategy.uses_multigrid(grid.n());
         self.ensure_geometry(grid, omega);
         let mut factorizations = 0;
         let slot = &mut self.slots[self.active];
-        if slot.nominal_epoch != Some(epoch) {
+        if self.batch_mg {
+            if slot.mg_epoch != Some(epoch) {
+                slot.rebuild_mg(grid, nominal_eps)?;
+                slot.mg_epoch = Some(epoch);
+                factorizations = 1;
+            }
+        } else if slot.nominal_epoch != Some(epoch) {
             slot.stencil.diag_into(nominal_eps, &mut self.diag);
             slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
             self.a.factor_swap_into(&mut slot.nominal_lu)?;
@@ -1197,27 +1501,35 @@ impl SimWorkspace {
             use_initial_guess,
             ..self.batch_opts
         };
-        let use_f32 = self.batch_opts.tol >= F32_PRECOND_MIN_TOL;
-        if use_f32 {
-            bicgstab_precond_many(
-                &op,
-                &mut slot.nominal_lu32,
-                b,
-                x,
-                ncols,
-                &opts,
-                &mut self.krylov,
-            );
+        if self.batch_mg {
+            // One shared nominal preconditioner pair (surrogate V-cycle +
+            // boundary band) serves every packed column (the blanket
+            // `PrecondFamily` applies it per sweep).
+            let mut precond = slot.mg_precond(&mut self.mg_scratch, &mut self.band_scratch);
+            bicgstab_precond_many(&op, &mut precond, b, x, ncols, &opts, &mut self.krylov);
         } else {
-            bicgstab_precond_many(
-                &op,
-                &mut slot.nominal_lu,
-                b,
-                x,
-                ncols,
-                &opts,
-                &mut self.krylov,
-            );
+            let use_f32 = self.batch_opts.tol >= F32_PRECOND_MIN_TOL;
+            if use_f32 {
+                bicgstab_precond_many(
+                    &op,
+                    &mut slot.nominal_lu32,
+                    b,
+                    x,
+                    ncols,
+                    &opts,
+                    &mut self.krylov,
+                );
+            } else {
+                bicgstab_precond_many(
+                    &op,
+                    &mut slot.nominal_lu,
+                    b,
+                    x,
+                    ncols,
+                    &opts,
+                    &mut self.krylov,
+                );
+            }
         }
         // Merge per-column stats into per-corner reports.
         merge_stats_into_reports(
@@ -1250,7 +1562,9 @@ impl SimWorkspace {
     /// robust iteration runs **one** batch instead of K.
     ///
     /// Returns the number of nominal factorisations performed (one per ω
-    /// whose cached factor was stale for `epoch`).
+    /// whose cached nominal preconditioner — banded factor or multigrid
+    /// hierarchy, per the strategy and grid size — was stale for
+    /// `epoch`).
     ///
     /// # Errors
     ///
@@ -1259,16 +1573,16 @@ impl SimWorkspace {
     /// # Panics
     ///
     /// Panics if `omegas` is empty or exceeds [`MAX_OMEGA_SLOTS`] (the
-    /// batch needs every ω resident simultaneously), or if `nominal_eps`
-    /// does not have shape `(ny, nx)`.
+    /// batch needs every ω resident simultaneously), if `nominal_eps`
+    /// does not have shape `(ny, nx)`, or if `strategy` is
+    /// [`SolverStrategy::Direct`].
     pub fn fused_batch_begin(
         &mut self,
         grid: SimGrid,
         omegas: &[f64],
         nominal_eps: &Array2<f64>,
         epoch: u64,
-        tol: f64,
-        max_iters: usize,
+        strategy: SolverStrategy,
     ) -> Result<usize, SingularMatrixError> {
         assert!(!omegas.is_empty(), "fused batch needs at least one ω");
         assert!(
@@ -1283,11 +1597,21 @@ impl SimWorkspace {
             (grid.ny, grid.nx),
             "eps shape must be (ny, nx)"
         );
+        let (tol, max_iters) = strategy
+            .iterative_params()
+            .expect("batched sweeps require an iterative strategy");
+        self.batch_mg = strategy.uses_multigrid(grid.n());
         let mut factorizations = 0;
         for &omega in omegas {
             self.ensure_geometry(grid, omega);
             let slot = &mut self.slots[self.active];
-            if slot.nominal_epoch != Some(epoch) {
+            if self.batch_mg {
+                if slot.mg_epoch != Some(epoch) {
+                    slot.rebuild_mg(grid, nominal_eps)?;
+                    slot.mg_epoch = Some(epoch);
+                    factorizations += 1;
+                }
+            } else if slot.nominal_epoch != Some(epoch) {
                 slot.stencil.diag_into(nominal_eps, &mut self.diag);
                 slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
                 self.a.factor_swap_into(&mut slot.nominal_lu)?;
@@ -1435,6 +1759,9 @@ impl SimWorkspace {
             batch_count,
             batch_opts,
             batch_reports,
+            batch_mg,
+            mg_scratch,
+            band_scratch,
             krylov,
             ..
         } = self;
@@ -1462,7 +1789,10 @@ impl SimWorkspace {
             fused_slots,
             omega_of_corner: fused_omega_of_corner,
             cols_per_corner,
-            use_f32: batch_opts.tol >= F32_PRECOND_MIN_TOL,
+            use_f32: !*batch_mg && batch_opts.tol >= F32_PRECOND_MIN_TOL,
+            mg: *batch_mg,
+            mg_scratch,
+            band_scratch,
             scratches: &mut fused_scratches[..workers],
         };
         let opts = IterativeOptions {
@@ -2013,8 +2343,14 @@ mod tests {
 
         // Batched: all non-nominal corners at once.
         let mut ws = SimWorkspace::new();
-        ws.batch_begin(grid, omega(), &nominal, 5, tol, max_iters)
-            .unwrap();
+        ws.batch_begin(
+            grid,
+            omega(),
+            &nominal,
+            5,
+            SolverStrategy::PreconditionedIterative { tol, max_iters },
+        )
+        .unwrap();
         for eps in &corners[1..] {
             ws.batch_push(eps);
         }
@@ -2220,8 +2556,14 @@ mod tests {
 
         // Fused: all (corner, ω) pairs, ω-major, one lockstep batch.
         let mut ws = SimWorkspace::new();
-        ws.fused_batch_begin(grid, &omegas, &nominal, 5, tol, max_iters)
-            .unwrap();
+        ws.fused_batch_begin(
+            grid,
+            &omegas,
+            &nominal,
+            5,
+            SolverStrategy::PreconditionedIterative { tol, max_iters },
+        )
+        .unwrap();
         for oi in 0..omegas.len() {
             for eps in &corners[1..] {
                 ws.fused_batch_push(eps, oi);
@@ -2243,8 +2585,14 @@ mod tests {
         // Per-ω reference: K separate batches.
         for (oi, &om) in omegas.iter().enumerate() {
             let mut ws1 = SimWorkspace::new();
-            ws1.batch_begin(grid, om, &nominal, 5, tol, max_iters)
-                .unwrap();
+            ws1.batch_begin(
+                grid,
+                om,
+                &nominal,
+                5,
+                SolverStrategy::PreconditionedIterative { tol, max_iters },
+            )
+            .unwrap();
             for eps in &corners[1..] {
                 ws1.batch_push(eps);
             }
@@ -2273,16 +2621,28 @@ mod tests {
 
         // K = 1 degenerates to the plain batched sweep bit-identically.
         let mut wsk1 = SimWorkspace::new();
-        wsk1.fused_batch_begin(grid, &omegas[..1], &nominal, 9, tol, max_iters)
-            .unwrap();
+        wsk1.fused_batch_begin(
+            grid,
+            &omegas[..1],
+            &nominal,
+            9,
+            SolverStrategy::PreconditionedIterative { tol, max_iters },
+        )
+        .unwrap();
         for eps in &corners[1..] {
             wsk1.fused_batch_push(eps, 0);
         }
         let mut xk1 = vec![Complex64::ZERO; n * ncorner];
         wsk1.fused_batch_solve(&rhs[..n * ncorner], &mut xk1, 1, false, 1);
         let mut ws1 = SimWorkspace::new();
-        ws1.batch_begin(grid, omegas[0], &nominal, 9, tol, max_iters)
-            .unwrap();
+        ws1.batch_begin(
+            grid,
+            omegas[0],
+            &nominal,
+            9,
+            SolverStrategy::PreconditionedIterative { tol, max_iters },
+        )
+        .unwrap();
         for eps in &corners[1..] {
             ws1.batch_push(eps);
         }
@@ -2315,8 +2675,14 @@ mod tests {
         let mut results = Vec::new();
         for threads in [1usize, 2, 4, 7] {
             let mut ws = SimWorkspace::new();
-            ws.fused_batch_begin(grid, &omegas, &nominal, 3, 1e-6, 24)
-                .unwrap();
+            ws.fused_batch_begin(
+                grid,
+                &omegas,
+                &nominal,
+                3,
+                SolverStrategy::preconditioned_iterative(),
+            )
+            .unwrap();
             for oi in 0..omegas.len() {
                 for eps in &corners {
                     ws.fused_batch_push(eps, oi);

@@ -12,7 +12,7 @@
 //! which merges into the same per-corner reports).
 
 use boson_fdfd::grid::SimGrid;
-use boson_fdfd::sim::SimWorkspace;
+use boson_fdfd::sim::{SimWorkspace, SolverStrategy};
 use boson_num::{Array2, Complex64};
 use proptest::prelude::*;
 
@@ -94,7 +94,7 @@ proptest! {
 
         // Fused: every (corner, ω) pair in one lockstep batch, ω-major.
         let mut ws = SimWorkspace::new();
-        ws.fused_batch_begin(grid, &omegas, &nominal, 1, tol, max_iters)
+        ws.fused_batch_begin(grid, &omegas, &nominal, 1, SolverStrategy::PreconditionedIterative { tol, max_iters })
             .map_err(|e| TestCaseError::Fail(format!("{e:?}")))?;
         for oi in 0..nomega {
             for eps in &corners {
@@ -110,7 +110,7 @@ proptest! {
         // Per-ω reference: K separate batches, same corners and budgets.
         for (oi, &om) in omegas.iter().enumerate() {
             let mut ws1 = SimWorkspace::new();
-            ws1.batch_begin(grid, om, &nominal, 1, tol, max_iters)
+            ws1.batch_begin(grid, om, &nominal, 1, SolverStrategy::PreconditionedIterative { tol, max_iters })
                 .map_err(|e| TestCaseError::Fail(format!("{e:?}")))?;
             for eps in &corners {
                 ws1.batch_push(eps);

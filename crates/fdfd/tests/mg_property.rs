@@ -1,0 +1,172 @@
+//! Property tests of the multigrid-preconditioned corner path: for
+//! random permittivity landscapes and grid shapes, the forced-multigrid
+//! iterative strategy must reproduce the direct banded solve — forward
+//! and transpose — to solver tolerance. (A budget miss falls back to a
+//! bit-exact direct factorisation, so agreement is the invariant either
+//! way; the deterministic test below additionally pins the iterative
+//! path itself.)
+
+use boson_fdfd::grid::SimGrid;
+use boson_fdfd::sim::{CornerContext, SimWorkspace, SolverStrategy};
+use boson_num::{Array2, Complex64};
+use proptest::prelude::*;
+
+/// Axis-aligned high-ε rectangle of a random permittivity landscape.
+#[derive(Debug, Clone)]
+struct Block {
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+    eps: f64,
+}
+
+fn block() -> impl Strategy<Value = Block> {
+    (
+        0usize..40,
+        0usize..32,
+        4usize..16,
+        3usize..10,
+        2.0f64..12.11,
+    )
+        .prop_map(|(x0, y0, w, h, eps)| Block { x0, y0, w, h, eps })
+}
+
+fn eps_from_blocks(ny: usize, nx: usize, blocks: &[Block]) -> Array2<f64> {
+    let mut eps = Array2::from_fn(ny, nx, |_, _| 1.0);
+    for b in blocks {
+        for y in b.y0..(b.y0 + b.h).min(ny) {
+            for x in b.x0..(b.x0 + b.w).min(nx) {
+                eps[(y, x)] = b.eps;
+            }
+        }
+    }
+    eps
+}
+
+fn rhs(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|k| Complex64::new((k as f64 * 0.013).sin(), (k as f64 * 0.007).cos()))
+        .collect()
+}
+
+fn norm(v: &[Complex64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Solves one corner under `strategy` (forward and transpose) and
+/// returns both solutions.
+fn solve_pair(
+    grid: SimGrid,
+    omega: f64,
+    nominal: &Array2<f64>,
+    corner: &Array2<f64>,
+    strategy: SolverStrategy,
+) -> (Vec<Complex64>, Vec<Complex64>, bool) {
+    let mut ws = SimWorkspace::new();
+    let ctx = CornerContext {
+        nominal_eps: nominal,
+        epoch: 1,
+        is_nominal: false,
+        force_direct: false,
+    };
+    let ctx = match strategy {
+        SolverStrategy::Direct => None,
+        _ => Some(&ctx),
+    };
+    ws.prepare_corner(grid, omega, corner, strategy, ctx)
+        .unwrap();
+    let b = rhs(grid.n());
+    let mut x = b.clone();
+    ws.solve_block(&mut x, 1).unwrap();
+    let mut xt = b;
+    ws.solve_block_transpose(&mut xt, 1).unwrap();
+    (x, xt, ws.last_report().fell_back)
+}
+
+proptest! {
+    // Each case pays a direct banded factorisation; a dozen cases keep
+    // the binary inside ordinary `cargo test` time.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn multigrid_strategy_agrees_with_direct_solve(
+        shape in 0usize..3,
+        blocks in proptest::collection::vec(block(), 1..4),
+        bump in 0.005f64..0.08,
+    ) {
+        let (nx, ny) = [(40usize, 33usize), (48, 40), (33, 44)][shape];
+        // 0.02 µm pitch keeps every random landscape wave-resolved (the
+        // regime the multigrid strategy targets).
+        let grid = SimGrid::new(nx, ny, 0.02, 6);
+        let omega = 2.0 * std::f64::consts::PI / 1.55;
+        let nominal = eps_from_blocks(ny, nx, &blocks);
+        let corner = nominal.map(|&e| if e > 1.0 { e + bump } else { e });
+
+        let (xd, xdt, _) =
+            solve_pair(grid, omega, &nominal, &corner, SolverStrategy::Direct);
+        let (xm, xmt, _) = solve_pair(
+            grid,
+            omega,
+            &nominal,
+            &corner,
+            SolverStrategy::multigrid_iterative(),
+        );
+
+        // BiCGSTAB converges to 1e-6 relative residual; the solution
+        // error is that times a modest condition factor. A budget miss
+        // falls back to the direct factorisation and agrees bit-exactly.
+        let tol = 1e-3;
+        let fwd = norm(&xm.iter().zip(&xd).map(|(a, b)| *a - *b).collect::<Vec<_>>());
+        prop_assert!(
+            fwd <= tol * (1.0 + norm(&xd)),
+            "forward mismatch {fwd:.3e} vs ‖x‖ = {:.3e}",
+            norm(&xd)
+        );
+        let adj = norm(&xmt.iter().zip(&xdt).map(|(a, b)| *a - *b).collect::<Vec<_>>());
+        prop_assert!(
+            adj <= tol * (1.0 + norm(&xdt)),
+            "transpose mismatch {adj:.3e} vs ‖x‖ = {:.3e}",
+            norm(&xdt)
+        );
+    }
+}
+
+/// Deterministic companion: on a waveguide landscape the forced-multigrid
+/// strategy must stay on the iterative path (no budget-miss fallback) and
+/// still match the direct solve, forward and transpose.
+#[test]
+fn multigrid_path_converges_without_fallback_on_waveguide() {
+    let grid = SimGrid::new(56, 44, 0.02, 6);
+    let omega = 2.0 * std::f64::consts::PI / 1.55;
+    let nominal = Array2::from_fn(grid.ny, grid.nx, |iy, _| {
+        if iy.abs_diff(grid.ny / 2) < 4 {
+            12.11
+        } else {
+            1.0
+        }
+    });
+    let corner = nominal.map(|&e| if e > 1.0 { e + 0.04 } else { e });
+    let (xd, xdt, _) = solve_pair(grid, omega, &nominal, &corner, SolverStrategy::Direct);
+    let (xm, xmt, fell_back) = solve_pair(
+        grid,
+        omega,
+        &nominal,
+        &corner,
+        SolverStrategy::multigrid_iterative(),
+    );
+    assert!(!fell_back, "multigrid corner missed its iteration budget");
+    let tol = 1e-3;
+    let fwd = norm(&xm.iter().zip(&xd).map(|(a, b)| *a - *b).collect::<Vec<_>>());
+    assert!(fwd <= tol * (1.0 + norm(&xd)), "forward mismatch {fwd:.3e}");
+    let adj = norm(
+        &xmt.iter()
+            .zip(&xdt)
+            .map(|(a, b)| *a - *b)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        adj <= tol * (1.0 + norm(&xdt)),
+        "transpose mismatch {adj:.3e}"
+    );
+}

@@ -1,0 +1,1588 @@
+//! Matrix-free geometric multigrid preconditioning for the FDFD stencil.
+//!
+//! Every other solver path in the stack bottoms out on an `O(n·b²)`
+//! banded factorisation whose bandwidth `b` grows with the grid width —
+//! the banded-LU wall that makes 256×256+ footprints infeasible both for
+//! the direct path and for the `BandedLuF32` preconditioner copies. This
+//! module replaces the factor with a **geometric multigrid V-cycle**
+//! whose setup and per-application cost are `O(n)`:
+//!
+//! * the fine level is the caller's 5-point stencil (a borrowed
+//!   [`FineStencil`] view — no copy of the operator matrix is ever
+//!   assembled above the coarsest level);
+//! * coarse levels are built by Galerkin projection `A_{ℓ+1} = R·A_ℓ·P`
+//!   with full-weighting restriction and bilinear prolongation
+//!   (`P = 4·Rᵀ`), which keeps every level complex-symmetric and closes
+//!   over 9-point stencils;
+//! * smoothing is lexicographic Gauss–Seidel by default (forward sweeps
+//!   before the coarse correction, backward after, which keeps the
+//!   V-cycle symmetric on the complex-symmetric hierarchy), with damped
+//!   Jacobi as an alternative [`Smoother`] — either way nothing is
+//!   factored;
+//! * only the **coarsest** level (bounded by
+//!   [`MultigridOptions::coarse_max_dim`]) is assembled into a
+//!   [`BandedMatrix`] and LU-factored, so peak preconditioner memory
+//!   stays `O(n)` in the fine-grid unknown count.
+//!
+//! # Absorbing boundaries: the surrogate + boundary-band split
+//!
+//! The V-cycle alone cannot precondition the *PML-stretched* Helmholtz
+//! operator: Galerkin coarsening through the complex-stretched absorbing
+//! rows produces amplifying coarse corrections, and both Jacobi and
+//! Gauss–Seidel relaxation diverge on those rows, so no smoothing choice
+//! rescues the hierarchy. The production recipe therefore splits the
+//! work:
+//!
+//! * the hierarchy is built from a **hard-walled, complex-shifted
+//!   surrogate** of the operator (no PML; an Erlangga-style imaginary
+//!   mass shift damps the wave modes enough for coarse corrections to
+//!   contract) — it captures the interior physics;
+//! * a [`BoundaryBand`] of four thin strips along the domain edges keeps
+//!   the **true** PML rows and solves them *exactly* with per-strip
+//!   banded factors whose bandwidth is the strip thickness — it removes
+//!   the boundary-localised modes the surrogate cannot represent;
+//! * [`MgBandPrecond`] composes the two multiplicatively (V-cycle, then
+//!   one Schwarz sweep over the strips against the true residual).
+//!
+//! Neither half converges alone; composed, the outer BiCGSTAB on a
+//! 256×256 PML grid converges in a handful of iterations.
+//!
+//! The hierarchy is immutable between [`Multigrid::rebuild`] calls; the
+//! mutable per-application state lives in an external [`MgScratch`] so
+//! one scratch can serve many hierarchies of the same grid (the fused
+//! (corner × ω) sweep shares a single scratch across all of its per-ω
+//! preconditioners). [`MgPrecond`] packages the pair as a
+//! [`boson_num::krylov::Precondition`], so `bicgstab_precond_many`,
+//! packed sweeps, warm starts and the budget-miss direct fallback all
+//! compose unchanged.
+//!
+//! # Examples
+//!
+//! One V-cycle as a standalone approximate solve (a shifted 2-D
+//! Laplacian; the FDFD Helmholtz operator enters the same way through
+//! its stencil arrays):
+//!
+//! ```
+//! use boson_num::{c64, Complex64};
+//! use boson_sparse::multigrid::{FineStencil, MgScratch, Multigrid, MultigridOptions};
+//!
+//! let (nx, ny) = (33, 33);
+//! let n = nx * ny;
+//! // 5-point Laplacian + small complex shift, boundary couplings zero.
+//! let mut west = vec![Complex64::ZERO; n];
+//! let mut east = vec![Complex64::ZERO; n];
+//! let mut south = vec![Complex64::ZERO; n];
+//! let mut north = vec![Complex64::ZERO; n];
+//! let diag = vec![c64(4.2, 0.3); n];
+//! for j in 0..ny {
+//!     for i in 0..nx {
+//!         let k = j * nx + i;
+//!         if i > 0 {
+//!             west[k] = c64(-1.0, 0.0);
+//!         }
+//!         if i + 1 < nx {
+//!             east[k] = c64(-1.0, 0.0);
+//!         }
+//!         if j > 0 {
+//!             south[k] = c64(-1.0, 0.0);
+//!         }
+//!         if j + 1 < ny {
+//!             north[k] = c64(-1.0, 0.0);
+//!         }
+//!     }
+//! }
+//! let fine = FineStencil {
+//!     nx,
+//!     ny,
+//!     west: &west,
+//!     east: &east,
+//!     south: &south,
+//!     north: &north,
+//!     diag: &diag,
+//! };
+//! let mut mg = Multigrid::new(MultigridOptions {
+//!     coarse_max_dim: 8,
+//!     ..MultigridOptions::default()
+//! });
+//! mg.rebuild(&fine).unwrap();
+//!
+//! // Apply the preconditioner: b is overwritten with x ≈ A⁻¹ b.
+//! let mut scratch = MgScratch::new();
+//! let b: Vec<Complex64> = (0..n).map(|k| c64((k as f64 * 0.01).sin(), 0.1)).collect();
+//! let mut x = b.clone();
+//! mg.precondition(&mut x, 1, &mut scratch);
+//!
+//! // One V-cycle already removes most of the residual.
+//! let mut ax = vec![Complex64::ZERO; n];
+//! mg.apply_fine(&x, &mut ax);
+//! let norm = |v: &[Complex64]| v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+//! let r: Vec<Complex64> = ax.iter().zip(&b).map(|(p, q)| *q - *p).collect();
+//! assert!(norm(&r) < 0.2 * norm(&b));
+//! ```
+
+use boson_num::banded::{BandedLu, BandedMatrix, SingularMatrixError};
+use boson_num::complex::{vmul, vmul_add};
+use boson_num::krylov::Precondition;
+use boson_num::Complex64;
+
+/// Relaxation scheme of the V-cycle smoother.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Smoother {
+    /// Damped Jacobi — embarrassingly vectorisable, but its iteration
+    /// matrix can amplify modes of rows whose complex diagonal is rotated
+    /// against the off-diagonal couplings (the PML-stretched boundary
+    /// layers of the FDFD operator do exactly that).
+    Jacobi,
+    /// Gauss–Seidel: lexicographic forward sweeps before the coarse-grid
+    /// correction and backward sweeps after it. The sequential updates
+    /// stay contractive on the complex-stretched PML rows, and the
+    /// forward/backward pairing keeps the V-cycle operator symmetric on
+    /// the complex-symmetric Galerkin hierarchy (`Mᵀ = M`), so the
+    /// transpose preconditioner application is *exactly* the plain one.
+    GaussSeidel,
+}
+
+/// Tuning knobs of the [`Multigrid`] hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultigridOptions {
+    /// Coarsening stops once both grid dimensions are at most this; the
+    /// resulting coarsest operator is the only one that is assembled and
+    /// LU-factored. Larger values trade preconditioner-setup time for
+    /// stronger coarse corrections (important for the indefinite
+    /// Helmholtz operator, where coarse grids under-resolve the wave).
+    pub coarse_max_dim: usize,
+    /// Smoothing sweeps before the coarse-grid correction.
+    pub nu_pre: usize,
+    /// Smoothing sweeps after the coarse-grid correction.
+    pub nu_post: usize,
+    /// Jacobi damping factor (≈ 0.8 for the 5-point stencil); unused by
+    /// [`Smoother::GaussSeidel`].
+    pub damping: f64,
+    /// Relaxation scheme.
+    pub smoother: Smoother,
+    /// V-cycles per preconditioner application.
+    pub cycles: usize,
+}
+
+impl Default for MultigridOptions {
+    fn default() -> Self {
+        Self {
+            coarse_max_dim: 64,
+            nu_pre: 2,
+            nu_post: 2,
+            damping: 0.8,
+            smoother: Smoother::GaussSeidel,
+            cycles: 1,
+        }
+    }
+}
+
+/// Borrowed view of the caller's fine-level 5-point stencil (x-fastest
+/// flat ordering, `k = j·nx + i`). Out-of-range couplings — including
+/// west/east at row boundaries — must be zero, which is exactly the
+/// invariant the FDFD `StencilCache` maintains.
+#[derive(Debug, Clone, Copy)]
+pub struct FineStencil<'a> {
+    /// Grid width (fastest-varying index).
+    pub nx: usize,
+    /// Grid height.
+    pub ny: usize,
+    /// Coupling to `k − 1`.
+    pub west: &'a [Complex64],
+    /// Coupling to `k + 1`.
+    pub east: &'a [Complex64],
+    /// Coupling to `k − nx`.
+    pub south: &'a [Complex64],
+    /// Coupling to `k + nx`.
+    pub north: &'a [Complex64],
+    /// Operator diagonal.
+    pub diag: &'a [Complex64],
+}
+
+impl FineStencil<'_> {
+    /// Unknown count `nx·ny`.
+    pub fn n(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Matrix-free operator application `y = A x` in `O(5n)` via shifted
+    /// whole-array products (the zero-boundary-coupling invariant makes
+    /// row wrap-around harmless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `nx·ny`.
+    pub fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "input length mismatch");
+        assert_eq!(y.len(), n, "output length mismatch");
+        let nx = self.nx;
+        vmul(self.diag, x, y);
+        vmul_add(&self.west[1..], &x[..n - 1], &mut y[1..]);
+        vmul_add(&self.east[..n - 1], &x[1..], &mut y[..n - 1]);
+        vmul_add(&self.south[nx..], &x[..n - nx], &mut y[nx..]);
+        vmul_add(&self.north[..n - nx], &x[nx..], &mut y[..n - nx]);
+    }
+}
+
+/// Plane index of stencil offset `(dx, dy)`, `dx, dy ∈ {−1, 0, 1}`:
+/// `p = 3(dy+1) + (dx+1)`. Plane 4 is the diagonal.
+#[inline]
+fn plane(dx: isize, dy: isize) -> usize {
+    (3 * (dy + 1) + (dx + 1)) as usize
+}
+
+/// Offsets of plane `p` as `(dx, dy)`.
+#[inline]
+fn plane_offsets(p: usize) -> (isize, isize) {
+    ((p % 3) as isize - 1, (p / 3) as isize - 1)
+}
+
+/// One grid level: a 9-point stencil stored as 9 coefficient planes
+/// (x-fastest, invalid-neighbour entries zero) plus the damped-Jacobi
+/// smoother diagonal.
+#[derive(Debug, Clone, Default)]
+struct Level {
+    nx: usize,
+    ny: usize,
+    /// Stencil planes, indexed by [`plane`].
+    c: [Vec<Complex64>; 9],
+    /// Planes with at least one nonzero coefficient (the fine 5-point
+    /// level leaves its corner planes unused).
+    used: [bool; 9],
+    /// `1 / diag` per cell (`0` where the diagonal vanishes); empty on
+    /// the coarsest level, which solves directly.
+    inv_diag: Vec<Complex64>,
+}
+
+impl Level {
+    fn n(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// `y = A x` via whole-array shifted products per plane — the
+    /// zero-boundary-coefficient invariant makes row wrap-around
+    /// harmless, exactly like the fine stencil's `apply`.
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        let n = self.n();
+        let nx = self.nx as isize;
+        vmul(&self.c[4], x, y);
+        for p in 0..9 {
+            if p == 4 || !self.used[p] {
+                continue;
+            }
+            let (dx, dy) = plane_offsets(p);
+            let off = dy * nx + dx;
+            if off > 0 {
+                let o = off as usize;
+                vmul_add(&self.c[p][..n - o], &x[o..], &mut y[..n - o]);
+            } else {
+                let o = (-off) as usize;
+                vmul_add(&self.c[p][o..], &x[..n - o], &mut y[o..]);
+            }
+        }
+    }
+}
+
+/// Scratch state of a V-cycle application: per-level iterate, right-hand
+/// side and residual buffers, plus two fine-level buffers for multi-cycle
+/// accumulation. Sized lazily against the hierarchy it is used with and
+/// reused allocation-free afterwards; hierarchies sharing a grid shape
+/// (e.g. the per-ω preconditioners of a fused sweep) can share one
+/// scratch.
+#[derive(Debug, Default)]
+pub struct MgScratch {
+    x: Vec<Vec<Complex64>>,
+    b: Vec<Vec<Complex64>>,
+    r: Vec<Vec<Complex64>>,
+    acc: Vec<Complex64>,
+    tmp: Vec<Complex64>,
+}
+
+impl MgScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes every buffer for `mg` (no-op when already sized).
+    fn ensure(&mut self, mg: &Multigrid) {
+        let depth = mg.levels.len();
+        self.x.resize_with(depth, Vec::new);
+        self.b.resize_with(depth, Vec::new);
+        self.r.resize_with(depth, Vec::new);
+        for (lvl, level) in mg.levels.iter().enumerate() {
+            self.x[lvl].resize(level.n(), Complex64::ZERO);
+            self.b[lvl].resize(level.n(), Complex64::ZERO);
+            self.r[lvl].resize(level.n(), Complex64::ZERO);
+        }
+        let n = mg.levels.first().map_or(0, Level::n);
+        self.acc.resize(n, Complex64::ZERO);
+        self.tmp.resize(n, Complex64::ZERO);
+    }
+}
+
+/// A geometric-multigrid V-cycle preconditioner for one `(grid, ω,
+/// epoch)` operator (see the [module docs](self)).
+///
+/// Build once with [`Multigrid::new`], then [`Multigrid::rebuild`] from
+/// the current fine stencil whenever the nominal operator changes — the
+/// rebuild reuses every allocation, so steady-state epochs are
+/// allocation-free. Applications ([`Multigrid::precondition`] /
+/// [`Multigrid::vcycle`]) take `&self` plus an external [`MgScratch`].
+#[derive(Debug)]
+pub struct Multigrid {
+    opts: MultigridOptions,
+    levels: Vec<Level>,
+    /// Banded image of the coarsest level (assembly buffer).
+    coarse_mat: BandedMatrix,
+    /// The only factorisation in the hierarchy.
+    coarse_lu: BandedLu,
+    built: bool,
+}
+
+impl Multigrid {
+    /// An empty hierarchy; build it with [`Multigrid::rebuild`].
+    pub fn new(opts: MultigridOptions) -> Self {
+        Self {
+            opts,
+            levels: Vec::new(),
+            coarse_mat: BandedMatrix::new(1, 0, 0),
+            coarse_lu: BandedLu::placeholder(),
+            built: false,
+        }
+    }
+
+    /// `true` once [`Multigrid::rebuild`] has succeeded.
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// Fine-level unknown count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy has never been rebuilt.
+    pub fn dim(&self) -> usize {
+        assert!(self.built, "Multigrid::rebuild not called");
+        self.levels[0].n()
+    }
+
+    /// Number of levels (1 = the fine grid is already at coarse scale and
+    /// the "V-cycle" is a plain banded direct solve).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Dimensions `(nx, ny)` of level `lvl` (0 = fine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lvl` is out of range.
+    pub fn level_dims(&self, lvl: usize) -> (usize, usize) {
+        (self.levels[lvl].nx, self.levels[lvl].ny)
+    }
+
+    /// (Re)builds the hierarchy for `fine`: copies the 5-point stencil
+    /// into the fine level, Galerkin-coarsens until both dimensions fit
+    /// [`MultigridOptions::coarse_max_dim`], derives the smoother
+    /// diagonals, and factors the coarsest operator. All storage is
+    /// reused — a same-shape rebuild performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the coarsest operator is
+    /// singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stencil slices disagree with `nx·ny`.
+    pub fn rebuild(&mut self, fine: &FineStencil<'_>) -> Result<(), SingularMatrixError> {
+        self.rebuild_from(fine);
+        self.finish_build()
+    }
+
+    /// The body of [`Multigrid::rebuild`] minus the final coarse factor.
+    fn rebuild_from(&mut self, fine: &FineStencil<'_>) {
+        let n = fine.nx * fine.ny;
+        assert!(fine.nx >= 2 && fine.ny >= 2, "grid too small for multigrid");
+        for s in [fine.west, fine.east, fine.south, fine.north, fine.diag] {
+            assert_eq!(s.len(), n, "stencil slice length mismatch");
+        }
+        self.built = false;
+
+        // Depth of the hierarchy (recomputed up front so a same-shape
+        // rebuild truncates/extends `levels` identically every epoch).
+        let coarse_dim = self.opts.coarse_max_dim.max(2);
+        let mut depth = 1;
+        let (mut cx, mut cy) = (fine.nx, fine.ny);
+        while (cx > coarse_dim || cy > coarse_dim) && cx >= 3 && cy >= 3 {
+            cx = cx.div_ceil(2);
+            cy = cy.div_ceil(2);
+            depth += 1;
+        }
+        self.levels.resize_with(depth, Level::default);
+
+        // Fine level: the 5-point stencil as 9 planes (corners unused).
+        {
+            let l0 = &mut self.levels[0];
+            l0.nx = fine.nx;
+            l0.ny = fine.ny;
+            for (p, src) in [
+                (plane(0, -1), fine.south),
+                (plane(-1, 0), fine.west),
+                (plane(0, 0), fine.diag),
+                (plane(1, 0), fine.east),
+                (plane(0, 1), fine.north),
+            ] {
+                l0.c[p].clear();
+                l0.c[p].extend_from_slice(src);
+            }
+            for p in [plane(-1, -1), plane(1, -1), plane(-1, 1), plane(1, 1)] {
+                l0.c[p].clear();
+                l0.c[p].resize(n, Complex64::ZERO);
+            }
+            l0.used = [false, true, false, true, true, true, false, true, false];
+        }
+
+        // Galerkin coarsening.
+        for lvl in 1..depth {
+            let (head, tail) = self.levels.split_at_mut(lvl);
+            galerkin_coarsen(&head[lvl - 1], &mut tail[0]);
+        }
+
+        // Smoother diagonals on every level above the coarsest.
+        for level in &mut self.levels[..depth - 1] {
+            let n_l = level.nx * level.ny;
+            level.inv_diag.clear();
+            level.inv_diag.extend(level.c[4][..n_l].iter().map(|&d| {
+                if d.abs() > 0.0 {
+                    d.inv()
+                } else {
+                    Complex64::ZERO
+                }
+            }));
+        }
+        self.levels[depth - 1].inv_diag.clear();
+    }
+
+    /// Final build step: assemble and factor the coarsest level — the
+    /// only factorisation in the hierarchy, `O(n_c·nx_c²)` ≪ the fine
+    /// banded wall.
+    fn finish_build(&mut self) -> Result<(), SingularMatrixError> {
+        {
+            let depth = self.levels.len();
+            let coarse = &self.levels[depth - 1];
+            let (ncx, ncy) = (coarse.nx, coarse.ny);
+            let nc = ncx * ncy;
+            let band = ncx + 1;
+            if self.coarse_mat.n() == nc && self.coarse_mat.kl() == band {
+                self.coarse_mat.reset();
+            } else {
+                self.coarse_mat.reshape(nc, band, band);
+            }
+            for p in 0..9 {
+                if !coarse.used[p] {
+                    continue;
+                }
+                let (dx, dy) = plane_offsets(p);
+                for j in 0..ncy as isize {
+                    let (j2, valid_row) = (j + dy, j + dy >= 0 && j + dy < ncy as isize);
+                    if !valid_row {
+                        continue;
+                    }
+                    for i in 0..ncx as isize {
+                        let i2 = i + dx;
+                        if i2 < 0 || i2 >= ncx as isize {
+                            continue;
+                        }
+                        let row = (j * ncx as isize + i) as usize;
+                        let v = coarse.c[p][row];
+                        if v != Complex64::ZERO {
+                            self.coarse_mat
+                                .set(row, (j2 * ncx as isize + i2) as usize, v);
+                        }
+                    }
+                }
+            }
+            self.coarse_mat.factor_into(&mut self.coarse_lu)?;
+        }
+        self.built = true;
+        Ok(())
+    }
+
+    /// Fine-level operator application `y = A x` (the Galerkin level-0
+    /// stencil — identical to the caller's 5-point operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy is unbuilt or the slice lengths mismatch.
+    pub fn apply_fine(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert!(self.built, "Multigrid::rebuild not called");
+        assert_eq!(x.len(), self.levels[0].n(), "input length mismatch");
+        assert_eq!(y.len(), self.levels[0].n(), "output length mismatch");
+        self.levels[0].apply(x, y);
+    }
+
+    /// One preconditioner application `x = M⁻¹ b`
+    /// ([`MultigridOptions::cycles`] V-cycles, zero initial iterate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy is unbuilt or the slice lengths mismatch.
+    pub fn vcycle(&self, b: &[Complex64], x: &mut [Complex64], scratch: &mut MgScratch) {
+        assert!(self.built, "Multigrid::rebuild not called");
+        let n = self.levels[0].n();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(x.len(), n, "solution length mismatch");
+        scratch.ensure(self);
+        scratch.b[0].copy_from_slice(b);
+        self.vcycle_level(0, scratch);
+        x.copy_from_slice(&scratch.x[0]);
+        for _ in 1..self.opts.cycles {
+            // r = b − A x, then one more cycle on the residual equation.
+            self.levels[0].apply(x, &mut scratch.tmp);
+            for ((dst, &bb), &ax) in scratch.b[0].iter_mut().zip(b).zip(&scratch.tmp) {
+                *dst = bb - ax;
+            }
+            self.vcycle_level(0, scratch);
+            for (dst, &dx) in x.iter_mut().zip(&scratch.x[0]) {
+                *dst += dx;
+            }
+        }
+    }
+
+    /// In-place block preconditioner application: each of the `nrhs`
+    /// column-major columns of `b` is overwritten with `M⁻¹` applied to
+    /// it. This is the [`Precondition::solve_block`] work-horse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy is unbuilt or `b.len() != dim()·nrhs`.
+    pub fn precondition(&self, b: &mut [Complex64], nrhs: usize, scratch: &mut MgScratch) {
+        assert!(self.built, "Multigrid::rebuild not called");
+        let n = self.levels[0].n();
+        assert_eq!(b.len(), n * nrhs, "block length mismatch");
+        scratch.ensure(self);
+        for col in b.chunks_exact_mut(n) {
+            // `acc` keeps the original right-hand side so extra cycles can
+            // form true residuals while `col` accumulates the iterate.
+            scratch.acc.copy_from_slice(col);
+            scratch.b[0].copy_from_slice(&scratch.acc);
+            self.vcycle_level(0, scratch);
+            col.copy_from_slice(&scratch.x[0]);
+            for _ in 1..self.opts.cycles {
+                self.levels[0].apply(col, &mut scratch.tmp);
+                for ((dst, &bb), &ax) in scratch.b[0].iter_mut().zip(&scratch.acc).zip(&scratch.tmp)
+                {
+                    *dst = bb - ax;
+                }
+                self.vcycle_level(0, scratch);
+                for (dst, &dx) in col.iter_mut().zip(&scratch.x[0]) {
+                    *dst += dx;
+                }
+            }
+        }
+    }
+
+    /// Recursive V-cycle on `scratch.b[lvl]`, leaving the iterate in
+    /// `scratch.x[lvl]`.
+    fn vcycle_level(&self, lvl: usize, scratch: &mut MgScratch) {
+        let last = self.levels.len() - 1;
+        if lvl == last {
+            scratch.x[lvl].copy_from_slice(&scratch.b[lvl]);
+            self.coarse_lu.solve(&mut scratch.x[lvl]);
+            return;
+        }
+        let level = &self.levels[lvl];
+        match self.opts.smoother {
+            Smoother::Jacobi => {
+                // Pre-smoothing from a zero iterate: the first sweep
+                // collapses to x = damping·D⁻¹·b.
+                let damping = self.opts.damping;
+                vmul(&level.inv_diag, &scratch.b[lvl], &mut scratch.x[lvl]);
+                for x in scratch.x[lvl].iter_mut() {
+                    *x *= damping;
+                }
+                for _ in 1..self.opts.nu_pre {
+                    smooth_jacobi(
+                        level,
+                        damping,
+                        &mut scratch.x[lvl],
+                        &scratch.b[lvl],
+                        &mut scratch.r[lvl],
+                    );
+                }
+            }
+            Smoother::GaussSeidel => {
+                scratch.x[lvl].fill(Complex64::ZERO);
+                for _ in 0..self.opts.nu_pre {
+                    smooth_gauss_seidel(level, &mut scratch.x[lvl], &scratch.b[lvl], false);
+                }
+            }
+        }
+        // Residual, restricted to the next level's right-hand side.
+        level.apply(&scratch.x[lvl], &mut scratch.r[lvl]);
+        for (r, &bb) in scratch.r[lvl].iter_mut().zip(&scratch.b[lvl]) {
+            *r = bb - *r;
+        }
+        {
+            let (head, tail) = scratch.b.split_at_mut(lvl + 1);
+            let _ = head;
+            restrict(
+                level,
+                &scratch.r[lvl],
+                self.levels[lvl + 1].nx,
+                &mut tail[0],
+            );
+        }
+        self.vcycle_level(lvl + 1, scratch);
+        {
+            let (head, tail) = scratch.x.split_at_mut(lvl + 1);
+            prolong_add(&self.levels[lvl + 1], &tail[0], level.nx, &mut head[lvl]);
+        }
+        match self.opts.smoother {
+            Smoother::Jacobi => {
+                for _ in 0..self.opts.nu_post {
+                    smooth_jacobi(
+                        level,
+                        self.opts.damping,
+                        &mut scratch.x[lvl],
+                        &scratch.b[lvl],
+                        &mut scratch.r[lvl],
+                    );
+                }
+            }
+            // Backward post-sweeps: together with the forward pre-sweeps
+            // they keep the V-cycle symmetric on the complex-symmetric
+            // hierarchy (the transpose of a forward sweep is a backward
+            // sweep).
+            Smoother::GaussSeidel => {
+                for _ in 0..self.opts.nu_post {
+                    smooth_gauss_seidel(level, &mut scratch.x[lvl], &scratch.b[lvl], true);
+                }
+            }
+        }
+    }
+}
+
+/// One damped-Jacobi sweep `x += damping·D⁻¹·(b − A·x)` (`r` is scratch).
+fn smooth_jacobi(
+    level: &Level,
+    damping: f64,
+    x: &mut [Complex64],
+    b: &[Complex64],
+    r: &mut [Complex64],
+) {
+    level.apply(x, r);
+    for ((x, &bb), (&rr, &w)) in x.iter_mut().zip(b).zip(r.iter().zip(&level.inv_diag)) {
+        *x += damping * (w * (bb - rr));
+    }
+}
+
+/// One lexicographic Gauss–Seidel sweep (forward, or backward when
+/// `backward`): `x[k] ← D⁻¹(b[k] − Σ_{p≠4} c_p[k]·x[k+off_p])`, always
+/// using the latest neighbour values. Out-of-range neighbours carry zero
+/// coefficients (the boundary invariant every Galerkin level preserves),
+/// so the explicit range check only guards the slice access.
+fn smooth_gauss_seidel(level: &Level, x: &mut [Complex64], b: &[Complex64], backward: bool) {
+    let n = level.n() as isize;
+    let nx = level.nx as isize;
+    let mut offs = [(0isize, 0usize); 8];
+    let mut m = 0;
+    for p in 0..9 {
+        if p == 4 || !level.used[p] {
+            continue;
+        }
+        let (dx, dy) = plane_offsets(p);
+        offs[m] = (dy * nx + dx, p);
+        m += 1;
+    }
+    let offs = &offs[..m];
+    let mut sweep = |k: isize| {
+        let ku = k as usize;
+        let mut acc = b[ku];
+        for &(off, p) in offs {
+            let kk = k + off;
+            if kk >= 0 && kk < n {
+                acc -= level.c[p][ku] * x[kk as usize];
+            }
+        }
+        x[ku] = acc * level.inv_diag[ku];
+    };
+    if backward {
+        for k in (0..n).rev() {
+            sweep(k);
+        }
+    } else {
+        for k in 0..n {
+            sweep(k);
+        }
+    }
+}
+
+/// Full-weighting restriction (1-D weights `[¼, ½, ¼]`, boundary terms
+/// dropped): `coarse[J·ncx + I] = Σ w(dx)·w(dy)·fine[(2J+dy)·nx + 2I+dx]`.
+fn restrict(fine: &Level, r: &[Complex64], ncx: usize, coarse: &mut [Complex64]) {
+    let (nx, ny) = (fine.nx as isize, fine.ny as isize);
+    let ncy = coarse.len() / ncx;
+    let w = |d: isize| if d == 0 { 0.5 } else { 0.25 };
+    for cj in 0..ncy as isize {
+        for ci in 0..ncx as isize {
+            let (fi, fj) = (2 * ci, 2 * cj);
+            let mut acc = Complex64::ZERO;
+            for dy in -1..=1 {
+                let j = fj + dy;
+                if j < 0 || j >= ny {
+                    continue;
+                }
+                for dx in -1..=1 {
+                    let i = fi + dx;
+                    if i < 0 || i >= nx {
+                        continue;
+                    }
+                    acc += (w(dx) * w(dy)) * r[(j * nx + i) as usize];
+                }
+            }
+            coarse[(cj * ncx as isize + ci) as usize] = acc;
+        }
+    }
+}
+
+/// Bilinear prolongation, accumulated: `fine += P·coarse` (1-D weights
+/// `[½, 1, ½]`; even fine points inject, odd ones average their two
+/// coarse neighbours).
+fn prolong_add(coarse_level: &Level, coarse: &[Complex64], nx: usize, fine: &mut [Complex64]) {
+    let ncx = coarse_level.nx;
+    let ncy = coarse_level.ny;
+    let ny = fine.len() / nx;
+    for j in 0..ny {
+        let (j0, wy0, j1, wy1) = split_weights(j, ncy);
+        for i in 0..nx {
+            let (i0, wx0, i1, wx1) = split_weights(i, ncx);
+            let mut acc = (wx0 * wy0) * coarse[j0 * ncx + i0];
+            if let Some(ii) = i1 {
+                acc += (wx1 * wy0) * coarse[j0 * ncx + ii];
+            }
+            if let Some(jj) = j1 {
+                acc += (wx0 * wy1) * coarse[jj * ncx + i0];
+                if let Some(ii) = i1 {
+                    acc += (wx1 * wy1) * coarse[jj * ncx + ii];
+                }
+            }
+            fine[j * nx + i] += acc;
+        }
+    }
+}
+
+/// Coarse neighbours of fine index `i` under bilinear interpolation:
+/// `(first, weight, second, weight)` with the second `None` for even `i`
+/// or at the high boundary.
+#[inline]
+fn split_weights(i: usize, nc: usize) -> (usize, f64, Option<usize>, f64) {
+    if i.is_multiple_of(2) {
+        (i / 2, 1.0, None, 0.0)
+    } else {
+        let lo = i / 2;
+        let hi = lo + 1;
+        if hi < nc {
+            (lo, 0.5, Some(hi), 0.5)
+        } else {
+            (lo, 0.5, None, 0.0)
+        }
+    }
+}
+
+/// Galerkin projection `A_coarse = R·A_fine·P` for the vertex-centred
+/// coarsening (`ncx = ⌈nx/2⌉`): full-weighting `R`, bilinear `P = 4Rᵀ`.
+/// A 9-point fine stencil closes to a 9-point coarse stencil.
+fn galerkin_coarsen(fine: &Level, coarse: &mut Level) {
+    let (nx, ny) = (fine.nx as isize, fine.ny as isize);
+    let ncx = fine.nx.div_ceil(2);
+    let ncy = fine.ny.div_ceil(2);
+    let nc = ncx * ncy;
+    coarse.nx = ncx;
+    coarse.ny = ncy;
+    for plane in &mut coarse.c {
+        plane.clear();
+        plane.resize(nc, Complex64::ZERO);
+    }
+    let wr = |d: isize| if d == 0 { 0.5 } else { 0.25 };
+    for cj in 0..ncy as isize {
+        for ci in 0..ncx as isize {
+            let row = (cj * ncx as isize + ci) as usize;
+            // Fine points in this coarse row's restriction footprint.
+            for rdy in -1..=1 {
+                let j = 2 * cj + rdy;
+                if j < 0 || j >= ny {
+                    continue;
+                }
+                for rdx in -1..=1 {
+                    let i = 2 * ci + rdx;
+                    if i < 0 || i >= nx {
+                        continue;
+                    }
+                    let rw = wr(rdx) * wr(rdy);
+                    let k = (j * nx + i) as usize;
+                    // Fine stencil entries out of this fine point.
+                    for p in 0..9 {
+                        if !fine.used[p] {
+                            continue;
+                        }
+                        let a = fine.c[p][k];
+                        if a == Complex64::ZERO {
+                            continue;
+                        }
+                        let (sdx, sdy) = plane_offsets(p);
+                        let (i2, j2) = (i + sdx, j + sdy);
+                        if i2 < 0 || i2 >= nx || j2 < 0 || j2 >= ny {
+                            continue;
+                        }
+                        // Prolongation weights of the target fine point.
+                        let (ia, wxa, ib, wxb) = split_weights(i2 as usize, ncx);
+                        let (ja, wya, jb, wyb) = split_weights(j2 as usize, ncy);
+                        let mut scatter = |ic: usize, jc: usize, wp: f64| {
+                            let (ddx, ddy) = (ic as isize - ci, jc as isize - cj);
+                            debug_assert!(ddx.abs() <= 1 && ddy.abs() <= 1);
+                            coarse.c[plane(ddx, ddy)][row] += (rw * wp) * a;
+                        };
+                        scatter(ia, ja, wxa * wya);
+                        if let Some(ii) = ib {
+                            scatter(ii, ja, wxb * wya);
+                        }
+                        if let Some(jj) = jb {
+                            scatter(ia, jj, wxa * wyb);
+                            if let Some(ii) = ib {
+                                scatter(ii, jj, wxb * wyb);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for p in 0..9 {
+        coarse.used[p] = coarse.c[p].iter().any(|v| *v != Complex64::ZERO);
+    }
+}
+
+/// One rectangular boundary strip: the principal submatrix of the fine
+/// operator over `[x0, x1) × [y0, y1)`, ordered depth-minor so its
+/// bandwidth is the strip thickness, LU-factored.
+#[derive(Debug)]
+struct Strip {
+    rect: (usize, usize, usize, usize),
+    /// `true` for the horizontal (bottom/top) strips, whose minor index
+    /// runs along `y`; the vertical strips run their minor index along
+    /// `x`. Either way the banded width is the strip's thin dimension.
+    minor_is_y: bool,
+    /// Global cell index per strip-local index.
+    cells: Vec<usize>,
+    mat: BandedMatrix,
+    lu: BandedLu,
+}
+
+impl Strip {
+    fn empty() -> Self {
+        Self {
+            rect: (0, 0, 0, 0),
+            minor_is_y: false,
+            cells: Vec::new(),
+            mat: BandedMatrix::new(1, 0, 0),
+            lu: BandedLu::placeholder(),
+        }
+    }
+}
+
+/// Exact solves of the **true** operator restricted to four thin strips
+/// along the domain edges, applied as one multiplicative Schwarz sweep —
+/// the boundary-band companion of the interior V-cycle.
+///
+/// The multigrid hierarchy is built from a hard-walled, shift-damped
+/// *surrogate* of the PML-stretched Helmholtz operator (Galerkin
+/// coarsening through the complex-stretched absorbing layers produces
+/// amplifying coarse corrections, and both Jacobi and Gauss–Seidel
+/// relaxation diverge on the stretched rows — no smoothing-based cure
+/// exists there). That leaves a residual cluster of boundary-localised
+/// error modes the surrogate can never represent, which stall the outer
+/// Krylov iteration. This correction removes them *exactly*: each strip
+/// covers the absorbing layer plus an overlap margin, its sub-operator
+/// keeps the true PML rows (a direct banded factor has no
+/// relaxation-stability constraint), and its bandwidth is the strip
+/// thickness — so factor cost and memory stay `O(n_band·depth²)`, far
+/// below the `O(n·nx²)` banded-LU wall.
+#[derive(Debug)]
+pub struct BoundaryBand {
+    nx: usize,
+    ny: usize,
+    strips: [Strip; 4],
+    built: bool,
+}
+
+impl Default for BoundaryBand {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoundaryBand {
+    /// An empty band; build it with [`BoundaryBand::rebuild`].
+    pub fn new() -> Self {
+        Self {
+            nx: 0,
+            ny: 0,
+            strips: [
+                Strip::empty(),
+                Strip::empty(),
+                Strip::empty(),
+                Strip::empty(),
+            ],
+            built: false,
+        }
+    }
+
+    /// `true` once [`BoundaryBand::rebuild`] has succeeded.
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// (Re)assembles and factors the four strips for `fine`, each
+    /// `depth` cells thick (clamped to the half-domain). All storage is
+    /// reused — a same-shape rebuild performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a strip sub-operator is
+    /// singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stencil slices disagree with `nx·ny`.
+    pub fn rebuild(
+        &mut self,
+        fine: &FineStencil<'_>,
+        depth: usize,
+    ) -> Result<(), SingularMatrixError> {
+        let (nx, ny) = (fine.nx, fine.ny);
+        let n = nx * ny;
+        for s in [fine.west, fine.east, fine.south, fine.north, fine.diag] {
+            assert_eq!(s.len(), n, "stencil slice length mismatch");
+        }
+        self.built = false;
+        self.nx = nx;
+        self.ny = ny;
+        let d = depth.clamp(1, (nx / 2).min(ny / 2).max(1));
+        let rects = [
+            ((0, nx, 0, d), true),
+            ((0, nx, ny - d, ny), true),
+            ((0, d, 0, ny), false),
+            ((nx - d, nx, 0, ny), false),
+        ];
+        for (strip, (rect, minor_is_y)) in self.strips.iter_mut().zip(rects) {
+            let (x0, x1, y0, y1) = rect;
+            let (w, h) = (x1 - x0, y1 - y0);
+            let band = if minor_is_y { h } else { w };
+            let nl = w * h;
+            let lidx = |x: usize, y: usize| {
+                if minor_is_y {
+                    (x - x0) * h + (y - y0)
+                } else {
+                    (y - y0) * w + (x - x0)
+                }
+            };
+            if strip.rect != rect || strip.minor_is_y != minor_is_y {
+                strip.rect = rect;
+                strip.minor_is_y = minor_is_y;
+                strip.cells.clear();
+                strip.cells.resize(nl, 0);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        strip.cells[lidx(x, y)] = y * nx + x;
+                    }
+                }
+            }
+            if strip.mat.n() == nl && strip.mat.kl() == band {
+                strip.mat.reset();
+            } else {
+                strip.mat.reshape(nl, band, band);
+            }
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let l = lidx(x, y);
+                    let k = y * nx + x;
+                    strip.mat.set(l, l, fine.diag[k]);
+                    if x > x0 {
+                        strip.mat.set(l, lidx(x - 1, y), fine.west[k]);
+                    }
+                    if x + 1 < x1 {
+                        strip.mat.set(l, lidx(x + 1, y), fine.east[k]);
+                    }
+                    if y > y0 {
+                        strip.mat.set(l, lidx(x, y - 1), fine.south[k]);
+                    }
+                    if y + 1 < y1 {
+                        strip.mat.set(l, lidx(x, y + 1), fine.north[k]);
+                    }
+                }
+            }
+            strip.mat.factor_into(&mut strip.lu)?;
+        }
+        self.built = true;
+        Ok(())
+    }
+
+    /// One multiplicative Schwarz sweep: `scratch.r` holds the current
+    /// residual `b − A·x` on entry; each strip's exact correction is
+    /// added to `x` in turn with the residual kept consistent between
+    /// strips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is unbuilt or `x` disagrees with the grid.
+    pub fn correct(&self, fine: &FineStencil<'_>, x: &mut [Complex64], scratch: &mut BandScratch) {
+        assert!(self.built, "BoundaryBand::rebuild not called");
+        let n = self.nx * self.ny;
+        assert_eq!(x.len(), n, "iterate length mismatch");
+        assert_eq!(scratch.r.len(), n, "residual length mismatch");
+        scratch.t.resize(n, Complex64::ZERO);
+        scratch.t2.resize(n, Complex64::ZERO);
+        scratch.t.fill(Complex64::ZERO);
+        for strip in &self.strips {
+            let nl = strip.cells.len();
+            scratch.sb.clear();
+            scratch.sb.extend(strip.cells.iter().map(|&k| scratch.r[k]));
+            strip.lu.solve(&mut scratch.sb[..nl]);
+            for (l, &k) in strip.cells.iter().enumerate() {
+                scratch.t[k] = scratch.sb[l];
+                x[k] += scratch.sb[l];
+            }
+            fine.apply(&scratch.t, &mut scratch.t2);
+            for (r, &t) in scratch.r.iter_mut().zip(&scratch.t2) {
+                *r -= t;
+            }
+            // Re-zero only the strip's own cells for the next scatter.
+            for &k in &strip.cells {
+                scratch.t[k] = Complex64::ZERO;
+            }
+        }
+    }
+}
+
+/// Scratch state of a boundary-band application: the running residual,
+/// two fine-level buffers for the strip scatter / operator product, and
+/// the strip gather buffer. Sized lazily and reused allocation-free.
+#[derive(Debug, Default)]
+pub struct BandScratch {
+    /// Running residual `b − A·x` across the sweep.
+    r: Vec<Complex64>,
+    t: Vec<Complex64>,
+    t2: Vec<Complex64>,
+    sb: Vec<Complex64>,
+}
+
+impl BandScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The production preconditioner for the PML-stretched Helmholtz
+/// operator: a surrogate-hierarchy V-cycle for the interior composed
+/// multiplicatively with the exact [`BoundaryBand`] correction,
+/// `x = V(b)`, then `x += Schwarz(b − A·x)` against the **true** fine
+/// operator. Usable wherever the Krylov machinery expects a
+/// [`Precondition`] (and, through the blanket implementation, a
+/// `PrecondFamily` for packed sweeps).
+///
+/// Neither half alone converges on large absorbing-boundary grids: the
+/// V-cycle's hard-walled surrogate stalls on boundary-localised modes,
+/// and the strips alone have no interior coverage. Composed, the outer
+/// BiCGSTAB converges in a few iterations (see `crates/bench`'s
+/// `large_grid_256`).
+///
+/// The transpose application reuses the plain one, exactly like
+/// [`MgPrecond`]: every ingredient approximates the same
+/// complex-symmetric `A⁻¹`, and preconditioner quality — not elementwise
+/// transposition — is what convergence (judged on true residuals)
+/// depends on.
+#[derive(Debug)]
+pub struct MgBandPrecond<'a> {
+    /// The interior hierarchy (built from the hard-walled surrogate).
+    pub mg: &'a Multigrid,
+    /// The boundary strips (built from the true operator).
+    pub band: &'a BoundaryBand,
+    /// The true fine operator, for the intermediate residual.
+    pub fine: FineStencil<'a>,
+    /// V-cycle scratch (shareable across same-shape hierarchies).
+    pub mg_scratch: &'a mut MgScratch,
+    /// Band-sweep scratch (shareable across same-shape bands).
+    pub band_scratch: &'a mut BandScratch,
+}
+
+impl Precondition for MgBandPrecond<'_> {
+    fn dim(&self) -> usize {
+        self.mg.dim()
+    }
+
+    fn solve_block(&mut self, b: &mut [Complex64], nrhs: usize) {
+        let n = self.mg.dim();
+        assert_eq!(b.len(), n * nrhs, "block length mismatch");
+        let fine = self.fine;
+        for col in b.chunks_exact_mut(n) {
+            self.band_scratch.r.resize(n, Complex64::ZERO);
+            self.band_scratch.t.resize(n, Complex64::ZERO);
+            self.band_scratch.r.copy_from_slice(col);
+            self.mg.precondition(col, 1, self.mg_scratch);
+            fine.apply(col, &mut self.band_scratch.t);
+            for (r, &ax) in self.band_scratch.r.iter_mut().zip(&self.band_scratch.t) {
+                *r -= ax;
+            }
+            self.band.correct(&fine, col, self.band_scratch);
+        }
+    }
+
+    fn solve_block_transpose(&mut self, b: &mut [Complex64], nrhs: usize) {
+        self.solve_block(b, nrhs);
+    }
+}
+
+/// A [`Multigrid`] paired with its scratch, usable wherever the Krylov
+/// machinery expects a [`Precondition`] (and, through the blanket
+/// implementation, a `PrecondFamily` for packed sweeps).
+///
+/// The transpose application reuses the plain V-cycle: every Galerkin
+/// level is complex-symmetric (`A_ℓᵀ = A_ℓ`, inherited from the
+/// symmetrised FDFD operator through `P = 4Rᵀ`), so the plain cycle is an
+/// equally good approximation of `A⁻ᵀ = A⁻¹` — preconditioner quality,
+/// not elementwise transposition, is what convergence (judged on true
+/// residuals) depends on.
+#[derive(Debug)]
+pub struct MgPrecond<'a> {
+    /// The hierarchy (immutable during solves).
+    pub mg: &'a Multigrid,
+    /// Per-application scratch (shareable across same-shape hierarchies).
+    pub scratch: &'a mut MgScratch,
+}
+
+impl Precondition for MgPrecond<'_> {
+    fn dim(&self) -> usize {
+        self.mg.dim()
+    }
+
+    fn solve_block(&mut self, b: &mut [Complex64], nrhs: usize) {
+        self.mg.precondition(b, nrhs, self.scratch);
+    }
+
+    fn solve_block_transpose(&mut self, b: &mut [Complex64], nrhs: usize) {
+        self.mg.precondition(b, nrhs, self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boson_num::c64;
+
+    /// Owned 5-point stencil with zeroed boundary couplings.
+    struct Stencil5 {
+        nx: usize,
+        ny: usize,
+        west: Vec<Complex64>,
+        east: Vec<Complex64>,
+        south: Vec<Complex64>,
+        north: Vec<Complex64>,
+        diag: Vec<Complex64>,
+    }
+
+    impl Stencil5 {
+        /// Shifted 2-D Laplacian (complex shift keeps it invertible and
+        /// mildly non-Hermitian, like the PML-stretched FDFD operator).
+        fn laplacian(nx: usize, ny: usize, shift: Complex64) -> Self {
+            let n = nx * ny;
+            let mut s = Self {
+                nx,
+                ny,
+                west: vec![Complex64::ZERO; n],
+                east: vec![Complex64::ZERO; n],
+                south: vec![Complex64::ZERO; n],
+                north: vec![Complex64::ZERO; n],
+                diag: vec![shift; n],
+            };
+            for j in 0..ny {
+                for i in 0..nx {
+                    let k = j * nx + i;
+                    if i > 0 {
+                        s.west[k] = c64(-1.0, 0.0);
+                    }
+                    if i + 1 < nx {
+                        s.east[k] = c64(-1.0, 0.0);
+                    }
+                    if j > 0 {
+                        s.south[k] = c64(-1.0, 0.0);
+                    }
+                    if j + 1 < ny {
+                        s.north[k] = c64(-1.0, 0.0);
+                    }
+                }
+            }
+            s
+        }
+
+        fn view(&self) -> FineStencil<'_> {
+            FineStencil {
+                nx: self.nx,
+                ny: self.ny,
+                west: &self.west,
+                east: &self.east,
+                south: &self.south,
+                north: &self.north,
+                diag: &self.diag,
+            }
+        }
+    }
+
+    fn norm(v: &[Complex64]) -> f64 {
+        v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    fn rhs(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|k| c64((k as f64 * 0.37).sin(), (k as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    fn build(nx: usize, ny: usize, coarse_max_dim: usize) -> (Stencil5, Multigrid) {
+        let s = Stencil5::laplacian(nx, ny, c64(4.2, 0.35));
+        let mut mg = Multigrid::new(MultigridOptions {
+            coarse_max_dim,
+            ..MultigridOptions::default()
+        });
+        mg.rebuild(&s.view()).unwrap();
+        (s, mg)
+    }
+
+    #[test]
+    fn hierarchy_dims_follow_vertex_centred_coarsening() {
+        let (_, mg) = build(65, 33, 8);
+        let dims: Vec<(usize, usize)> = (0..mg.depth()).map(|l| mg.level_dims(l)).collect();
+        assert_eq!(dims, vec![(65, 33), (33, 17), (17, 9), (9, 5), (5, 3)]);
+        assert_eq!(mg.dim(), 65 * 33);
+    }
+
+    #[test]
+    fn small_grid_collapses_to_direct_solve() {
+        // Fine grid already below the coarse threshold: single level, the
+        // "V-cycle" is the exact banded solve.
+        let (s, mg) = build(6, 5, 64);
+        assert_eq!(mg.depth(), 1);
+        let n = 30;
+        let b = rhs(n);
+        let mut x = b.clone();
+        mg.precondition(&mut x, 1, &mut MgScratch::new());
+        let mut ax = vec![Complex64::ZERO; n];
+        mg.apply_fine(&x, &mut ax);
+        let r: Vec<Complex64> = ax.iter().zip(&b).map(|(p, q)| *q - *p).collect();
+        assert!(norm(&r) < 1e-10 * norm(&b), "direct level must be exact");
+        drop(s);
+    }
+
+    #[test]
+    fn galerkin_levels_stay_complex_symmetric() {
+        let (_, mg) = build(33, 29, 4);
+        assert!(mg.depth() >= 3);
+        for level in &mg.levels {
+            let (nx, ny) = (level.nx as isize, level.ny as isize);
+            for p in 0..9 {
+                if !level.used[p] {
+                    continue;
+                }
+                let (dx, dy) = plane_offsets(p);
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let (i2, j2) = (i + dx, j + dy);
+                        if i2 < 0 || i2 >= nx || j2 < 0 || j2 >= ny {
+                            continue;
+                        }
+                        let a = level.c[p][(j * nx + i) as usize];
+                        let b = level.c[8 - p][(j2 * nx + i2) as usize];
+                        assert!(
+                            (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                            "A[{i},{j}]->({i2},{j2}) = {a:?} but transpose entry {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_prolongation_adjoint_scaling() {
+        // P = 4·Rᵀ for the full-weighting / bilinear pair:
+        // ⟨R f, c⟩ = ¼·⟨f, P c⟩ for all f, c (real weights, so the plain
+        // bilinear form works).
+        let (_, mg) = build(9, 7, 4);
+        let fine_level = &mg.levels[0];
+        let (ncx, ncy) = mg.level_dims(1);
+        let nf = fine_level.n();
+        let nc = ncx * ncy;
+        let f = rhs(nf);
+        let c: Vec<Complex64> = (0..nc).map(|k| c64(0.3 * k as f64, -0.2)).collect();
+        let mut rf = vec![Complex64::ZERO; nc];
+        restrict(fine_level, &f, ncx, &mut rf);
+        let mut pc = vec![Complex64::ZERO; nf];
+        prolong_add(&mg.levels[1], &c, fine_level.nx, &mut pc);
+        let lhs: Complex64 = rf.iter().zip(&c).map(|(a, b)| *a * *b).sum();
+        let rhs_: Complex64 = f.iter().zip(&pc).map(|(a, b)| *a * *b).sum();
+        assert!(
+            (lhs - 0.25 * rhs_).abs() < 1e-12 * (1.0 + lhs.abs()),
+            "⟨Rf,c⟩ = {lhs:?} vs ¼⟨f,Pc⟩ = {:?}",
+            0.25 * rhs_
+        );
+    }
+
+    /// Release-mode CI smoke test: a handful of V-cycle-preconditioned
+    /// Richardson iterations must converge fast on a multi-level
+    /// hierarchy.
+    #[test]
+    fn vcycle_convergence_smoke() {
+        let (_, mg) = build(33, 33, 8);
+        assert!(mg.depth() >= 3, "smoke test must exercise real coarsening");
+        let n = mg.dim();
+        let b = rhs(n);
+        let mut scratch = MgScratch::new();
+        let mut x = vec![Complex64::ZERO; n];
+        let mut r = b.clone();
+        let mut dx = vec![Complex64::ZERO; n];
+        let mut ax = vec![Complex64::ZERO; n];
+        let b0 = norm(&b);
+        let mut prev = b0;
+        for _ in 0..8 {
+            mg.vcycle(&r, &mut dx, &mut scratch);
+            for (xi, &d) in x.iter_mut().zip(&dx) {
+                *xi += d;
+            }
+            mg.apply_fine(&x, &mut ax);
+            for ((ri, &bb), &aa) in r.iter_mut().zip(&b).zip(&ax) {
+                *ri = bb - aa;
+            }
+            let rn = norm(&r);
+            assert!(rn < 0.6 * prev, "cycle stalled: {rn:.3e} after {prev:.3e}");
+            prev = rn;
+        }
+        assert!(prev < 1e-6 * b0, "relative residual {:.3e}", prev / b0);
+    }
+
+    #[test]
+    fn precondition_block_matches_single_columns() {
+        let (_, mg) = build(17, 13, 4);
+        let n = mg.dim();
+        let mut scratch = MgScratch::new();
+        let mut block: Vec<Complex64> = rhs(2 * n);
+        let cols: Vec<Vec<Complex64>> = block.chunks(n).map(<[Complex64]>::to_vec).collect();
+        mg.precondition(&mut block, 2, &mut scratch);
+        for (c, col) in cols.iter().enumerate() {
+            let mut single = vec![Complex64::ZERO; n];
+            mg.vcycle(col, &mut single, &mut scratch);
+            assert_eq!(&block[c * n..(c + 1) * n], &single[..], "column {c}");
+        }
+    }
+
+    #[test]
+    fn rebuild_is_deterministic_and_reusable() {
+        let s = Stencil5::laplacian(21, 19, c64(4.0, 0.25));
+        let mut mg = Multigrid::new(MultigridOptions {
+            coarse_max_dim: 6,
+            ..MultigridOptions::default()
+        });
+        mg.rebuild(&s.view()).unwrap();
+        let n = mg.dim();
+        let b = rhs(n);
+        let mut x1 = b.clone();
+        mg.precondition(&mut x1, 1, &mut MgScratch::new());
+        // Rebuild from a perturbed operator, then back: identical result.
+        let s2 = Stencil5::laplacian(21, 19, c64(5.5, 0.1));
+        mg.rebuild(&s2.view()).unwrap();
+        mg.rebuild(&s.view()).unwrap();
+        let mut x2 = b.clone();
+        mg.precondition(&mut x2, 1, &mut MgScratch::new());
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn extra_cycles_tighten_the_solve() {
+        let s = Stencil5::laplacian(25, 25, c64(4.2, 0.35));
+        let solve_res = |cycles: usize| {
+            let mut mg = Multigrid::new(MultigridOptions {
+                coarse_max_dim: 6,
+                cycles,
+                ..MultigridOptions::default()
+            });
+            mg.rebuild(&s.view()).unwrap();
+            let n = mg.dim();
+            let b = rhs(n);
+            let mut x = b.clone();
+            mg.precondition(&mut x, 1, &mut MgScratch::new());
+            let mut ax = vec![Complex64::ZERO; n];
+            mg.apply_fine(&x, &mut ax);
+            let r: Vec<Complex64> = ax.iter().zip(&b).map(|(p, q)| *q - *p).collect();
+            norm(&r) / norm(&b)
+        };
+        let one = solve_res(1);
+        let three = solve_res(3);
+        assert!(
+            three < 0.2 * one,
+            "1 cycle: {one:.3e}, 3 cycles: {three:.3e}"
+        );
+    }
+
+    #[test]
+    fn boundary_band_zeroes_strip_local_residual() {
+        // A residual supported in the middle of the bottom strip is
+        // removed *exactly* by that strip's solve: the correction t
+        // satisfies (A t)|_strip = r|_strip with t zero outside, so the
+        // updated residual vanishes on every strip cell. Each later
+        // strip's own correction leaves a one-cell ring just outside its
+        // rectangle (for the left/right strips, the columns x = d and
+        // x = nx−1−d, which cut back through the bottom strip), so those
+        // two columns are excluded from the exactness check. (The moved
+        // residual lands on interior ring cells — the sweep *relocates*
+        // boundary error to where the V-cycle is competent, it is not by
+        // itself a norm reducer.)
+        let (nx, ny, d) = (32, 24, 4);
+        let s = Stencil5::laplacian(nx, ny, c64(4.2, 0.35));
+        let fine = s.view();
+        let mut band = BoundaryBand::new();
+        band.rebuild(&fine, d).unwrap();
+        assert!(band.is_built());
+        let n = fine.n();
+        let mut b = vec![Complex64::ZERO; n];
+        for y in 0..d {
+            for x in 12..20 {
+                b[y * nx + x] = c64(1.0 + x as f64 * 0.1, y as f64 * 0.3 - 0.2);
+            }
+        }
+        let mut x = vec![Complex64::ZERO; n];
+        let mut scratch = BandScratch::new();
+        scratch.r.resize(n, Complex64::ZERO);
+        scratch.r.copy_from_slice(&b);
+        band.correct(&fine, &mut x, &mut scratch);
+        let mut ax = vec![Complex64::ZERO; n];
+        fine.apply(&x, &mut ax);
+        let bnorm = norm(&b);
+        for y in 0..ny {
+            for i in 0..nx {
+                let k = y * nx + i;
+                let r = b[k] - ax[k];
+                let in_band = y < d || y >= ny - d || i < d || i >= nx - d;
+                if in_band && i != d && i != nx - 1 - d {
+                    assert!(
+                        r.abs() <= 1e-12 * bnorm,
+                        "({i},{y}): residual {r:?} left inside the band"
+                    );
+                }
+                // The sweep keeps its running residual consistent.
+                assert!(
+                    (scratch.r[k] - r).abs() <= 1e-12 * bnorm,
+                    "({i},{y}): stale running residual"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_band_rebuild_is_deterministic_and_reusable() {
+        let s = Stencil5::laplacian(21, 19, c64(4.0, 0.25));
+        let fine = s.view();
+        let apply = |band: &BoundaryBand| {
+            let n = fine.n();
+            let mut x = vec![Complex64::ZERO; n];
+            let mut scratch = BandScratch::new();
+            scratch.r.resize(n, Complex64::ZERO);
+            scratch.r.copy_from_slice(&rhs(n));
+            band.correct(&fine, &mut x, &mut scratch);
+            x
+        };
+        let mut band = BoundaryBand::new();
+        band.rebuild(&fine, 3).unwrap();
+        let x1 = apply(&band);
+        // Rebuild from a perturbed operator, then back: identical result.
+        let s2 = Stencil5::laplacian(21, 19, c64(5.5, 0.1));
+        band.rebuild(&s2.view(), 3).unwrap();
+        band.rebuild(&fine, 3).unwrap();
+        let x2 = apply(&band);
+        assert_eq!(x1, x2);
+    }
+
+    /// Release-mode CI smoke test of the production composition
+    /// ([`MgBandPrecond`]): the V-cycle + boundary-band preconditioned
+    /// Richardson iteration must contract every step, and the transpose
+    /// application must equal the plain one (complex symmetry).
+    #[test]
+    fn mg_band_composition_richardson_smoke() {
+        let s = Stencil5::laplacian(33, 33, c64(4.2, 0.35));
+        let fine = s.view();
+        let mut mg = Multigrid::new(MultigridOptions {
+            coarse_max_dim: 8,
+            ..MultigridOptions::default()
+        });
+        mg.rebuild(&fine).unwrap();
+        let mut band = BoundaryBand::new();
+        band.rebuild(&fine, 5).unwrap();
+        let n = fine.n();
+        let b = rhs(n);
+        let mut mg_scratch = MgScratch::new();
+        let mut band_scratch = BandScratch::new();
+        let mut p1 = b.clone();
+        MgBandPrecond {
+            mg: &mg,
+            band: &band,
+            fine,
+            mg_scratch: &mut mg_scratch,
+            band_scratch: &mut band_scratch,
+        }
+        .solve_block(&mut p1, 1);
+        let mut p2 = b.clone();
+        MgBandPrecond {
+            mg: &mg,
+            band: &band,
+            fine,
+            mg_scratch: &mut mg_scratch,
+            band_scratch: &mut band_scratch,
+        }
+        .solve_block_transpose(&mut p2, 1);
+        assert_eq!(p1, p2, "transpose application must equal the plain one");
+
+        let mut x = vec![Complex64::ZERO; n];
+        let mut r = b.clone();
+        let mut dx = vec![Complex64::ZERO; n];
+        let mut ax = vec![Complex64::ZERO; n];
+        let b0 = norm(&b);
+        let mut prev = b0;
+        for _ in 0..8 {
+            dx.copy_from_slice(&r);
+            MgBandPrecond {
+                mg: &mg,
+                band: &band,
+                fine,
+                mg_scratch: &mut mg_scratch,
+                band_scratch: &mut band_scratch,
+            }
+            .solve_block(&mut dx, 1);
+            for (xi, &d) in x.iter_mut().zip(&dx) {
+                *xi += d;
+            }
+            fine.apply(&x, &mut ax);
+            for ((ri, &bb), &aa) in r.iter_mut().zip(&b).zip(&ax) {
+                *ri = bb - aa;
+            }
+            let rn = norm(&r);
+            assert!(
+                rn < 0.7 * prev,
+                "composition stalled: {rn:.3e} after {prev:.3e}"
+            );
+            prev = rn;
+        }
+        assert!(prev < 1e-6 * b0, "relative residual {:.3e}", prev / b0);
+    }
+}

@@ -27,6 +27,8 @@ echo "== bench: spectral =="
 cargo bench -p boson-bench --bench spectral
 echo "== bench: subspace =="
 cargo bench -p boson-bench --bench subspace
+echo "== bench: large_grid =="
+cargo bench -p boson-bench --bench large_grid
 
 # Aggregate the JSON lines and compute the acceptance ratio
 # (naïve allocate-per-call corner loop vs the workspace pipeline).
@@ -45,7 +47,7 @@ function val(line, key,   s) {
     median[id] = val($0, "median_ns")
 }
 END {
-    printf "{\n  \"suite\": \"solver+corner_scaling\",\n  \"results\": [\n"
+    printf "{\n  \"suite\": \"solver+corner_scaling+spectral+subspace+large_grid\",\n  \"results\": [\n"
     for (i = 0; i < n; i++) printf "    %s%s\n", lines[i], (i < n - 1 ? "," : "")
     printf "  ]"
     naive = median["corner_loop/naive_alloc_per_call"]
@@ -82,6 +84,13 @@ END {
         printf ",\n  \"subspace_full_sweep_ns\": %.1f", sub_full
         printf ",\n  \"subspace_adaptive_ns\": %.1f", sub_adap
         printf ",\n  \"subspace_speedup\": %.3f", sub_full / sub_adap
+    }
+    lg_direct = median["large_grid_256/direct_factor_solve"]
+    lg_mg = median["large_grid_256/multigrid_iterative"]
+    if (lg_direct > 0 && lg_mg > 0) {
+        printf ",\n  \"large_grid_direct_ns\": %.1f", lg_direct
+        printf ",\n  \"large_grid_multigrid_ns\": %.1f", lg_mg
+        printf ",\n  \"large_grid_speedup\": %.3f", lg_direct / lg_mg
     }
     printf "\n}\n"
 }
@@ -132,5 +141,14 @@ if [ -n "${SUBSPACE_SPEEDUP:-}" ]; then
         || { echo "FAIL: subspace speedup ${SUBSPACE_SPEEDUP}x below the 1.5x acceptance floor" >&2; exit 1; }
 else
     echo "FAIL: subspace_27corner_3wl medians missing from bench output" >&2
+    exit 1
+fi
+LG_SPEEDUP=$(awk '/large_grid_speedup/ { s = $0; sub(/.*: /, "", s); sub(/,.*/, "", s); print s }' "$OUT")
+if [ -n "${LG_SPEEDUP:-}" ]; then
+    echo "large-grid 256x256 speedup (banded-direct / multigrid-iterative): ${LG_SPEEDUP}x"
+    awk -v s="$LG_SPEEDUP" 'BEGIN { exit (s >= 3.0 ? 0 : 1) }' \
+        || { echo "FAIL: large-grid speedup ${LG_SPEEDUP}x below the 3.0x acceptance floor" >&2; exit 1; }
+else
+    echo "FAIL: large_grid_256 medians missing from bench output" >&2
     exit 1
 fi
