@@ -298,6 +298,7 @@ fn bench_fused(c: &mut Criterion) {
                 force_direct: &force_direct_prod,
                 threads,
                 skip_zero_weight_adjoints: Some((agg, &fab_idx)),
+                recycle: None,
             };
             let evals = spectral
                 .evaluate_corner_product(&epss, true, &spec, &mut scratch, &set)

@@ -135,6 +135,7 @@ fn bench_subspace(c: &mut Criterion) {
             force_direct: &force_direct,
             threads,
             skip_zero_weight_adjoints: Some((agg, &fab_idx)),
+            recycle: None,
         };
         let evals = spectral
             .evaluate_corner_product(&epss, true, &spec, scratch, &set)

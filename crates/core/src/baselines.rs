@@ -389,6 +389,9 @@ pub fn run_method(
         // subspace scheduling is a production-run feature, not part of
         // the paper's baseline protocol.
         subspace: crate::subspace::SubspaceConfig::default(),
+        // Likewise the temporal axis (Krylov recycling + lagged factors)
+        // stays off: the baselines are measured on the eager pipeline.
+        recycle: crate::compiled::RecycleConfig::default(),
     };
 
     let mut rng = StdRng::seed_from_u64(base.seed);

@@ -27,10 +27,15 @@ use crate::problem::{DeviceProblem, MonitorKind};
 use boson_fab::SpectralAxis;
 use boson_fdfd::monitor::ModalMonitor;
 use boson_fdfd::operator::scale_source_into;
-use boson_fdfd::sim::{CornerContext, CornerSolveReport, SimWorkspace, Simulation, SolverStrategy};
+use boson_fdfd::sim::{
+    CornerContext, CornerSolveReport, FactorLag, FusedRecycle, SimWorkspace, Simulation,
+    SolverStrategy,
+};
 use boson_fdfd::source::ModalSource;
 use boson_num::banded::SingularMatrixError;
+use boson_num::krylov::RecycleSpace;
 use boson_num::{Array2, Complex64};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A monitor bound to concrete grid weights.
@@ -157,6 +162,85 @@ pub struct CornerProductSolve<'a> {
     /// entry (forward-phase misses, the common case, behave
     /// identically in both schedules).
     pub skip_zero_weight_adjoints: Option<(SpectralAggregation, &'a [usize])>,
+    /// When `Some(keys)`, cross-iteration Krylov recycling is armed for
+    /// this sweep: `keys[ci]` is entry `ci`'s **stable** identity across
+    /// iterations (the runner passes each entry's global ω-major
+    /// product-column index), naming which of the scratch's deflation
+    /// stores the entry harvests into and deflates from. Stability
+    /// matters because the batched subset shifts between iterations under
+    /// the subspace scheduler — dormant columns keep stale-but-monitored
+    /// stores that revalidate (or invalidate on an epoch jump) when the
+    /// column re-enters. `None`, or a scratch whose
+    /// [`RecycleConfig::directions`] is `0`, runs the batch exactly as
+    /// before — bit-identically.
+    pub recycle: Option<&'a [usize]>,
+}
+
+/// Cross-iteration solver acceleration knobs (see
+/// [`CompiledProblem::evaluate_corner_product`] and
+/// [`boson_fdfd::sim::FactorLag`]): consecutive robust-loop epochs solve
+/// nearly-identical (corner × ω) systems, and this config arms the two
+/// mechanisms that exploit it — per-(corner, ω) Krylov deflation stores
+/// recycled across epochs, and lagged drift-monitored nominal factors.
+/// Disabled by default; the disabled config is **bit-identical** to the
+/// non-recycled pipeline (regression-tested).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecycleConfig {
+    /// Deflation directions `W` retained per (corner, ω) store (both
+    /// orientations keep their own `W`). `0` disables recycling — and,
+    /// together with `max_lag == 0`, the whole temporal axis.
+    pub directions: usize,
+    /// Maximum epochs a nominal banded factor may be reused past the
+    /// epoch it was built at, and the maximum epoch gap a deflation
+    /// store survives (dormant subspace columns re-entering within the
+    /// gap keep their directions; beyond it the store self-invalidates).
+    /// `0` keeps the per-epoch eager refactor.
+    pub max_lag: u64,
+    /// Relative nominal-diagonal drift `‖Δdiag‖∞ / ‖diag‖∞` beyond which
+    /// a lag-kept factor is rebuilt regardless of age.
+    pub drift_tol: f64,
+}
+
+impl Default for RecycleConfig {
+    /// Disabled: eager refactors, no deflation — bit-identical to the
+    /// pre-recycling pipeline.
+    fn default() -> Self {
+        Self {
+            directions: 0,
+            max_lag: 0,
+            drift_tol: 0.0,
+        }
+    }
+}
+
+impl RecycleConfig {
+    /// The production steady-state preset: a handful of deflation
+    /// directions per column and factors lagged across the subspace
+    /// scheduler's default refresh period, rebuilt at 5% diagonal
+    /// drift. Eight epochs balances the refactor saving against
+    /// preconditioner staleness (longer lags cost BiCGSTAB iterations
+    /// faster than they save factorisations on the drifting
+    /// steady-state workload; see `recycle_27corner_3wl`).
+    pub fn enabled() -> Self {
+        Self {
+            directions: 4,
+            max_lag: 8,
+            drift_tol: 0.05,
+        }
+    }
+
+    /// `true` when any temporal-axis mechanism is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.directions > 0 || self.max_lag > 0
+    }
+
+    /// The lagged-factor half of the config (`None` when `max_lag == 0`).
+    pub fn factor_lag(&self) -> Option<FactorLag> {
+        (self.max_lag > 0).then_some(FactorLag {
+            max_lag: self.max_lag,
+            drift_tol: self.drift_tol,
+        })
+    }
 }
 
 /// Reusable buffers for repeated [`CompiledProblem::evaluate_eps_scratch`]
@@ -195,6 +279,20 @@ pub struct EvalScratch {
     /// ω) batch can warm-start every column from its own wavelength's
     /// nominal solution simultaneously.
     warm: Vec<WarmSlot>,
+    /// Forward-orientation Krylov deflation stores, indexed by the
+    /// stable product-column key (see [`CornerProductSolve::recycle`]).
+    /// Empty until [`EvalScratch::configure_recycling`] arms recycling.
+    recycle_fwd: Vec<RecycleSpace>,
+    /// Adjoint (transpose-orientation) deflation stores — the transpose
+    /// Krylov space differs from the forward one, so the orientations
+    /// never share directions.
+    recycle_adj: Vec<RecycleSpace>,
+    /// Batch-slot → store-key scratch for the recycled fused solves.
+    recycle_keys: Vec<usize>,
+    /// Directions per store (0 = recycling disabled).
+    recycle_directions: usize,
+    /// Epoch-gap tolerance stamped on every store.
+    recycle_max_age: u64,
 }
 
 /// One wavelength's warm-start snapshot (see [`EvalScratch::warm`]).
@@ -220,6 +318,44 @@ impl EvalScratch {
     /// An empty scratch; buffers are sized on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arms (or disarms) the temporal-axis mechanisms on this scratch:
+    /// the lagged-nominal-factor policy on the embedded solver workspace
+    /// and the per-(corner, ω) deflation stores that
+    /// [`CompiledProblem::evaluate_corner_product`] recycles across
+    /// epochs when the caller also passes stable column keys. The default
+    /// (a default [`RecycleConfig`]) is bit-identical to never calling
+    /// this.
+    pub fn configure_recycling(&mut self, config: &RecycleConfig) {
+        self.recycle_directions = config.directions;
+        self.recycle_max_age = config.max_lag.max(1);
+        if config.directions == 0 {
+            self.recycle_fwd.clear();
+            self.recycle_adj.clear();
+        }
+        self.sim.set_factor_lag(config.factor_lag());
+    }
+
+    /// Grows both orientations' store pools to cover keys `0..count`,
+    /// keeping existing stores (and their harvested directions) intact.
+    /// Returns `true` when recycling is armed. Allocation-free once the
+    /// pools cover the product.
+    fn ensure_recycle_stores(&mut self, count: usize) -> bool {
+        if self.recycle_directions == 0 {
+            return false;
+        }
+        let (dirs, age) = (self.recycle_directions, self.recycle_max_age);
+        for pool in [&mut self.recycle_fwd, &mut self.recycle_adj] {
+            if pool.len() < count {
+                pool.resize_with(count, || {
+                    let mut s = RecycleSpace::new(dirs);
+                    s.set_max_age(age);
+                    s
+                });
+            }
+        }
+        true
     }
 }
 
@@ -1123,9 +1259,51 @@ impl CompiledProblem {
                         .copy_from_slice(&scratch.warm[set.omega_idx[ci]].fields);
                 }
             }
+            // Arm cross-iteration recycling when the caller supplied
+            // stable column keys and the scratch carries configured
+            // stores; map each batch slot to its entry's key once (both
+            // phases share the mapping).
+            let recycling = match set.recycle {
+                Some(keys) => {
+                    assert_eq!(keys.len(), count, "recycle key count mismatch");
+                    let span = batched.iter().map(|&ci| keys[ci] + 1).max().unwrap_or(0);
+                    scratch.ensure_recycle_stores(span)
+                }
+                None => false,
+            };
+            if recycling {
+                let keys = set.recycle.expect("recycling implies keys");
+                scratch.recycle_keys.clear();
+                scratch
+                    .recycle_keys
+                    .extend(batched.iter().map(|&ci| keys[ci]));
+            }
             {
-                let (sim, rhs, x) = (&mut scratch.sim, &scratch.batch_rhs, &mut scratch.batch_x);
-                sim.fused_batch_solve(rhs, x, nexc, warm, set.threads);
+                let EvalScratch {
+                    sim,
+                    batch_rhs,
+                    batch_x,
+                    recycle_fwd,
+                    recycle_keys,
+                    ..
+                } = &mut *scratch;
+                if recycling {
+                    sim.fused_batch_solve_recycled(
+                        batch_rhs,
+                        batch_x,
+                        nexc,
+                        warm,
+                        set.threads,
+                        FusedRecycle {
+                            spaces: recycle_fwd,
+                            keys: recycle_keys,
+                            transpose: false,
+                            epoch: set.epoch,
+                        },
+                    );
+                } else {
+                    sim.fused_batch_solve(batch_rhs, batch_x, nexc, warm, set.threads);
+                }
             }
 
             // Forward-phase budget misses re-evaluate directly.
@@ -1239,12 +1417,36 @@ impl CompiledProblem {
                     }
                 }
                 {
-                    let (sim, rhs, x) = (
-                        &mut scratch.sim,
-                        &scratch.batch_adj,
-                        &mut scratch.batch_adj_x,
-                    );
-                    sim.fused_batch_solve(rhs, x, nexc, warm, set.threads);
+                    let EvalScratch {
+                        sim,
+                        batch_adj,
+                        batch_adj_x,
+                        recycle_adj,
+                        recycle_keys,
+                        ..
+                    } = &mut *scratch;
+                    if recycling {
+                        // The fused operator is complex-symmetric, so the
+                        // adjoint rides the same apply — but its Krylov
+                        // directions come from a different right-hand-side
+                        // family, so the transpose orientation keeps its
+                        // own stores.
+                        sim.fused_batch_solve_recycled(
+                            batch_adj,
+                            batch_adj_x,
+                            nexc,
+                            warm,
+                            set.threads,
+                            FusedRecycle {
+                                spaces: recycle_adj,
+                                keys: recycle_keys,
+                                transpose: true,
+                                epoch: set.epoch,
+                            },
+                        );
+                    } else {
+                        sim.fused_batch_solve(batch_adj, batch_adj_x, nexc, warm, set.threads);
+                    }
                 }
             }
             let merged_reports = scratch.sim.batch_reports().to_vec();
@@ -1697,6 +1899,7 @@ mod tests {
                 force_direct: &force_direct,
                 threads: 1,
                 skip_zero_weight_adjoints: skip.then_some((agg, fab_idx.as_slice())),
+                recycle: None,
             };
             c.evaluate_corner_product(&epss, true, &spec, &mut scratch, &set)
                 .unwrap()

@@ -24,7 +24,7 @@
 //! false`, sparse objective, nominal-only sampling, random init …), which
 //! is exactly how the paper's ablation table is generated.
 
-use crate::compiled::{CompiledProblem, CornerSolve, EvalScratch};
+use crate::compiled::{CompiledProblem, CornerSolve, EvalScratch, RecycleConfig};
 use crate::fabchain::{assemble_eps, grad_eps_to_rho, grad_temperature, FabChain};
 use crate::objective::{ObjectiveSpec, Readings, SpectralAggregation};
 use crate::optimizer::{Adam, AdamConfig};
@@ -96,6 +96,14 @@ pub struct RunnerConfig {
     /// preconditioned-iterative solver strategy — the partial product
     /// rides the fused lockstep batch.
     pub subspace: SubspaceConfig,
+    /// Cross-iteration solver acceleration (see
+    /// [`crate::compiled::RecycleConfig`]): per-(corner, ω) Krylov
+    /// deflation stores recycled across epochs plus lagged
+    /// drift-monitored nominal factors. Disabled by default —
+    /// bit-identical to the eager pipeline. Only the
+    /// preconditioned-iterative strategies use it (the direct fan-out
+    /// has no shared factors and no iterative columns to recycle).
+    pub recycle: RecycleConfig,
 }
 
 impl Default for RunnerConfig {
@@ -115,6 +123,7 @@ impl Default for RunnerConfig {
             solver: SolverStrategy::Direct,
             spectral_agg: SpectralAggregation::Mean,
             subspace: SubspaceConfig::default(),
+            recycle: RecycleConfig::default(),
         }
     }
 }
@@ -139,6 +148,16 @@ pub struct IterationRecord {
     /// the scheduler is disabled (or the corner fan-out runs the direct
     /// strategy, which always sweeps fully).
     pub active_set: Option<ActiveSetRecord>,
+    /// Linear-system factorisations this iteration performed (nominal
+    /// refreshes, direct corners, fallbacks, the free term). The
+    /// observable the lagged-nominal-factor policy is judged by: with
+    /// lag armed, steady-state iterations refactor only on drift/age
+    /// trips instead of once per ω per epoch.
+    pub factorizations: usize,
+    /// Mean BiCGSTAB iterations per iterative right-hand side across the
+    /// corner fan-out (`0.0` when no iterative solves ran). The
+    /// observable cross-iteration Krylov recycling is judged by.
+    pub mean_bicgstab_iterations: f64,
 }
 
 /// Result of an optimisation run.
@@ -164,6 +183,11 @@ struct CornerOutcome {
     variation_grads: Option<(f64, Vec<f64>)>,
     /// Factorisations this corner actually performed.
     factorizations: usize,
+    /// Summed BiCGSTAB iterations of this corner's iterative solves.
+    bicgstab_iterations: usize,
+    /// Right-hand sides this corner solved through the iterative path
+    /// (0 for purely direct corners) — the denominator of the mean.
+    bicgstab_solves: usize,
 }
 
 /// One unit of work for the corner pool. Owns (or `Arc`-shares) its data
@@ -427,6 +451,12 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             v_mask,
             variation_grads,
             factorizations: ev.factorizations,
+            bicgstab_iterations: ev.solve.total_iterations,
+            bicgstab_solves: if ev.solve.used_iterative {
+                ev.solve.solves
+            } else {
+                0
+            },
         }
     }
 
@@ -450,8 +480,11 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
     /// preconditioner factors and warm starts the fused batch rides on.
     ///
     /// Every evaluated column reports `(global column index, objective,
-    /// spectral aggregation weight)` into `observations` — the subspace
-    /// scheduler's EMA feed.
+    /// spectral aggregation weight, gradient norm)` into `observations`
+    /// — the subspace scheduler's EMA feed. The gradient norm is the L2
+    /// magnitude of the column's pre-chain ∂objective/∂ρ seed, read off
+    /// the adjoint fold below for free; it is `NaN` for zero-weight
+    /// columns (their adjoints were skipped, so no gradient exists).
     ///
     /// Three fusions happen here, each exploiting structure the per-entry
     /// fan-out ignored:
@@ -488,7 +521,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         scratch: &mut EvalScratch,
         strategy: SolverStrategy,
         active: &[bool],
-        observations: &mut Vec<(usize, f64, f64)>,
+        observations: &mut Vec<(usize, f64, f64, f64)>,
     ) -> (Vec<CornerOutcome>, Vec<usize>, Option<usize>) {
         let problem = self.compiled.problem();
         let k = self.compiled.omega_count();
@@ -567,6 +600,11 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             .collect();
         let evals = if self.fused_sweep {
             let fab_idx: Vec<usize> = sel.iter().map(|&(_, li)| li).collect();
+            // Each entry's *global* ω-major product column — the stable
+            // identity its Krylov deflation stores are keyed by (the
+            // packed position shifts between iterations as the subspace
+            // schedule changes; the global column never does).
+            let global_cols: Vec<usize> = sel.iter().map(|&(ci, _)| ci).collect();
             let set = crate::compiled::CornerProductSolve {
                 strategy,
                 nominal_eps,
@@ -580,6 +618,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 // pure waste — the fused batch drops them (under
                 // WorstCase that is K−1 of every corner's K adjoints).
                 skip_zero_weight_adjoints: Some((self.config.spectral_agg, &fab_idx)),
+                recycle: (self.config.recycle.directions > 0).then_some(global_cols.as_slice()),
             };
             self.compiled
                 .evaluate_corner_product(&epss, true, &self.objective, scratch, &set)
@@ -627,6 +666,9 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 let mut seed = Array2::<f64>::zeros(dr, dc);
                 for oi in 0..k {
                     let wk = sweights[oi];
+                    // The column's gradient-norm observation — NaN until
+                    // (unless) the weighted branch below computes one.
+                    let mut gnorm = f64::NAN;
                     if wk != 0.0 {
                         // Zero-weight entries may carry no gradient at
                         // all (the fused batch skipped their adjoints);
@@ -640,15 +682,17 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                             problem.design_shape,
                             fab[f].temperature,
                         );
+                        gnorm = v_rho.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
                         for (dst, src) in seed.as_mut_slice().iter_mut().zip(v_rho.as_slice()) {
                             *dst += wk * src;
                         }
                     }
                     if omask[oi] {
                         // The subspace scheduler's EMA feed: every
-                        // evaluated column reports its objective and its
-                        // spectral weight.
-                        observations.push((oi * f_count + f, values[oi], sweights[oi]));
+                        // evaluated column reports its objective, its
+                        // spectral weight and (when an adjoint ran) its
+                        // gradient norm.
+                        observations.push((oi * f_count + f, values[oi], sweights[oi], gnorm));
                     }
                 }
                 let v_mask = self.chain.vjp_mask_with_etch(&fwds[li], &seed, etch);
@@ -701,6 +745,19 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                         .filter_map(|oi| {
                             let pos = pos_of[oi * live.len() + li];
                             (pos != usize::MAX).then(|| evals[pos].factorizations)
+                        })
+                        .sum(),
+                    bicgstab_iterations: (0..k)
+                        .filter_map(|oi| {
+                            let pos = pos_of[oi * live.len() + li];
+                            (pos != usize::MAX).then(|| evals[pos].solve.total_iterations)
+                        })
+                        .sum(),
+                    bicgstab_solves: (0..k)
+                        .filter_map(|oi| {
+                            let pos = pos_of[oi * live.len() + li];
+                            (pos != usize::MAX && evals[pos].solve.used_iterative)
+                                .then(|| evals[pos].solve.solves)
                         })
                         .sum(),
                 }
@@ -845,7 +902,12 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         let (dr, dc) = self.param.design_shape();
 
         // Main-thread scratch (free term, worst-case corner, inline mode).
+        // It also hosts the batched iterative fan-out, so the temporal
+        // axis — lagged nominal factors + cross-iteration Krylov
+        // recycling — is armed here (a no-op for the default, disabled
+        // config).
         let mut scratch = EvalScratch::new();
+        scratch.configure_recycling(&self.config.recycle);
         // The adaptive corner-subspace scheduler: per-run importance
         // state over the (fabrication corner × ω) cross product. `None`
         // when disabled — every iteration then sweeps the full product.
@@ -856,9 +918,10 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                     self.config.subspace,
                 )
             });
-        // (column, objective, spectral weight) observations of one
-        // iteration's sweep — the scheduler's EMA feed.
-        let mut observations: Vec<(usize, f64, f64)> = Vec::new();
+        // (column, objective, spectral weight, gradient norm)
+        // observations of one iteration's sweep — the scheduler's EMA
+        // feed.
+        let mut observations: Vec<(usize, f64, f64, f64)> = Vec::new();
         // Persistent corner pool: spawned once, workers keep their
         // EvalScratch (and its factor buffers) for the whole run.
         let pool: Option<WorkerPool<'scope, CornerJob, (usize, CornerOutcome)>> =
@@ -898,6 +961,8 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             let mut objective = 0.0;
             let mut nominal_readings: Option<(Readings, f64)> = None;
             let mut active_set: Option<ActiveSetRecord> = None;
+            let fact_before = factorizations;
+            let (mut bicg_iters, mut bicg_solves) = (0usize, 0usize);
 
             if self.config.fab_aware {
                 let mut rng =
@@ -996,8 +1061,14 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                             &mut observations,
                         );
                         if let Some(s) = subspace.as_mut() {
-                            for &(ci, obj, w) in &observations {
+                            for &(ci, obj, w, g) in &observations {
                                 s.record(ci, obj, w);
+                                // Zero-weight columns skipped their
+                                // adjoints (gnorm NaN): no gradient
+                                // observation for them.
+                                if g.is_finite() {
+                                    s.record_gradient(ci, g);
+                                }
                             }
                         }
                         (outcomes, 1, nominal_li)
@@ -1030,6 +1101,10 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                             all_outcomes.push(o);
                         }
                     }
+                }
+                for o in &all_outcomes {
+                    bicg_iters += o.bicgstab_iterations;
+                    bicg_solves += o.bicgstab_solves;
                 }
                 // Robust objective: uniform weight over fabrication
                 // corners, each contributing the spectral aggregate of
@@ -1111,6 +1186,12 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 readings_nominal,
                 p,
                 active_set,
+                factorizations: factorizations - fact_before,
+                mean_bicgstab_iterations: if bicg_solves > 0 {
+                    bicg_iters as f64 / bicg_solves as f64
+                } else {
+                    0.0
+                },
             });
         }
 
@@ -1852,6 +1933,156 @@ mod tests {
             space,
             tiny_config(1, SamplingStrategy::AxialSingleSided),
         );
+    }
+
+    /// With the temporal axis disabled (the default [`RecycleConfig`]),
+    /// broadband runs are **bit-identical** to the eager pre-recycling
+    /// pipeline — regression-tested against the per-ω reference engine
+    /// for both aggregations, serial and threaded. The disabled config
+    /// must be a pure no-op: same solves, same factors, same arithmetic
+    /// order.
+    #[test]
+    fn recycle_disabled_runs_are_bit_identical_to_eager_pipeline() {
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        for agg in [SpectralAggregation::Mean, SpectralAggregation::WorstCase] {
+            for threads in [1usize, 4] {
+                let run = |fused: bool| {
+                    let mut designer = InverseDesigner::new(
+                        &compiled,
+                        &param,
+                        standard_chain(&problem),
+                        space.clone(),
+                        RunnerConfig {
+                            solver: SolverStrategy::preconditioned_iterative(),
+                            spectral_agg: agg,
+                            recycle: RecycleConfig::default(),
+                            ..tiny_config(threads, SamplingStrategy::AxialSingleSided)
+                        },
+                    );
+                    designer.fused_sweep = fused;
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let theta0 = designer.initial_theta(&mut rng);
+                    designer.run(theta0)
+                };
+                let fused = run(true);
+                let per_omega = run(false);
+                let tag = format!("{agg:?}/threads={threads}");
+                assert_eq!(fused.factorizations, per_omega.factorizations, "{tag}");
+                for (rf, rp) in fused.trajectory.iter().zip(&per_omega.trajectory) {
+                    assert_eq!(rf.objective, rp.objective, "{tag} iter {}", rf.iter);
+                    assert_eq!(rf.fom_nominal, rp.fom_nominal, "{tag} iter {}", rf.iter);
+                    assert_eq!(
+                        rf.factorizations, rp.factorizations,
+                        "{tag} iter {}",
+                        rf.iter
+                    );
+                }
+                for (tf, tp) in fused.theta.iter().zip(&per_omega.theta) {
+                    assert_eq!(tf, tp, "{tag}");
+                }
+            }
+        }
+    }
+
+    /// The armed temporal axis — Krylov recycling + lagged nominal
+    /// factors — reproduces the eager trajectory to solver tolerance
+    /// while factoring strictly fewer operators, stays serial ↔ threaded
+    /// bit-identical, and reports the win through the new per-iteration
+    /// telemetry (refactor counts and mean BiCGSTAB iterations).
+    #[test]
+    fn recycling_matches_eager_to_tolerance_and_saves_factorizations() {
+        use boson_fab::SpectralAxis;
+        let axis = SpectralAxis::around(0.02, 3);
+        let compiled = CompiledProblem::compile_spectral(bending(), axis).unwrap();
+        let problem = compiled.problem().clone();
+        let param = levelset_param(&problem, false);
+        let space = VariationSpace {
+            spectral: axis,
+            ..VariationSpace::default()
+        };
+        let run = |recycle: RecycleConfig, threads: usize| {
+            let mut designer = InverseDesigner::new(
+                &compiled,
+                &param,
+                standard_chain(&problem),
+                space.clone(),
+                RunnerConfig {
+                    iterations: 4,
+                    solver: SolverStrategy::PreconditionedIterative {
+                        tol: 1e-10,
+                        max_iters: 40,
+                    },
+                    spectral_agg: SpectralAggregation::WorstCase,
+                    recycle,
+                    sampling: SamplingStrategy::AxialSingleSided,
+                    relaxation: RelaxationSchedule::over(1),
+                    threads,
+                    ..RunnerConfig::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            let theta0 = designer.initial_theta(&mut rng);
+            designer.run(theta0)
+        };
+        let eager = run(RecycleConfig::default(), 1);
+        let recycled = run(RecycleConfig::enabled(), 1);
+        let recycled_threaded = run(RecycleConfig::enabled(), 4);
+        for (re, rr) in eager.trajectory.iter().zip(&recycled.trajectory) {
+            assert!(
+                (re.objective - rr.objective).abs() < 1e-6 * (1.0 + re.objective.abs()),
+                "iter {}: eager {} vs recycled {}",
+                re.iter,
+                re.objective,
+                rr.objective
+            );
+        }
+        assert!(
+            recycled.factorizations < eager.factorizations,
+            "recycled {} !< eager {}",
+            recycled.factorizations,
+            eager.factorizations
+        );
+        // Telemetry: the first epoch builds every ω factor; lag-kept
+        // steady-state epochs refactor less (here: not at all beyond the
+        // free term), and iterative solves report a positive mean.
+        let first = &recycled.trajectory[0];
+        assert!(first.factorizations >= 3, "epoch 0 builds the ω factors");
+        for r in &recycled.trajectory[1..] {
+            assert!(
+                r.factorizations < first.factorizations,
+                "iter {}: {} refactors !< epoch-0 {}",
+                r.iter,
+                r.factorizations,
+                first.factorizations
+            );
+            assert!(r.mean_bicgstab_iterations > 0.0, "iter {}", r.iter);
+        }
+        // Recycling keeps the serial ↔ threaded invariance: the deflation
+        // pre-pass and harvests run outside the threaded sweep split.
+        assert_eq!(recycled.factorizations, recycled_threaded.factorizations);
+        for (ra, rb) in recycled
+            .trajectory
+            .iter()
+            .zip(&recycled_threaded.trajectory)
+        {
+            assert_eq!(ra.objective, rb.objective, "iter {}", ra.iter);
+            assert_eq!(
+                ra.mean_bicgstab_iterations, rb.mean_bicgstab_iterations,
+                "iter {}",
+                ra.iter
+            );
+        }
+        for (ta, tb) in recycled.theta.iter().zip(&recycled_threaded.theta) {
+            assert_eq!(ta, tb);
+        }
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct SubspaceConfig {
     /// EMA objective is to the worst observed — candidates to *become*
     /// the worst case rank above comfortable columns).
     pub objective_pressure: f64,
+    /// Weight of the gradient-norm term in the importance score: columns
+    /// whose EMA gradient magnitude (observed for free from the adjoint
+    /// fold the runner already performs) is large relative to the
+    /// largest observed rank higher — they are the columns actually
+    /// steering the design. `0.0` (the default) disables the term
+    /// entirely: scores are bit-identical to the pre-gradient-signal
+    /// scheduler.
+    pub gradient_pressure: f64,
 }
 
 impl Default for SubspaceConfig {
@@ -70,6 +78,7 @@ impl Default for SubspaceConfig {
             refresh_every: 8,
             ema_decay: 0.6,
             objective_pressure: 0.25,
+            gradient_pressure: 0.0,
         }
     }
 }
@@ -137,6 +146,12 @@ pub struct SubspaceScheduler {
     /// EMA of each column's spectral aggregation weight (its share of
     /// its fabrication corner's gradient).
     ema_weight: Vec<f64>,
+    /// EMA of each column's gradient norm (fed separately via
+    /// [`Self::record_gradient`] — zero-weight columns skip their
+    /// adjoints and therefore never report one).
+    ema_grad: Vec<f64>,
+    /// Whether the column has ever reported a gradient norm.
+    grad_seen: Vec<bool>,
     /// Whether the column has ever been observed.
     seen: Vec<bool>,
 }
@@ -149,7 +164,7 @@ impl SubspaceScheduler {
     ///
     /// Panics if the configuration is invalid: `columns == 0`,
     /// `refresh_every == 0`, `ema_decay ∉ [0, 1)`, or a negative
-    /// `objective_pressure`.
+    /// `objective_pressure` or `gradient_pressure`.
     pub fn new(columns: usize, config: SubspaceConfig) -> Self {
         assert!(columns > 0, "empty cross product");
         assert!(
@@ -165,10 +180,16 @@ impl SubspaceScheduler {
             config.objective_pressure >= 0.0,
             "objective pressure must be non-negative"
         );
+        assert!(
+            config.gradient_pressure >= 0.0,
+            "gradient pressure must be non-negative"
+        );
         Self {
             config,
             ema_objective: vec![0.0; columns],
             ema_weight: vec![0.0; columns],
+            ema_grad: vec![0.0; columns],
+            grad_seen: vec![false; columns],
             seen: vec![false; columns],
         }
     }
@@ -215,8 +236,12 @@ impl SubspaceScheduler {
     /// weight plus [`SubspaceConfig::objective_pressure`] times the
     /// normalised badness `(o_max − o) / (o_max − o_min)` (columns whose
     /// EMA objective is closest to the worst observed rank highest;
-    /// unobserved columns score `+∞`). Deterministic in the recorded
-    /// observations.
+    /// unobserved columns score `+∞`), plus — only when
+    /// [`SubspaceConfig::gradient_pressure`] is positive —
+    /// `gradient_pressure` times the column's EMA gradient norm
+    /// normalised by the largest observed (`g / g_max`). Deterministic
+    /// in the recorded observations, and bit-identical to the
+    /// gradient-free score when `gradient_pressure == 0.0`.
     pub fn scores(&self) -> Vec<f64> {
         let (mut o_min, mut o_max) = (f64::INFINITY, f64::NEG_INFINITY);
         for (ci, &o) in self.ema_objective.iter().enumerate() {
@@ -226,6 +251,16 @@ impl SubspaceScheduler {
             }
         }
         let span = o_max - o_min;
+        let use_grad = self.config.gradient_pressure > 0.0;
+        let g_max = if use_grad {
+            self.ema_grad
+                .iter()
+                .zip(&self.grad_seen)
+                .filter(|&(_, &gs)| gs)
+                .fold(0.0f64, |m, (&g, _)| m.max(g))
+        } else {
+            0.0
+        };
         (0..self.columns())
             .map(|ci| {
                 if !self.seen[ci] {
@@ -236,7 +271,11 @@ impl SubspaceScheduler {
                 } else {
                     0.0
                 };
-                self.ema_weight[ci] + self.config.objective_pressure * badness
+                let mut score = self.ema_weight[ci] + self.config.objective_pressure * badness;
+                if use_grad && g_max > 0.0 && self.grad_seen[ci] {
+                    score += self.config.gradient_pressure * self.ema_grad[ci] / g_max;
+                }
+                score
             })
             .collect()
     }
@@ -260,6 +299,27 @@ impl SubspaceScheduler {
             self.ema_objective[column] = objective;
             self.ema_weight[column] = weight;
             self.seen[column] = true;
+        }
+    }
+
+    /// Feeds one observed gradient norm for a column — the magnitude of
+    /// the per-column ∂objective/∂ε seed the adjoint fold already
+    /// computes, so the signal is free. Recorded separately from
+    /// [`Self::record`] because zero-weight columns skip their adjoints
+    /// and never produce one. The signal only influences [`Self::scores`]
+    /// when [`SubspaceConfig::gradient_pressure`] is positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of range.
+    pub fn record_gradient(&mut self, column: usize, grad_norm: f64) {
+        assert!(column < self.columns(), "column {column} out of range");
+        if self.grad_seen[column] {
+            let a = self.config.ema_decay;
+            self.ema_grad[column] = a * self.ema_grad[column] + (1.0 - a) * grad_norm;
+        } else {
+            self.ema_grad[column] = grad_norm;
+            self.grad_seen[column] = true;
         }
     }
 }
@@ -388,6 +448,59 @@ mod tests {
         s.record(0, 0.0, 0.0);
         assert_eq!(s.ema_objective[0], 0.5);
         assert_eq!(s.ema_weight[0], 0.5);
+    }
+
+    /// The gradient-pressure satellite: with identical weights and
+    /// objectives the ranking is decided purely by the gradient signal —
+    /// and with `gradient_pressure = 0.0` (the default) the signal is
+    /// recorded but provably inert.
+    #[test]
+    fn gradient_pressure_reorders_an_otherwise_tied_ranking() {
+        let base = SubspaceConfig {
+            refresh_every: 10,
+            objective_pressure: 0.0,
+            ..SubspaceConfig::with_active_columns(2)
+        };
+        let forced = [true, false, false, false];
+        let feed = |s: &mut SubspaceScheduler| {
+            // Identical objectives and weights everywhere: columns 1–3
+            // are tied, and the plan's stable top-M selection keeps the
+            // lowest indices. Column 3 reports by far the largest
+            // gradient norm.
+            full_observation(s, &[0.5; 4], &[0.1; 4]);
+            for (ci, g) in [(0, 0.2), (1, 0.1), (2, 0.1), (3, 5.0)] {
+                s.record_gradient(ci, g);
+            }
+        };
+
+        // Off by default: the gradient observations change nothing.
+        let mut off = SubspaceScheduler::new(4, base);
+        feed(&mut off);
+        let plan = off.plan(1, &forced);
+        assert!(!plan.refresh);
+        assert_eq!(plan.active, [true, true, false, false]);
+        let baseline = SubspaceScheduler::new(4, base);
+        // Scores with recorded-but-inert gradients match a scheduler
+        // that never saw them, bit for bit.
+        let mut silent = baseline.clone();
+        full_observation(&mut silent, &[0.5; 4], &[0.1; 4]);
+        assert_eq!(off.scores(), silent.scores());
+
+        // Turned on, the gradient-heavy column displaces the tie-break
+        // winner.
+        let mut on = SubspaceScheduler::new(
+            4,
+            SubspaceConfig {
+                gradient_pressure: 0.5,
+                ..base
+            },
+        );
+        feed(&mut on);
+        let plan = on.plan(1, &forced);
+        assert!(!plan.refresh);
+        assert_eq!(plan.active, [true, false, false, true]);
+        let scores = on.scores();
+        assert!(scores[3] > scores[1] && scores[3] > scores[2]);
     }
 
     #[test]

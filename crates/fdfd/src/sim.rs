@@ -74,7 +74,7 @@ use crate::pml::SFactors;
 use boson_num::banded::{BandedLu, BandedLuF32, BandedMatrix, SingularMatrixError};
 use boson_num::krylov::{
     bicgstab_precond_many, bicgstab_precond_transpose_many, ColumnOp, IterativeOptions,
-    KrylovWorkspace, PrecondFamily, Precondition, RhsStats,
+    KrylovWorkspace, PrecondFamily, Precondition, RecycleSpace, RhsStats,
 };
 use boson_num::{Array2, Complex64};
 use boson_sparse::multigrid::{
@@ -425,8 +425,56 @@ pub struct CornerSolveReport {
     pub solves: usize,
     /// Worst per-RHS BiCGSTAB iteration count.
     pub max_iterations: usize,
+    /// Summed per-RHS BiCGSTAB iteration counts (`total_iterations /
+    /// solves` = mean iterations — the observable the cross-iteration
+    /// recycling is judged by).
+    pub total_iterations: usize,
     /// Worst per-RHS final true relative residual of an iterative solve.
     pub max_residual: f64,
+}
+
+/// Lagged-nominal-factor policy of a [`SimWorkspace`] (see
+/// [`SimWorkspace::set_factor_lag`]): each ω slot keeps its banded
+/// nominal factorisation (`BandedLu` + `BandedLuF32`) across optimiser
+/// epochs, refactoring only when the nominal diagonal has drifted past
+/// `drift_tol`, the factor's age exceeds `max_lag` epochs, or a budget
+/// miss was recorded against the stale factor — turning the per-epoch
+/// `O(n·b²)` refactor into `O(n)` drift math most iterations. The
+/// existing budget-miss → direct-fallback machinery keeps results
+/// correct regardless of how stale a kept factor is.
+///
+/// Only the banded-LU preconditioner lags; the multigrid hierarchy's
+/// per-epoch rebuild is already `O(n)` and stays eager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorLag {
+    /// Maximum epochs a nominal factor may be reused past the epoch it
+    /// was built at (0 = rebuild every epoch, as without lag).
+    pub max_lag: u64,
+    /// Relative diagonal drift `‖Δdiag‖∞ / ‖diag‖∞` beyond which the
+    /// factor is rebuilt regardless of age.
+    pub drift_tol: f64,
+}
+
+/// Caller-owned recycling state of one
+/// [`SimWorkspace::fused_batch_solve_recycled`] call: the deflation
+/// stores, the batch-corner → store mapping, the operator orientation,
+/// and the optimiser epoch stamped on harvests and checked on
+/// applications.
+#[derive(Debug)]
+pub struct FusedRecycle<'a> {
+    /// The caller's per-column deflation stores (typically keyed by the
+    /// stable product-column index of the (corner × ω) cross product so
+    /// dormant subspace-scheduler columns keep stale-but-monitored
+    /// state).
+    pub spaces: &'a mut [RecycleSpace],
+    /// `keys[corner]` = index into `spaces` of batch corner `corner`;
+    /// shared by all of that corner's right-hand-side columns.
+    pub keys: &'a [usize],
+    /// Apply/harvest against the transpose operator orientation (the
+    /// adjoint phase — keep separate stores per orientation).
+    pub transpose: bool,
+    /// Optimiser epoch of this solve.
+    pub epoch: u64,
 }
 
 /// Tolerances at least this loose run the preconditioner sweeps on the
@@ -468,8 +516,22 @@ struct OmegaSlot {
     /// Single-precision copy of the nominal factors — the preconditioner
     /// application engine for ordinary tolerances.
     nominal_lu32: BandedLuF32,
-    /// Epoch the nominal factor belongs to; `None` = invalid.
+    /// Epoch the nominal factor was last **checked** against; `None` =
+    /// invalid. Without factor lag this is also the epoch the factor was
+    /// built at; with lag the factor itself may be older (see
+    /// `factor_epoch`).
     nominal_epoch: Option<u64>,
+    /// Epoch `nominal_lu`/`nominal_lu32` were actually factored at;
+    /// `None` = no factor. Equal to `nominal_epoch` unless a
+    /// [`FactorLag`] policy kept a stale factor.
+    factor_epoch: Option<u64>,
+    /// Nominal operator diagonal the current factor was built from — the
+    /// reference of the `‖Δdiag‖∞ / ‖diag‖∞` drift monitor. Filled only
+    /// on refactor; O(n) storage per slot.
+    factor_diag: Vec<Complex64>,
+    /// Budget misses recorded against the **stale** factor since it was
+    /// built; any miss trips a refactor at the next epoch check.
+    factor_miss_streak: usize,
     /// Multigrid hierarchy of this ω's nominal **surrogate** operator —
     /// the hard-walled, shift-damped stand-in the V-cycle contracts on
     /// (multigrid preconditioning); empty until a multigrid sweep first
@@ -715,6 +777,76 @@ fn solve_slot_run(
     });
 }
 
+/// Relative ∞-norm drift `‖diag − ref‖∞ / ‖diag‖∞` of a nominal operator
+/// diagonal against the snapshot its factor was built from. Compared on
+/// squared magnitudes (order-preserving), one `sqrt` at the end. A length
+/// mismatch or a zero/non-finite reference norm reports `+∞` (always
+/// refactor).
+fn diag_drift(diag: &[Complex64], reference: &[Complex64]) -> f64 {
+    if diag.len() != reference.len() || diag.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut delta2 = 0.0f64;
+    let mut norm2 = 0.0f64;
+    for (&d, &r) in diag.iter().zip(reference) {
+        delta2 = delta2.max((d - r).norm_sqr());
+        norm2 = norm2.max(d.norm_sqr());
+    }
+    let drift = (delta2 / norm2).sqrt();
+    if drift.is_finite() {
+        drift
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Refreshes one ω slot's banded nominal factorisation for `epoch` —
+/// the shared epoch gate of [`SimWorkspace::prepare_corner`],
+/// [`SimWorkspace::batch_begin`] and [`SimWorkspace::fused_batch_begin`].
+///
+/// Without a [`FactorLag`] policy this is the eager path: any epoch
+/// change reassembles and refactors (bit-identical to the pre-lag
+/// behaviour). With one, the fresh nominal diagonal is always computed
+/// (`O(n)`), but the `O(n·b²)` refactor runs only when the factor has
+/// drifted past `drift_tol`, aged past `max_lag` epochs, or accumulated
+/// a budget miss; otherwise the stale factor is kept and only the epoch
+/// stamp advances.
+///
+/// Returns the number of factorisations performed (0 or 1). `diag` and
+/// `a` are the workspace's assembly scratch buffers.
+fn refresh_nominal_banded(
+    slot: &mut OmegaSlot,
+    diag: &mut Vec<Complex64>,
+    a: &mut BandedMatrix,
+    nominal_eps: &Array2<f64>,
+    epoch: u64,
+    lag: Option<FactorLag>,
+) -> Result<usize, SingularMatrixError> {
+    if slot.nominal_epoch == Some(epoch) {
+        return Ok(0);
+    }
+    slot.stencil.diag_into(nominal_eps, diag);
+    if let (Some(lag), Some(built)) = (lag, slot.factor_epoch) {
+        let aged = epoch < built || epoch - built > lag.max_lag;
+        let keep = !aged
+            && slot.factor_miss_streak == 0
+            && diag_drift(diag, &slot.factor_diag) <= lag.drift_tol;
+        if keep {
+            slot.nominal_epoch = Some(epoch);
+            return Ok(0);
+        }
+    }
+    slot.stencil.assemble_with_diag(diag, a);
+    a.factor_swap_into(&mut slot.nominal_lu)?;
+    slot.nominal_lu32.assign_from(&slot.nominal_lu);
+    slot.factor_diag.clear();
+    slot.factor_diag.extend_from_slice(diag);
+    slot.factor_epoch = Some(epoch);
+    slot.factor_miss_streak = 0;
+    slot.nominal_epoch = Some(epoch);
+    Ok(1)
+}
+
 /// Folds per-column Krylov stats into per-corner solve reports (shared by
 /// the per-ω and fused batched sweeps; repeated solves of one batch —
 /// forwards, then adjoints — merge into the same reports).
@@ -737,6 +869,7 @@ fn merge_stats_into_reports(
         report.used_iterative = true;
         report.solves += 1;
         report.max_iterations = report.max_iterations.max(stats.iterations);
+        report.total_iterations += stats.iterations;
         report.max_residual = report.max_residual.max(stats.residual);
         report.converged &= stats.converged;
     }
@@ -839,6 +972,12 @@ pub struct SimWorkspace {
     /// [`SimWorkspace::batch_begin`] / [`SimWorkspace::fused_batch_begin`]
     /// from the strategy and grid size).
     batch_mg: bool,
+    /// Lagged-nominal-factor policy; `None` (default) = eager refactor
+    /// every epoch, bit-identical to the pre-lag behaviour.
+    factor_lag: Option<FactorLag>,
+    /// Initial-guess snapshot of a recycled fused solve (so converged
+    /// corrections `x − x₀` can be harvested afterwards); grown once.
+    recycle_x0: Vec<Complex64>,
 }
 
 impl Default for SimWorkspace {
@@ -875,7 +1014,31 @@ impl SimWorkspace {
             band_scratch: BandScratch::new(),
             mg_scratch: MgScratch::new(),
             batch_mg: false,
+            factor_lag: None,
+            recycle_x0: Vec::new(),
         }
+    }
+
+    /// Sets (or clears) the lagged-nominal-factor policy. With `Some`,
+    /// each ω slot's banded nominal factorisation survives across epochs
+    /// until diagonal drift, age, or a budget miss trips a rebuild (see
+    /// [`FactorLag`]); with `None` (the default) every epoch refactors
+    /// eagerly, bit-identical to the pre-lag behaviour. The multigrid
+    /// hierarchy is unaffected (its per-epoch rebuild is already `O(n)`).
+    ///
+    /// While a kept factor is stale the *nominal corner itself* is solved
+    /// iteratively (preconditioned by the stale factor, converging in a
+    /// few iterations since drift is bounded by `drift_tol`) instead of
+    /// directly on the factor — the factor no longer *is* the nominal
+    /// operator, and solving on it directly would silently answer last
+    /// epoch's physics.
+    pub fn set_factor_lag(&mut self, lag: Option<FactorLag>) {
+        self.factor_lag = lag;
+    }
+
+    /// The current lagged-nominal-factor policy.
+    pub fn factor_lag(&self) -> Option<FactorLag> {
+        self.factor_lag
     }
 
     /// `true` once [`SimWorkspace::factor`] has succeeded.
@@ -939,6 +1102,9 @@ impl SimWorkspace {
                 nominal_lu: BandedLu::placeholder(),
                 nominal_lu32: BandedLuF32::placeholder(),
                 nominal_epoch: None,
+                factor_epoch: None,
+                factor_diag: Vec::new(),
+                factor_miss_streak: 0,
                 nominal_mg: Multigrid::new(MultigridOptions::default()),
                 nominal_band: BoundaryBand::new(),
                 nominal_diag: Vec::new(),
@@ -1104,15 +1270,22 @@ impl SimWorkspace {
                         self.report.used_iterative = true;
                     }
                 } else {
-                    if slot.nominal_epoch != Some(ctx.epoch) {
-                        slot.stencil.diag_into(ctx.nominal_eps, &mut self.diag);
-                        slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
-                        self.a.factor_swap_into(&mut slot.nominal_lu)?;
-                        slot.nominal_lu32.assign_from(&slot.nominal_lu);
-                        slot.nominal_epoch = Some(ctx.epoch);
-                        self.report.factorizations += 1;
-                    }
-                    if ctx.is_nominal {
+                    self.report.factorizations += refresh_nominal_banded(
+                        slot,
+                        &mut self.diag,
+                        &mut self.a,
+                        ctx.nominal_eps,
+                        ctx.epoch,
+                        self.factor_lag,
+                    )?;
+                    // The nominal corner solves directly on the nominal
+                    // factor only while the factor actually *is* this
+                    // epoch's nominal operator; a lag-kept stale factor
+                    // would silently answer last epoch's physics, so the
+                    // nominal corner then rides the iterative path like
+                    // any drifted corner (its "perturbation" is the
+                    // bounded diagonal drift — a few iterations).
+                    if ctx.is_nominal && slot.factor_epoch == Some(ctx.epoch) {
                         self.mode = SolveMode::NominalDirect;
                     } else {
                         slot.stencil.diag_into(eps, &mut self.diag);
@@ -1254,6 +1427,12 @@ impl SimWorkspace {
                     )
                 };
                 self.report.max_iterations = self.report.max_iterations.max(quality.max_iterations);
+                self.report.total_iterations += self
+                    .krylov
+                    .stats()
+                    .iter()
+                    .map(|s| s.iterations)
+                    .sum::<usize>();
                 self.report.max_residual = self.report.max_residual.max(quality.max_residual);
                 if !quality.converged {
                     // Budget miss: factor this corner and re-solve the
@@ -1336,11 +1515,23 @@ impl SimWorkspace {
                     ),
                 };
                 self.report.max_iterations = self.report.max_iterations.max(quality.max_iterations);
+                self.report.total_iterations += self
+                    .krylov
+                    .stats()
+                    .iter()
+                    .map(|s| s.iterations)
+                    .sum::<usize>();
                 self.report.max_residual = self.report.max_residual.max(quality.max_residual);
                 if !quality.converged {
                     // Budget miss: factor this corner and re-solve the
                     // snapshot directly; later solves of this corner go
                     // direct as well.
+                    if slot.factor_epoch != slot.nominal_epoch {
+                        // The miss happened against a lag-kept stale
+                        // factor: trip a refactor at the next epoch
+                        // check.
+                        slot.factor_miss_streak += 1;
+                    }
                     self.report.fell_back = true;
                     self.report.factorizations += 1;
                     slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
@@ -1416,13 +1607,15 @@ impl SimWorkspace {
                 slot.mg_epoch = Some(epoch);
                 factorizations = 1;
             }
-        } else if slot.nominal_epoch != Some(epoch) {
-            slot.stencil.diag_into(nominal_eps, &mut self.diag);
-            slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
-            self.a.factor_swap_into(&mut slot.nominal_lu)?;
-            slot.nominal_lu32.assign_from(&slot.nominal_lu);
-            slot.nominal_epoch = Some(epoch);
-            factorizations = 1;
+        } else {
+            factorizations = refresh_nominal_banded(
+                slot,
+                &mut self.diag,
+                &mut self.a,
+                nominal_eps,
+                epoch,
+                self.factor_lag,
+            )?;
         }
         self.batch_diags.clear();
         self.batch_count = 0;
@@ -1538,6 +1731,16 @@ impl SimWorkspace {
             self.batch_count,
             cols_per_corner,
         );
+        if self.factor_lag.is_some() && !self.batch_mg {
+            let slot = &mut self.slots[self.active];
+            if slot.factor_epoch != slot.nominal_epoch
+                && self.krylov.stats().iter().any(|s| !s.converged)
+            {
+                // A budget miss against the lag-kept stale factor trips
+                // its refactor at the next epoch check.
+                slot.factor_miss_streak += 1;
+            }
+        }
     }
 
     /// Per-corner convergence reports of the current batch (filled by
@@ -1611,13 +1814,15 @@ impl SimWorkspace {
                     slot.mg_epoch = Some(epoch);
                     factorizations += 1;
                 }
-            } else if slot.nominal_epoch != Some(epoch) {
-                slot.stencil.diag_into(nominal_eps, &mut self.diag);
-                slot.stencil.assemble_with_diag(&self.diag, &mut self.a);
-                self.a.factor_swap_into(&mut slot.nominal_lu)?;
-                slot.nominal_lu32.assign_from(&slot.nominal_lu);
-                slot.nominal_epoch = Some(epoch);
-                factorizations += 1;
+            } else {
+                factorizations += refresh_nominal_banded(
+                    slot,
+                    &mut self.diag,
+                    &mut self.a,
+                    nominal_eps,
+                    epoch,
+                    self.factor_lag,
+                )?;
             }
         }
         // Pin the batch's slots only after every geometry is ensured: the
@@ -1750,6 +1955,59 @@ impl SimWorkspace {
         use_initial_guess: bool,
         threads: usize,
     ) {
+        self.fused_batch_solve_impl(b, x, cols_per_corner, use_initial_guess, threads, None);
+    }
+
+    /// [`SimWorkspace::fused_batch_solve`] with **cross-iteration Krylov
+    /// recycling**: before the lockstep iteration starts, every column's
+    /// initial guess is improved by the Galerkin projection of its
+    /// residual onto its [`RecycleSpace`] (see
+    /// [`boson_num::krylov::RecycleSpace::try_apply`] — applied through
+    /// the same matrix-free operator the iteration uses, and guaranteed
+    /// never to worsen a column, only skip); after the solve, every
+    /// converged column's correction `x − x₀` is harvested back into its
+    /// space for the next epoch.
+    ///
+    /// `recycle.spaces` holds the caller's deflation stores (keyed
+    /// however the caller likes — e.g. by stable product-column index so
+    /// dormant subspace columns keep stale-but-monitored state);
+    /// `recycle.keys[corner]` maps each batch corner to its store, shared
+    /// by that corner's `cols_per_corner` columns. Results differ from
+    /// the unrecycled solve only through the improved starting point —
+    /// converged solutions satisfy the same residual tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fused batch is begun, the block lengths disagree with
+    /// it, or `recycle.keys` is shorter than the batch.
+    pub fn fused_batch_solve_recycled(
+        &mut self,
+        b: &[Complex64],
+        x: &mut [Complex64],
+        cols_per_corner: usize,
+        use_initial_guess: bool,
+        threads: usize,
+        recycle: FusedRecycle<'_>,
+    ) {
+        self.fused_batch_solve_impl(
+            b,
+            x,
+            cols_per_corner,
+            use_initial_guess,
+            threads,
+            Some(recycle),
+        );
+    }
+
+    fn fused_batch_solve_impl(
+        &mut self,
+        b: &[Complex64],
+        x: &mut [Complex64],
+        cols_per_corner: usize,
+        use_initial_guess: bool,
+        threads: usize,
+        mut recycle: Option<FusedRecycle<'_>>,
+    ) {
         let Self {
             slots,
             fused_slots,
@@ -1763,6 +2021,8 @@ impl SimWorkspace {
             mg_scratch,
             band_scratch,
             krylov,
+            factor_lag,
+            recycle_x0,
             ..
         } = self;
         assert!(
@@ -1773,34 +2033,107 @@ impl SimWorkspace {
         let ncols = *batch_count * cols_per_corner;
         assert_eq!(b.len(), n * ncols, "fused rhs block length mismatch");
         assert_eq!(x.len(), n * ncols, "fused solution block length mismatch");
+        if let Some(rec) = recycle.as_ref() {
+            assert!(
+                rec.keys.len() >= *batch_count,
+                "recycle keys shorter than the fused batch"
+            );
+        }
         let workers = threads.max(1);
         if fused_scratches.len() < workers {
             fused_scratches.resize_with(workers, Vec::new);
         }
-        let op = FusedCornerOp {
-            slots,
-            fused_slots,
-            omega_of_corner: fused_omega_of_corner,
-            diags: batch_diags,
-            cols_per_corner,
-        };
-        let mut family = FusedPrecond {
-            slots,
-            fused_slots,
-            omega_of_corner: fused_omega_of_corner,
-            cols_per_corner,
-            use_f32: !*batch_mg && batch_opts.tol >= F32_PRECOND_MIN_TOL,
-            mg: *batch_mg,
-            mg_scratch,
-            band_scratch,
-            scratches: &mut fused_scratches[..workers],
-        };
-        let opts = IterativeOptions {
-            use_initial_guess,
-            ..*batch_opts
-        };
-        bicgstab_precond_many(&op, &mut family, b, x, ncols, &opts, krylov);
+        {
+            let op = FusedCornerOp {
+                slots,
+                fused_slots,
+                omega_of_corner: fused_omega_of_corner,
+                diags: batch_diags,
+                cols_per_corner,
+            };
+            let mut start_from_guess = use_initial_guess;
+            if let Some(rec) = recycle.as_mut() {
+                // Recycled pre-pass: turn every column's start into an
+                // explicit initial guess (zeroed when the caller had
+                // none — `b − A·0` is exactly `b`, so a cold column
+                // behaves as before), then Galerkin-project each
+                // column's residual onto its deflation store.
+                if !use_initial_guess {
+                    x.fill(Complex64::ZERO);
+                }
+                start_from_guess = true;
+                for c in 0..ncols {
+                    let space = &mut rec.spaces[rec.keys[c / cols_per_corner]];
+                    space.ensure_dim(n);
+                    space.try_apply(
+                        &op,
+                        c,
+                        rec.transpose,
+                        &b[c * n..(c + 1) * n],
+                        &mut x[c * n..(c + 1) * n],
+                        rec.epoch,
+                    );
+                }
+                // Snapshot x₀ so corrections can be harvested after the
+                // solve; grown once, then reused.
+                recycle_x0.clear();
+                recycle_x0.extend_from_slice(x);
+            }
+            let mut family = FusedPrecond {
+                slots,
+                fused_slots,
+                omega_of_corner: fused_omega_of_corner,
+                cols_per_corner,
+                use_f32: !*batch_mg && batch_opts.tol >= F32_PRECOND_MIN_TOL,
+                mg: *batch_mg,
+                mg_scratch,
+                band_scratch,
+                scratches: &mut fused_scratches[..workers],
+            };
+            let opts = IterativeOptions {
+                use_initial_guess: start_from_guess,
+                ..*batch_opts
+            };
+            bicgstab_precond_many(&op, &mut family, b, x, ncols, &opts, krylov);
+            if let Some(rec) = recycle.as_mut() {
+                // Harvest converged corrections x − x₀ (in place over the
+                // snapshot). A column that converged at its starting
+                // point contributes a zero correction, which harvest
+                // rejects while still advancing the store's epoch stamp.
+                for (c, stats) in krylov.stats().iter().enumerate() {
+                    if !stats.converged {
+                        continue;
+                    }
+                    let col = c * n..(c + 1) * n;
+                    let correction = &mut recycle_x0[col.clone()];
+                    for (d, &xi) in correction.iter_mut().zip(&x[col.clone()]) {
+                        *d = xi - *d;
+                    }
+                    let space = &mut rec.spaces[rec.keys[c / cols_per_corner]];
+                    space.harvest(correction, rec.epoch);
+                    // Remember the full solution too: next epoch's
+                    // `try_apply` starts from it when its residual beats
+                    // the shared warm start (for multi-column corners the
+                    // last column wins — a mismatched remembered solution
+                    // is rejected by the residual gate, never committed).
+                    space.remember_solution(&x[col], rec.epoch);
+                }
+            }
+        }
         merge_stats_into_reports(krylov.stats(), batch_reports, *batch_count, cols_per_corner);
+        if factor_lag.is_some() && !*batch_mg {
+            // Budget misses against a lag-kept stale factor trip that
+            // slot's refactor at the next epoch check (the caller's
+            // direct fallback keeps this epoch's results exact).
+            for (c, stats) in krylov.stats().iter().enumerate() {
+                if !stats.converged {
+                    let slot = &mut slots[fused_slots[fused_omega_of_corner[c / cols_per_corner]]];
+                    if slot.factor_epoch != slot.nominal_epoch {
+                        slot.factor_miss_streak += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// The current factorisation.

@@ -742,6 +742,456 @@ fn bicgstab_driver<Op: ColumnOp, P: PrecondFamily>(
     quality
 }
 
+/// Relative threshold under which a harvested direction is considered
+/// already captured by the stored subspace and skipped.
+const RECYCLE_DEPENDENT_TOL: f64 = 1e-8;
+
+/// Pivot threshold for the tiny Galerkin system `(Uᴴ A U) y = Uᴴ r`;
+/// below this the projection is skipped (never committed half-solved).
+const RECYCLE_PIVOT_TOL: f64 = 1e-280;
+
+/// A per-column **recycled deflation space** in the GCROT/recycled-GMRES
+/// tradition, adapted to the cross-iteration structure of the robust
+/// loop: consecutive optimiser epochs solve nearly-identical systems, so
+/// the correction directions BiCGSTAB discovered last epoch are excellent
+/// coarse directions for this epoch.
+///
+/// The store keeps up to `W` (≈ 4–8) **orthonormalised correction
+/// directions** harvested from converged solves ([`RecycleSpace::harvest`]
+/// takes `x_final − x₀`, the part of the solution the warm start did
+/// *not* already contain), plus the column's **full previous solution**
+/// ([`RecycleSpace::remember_solution`]). Before the next solve of the
+/// same column, [`RecycleSpace::try_apply`] improves the initial guess in
+/// two stages: the remembered solution replaces the caller's guess when
+/// its true residual is strictly smaller (one optimiser step of design
+/// drift leaves it far closer than any shared warm start), then the
+/// residual is Galerkin-projected onto the recycled space:
+///
+/// ```text
+/// x₀ += U (Uᴴ A U)⁻¹ Uᴴ (b − A x₀)
+/// ```
+///
+/// applied matrix-free through the same [`ColumnOp`] seam the lockstep
+/// iteration uses, so forward and adjoint (transpose) phases each recycle
+/// their own store against their own operator orientation.
+///
+/// # Safety net: a recycled space can only skip, never worsen
+///
+/// * **Non-finite hardening** — harvested directions carrying NaN/Inf are
+///   rejected; a non-finite residual, Galerkin solve, or projected
+///   candidate aborts the application untouched.
+/// * **Never-worsen commit rule** — the projected residual
+///   `r − (A U) y` is evaluated explicitly (the `A U` block is already in
+///   hand) and the update is committed only if it is finite and
+///   **strictly smaller** than the incoming residual.
+/// * **Invalidate-on-ε-epoch-jump** — each harvest stamps the store with
+///   its optimiser epoch; an application whose epoch is more than
+///   [`RecycleSpace::max_age`] ahead of the stamp (the design has moved
+///   too far for the directions to be trusted) clears the store and
+///   skips. Dormant subspace-scheduler columns therefore keep
+///   stale-but-monitored state: the store survives dormancy, and the
+///   epoch rule decides at re-entry whether it is still usable.
+///
+/// All buffers are owned and grown once ([`RecycleSpace::ensure_dim`]);
+/// steady-state harvest/apply cycles perform no heap allocation.
+#[derive(Debug, Clone)]
+pub struct RecycleSpace {
+    /// Operator dimension the buffers are sized for.
+    n: usize,
+    /// Maximum number of stored directions (`W`).
+    capacity: usize,
+    /// Currently stored directions.
+    count: usize,
+    /// Ring cursor: next slot to overwrite once full.
+    next: usize,
+    /// Largest allowed epoch jump between harvest and application.
+    max_age: u64,
+    /// Epoch of the most recent harvest.
+    epoch: Option<u64>,
+    /// `n × capacity` column-major orthonormal directions.
+    u: Vec<Complex64>,
+    /// Scratch: `A·U` (same layout as `u`).
+    au: Vec<Complex64>,
+    /// Scratch: residual `b − A x₀`.
+    r: Vec<Complex64>,
+    /// Scratch: residual of the remembered solution.
+    r2: Vec<Complex64>,
+    /// Scratch: `capacity × capacity` Galerkin matrix (column-major).
+    g: Vec<Complex64>,
+    /// Scratch: Galerkin right-hand side / solution.
+    y: Vec<Complex64>,
+    /// This column's full solution from the last remembered epoch.
+    x_prev: Vec<Complex64>,
+    /// Epoch [`RecycleSpace::remember_solution`] last stamped.
+    x_prev_epoch: Option<u64>,
+}
+
+impl RecycleSpace {
+    /// An empty space storing at most `capacity` directions, invalidated
+    /// when applied more than one epoch after its last harvest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "recycle capacity must be positive");
+        Self {
+            n: 0,
+            capacity,
+            count: 0,
+            next: 0,
+            max_age: 1,
+            epoch: None,
+            u: Vec::new(),
+            au: Vec::new(),
+            r: Vec::new(),
+            r2: Vec::new(),
+            g: Vec::new(),
+            y: Vec::new(),
+            x_prev: Vec::new(),
+            x_prev_epoch: None,
+        }
+    }
+
+    /// Sets the largest allowed harvest→apply epoch jump (default 1: the
+    /// immediately following optimiser iteration, or a same-epoch
+    /// re-solve).
+    pub fn set_max_age(&mut self, max_age: u64) {
+        self.max_age = max_age;
+    }
+
+    /// Largest allowed harvest→apply epoch jump.
+    pub fn max_age(&self) -> u64 {
+        self.max_age
+    }
+
+    /// Number of directions currently stored.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no directions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Maximum number of stored directions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every stored direction and the remembered solution
+    /// (buffers are kept).
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.next = 0;
+        self.epoch = None;
+        self.x_prev_epoch = None;
+    }
+
+    /// Sizes the buffers for operator dimension `n`, clearing the store
+    /// if the dimension changed. Allocation-free once sized.
+    pub fn ensure_dim(&mut self, n: usize) {
+        if self.n != n {
+            self.n = n;
+            self.clear();
+            self.u.clear();
+            self.u.resize(n * self.capacity, Complex64::ZERO);
+            self.au.clear();
+            self.au.resize(n * self.capacity, Complex64::ZERO);
+            self.r.clear();
+            self.r.resize(n, Complex64::ZERO);
+            self.r2.clear();
+            self.r2.resize(n, Complex64::ZERO);
+            self.g.clear();
+            self.g
+                .resize(self.capacity * self.capacity, Complex64::ZERO);
+            self.y.clear();
+            self.y.resize(self.capacity, Complex64::ZERO);
+            self.x_prev.clear();
+            self.x_prev.resize(n, Complex64::ZERO);
+        }
+    }
+
+    /// Remembers this column's full converged solution at optimiser
+    /// `epoch`, so the next epoch's [`RecycleSpace::try_apply`] can start
+    /// from it when its true residual beats the caller's guess.
+    /// Consecutive optimiser epochs differ by one design step, so the
+    /// column's own previous solution is usually the best start
+    /// available — the shared warm start is a corner-distance away, not
+    /// an epoch-distance. Non-finite solutions are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` disagrees with the dimension passed to
+    /// [`RecycleSpace::ensure_dim`].
+    pub fn remember_solution(&mut self, x: &[Complex64], epoch: u64) {
+        assert_eq!(x.len(), self.n, "solution dimension mismatch");
+        if !norm(x).is_finite() {
+            return;
+        }
+        self.x_prev.copy_from_slice(x);
+        self.x_prev_epoch = Some(epoch);
+    }
+
+    /// Harvests one correction direction `x_final − x₀` from a converged
+    /// solve at optimiser `epoch`, orthonormalising it against the stored
+    /// directions (modified Gram–Schmidt). Non-finite corrections are
+    /// rejected; corrections already captured by the stored subspace
+    /// (residual after orthogonalisation below `RECYCLE_DEPENDENT_TOL`
+    /// relative to the input) are skipped. Once the store is full the
+    /// oldest direction is overwritten (ring order — the surviving set
+    /// stays orthonormal because the newcomer was orthogonalised against
+    /// *all* stored directions). Returns `true` if a direction was
+    /// stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `correction.len()` disagrees with the dimension passed
+    /// to [`RecycleSpace::ensure_dim`].
+    pub fn harvest(&mut self, correction: &[Complex64], epoch: u64) -> bool {
+        let n = self.n;
+        assert_eq!(correction.len(), n, "correction dimension mismatch");
+        let input_norm = norm(correction);
+        if !input_norm.is_finite() {
+            return false;
+        }
+        // Stale stores are not worth orthogonalising against: a harvest
+        // after an invalidating jump replaces the store outright.
+        if let Some(stamp) = self.epoch {
+            if epoch < stamp || epoch - stamp > self.max_age {
+                self.clear();
+            }
+        }
+        if input_norm == 0.0 {
+            // Nothing new to store, but the converged solve behind this
+            // harvest confirms the stored directions still describe the
+            // current operator family — advance the stamp so the store
+            // survives to the next epoch (a column that converges at its
+            // recycled starting point must not lose the very space that
+            // got it there).
+            if self.count > 0 {
+                self.epoch = Some(epoch);
+            }
+            return false;
+        }
+        let slot = if self.count < self.capacity {
+            self.count
+        } else {
+            self.next
+        };
+        // Copy into the candidate slot, then orthogonalise in place
+        // against every *other* stored column.
+        let (head, tail) = self.u.split_at_mut(slot * n);
+        let (cand, rest) = tail.split_at_mut(n);
+        cand.copy_from_slice(correction);
+        for (k, col) in head.chunks_exact(n).chain(rest.chunks_exact(n)).enumerate() {
+            let k = if k < slot { k } else { k + 1 };
+            if k >= self.count {
+                break;
+            }
+            let proj = dot_conj(col, cand);
+            axpy_neg(proj, col, cand);
+        }
+        let res_norm = norm(cand);
+        if !res_norm.is_finite() || res_norm <= RECYCLE_DEPENDENT_TOL * input_norm {
+            // Already captured (or poisoned by cancellation): leave the
+            // store as-is. The stamp still advances — the *solve* at this
+            // epoch confirmed the stored directions describe the current
+            // operator family.
+            self.epoch = Some(epoch);
+            return false;
+        }
+        let inv = 1.0 / res_norm;
+        for v in cand.iter_mut() {
+            *v *= Complex64::new(inv, 0.0);
+        }
+        if self.count < self.capacity {
+            self.count += 1;
+        } else {
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.epoch = Some(epoch);
+        true
+    }
+
+    /// Improves the initial guess `x` for `A x = b` (or `Aᵀ x = b` when
+    /// `transpose`) in two stages, applying the operator matrix-free
+    /// through `op`'s column `col`:
+    ///
+    /// 1. **Start substitution** — if a solution remembered by
+    ///    [`RecycleSpace::remember_solution`] is within the epoch window
+    ///    and its true residual is strictly smaller than the caller's
+    ///    guess, the guess is replaced by it (one extra operator apply).
+    /// 2. **Galerkin projection** —
+    ///    `x += U (Uᴴ A U)⁻¹ Uᴴ (b − A x)` over the stored directions.
+    ///
+    /// Returns `true` only when `x` was improved by at least one stage;
+    /// each stage commits only if every quantity stays finite **and**
+    /// the residual strictly shrinks, so a recycled start can skip but
+    /// never worsen. An epoch more than [`RecycleSpace::max_age`] past
+    /// the last harvest clears the store first
+    /// (invalidate-on-ε-epoch-jump).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b`/`x` disagree with the dimension passed to
+    /// [`RecycleSpace::ensure_dim`].
+    pub fn try_apply<Op: ColumnOp>(
+        &mut self,
+        op: &Op,
+        col: usize,
+        transpose: bool,
+        b: &[Complex64],
+        x: &mut [Complex64],
+        epoch: u64,
+    ) -> bool {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        assert_eq!(x.len(), n, "solution dimension mismatch");
+        // The remembered solution shares the invalidate-on-epoch-jump
+        // rule with the direction store.
+        let prev_ok = match self.x_prev_epoch {
+            Some(stamp) if epoch >= stamp && epoch - stamp <= self.max_age => true,
+            Some(_) => {
+                self.x_prev_epoch = None;
+                false
+            }
+            None => false,
+        };
+        if self.count > 0 {
+            match self.epoch {
+                Some(stamp) if epoch >= stamp && epoch - stamp <= self.max_age => {}
+                _ => {
+                    // The design has jumped too far (or backwards — a
+                    // reset): the stored directions describe a different
+                    // operator family. Drop them rather than risk a
+                    // misleading projection.
+                    self.clear();
+                }
+            }
+        }
+        if self.count == 0 && !prev_ok {
+            return false;
+        }
+        let apply = |v: &[Complex64], out: &mut [Complex64]| {
+            if transpose {
+                op.apply_col_transpose(col, v, out);
+            } else {
+                op.apply_col(col, v, out);
+            }
+        };
+        // r = b − A x₀.
+        apply(x, &mut self.r);
+        for (ri, &bi) in self.r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let mut rnorm = norm(&self.r);
+        if !rnorm.is_finite() || rnorm == 0.0 {
+            return false;
+        }
+        // Stage 1: start from this column's own previous solution when
+        // its true residual beats the caller's guess.
+        let mut committed = false;
+        if prev_ok {
+            apply(&self.x_prev, &mut self.r2);
+            for (ri, &bi) in self.r2.iter_mut().zip(b) {
+                *ri = bi - *ri;
+            }
+            let rprev = norm(&self.r2);
+            if rprev.is_finite() && rprev < rnorm {
+                x.copy_from_slice(&self.x_prev);
+                std::mem::swap(&mut self.r, &mut self.r2);
+                rnorm = rprev;
+                committed = true;
+            }
+        }
+        if self.count == 0 || rnorm == 0.0 {
+            return committed;
+        }
+        let k = self.count;
+        // AU and the Galerkin system G = Uᴴ (A U), y = Uᴴ r.
+        for j in 0..k {
+            apply(
+                &self.u[j * n..(j + 1) * n],
+                &mut self.au[j * n..(j + 1) * n],
+            );
+        }
+        for j in 0..k {
+            let auj = &self.au[j * n..(j + 1) * n];
+            for i in 0..k {
+                self.g[j * k + i] = dot_conj(&self.u[i * n..(i + 1) * n], auj);
+            }
+            self.y[j] = dot_conj(&self.u[j * n..(j + 1) * n], &self.r);
+        }
+        if !solve_small_in_place(&mut self.g[..k * k], &mut self.y[..k], k) {
+            return committed;
+        }
+        if self.y[..k].iter().any(|v| !v.is_finite()) {
+            return committed;
+        }
+        // Candidate residual r_new = r − (A U) y, evaluated in place —
+        // the commit gate of the never-worsen rule.
+        for j in 0..k {
+            axpy_neg(self.y[j], &self.au[j * n..(j + 1) * n], &mut self.r);
+        }
+        let rnew = norm(&self.r);
+        if !rnew.is_finite() || rnew >= rnorm {
+            return committed;
+        }
+        for j in 0..k {
+            axpy(self.y[j], &self.u[j * n..(j + 1) * n], x);
+        }
+        true
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting for the tiny
+/// (`k ≤ W`) column-major Galerkin system; `rhs` receives the solution.
+/// Returns `false` on a degenerate or non-finite pivot.
+fn solve_small_in_place(g: &mut [Complex64], rhs: &mut [Complex64], k: usize) -> bool {
+    for col in 0..k {
+        let mut piv = col;
+        let mut best = g[col * k + col].abs();
+        for row in col + 1..k {
+            let mag = g[col * k + row].abs();
+            if mag > best {
+                best = mag;
+                piv = row;
+            }
+        }
+        if !best.is_finite() || best < RECYCLE_PIVOT_TOL {
+            return false;
+        }
+        if piv != col {
+            for j in col..k {
+                g.swap(j * k + col, j * k + piv);
+            }
+            rhs.swap(col, piv);
+        }
+        let pivot = g[col * k + col];
+        for row in col + 1..k {
+            let factor = g[col * k + row] / pivot;
+            if !factor.is_finite() {
+                return false;
+            }
+            for j in col + 1..k {
+                let sub = factor * g[j * k + col];
+                g[j * k + row] -= sub;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    for col in (0..k).rev() {
+        let mut acc = rhs[col];
+        for j in col + 1..k {
+            acc -= g[j * k + col] * rhs[j];
+        }
+        rhs[col] = acc / g[col * k + col];
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1029,5 +1479,249 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         assert!(err / xnorm < 1e-8, "iterative vs direct: {}", err / xnorm);
+    }
+
+    fn residual_of(a: &BandedMatrix, x: &[Complex64], b: &[Complex64]) -> f64 {
+        let ax = a.matvec(x);
+        ax.iter()
+            .zip(b)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Harvesting last epoch's correction and Galerkin-projecting the next
+    /// residual onto it must strictly reduce that residual, and the
+    /// recycled start must converge in no more iterations than the plain
+    /// warm start.
+    #[test]
+    fn recycle_apply_reduces_residual_and_iterations() {
+        let n = 48;
+        let a = random_banded(n, 3, 3, 77);
+        let mut nominal = a.clone().factor().unwrap();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| c64((k as f64 * 0.2).sin(), (k as f64 * 0.11).cos()))
+            .collect();
+        let opts = IterativeOptions {
+            tol: 1e-10,
+            max_iters: 40,
+            use_initial_guess: true,
+        };
+        // Epoch 0: solve corner 0 cold, harvest the correction.
+        let c0 = perturb_diagonal(&a, 0.3, 5);
+        let mut x0 = vec![Complex64::ZERO; n];
+        let mut ws = KrylovWorkspace::new();
+        let q0 = bicgstab_precond_many(&c0, &mut nominal, &b, &mut x0, 1, &opts, &mut ws);
+        assert!(q0.converged);
+        let mut space = RecycleSpace::new(4);
+        space.ensure_dim(n);
+        assert!(space.harvest(&x0, 0)); // correction from x₀ = 0 is x itself
+        assert_eq!(space.len(), 1);
+        // Epoch 1: nearby corner, warm-started from x0. The recycled
+        // projection must strictly reduce the starting residual.
+        let c1 = perturb_diagonal(&a, 0.3, 6);
+        let mut x_warm = x0.clone();
+        let r_before = residual_of(&c1, &x_warm, &b);
+        assert!(space.try_apply(&c1, 0, false, &b, &mut x_warm, 1));
+        let r_after = residual_of(&c1, &x_warm, &b);
+        assert!(
+            r_after < r_before,
+            "projection must not worsen: {r_after} vs {r_before}"
+        );
+        // ... and the recycled start converges at least as fast.
+        let mut x_plain = x0.clone();
+        let q_plain = bicgstab_precond_many(&c1, &mut nominal, &b, &mut x_plain, 1, &opts, &mut ws);
+        let q_rec = bicgstab_precond_many(&c1, &mut nominal, &b, &mut x_warm, 1, &opts, &mut ws);
+        assert!(q_plain.converged && q_rec.converged);
+        assert!(
+            q_rec.max_iterations <= q_plain.max_iterations,
+            "recycled {} vs plain {}",
+            q_rec.max_iterations,
+            q_plain.max_iterations
+        );
+        // Both reach the same solution of the same system.
+        let err: f64 = x_warm
+            .iter()
+            .zip(&x_plain)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "recycled vs plain solution drift {err}");
+    }
+
+    /// Transpose recycling projects through `Aᵀ` and reduces the
+    /// transpose-system residual.
+    #[test]
+    fn recycle_apply_works_for_transpose_systems() {
+        let n = 40;
+        let a = random_banded(n, 2, 4, 31);
+        let mut nominal = a.clone().factor().unwrap();
+        let b: Vec<Complex64> = (0..n).map(|k| c64(0.5 + k as f64 * 0.03, -0.2)).collect();
+        let opts = IterativeOptions {
+            tol: 1e-10,
+            max_iters: 40,
+            use_initial_guess: true,
+        };
+        let c0 = perturb_diagonal(&a, 0.25, 9);
+        let mut x0 = vec![Complex64::ZERO; n];
+        let mut ws = KrylovWorkspace::new();
+        let q0 = bicgstab_precond_transpose_many(&c0, &mut nominal, &b, &mut x0, 1, &opts, &mut ws);
+        assert!(q0.converged);
+        let mut space = RecycleSpace::new(4);
+        space.ensure_dim(n);
+        assert!(space.harvest(&x0, 3));
+        let c1 = perturb_diagonal(&a, 0.25, 10);
+        let mut x = x0.clone();
+        let atx = c1.matvec_transpose(&x);
+        let r_before: f64 = atx
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!(space.try_apply(&c1, 0, true, &b, &mut x, 4));
+        let atx = c1.matvec_transpose(&x);
+        let r_after: f64 = atx
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!(r_after < r_before, "{r_after} vs {r_before}");
+    }
+
+    /// A remembered solution replaces a worse caller guess (residual
+    /// strictly shrinks), is ignored when the guess is already better,
+    /// and dies with the epoch window like the direction store.
+    #[test]
+    fn recycle_remembered_solution_substitutes_only_when_better() {
+        let n = 40;
+        let a = random_banded(n, 3, 3, 91);
+        let mut nominal = a.clone().factor().unwrap();
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| c64((k as f64 * 0.17).cos(), (k as f64 * 0.23).sin()))
+            .collect();
+        let opts = IterativeOptions {
+            tol: 1e-10,
+            max_iters: 40,
+            use_initial_guess: true,
+        };
+        // Epoch 0: solve corner 0 and remember the full solution.
+        let c0 = perturb_diagonal(&a, 0.2, 11);
+        let mut x0 = vec![Complex64::ZERO; n];
+        let mut ws = KrylovWorkspace::new();
+        let q0 = bicgstab_precond_many(&c0, &mut nominal, &b, &mut x0, 1, &opts, &mut ws);
+        assert!(q0.converged);
+        let mut space = RecycleSpace::new(4);
+        space.ensure_dim(n);
+        space.remember_solution(&x0, 0);
+        // Epoch 1, nearby corner, cold (zero) caller guess: the
+        // remembered solution's residual beats ‖b‖, so it must be
+        // substituted even though the direction store is empty.
+        let c1 = perturb_diagonal(&a, 0.2, 12);
+        let mut x = vec![Complex64::ZERO; n];
+        let r_cold = residual_of(&c1, &x, &b);
+        assert!(space.try_apply(&c1, 0, false, &b, &mut x, 1));
+        let r_sub = residual_of(&c1, &x, &b);
+        assert!(
+            r_sub < r_cold,
+            "substitution must shrink: {r_sub} vs {r_cold}"
+        );
+        assert_eq!(x, x0, "the remembered solution is the new start");
+        // A caller guess that is already the exact solution of c1 beats
+        // the remembered (epoch-0) solution: nothing is substituted.
+        let mut x_exact = vec![Complex64::ZERO; n];
+        let q1 = bicgstab_precond_many(&c1, &mut nominal, &b, &mut x_exact, 1, &opts, &mut ws);
+        assert!(q1.converged);
+        let x_best = x_exact.clone();
+        assert!(!space.try_apply(&c1, 0, false, &b, &mut x_exact, 1));
+        assert_eq!(x_exact, x_best, "a better guess must be kept");
+        // Past the epoch window the remembered solution is dropped.
+        let mut x_cold = vec![Complex64::ZERO; n];
+        assert!(!space.try_apply(&c1, 0, false, &b, &mut x_cold, 5));
+        assert!(x_cold.iter().all(|v| *v == Complex64::ZERO));
+    }
+
+    /// An epoch jump beyond `max_age` invalidates the store: the
+    /// application is skipped, `x` is untouched and the directions are
+    /// dropped.
+    #[test]
+    fn recycle_epoch_jump_invalidates_the_store() {
+        let n = 24;
+        let a = random_banded(n, 2, 2, 55);
+        let b: Vec<Complex64> = (0..n).map(|k| c64(1.0 + k as f64 * 0.1, 0.3)).collect();
+        let mut space = RecycleSpace::new(3);
+        space.ensure_dim(n);
+        let dir: Vec<Complex64> = (0..n).map(|k| c64((k as f64).cos(), 0.1)).collect();
+        assert!(space.harvest(&dir, 2));
+        assert_eq!(space.len(), 1);
+        let mut x = vec![Complex64::ZERO; n];
+        let x_before = x.clone();
+        // Epoch 4 is two past the harvest stamp: too stale.
+        assert!(!space.try_apply(&a, 0, false, &b, &mut x, 4));
+        assert_eq!(x, x_before, "stale application must not touch x");
+        assert!(space.is_empty(), "stale store must be dropped");
+        // A backwards jump (optimiser reset) also invalidates.
+        assert!(space.harvest(&dir, 9));
+        assert!(!space.try_apply(&a, 0, false, &b, &mut x, 3));
+        assert!(space.is_empty());
+    }
+
+    /// Non-finite corrections are rejected at harvest; duplicate
+    /// directions are skipped; the ring overwrites the oldest direction
+    /// once full and keeps the store orthonormal.
+    #[test]
+    fn recycle_harvest_hardening_and_ring_overwrite() {
+        let n = 16;
+        let mut space = RecycleSpace::new(2);
+        space.ensure_dim(n);
+        let mut poisoned = vec![Complex64::ONE; n];
+        poisoned[7] = c64(f64::NAN, 0.0);
+        assert!(!space.harvest(&poisoned, 0));
+        assert!(space.is_empty());
+        let zeros = vec![Complex64::ZERO; n];
+        assert!(!space.harvest(&zeros, 0));
+        let d1: Vec<Complex64> = (0..n).map(|k| c64((k as f64).sin(), 0.0)).collect();
+        assert!(space.harvest(&d1, 0));
+        // The same direction again is already captured: skipped.
+        let scaled: Vec<Complex64> = d1.iter().map(|v| *v * c64(2.5, 0.0)).collect();
+        assert!(!space.harvest(&scaled, 0));
+        assert_eq!(space.len(), 1);
+        let d2: Vec<Complex64> = (0..n).map(|k| c64(0.2, (k as f64).cos())).collect();
+        let d3: Vec<Complex64> = (0..n).map(|k| c64((k * k % 5) as f64, -0.4)).collect();
+        assert!(space.harvest(&d2, 0));
+        assert!(space.harvest(&d3, 0)); // overwrites the oldest (d1's slot)
+        assert_eq!(space.len(), 2);
+        // Orthonormality of the stored pair.
+        let u0 = &space.u[..n];
+        let u1 = &space.u[n..2 * n];
+        assert!((norm(u0) - 1.0).abs() < 1e-12);
+        assert!((norm(u1) - 1.0).abs() < 1e-12);
+        assert!(dot_conj(u0, u1).abs() < 1e-10);
+    }
+
+    /// Steady-state harvest/apply cycles must not reallocate.
+    #[test]
+    fn recycle_space_is_allocation_stable_across_reuse() {
+        let n = 32;
+        let a = random_banded(n, 2, 2, 91);
+        let b: Vec<Complex64> = (0..n).map(|k| c64(0.3 * k as f64, 0.7)).collect();
+        let mut space = RecycleSpace::new(4);
+        space.ensure_dim(n);
+        let seed_dir: Vec<Complex64> = (0..n).map(|k| c64((k as f64).sin(), 0.2)).collect();
+        space.harvest(&seed_dir, 0);
+        let ptrs = (space.u.as_ptr(), space.au.as_ptr(), space.g.as_ptr());
+        let mut x = vec![Complex64::ZERO; n];
+        for epoch in 1..6 {
+            space.ensure_dim(n);
+            space.try_apply(&a, 0, false, &b, &mut x, epoch);
+            let dir: Vec<Complex64> = (0..n)
+                .map(|k| c64((k as f64 * epoch as f64).cos(), 0.1 * epoch as f64))
+                .collect();
+            space.harvest(&dir, epoch);
+        }
+        assert_eq!(ptrs.0, space.u.as_ptr(), "direction storage reallocated");
+        assert_eq!(ptrs.1, space.au.as_ptr(), "AU scratch reallocated");
+        assert_eq!(ptrs.2, space.g.as_ptr(), "Galerkin scratch reallocated");
     }
 }

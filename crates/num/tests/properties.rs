@@ -5,6 +5,7 @@ use boson_num::fft::{fft, ifft};
 use boson_num::jacobi::sym_eigen;
 use boson_num::krylov::{
     bicgstab_precond_many, bicgstab_precond_transpose_many, IterativeOptions, KrylovWorkspace,
+    RecycleSpace, SolveQuality,
 };
 use boson_num::tridiag::SymTridiag;
 use boson_num::{c64, Array2, Complex64};
@@ -296,6 +297,102 @@ proptest! {
             &IterativeOptions { use_initial_guess: true, ..opts }, &mut ws,
         );
         prop_assert!(qw.converged && qw.max_iterations == 0, "warm start iterated: {qw:?}");
+    }
+
+    // Cross-iteration Krylov recycling: a deflation store harvested from
+    // the previous ε epoch's converged solves, Galerkin-projected onto
+    // the next epoch's initial guess, yields the same solution as a
+    // cold start — to (well within) the configured tolerance — across
+    // random diagonal ε perturbations of random strength and drift, on
+    // both the forward and the transpose (adjoint) path. The projection
+    // also never worsens the true initial residual (the store's commit
+    // rule), so convergence is at worst the cold start's.
+    #[test]
+    fn recycled_start_bicgstab_matches_cold_start(
+        entries in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 26 * 6),
+        perturb in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 26),
+        drift in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 26),
+        strength in 0.0f64..0.3,
+        rhs in complex_vec(26)
+    ) {
+        let n = 26;
+        let nominal = dominant_banded(n, 3, 2, &entries);
+        let mut m = nominal.clone().factor().expect("dominant matrix is nonsingular");
+        let tol = 1e-9;
+        let cold = IterativeOptions { tol, max_iters: 80, use_initial_guess: false };
+        let warm = IterativeOptions { use_initial_guess: true, ..cold };
+        let mut ws = KrylovWorkspace::new();
+        let xnorm = |v: &[Complex64]| v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+
+        // Epoch 0 and its drifted successor: the ε-corner shape, a
+        // random diagonal perturbation that moves a little per epoch.
+        let mut corner0 = nominal.clone();
+        let mut corner1 = nominal.clone();
+        for i in 0..n {
+            let (re, im) = perturb[i];
+            corner0.add(i, i, c64(strength * re, strength * im));
+            let (dre, dim) = drift[i];
+            corner1.add(i, i, c64(strength * (re + 0.2 * dre), strength * (im + 0.2 * dim)));
+        }
+
+        for transpose in [false, true] {
+            let run = |a: &BandedMatrix,
+                       m: &mut boson_num::banded::BandedLu,
+                       x: &mut [Complex64],
+                       opts: &IterativeOptions,
+                       ws: &mut KrylovWorkspace|
+             -> SolveQuality {
+                if transpose {
+                    bicgstab_precond_transpose_many(a, m, &rhs, x, 1, opts, ws)
+                } else {
+                    bicgstab_precond_many(a, m, &rhs, x, 1, opts, ws)
+                }
+            };
+            let mut space = RecycleSpace::new(4);
+            space.ensure_dim(n);
+
+            // Epoch 0: converge cold, harvest the correction (the full
+            // solution — the start was zero).
+            let mut x0 = vec![Complex64::ZERO; n];
+            let q0 = run(&corner0, &mut m, &mut x0, &cold, &mut ws);
+            prop_assert!(q0.converged, "epoch-0 solve did not converge: {q0:?}");
+            space.harvest(&x0, 0);
+
+            // Epoch 1, cold start: the reference.
+            let mut x_cold = vec![Complex64::ZERO; n];
+            let qc = run(&corner1, &mut m, &mut x_cold, &cold, &mut ws);
+            prop_assert!(qc.converged, "cold epoch-1 solve did not converge: {qc:?}");
+
+            // Epoch 1, recycled start: Galerkin projection over the
+            // harvested directions, then the same solver warm-started.
+            let mut x_rec = vec![Complex64::ZERO; n];
+            let bnorm = xnorm(&rhs);
+            space.try_apply(&corner1, 0, transpose, &rhs, &mut x_rec, 1);
+            // Never-worsen: the projected start's true residual is no
+            // larger than the cold start's (‖b‖, up to roundoff).
+            let mut ax = vec![Complex64::ZERO; n];
+            if transpose {
+                corner1.matvec_transpose_into(&x_rec, &mut ax);
+            } else {
+                corner1.matvec_into(&x_rec, &mut ax);
+            }
+            let r_start = ax.iter().zip(&rhs).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+            prop_assert!(
+                r_start <= bnorm * (1.0 + 1e-12) + 1e-12,
+                "projection worsened the start: {r_start} vs {bnorm}"
+            );
+            let qr = run(&corner1, &mut m, &mut x_rec, &warm, &mut ws);
+            prop_assert!(qr.converged, "recycled epoch-1 solve did not converge: {qr:?}");
+
+            // Both solutions agree with each other to tolerance.
+            let err = x_rec.iter().zip(&x_cold)
+                .map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
+            prop_assert!(
+                err <= 200.0 * tol * (1.0 + xnorm(&x_cold)),
+                "{} recycled/cold mismatch {err}",
+                if transpose { "transpose" } else { "forward" }
+            );
+        }
     }
 
     // The optimised kernels agree with the seed's scalar reference

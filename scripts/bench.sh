@@ -29,6 +29,8 @@ echo "== bench: subspace =="
 cargo bench -p boson-bench --bench subspace
 echo "== bench: large_grid =="
 cargo bench -p boson-bench --bench large_grid
+echo "== bench: recycle =="
+cargo bench -p boson-bench --bench recycle
 
 # Aggregate the JSON lines and compute the acceptance ratio
 # (naïve allocate-per-call corner loop vs the workspace pipeline).
@@ -47,7 +49,7 @@ function val(line, key,   s) {
     median[id] = val($0, "median_ns")
 }
 END {
-    printf "{\n  \"suite\": \"solver+corner_scaling+spectral+subspace+large_grid\",\n  \"results\": [\n"
+    printf "{\n  \"suite\": \"solver+corner_scaling+spectral+subspace+large_grid+recycle\",\n  \"results\": [\n"
     for (i = 0; i < n; i++) printf "    %s%s\n", lines[i], (i < n - 1 ? "," : "")
     printf "  ]"
     naive = median["corner_loop/naive_alloc_per_call"]
@@ -91,6 +93,13 @@ END {
         printf ",\n  \"large_grid_direct_ns\": %.1f", lg_direct
         printf ",\n  \"large_grid_multigrid_ns\": %.1f", lg_mg
         printf ",\n  \"large_grid_speedup\": %.3f", lg_direct / lg_mg
+    }
+    rec_base = median["recycle_27corner_3wl/baseline"]
+    rec_on = median["recycle_27corner_3wl/recycled"]
+    if (rec_base > 0 && rec_on > 0) {
+        printf ",\n  \"recycle_baseline_ns\": %.1f", rec_base
+        printf ",\n  \"recycle_recycled_ns\": %.1f", rec_on
+        printf ",\n  \"recycle_speedup\": %.3f", rec_base / rec_on
     }
     printf "\n}\n"
 }
@@ -150,5 +159,14 @@ if [ -n "${LG_SPEEDUP:-}" ]; then
         || { echo "FAIL: large-grid speedup ${LG_SPEEDUP}x below the 3.0x acceptance floor" >&2; exit 1; }
 else
     echo "FAIL: large_grid_256 medians missing from bench output" >&2
+    exit 1
+fi
+RECYCLE_SPEEDUP=$(awk '/recycle_speedup/ { s = $0; sub(/.*: /, "", s); sub(/,.*/, "", s); print s }' "$OUT")
+if [ -n "${RECYCLE_SPEEDUP:-}" ]; then
+    echo "temporal-axis iteration speedup (eager cold-start / recycled+lagged): ${RECYCLE_SPEEDUP}x"
+    awk -v s="$RECYCLE_SPEEDUP" 'BEGIN { exit (s >= 1.5 ? 0 : 1) }' \
+        || { echo "FAIL: recycle speedup ${RECYCLE_SPEEDUP}x below the 1.5x acceptance floor" >&2; exit 1; }
+else
+    echo "FAIL: recycle_27corner_3wl medians missing from bench output" >&2
     exit 1
 fi
