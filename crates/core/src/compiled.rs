@@ -1100,8 +1100,9 @@ impl CompiledProblem {
     /// instead of one per ω): per-column arithmetic is identical, so the
     /// fused product is **bit-identical** to running K per-ω sets — and
     /// when the packed column count is large enough, the fused
-    /// preconditioner sweeps split across `threads` scoped workers
-    /// (bit-identical at any thread count). Each ω's nominal corner is
+    /// preconditioner sweeps split across `threads` lanes of the
+    /// process-wide `boson_num::pool` (bit-identical at any worker
+    /// count). Each ω's nominal corner is
     /// evaluated first (refreshing that ω's factor and snapshotting its
     /// warm starts), policy-pinned corners solve directly, and budget
     /// misses fall back per (corner, ω) exactly like the per-ω path.

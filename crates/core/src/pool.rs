@@ -1,133 +1,137 @@
-//! A persistent scoped worker pool for corner evaluation.
+//! Persistent corner-evaluation fan-out on the process-wide substrate.
 //!
 //! The seed spawned a fresh set of scoped threads (plus a fresh results
-//! mutex) for **every** corner batch of **every** optimisation iteration.
-//! [`WorkerPool`] instead spawns its workers once per [`std::thread::scope`]
-//! region — in practice once per optimisation *run* — and feeds them jobs
-//! over a channel, so the per-iteration fan-out cost is a handful of
-//! channel sends. Each worker owns whatever expensive state the caller's
-//! `make_worker` factory builds for it (an `EvalScratch` with its factor
-//! buffers, for the corner loop), which is what makes the zero-allocation
-//! solve path possible across threads.
+//! mutex) for **every** corner batch of **every** optimisation iteration;
+//! a first rework amortised that to one scoped spawn per optimisation
+//! run. [`WorkerPool`] now spawns nothing at all: jobs are queued with
+//! [`WorkerPool::submit`] and executed on the process-lifetime
+//! [`boson_num::pool`] substrate — the same long-lived workers that drive
+//! the fused preconditioner sweeps and the parallel multigrid column
+//! chunks — so one pool serves direct fan-out, fused sweeps, and many
+//! concurrent runs, and a steady-state robust iteration spawns **zero**
+//! threads.
 //!
-//! The pool is deliberately tiny: unbounded MPSC job queue shared through
-//! a mutex-wrapped receiver, results funnelled back over a second channel
-//! tagged by job. A panic inside a worker's job is caught, shipped back,
+//! What survives from the previous generations is the *worker-state*
+//! contract: `make_worker(i)` builds one closure per worker lane,
+//! capturing whatever expensive private state the caller wants kept warm
+//! (an `EvalScratch` with its factor buffers, for the corner loop). The
+//! substrate guarantees each lane index is owned by exactly one OS
+//! thread per dispatch, which is what makes handing lane `i`'s closure
+//! its jobs sound without any further locking.
+//!
+//! A panic inside a worker's job is caught, stored with the job's slot,
 //! and re-raised on the thread calling [`WorkerPool::recv`] — matching
-//! the loud-failure behaviour of the scoped-spawn code this replaces
-//! (a silently hung run would otherwise be the failure mode). Dropping
-//! the pool closes the job channel, the workers drain and exit, and the
-//! enclosing scope joins them.
+//! the loud-failure behaviour of the generations this replaces (a
+//! silently hung run would otherwise be the failure mode).
 
-use std::marker::PhantomData;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::Scope;
 
-/// A fixed set of worker threads processing jobs of type `J` into results
-/// of type `R`, alive for the lifetime of the enclosing thread scope.
-pub struct WorkerPool<'scope, J: Send + 'scope, R: Send + 'scope> {
-    job_tx: Option<Sender<J>>,
-    res_rx: Receiver<std::thread::Result<R>>,
-    workers: usize,
-    _scope: PhantomData<&'scope ()>,
+use boson_num::pool::{self, DisjointSlots};
+
+/// A fixed set of worker closures processing jobs of type `J` into
+/// results of type `R` on the process-wide pool. `'env` is the lifetime
+/// of whatever environment the worker closures borrow.
+///
+/// Results come back in **submission order** (the dispatch itself is
+/// dynamic, but every queued job completes before the first
+/// [`WorkerPool::recv`] returns, so ordering costs nothing); callers
+/// that tag jobs with a slot index keep working unchanged.
+pub struct WorkerPool<'env, J: Send, R: Send> {
+    /// One closure per worker lane, each owning its private state.
+    workers: Vec<Box<dyn FnMut(J) -> R + Send + 'env>>,
+    /// Jobs queued since the last flush (`None` = already taken).
+    queue: Vec<Option<J>>,
+    /// Finished results in submission order, drained by `recv`.
+    results: VecDeque<std::thread::Result<R>>,
 }
 
-impl<'scope, J: Send + 'scope, R: Send + 'scope> WorkerPool<'scope, J, R> {
-    /// Spawns `threads` workers on `scope`. `make_worker(i)` builds the
-    /// per-thread closure (capturing that thread's private state); the
-    /// closure is called once per job.
+impl<'env, J: Send, R: Send> WorkerPool<'env, J, R> {
+    /// Builds `threads` worker closures; `make_worker(i)` constructs the
+    /// per-lane closure (capturing that lane's private state). No
+    /// threads are spawned — execution happens on the process-wide pool,
+    /// on up to `threads` lanes.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
-    pub fn new<'env, F, W>(
-        scope: &'scope Scope<'scope, 'env>,
-        threads: usize,
-        mut make_worker: F,
-    ) -> Self
+    pub fn new<F, W>(threads: usize, mut make_worker: F) -> Self
     where
         F: FnMut(usize) -> W,
-        W: FnMut(J) -> R + Send + 'scope,
+        W: FnMut(J) -> R + Send + 'env,
     {
-        assert!(threads > 0, "worker pool needs at least one thread");
-        let (job_tx, job_rx) = channel::<J>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (res_tx, res_rx) = channel::<std::thread::Result<R>>();
+        assert!(threads > 0, "worker pool needs at least one worker");
+        let mut workers: Vec<Box<dyn FnMut(J) -> R + Send + 'env>> = Vec::with_capacity(threads);
         for i in 0..threads {
-            let rx = Arc::clone(&job_rx);
-            let tx = res_tx.clone();
-            let mut work = make_worker(i);
-            scope.spawn(move || loop {
-                // Take the lock only for the dequeue, not for the work.
-                let job = match rx.lock() {
-                    Ok(guard) => guard.recv(),
-                    Err(_) => break, // a sibling panicked mid-recv
-                };
-                match job {
-                    Ok(job) => {
-                        // Catch panics so the consumer re-raises them
-                        // instead of deadlocking on a missing result.
-                        // (The worker's private state may be torn after a
-                        // panic, so this worker retires afterwards.)
-                        let outcome = catch_unwind(AssertUnwindSafe(|| work(job)));
-                        let failed = outcome.is_err();
-                        if tx.send(outcome).is_err() || failed {
-                            break;
-                        }
-                    }
-                    Err(_) => break, // job channel closed: pool dropped
+            workers.push(Box::new(make_worker(i)));
+        }
+        Self {
+            workers,
+            queue: Vec::new(),
+            results: VecDeque::new(),
+        }
+    }
+
+    /// Number of worker closures (the pool's lane budget).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job; nothing runs until [`WorkerPool::recv`] needs a
+    /// result (batch submission then keeps a single pool dispatch for
+    /// the whole fan-out).
+    pub fn submit(&mut self, job: J) {
+        self.queue.push(Some(job));
+    }
+
+    /// Blocks for the next finished result, in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that occurred inside a worker's job (remaining
+    /// results stay retrievable), and panics if called with no job
+    /// submitted.
+    pub fn recv(&mut self) -> R {
+        if self.results.is_empty() {
+            self.flush();
+        }
+        match self.results.pop_front() {
+            Some(Ok(result)) => result,
+            Some(Err(payload)) => resume_unwind(payload),
+            None => panic!("worker pool recv with no job submitted"),
+        }
+    }
+
+    /// Runs every queued job on the process-wide pool, filling
+    /// `self.results` in submission order.
+    fn flush(&mut self) {
+        let njobs = self.queue.len();
+        if njobs == 0 {
+            return;
+        }
+        let lanes = self.workers.len();
+        let mut out: Vec<Option<std::thread::Result<R>>> = Vec::with_capacity(njobs);
+        out.resize_with(njobs, || None);
+        {
+            let jobs = DisjointSlots::new(&mut self.queue);
+            let outs = DisjointSlots::new(&mut out);
+            let workers = DisjointSlots::new(&mut self.workers);
+            pool::global().run(njobs, lanes, &|lane, part| {
+                // Safety: part `part` owns job and output slot `part`
+                // exclusively (each part runs exactly once), and the
+                // substrate guarantees lane `lane` is owned by exactly
+                // one OS thread per dispatch, so its worker closure (and
+                // the private state it captures) is never aliased.
+                unsafe {
+                    let job = jobs.get(part).take().expect("job not yet taken");
+                    let work = workers.get(lane);
+                    *outs.get(part) = Some(catch_unwind(AssertUnwindSafe(|| work(job))));
                 }
             });
         }
-        Self {
-            job_tx: Some(job_tx),
-            res_rx,
-            workers: threads,
-            _scope: PhantomData,
-        }
-    }
-
-    /// Number of worker threads.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Enqueues one job.
-    ///
-    /// # Panics
-    ///
-    /// Panics if every worker has exited (i.e. one of them panicked).
-    pub fn submit(&self, job: J) {
-        self.job_tx
-            .as_ref()
-            .expect("job channel open while pool is alive")
-            .send(job)
-            .expect("worker pool has no live workers");
-    }
-
-    /// Blocks for the next finished result (in completion order, not
-    /// submission order — tag jobs with a slot index to reassemble).
-    ///
-    /// # Panics
-    ///
-    /// Re-raises a panic that occurred inside a worker's job, and panics
-    /// if every worker exited with results still outstanding.
-    pub fn recv(&self) -> R {
-        match self.res_rx.recv() {
-            Ok(Ok(result)) => result,
-            Ok(Err(payload)) => resume_unwind(payload),
-            Err(_) => panic!("worker pool has no live workers"),
-        }
-    }
-}
-
-impl<'scope, J: Send + 'scope, R: Send + 'scope> Drop for WorkerPool<'scope, J, R> {
-    fn drop(&mut self) {
-        // Closing the job channel lets the workers drain and exit; the
-        // enclosing scope joins them.
-        self.job_tx.take();
+        self.queue.clear();
+        self.results
+            .extend(out.into_iter().map(|r| r.expect("every part ran")));
     }
 }
 
@@ -137,78 +141,82 @@ mod tests {
 
     #[test]
     fn pool_processes_all_jobs_with_persistent_state() {
-        let results = std::thread::scope(|scope| {
-            // Each worker counts its own jobs — persistent per-thread state.
-            let pool: WorkerPool<usize, (usize, usize, usize)> = WorkerPool::new(scope, 3, |wid| {
-                let mut handled = 0usize;
-                move |job: usize| {
-                    handled += 1;
-                    (job, job * job, wid * handled)
-                }
-            });
-            let njobs = 40;
-            for j in 0..njobs {
-                pool.submit(j);
+        // Each worker counts its own jobs — persistent per-lane state.
+        let mut pool: WorkerPool<usize, (usize, usize, usize)> = WorkerPool::new(3, |wid| {
+            let mut handled = 0usize;
+            move |job: usize| {
+                handled += 1;
+                (job, job * job, wid * handled)
             }
-            let mut out = vec![0usize; njobs];
-            for _ in 0..njobs {
-                let (j, sq, _) = pool.recv();
-                out[j] = sq;
-            }
-            out
         });
-        for (j, sq) in results.iter().enumerate() {
+        let njobs = 40;
+        for j in 0..njobs {
+            pool.submit(j);
+        }
+        let mut out = vec![0usize; njobs];
+        for _ in 0..njobs {
+            let (j, sq, _) = pool.recv();
+            out[j] = sq;
+        }
+        for (j, sq) in out.iter().enumerate() {
             assert_eq!(*sq, j * j);
         }
     }
 
     #[test]
     fn pool_survives_multiple_batches() {
-        std::thread::scope(|scope| {
-            let pool: WorkerPool<u64, u64> = WorkerPool::new(scope, 2, |_| |x: u64| x + 1);
-            for batch in 0..5u64 {
-                for j in 0..8 {
-                    pool.submit(batch * 100 + j);
-                }
-                let mut sum = 0;
-                for _ in 0..8 {
-                    sum += pool.recv();
-                }
-                assert_eq!(sum, (0..8).map(|j| batch * 100 + j + 1).sum::<u64>());
+        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(2, |_| |x: u64| x + 1);
+        for batch in 0..5u64 {
+            for j in 0..8 {
+                pool.submit(batch * 100 + j);
             }
-        });
+            let mut sum = 0;
+            for _ in 0..8 {
+                sum += pool.recv();
+            }
+            assert_eq!(sum, (0..8).map(|j| batch * 100 + j + 1).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn pool_borrows_its_environment() {
+        // The 'env lifetime lets workers borrow run-local state, the way
+        // the runner's workers borrow the compiled problem.
+        let base = vec![10u64, 20, 30, 40];
+        let mut pool: WorkerPool<usize, u64> = WorkerPool::new(2, |_| |i: usize| base[i] * 2);
+        for i in 0..base.len() {
+            pool.submit(i);
+        }
+        let got: Vec<u64> = (0..base.len()).map(|_| pool.recv()).collect();
+        assert_eq!(got, vec![20, 40, 60, 80]);
     }
 
     #[test]
     #[should_panic(expected = "corner exploded")]
     fn worker_panic_propagates_to_consumer() {
-        std::thread::scope(|scope| {
-            let pool: WorkerPool<u32, u32> = WorkerPool::new(scope, 2, |_| {
-                |x: u32| {
-                    if x == 3 {
-                        panic!("corner exploded");
-                    }
-                    x
+        let mut pool: WorkerPool<u32, u32> = WorkerPool::new(2, |_| {
+            |x: u32| {
+                if x == 3 {
+                    panic!("corner exploded");
                 }
-            });
-            for j in 0..4 {
-                pool.submit(j);
-            }
-            for _ in 0..4 {
-                pool.recv();
+                x
             }
         });
+        for j in 0..4 {
+            pool.submit(j);
+        }
+        for _ in 0..4 {
+            pool.recv();
+        }
     }
 
     #[test]
-    fn dropping_pool_releases_workers() {
-        // The scope exits only if the workers exit: this test hanging
-        // would mean the drop protocol is broken.
-        std::thread::scope(|scope| {
-            let pool: WorkerPool<(), ()> = WorkerPool::new(scope, 4, |_| |()| ());
-            pool.submit(());
-            pool.recv();
-            drop(pool);
-        });
+    fn results_come_back_in_submission_order() {
+        let mut pool: WorkerPool<u32, u32> = WorkerPool::new(4, |_| |x: u32| x * x);
+        for j in [5u32, 1, 9, 2] {
+            pool.submit(j);
+        }
+        let got: Vec<u32> = (0..4).map(|_| pool.recv()).collect();
+        assert_eq!(got, vec![25, 1, 81, 4]);
     }
 }

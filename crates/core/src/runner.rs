@@ -12,10 +12,12 @@
 //!    gradient according to the relaxation schedule `p`;
 //! 5. back-propagate through the parameterisation and take an Adam step.
 //!
-//! Corner fan-out runs on a **persistent** [`WorkerPool`] spawned once per
-//! run: each worker owns an [`EvalScratch`] whose factor/solve buffers are
-//! reused across *all* corners of *all* iterations, so the steady-state
-//! solve path performs no heap allocation and no thread spawning. The β
+//! Corner fan-out runs on a **persistent** [`WorkerPool`] whose worker
+//! closures are built once per run and execute on the process-lifetime
+//! `boson_num::pool` substrate: each worker owns an [`EvalScratch`] whose
+//! factor/solve buffers are reused across *all* corners of *all*
+//! iterations, so the steady-state solve path performs no heap allocation
+//! and no thread spawning at all (the pool is built once per process). The β
 //! sharpening schedule is threaded through as an explicit
 //! [`EtchProjection`] job parameter instead of mutating the shared
 //! [`FabChain`].
@@ -40,7 +42,6 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
-use std::thread::Scope;
 
 /// How to initialise the latent variables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,7 +80,14 @@ pub struct RunnerConfig {
     pub init: InitKind,
     /// RNG seed (corner draws, random init).
     pub seed: u64,
-    /// Worker threads for corner evaluation.
+    /// Worker-thread budget for the parallel stages (direct corner
+    /// fan-out and the split fused preconditioner sweeps). Defaults to
+    /// the `BOSON_THREADS` environment override when set, 8 otherwise —
+    /// an invalid `BOSON_THREADS` value fails **loudly** (panic at
+    /// config construction) rather than silently running serial; see
+    /// [`boson_num::pool::env_threads`]. Worker count never changes
+    /// results: every parallel decomposition in the stack is
+    /// bit-identical at any thread count.
     pub threads: usize,
     /// Corner linear-solver strategy: direct per-corner factorisation or
     /// nominal-factor-preconditioned iteration with adaptive fallback.
@@ -119,7 +127,7 @@ impl Default for RunnerConfig {
             fab_aware: true,
             init: InitKind::Seeded,
             seed: 7,
-            threads: 8,
+            threads: boson_num::pool::env_threads().unwrap_or(8),
             solver: SolverStrategy::Direct,
             spectral_agg: SpectralAggregation::Mean,
             subspace: SubspaceConfig::default(),
@@ -502,8 +510,8 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
     ///    Budget misses fall back (and [`CornerPolicy`]-pin) per
     ///    `(corner, ω)` label exactly as before; above
     ///    [`boson_fdfd::sim::FUSED_SPLIT_MIN_COLS`] packed columns each
-    ///    preconditioner sweep also splits across `config.threads` scoped
-    ///    workers (serial ↔ threaded bit-identical).
+    ///    preconditioner sweep also splits across `config.threads` lanes
+    ///    of the process-wide pool (serial ↔ parallel bit-identical).
     /// 3. **Chain backward**: the fabrication VJP is linear in its seed,
     ///    so the spectral aggregation's exact per-ω weights scale the
     ///    *pre-chain* gradients and one VJP per fabrication corner
@@ -880,16 +888,13 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
             "theta length mismatch"
         );
         let this: &Self = self;
-        std::thread::scope(|scope| this.run_scoped(scope, theta0))
+        this.run_inner(theta0)
     }
 
-    /// The loop body, generic over the thread scope that hosts the
-    /// persistent corner pool.
-    fn run_scoped<'scope, 'env>(
-        &'env self,
-        scope: &'scope Scope<'scope, 'env>,
-        theta0: Vec<f64>,
-    ) -> RunResult {
+    /// The loop body. No thread scope: the corner pool executes on the
+    /// process-lifetime `boson_num::pool` substrate, so a run spawns no
+    /// threads of its own.
+    fn run_inner(&self, theta0: Vec<f64>) -> RunResult {
         let mut theta = theta0;
         let mut adam = Adam::new(theta.len(), self.config.adam);
         let beta_sched = BetaSchedule::new(
@@ -922,12 +927,14 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
         // observations of one iteration's sweep — the scheduler's EMA
         // feed.
         let mut observations: Vec<(usize, f64, f64, f64)> = Vec::new();
-        // Persistent corner pool: spawned once, workers keep their
-        // EvalScratch (and its factor buffers) for the whole run.
-        let pool: Option<WorkerPool<'scope, CornerJob, (usize, CornerOutcome)>> =
+        // Persistent corner pool: worker closures built once, each
+        // keeping its EvalScratch (and factor buffers) warm for the
+        // whole run; execution rides the process-wide substrate, so no
+        // threads are spawned here.
+        let mut pool: Option<WorkerPool<'_, CornerJob, (usize, CornerOutcome)>> =
             match self.pool_threads() {
                 0 => None,
-                threads => Some(WorkerPool::new(scope, threads, |_| {
+                threads => Some(WorkerPool::new(threads, |_| {
                     let mut scratch = EvalScratch::new();
                     move |job: CornerJob| {
                         // The pool only ever runs the direct strategy
@@ -1016,7 +1023,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
                 let (outcomes, agg_k, agg_nominal_idx) = match self.config.solver {
                     SolverStrategy::Direct => (
                         self.eval_corners(
-                            pool.as_ref(),
+                            pool.as_mut(),
                             &rho,
                             &corners,
                             etch,
@@ -1209,7 +1216,7 @@ impl<'a, P: Parameterization + Sync> InverseDesigner<'a, P> {
     /// corner order regardless of completion order.
     fn eval_corners(
         &self,
-        pool: Option<&WorkerPool<'_, CornerJob, (usize, CornerOutcome)>>,
+        pool: Option<&mut WorkerPool<'_, CornerJob, (usize, CornerOutcome)>>,
         rho: &Arc<Array2<f64>>,
         corners: &[VariationCorner],
         etch: EtchProjection,

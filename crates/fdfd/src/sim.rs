@@ -76,6 +76,7 @@ use boson_num::krylov::{
     bicgstab_precond_many, bicgstab_precond_transpose_many, ColumnOp, IterativeOptions,
     KrylovWorkspace, PrecondFamily, Precondition, RecycleSpace, RhsStats,
 };
+use boson_num::pool;
 use boson_num::{Array2, Complex64};
 use boson_sparse::multigrid::{
     BandScratch, BoundaryBand, MgBandPrecond, MgScratch, Multigrid, MultigridOptions,
@@ -482,16 +483,30 @@ pub struct FusedRecycle<'a> {
 /// iteration cannot plateau near the f32 noise floor.
 const F32_PRECOND_MIN_TOL: f64 = 1e-8;
 
-/// Packed active-column count at which a fused-batch preconditioner
-/// sweep splits across worker threads
+/// Packed active-column count at which a fused-batch **banded**
+/// preconditioner sweep splits across pool lanes
 /// (see [`SimWorkspace::fused_batch_solve`]).
 ///
-/// Below it the split's thread-spawn cost (and its per-thread re-reads of
-/// the factor image) outweighs the parallel sweep work; a 27-corner
-/// single-ω batch (≤ ~32 columns) stays serial while a fused 27-corner ×
-/// 3-ω product (~78 columns) splits. Columns are solved independently, so
-/// serial and split sweeps are bit-identical at any thread count.
-pub const FUSED_SPLIT_MIN_COLS: usize = 48;
+/// Retuned for pool dispatch (`boson_num::pool`): the scoped-spawn
+/// generation paid a thread spawn + join per split (~tens of µs), which
+/// needed ≥ 48 columns to amortise; a pool dispatch costs a mutex
+/// hand-off and a condvar wake (`bench pool_split`, recorded in
+/// `crates/bench/benches/pool_split.rs`), so a 27-corner single-ω batch
+/// (~32 columns) now splits too, not just the fused multi-ω products.
+/// Below the threshold the per-lane re-reads of the factor image and the
+/// dispatch hand-off still outweigh the parallel sweep work. Columns are
+/// solved independently, so serial and split sweeps are bit-identical at
+/// any lane count.
+pub const FUSED_SPLIT_MIN_COLS: usize = 16;
+
+/// Packed active-column count at which a fused-batch **multigrid**
+/// preconditioner application splits its column chunks across pool
+/// lanes. A V-cycle + boundary-band application costs orders of
+/// magnitude more per column than a banded triangular sweep (the
+/// large-grid regime it serves), so even two columns are worth a
+/// dispatch; columns are independent (`MgBandPrecond::solve_block`
+/// iterates them one at a time), keeping any lane count bit-identical.
+pub const MG_SPLIT_MIN_COLS: usize = 2;
 
 /// Maximum number of per-ω slots a [`SimWorkspace`] retains. A broadband
 /// robust iteration keys its geometry caches and nominal factors by
@@ -644,12 +659,24 @@ impl ColumnOp for FusedCornerOp<'_> {
     }
 }
 
+/// One pool lane's private multigrid application scratch: a V-cycle
+/// scratch plus a boundary-band scratch. Every slot's hierarchy shares
+/// one grid, so one lane's pair serves any ω's [`OmegaSlot::mg_precond`];
+/// giving each lane its own pair is what lets independent column chunks
+/// of a multigrid-preconditioned fused sweep run in parallel.
+#[derive(Debug, Default)]
+struct MgLane {
+    mg: MgScratch,
+    band: BandScratch,
+}
+
 /// The per-column preconditioner family of a fused (corner × ω) sweep:
 /// every packed column is preconditioned by **its own wavelength's**
 /// nominal factor. Columns of one ω form contiguous runs in the ω-major
 /// packed block, so each run costs one factor sweep — and runs above
-/// [`FUSED_SPLIT_MIN_COLS`] total active columns split across scoped
-/// worker threads in independent column chunks (columns are solved
+/// [`FUSED_SPLIT_MIN_COLS`] (banded) / [`MG_SPLIT_MIN_COLS`] (multigrid)
+/// total active columns split into independent contiguous column chunks
+/// dispatched on the process-wide `boson_num::pool` (columns are solved
 /// independently; any split is bit-identical to the serial sweep).
 struct FusedPrecond<'a> {
     slots: &'a [OmegaSlot],
@@ -661,17 +688,14 @@ struct FusedPrecond<'a> {
     use_f32: bool,
     /// Precondition with each ω's nominal multigrid pair (surrogate
     /// V-cycle + boundary band) instead of its banded factors (large
-    /// grids). Multigrid runs stay serial — they share one scratch, and
-    /// their `O(n)` applications don't read a factor image worth
-    /// splitting over threads.
+    /// grids).
     mg: bool,
-    /// Shared V-cycle scratch (one grid ⇒ every slot's hierarchy has
-    /// identical level shapes).
-    mg_scratch: &'a mut MgScratch,
-    /// Shared boundary-band scratch (same-shape bands across slots).
-    band_scratch: &'a mut BandScratch,
-    /// One f32 conversion scratch per worker; the slice length *is* the
-    /// split width (1 = serial).
+    /// One multigrid scratch pair per pool lane (multigrid
+    /// preconditioning only); the slice length *is* the split width
+    /// (1 = serial).
+    mg_lanes: &'a mut [MgLane],
+    /// One f32 conversion scratch per lane (banded preconditioning
+    /// only); the slice length *is* the split width (1 = serial).
     scratches: &'a mut [Vec<f32>],
 }
 
@@ -682,7 +706,13 @@ impl FusedPrecond<'_> {
 
     fn solve_runs(&mut self, b: &mut [Complex64], cols: &[usize], transpose: bool) {
         let n = self.slots[self.fused_slots[0]].stencil.n();
-        let split = !self.mg && self.scratches.len() > 1 && cols.len() >= FUSED_SPLIT_MIN_COLS;
+        let (workers, min_cols) = if self.mg {
+            (self.mg_lanes.len(), MG_SPLIT_MIN_COLS)
+        } else {
+            (self.scratches.len(), FUSED_SPLIT_MIN_COLS)
+        };
+        let split = workers > 1 && cols.len() >= min_cols;
+        let workers = if split { workers } else { 1 };
         let mut rest = b;
         let mut start = 0usize;
         while start < cols.len() {
@@ -699,10 +729,8 @@ impl FusedPrecond<'_> {
                 // complex-symmetric operator, so the transpose
                 // application is the plain one (see
                 // `boson_sparse::multigrid::MgBandPrecond`).
-                let mut precond = slot.mg_precond(&mut *self.mg_scratch, &mut *self.band_scratch);
-                precond.solve_block(run, end - start);
+                mg_solve_slot_run(slot, run, end - start, n, &mut self.mg_lanes[..workers]);
             } else {
-                let workers = if split { self.scratches.len() } else { 1 };
                 solve_slot_run(
                     slot,
                     run,
@@ -710,7 +738,6 @@ impl FusedPrecond<'_> {
                     n,
                     self.use_f32,
                     transpose,
-                    workers,
                     &mut self.scratches[..workers],
                 );
             }
@@ -734,9 +761,12 @@ impl PrecondFamily for FusedPrecond<'_> {
 }
 
 /// Sweeps one ω's nominal factor over a contiguous run of `run_cols`
-/// packed columns, optionally split into near-equal contiguous chunks on
-/// `workers` scoped threads (the first chunk runs on the calling thread).
-#[allow(clippy::too_many_arguments)] // flat args keep the hot path monomorphic
+/// packed columns, optionally split into near-equal contiguous chunks
+/// dispatched on the process-wide pool (`scratches.len()` is the split
+/// width; the calling thread participates as lane 0). The chunk
+/// decomposition depends only on `run_cols` and the split width — never
+/// on which lane executes which chunk — so any worker count is
+/// bit-identical.
 fn solve_slot_run(
     slot: &OmegaSlot,
     run: &mut [Complex64],
@@ -744,7 +774,6 @@ fn solve_slot_run(
     n: usize,
     use_f32: bool,
     transpose: bool,
-    workers: usize,
     scratches: &mut [Vec<f32>],
 ) {
     let solve_chunk = |chunk: &mut [Complex64], scratch: &mut Vec<f32>| {
@@ -760,20 +789,43 @@ fn solve_slot_run(
             (false, true) => slot.nominal_lu.solve_transpose_many(chunk, ccols),
         }
     };
+    let workers = scratches.len();
     if workers <= 1 || run_cols < 2 {
         solve_chunk(run, &mut scratches[0]);
         return;
     }
     let per = run_cols.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut chunks = run.chunks_mut(per * n).zip(scratches.iter_mut());
-        let first = chunks.next();
-        for (chunk, scratch) in chunks {
-            scope.spawn(|| solve_chunk(chunk, scratch));
-        }
-        if let Some((chunk, scratch)) = first {
-            solve_chunk(chunk, scratch);
-        }
+    pool::global().chunks_with(run, per * n, scratches, |_part, chunk, scratch| {
+        solve_chunk(chunk, scratch)
+    });
+}
+
+/// Multigrid counterpart of [`solve_slot_run`]: applies one ω's nominal
+/// multigrid pair (surrogate V-cycle + boundary band) to a contiguous
+/// run of packed columns, split into contiguous column chunks dispatched
+/// on the process-wide pool — each chunk on its own [`MgLane`] scratch
+/// pair (`mg_lanes.len()` is the split width). Columns are applied one
+/// at a time inside `solve_block`, so the chunking (and therefore the
+/// lane count) never changes results; no transpose variant is needed —
+/// the pair approximates `A⁻ᵀ = A⁻¹` on the complex-symmetric operator.
+fn mg_solve_slot_run(
+    slot: &OmegaSlot,
+    run: &mut [Complex64],
+    run_cols: usize,
+    n: usize,
+    mg_lanes: &mut [MgLane],
+) {
+    let workers = mg_lanes.len();
+    if workers <= 1 || run_cols < 2 {
+        let lane = &mut mg_lanes[0];
+        let mut precond = slot.mg_precond(&mut lane.mg, &mut lane.band);
+        precond.solve_block(run, run_cols);
+        return;
+    }
+    let per = run_cols.div_ceil(workers);
+    pool::global().chunks_with(run, per * n, mg_lanes, |_part, chunk, lane| {
+        let mut precond = slot.mg_precond(&mut lane.mg, &mut lane.band);
+        precond.solve_block(chunk, chunk.len() / n);
     });
 }
 
@@ -958,9 +1010,12 @@ pub struct SimWorkspace {
     /// Slot index (into `slots`) of each fused-batch ω, pinned for the
     /// duration of the batch.
     fused_slots: Vec<usize>,
-    /// Per-worker f32 conversion scratches for (possibly split) fused
+    /// Per-lane f32 conversion scratches for (possibly split) fused
     /// preconditioner sweeps; grown once, then reused.
     fused_scratches: Vec<Vec<f32>>,
+    /// Per-lane multigrid scratch pairs for (possibly split)
+    /// multigrid-preconditioned fused sweeps; grown once, then reused.
+    mg_lanes: Vec<MgLane>,
     /// Boundary-band application scratch, shared by every slot's band
     /// (same grid ⇒ same strip shapes).
     band_scratch: BandScratch,
@@ -1011,6 +1066,7 @@ impl SimWorkspace {
             fused_omega_of_corner: Vec::new(),
             fused_slots: Vec::new(),
             fused_scratches: Vec::new(),
+            mg_lanes: Vec::new(),
             band_scratch: BandScratch::new(),
             mg_scratch: MgScratch::new(),
             batch_mg: false,
@@ -1399,6 +1455,7 @@ impl SimWorkspace {
                     tol,
                     max_iters,
                     use_initial_guess: false,
+                    threads: 1,
                 };
                 // The V-cycle + band sweep is f64 throughout (smoothing,
                 // coarse solve and strip sweeps are O(n) — there is no
@@ -1470,6 +1527,7 @@ impl SimWorkspace {
                     tol,
                     max_iters,
                     use_initial_guess: false,
+                    threads: 1,
                 };
                 // Memory-bound triangular sweeps dominate the iteration;
                 // the f32 factor copy halves their traffic. Only very
@@ -1624,6 +1682,7 @@ impl SimWorkspace {
             tol,
             max_iters,
             use_initial_guess: false,
+            threads: 1,
         };
         Ok(factorizations)
     }
@@ -1845,6 +1904,7 @@ impl SimWorkspace {
             tol,
             max_iters,
             use_initial_guess: false,
+            threads: 1,
         };
         Ok(factorizations)
     }
@@ -1933,9 +1993,12 @@ impl SimWorkspace {
     /// arithmetic is exactly that of the per-ω batched sweep, so results
     /// are bit-identical to running K separate [`SimWorkspace::batch_solve`]
     /// batches. When the packed active-column count reaches
-    /// [`FUSED_SPLIT_MIN_COLS`] and `threads > 1`, each preconditioner
-    /// run splits into independent contiguous column chunks on scoped
-    /// worker threads (bit-identical at any thread count).
+    /// [`FUSED_SPLIT_MIN_COLS`] (banded) / [`MG_SPLIT_MIN_COLS`]
+    /// (multigrid) and `threads > 1`, each preconditioner run splits
+    /// into independent contiguous column chunks dispatched on the
+    /// process-wide `boson_num::pool` — no threads are spawned, and the
+    /// per-column Krylov stages ride the same substrate (bit-identical
+    /// at any thread count).
     ///
     /// No direct fallback happens here: corners whose columns miss the
     /// budget are reported with `converged == false` in
@@ -2013,13 +2076,12 @@ impl SimWorkspace {
             fused_slots,
             fused_omega_of_corner,
             fused_scratches,
+            mg_lanes,
             batch_diags,
             batch_count,
             batch_opts,
             batch_reports,
             batch_mg,
-            mg_scratch,
-            band_scratch,
             krylov,
             factor_lag,
             recycle_x0,
@@ -2042,6 +2104,9 @@ impl SimWorkspace {
         let workers = threads.max(1);
         if fused_scratches.len() < workers {
             fused_scratches.resize_with(workers, Vec::new);
+        }
+        if *batch_mg && mg_lanes.len() < workers {
+            mg_lanes.resize_with(workers, MgLane::default);
         }
         {
             let op = FusedCornerOp {
@@ -2086,12 +2151,16 @@ impl SimWorkspace {
                 cols_per_corner,
                 use_f32: !*batch_mg && batch_opts.tol >= F32_PRECOND_MIN_TOL,
                 mg: *batch_mg,
-                mg_scratch,
-                band_scratch,
+                mg_lanes: if *batch_mg {
+                    &mut mg_lanes[..workers]
+                } else {
+                    &mut []
+                },
                 scratches: &mut fused_scratches[..workers],
             };
             let opts = IterativeOptions {
                 use_initial_guess: start_from_guess,
+                threads: workers,
                 ..*batch_opts
             };
             bicgstab_precond_many(&op, &mut family, b, x, ncols, &opts, krylov);

@@ -326,8 +326,9 @@ fn steady_state_fused_cross_omega_sweep_performs_no_heap_allocations() {
     // every (corner, wavelength) column, each preconditioned by its own
     // ω's nominal factor. After warm-up all K slots and the fused batch
     // buffers are resident, so the steady state touches the heap not at
-    // all. (The column count here stays below FUSED_SPLIT_MIN_COLS — the
-    // threaded sweep split necessarily allocates when it spawns.)
+    // all. (The column count here stays below FUSED_SPLIT_MIN_COLS, so
+    // this pins the *serial* sweep; the over-threshold pooled dispatch is
+    // pinned by `steady_state_pooled_fused_sweep_performs_no_heap_allocations`.)
     use boson_fdfd::sim::FUSED_SPLIT_MIN_COLS;
     let grid = SimGrid::new(48, 40, 0.05, 8);
     let lambda = 1.55;
@@ -391,6 +392,85 @@ fn steady_state_fused_cross_omega_sweep_performs_no_heap_allocations() {
         after - before,
         0,
         "steady-state fused (corner × ω) sweep performed {} heap allocations",
+        after - before
+    );
+    assert!(x.iter().any(|v| v.abs() > 0.0));
+}
+
+#[test]
+fn steady_state_pooled_fused_sweep_performs_no_heap_allocations() {
+    // The pooled dispatch path: enough packed columns that the fused
+    // sweep splits its preconditioner half-sweeps (and, above
+    // `PAR_MIN_ELEMS`, its per-column Krylov stages) across lanes of the
+    // process-wide `boson_num::pool`. The substrate's steady-state
+    // dispatch is allocation-free — handing a job to the resident workers
+    // is a mutex hand-off plus a condvar wake, and per-lane scratch is
+    // sized during warm-up — so the counting allocator (which sees every
+    // thread, workers included) must read zero. The global pool itself is
+    // built on the first dispatch, inside warm-up.
+    use boson_fdfd::sim::FUSED_SPLIT_MIN_COLS;
+    let grid = SimGrid::new(48, 40, 0.05, 8);
+    let lambda = 1.55;
+    let omegas: Vec<f64> = (0..3)
+        .map(|k| 2.0 * std::f64::consts::PI / (lambda - 0.02 + 0.02 * k as f64))
+        .collect();
+    let nominal = Array2::from_fn(grid.ny, grid.nx, |iy, _| {
+        if iy.abs_diff(grid.ny / 2) < 4 {
+            12.11
+        } else {
+            1.0
+        }
+    });
+    let corners: Vec<Array2<f64>> = (1..7)
+        .map(|k| nominal.map(|&e| if e > 1.0 { e + 0.01 * k as f64 } else { e }))
+        .collect();
+    let n = grid.n();
+    let total = corners.len() * omegas.len();
+    // Over the split threshold: the multi-lane dispatch genuinely runs.
+    assert!(total >= FUSED_SPLIT_MIN_COLS);
+    let threads = 4;
+    let g: Vec<Complex64> = (0..n)
+        .map(|k| Complex64::new((k as f64 * 0.01).sin(), (k as f64 * 0.02).cos()))
+        .collect();
+    let mut rhs = vec![Complex64::ZERO; n * total];
+    for c in 0..total {
+        rhs[c * n..(c + 1) * n].copy_from_slice(&g);
+    }
+    let mut x = vec![Complex64::ZERO; n * total];
+
+    let mut ws = SimWorkspace::new();
+    let run_epoch = |ws: &mut SimWorkspace, x: &mut Vec<Complex64>, epoch: u64| {
+        ws.fused_batch_begin(
+            grid,
+            &omegas,
+            &nominal,
+            epoch,
+            SolverStrategy::preconditioned_iterative(),
+        )
+        .unwrap();
+        for oi in 0..omegas.len() {
+            for eps in &corners {
+                ws.fused_batch_push(eps, oi);
+            }
+        }
+        x.fill(Complex64::ZERO);
+        ws.fused_batch_solve(&rhs, x, 1, false, threads);
+        assert!(ws.batch_reports().iter().all(|r| r.converged));
+    };
+
+    for epoch in 0..2 {
+        run_epoch(&mut ws, &mut x, epoch);
+    }
+    assert_eq!(ws.omega_slot_count(), omegas.len());
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for epoch in 2..6 {
+        run_epoch(&mut ws, &mut x, epoch);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pooled fused sweep performed {} heap allocations",
         after - before
     );
     assert!(x.iter().any(|v| v.abs() > 0.0));

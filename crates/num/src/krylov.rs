@@ -69,6 +69,7 @@
 
 use crate::banded::{BandedLu, BandedLuF32, BandedMatrix};
 use crate::complex::{axpy, axpy_neg};
+use crate::pool::{self, DisjointSlots};
 use crate::Complex64;
 
 /// A square linear operator applied matrix-free.
@@ -222,6 +223,13 @@ pub struct IterativeOptions {
     /// corner's solution) and the iteration starts from its residual; when
     /// `false`, `x` is zeroed and the iteration starts from `r = b`.
     pub use_initial_guess: bool,
+    /// Lane budget for the per-column vector stages (residual updates,
+    /// operator applies, dot products), dispatched on the process-wide
+    /// [`crate::pool`]. Every stage keeps columns data-disjoint and each
+    /// column's arithmetic serial, so any value — including `1` — is
+    /// **bit-identical**; this only trades latency for cores. Small
+    /// blocks (`nrhs · n` below [`PAR_MIN_ELEMS`]) always run serially.
+    pub threads: usize,
 }
 
 impl Default for IterativeOptions {
@@ -230,9 +238,15 @@ impl Default for IterativeOptions {
             tol: 1e-6,
             max_iters: 24,
             use_initial_guess: false,
+            threads: 1,
         }
     }
 }
+
+/// Minimum total block size (`nrhs · n` elements) before the per-column
+/// Krylov stages are worth dispatching on the pool; below this the
+/// condvar hand-off costs more than the arithmetic it parallelises.
+pub const PAR_MIN_ELEMS: usize = 1 << 15;
 
 /// Convergence record of one right-hand side.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -458,7 +472,7 @@ fn scalar_breaks(z: Complex64) -> bool {
 /// # Panics
 ///
 /// Panics if `op`, `precond`, `b` and `x` disagree on dimensions.
-pub fn bicgstab_precond_many<Op: ColumnOp, P: PrecondFamily>(
+pub fn bicgstab_precond_many<Op: ColumnOp + Sync, P: PrecondFamily>(
     op: &Op,
     precond: &mut P,
     b: &[Complex64],
@@ -478,7 +492,7 @@ pub fn bicgstab_precond_many<Op: ColumnOp, P: PrecondFamily>(
 /// # Panics
 ///
 /// Panics if `op`, `precond`, `b` and `x` disagree on dimensions.
-pub fn bicgstab_precond_transpose_many<Op: ColumnOp, P: PrecondFamily>(
+pub fn bicgstab_precond_transpose_many<Op: ColumnOp + Sync, P: PrecondFamily>(
     op: &Op,
     precond: &mut P,
     b: &[Complex64],
@@ -503,7 +517,7 @@ fn collect_active(ws: &mut KrylovWorkspace, nrhs: usize) {
 }
 
 #[allow(clippy::too_many_arguments)] // internal driver shared by the two public faces
-fn bicgstab_driver<Op: ColumnOp, P: PrecondFamily>(
+fn bicgstab_driver<Op: ColumnOp + Sync, P: PrecondFamily>(
     op: &Op,
     precond: &mut P,
     b: &[Complex64],
@@ -527,43 +541,74 @@ fn bicgstab_driver<Op: ColumnOp, P: PrecondFamily>(
         }
     };
 
-    // Initial residual: r = b (cold start) or r = b − A x₀ (warm start).
-    for c in 0..nrhs {
-        let col = c * n..(c + 1) * n;
-        ws.bnorm[c] = norm(&b[col.clone()]);
-        if ws.bnorm[c] == 0.0 {
-            // Zero RHS: x = 0 is exact (even against a nonzero guess).
-            x[col].fill(Complex64::ZERO);
-            ws.state[c] = ColState::Converged;
-            continue;
-        }
-        if !ws.bnorm[c].is_finite() {
-            // A non-finite RHS can never satisfy a residual test — break
-            // the column immediately (reported unconverged in zero
-            // iterations) instead of sweeping the whole budget on it.
-            x[col].fill(Complex64::ZERO);
-            ws.state[c] = ColState::Broken;
-            continue;
-        }
-        if opts.use_initial_guess {
-            apply(c, &x[col.clone()], &mut ws.t[col.clone()]);
-            ws.r[col.clone()].copy_from_slice(&b[col.clone()]);
-            axpy_neg(Complex64::ONE, &ws.t[col.clone()], &mut ws.r[col.clone()]);
-        } else {
-            x[col.clone()].fill(Complex64::ZERO);
-            ws.r[col.clone()].copy_from_slice(&b[col.clone()]);
-        }
-        let rnorm = norm(&ws.r[col.clone()]);
-        if !rnorm.is_finite() {
-            // Poisoned warm start (or an overflowing operator apply).
-            ws.state[c] = ColState::Broken;
-            continue;
-        }
-        if rnorm <= opts.tol * ws.bnorm[c] {
-            ws.state[c] = ColState::Converged;
-            continue;
-        }
-        ws.r_hat[col.clone()].copy_from_slice(&ws.r[col]);
+    // Lane budget for the per-column stages below. Columns are
+    // data-disjoint and each column's arithmetic is serial, so the lane
+    // count never changes results (the pool's determinism contract);
+    // small blocks stay serial — the dispatch hand-off would dominate.
+    let lanes = if opts.threads > 1 && nrhs >= 2 && n * nrhs >= PAR_MIN_ELEMS {
+        opts.threads
+    } else {
+        1
+    };
+
+    // Initial residual: r = b (cold start) or r = b − A x₀ (warm start),
+    // each column an independent part.
+    {
+        let xs = DisjointSlots::new(&mut *x);
+        let rs = DisjointSlots::new(&mut ws.r);
+        let r_hats = DisjointSlots::new(&mut ws.r_hat);
+        let ts = DisjointSlots::new(&mut ws.t);
+        let bnorms = DisjointSlots::new(&mut ws.bnorm);
+        let states = DisjointSlots::new(&mut ws.state);
+        pool::global().run(nrhs, lanes, &|_lane, c| {
+            // Safety: part `c` touches only column `c` of every block and
+            // scalar slot `c` — disjoint across parts by construction.
+            unsafe {
+                let x = xs.slice(c * n, n);
+                let r = rs.slice(c * n, n);
+                let t = ts.slice(c * n, n);
+                let state = states.get(c);
+                let bnorm = bnorms.get(c);
+                let bcol = &b[c * n..(c + 1) * n];
+                *bnorm = norm(bcol);
+                if *bnorm == 0.0 {
+                    // Zero RHS: x = 0 is exact (even against a nonzero
+                    // guess).
+                    x.fill(Complex64::ZERO);
+                    *state = ColState::Converged;
+                    return;
+                }
+                if !bnorm.is_finite() {
+                    // A non-finite RHS can never satisfy a residual test —
+                    // break the column immediately (reported unconverged in
+                    // zero iterations) instead of sweeping the whole budget
+                    // on it.
+                    x.fill(Complex64::ZERO);
+                    *state = ColState::Broken;
+                    return;
+                }
+                if opts.use_initial_guess {
+                    apply(c, x, t);
+                    r.copy_from_slice(bcol);
+                    axpy_neg(Complex64::ONE, t, r);
+                } else {
+                    x.fill(Complex64::ZERO);
+                    r.copy_from_slice(bcol);
+                }
+                let rnorm = norm(r);
+                if !rnorm.is_finite() {
+                    // Poisoned warm start (or an overflowing operator
+                    // apply).
+                    *state = ColState::Broken;
+                    return;
+                }
+                if rnorm <= opts.tol * *bnorm {
+                    *state = ColState::Converged;
+                    return;
+                }
+                r_hats.slice(c * n, n).copy_from_slice(r);
+            }
+        });
     }
 
     for it in 1..=opts.max_iters {
@@ -572,29 +617,40 @@ fn bicgstab_driver<Op: ColumnOp, P: PrecondFamily>(
         if ws.active.is_empty() {
             break;
         }
-        for idx in 0..ws.active.len() {
-            let c = ws.active[idx];
-            ws.iters[c] = it;
-            let col = c * n..(c + 1) * n;
-            let rho_new = dot_conj(&ws.r_hat[col.clone()], &ws.r[col.clone()]);
-            if scalar_breaks(rho_new) {
-                ws.state[c] = ColState::Broken;
-                continue;
-            }
-            let beta = (rho_new / ws.rho[c]) * (ws.alpha[c] / ws.omega[c]);
-            if !beta.is_finite() {
-                ws.state[c] = ColState::Broken;
-                continue;
-            }
-            ws.rho[c] = rho_new;
-            let bo = beta * ws.omega[c];
-            let (p, (r, v)) = (
-                &mut ws.p[col.clone()],
-                (&ws.r[col.clone()], &ws.v[col.clone()]),
-            );
-            for ((pi, &ri), &vi) in p.iter_mut().zip(r).zip(v) {
-                *pi = ri + beta * *pi - bo * vi;
-            }
+        {
+            let active = &ws.active;
+            let (r, r_hat, v) = (&ws.r, &ws.r_hat, &ws.v);
+            let (alpha, omega) = (&ws.alpha, &ws.omega);
+            let ps = DisjointSlots::new(&mut ws.p);
+            let rhos = DisjointSlots::new(&mut ws.rho);
+            let states = DisjointSlots::new(&mut ws.state);
+            let iterss = DisjointSlots::new(&mut ws.iters);
+            pool::global().run(active.len(), lanes, &|_lane, idx| {
+                let c = active[idx];
+                let col = c * n..(c + 1) * n;
+                // Safety: part `idx` owns column `c = active[idx]`
+                // exclusively (active indices are distinct).
+                unsafe {
+                    *iterss.get(c) = it;
+                    let rho_new = dot_conj(&r_hat[col.clone()], &r[col.clone()]);
+                    if scalar_breaks(rho_new) {
+                        *states.get(c) = ColState::Broken;
+                        return;
+                    }
+                    let rho = rhos.get(c);
+                    let beta = (rho_new / *rho) * (alpha[c] / omega[c]);
+                    if !beta.is_finite() {
+                        *states.get(c) = ColState::Broken;
+                        return;
+                    }
+                    *rho = rho_new;
+                    let bo = beta * omega[c];
+                    let p = ps.slice(c * n, n);
+                    for ((pi, &ri), &vi) in p.iter_mut().zip(&r[col.clone()]).zip(&v[col]) {
+                        *pi = ri + beta * *pi - bo * vi;
+                    }
+                }
+            });
         }
         // p̂ = M⁻¹ p — one family sweep over the packed active columns
         // (each column routed to its own engine).
@@ -614,34 +670,50 @@ fn bicgstab_driver<Op: ColumnOp, P: PrecondFamily>(
                 precond.solve_packed(&mut p_hat[..nactive * n], active);
             }
         }
-        for idx in 0..nactive {
-            let c = ws.active[idx];
-            let slot = idx * n..(idx + 1) * n;
-            let col = c * n..(c + 1) * n;
-            apply(c, &ws.p_hat[slot.clone()], &mut ws.v[col.clone()]);
-            let denom = dot_conj(&ws.r_hat[col.clone()], &ws.v[col.clone()]);
-            if scalar_breaks(denom) {
-                ws.state[c] = ColState::Broken;
-                continue;
-            }
-            let alpha = ws.rho[c] / denom;
-            if !alpha.is_finite() {
-                ws.state[c] = ColState::Broken;
-                continue;
-            }
-            ws.alpha[c] = alpha;
-            // s = r − α v.
-            ws.s[col.clone()].copy_from_slice(&ws.r[col.clone()]);
-            axpy_neg(alpha, &ws.v[col.clone()], &mut ws.s[col.clone()]);
-            let snorm = norm(&ws.s[col.clone()]);
-            if !snorm.is_finite() {
-                ws.state[c] = ColState::Broken;
-                continue;
-            }
-            if snorm <= opts.tol * ws.bnorm[c] {
-                axpy(alpha, &ws.p_hat[slot], &mut x[col]);
-                ws.state[c] = ColState::Converged;
-            }
+        {
+            let active = &ws.active;
+            let (r, r_hat, p_hat) = (&ws.r, &ws.r_hat, &ws.p_hat);
+            let (rho, bnorm) = (&ws.rho, &ws.bnorm);
+            let vs = DisjointSlots::new(&mut ws.v);
+            let ss = DisjointSlots::new(&mut ws.s);
+            let alphas = DisjointSlots::new(&mut ws.alpha);
+            let states = DisjointSlots::new(&mut ws.state);
+            let xs = DisjointSlots::new(&mut *x);
+            pool::global().run(nactive, lanes, &|_lane, idx| {
+                let c = active[idx];
+                let slot = idx * n..(idx + 1) * n;
+                let col = c * n..(c + 1) * n;
+                // Safety: part `idx` owns column `c = active[idx]` and
+                // packed slot `idx` exclusively.
+                unsafe {
+                    let v = vs.slice(c * n, n);
+                    apply(c, &p_hat[slot.clone()], v);
+                    let denom = dot_conj(&r_hat[col.clone()], v);
+                    if scalar_breaks(denom) {
+                        *states.get(c) = ColState::Broken;
+                        return;
+                    }
+                    let alpha = rho[c] / denom;
+                    if !alpha.is_finite() {
+                        *states.get(c) = ColState::Broken;
+                        return;
+                    }
+                    *alphas.get(c) = alpha;
+                    // s = r − α v.
+                    let s = ss.slice(c * n, n);
+                    s.copy_from_slice(&r[col]);
+                    axpy_neg(alpha, v, s);
+                    let snorm = norm(s);
+                    if !snorm.is_finite() {
+                        *states.get(c) = ColState::Broken;
+                        return;
+                    }
+                    if snorm <= opts.tol * bnorm[c] {
+                        axpy(alpha, &p_hat[slot], xs.slice(c * n, n));
+                        *states.get(c) = ColState::Converged;
+                    }
+                }
+            });
         }
         // ŝ = M⁻¹ s — second packed sweep over the columns still active
         // after the s-stage convergence checks (`ws.slot_of` keeps each
@@ -666,78 +738,113 @@ fn bicgstab_driver<Op: ColumnOp, P: PrecondFamily>(
                 precond.solve_packed(&mut s_hat[..s_slots * n], s_active);
             }
         }
-        let mut s_slot = 0usize;
-        for c in 0..nrhs {
-            if ws.state[c] != ColState::Active {
-                continue;
-            }
-            let sh = s_slot * n..(s_slot + 1) * n;
-            s_slot += 1;
-            let col = c * n..(c + 1) * n;
-            let p_slot = ws.slot_of[c] * n..(ws.slot_of[c] + 1) * n;
-            apply(c, &ws.s_hat[sh.clone()], &mut ws.t[col.clone()]);
-            let tt = dot_conj(&ws.t[col.clone()], &ws.t[col.clone()]);
-            if scalar_breaks(tt) {
-                ws.state[c] = ColState::Broken;
-                continue;
-            }
-            let omega = dot_conj(&ws.t[col.clone()], &ws.s[col.clone()]) / tt;
-            if !omega.is_finite() {
-                // Freeze before the x/r updates so a NaN ω cannot poison
-                // the partial solution already accumulated.
-                ws.state[c] = ColState::Broken;
-                continue;
-            }
-            axpy(ws.alpha[c], &ws.p_hat[p_slot], &mut x[col.clone()]);
-            axpy(omega, &ws.s_hat[sh], &mut x[col.clone()]);
-            // r = s − ω t.
-            ws.r[col.clone()].copy_from_slice(&ws.s[col.clone()]);
-            axpy_neg(omega, &ws.t[col.clone()], &mut ws.r[col.clone()]);
-            let rnorm = norm(&ws.r[col.clone()]);
-            if !rnorm.is_finite() {
-                ws.state[c] = ColState::Broken;
-            } else if rnorm <= opts.tol * ws.bnorm[c] {
-                ws.state[c] = ColState::Converged;
-            } else if omega.abs() < BREAKDOWN {
-                ws.state[c] = ColState::Broken;
-            }
-            ws.omega[c] = omega;
+        {
+            // `s_active` holds exactly the still-active columns in
+            // increasing order (nothing touched `state` since the gather),
+            // so enumerating it reproduces the running-slot walk of the
+            // serial generation bit for bit.
+            let s_active = &ws.s_active;
+            let slot_of = &ws.slot_of;
+            let (s, s_hat, p_hat) = (&ws.s, &ws.s_hat, &ws.p_hat);
+            let (alpha, bnorm) = (&ws.alpha, &ws.bnorm);
+            let ts = DisjointSlots::new(&mut ws.t);
+            let rs = DisjointSlots::new(&mut ws.r);
+            let omegas = DisjointSlots::new(&mut ws.omega);
+            let states = DisjointSlots::new(&mut ws.state);
+            let xs = DisjointSlots::new(&mut *x);
+            pool::global().run(s_slots, lanes, &|_lane, s_slot| {
+                let c = s_active[s_slot];
+                let sh = s_slot * n..(s_slot + 1) * n;
+                let col = c * n..(c + 1) * n;
+                let p_slot = slot_of[c] * n..(slot_of[c] + 1) * n;
+                // Safety: part `s_slot` owns column `c = s_active[s_slot]`
+                // and ŝ slot `s_slot` exclusively.
+                unsafe {
+                    let t = ts.slice(c * n, n);
+                    apply(c, &s_hat[sh.clone()], t);
+                    let tt = dot_conj(t, t);
+                    if scalar_breaks(tt) {
+                        *states.get(c) = ColState::Broken;
+                        return;
+                    }
+                    let omega = dot_conj(t, &s[col.clone()]) / tt;
+                    if !omega.is_finite() {
+                        // Freeze before the x/r updates so a NaN ω cannot
+                        // poison the partial solution already accumulated.
+                        *states.get(c) = ColState::Broken;
+                        return;
+                    }
+                    let xcol = xs.slice(c * n, n);
+                    axpy(alpha[c], &p_hat[p_slot], xcol);
+                    axpy(omega, &s_hat[sh], xcol);
+                    // r = s − ω t.
+                    let r = rs.slice(c * n, n);
+                    r.copy_from_slice(&s[col]);
+                    axpy_neg(omega, t, r);
+                    let rnorm = norm(r);
+                    let state = states.get(c);
+                    if !rnorm.is_finite() {
+                        *state = ColState::Broken;
+                    } else if rnorm <= opts.tol * bnorm[c] {
+                        *state = ColState::Converged;
+                    } else if omega.abs() < BREAKDOWN {
+                        *state = ColState::Broken;
+                    }
+                    *omegas.get(c) = omega;
+                }
+            });
         }
     }
 
-    // Quality report: the *true* residual of every returned column.
+    // Quality report: the *true* residual of every returned column
+    // (computed per column in parallel, reduced serially).
+    {
+        let (bnorm, state, iters) = (&ws.bnorm, &ws.state, &ws.iters);
+        let x = &*x;
+        let ts = DisjointSlots::new(&mut ws.t);
+        let rs = DisjointSlots::new(&mut ws.r);
+        let statss = DisjointSlots::new(&mut ws.stats);
+        pool::global().run(nrhs, lanes, &|_lane, c| {
+            let col = c * n..(c + 1) * n;
+            // Safety: part `c` owns column `c` and stats slot `c`
+            // exclusively.
+            unsafe {
+                let residual = if bnorm[c] == 0.0 {
+                    0.0
+                } else {
+                    let t = ts.slice(c * n, n);
+                    apply(c, &x[col.clone()], t);
+                    let r = rs.slice(c * n, n);
+                    r.copy_from_slice(&b[col]);
+                    axpy_neg(Complex64::ONE, t, r);
+                    let rel = norm(r) / bnorm[c];
+                    // A broken column (non-finite RHS / overflowed
+                    // recursion) can yield a NaN true residual; report it
+                    // as +∞ so aggregate maxima stay ordered and
+                    // meaningful.
+                    if rel.is_finite() {
+                        rel
+                    } else {
+                        f64::INFINITY
+                    }
+                };
+                *statss.get(c) = RhsStats {
+                    iterations: iters[c],
+                    residual,
+                    converged: state[c] == ColState::Converged,
+                };
+            }
+        });
+    }
     let mut quality = SolveQuality {
         converged: true,
         max_iterations: 0,
         max_residual: 0.0,
     };
-    for c in 0..nrhs {
-        let col = c * n..(c + 1) * n;
-        let residual = if ws.bnorm[c] == 0.0 {
-            0.0
-        } else {
-            apply(c, &x[col.clone()], &mut ws.t[col.clone()]);
-            ws.r[col.clone()].copy_from_slice(&b[col.clone()]);
-            axpy_neg(Complex64::ONE, &ws.t[col.clone()], &mut ws.r[col.clone()]);
-            let r = norm(&ws.r[col]) / ws.bnorm[c];
-            // A broken column (non-finite RHS / overflowed recursion) can
-            // yield a NaN true residual; report it as +∞ so aggregate
-            // maxima stay ordered and meaningful.
-            if r.is_finite() {
-                r
-            } else {
-                f64::INFINITY
-            }
-        };
-        let converged = ws.state[c] == ColState::Converged;
-        ws.stats[c] = RhsStats {
-            iterations: ws.iters[c],
-            residual,
-            converged,
-        };
-        quality.converged &= converged;
-        quality.max_iterations = quality.max_iterations.max(ws.iters[c]);
-        quality.max_residual = quality.max_residual.max(residual);
+    for st in &ws.stats {
+        quality.converged &= st.converged;
+        quality.max_iterations = quality.max_iterations.max(st.iterations);
+        quality.max_residual = quality.max_residual.max(st.residual);
     }
     quality
 }
@@ -1321,6 +1428,7 @@ mod tests {
                 tol: 1e-12,
                 max_iters: 1,
                 use_initial_guess: false,
+                threads: 1,
             },
             &mut ws,
         );
@@ -1468,6 +1576,7 @@ mod tests {
             tol: 1e-10,
             max_iters: 40,
             use_initial_guess: false,
+            threads: 1,
         };
         let q = bicgstab_precond_many(&corner, &mut nominal, &b, &mut x, 1, &opts, &mut ws);
         assert!(q.converged);
@@ -1506,6 +1615,7 @@ mod tests {
             tol: 1e-10,
             max_iters: 40,
             use_initial_guess: true,
+            threads: 1,
         };
         // Epoch 0: solve corner 0 cold, harvest the correction.
         let c0 = perturb_diagonal(&a, 0.3, 5);
@@ -1561,6 +1671,7 @@ mod tests {
             tol: 1e-10,
             max_iters: 40,
             use_initial_guess: true,
+            threads: 1,
         };
         let c0 = perturb_diagonal(&a, 0.25, 9);
         let mut x0 = vec![Complex64::ZERO; n];
@@ -1605,6 +1716,7 @@ mod tests {
             tol: 1e-10,
             max_iters: 40,
             use_initial_guess: true,
+            threads: 1,
         };
         // Epoch 0: solve corner 0 and remember the full solution.
         let c0 = perturb_diagonal(&a, 0.2, 11);

@@ -13,6 +13,11 @@
 //! * [`krylov`] — preconditioned multi-RHS BiCGSTAB taking any
 //!   [`banded::BandedLu`] as preconditioner; amortises one nominal
 //!   factorisation across many nearby variation-corner solves;
+//! * [`pool`] — the process-lifetime parallel substrate: long-lived
+//!   workers, deterministic contiguous-chunk parallel-for,
+//!   allocation-free steady-state dispatch; every parallel stage of the
+//!   stack (fused preconditioner sweeps, multigrid column chunks,
+//!   per-column Krylov stages, corner fan-out) runs on this one pool;
 //! * [`tridiag`] — symmetric tridiagonal eigensolver (Sturm bisection +
 //!   inverse iteration) used by the slab waveguide mode solver;
 //! * [`jacobi`] — cyclic Jacobi eigensolver for the EOLE covariance
@@ -52,6 +57,7 @@ pub mod dense;
 pub mod fft;
 pub mod jacobi;
 pub mod krylov;
+pub mod pool;
 pub mod stats;
 pub mod tridiag;
 

@@ -1,0 +1,637 @@
+//! Process-lifetime parallel substrate: long-lived workers, deterministic
+//! contiguous-chunk parallel-for, allocation-free steady-state dispatch.
+//!
+//! Every parallel stage of the solver stack — the fused (corner × ω)
+//! preconditioner half-sweeps, the multigrid column chunks, the per-column
+//! Krylov stages, the runner's direct corner fan-out — runs on **one**
+//! pool of workers spawned once per process ([`global`]). The scoped-spawn
+//! generation this replaces paid a fresh `std::thread::scope` (thread
+//! creation, stack setup, join) per preconditioner half-sweep — hundreds
+//! of spawns per robust iteration; pool dispatch costs a mutex hand-off
+//! and a condvar wake instead, and performs **zero heap allocations**, so
+//! it composes with the workspace discipline of the rest of the stack
+//! (see `crates/fdfd/tests/zero_alloc.rs`).
+//!
+//! # Determinism contract
+//!
+//! **Worker count never changes results.** Callers decompose work into
+//! *parts* (contiguous column chunks, independent jobs) whose content is
+//! determined by the caller alone; the pool only decides *which thread*
+//! executes each part. Every solver-stack task keeps parts data-disjoint
+//! and order-independent, so any lane count — including the serial
+//! fallback — is bit-identical. The `BOSON_THREADS` environment variable
+//! (see [`env_threads`]) therefore only tunes throughput, never output.
+//!
+//! # Dispatch shape
+//!
+//! [`WorkPool::run`]`(parts, max_lanes, f)` executes `f(lane, part)` for
+//! every `part < parts`, exactly once each. Participating lanes are the
+//! caller (lane 0) plus up to `max_lanes − 1` workers; each lane pulls
+//! parts off a shared atomic ticket, so uneven parts load-balance
+//! dynamically while each *lane index* stays owned by exactly one OS
+//! thread for the duration of the dispatch (what makes lane-indexed
+//! scratch sound). The call blocks until every part has retired; panics
+//! inside `f` are caught, the first is re-raised on the caller after the
+//! dispatch drains — a loud failure, never a hung run.
+//!
+//! Dispatch is intentionally single-flight: a `run` issued while another
+//! is in flight (or from inside a worker) executes inline on the calling
+//! thread — by the determinism contract the results are identical, so
+//! nesting degrades throughput, never correctness.
+//!
+//! # Examples
+//!
+//! ```
+//! use boson_num::pool;
+//!
+//! // Square 8 numbers in parallel parts; any worker count gives the
+//! // same result.
+//! let mut data: Vec<u64> = (0..8).collect();
+//! let pool = pool::global();
+//! pool.chunks_with(&mut data, 2, &mut [(), (), (), ()], |_part, chunk, _ctx| {
+//!     for v in chunk {
+//!         *v *= *v;
+//!     }
+//! });
+//! assert_eq!(data, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// The published unit of one dispatch: the erased task closure plus its
+/// part/lane budget. Copied into each participating lane.
+#[derive(Clone, Copy)]
+struct Job {
+    /// Borrowed task with its lifetime erased; the dispatcher keeps the
+    /// closure alive until every participant has left `run_parts`.
+    task: *const (dyn Fn(usize, usize) + Sync),
+    parts: usize,
+    lanes: usize,
+}
+
+// Safety: the pointee is `Sync` (shared calls from many lanes are its
+// contract) and the dispatcher outlives every use (see `WorkPool::run`).
+unsafe impl Send for Job {}
+
+struct DispatchState {
+    /// Bumped per dispatch so sleeping workers can tell a fresh job from
+    /// the one they already finished.
+    generation: u64,
+    job: Option<Job>,
+    /// First panic payload raised inside a part, re-raised by the
+    /// dispatcher once the dispatch has drained.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<DispatchState>,
+    /// Wakes sleeping workers when a job is published (or on shutdown).
+    work_cv: Condvar,
+    /// Wakes the dispatcher when the last part retires and the last
+    /// worker leaves the dispatch.
+    done_cv: Condvar,
+    /// Next unclaimed part ticket of the current job.
+    next: AtomicUsize,
+    /// Parts published but not yet completed.
+    remaining: AtomicUsize,
+    /// Worker lanes currently inside `run_parts` (the caller is not
+    /// counted — it cannot start the next dispatch early).
+    active: AtomicUsize,
+}
+
+impl Inner {
+    /// Locks the dispatch state; a poisoned lock is impossible to reach
+    /// with work panics caught in `run_parts`, but recover anyway rather
+    /// than hanging the solver on a secondary panic.
+    fn lock(&self) -> MutexGuard<'_, DispatchState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+thread_local! {
+    /// Set on pool worker threads: a nested `run` from inside a part
+    /// executes inline instead of deadlocking on its own pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A process-lifetime worker pool. Use [`global`] for the shared
+/// instance; the solver stack assumes one pool per process.
+pub struct WorkPool {
+    inner: Arc<Inner>,
+    /// Background worker threads (lanes `1..=workers`).
+    workers: usize,
+}
+
+impl WorkPool {
+    /// Spawns `threads − 1` background workers (the caller is always a
+    /// lane). `threads == 1` spawns none: every dispatch runs inline.
+    fn new(threads: usize) -> Self {
+        let workers = threads.saturating_sub(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(DispatchState {
+                generation: 0,
+                job: None,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+        });
+        for w in 0..workers {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("boson-pool-{}", w + 1))
+                .spawn(move || worker_loop(&inner, w + 1))
+                .expect("spawn boson pool worker");
+        }
+        Self { inner, workers }
+    }
+
+    /// Total lanes: the caller plus the background workers.
+    pub fn lanes(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// Executes `f(lane, part)` for every `part < parts`, exactly once
+    /// each, on up to `max_lanes` lanes (capped by [`WorkPool::lanes`]);
+    /// lane 0 is the calling thread, which always participates. Blocks
+    /// until every part has retired. Allocation-free on the steady path.
+    ///
+    /// Each lane index is owned by exactly one OS thread per dispatch, so
+    /// `f` may safely address lane-indexed scratch; parts are claimed
+    /// dynamically off a shared ticket, so part→lane assignment is *not*
+    /// deterministic — only part content may determine results (the
+    /// determinism contract above).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic that occurred inside `f`, after the
+    /// dispatch has drained.
+    pub fn run(&self, parts: usize, max_lanes: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if parts == 0 {
+            return;
+        }
+        let lanes = max_lanes.min(self.lanes());
+        if self.workers == 0 || lanes <= 1 || parts == 1 || IN_WORKER.with(Cell::get) {
+            // Serial fallback: no workers, a degenerate shape, or a
+            // nested dispatch from inside a part. Bit-identical by the
+            // determinism contract.
+            for part in 0..parts {
+                f(0, part);
+            }
+            return;
+        }
+        // Safety: `run` does not return until `remaining` and `active`
+        // both reach zero, so the borrow outlives every dereference
+        // despite the erased lifetime.
+        let task: *const (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Job { task, parts, lanes };
+        {
+            let mut st = self.inner.lock();
+            if st.job.is_some() {
+                // Another dispatch is in flight (concurrent runs sharing
+                // the pool): run inline rather than queueing — identical
+                // results, and the busy dispatch keeps its workers.
+                drop(st);
+                for part in 0..parts {
+                    f(0, part);
+                }
+                return;
+            }
+            self.inner.next.store(0, Ordering::Relaxed);
+            self.inner.remaining.store(parts, Ordering::Relaxed);
+            st.generation = st.generation.wrapping_add(1);
+            st.job = Some(job);
+            self.inner.work_cv.notify_all();
+        }
+        // The caller is lane 0 and helps drain the ticket.
+        run_parts(&self.inner, job, 0);
+        let mut st = self.inner.lock();
+        while self.inner.remaining.load(Ordering::Acquire) != 0
+            || self.inner.active.load(Ordering::Acquire) != 0
+        {
+            st = self
+                .inner
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        let payload = st.panic.take();
+        drop(st);
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Deterministic contiguous-chunk parallel-for with per-part context:
+    /// splits `data` into `⌈data.len() / chunk_len⌉` contiguous chunks
+    /// (the last may be short) and executes `f(part, chunk, &mut
+    /// ctx[part])` for each, in parallel on the pool. The chunk
+    /// decomposition depends only on the arguments — never on the worker
+    /// count — which is what keeps any lane count bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0` or `ctx` has fewer entries than chunks,
+    /// and re-raises the first panic that occurred inside `f`.
+    pub fn chunks_with<T: Send, C: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        ctx: &mut [C],
+        f: impl Fn(usize, &mut [T], &mut C) + Sync,
+    ) {
+        assert!(chunk_len > 0, "chunks_with needs a positive chunk length");
+        if data.is_empty() {
+            return;
+        }
+        let parts = data.len().div_ceil(chunk_len);
+        assert!(
+            ctx.len() >= parts,
+            "chunks_with: {} context slots for {parts} chunks",
+            ctx.len()
+        );
+        if parts == 1 {
+            f(0, data, &mut ctx[0]);
+            return;
+        }
+        let dlen = data.len();
+        let data = DisjointSlots::new(data);
+        let ctx = DisjointSlots::new(ctx);
+        self.run(parts, parts, &|_lane, part| {
+            let start = part * chunk_len;
+            let len = chunk_len.min(dlen - start);
+            // Safety: each part owns a disjoint chunk range and its own
+            // context slot (parts execute exactly once each).
+            unsafe { f(part, data.slice(start, len), data_ctx(&ctx, part)) }
+        });
+    }
+}
+
+/// Helper keeping the unsafe context access one expression (borrowck
+/// cannot see through the closure otherwise).
+///
+/// # Safety
+///
+/// `part` must be accessed by at most one lane at a time.
+unsafe fn data_ctx<'a, C>(ctx: &'a DisjointSlots<'_, C>, part: usize) -> &'a mut C {
+    unsafe { ctx.get(part) }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        let mut st = self.inner.lock();
+        st.shutdown = true;
+        self.inner.work_cv.notify_all();
+    }
+}
+
+/// One lane's share of a dispatch: pull part tickets until the job is
+/// drained, catching panics so the dispatcher can re-raise them.
+fn run_parts(inner: &Inner, job: Job, lane: usize) {
+    // Safety: see `WorkPool::run` — the closure outlives the dispatch.
+    let task = unsafe { &*job.task };
+    loop {
+        let part = inner.next.fetch_add(1, Ordering::Relaxed);
+        if part >= job.parts {
+            break;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| task(lane, part)));
+        if let Err(payload) = outcome {
+            let mut st = inner.lock();
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        if inner.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last part retired: wake the dispatcher (lock ordering with
+            // its predicate check prevents a missed wakeup).
+            let _guard = inner.lock();
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, lane: usize) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = 'wait: {
+            let mut st = inner.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.job {
+                    if st.generation != seen {
+                        seen = st.generation;
+                        if lane < job.lanes {
+                            inner.active.fetch_add(1, Ordering::AcqRel);
+                            break 'wait job;
+                        }
+                        // Over this dispatch's lane budget: sleep until
+                        // the next generation.
+                    }
+                }
+                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_parts(inner, job, lane);
+        if inner.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = inner.lock();
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+/// The process-wide pool, built on first use with
+/// [`default_threads`] lanes and alive until process exit. Steady-state
+/// solver iterations spawn **zero** threads: every parallel stage
+/// dispatches here.
+pub fn global() -> &'static WorkPool {
+    static POOL: OnceLock<WorkPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkPool::new(default_threads()))
+}
+
+/// Lane count of the process-wide pool: `BOSON_THREADS` when set (see
+/// [`env_threads`]), the host's available parallelism otherwise.
+pub fn default_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The `BOSON_THREADS` override: lane count for the process-wide pool
+/// (and the default worker count of `boson_core`'s `RunnerConfig`).
+///
+/// Worker count **never changes results** — every parallel decomposition
+/// in the stack is bit-identical at any lane count — so this knob only
+/// trades latency for cores. An unparseable or zero value is a loud
+/// failure (panic), never a silent serial fallback: a typo'd
+/// `BOSON_THREADS=O4` silently running serial would look exactly like a
+/// performance regression.
+///
+/// # Panics
+///
+/// Panics if `BOSON_THREADS` is set but not an integer ≥ 1.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("BOSON_THREADS")
+        .ok()
+        .map(|raw| parse_threads(&raw))
+}
+
+/// Parses a `BOSON_THREADS` value; split out of [`env_threads`] so the
+/// loud-failure contract is testable without mutating the process
+/// environment.
+fn parse_threads(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(t) if t >= 1 => t,
+        _ => panic!(
+            "BOSON_THREADS must be an integer >= 1, got {raw:?} \
+             (worker count never changes results -- it only sets how many \
+             lanes the parallel substrate uses; unset it for the host's \
+             available parallelism)"
+        ),
+    }
+}
+
+/// Raw per-index mutable access to a slice from multiple lanes — the
+/// escape hatch parallel stages use to write disjoint columns/slots of a
+/// shared buffer without partitioning it into Rust-visible sub-borrows.
+///
+/// Constructing one is safe (it holds the exclusive borrow); every
+/// access is `unsafe` because the *caller* guarantees disjointness:
+/// each index (or range) may be touched by at most one lane at a time.
+pub struct DisjointSlots<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Safety: access is externally synchronised by the disjointness contract
+// of the unsafe accessors; `T: Send` because elements are mutated from
+// whichever lane claims them.
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+unsafe impl<T: Send> Send for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    /// Wraps an exclusive slice borrow for lane-disjoint access.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Slot count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive access to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds and accessed by at most one lane at a time;
+    /// no access may overlap a [`DisjointSlots::slice`] range containing
+    /// `i`.
+    #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    pub unsafe fn get(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+
+    /// Exclusive access to the range `start..start + len`.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds and disjoint from every range or slot
+    /// concurrently accessed by other lanes.
+    #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A private multi-lane pool for tests (the global pool's size
+    /// depends on the host/environment).
+    fn pool(threads: usize) -> WorkPool {
+        WorkPool::new(threads)
+    }
+
+    #[test]
+    fn run_executes_every_part_exactly_once() {
+        let p = pool(4);
+        for parts in [1usize, 2, 3, 7, 64, 257] {
+            let hits: Vec<AtomicUsize> = (0..parts).map(|_| AtomicUsize::new(0)).collect();
+            p.run(parts, usize::MAX, &|_lane, part| {
+                hits[part].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "parts = {parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_indices_stay_within_budget() {
+        let p = pool(8);
+        let max_lane = AtomicUsize::new(0);
+        p.run(64, 3, &|lane, _part| {
+            max_lane.fetch_max(lane, Ordering::Relaxed);
+            std::thread::yield_now();
+        });
+        assert!(max_lane.load(Ordering::Relaxed) < 3);
+    }
+
+    #[test]
+    fn chunks_with_is_deterministic_at_any_worker_count() {
+        let serial = {
+            let mut data: Vec<u64> = (0..1000).collect();
+            for v in &mut data {
+                *v = v.wrapping_mul(*v) ^ 0x5bd1e995;
+            }
+            data
+        };
+        for threads in [1usize, 2, 8] {
+            let p = pool(threads);
+            let mut data: Vec<u64> = (0..1000).collect();
+            let mut ctx = vec![(); 16];
+            p.chunks_with(&mut data, 64, &mut ctx, |_part, chunk, _| {
+                for v in chunk {
+                    *v = v.wrapping_mul(*v) ^ 0x5bd1e995;
+                }
+            });
+            assert_eq!(data, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_with_gives_each_part_its_own_context() {
+        let p = pool(4);
+        let mut data = vec![1u64; 90];
+        let mut ctx = vec![0u64; 9];
+        p.chunks_with(&mut data, 10, &mut ctx, |part, chunk, acc| {
+            *acc += chunk.iter().sum::<u64>() + part as u64;
+        });
+        let expected: Vec<u64> = (0..9).map(|part| 10 + part).collect();
+        assert_eq!(ctx, expected);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let p = pool(4);
+        let total = AtomicU64::new(0);
+        p.run(4, usize::MAX, &|_lane, part| {
+            // A dispatch from inside a part must not deadlock on the
+            // (busy) pool; it runs inline.
+            let inner_sum = AtomicU64::new(0);
+            global().run(3, usize::MAX, &|_l, q| {
+                inner_sum.fetch_add(q as u64, Ordering::Relaxed);
+            });
+            total.fetch_add(
+                part as u64 + inner_sum.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0 + 1 + 2 + 3) + 4 * 3);
+    }
+
+    #[test]
+    fn pool_survives_many_dispatch_generations() {
+        let p = pool(3);
+        let mut acc = vec![0u64; 32];
+        for round in 0..200u64 {
+            let slots = DisjointSlots::new(&mut acc);
+            p.run(32, usize::MAX, &|_lane, part| unsafe {
+                *slots.get(part) += round;
+            });
+        }
+        let expected: u64 = (0..200).sum();
+        assert!(acc.iter().all(|&v| v == expected));
+    }
+
+    #[test]
+    #[should_panic(expected = "part 13 exploded")]
+    fn part_panic_propagates_to_dispatcher() {
+        let p = pool(4);
+        p.run(32, usize::MAX, &|_lane, part| {
+            if part == 13 {
+                panic!("part 13 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_usable_after_a_panicked_dispatch() {
+        let p = pool(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.run(8, usize::MAX, &|_lane, part| {
+                if part == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let count = AtomicUsize::new(0);
+        p.run(8, usize::MAX, &|_lane, _part| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn serial_pool_runs_everything_on_the_caller() {
+        let p = pool(1);
+        let caller = std::thread::current().id();
+        let ok = AtomicUsize::new(0);
+        p.run(16, usize::MAX, &|lane, _part| {
+            assert_eq!(lane, 0);
+            assert_eq!(std::thread::current().id(), caller);
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), 1);
+        assert_eq!(parse_threads(" 8 "), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "BOSON_THREADS must be an integer >= 1")]
+    fn parse_threads_rejects_zero_loudly() {
+        parse_threads("0");
+    }
+
+    #[test]
+    #[should_panic(expected = "BOSON_THREADS must be an integer >= 1")]
+    fn parse_threads_rejects_garbage_loudly() {
+        parse_threads("O4");
+    }
+}

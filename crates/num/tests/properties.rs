@@ -259,7 +259,7 @@ proptest! {
         let mut m = nominal.factor().expect("dominant matrix is nonsingular");
         let direct = corner.clone().factor().expect("perturbed matrix is nonsingular");
         let tol = 1e-9;
-        let opts = IterativeOptions { tol, max_iters: 60, use_initial_guess: false };
+        let opts = IterativeOptions { tol, max_iters: 60, use_initial_guess: false, threads: 1 };
         let mut ws = KrylovWorkspace::new();
         let xnorm = |v: &[Complex64]| v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
 
@@ -282,7 +282,7 @@ proptest! {
         // f32 preconditioner at an ordinary tolerance.
         let mut m32 = BandedLuF32::placeholder();
         m32.assign_from(&m);
-        let opts32 = IterativeOptions { tol: 1e-6, max_iters: 60, use_initial_guess: false };
+        let opts32 = IterativeOptions { tol: 1e-6, max_iters: 60, use_initial_guess: false, threads: 1 };
         let mut x32 = vec![Complex64::ZERO; n];
         let q32 = bicgstab_precond_many(&corner, &mut m32, &rhs, &mut x32, 1, &opts32, &mut ws);
         prop_assert!(q32.converged, "f32-preconditioned solve did not converge: {q32:?}");
@@ -319,7 +319,7 @@ proptest! {
         let nominal = dominant_banded(n, 3, 2, &entries);
         let mut m = nominal.clone().factor().expect("dominant matrix is nonsingular");
         let tol = 1e-9;
-        let cold = IterativeOptions { tol, max_iters: 80, use_initial_guess: false };
+        let cold = IterativeOptions { tol, max_iters: 80, use_initial_guess: false, threads: 1 };
         let warm = IterativeOptions { use_initial_guess: true, ..cold };
         let mut ws = KrylovWorkspace::new();
         let xnorm = |v: &[Complex64]| v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
