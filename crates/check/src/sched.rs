@@ -1,0 +1,674 @@
+//! Deterministic scheduler + bounded-DFS interleaving exploration.
+//!
+//! Model "threads" are real OS threads, but every interleaving-relevant
+//! operation (shim mutex/condvar/atomic/spawn/yield — see [`crate::shim`])
+//! funnels through one cooperative token: exactly **one** model thread
+//! runs at a time, and at every operation the scheduler decides which
+//! thread runs next. Each such decision with more than one runnable
+//! thread is a *branch point*; [`explore`] drives a depth-first search
+//! over the branch tree, replaying a recorded choice prefix and taking
+//! the first unexplored alternative, until the tree is exhausted or the
+//! execution budget runs out. The search is **bounded** two ways:
+//!
+//! * a *preemption bound* ([`Config::max_preemptions`]): switching away
+//!   from a thread that could still run costs one preemption; once the
+//!   budget is spent the current thread runs on until it blocks. This is
+//!   the CHESS-style reduction — almost all protocol bugs manifest
+//!   within a small number of preemptions, and the bound turns an
+//!   intractable tree into an exhaustible one;
+//! * a per-execution *step limit* ([`Config::max_steps`]) that converts
+//!   livelocks into loud [`Violation::StepLimit`] reports.
+//!
+//! What the model checks (and what it cannot):
+//!
+//! * interleavings are explored under **sequential consistency** — the
+//!   shims serialise every access, so weak-memory reorderings are out of
+//!   scope (the substrate's atomics are flag/ticket counters whose
+//!   protocol correctness, not ordering-sensitivity, is the risk);
+//! * condvar wakeups are **exact** (no spurious wakeups), so a dropped
+//!   notify deterministically surfaces as [`Violation::Deadlock`]
+//!   instead of being masked by a lucky spurious wake;
+//! * a panic that escapes the model body or a model thread is reported
+//!   as [`Violation::Panic`] — invariant `assert!`s inside a model body
+//!   become checkable outcomes rather than test aborts.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Hard cap on explored executions (the DFS usually exhausts first).
+    pub max_executions: usize,
+    /// Preemption budget per execution (CHESS-style bound; switches away
+    /// from a blocked thread are always free).
+    pub max_preemptions: usize,
+    /// Scheduling-point budget per execution; exceeding it reports
+    /// [`Violation::StepLimit`] (a livelocked protocol, not a slow one).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_executions: 500_000,
+            max_preemptions: 2,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// A property violation found by the checker. The execution that
+/// produced it is identified by [`Report::trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// No thread can run but not every thread has finished — a lost
+    /// wakeup, a missing notify, or a circular wait. The payload
+    /// describes every thread's blocked state.
+    Deadlock(String),
+    /// A panic escaped the model body or a model thread (an invariant
+    /// assertion, an index error, a propagated worker panic…).
+    Panic(String),
+    /// Replaying a recorded choice prefix met a different number of
+    /// runnable threads — the body is not a pure function of the
+    /// schedule (e.g. it consults real time or an unshimmed primitive).
+    Nondeterminism(String),
+    /// The execution exceeded [`Config::max_steps`] scheduling points.
+    StepLimit(String),
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct interleavings executed.
+    pub executions: usize,
+    /// `true` when the (preemption-bounded) branch tree was fully
+    /// explored rather than cut off by `max_executions`.
+    pub exhausted: bool,
+    /// First violation found, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+    /// Branch choices `(taken, options)` of the last execution — the
+    /// replayable schedule of the violation when there is one.
+    pub trace: Vec<(usize, usize)>,
+}
+
+/// One recorded branch decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Choice {
+    taken: usize,
+    options: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    /// The driver thread waiting for every other model thread to finish.
+    JoinAll,
+    Finished,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (violation found or exploration shutting down). Never escapes the
+/// explorer.
+pub(crate) struct ModelAbort;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        // xorshift64*: deterministic, tiny, good enough to scatter
+        // schedule choices.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    names: Vec<String>,
+    /// Thread currently holding the run token.
+    running: usize,
+    steps: usize,
+    preemptions: usize,
+    /// Branch-point cursor within `path` for this execution.
+    depth: usize,
+    /// Replay prefix + recorded extension.
+    path: Vec<Choice>,
+    /// `Some` = seeded-random walk instead of DFS replay/record.
+    random: Option<Lcg>,
+    aborted: bool,
+    violation: Option<Violation>,
+}
+
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    max_preemptions: usize,
+    max_steps: usize,
+}
+
+thread_local! {
+    /// The execution this OS thread participates in, and its model tid.
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution + tid of the calling thread when it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(e, t)| (Arc::clone(e), *t)))
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Execution {
+    fn new(config: &Config, path: Vec<Choice>, random: Option<u64>) -> Self {
+        Self {
+            st: Mutex::new(ExecState {
+                status: vec![Status::Runnable],
+                names: vec!["main".to_string()],
+                running: 0,
+                steps: 0,
+                preemptions: 0,
+                depth: 0,
+                path,
+                random: random.map(|seed| Lcg(seed | 1)),
+                aborted: false,
+                violation: None,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            max_preemptions: config.max_preemptions,
+            max_steps: config.max_steps,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn abort_locked(&self, st: &mut ExecState, v: Violation) {
+        if st.violation.is_none() {
+            st.violation = Some(v);
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn abort(&self, v: Violation) {
+        let mut st = self.lock();
+        self.abort_locked(&mut st, v);
+    }
+
+    fn effectively_runnable(st: &ExecState, tid: usize) -> bool {
+        match st.status[tid] {
+            Status::Runnable => true,
+            Status::BlockedJoin(t) => st.status[t] == Status::Finished,
+            Status::JoinAll => st
+                .status
+                .iter()
+                .enumerate()
+                .all(|(i, s)| i == tid || *s == Status::Finished),
+            _ => false,
+        }
+    }
+
+    fn describe(st: &ExecState) -> String {
+        let mut out = String::new();
+        for (tid, s) in st.status.iter().enumerate() {
+            out.push_str(&format!("\n  [{tid}] {}: {s:?}", st.names[tid]));
+        }
+        out
+    }
+
+    /// Picks the next thread to run. `None` means the execution is over
+    /// (all threads finished) or has been aborted.
+    fn schedule_next(&self, st: &mut ExecState) -> Option<usize> {
+        if st.aborted {
+            return None;
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let msg = format!(
+                "execution exceeded {} scheduling points (livelock?)",
+                self.max_steps
+            );
+            self.abort_locked(st, Violation::StepLimit(msg));
+            return None;
+        }
+        let runnable: Vec<usize> = (0..st.status.len())
+            .filter(|&t| Self::effectively_runnable(st, t))
+            .collect();
+        if runnable.is_empty() {
+            if st.status.iter().all(|s| *s == Status::Finished) {
+                return None;
+            }
+            let msg = format!("no runnable thread:{}", Self::describe(st));
+            self.abort_locked(st, Violation::Deadlock(msg));
+            return None;
+        }
+        let cur = st.running;
+        let cur_runnable = runnable.contains(&cur);
+        // Once the preemption budget is spent the current thread keeps
+        // running until it blocks — the CHESS-style reduction that makes
+        // the tree exhaustible.
+        let options = if cur_runnable && st.preemptions >= self.max_preemptions {
+            vec![cur]
+        } else {
+            runnable
+        };
+        let idx = if options.len() == 1 {
+            0
+        } else {
+            self.pick(st, options.len())?
+        };
+        let next = options[idx];
+        if cur_runnable && next != cur {
+            st.preemptions += 1;
+        }
+        st.running = next;
+        Some(next)
+    }
+
+    /// Resolves one branch point with `n` options: replay the recorded
+    /// prefix, then extend depth-first (or draw from the seeded walk).
+    fn pick(&self, st: &mut ExecState, n: usize) -> Option<usize> {
+        let d = st.depth;
+        st.depth += 1;
+        if let Some(rng) = &mut st.random {
+            let taken = (rng.next() % n as u64) as usize;
+            st.path.push(Choice { taken, options: n });
+            return Some(taken);
+        }
+        if d < st.path.len() {
+            let c = st.path[d];
+            if c.options != n {
+                let msg = format!(
+                    "branch {d}: {n} runnable threads now, {} on the recorded path",
+                    c.options
+                );
+                self.abort_locked(st, Violation::Nondeterminism(msg));
+                return None;
+            }
+            Some(c.taken)
+        } else {
+            st.path.push(Choice {
+                taken: 0,
+                options: n,
+            });
+            Some(0)
+        }
+    }
+
+    /// Parks the calling model thread until it is scheduled again.
+    /// Panics with [`ModelAbort`] if the execution aborts meanwhile.
+    fn park(&self, mut st: MutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.running == me {
+                // Join-style blocks are woken implicitly (their wake
+                // condition is evaluated by the scheduler); normalise.
+                st.status[me] = Status::Runnable;
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A scheduling point: the calling thread stays runnable but the
+    /// scheduler may hand the token to another thread (a branch point
+    /// when several are runnable and preemptions remain).
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        debug_assert_eq!(st.running, me, "yield from a descheduled thread");
+        match self.schedule_next(&mut st) {
+            Some(next) if next == me => (),
+            Some(_) => {
+                self.cv.notify_all();
+                self.park(st, me);
+            }
+            // `me` is runnable, so `None` can only mean abort.
+            None => {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+        }
+    }
+
+    /// Blocks the calling thread with `status` and schedules away; the
+    /// thread resumes once a waker marks it runnable *and* the scheduler
+    /// picks it.
+    pub(crate) fn block(&self, me: usize, status: Status) {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        debug_assert_eq!(st.running, me, "block from a descheduled thread");
+        st.status[me] = status;
+        match self.schedule_next(&mut st) {
+            // A join on an already-finished target may re-pick us.
+            Some(next) if next == me => {
+                st.status[me] = Status::Runnable;
+            }
+            Some(_) => {
+                self.cv.notify_all();
+                self.park(st, me);
+            }
+            None => {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+        }
+    }
+
+    /// Marks every thread blocked on shim mutex `id` runnable (called by
+    /// the guard-drop release hook; the next scheduling point makes them
+    /// eligible).
+    pub(crate) fn mutex_released(&self, id: usize) {
+        let mut st = self.lock();
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedMutex(id) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wakes threads blocked on shim condvar `id`. `notify_one` wakes
+    /// the lowest tid — a deterministic stand-in for the unspecified
+    /// choice real condvars make.
+    pub(crate) fn condvar_notify(&self, id: usize, all: bool) {
+        let mut st = self.lock();
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedCondvar(id) {
+                *s = Status::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Registers and starts a new model thread; returns its tid.
+    /// Registration itself is a scheduling point (the child may run
+    /// before the spawner's next step).
+    pub(crate) fn spawn(
+        self: &Arc<Self>,
+        name: String,
+        f: Box<dyn FnOnce() + Send>,
+        me: usize,
+    ) -> usize {
+        let tid = {
+            let mut st = self.lock();
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            st.status.push(Status::Runnable);
+            st.names.push(name.clone());
+            st.status.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || model_thread_main(exec, tid, f))
+            .expect("spawn model thread");
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        self.yield_point(me);
+        tid
+    }
+
+    /// Parks a freshly spawned thread until its first schedule. Returns
+    /// `false` when the execution aborted before the thread ever ran.
+    fn park_initial(&self, tid: usize) -> bool {
+        let mut st = self.lock();
+        loop {
+            if st.aborted {
+                st.status[tid] = Status::Finished;
+                return false;
+            }
+            if st.running == tid {
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn thread_finished(&self, tid: usize) {
+        let mut st = self.lock();
+        st.status[tid] = Status::Finished;
+        if st.aborted {
+            return;
+        }
+        // Hand the token onward; `None` here means every thread is done
+        // (the driver is woken by the notify below in either case).
+        let _ = self.schedule_next(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Driver-side: wait for every spawned model thread to finish
+    /// (scheduling them as needed). Returns silently on abort — the
+    /// violation is already recorded.
+    fn join_all_main(&self) {
+        let mut st = self.lock();
+        if st.aborted || st.status.len() == 1 {
+            return;
+        }
+        st.status[0] = Status::JoinAll;
+        match self.schedule_next(&mut st) {
+            Some(0) => {
+                st.status[0] = Status::Runnable;
+                return;
+            }
+            Some(_) => self.cv.notify_all(),
+            None => return,
+        }
+        loop {
+            if st.aborted {
+                return;
+            }
+            if st.running == 0 {
+                st.status[0] = Status::Runnable;
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Body run by every spawned model OS thread.
+fn model_thread_main(exec: Arc<Execution>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    if exec.park_initial(tid) {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(()) => exec.thread_finished(tid),
+            Err(p) => {
+                if p.downcast_ref::<ModelAbort>().is_none() {
+                    exec.abort(Violation::Panic(payload_msg(p.as_ref())));
+                }
+                let mut st = exec.lock();
+                st.status[tid] = Status::Finished;
+                exec.cv.notify_all();
+            }
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Serialises explorations (they install a process-global panic hook and
+/// saturate the scheduler token).
+static EXPLORER_LOCK: Mutex<()> = Mutex::new(());
+
+/// The process panic hook's type, as `std::panic::take_hook` returns it.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// Restores the previous panic hook even if the driver unwinds.
+struct HookGuard(Option<PanicHook>);
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(h) = self.0.take() {
+            std::panic::set_hook(h);
+        }
+    }
+}
+
+fn run_one(
+    config: &Config,
+    path: Vec<Choice>,
+    random: Option<u64>,
+    body: &(dyn Fn() + Sync),
+) -> (Option<Violation>, Vec<Choice>) {
+    let exec = Arc::new(Execution::new(config, path, random));
+    CURRENT.with(|c| {
+        assert!(
+            c.borrow().is_none(),
+            "explore() cannot be nested inside a model execution"
+        );
+        *c.borrow_mut() = Some((Arc::clone(&exec), 0));
+    });
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(()) => exec.join_all_main(),
+        Err(p) => {
+            if p.downcast_ref::<ModelAbort>().is_none() {
+                exec.abort(Violation::Panic(payload_msg(p.as_ref())));
+            } else {
+                // Abort already recorded by whoever raised it; make sure
+                // every parked thread is woken.
+                exec.cv.notify_all();
+            }
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let handles = std::mem::take(&mut *exec.handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    let st = exec.lock();
+    (st.violation.clone(), st.path.clone())
+}
+
+fn to_trace(path: &[Choice]) -> Vec<(usize, usize)> {
+    path.iter().map(|c| (c.taken, c.options)).collect()
+}
+
+/// Explores interleavings of `body` depth-first until the
+/// (preemption-bounded) branch tree is exhausted, a violation is found,
+/// or [`Config::max_executions`] is reached.
+///
+/// `body` runs once per execution on the calling thread (model tid 0);
+/// model threads it spawns through the shims are scheduled
+/// deterministically. It must be a pure function of the schedule —
+/// consult nothing but shim state and its own locals.
+pub fn explore(config: &Config, body: impl Fn() + Sync) -> Report {
+    let _guard = EXPLORER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Executions with intentional panics (propagation scenarios, found
+    // violations) would otherwise print thousands of backtraces.
+    let hook = HookGuard(Some(std::panic::take_hook()));
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut path: Vec<Choice> = Vec::new();
+    let mut executions = 0;
+    let mut exhausted = false;
+    let mut violation = None;
+    let mut trace = Vec::new();
+    while executions < config.max_executions {
+        let (v, recorded) = run_one(config, path.clone(), None, &body);
+        executions += 1;
+        if v.is_some() {
+            violation = v;
+            trace = to_trace(&recorded);
+            break;
+        }
+        // Backtrack: deepest branch with an untaken option.
+        path = recorded;
+        loop {
+            match path.last_mut() {
+                None => {
+                    exhausted = true;
+                    break;
+                }
+                Some(c) if c.taken + 1 < c.options => {
+                    c.taken += 1;
+                    break;
+                }
+                Some(_) => {
+                    path.pop();
+                }
+            }
+        }
+        if exhausted {
+            break;
+        }
+    }
+    drop(hook);
+    Report {
+        executions,
+        exhausted,
+        violation,
+        trace,
+    }
+}
+
+/// Runs `executions` seeded-random interleavings of `body` (a fast smoke
+/// pass for state spaces too large to exhaust; same violation reporting
+/// as [`explore`], `exhausted` always `false`). Deterministic for a
+/// given `seed`.
+pub fn explore_random(
+    config: &Config,
+    seed: u64,
+    executions: usize,
+    body: impl Fn() + Sync,
+) -> Report {
+    let _guard = EXPLORER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let hook = HookGuard(Some(std::panic::take_hook()));
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut done = 0;
+    let mut violation = None;
+    let mut trace = Vec::new();
+    while done < executions {
+        let (v, recorded) = run_one(
+            config,
+            Vec::new(),
+            Some(seed.wrapping_add(done as u64)),
+            &body,
+        );
+        done += 1;
+        if v.is_some() {
+            violation = v;
+            trace = to_trace(&recorded);
+            break;
+        }
+    }
+    drop(hook);
+    Report {
+        executions: done,
+        exhausted: false,
+        violation,
+        trace,
+    }
+}

@@ -1,0 +1,393 @@
+//! Drop-in sync primitives that route every interleaving-relevant
+//! operation through the [`crate::sched`] scheduler.
+//!
+//! Each shim type mirrors the `std::sync` API closely enough that
+//! `boson_num`'s `sync` facade can re-export either wholesale — the pool
+//! source is identical under both. The shims are **hybrid**: every
+//! operation first asks the scheduler whether the calling thread is a
+//! registered model thread. If it is not (the primitive is used outside
+//! [`crate::explore`], e.g. when cargo feature unification drags the
+//! `model-check` build into an ordinary test binary), the operation
+//! delegates verbatim to the real `std` primitive, so a `model-check`
+//! build behaves correctly everywhere and only *scheduled* executions
+//! pay the model cost.
+//!
+//! Model-mode semantics:
+//!
+//! * [`Mutex::lock`] is built on `try_lock` plus cooperative blocking —
+//!   a model thread never issues a *real* blocking lock, so a
+//!   descheduled guard-holder can never OS-deadlock the token scheduler.
+//!   Guard drop fires a release hook that re-wakes cooperatively blocked
+//!   contenders.
+//! * [`Condvar::wait`] releases the guard and enters the wait set with
+//!   no scheduling point in between (the atomic release+enqueue real
+//!   condvars guarantee), then reacquires cooperatively. **No spurious
+//!   wakeups are modeled**: a protocol that loses a notify shows up as a
+//!   deterministic [`crate::Violation::Deadlock`] instead of being
+//!   masked by a lucky spurious wake.
+//! * Atomics hit a scheduling point *before* each access, so every
+//!   load/store and RMW boundary is a potential preemption. One thread
+//!   runs at a time, so the model is sequentially consistent; the
+//!   caller's `Ordering` is forwarded but cannot weaken anything.
+//!
+//! A shim instance must be used either entirely inside model executions
+//! or entirely outside — the two wait paths do not see each other.
+
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicUsize as StdAtomicUsize};
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched::{self, Status};
+
+/// Process-unique id for each shim mutex/condvar (claims and wait sets
+/// key on it).
+fn next_id() -> usize {
+    static NEXT: StdAtomicUsize = StdAtomicUsize::new(0);
+    NEXT.fetch_add(1, Ordering::SeqCst)
+}
+
+/// Scheduling point when called from a model thread; no-op otherwise.
+fn maybe_yield() {
+    if let Some((exec, me)) = sched::current() {
+        exec.yield_point(me);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Mutex shim: real `std::sync::Mutex` storage, scheduler-visible
+/// acquisition.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    id: usize,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+            id: next_id(),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match sched::current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(g),
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    mutex: self,
+                    inner: Some(poisoned.into_inner()),
+                })),
+            },
+            Some((exec, me)) => {
+                // One scheduling point before the first attempt; a
+                // contended attempt blocks cooperatively and retries
+                // when the holder's guard-drop hook wakes it.
+                exec.yield_point(me);
+                loop {
+                    match self.inner.try_lock() {
+                        Ok(g) => {
+                            return Ok(MutexGuard {
+                                mutex: self,
+                                inner: Some(g),
+                            })
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            exec.block(me, Status::BlockedMutex(self.id));
+                        }
+                        Err(TryLockError::Poisoned(poisoned)) => {
+                            return Err(PoisonError::new(MutexGuard {
+                                mutex: self,
+                                inner: Some(poisoned.into_inner()),
+                            }))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Guard shim. Drop releases the real lock first, then (on a model
+/// thread) wakes cooperatively blocked contenders.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    /// `None` after `Condvar::wait` has taken the real guard (the
+    /// wrapper is then inert and its drop is a no-op).
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken by Condvar::wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken by Condvar::wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some((exec, _)) = sched::current() {
+                exec.mutex_released(self.mutex.id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Condvar shim with exact (non-spurious) wakeups in model mode.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+            id: next_id(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        let real = guard.inner.take().expect("guard taken by Condvar::wait");
+        match sched::current() {
+            None => match self.inner.wait(real) {
+                Ok(g) => Ok(MutexGuard {
+                    mutex,
+                    inner: Some(g),
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    mutex,
+                    inner: Some(poisoned.into_inner()),
+                })),
+            },
+            Some((exec, me)) => {
+                // Release + enqueue with no scheduling point in between
+                // (the atomicity real condvars guarantee), then block
+                // until a notify marks us runnable.
+                drop(real);
+                exec.mutex_released(mutex.id);
+                exec.block(me, Status::BlockedCondvar(self.id));
+                // Reacquire cooperatively, exactly like `Mutex::lock`
+                // minus the entry scheduling point (the wakeup was one).
+                loop {
+                    match mutex.inner.try_lock() {
+                        Ok(g) => {
+                            return Ok(MutexGuard {
+                                mutex,
+                                inner: Some(g),
+                            })
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            exec.block(me, Status::BlockedMutex(mutex.id));
+                        }
+                        Err(TryLockError::Poisoned(poisoned)) => {
+                            return Err(PoisonError::new(MutexGuard {
+                                mutex,
+                                inner: Some(poisoned.into_inner()),
+                            }))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match sched::current() {
+            None => self.inner.notify_one(),
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                exec.condvar_notify(self.id, false);
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match sched::current() {
+            None => self.inner.notify_all(),
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                exec.condvar_notify(self.id, true);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+macro_rules! atomic_shim {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Atomic shim: scheduling point before every access, value held
+        /// in the real std atomic.
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(value: $prim) -> Self {
+                Self {
+                    inner: <$std>::new(value),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                maybe_yield();
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, value: $prim, order: Ordering) {
+                maybe_yield();
+                self.inner.store(value, order)
+            }
+
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                maybe_yield();
+                self.inner.swap(value, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                maybe_yield();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+atomic_shim!(AtomicBool, StdAtomicBool, bool);
+atomic_shim!(AtomicUsize, StdAtomicUsize, usize);
+
+impl AtomicUsize {
+    pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        maybe_yield();
+        self.inner.fetch_add(value, order)
+    }
+
+    pub fn fetch_sub(&self, value: usize, order: Ordering) -> usize {
+        maybe_yield();
+        self.inner.fetch_sub(value, order)
+    }
+
+    pub fn fetch_max(&self, value: usize, order: Ordering) -> usize {
+        maybe_yield();
+        self.inner.fetch_max(value, order)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Spawns a detached thread — a scheduled model thread inside an
+/// execution, a real named OS thread otherwise (mirroring the pool's
+/// worker spawn).
+pub fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) {
+    match sched::current() {
+        None => {
+            std::thread::Builder::new()
+                .name(name.to_string())
+                .spawn(f)
+                .expect("spawn thread");
+        }
+        Some((exec, me)) => {
+            exec.spawn(name.to_string(), Box::new(f), me);
+        }
+    }
+}
+
+/// Scheduling point (model) / `std::thread::yield_now` (otherwise).
+pub fn yield_now() {
+    match sched::current() {
+        None => std::thread::yield_now(),
+        Some((exec, me)) => exec.yield_point(me),
+    }
+}
+
+enum JoinInner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        exec: std::sync::Arc<crate::sched::Execution>,
+        tid: usize,
+        slot: std::sync::Arc<std::sync::Mutex<Option<T>>>,
+    },
+}
+
+/// Join handle returned by [`spawn_join`].
+pub struct JoinHandle<T>(JoinInner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes and returns its result. In
+    /// model mode a panic in the joined thread is reported as a
+    /// [`crate::Violation::Panic`] and aborts the execution (it never
+    /// reaches the joiner).
+    pub fn join(self) -> T {
+        match self.0 {
+            JoinInner::Real(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+            JoinInner::Model { exec, tid, slot } => {
+                let (_, me) = sched::current().expect("model join outside an execution");
+                exec.block(me, Status::BlockedJoin(tid));
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a joinable thread — the model-aware analogue of
+/// `std::thread::spawn` for harness scenarios that need a second
+/// foreground actor (e.g. driving a busy pool from two callers).
+pub fn spawn_join<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+    match sched::current() {
+        None => JoinHandle(JoinInner::Real(std::thread::spawn(f))),
+        Some((exec, me)) => {
+            let slot = std::sync::Arc::new(std::sync::Mutex::new(None));
+            let out = std::sync::Arc::clone(&slot);
+            let tid = exec.spawn(
+                "model-join".to_string(),
+                Box::new(move || {
+                    let value = f();
+                    *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                }),
+                me,
+            );
+            JoinHandle(JoinInner::Model { exec, tid, slot })
+        }
+    }
+}

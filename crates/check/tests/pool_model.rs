@@ -1,0 +1,219 @@
+//! Model-checks the *actual* `boson_num::pool` dispatch protocol.
+//!
+//! Built only under `--features model-check`, which reroutes the pool's
+//! `sync` facade onto `boson_check::shim` — the `WorkPool` constructed
+//! inside each explored body spawns *model* workers, and every
+//! mutex/condvar/atomic step of the real hand-off protocol becomes a
+//! scheduling point. The invariants checked per interleaving:
+//!
+//! * every part ticket executes exactly once (counted with plain std
+//!   atomics, which add no scheduling points);
+//! * the dispatch blocks until every part has retired;
+//! * busy/nested dispatch inlines serially with identical results;
+//! * a worker panic re-raises exactly once on the caller and leaves the
+//!   pool usable;
+//! * quiescence on drop — a lost shutdown wakeup would leave a worker
+//!   parked forever, which the scheduler reports as a deadlock (model
+//!   condvars have no spurious wakeups, so nothing masks it).
+//!
+//! Invariant counters deliberately use `std::sync::atomic` (not the
+//! shims): they are measurement, not protocol, and must not enlarge the
+//! explored state space.
+
+#![cfg(feature = "model-check")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use boson_check::{explore, shim, Config};
+use boson_num::pool::WorkPool;
+
+fn config(max_preemptions: usize) -> Config {
+    Config {
+        max_executions: 2_000_000,
+        max_preemptions,
+        max_steps: 20_000,
+    }
+}
+
+/// The headline run: exhaustive bounded-DFS exploration of a 2-worker
+/// dispatch (three lanes: the caller plus two spawned workers, two part
+/// tickets). The acceptance bar is ≥ 10⁴ *distinct* interleavings with
+/// the tree exhausted and every invariant holding in each.
+#[test]
+fn exhaustive_two_worker_dispatch() {
+    // Preemption bound 3: bound 2 exhausts ~4.3k interleavings, bound 3
+    // clears the 10^4 acceptance bar while staying exhaustible.
+    let report = explore(&config(3), || {
+        let pool = WorkPool::with_threads(3);
+        let hits = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        pool.run(2, usize::MAX, &|_lane, part| {
+            hits[part].fetch_add(1, Ordering::SeqCst);
+        });
+        for (part, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::SeqCst),
+                1,
+                "part {part} must execute exactly once"
+            );
+        }
+        // `pool` drops here: a lost shutdown wakeup would deadlock.
+    });
+    assert!(
+        report.violation.is_none(),
+        "dispatch protocol violation: {:?}\ntrace: {:?}",
+        report.violation,
+        report.trace
+    );
+    assert!(report.exhausted, "state space not exhausted");
+    assert!(
+        report.executions >= 10_000,
+        "only {} interleavings explored — below the 10^4 bar",
+        report.executions
+    );
+}
+
+/// Generation reuse: two dispatches back-to-back on the same pool (the
+/// sleeping worker must distinguish the second job from the one it
+/// already finished), plus a degenerate single-part dispatch that takes
+/// the serial path.
+#[test]
+fn two_generations_reuse_the_same_workers() {
+    let report = explore(&config(2), || {
+        let pool = WorkPool::with_threads(2);
+        for generation in 0..2 {
+            let hits = [AtomicUsize::new(0), AtomicUsize::new(0)];
+            pool.run(2, usize::MAX, &|_lane, part| {
+                hits[part].fetch_add(1, Ordering::SeqCst);
+            });
+            for (part, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::SeqCst),
+                    1,
+                    "generation {generation}, part {part} must run exactly once"
+                );
+            }
+        }
+        let serial = AtomicUsize::new(0);
+        pool.run(1, usize::MAX, &|lane, _part| {
+            assert_eq!(lane, 0, "single-part dispatch stays on the caller");
+            serial.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(serial.load(Ordering::SeqCst), 1);
+    });
+    assert!(
+        report.violation.is_none(),
+        "generation-reuse violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+}
+
+/// A panic inside a part must re-raise exactly once on the dispatching
+/// caller — and must not poison the pool for the next dispatch (a stale
+/// stored payload would re-raise there, failing the second assert).
+#[test]
+fn worker_panic_reraises_exactly_once_on_the_caller() {
+    let report = explore(&config(1), || {
+        let pool = WorkPool::with_threads(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, usize::MAX, &|_lane, part| {
+                if part == 1 {
+                    panic!("model part explosion");
+                }
+            });
+        }));
+        assert!(outcome.is_err(), "the part panic must reach the caller");
+        let clean = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        pool.run(2, usize::MAX, &|_lane, part| {
+            clean[part].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &clean {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "pool unusable after panic");
+        }
+    });
+    assert!(
+        report.violation.is_none(),
+        "panic-propagation violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+}
+
+/// A dispatch issued from inside a part must inline serially on the
+/// calling lane (worker lanes via the `IN_WORKER` flag, the caller lane
+/// via the busy check) instead of deadlocking on the busy pool.
+#[test]
+fn nested_dispatch_inlines_serially() {
+    let report = explore(&config(1), || {
+        let pool = WorkPool::with_threads(2);
+        let outer = AtomicUsize::new(0);
+        pool.run(2, usize::MAX, &|_lane, _part| {
+            let inner = AtomicUsize::new(0);
+            pool.run(2, usize::MAX, &|inner_lane, _p| {
+                assert_eq!(inner_lane, 0, "nested dispatch must stay inline");
+                inner.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(inner.load(Ordering::SeqCst), 2);
+            outer.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(outer.load(Ordering::SeqCst), 2);
+    });
+    assert!(
+        report.violation.is_none(),
+        "nested-dispatch violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+}
+
+/// Two foreground threads dispatching on the same pool concurrently:
+/// whichever publishes second must inline serially (single-flight), and
+/// both must still see every one of their parts exactly once.
+#[test]
+fn busy_dispatch_from_second_caller_inlines() {
+    let report = explore(&config(1), || {
+        let pool = Arc::new(WorkPool::with_threads(2));
+        let other_pool = Arc::clone(&pool);
+        let other_hits = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let other_hits2 = Arc::clone(&other_hits);
+        let rival = shim::spawn_join(move || {
+            other_pool.run(2, usize::MAX, &|_lane, part| {
+                other_hits2[part].fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        let hits = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        pool.run(2, usize::MAX, &|_lane, part| {
+            hits[part].fetch_add(1, Ordering::SeqCst);
+        });
+        rival.join();
+        for part in 0..2 {
+            assert_eq!(hits[part].load(Ordering::SeqCst), 1);
+            assert_eq!(other_hits[part].load(Ordering::SeqCst), 1);
+        }
+    });
+    assert!(
+        report.violation.is_none(),
+        "busy-dispatch violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+}
+
+/// Dropping a never-used pool must wake and retire its workers (the
+/// shutdown notify) — a lost wakeup parks a model worker forever and is
+/// reported as a deadlock.
+#[test]
+fn drop_quiesces_idle_workers() {
+    let report = explore(&config(2), || {
+        let pool = WorkPool::with_threads(3);
+        drop(pool);
+    });
+    assert!(
+        report.violation.is_none(),
+        "shutdown violation: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+}

@@ -117,7 +117,7 @@ impl<'env, J: Send, R: Send> WorkerPool<'env, J, R> {
             let outs = DisjointSlots::new(&mut out);
             let workers = DisjointSlots::new(&mut self.workers);
             pool::global().run(njobs, lanes, &|lane, part| {
-                // Safety: part `part` owns job and output slot `part`
+                // SAFETY: part `part` owns job and output slot `part`
                 // exclusively (each part runs exactly once), and the
                 // substrate guarantees lane `lane` is owned by exactly
                 // one OS thread per dispatch, so its worker closure (and
@@ -182,7 +182,7 @@ mod tests {
     fn pool_borrows_its_environment() {
         // The 'env lifetime lets workers borrow run-local state, the way
         // the runner's workers borrow the compiled problem.
-        let base = vec![10u64, 20, 30, 40];
+        let base = [10u64, 20, 30, 40];
         let mut pool: WorkerPool<usize, u64> = WorkerPool::new(2, |_| |i: usize| base[i] * 2);
         for i in 0..base.len() {
             pool.submit(i);

@@ -15,23 +15,37 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator — every method
+// forwards its arguments unchanged, so `System`'s layout/aliasing
+// guarantees carry over verbatim; the only addition is a Relaxed counter
+// bump, which allocates nothing.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as the trait method; the body is delegated to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract — caller obeys `GlobalAlloc::alloc`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as the trait method; the body is delegated to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract, as in `alloc`.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: same contract as the trait method; the body is delegated to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract — `ptr`/`layout` came from this
+        // allocator, which is `System` underneath.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as the trait method; the body is delegated to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded contract — `ptr` was allocated by `System`
+        // through the methods above with the same `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

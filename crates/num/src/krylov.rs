@@ -561,8 +561,9 @@ fn bicgstab_driver<Op: ColumnOp + Sync, P: PrecondFamily>(
         let bnorms = DisjointSlots::new(&mut ws.bnorm);
         let states = DisjointSlots::new(&mut ws.state);
         pool::global().run(nrhs, lanes, &|_lane, c| {
-            // Safety: part `c` touches only column `c` of every block and
-            // scalar slot `c` — disjoint across parts by construction.
+            // SAFETY: part `c` touches only the column range `c*n..(c+1)*n`
+            // of every block and scalar slot `c`; the pool runs each part
+            // exactly once, so no two lanes ever address the same element.
             unsafe {
                 let x = xs.slice(c * n, n);
                 let r = rs.slice(c * n, n);
@@ -628,8 +629,10 @@ fn bicgstab_driver<Op: ColumnOp + Sync, P: PrecondFamily>(
             pool::global().run(active.len(), lanes, &|_lane, idx| {
                 let c = active[idx];
                 let col = c * n..(c + 1) * n;
-                // Safety: part `idx` owns column `c = active[idx]`
-                // exclusively (active indices are distinct).
+                // SAFETY: part `idx` owns column `c = active[idx]`
+                // exclusively — `active` holds distinct column indices
+                // and each part runs exactly once, so writes to column
+                // `c`'s slices and scalar slots never alias.
                 unsafe {
                     *iterss.get(c) = it;
                     let rho_new = dot_conj(&r_hat[col.clone()], &r[col.clone()]);
@@ -683,8 +686,10 @@ fn bicgstab_driver<Op: ColumnOp + Sync, P: PrecondFamily>(
                 let c = active[idx];
                 let slot = idx * n..(idx + 1) * n;
                 let col = c * n..(c + 1) * n;
-                // Safety: part `idx` owns column `c = active[idx]` and
-                // packed slot `idx` exclusively.
+                // SAFETY: part `idx` owns column `c = active[idx]` and
+                // packed slot `idx` exclusively (`active` entries are
+                // distinct, each part runs exactly once), so the v/s/x
+                // column writes and scalar slots never alias.
                 unsafe {
                     let v = vs.slice(c * n, n);
                     apply(c, &p_hat[slot.clone()], v);
@@ -757,8 +762,10 @@ fn bicgstab_driver<Op: ColumnOp + Sync, P: PrecondFamily>(
                 let sh = s_slot * n..(s_slot + 1) * n;
                 let col = c * n..(c + 1) * n;
                 let p_slot = slot_of[c] * n..(slot_of[c] + 1) * n;
-                // Safety: part `s_slot` owns column `c = s_active[s_slot]`
-                // and ŝ slot `s_slot` exclusively.
+                // SAFETY: part `s_slot` owns column `c = s_active[s_slot]`
+                // and ŝ slot `s_slot` exclusively (`s_active` entries are
+                // distinct, each part runs exactly once), so the t/r/x
+                // column writes and scalar slots never alias.
                 unsafe {
                     let t = ts.slice(c * n, n);
                     apply(c, &s_hat[sh.clone()], t);
@@ -806,8 +813,9 @@ fn bicgstab_driver<Op: ColumnOp + Sync, P: PrecondFamily>(
         let statss = DisjointSlots::new(&mut ws.stats);
         pool::global().run(nrhs, lanes, &|_lane, c| {
             let col = c * n..(c + 1) * n;
-            // Safety: part `c` owns column `c` and stats slot `c`
-            // exclusively.
+            // SAFETY: part `c` owns the t/r column ranges `c*n..(c+1)*n`
+            // and stats slot `c` exclusively; parts run exactly once, so
+            // no lane ever touches another part's column.
             unsafe {
                 let residual = if bnorm[c] == 0.0 {
                     0.0

@@ -59,6 +59,7 @@ pub mod jacobi;
 pub mod krylov;
 pub mod pool;
 pub mod stats;
+pub mod sync;
 pub mod tridiag;
 
 pub use array2::Array2;

@@ -59,8 +59,11 @@
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+// Sync primitives come through the facade so the `model-check` build can
+// swap in `boson_check`'s scheduler-driven shims (see `crate::sync`).
+use crate::sync::{spawn_named, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering};
 
 /// The published unit of one dispatch: the erased task closure plus its
 /// part/lane budget. Copied into each participating lane.
@@ -73,8 +76,12 @@ struct Job {
     lanes: usize,
 }
 
-// Safety: the pointee is `Sync` (shared calls from many lanes are its
-// contract) and the dispatcher outlives every use (see `WorkPool::run`).
+// SAFETY: the only non-Send field is the raw task pointer. Its pointee
+// is `Sync` (concurrent calls from many lanes are its declared
+// contract), it is only ever *called*, never mutated through, and the
+// dispatcher keeps the borrow alive until every participant has left
+// `run_parts` (see `WorkPool::run`), so shipping the pointer to worker
+// threads cannot outlive or alias anything.
 unsafe impl Send for Job {}
 
 struct DispatchState {
@@ -147,12 +154,20 @@ impl WorkPool {
         });
         for w in 0..workers {
             let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name(format!("boson-pool-{}", w + 1))
-                .spawn(move || worker_loop(&inner, w + 1))
-                .expect("spawn boson pool worker");
+            spawn_named(&format!("boson-pool-{}", w + 1), move || {
+                worker_loop(&inner, w + 1)
+            });
         }
         Self { inner, workers }
+    }
+
+    /// Builds a private pool with `threads` lanes (the caller plus
+    /// `threads − 1` spawned workers). The solver stack always uses
+    /// [`global`]; private instances exist for tests and for the model
+    /// checker, which must construct a fresh pool inside every explored
+    /// execution.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(threads)
     }
 
     /// Total lanes: the caller plus the background workers.
@@ -189,9 +204,11 @@ impl WorkPool {
             }
             return;
         }
-        // Safety: `run` does not return until `remaining` and `active`
-        // both reach zero, so the borrow outlives every dereference
-        // despite the erased lifetime.
+        // SAFETY: only the lifetime is erased — the pointee type is
+        // unchanged. `run` does not return until `remaining` and
+        // `active` both reach zero, i.e. until every lane has left
+        // `run_parts`, so the borrow of `f` strictly outlives every
+        // dereference of the erased pointer.
         let task: *const (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
         let job = Job { task, parts, lanes };
         {
@@ -206,6 +223,9 @@ impl WorkPool {
                 }
                 return;
             }
+            // Relaxed: both stores are published to workers by the
+            // release of the state mutex below (the job is invisible
+            // until `st.job` is set), so no extra ordering is needed.
             self.inner.next.store(0, Ordering::Relaxed);
             self.inner.remaining.store(parts, Ordering::Relaxed);
             st.generation = st.generation.wrapping_add(1);
@@ -270,8 +290,10 @@ impl WorkPool {
         self.run(parts, parts, &|_lane, part| {
             let start = part * chunk_len;
             let len = chunk_len.min(dlen - start);
-            // Safety: each part owns a disjoint chunk range and its own
-            // context slot (parts execute exactly once each).
+            // SAFETY: chunk ranges `part * chunk_len ..` are pairwise
+            // disjoint by construction, context slots are indexed by
+            // `part`, and the pool executes every part exactly once —
+            // so no two lanes ever touch the same element.
             unsafe { f(part, data.slice(start, len), data_ctx(&ctx, part)) }
         });
     }
@@ -282,8 +304,14 @@ impl WorkPool {
 ///
 /// # Safety
 ///
-/// `part` must be accessed by at most one lane at a time.
+/// `part` must be in bounds and accessed by at most one lane at a time.
+// The &self -> &mut is the whole point of DisjointSlots: exclusivity
+// comes from the caller's disjointness contract, not the borrow checker.
+#[allow(clippy::mut_from_ref)]
+#[track_caller]
 unsafe fn data_ctx<'a, C>(ctx: &'a DisjointSlots<'_, C>, part: usize) -> &'a mut C {
+    // SAFETY: forwarded contract — the caller guarantees `part` is in
+    // bounds and lane-exclusive.
     unsafe { ctx.get(part) }
 }
 
@@ -298,9 +326,14 @@ impl Drop for WorkPool {
 /// One lane's share of a dispatch: pull part tickets until the job is
 /// drained, catching panics so the dispatcher can re-raise them.
 fn run_parts(inner: &Inner, job: Job, lane: usize) {
-    // Safety: see `WorkPool::run` — the closure outlives the dispatch.
+    // SAFETY: the dispatcher blocks in `WorkPool::run` until every lane
+    // has left this function, so the erased closure borrow is live for
+    // the whole loop (see the transmute in `run`).
     let task = unsafe { &*job.task };
     loop {
+        // Relaxed: the ticket is a pure claim counter — each lane only
+        // needs a unique part index, and the part data it guards was
+        // published by the state-mutex release in `run`.
         let part = inner.next.fetch_add(1, Ordering::Relaxed);
         if part >= job.parts {
             break;
@@ -413,17 +446,93 @@ fn parse_threads(raw: &str) -> usize {
 /// Constructing one is safe (it holds the exclusive borrow); every
 /// access is `unsafe` because the *caller* guarantees disjointness:
 /// each index (or range) may be touched by at most one lane at a time.
+///
+/// In debug builds every access additionally records a claim
+/// (`start..start + len`, claiming thread, call site) and panics —
+/// reporting **both** claim sites — when a claim from a *different*
+/// thread overlaps one already recorded, turning the contract into a
+/// checked one. Claims persist for the object's lifetime (the stack
+/// scopes one `DisjointSlots` per dispatch, where every slot is touched
+/// at most once), so same-slot re-claims from the same thread are legal
+/// and deduplicated, while cross-thread overlap — the actual data race —
+/// fails loudly. Release builds carry no claim state and no cost.
 pub struct DisjointSlots<'a, T> {
     ptr: *mut T,
     len: usize,
+    /// Debug-only claim log. `std::sync` deliberately, not the facade:
+    /// the detector must not add model-checker branch points. The `Vec`
+    /// is recycled through [`claim_log`] so steady-state dispatches
+    /// allocate nothing even in debug builds.
+    #[cfg(debug_assertions)]
+    claims: std::sync::Mutex<Vec<Claim>>,
     _marker: PhantomData<&'a mut [T]>,
 }
 
-// Safety: access is externally synchronised by the disjointness contract
-// of the unsafe accessors; `T: Send` because elements are mutated from
-// whichever lane claims them.
+/// One recorded debug-mode access: which range, by which thread, from
+/// which call site.
+#[cfg(debug_assertions)]
+struct Claim {
+    start: usize,
+    len: usize,
+    thread: u64,
+    site: &'static std::panic::Location<'static>,
+}
+
+/// Debug-only free list recycling claim logs across [`DisjointSlots`]
+/// lifetimes: a dispatch's log capacity is paid once during warm-up and
+/// reused by every later dispatch, so the detector honours the
+/// steady-state zero-allocation contract even in debug builds (where
+/// the counting-allocator suites also run).
+#[cfg(debug_assertions)]
+mod claim_log {
+    use super::Claim;
+    use std::sync::Mutex;
+
+    static FREE: Mutex<Vec<Vec<Claim>>> = Mutex::new(Vec::new());
+
+    pub(super) fn take() -> Vec<Claim> {
+        FREE.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    pub(super) fn give(mut log: Vec<Claim>) {
+        log.clear();
+        FREE.lock().unwrap_or_else(|e| e.into_inner()).push(log);
+    }
+}
+
+/// Stable per-thread key for claim records (`std::thread::ThreadId`
+/// cannot be turned into an integer on stable).
+#[cfg(debug_assertions)]
+fn claim_thread_id() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        // Relaxed: the counter only needs uniqueness, not ordering —
+        // every thread gets a distinct value from the same RMW.
+        static ID: u64 = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+// SAFETY: access is externally synchronised by the disjointness contract
+// of the unsafe accessors (checked in debug builds by the claim log);
+// `T: Send` because elements are mutated from whichever lane claims
+// them. The raw pointer is the only reason these impls are not derived.
 unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+// SAFETY: as above — the wrapper owns an exclusive borrow and hands out
+// element access only under the caller's disjointness contract.
 unsafe impl<T: Send> Send for DisjointSlots<'_, T> {}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for DisjointSlots<'_, T> {
+    fn drop(&mut self) {
+        let log = std::mem::take(self.claims.get_mut().unwrap_or_else(|e| e.into_inner()));
+        claim_log::give(log);
+    }
+}
 
 impl<'a, T> DisjointSlots<'a, T> {
     /// Wraps an exclusive slice borrow for lane-disjoint access.
@@ -431,6 +540,8 @@ impl<'a, T> DisjointSlots<'a, T> {
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(debug_assertions)]
+            claims: std::sync::Mutex::new(claim_log::take()),
             _marker: PhantomData,
         }
     }
@@ -445,6 +556,45 @@ impl<'a, T> DisjointSlots<'a, T> {
         self.len == 0
     }
 
+    /// Debug-only overlap detector: panics (reporting both call sites)
+    /// when `start..start + len` intersects a range claimed by another
+    /// thread on this object.
+    #[cfg(debug_assertions)]
+    #[track_caller]
+    fn claim(&self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let site = std::panic::Location::caller();
+        let thread = claim_thread_id();
+        let mut claims = self.claims.lock().unwrap_or_else(|e| e.into_inner());
+        for c in claims.iter() {
+            if c.thread != thread && start < c.start + c.len && c.start < start + len {
+                panic!(
+                    "DisjointSlots overlap: {start}..{} claimed at {site} \
+                     collides with {}..{} claimed at {} by another thread",
+                    start + len,
+                    c.start,
+                    c.start + c.len,
+                    c.site,
+                );
+            }
+        }
+        // Dedup exact same-thread repeats (lane-indexed slots are
+        // re-claimed once per part) so the log stays bounded.
+        if !claims
+            .iter()
+            .any(|c| c.thread == thread && c.start == start && c.len == len)
+        {
+            claims.push(Claim {
+                start,
+                len,
+                thread,
+                site,
+            });
+        }
+    }
+
     /// Exclusive access to slot `i`.
     ///
     /// # Safety
@@ -453,8 +603,18 @@ impl<'a, T> DisjointSlots<'a, T> {
     /// no access may overlap a [`DisjointSlots::slice`] range containing
     /// `i`.
     #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    #[track_caller]
     pub unsafe fn get(&self, i: usize) -> &mut T {
-        debug_assert!(i < self.len);
+        debug_assert!(
+            i < self.len,
+            "DisjointSlots::get: slot {i} out of bounds (len {})",
+            self.len
+        );
+        #[cfg(debug_assertions)]
+        self.claim(i, 1);
+        // SAFETY: `i < len` puts the offset inside the wrapped
+        // allocation, and the caller's disjointness contract (claim-
+        // checked in debug builds) rules out an aliasing `&mut`.
         unsafe { &mut *self.ptr.add(i) }
     }
 
@@ -465,8 +625,18 @@ impl<'a, T> DisjointSlots<'a, T> {
     /// The range must be in bounds and disjoint from every range or slot
     /// concurrently accessed by other lanes.
     #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    #[track_caller]
     pub unsafe fn slice(&self, start: usize, len: usize) -> &mut [T] {
-        debug_assert!(start + len <= self.len);
+        debug_assert!(
+            start <= self.len && len <= self.len - start,
+            "DisjointSlots::slice: range {start} (+{len}) out of bounds (len {})",
+            self.len
+        );
+        #[cfg(debug_assertions)]
+        self.claim(start, len);
+        // SAFETY: the range lies inside the wrapped allocation (checked
+        // above in debug builds; guaranteed by the caller always), and
+        // the disjointness contract rules out overlapping `&mut` slices.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
     }
 }
@@ -558,7 +728,8 @@ mod tests {
                 Ordering::Relaxed,
             );
         });
-        assert_eq!(total.load(Ordering::Relaxed), (0 + 1 + 2 + 3) + 4 * 3);
+        // Outer parts contribute 0+1+2+3; each adds the inner sum 0+1+2.
+        assert_eq!(total.load(Ordering::Relaxed), (1 + 2 + 3) + 4 * 3);
     }
 
     #[test]
@@ -567,6 +738,8 @@ mod tests {
         let mut acc = vec![0u64; 32];
         for round in 0..200u64 {
             let slots = DisjointSlots::new(&mut acc);
+            // SAFETY: each part touches only slot `part`, and parts run
+            // exactly once each — accesses are disjoint across lanes.
             p.run(32, usize::MAX, &|_lane, part| unsafe {
                 *slots.get(part) += round;
             });
@@ -633,5 +806,85 @@ mod tests {
     #[should_panic(expected = "BOSON_THREADS must be an integer >= 1")]
     fn parse_threads_rejects_garbage_loudly() {
         parse_threads("O4");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn disjoint_claims_from_distinct_threads_pass() {
+        let mut data = vec![0u64; 8];
+        {
+            let slots = DisjointSlots::new(&mut data);
+            std::thread::scope(|s| {
+                let slots = &slots;
+                s.spawn(move || {
+                    // SAFETY: this thread touches only slots 0..4, the
+                    // main thread only 4..8 — disjoint by construction.
+                    unsafe {
+                        *slots.get(0) = 1;
+                        slots.slice(1, 3).fill(2);
+                    }
+                });
+                // SAFETY: see above — 4..8 is disjoint from 0..4.
+                unsafe {
+                    *slots.get(4) = 3;
+                    slots.slice(5, 3).fill(4);
+                }
+            });
+        }
+        assert_eq!(data, vec![1, 2, 2, 2, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "DisjointSlots overlap")]
+    fn overlapping_claims_from_two_threads_are_detected() {
+        let mut data = vec![0u64; 8];
+        let slots = DisjointSlots::new(&mut data);
+        std::thread::scope(|s| {
+            let slots = &slots;
+            s.spawn(move || {
+                // SAFETY: sole access at this point; the claim (slot 2)
+                // is what the main thread's range below must collide
+                // with. The spawned thread is joined by the scope before
+                // the colliding claim, so the accesses are temporally
+                // disjoint — the detector is deliberately conservative:
+                // claims persist for the object's lifetime.
+                unsafe {
+                    *slots.get(2) = 1;
+                }
+            });
+        });
+        // SAFETY: in-bounds; the cross-thread overlap with slot 2 is the
+        // contract violation this test wants detected.
+        unsafe {
+            slots.slice(0, 4);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_fails_loudly_in_debug() {
+        let mut data = vec![0u64; 4];
+        let slots = DisjointSlots::new(&mut data);
+        // SAFETY: never reached — the debug bounds check panics before
+        // any raw-pointer arithmetic happens.
+        unsafe {
+            slots.get(4);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_fails_loudly_in_debug() {
+        let mut data = vec![0u64; 4];
+        let slots = DisjointSlots::new(&mut data);
+        // SAFETY: never reached — the debug bounds check panics before
+        // any raw-pointer arithmetic happens (including the `start + len`
+        // overflow case, which the checked form rejects).
+        unsafe {
+            slots.slice(3, usize::MAX);
+        }
     }
 }

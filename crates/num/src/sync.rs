@@ -1,0 +1,39 @@
+//! Sync-primitive facade for the parallel substrate.
+//!
+//! [`crate::pool`] takes its `Mutex`/`Condvar`/atomics/thread-spawn
+//! through this module instead of `std::sync` directly. Normally the
+//! re-exports *are* the std types — zero indirection, zero cost. Under
+//! the `model-check` cargo feature they become `boson_check`'s shims, so
+//! the model-checker harness (`cargo test -p boson-check --features
+//! model-check`) can exhaustively explore interleavings of the **actual**
+//! dispatch protocol, not a transcription of it.
+//!
+//! The shims delegate to real std behaviour on any thread that is not
+//! registered with a model execution, so even a `model-check` build is
+//! fully functional outside the checker (cargo feature unification can
+//! never corrupt an ordinary test run). The `xtask` invariant linter
+//! pins raw `std::sync` use to this facade and the pool.
+
+#[cfg(feature = "model-check")]
+pub use boson_check::shim::{spawn_named, AtomicUsize, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::atomic::AtomicUsize;
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+// `Ordering` is a plain enum — the shims forward it, so both flavours
+// share the std type.
+pub use std::sync::atomic::Ordering;
+
+/// Spawns a detached named thread. The substrate's workers go through
+/// this wrapper so the model checker can schedule them; everything else
+/// in the workspace is forbidden from spawning at all (enforced by
+/// `cargo run -p xtask -- check`).
+#[cfg(not(feature = "model-check"))]
+pub fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("spawn substrate worker");
+}

@@ -1,0 +1,42 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {
+            let root = workspace_root();
+            let violations = xtask::lint_tree(&root, &xtask::default_config());
+            if violations.is_empty() {
+                println!("xtask check: workspace invariants hold");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask check: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- check\n\
+                 (got {other:?})\n\n\
+                 check   enforce workspace concurrency/safety invariants:\n\
+                 - every `unsafe` site carries a // SAFETY: comment\n\
+                 - thread spawns only in the boson_num::pool facade\n\
+                 - raw sync primitives outside the facade need an allowlist entry\n\
+                 - every Ordering::Relaxed carries a `Relaxed:` justification"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`.
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,113 @@
+//! Linter rules against the checked-in fixture files: the good fixture
+//! must lint clean and each bad fixture must trip exactly its rule.
+//!
+//! The fixtures are fed through [`xtask::lint_source`] under a fake
+//! non-substrate, non-test path (`crates/fixture/src/…`) so every rule
+//! applies at full strength; the fixture *directory* itself is on the
+//! default config's skip list, so `cargo run -p xtask -- check` never
+//! flags these deliberately-broken files.
+
+use xtask::{default_config, lint_source, Rule, Violation};
+
+const GOOD: &str = include_str!("fixtures/good.rs");
+const BAD_SAFETY: &str = include_str!("fixtures/bad_missing_safety.rs");
+const BAD_SPAWN: &str = include_str!("fixtures/bad_thread_spawn.rs");
+const BAD_MUTEX: &str = include_str!("fixtures/bad_raw_mutex.rs");
+const BAD_RELAXED: &str = include_str!("fixtures/bad_relaxed.rs");
+
+/// Lints `src` as if it lived in ordinary (non-substrate, non-test)
+/// crate code.
+fn lint(name: &str, src: &str) -> Vec<Violation> {
+    lint_source(
+        &format!("crates/fixture/src/{name}"),
+        src,
+        &default_config(),
+    )
+}
+
+/// Every violation must carry `rule`, and there must be at least one —
+/// a fixture that trips extra rules would mask a regression in the one
+/// it is meant to pin down.
+fn assert_only_rule(violations: &[Violation], rule: Rule) {
+    assert!(!violations.is_empty(), "fixture tripped nothing");
+    for v in violations {
+        assert_eq!(v.rule, rule, "unexpected extra finding: {v}");
+    }
+}
+
+#[test]
+fn good_fixture_lints_clean() {
+    let violations = lint("good.rs", GOOD);
+    assert!(
+        violations.is_empty(),
+        "good fixture flagged: {}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn missing_safety_fixture_trips_the_safety_rule() {
+    let violations = lint("bad_missing_safety.rs", BAD_SAFETY);
+    assert_only_rule(&violations, Rule::SafetyComment);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].line, 6, "should point at the unsafe block");
+}
+
+#[test]
+fn thread_spawn_fixture_trips_the_spawn_rule() {
+    let violations = lint("bad_thread_spawn.rs", BAD_SPAWN);
+    assert_only_rule(&violations, Rule::ThreadSpawn);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].line, 6, "should point at the spawn call");
+}
+
+#[test]
+fn raw_mutex_fixture_trips_the_sync_rule() {
+    let violations = lint("bad_raw_mutex.rs", BAD_MUTEX);
+    assert_only_rule(&violations, Rule::SyncPrimitive);
+}
+
+#[test]
+fn relaxed_fixture_trips_the_justification_rule() {
+    let violations = lint("bad_relaxed.rs", BAD_RELAXED);
+    assert_only_rule(&violations, Rule::RelaxedJustification);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].line, 8, "should point at the Relaxed use");
+}
+
+/// The same raw-mutex source under a test path is exempt from the
+/// sync-primitive rule (tests may build throwaway scaffolding), while
+/// the safety rule still applies everywhere.
+#[test]
+fn path_classification_relaxes_sync_rules_for_tests() {
+    let as_test = lint_source(
+        "crates/fixture/tests/scaffold.rs",
+        BAD_MUTEX,
+        &default_config(),
+    );
+    assert!(
+        as_test.is_empty(),
+        "raw sync in a test file should be exempt: {as_test:?}"
+    );
+    let safety_as_test = lint_source(
+        "crates/fixture/tests/scaffold.rs",
+        BAD_SAFETY,
+        &default_config(),
+    );
+    assert_only_rule(&safety_as_test, Rule::SafetyComment);
+}
+
+/// Inside the facade itself the raw primitives are the point — the same
+/// mutex source lints clean there.
+#[test]
+fn facade_paths_may_use_raw_primitives() {
+    let in_facade = lint_source("crates/num/src/pool.rs", BAD_MUTEX, &default_config());
+    assert!(
+        in_facade.is_empty(),
+        "facade should be allowed raw sync: {in_facade:?}"
+    );
+}

@@ -1,0 +1,7 @@
+//! Fixture: an `unsafe` block with no `// SAFETY:` comment anywhere
+//! near it — must trip the safety-comment rule.
+
+pub fn first(values: &[u64]) -> u64 {
+    assert!(!values.is_empty());
+    unsafe { *values.as_ptr() }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a raw `Mutex` outside the parallel substrate with no
+//! allowlist entry — must trip the sync-primitive rule.
+
+use std::sync::Mutex;
+
+pub struct Cache {
+    entries: Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    pub fn push(&self, value: u64) {
+        self.entries.lock().unwrap().push(value);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `Ordering::Relaxed` with no `// Relaxed:` justification
+//! comment — must trip the relaxed-justification rule. (Deliberately
+//! avoids naming an `Atomic*` type so only one rule fires.)
+
+use std::sync::atomic::Ordering;
+
+pub fn counter_order() -> Ordering {
+    Ordering::Relaxed
+}

@@ -1,0 +1,8 @@
+//! Fixture: a direct thread spawn outside the parallel substrate —
+//! must trip the thread-spawn rule (all parallelism goes through
+//! `boson_num::pool`).
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42u64);
+    let _ = handle.join();
+}

@@ -1,0 +1,19 @@
+//! Fixture: a file the linter must bless with zero findings — every
+//! rule's *compliant* form in one place.
+
+use std::sync::atomic::Ordering;
+
+/// Reads the first element without a bounds check.
+pub fn first(values: &[u64]) -> u64 {
+    assert!(!values.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *values.as_ptr() }
+}
+
+/// The ordering used for monotonic statistics counters.
+pub fn counter_order() -> Ordering {
+    // Relaxed: the counters are write-only telemetry — no other memory
+    // depends on their value, so no ordering is needed.
+    Ordering::Relaxed
+}
